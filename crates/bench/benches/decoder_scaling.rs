@@ -1,0 +1,81 @@
+//! Micro-benchmark: beam decoder cost vs `B` and vs message length.
+//!
+//! §3.2: "The complexity of this practical decoder is linear in the
+//! message length" with per-level work `B·2^k`. Expect the `beam_width`
+//! group to scale linearly in B and the `message_len` group linearly in
+//! n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinal_core::bits::BitVec;
+use spinal_core::decode::{AwgnCost, BeamConfig, BeamDecoder, Observations};
+use spinal_core::encode::Encoder;
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::symbol::Slot;
+use std::hint::black_box;
+
+fn observations(
+    enc: &Encoder<Lookup3, LinearMapper>,
+    passes: u32,
+) -> Observations<spinal_core::symbol::IqSymbol> {
+    let mut obs = Observations::new(enc.params().n_segments());
+    for pass in 0..passes {
+        for t in 0..enc.params().n_segments() {
+            let slot = Slot::new(t, pass);
+            obs.push(slot, enc.symbol(slot));
+        }
+    }
+    obs
+}
+
+fn bench_beam_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beam_width");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let params = CodeParams::new(24, 8).unwrap();
+    let message = BitVec::from_bytes(&[0xca, 0xfe, 0x42]);
+    let enc = Encoder::new(&params, Lookup3::new(1), LinearMapper::new(10), &message).unwrap();
+    let obs = observations(&enc, 2);
+    for &b in &[1usize, 4, 16, 64] {
+        let dec = BeamDecoder::new(
+            &params,
+            Lookup3::new(1),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::with_beam(b),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bch, _| {
+            bch.iter(|| black_box(dec.decode(&obs).cost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_len(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_len");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[24u32, 48, 96, 192] {
+        let params = CodeParams::new(n, 8).unwrap();
+        let message = BitVec::from_bools(&(0..n as usize).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let enc = Encoder::new(&params, Lookup3::new(2), LinearMapper::new(10), &message).unwrap();
+        let obs = observations(&enc, 1);
+        let dec = BeamDecoder::new(
+            &params,
+            Lookup3::new(2),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(dec.decode(&obs).cost));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beam_width, bench_message_len);
+criterion_main!(benches);

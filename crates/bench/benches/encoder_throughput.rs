@@ -1,0 +1,53 @@
+//! Micro-benchmark: encoder cost vs message length.
+//!
+//! §1: "The sequential nature of the hashed map makes the encoding linear
+//! in the message size." Criterion's per-iteration times for n ∈ {24, 96,
+//! 384, 1536} should scale by ~4x per step — verify the slope, not just
+//! the constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spinal_core::bits::BitVec;
+use spinal_core::encode::Encoder;
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use std::hint::black_box;
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[24u32, 96, 384, 1536] {
+        let params = CodeParams::new(n, 8).unwrap();
+        let message = BitVec::from_bools(&(0..n as usize).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        group.throughput(Throughput::Bytes(u64::from(n) / 8));
+
+        // Spine computation + first pass (the per-message setup cost).
+        group.bench_with_input(BenchmarkId::new("spine_plus_pass", n), &n, |b, _| {
+            b.iter(|| {
+                let enc = Encoder::new(
+                    &params,
+                    Lookup3::new(7),
+                    LinearMapper::new(10),
+                    black_box(&message),
+                )
+                .unwrap();
+                black_box(enc.pass(0))
+            });
+        });
+
+        // Steady-state symbol generation (rateless tail cost).
+        let enc = Encoder::new(&params, Lookup3::new(7), LinearMapper::new(10), &message).unwrap();
+        group.bench_with_input(BenchmarkId::new("extra_pass", n), &n, |b, _| {
+            let mut pass = 1u32;
+            b.iter(|| {
+                pass = pass.wrapping_add(1).max(1);
+                black_box(enc.pass(pass))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

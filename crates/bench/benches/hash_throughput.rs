@@ -1,0 +1,35 @@
+//! Micro-benchmark: spine-hash families.
+//!
+//! The encoder costs one hash per k message bits and the decoder one hash
+//! per expanded tree edge, so the hash is the innermost loop of the whole
+//! system ("the low cost provided by hash functions", §6). Compares the
+//! four families on the (state, segment) word-hash the spine uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinal_core::hash::{AnyHash, HashFamily, SpineHash};
+use std::hint::black_box;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spine_hash");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for family in [
+        HashFamily::Lookup3,
+        HashFamily::OneAtATime,
+        HashFamily::SipHash24,
+        HashFamily::SplitMix,
+    ] {
+        let h = AnyHash::new(family, 0xfeed);
+        group.bench_function(h.name(), |b| {
+            let mut state = 0x1234_5678_u64;
+            b.iter(|| {
+                state = h.hash(black_box(state), black_box(state & 0xff));
+                state
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmark: the LDPC baseline's decoder.
+//!
+//! The Figure 2 baseline runs 40-iteration sum-product BP per 648-bit
+//! frame; this bench measures that cost (and min-sum's) at an operating
+//! point where decoding converges after a few iterations, plus the
+//! worst case where it runs all 40.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinal_ldpc::{BpMethod, LdpcCode, LdpcRate};
+use std::hint::black_box;
+
+fn noisy_llrs(cw: &[u8], confidence: f64, wrong_every: usize) -> Vec<f64> {
+    cw.iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let s = if b == 0 { confidence } else { -confidence };
+            if wrong_every > 0 && i % wrong_every == 3 {
+                -0.4 * s
+            } else {
+                s
+            }
+        })
+        .collect()
+}
+
+fn bench_ldpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldpc_bp");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let code = LdpcCode::new(LdpcRate::R12, 7);
+    let info: Vec<u8> = (0..code.k()).map(|i| (i % 5 == 0) as u8).collect();
+    let cw = code.encode(&info);
+
+    // Converging case: scattered weak errors.
+    let easy = noisy_llrs(&cw, 5.0, 60);
+    group.bench_function("sum_product_converging", |b| {
+        b.iter(|| black_box(code.decode(black_box(&easy), 40, BpMethod::SumProduct).iterations));
+    });
+    group.bench_function("min_sum_converging", |b| {
+        b.iter(|| {
+            black_box(
+                code.decode(black_box(&easy), 40, BpMethod::MinSum { alpha: 0.8 })
+                    .iterations,
+            )
+        });
+    });
+
+    // Worst case: hopeless input, all 40 iterations run.
+    let hopeless: Vec<f64> = (0..code.n())
+        .map(|i| if i % 2 == 0 { 0.8 } else { -0.8 })
+        .collect();
+    group.bench_function("sum_product_full_40_iters", |b| {
+        b.iter(|| black_box(code.decode(black_box(&hopeless), 40, BpMethod::SumProduct).converged));
+    });
+
+    // Encoder for scale.
+    group.bench_function("encode_648", |b| {
+        b.iter(|| black_box(code.encode(black_box(&info))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldpc);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! **§2 claim**: "Rateless codes have a long history starting with
+//! classical ARQ schemes, but ARQ generally does not come close to
+//! capacity."
+//!
+//! Compares stop-and-wait uncoded ARQ (24-bit payload + CRC-32 over
+//! BPSK / QAM-16 / QAM-64, wholesale retransmission, free feedback)
+//! against Shannon capacity and the measured spinal rate across SNR.
+//! ARQ's goodput is capped by its framing at high SNR and collapses as
+//! soon as raw symbol errors appear, while the rateless code glides
+//! along capacity.
+//!
+//! ```text
+//! cargo run -p spinal-bench --release --bin baseline_arq [-- --quick]
+//! ```
+
+use spinal_bench::{banner, f3, RunArgs};
+use spinal_info::awgn_capacity_db;
+use spinal_modem::Modulation;
+use spinal_sim::arq::{run_arq_awgn, ArqConfig};
+use spinal_sim::rateless::{run_awgn, RatelessConfig};
+use spinal_sim::{derive_seed, parallel_map, snr_grid};
+
+fn main() {
+    let args = RunArgs::parse(80);
+    let grid = snr_grid(0.0, 30.0, if args.quick { 10.0 } else { 5.0 });
+    banner(
+        "§2 baseline: classical stop-and-wait ARQ vs capacity vs spinal",
+        &args,
+        "ARQ: 24-bit payload + CRC-32, uncoded, hard decisions, free feedback; \
+         spinal: Figure 2 configuration",
+    );
+
+    let mods = [Modulation::Bpsk, Modulation::Qam16, Modulation::Qam64];
+    print!("{:>6} {:>9} {:>9}", "SNR", "capacity", "spinal");
+    for m in &mods {
+        print!(" {:>9}", format!("ARQ-{}", m.name()));
+    }
+    println!();
+
+    let mut spinal_cfg = RatelessConfig::fig2();
+    spinal_cfg.max_passes = 300;
+    let spinal = parallel_map(&grid, args.threads, |&snr| {
+        run_awgn(&spinal_cfg, snr, args.trials, derive_seed(args.seed, 13, snr.to_bits()))
+            .rate_mean()
+    });
+
+    let jobs: Vec<(usize, f64)> = (0..mods.len())
+        .flat_map(|mi| grid.iter().map(move |&s| (mi, s)))
+        .collect();
+    let arq = parallel_map(&jobs, args.threads, |&(mi, snr)| {
+        run_arq_awgn(
+            &ArqConfig::default_24bit(mods[mi]),
+            snr,
+            args.trials,
+            derive_seed(args.seed, 14, (mi as u64) << 40 ^ snr.to_bits()),
+        )
+        .goodput()
+    });
+
+    for (si, &snr) in grid.iter().enumerate() {
+        print!("{snr:>6.1} {:>9.3} {:>9.3}", awgn_capacity_db(snr), spinal[si]);
+        for mi in 0..mods.len() {
+            print!("  {}", f3(arq[mi * grid.len() + si]));
+        }
+        println!();
+    }
+    println!("\nExpected shape: each ARQ curve is a step capped by its framing overhead");
+    println!("(24/56·bits-per-symbol) and dies below the uncoded error threshold — never");
+    println!("within reach of capacity, which the rateless spinal curve tracks throughout.");
+}

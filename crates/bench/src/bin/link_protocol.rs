@@ -1,0 +1,54 @@
+//! **Link-layer extension** (§6 future-work item 2): throughput of the
+//! feedback protocol vs feedback delay, with and without pipelining.
+//!
+//! Stop-and-wait (window 1) pays ~one feedback delay of wasted symbols
+//! per frame; deeper windows fill the gap with other frames' symbols.
+//!
+//! ```text
+//! cargo run -p spinal-bench --release --bin link_protocol [-- --quick]
+//! ```
+
+use spinal_bench::{banner, f3, RunArgs};
+use spinal_link::{simulate_link, LinkConfig};
+use spinal_sim::{derive_seed, parallel_map};
+
+fn main() {
+    let args = RunArgs::parse(40); // trials = frames per cell
+    let delays: &[u64] = if args.quick {
+        &[0, 8, 32]
+    } else {
+        &[0, 2, 4, 8, 16, 32, 64]
+    };
+    let windows: &[u32] = &[1, 2, 4, 8];
+    let snr_db = 25.0;
+    banner(
+        "Link protocol (§6 ext.): throughput (bits/symbol) vs feedback delay and window",
+        &args,
+        &format!("16-bit frames, k=4, c=6, B=8 at {snr_db} dB; cells are {} frames", args.trials),
+    );
+
+    print!("{:>7}", "delay");
+    for &w in windows {
+        print!(" {:>8}", format!("W={w}"));
+    }
+    println!();
+
+    let jobs: Vec<(u64, u32)> = delays
+        .iter()
+        .flat_map(|&d| windows.iter().map(move |&w| (d, w)))
+        .collect();
+    let tputs = parallel_map(&jobs, args.threads, |&(d, w)| {
+        let cfg = LinkConfig::demo(snr_db, d, w);
+        simulate_link(&cfg, args.trials, derive_seed(args.seed, 12, d << 8 | u64::from(w)))
+            .throughput(cfg.message_bits)
+    });
+
+    for (di, &d) in delays.iter().enumerate() {
+        print!("{d:>7}");
+        for wi in 0..windows.len() {
+            print!(" {}", f3(tputs[di * windows.len() + wi]));
+        }
+        println!();
+    }
+    println!("\nExpected shape: W=1 falls as ~m/(N+delay); W=8 stays near the delay-0 value.");
+}

@@ -1,0 +1,85 @@
+//! Validates **Theorem 1** (AWGN): BER → 0 once
+//! `L·[C_awgn(SNR) − ½log₂(πe/6)] > k`.
+//!
+//! For each SNR in {0, 10, 20} dB the harness measures BER after exactly
+//! `L` unpunctured passes (m = 96, k = 8, c = 10, B = 64) and prints the
+//! measured curve next to the theorem's minimum pass count. Expect the
+//! BER to collapse at or slightly before the guaranteed threshold (the
+//! theorem is sufficient, not tight — §4 notes the low-SNR guarantee is
+//! conservative).
+//!
+//! ```text
+//! cargo run -p spinal-bench --release --bin thm1_awgn [-- --quick]
+//! ```
+
+use spinal_bench::{banner, ber_fmt, RunArgs};
+use spinal_core::decode::BeamConfig;
+use spinal_info::{db_to_linear, theorem1_min_passes};
+use spinal_sim::rateless::{RatelessConfig, Termination};
+use spinal_sim::theorem::thm1_curve;
+use spinal_sim::{derive_seed, parallel_map};
+use spinal_core::hash::HashFamily;
+use spinal_core::map::AnyIqMapper;
+use spinal_core::puncture::AnySchedule;
+
+fn main() {
+    let args = RunArgs::parse(60);
+    let message_bits = if args.quick { 48 } else { 96 };
+    let cfg = RatelessConfig {
+        message_bits,
+        k: 8,
+        tail_segments: 0,
+        hash: HashFamily::Lookup3,
+        mapper: AnyIqMapper::linear(10),
+        schedule: AnySchedule::none(),
+        beam: BeamConfig::with_beam(64),
+        adc_bits: Some(14),
+        max_passes: 64,
+        attempt_growth: 1.0,
+        termination: Termination::Genie,
+    };
+    banner(
+        "Theorem 1 (AWGN): BER vs passes L, threshold L* = min{L : L(C - 0.2546) > k}",
+        &args,
+        &format!("m={message_bits} k=8 c=10 B=64, unpunctured, 14-bit ADC"),
+    );
+
+    for &snr_db in &[0.0, 10.0, 20.0] {
+        let lstar = theorem1_min_passes(db_to_linear(snr_db), cfg.k);
+        let l_values: Vec<u32> = match lstar {
+            Some(l) => {
+                let lo = (l / 3).max(1);
+                let hi = l + 4;
+                (lo..=hi).collect()
+            }
+            None => (1..=16).collect(),
+        };
+        let points = parallel_map(&l_values, args.threads, |&l| {
+            thm1_curve(
+                &cfg,
+                snr_db,
+                &[l],
+                args.trials,
+                derive_seed(args.seed, 3, u64::from(l)),
+            )[0]
+        });
+        println!(
+            "\nSNR = {snr_db} dB   (Theorem-1 threshold L* = {})",
+            lstar.map_or("none".into(), |l| l.to_string())
+        );
+        println!("{:>4} {:>8} {:>10} {:>8}", "L", "rate", "BER", "FER");
+        for p in points {
+            let marker = match lstar {
+                Some(l) if p.passes == l => "  <- L*",
+                _ => "",
+            };
+            println!(
+                "{:>4} {:>8.3} {} {:>8.3}{marker}",
+                p.passes,
+                p.rate,
+                ber_fmt(p.ber),
+                p.frame_error_rate
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared plumbing for the figure/ablation regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one experiment from the paper
+//! (see DESIGN.md §3 for the index). They share a tiny argument parser —
+//! `--trials N`, `--seed S`, `--threads T`, `--quick` — and a few table
+//! helpers. All binaries print their full configuration first, so any
+//! number in a report can be traced to a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Common command-line arguments for experiment binaries.
+#[derive(Clone, Debug)]
+pub struct RunArgs {
+    /// Monte-Carlo trials per point.
+    pub trials: u32,
+    /// Master experiment seed.
+    pub seed: u64,
+    /// Worker threads for point-parallel sweeps.
+    pub threads: usize,
+    /// Reduced-size run for smoke testing.
+    pub quick: bool,
+}
+
+impl RunArgs {
+    /// Parses `std::env::args`, with `default_trials` when `--trials` is
+    /// absent. `--quick` divides the trial count by 4 (min 10) and is
+    /// also exposed so binaries can thin their grids.
+    pub fn parse(default_trials: u32) -> Self {
+        let mut trials = default_trials;
+        let mut seed = 0xC0DE_2011_u64;
+        let mut threads = spinal_sim::default_threads();
+        let mut quick = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trials" => {
+                    trials = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--trials needs an integer");
+                }
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--threads" => {
+                    threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs an integer");
+                }
+                "--quick" => quick = true,
+                "--help" | "-h" => {
+                    eprintln!("options: --trials N  --seed S  --threads T  --quick");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if quick {
+            trials = (trials / 4).max(10);
+        }
+        Self {
+            trials,
+            seed,
+            threads,
+            quick,
+        }
+    }
+}
+
+/// Prints the experiment banner (configuration echo, for traceability).
+pub fn banner(title: &str, args: &RunArgs, extra: &str) {
+    println!("# {title}");
+    println!(
+        "# trials={} seed={:#x} threads={} quick={}",
+        args.trials, args.seed, args.threads, args.quick
+    );
+    if !extra.is_empty() {
+        println!("# {extra}");
+    }
+}
+
+/// Formats a rate/probability with sensible width for the tables.
+pub fn f3(x: f64) -> String {
+    format!("{x:7.3}")
+}
+
+/// Formats a BER in scientific notation.
+pub fn ber_fmt(x: f64) -> String {
+    if x == 0.0 {
+        format!("{:>9}", "0")
+    } else {
+        format!("{x:>9.1e}")
+    }
+}

@@ -1,0 +1,173 @@
+//! The complex additive white Gaussian noise channel.
+//!
+//! `y = x + w` with `w` iid circularly symmetric complex Gaussian of total
+//! variance `σ²` (`σ²/2` per real dimension) — the channel model of §3.2
+//! and the substrate of the entire Figure 2 evaluation.
+//!
+//! SNR convention (DESIGN.md §2.8): `SNR = E[|x|²] / σ²`. All spinal
+//! mappers and the modem constellations in this repository are normalised
+//! to unit average symbol energy, so `σ² = 10^(−SNR_dB/10)` by default;
+//! a different signal energy can be supplied explicitly.
+
+use crate::gaussian::GaussianSampler;
+use spinal_core::symbol::IqSymbol;
+
+/// Anything that corrupts a transmitted symbol of type `S` into a
+/// received symbol of the same type.
+///
+/// Implemented by [`AwgnChannel`] (I-Q symbols) and
+/// [`crate::bsc::BscChannel`] (bits), letting the simulation harness be
+/// generic over the channel family.
+pub trait Channel<S> {
+    /// Passes one symbol through the channel.
+    fn transmit(&mut self, x: S) -> S;
+}
+
+/// Complex AWGN channel with fixed noise variance.
+#[derive(Clone, Debug)]
+pub struct AwgnChannel {
+    sigma2: f64,
+    sigma_dim: f64,
+    gauss: GaussianSampler,
+}
+
+impl AwgnChannel {
+    /// Channel at `snr_db` for unit-average-energy signals.
+    pub fn from_snr_db(snr_db: f64, seed: u64) -> Self {
+        Self::with_signal_energy(snr_db, 1.0, seed)
+    }
+
+    /// Channel at `snr_db` for signals of average symbol energy
+    /// `signal_energy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_energy` is not positive.
+    pub fn with_signal_energy(snr_db: f64, signal_energy: f64, seed: u64) -> Self {
+        assert!(signal_energy > 0.0, "signal energy must be positive");
+        let snr = 10.0_f64.powf(snr_db / 10.0);
+        Self::from_sigma2(signal_energy / snr, seed)
+    }
+
+    /// Channel with explicit total noise variance `σ²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma2` is negative.
+    pub fn from_sigma2(sigma2: f64, seed: u64) -> Self {
+        assert!(sigma2 >= 0.0, "noise variance must be non-negative");
+        Self {
+            sigma2,
+            sigma_dim: (sigma2 / 2.0).sqrt(),
+            gauss: GaussianSampler::seed_from(seed),
+        }
+    }
+
+    /// Total complex noise variance `σ²`.
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// The SNR in dB experienced by unit-energy signals (∞ for σ² = 0).
+    pub fn snr_db(&self) -> f64 {
+        if self.sigma2 == 0.0 {
+            f64::INFINITY
+        } else {
+            -10.0 * self.sigma2.log10()
+        }
+    }
+
+    /// Draws one complex noise sample `w`.
+    #[inline]
+    pub fn noise(&mut self) -> IqSymbol {
+        let (ni, nq) = self.gauss.pair();
+        IqSymbol::new(ni * self.sigma_dim, nq * self.sigma_dim)
+    }
+}
+
+impl Channel<IqSymbol> for AwgnChannel {
+    #[inline]
+    fn transmit(&mut self, x: IqSymbol) -> IqSymbol {
+        x + self.noise()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut ch = AwgnChannel::from_sigma2(0.0, 1);
+        let x = IqSymbol::new(0.3, -1.2);
+        assert_eq!(ch.transmit(x), x);
+        assert_eq!(ch.snr_db(), f64::INFINITY);
+    }
+
+    #[test]
+    fn snr_calibration_10db() {
+        // At 10 dB, σ² = 0.1 for unit-energy signals.
+        let ch = AwgnChannel::from_snr_db(10.0, 2);
+        assert!((ch.sigma2() - 0.1).abs() < 1e-12);
+        assert!((ch.snr_db() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_noise_energy_matches_sigma2() {
+        let mut ch = AwgnChannel::from_snr_db(3.0, 7);
+        let want = ch.sigma2();
+        const N: usize = 200_000;
+        let measured: f64 =
+            (0..N).map(|_| ch.noise().energy()).sum::<f64>() / N as f64;
+        assert!(
+            ((measured - want) / want).abs() < 0.02,
+            "measured {measured}, want {want}"
+        );
+    }
+
+    #[test]
+    fn noise_dimensions_balanced_and_centered() {
+        let mut ch = AwgnChannel::from_snr_db(0.0, 9);
+        const N: usize = 100_000;
+        let (mut si, mut sq, mut si2, mut sq2) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..N {
+            let w = ch.noise();
+            si += w.i;
+            sq += w.q;
+            si2 += w.i * w.i;
+            sq2 += w.q * w.q;
+        }
+        let n = N as f64;
+        assert!((si / n).abs() < 0.01);
+        assert!((sq / n).abs() < 0.01);
+        // Each dimension carries σ²/2 = 0.5 at 0 dB.
+        assert!((si2 / n - 0.5).abs() < 0.02, "I var {}", si2 / n);
+        assert!((sq2 / n - 0.5).abs() < 0.02, "Q var {}", sq2 / n);
+    }
+
+    #[test]
+    fn signal_energy_scaling() {
+        // Same SNR, 4x signal energy => 4x noise variance.
+        let a = AwgnChannel::with_signal_energy(5.0, 1.0, 0);
+        let b = AwgnChannel::with_signal_energy(5.0, 4.0, 0);
+        assert!((b.sigma2() / a.sigma2() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = AwgnChannel::from_snr_db(10.0, 42);
+        let mut b = AwgnChannel::from_snr_db(10.0, 42);
+        let x = IqSymbol::new(1.0, 1.0);
+        for _ in 0..32 {
+            let (ya, yb) = (a.transmit(x), b.transmit(x));
+            assert_eq!(ya.i.to_bits(), yb.i.to_bits());
+            assert_eq!(ya.q.to_bits(), yb.q.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_variance_rejected() {
+        AwgnChannel::from_sigma2(-1.0, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The binary erasure channel.
+//!
+//! Each bit is erased (lost, with the receiver knowing it) with
+//! probability `e`. Not exercised by the paper's own evaluation — spinal
+//! codes target AWGN/BSC — but it is the channel for which Raptor/LT
+//! codes achieve capacity (§2's related work) and the natural model for
+//! packet loss, so the link-layer simulator and the comparison harness
+//! use it.
+
+use crate::rng::Rng;
+
+/// BEC with erasure probability `e`. `transmit` returns `None` on
+/// erasure.
+#[derive(Clone, Debug)]
+pub struct BecChannel {
+    e: f64,
+    rng: Rng,
+    erasures: u64,
+    transmitted: u64,
+}
+
+impl BecChannel {
+    /// Creates a BEC(e).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is outside `[0, 1]`.
+    pub fn new(e: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&e), "BEC requires e in [0,1], got {e}");
+        Self {
+            e,
+            rng: Rng::seed_from(seed),
+            erasures: 0,
+            transmitted: 0,
+        }
+    }
+
+    /// The erasure probability.
+    pub fn e(&self) -> f64 {
+        self.e
+    }
+
+    /// Passes one bit; `None` means erased.
+    #[inline]
+    pub fn transmit(&mut self, x: u8) -> Option<u8> {
+        self.transmitted += 1;
+        if self.rng.bernoulli(self.e) {
+            self.erasures += 1;
+            None
+        } else {
+            Some(x)
+        }
+    }
+
+    /// Number of erasures so far (diagnostics).
+    pub fn erasures(&self) -> u64 {
+        self.erasures
+    }
+
+    /// Number of bits offered so far (diagnostics).
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e_zero_never_erases() {
+        let mut ch = BecChannel::new(0.0, 1);
+        for bit in [0u8, 1] {
+            assert_eq!(ch.transmit(bit), Some(bit));
+        }
+    }
+
+    #[test]
+    fn e_one_always_erases() {
+        let mut ch = BecChannel::new(1.0, 1);
+        assert_eq!(ch.transmit(0), None);
+        assert_eq!(ch.transmit(1), None);
+        assert_eq!(ch.erasures(), 2);
+    }
+
+    #[test]
+    fn erasure_rate_matches_e() {
+        let mut ch = BecChannel::new(0.25, 5);
+        const N: u64 = 100_000;
+        for _ in 0..N {
+            let _ = ch.transmit(1);
+        }
+        let rate = ch.erasures() as f64 / N as f64;
+        assert!((rate - 0.25).abs() < 0.007, "erasure rate {rate}");
+    }
+
+    #[test]
+    fn surviving_bits_unchanged() {
+        let mut ch = BecChannel::new(0.5, 2);
+        for _ in 0..1000 {
+            if let Some(y) = ch.transmit(1) {
+                assert_eq!(y, 1);
+            }
+            if let Some(y) = ch.transmit(0) {
+                assert_eq!(y, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "e in [0,1]")]
+    fn rejects_bad_e() {
+        BecChannel::new(-0.1, 0);
+    }
+}

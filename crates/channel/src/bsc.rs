@@ -1,0 +1,121 @@
+//! The binary symmetric channel.
+//!
+//! Each coded bit is flipped independently with crossover probability
+//! `p` — the model behind Theorem 2 and the binary instantiation of the
+//! spinal code ("transmit the coded bits directly over a traditional
+//! modulation method", §1).
+
+use crate::awgn::Channel;
+use crate::rng::Rng;
+
+/// BSC with crossover probability `p`.
+#[derive(Clone, Debug)]
+pub struct BscChannel {
+    p: f64,
+    rng: Rng,
+    flips: u64,
+    transmitted: u64,
+}
+
+impl BscChannel {
+    /// Creates a BSC(p).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "BSC requires p in [0,1], got {p}");
+        Self {
+            p,
+            rng: Rng::seed_from(seed),
+            flips: 0,
+            transmitted: 0,
+        }
+    }
+
+    /// The crossover probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of bits flipped so far (diagnostics).
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Number of bits transmitted so far (diagnostics).
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+}
+
+impl Channel<u8> for BscChannel {
+    #[inline]
+    fn transmit(&mut self, x: u8) -> u8 {
+        self.transmitted += 1;
+        if self.rng.bernoulli(self.p) {
+            self.flips += 1;
+            x ^ 1
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_zero_is_identity() {
+        let mut ch = BscChannel::new(0.0, 1);
+        for bit in [0u8, 1, 0, 1, 1] {
+            assert_eq!(ch.transmit(bit), bit);
+        }
+        assert_eq!(ch.flips(), 0);
+        assert_eq!(ch.transmitted(), 5);
+    }
+
+    #[test]
+    fn p_one_always_flips() {
+        let mut ch = BscChannel::new(1.0, 1);
+        assert_eq!(ch.transmit(0), 1);
+        assert_eq!(ch.transmit(1), 0);
+        assert_eq!(ch.flips(), 2);
+    }
+
+    #[test]
+    fn flip_rate_matches_p() {
+        let mut ch = BscChannel::new(0.11, 9);
+        const N: u64 = 200_000;
+        for _ in 0..N {
+            ch.transmit(0);
+        }
+        let rate = ch.flips() as f64 / N as f64;
+        assert!((rate - 0.11).abs() < 0.005, "flip rate {rate}");
+    }
+
+    #[test]
+    fn output_stays_binary() {
+        let mut ch = BscChannel::new(0.5, 3);
+        for _ in 0..1000 {
+            assert!(ch.transmit(1) <= 1);
+            assert!(ch.transmit(0) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = BscChannel::new(0.3, 77);
+        let mut b = BscChannel::new(0.3, 77);
+        for _ in 0..256 {
+            assert_eq!(a.transmit(1), b.transmit(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p in [0,1]")]
+    fn rejects_bad_p() {
+        BscChannel::new(1.2, 0);
+    }
+}

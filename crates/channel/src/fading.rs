@@ -1,0 +1,182 @@
+//! Rayleigh block fading.
+//!
+//! Time-varying attenuation is the paper's core motivation: "channel
+//! conditions vary with time, even at time-scales shorter than a single
+//! packet transmission time" (§1). This module models flat Rayleigh
+//! fading with block-constant gains: the complex gain `h ~ CN(0, 1)` is
+//! redrawn every `block_len` symbols and multiplies the transmitted
+//! symbol, `y = h·x + w`.
+//!
+//! The receiver is assumed coherent (it knows `h`, e.g. from pilots);
+//! [`equalize`] divides the observation by the gain, turning the channel
+//! into AWGN with per-block SNR `|h|²·SNR` — exactly the fluctuating-SNR
+//! regime a rateless code adapts to implicitly. The
+//! `rateless_over_fading` example demonstrates this end to end.
+
+use crate::gaussian::GaussianSampler;
+use spinal_core::symbol::IqSymbol;
+
+/// A complex channel gain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gain {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Gain {
+    /// Creates a gain from its rectangular parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The unit gain (no fading).
+    pub const fn unit() -> Self {
+        Self { re: 1.0, im: 0.0 }
+    }
+
+    /// Squared magnitude `|h|²` — the instantaneous power attenuation.
+    pub fn power(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// Applies the complex gain: `y = h · x`.
+pub fn apply(h: Gain, x: IqSymbol) -> IqSymbol {
+    IqSymbol::new(h.re * x.i - h.im * x.q, h.re * x.q + h.im * x.i)
+}
+
+/// Coherent equalisation: `x̂ = y / h`.
+///
+/// # Panics
+///
+/// Panics if the gain is exactly zero (a measure-zero event for Rayleigh
+/// fading; callers simulating deep fades should clamp instead).
+pub fn equalize(h: Gain, y: IqSymbol) -> IqSymbol {
+    let p = h.power();
+    assert!(p > 0.0, "cannot equalize a zero gain");
+    IqSymbol::new(
+        (h.re * y.i + h.im * y.q) / p,
+        (h.re * y.q - h.im * y.i) / p,
+    )
+}
+
+/// Rayleigh block-fading process: `h ~ CN(0, 1)`, constant over blocks of
+/// `block_len` symbols.
+#[derive(Clone, Debug)]
+pub struct RayleighBlockFading {
+    block_len: u32,
+    idx: u32,
+    gain: Gain,
+    gauss: GaussianSampler,
+}
+
+impl RayleighBlockFading {
+    /// Creates the process; the first gain is drawn on the first call to
+    /// [`next_gain`](Self::next_gain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_len == 0`.
+    pub fn new(block_len: u32, seed: u64) -> Self {
+        assert!(block_len > 0, "block length must be positive");
+        Self {
+            block_len,
+            idx: 0,
+            gain: Gain::unit(),
+            gauss: GaussianSampler::seed_from(seed),
+        }
+    }
+
+    /// The block length in symbols.
+    pub fn block_len(&self) -> u32 {
+        self.block_len
+    }
+
+    /// Advances one symbol period and returns the gain in effect,
+    /// redrawing it at block boundaries.
+    pub fn next_gain(&mut self) -> Gain {
+        if self.idx % self.block_len == 0 {
+            let (a, b) = self.gauss.pair();
+            // CN(0,1): each part N(0, 1/2).
+            let s = std::f64::consts::FRAC_1_SQRT_2;
+            self.gain = Gain::new(a * s, b * s);
+        }
+        self.idx += 1;
+        self.gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_constant_within_block_changes_across() {
+        let mut f = RayleighBlockFading::new(4, 3);
+        let g0 = f.next_gain();
+        for _ in 1..4 {
+            assert_eq!(f.next_gain(), g0);
+        }
+        let g1 = f.next_gain();
+        assert_ne!(g1, g0, "block boundary must redraw the gain");
+        for _ in 1..4 {
+            assert_eq!(f.next_gain(), g1);
+        }
+    }
+
+    #[test]
+    fn average_power_is_unity() {
+        let mut f = RayleighBlockFading::new(1, 11);
+        const N: usize = 200_000;
+        let mean: f64 = (0..N).map(|_| f.next_gain().power()).sum::<f64>() / N as f64;
+        assert!((mean - 1.0).abs() < 0.02, "E|h|^2 = {mean}");
+    }
+
+    #[test]
+    fn rayleigh_fraction_in_deep_fade() {
+        // P(|h|² < 0.1) = 1 − e^(−0.1) ≈ 0.0952 for |h|² ~ Exp(1).
+        let mut f = RayleighBlockFading::new(1, 21);
+        const N: usize = 200_000;
+        let deep = (0..N).filter(|_| f.next_gain().power() < 0.1).count();
+        let frac = deep as f64 / N as f64;
+        assert!((frac - 0.0952).abs() < 0.005, "deep-fade fraction {frac}");
+    }
+
+    #[test]
+    fn apply_then_equalize_roundtrip() {
+        let h = Gain::new(0.6, -0.8);
+        let x = IqSymbol::new(1.25, -0.5);
+        let back = equalize(h, apply(h, x));
+        assert!((back.i - x.i).abs() < 1e-12);
+        assert!((back.q - x.q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_is_complex_multiplication() {
+        // (1 + i)·(1 + 0i) rotated: h = i => (x_i, x_q) -> (-x_q, x_i).
+        let h = Gain::new(0.0, 1.0);
+        let y = apply(h, IqSymbol::new(2.0, 3.0));
+        assert_eq!(y, IqSymbol::new(-3.0, 2.0));
+    }
+
+    #[test]
+    fn unit_gain_is_identity() {
+        let x = IqSymbol::new(0.7, 0.2);
+        assert_eq!(apply(Gain::unit(), x), x);
+        assert_eq!(equalize(Gain::unit(), x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero gain")]
+    fn equalize_zero_gain_panics() {
+        equalize(Gain::new(0.0, 0.0), IqSymbol::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "block length")]
+    fn zero_block_rejected() {
+        RayleighBlockFading::new(0, 0);
+    }
+}

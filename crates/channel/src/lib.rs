@@ -1,0 +1,49 @@
+//! Channel models for the spinal-codes evaluation.
+//!
+//! Everything between the encoder's symbols and the decoder's
+//! observations lives here:
+//!
+//! * [`awgn::AwgnChannel`] — complex AWGN, the §3.2 model behind Figure 2;
+//! * [`bsc::BscChannel`] — the binary symmetric channel of Theorem 2;
+//! * [`bec::BecChannel`] — binary erasures (Raptor/LT territory, used by
+//!   the link-layer simulator);
+//! * [`fading::RayleighBlockFading`] — block fading, the time-varying
+//!   regime that motivates rateless operation (§1);
+//! * [`quantize::AdcQuantizer`] — the receiver's 14-bit ADC (§5);
+//! * [`rng::Rng`] / [`gaussian::GaussianSampler`] — a from-scratch,
+//!   seedable xoshiro256++ generator and Box–Muller normal sampler, so
+//!   every experiment is bit-reproducible from its `u64` seed.
+//!
+//! The [`Channel`] trait (one symbol in, one symbol out) is what the
+//! simulation harness is generic over.
+//!
+//! # Example
+//!
+//! ```
+//! use spinal_channel::{AwgnChannel, Channel};
+//! use spinal_core::IqSymbol;
+//!
+//! let mut ch = AwgnChannel::from_snr_db(20.0, 7);
+//! let y = ch.transmit(IqSymbol::new(1.0, -1.0));
+//! // At 20 dB the perturbation is small.
+//! assert!((y.i - 1.0).abs() < 0.5 && (y.q + 1.0).abs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod awgn;
+pub mod bec;
+pub mod bsc;
+pub mod fading;
+pub mod gaussian;
+pub mod quantize;
+pub mod rng;
+
+pub use awgn::{AwgnChannel, Channel};
+pub use bec::BecChannel;
+pub use bsc::BscChannel;
+pub use fading::{apply, equalize, Gain, RayleighBlockFading};
+pub use gaussian::GaussianSampler;
+pub use quantize::AdcQuantizer;
+pub use rng::Rng;

@@ -1,0 +1,171 @@
+//! ADC quantization.
+//!
+//! §5: "To simulate quantization of an ADC, the receiver quantizes each
+//! dimension to 14 bits." This module implements a uniform mid-rise
+//! quantizer with a configurable bit depth and clipping range; the
+//! Figure 2 harness interposes it between the AWGN channel and the
+//! decoder.
+
+use spinal_core::symbol::IqSymbol;
+
+/// Uniform mid-rise quantizer over `[-range, range]` with `bits` bits per
+/// dimension.
+///
+/// Inputs beyond the range clip to the outermost levels — exactly what a
+/// real ADC front-end does when the AGC headroom runs out.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdcQuantizer {
+    bits: u32,
+    range: f64,
+    step: f64,
+}
+
+impl AdcQuantizer {
+    /// Creates a quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 24` and `range > 0`.
+    pub fn new(bits: u32, range: f64) -> Self {
+        assert!((1..=24).contains(&bits), "ADC bits must be in 1..=24, got {bits}");
+        assert!(range > 0.0, "ADC range must be positive, got {range}");
+        let levels = (1u64 << bits) as f64;
+        Self {
+            bits,
+            range,
+            step: 2.0 * range / levels,
+        }
+    }
+
+    /// The paper's receiver: 14 bits per dimension (§5). `range` should
+    /// cover the constellation peak plus noise headroom; the Figure 2
+    /// harness uses `mapper.peak() + 4σ_dim`.
+    pub fn paper_default(range: f64) -> Self {
+        Self::new(14, range)
+    }
+
+    /// Bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Clipping range (symmetric about zero).
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// The quantization step `Δ = 2·range / 2^bits`.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Quantizes one dimension: clamp to the range, then snap to the
+    /// centre of the containing cell.
+    #[inline]
+    pub fn quantize(&self, x: f64) -> f64 {
+        let levels = 1i64 << self.bits;
+        let idx = ((x + self.range) / self.step).floor() as i64;
+        let idx = idx.clamp(0, levels - 1);
+        -self.range + (idx as f64 + 0.5) * self.step
+    }
+
+    /// Quantizes both dimensions of a symbol.
+    #[inline]
+    pub fn quantize_symbol(&self, s: IqSymbol) -> IqSymbol {
+        IqSymbol::new(self.quantize(s.i), self.quantize(s.q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let q = AdcQuantizer::new(8, 2.0);
+        let half = q.step() / 2.0;
+        for i in -200..=200 {
+            let x = i as f64 / 200.0 * 1.99;
+            let e = (q.quantize(x) - x).abs();
+            assert!(e <= half + 1e-12, "x={x}: error {e} > {half}");
+        }
+    }
+
+    #[test]
+    fn clips_out_of_range() {
+        let q = AdcQuantizer::new(4, 1.0);
+        let top = q.quantize(0.999);
+        assert_eq!(q.quantize(5.0), top);
+        let bottom = q.quantize(-0.999);
+        assert_eq!(q.quantize(-5.0), bottom);
+        assert!(top <= 1.0 && bottom >= -1.0);
+    }
+
+    #[test]
+    fn fourteen_bits_is_fine_grained() {
+        // At 14 bits over ±2, the step is ~0.00024: quantization noise is
+        // negligible next to channel noise at any SNR in Figure 2.
+        let q = AdcQuantizer::paper_default(2.0);
+        assert_eq!(q.bits(), 14);
+        assert!(q.step() < 3e-4);
+    }
+
+    #[test]
+    fn idempotent() {
+        let q = AdcQuantizer::new(6, 1.5);
+        for i in -100..=100 {
+            let x = i as f64 / 40.0;
+            let once = q.quantize(x);
+            assert_eq!(q.quantize(once), once, "x={x}");
+        }
+    }
+
+    #[test]
+    fn symbol_quantizes_both_dims() {
+        let q = AdcQuantizer::new(10, 2.0);
+        let s = q.quantize_symbol(IqSymbol::new(0.123456, -1.98765));
+        assert_eq!(s.i, q.quantize(0.123456));
+        assert_eq!(s.q, q.quantize(-1.98765));
+    }
+
+    #[test]
+    fn one_bit_quantizer_is_sign() {
+        let q = AdcQuantizer::new(1, 1.0);
+        assert_eq!(q.quantize(0.7), 0.5);
+        assert_eq!(q.quantize(-0.2), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn rejects_bad_range() {
+        AdcQuantizer::new(8, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn rejects_bad_bits() {
+        AdcQuantizer::new(25, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone(bits in 1u32..=14, a in -3.0..3.0f64, d in 0.0..1.0f64) {
+            let q = AdcQuantizer::new(bits, 2.0);
+            prop_assert!(q.quantize(a + d) >= q.quantize(a));
+        }
+
+        #[test]
+        fn prop_output_within_range(bits in 1u32..=14, x in -100.0..100.0f64) {
+            let q = AdcQuantizer::new(bits, 2.0);
+            let y = q.quantize(x);
+            prop_assert!(y.abs() <= 2.0);
+        }
+
+        #[test]
+        fn prop_error_bound_in_range(bits in 2u32..=14, x in -1.99..1.99f64) {
+            let q = AdcQuantizer::new(bits, 2.0);
+            prop_assert!((q.quantize(x) - x).abs() <= q.step() / 2.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! High-level facade: one object bundling a complete code configuration.
+//!
+//! [`SpinalCode`] ties together the parameters, hash family, constellation
+//! mapper and puncturing schedule that encoder and decoder must agree on,
+//! so applications construct everything from a single source of truth.
+//! The library layers below ([`crate::encode`], [`crate::decode`]) remain
+//! fully usable on their own.
+
+use crate::bits::BitVec;
+use crate::decode::{
+    AwgnCost, BeamConfig, BeamDecoder, BscCost, MlConfig, MlDecoder, Observations,
+};
+use crate::encode::Encoder;
+use crate::hash::{Lookup3, SpineHash};
+use crate::map::{BinaryMapper, LinearMapper, Mapper};
+use crate::params::{CodeParams, ParamError};
+use crate::puncture::{NoPuncture, PunctureSchedule, StridedPuncture};
+use crate::spine::SpineError;
+use crate::symbol::IqSymbol;
+
+/// A complete spinal-code configuration: parameters + hash + mapper +
+/// puncturing schedule.
+///
+/// # Example — the paper's Figure 2 code
+///
+/// ```
+/// use spinal_core::bits::BitVec;
+/// use spinal_core::code::SpinalCode;
+/// use spinal_core::decode::BeamConfig;
+///
+/// let code = SpinalCode::fig2(24, 0x5eed).unwrap();
+/// let message = BitVec::from_bytes(&[0x01, 0x02, 0x03]);
+/// let enc = code.encoder(&message).unwrap();
+///
+/// // Perfect channel: feed the first full pass back into the decoder.
+/// let mut obs = code.observations();
+/// obs.extend(enc.stream(code.schedule()).take(3));
+///
+/// let dec = code.awgn_beam_decoder(BeamConfig::paper_default());
+/// assert_eq!(dec.decode(&obs).message, message);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpinalCode<H: SpineHash, M: Mapper, P: PunctureSchedule> {
+    params: CodeParams,
+    hash: H,
+    mapper: M,
+    schedule: P,
+}
+
+impl SpinalCode<Lookup3, LinearMapper, StridedPuncture> {
+    /// The configuration evaluated in Figure 2: `k = 8`, `c = 10`,
+    /// lookup3 spine hash, linear (Eq. 3) mapper, stride-8 puncturing.
+    pub fn fig2(message_bits: u32, seed: u64) -> Result<Self, ParamError> {
+        let params = CodeParams::builder()
+            .message_bits(message_bits)
+            .k(8)
+            .seed(seed)
+            .build()?;
+        Ok(Self {
+            params,
+            hash: Lookup3::new(seed),
+            mapper: LinearMapper::new(10),
+            schedule: StridedPuncture::stride8(),
+        })
+    }
+}
+
+impl SpinalCode<Lookup3, BinaryMapper, NoPuncture> {
+    /// A BSC instantiation: binary mapper (one coded bit per spine value
+    /// per pass), no puncturing.
+    pub fn bsc(message_bits: u32, k: u32, seed: u64) -> Result<Self, ParamError> {
+        let params = CodeParams::builder()
+            .message_bits(message_bits)
+            .k(k)
+            .seed(seed)
+            .build()?;
+        Ok(Self {
+            params,
+            hash: Lookup3::new(seed),
+            mapper: BinaryMapper::new(),
+            schedule: NoPuncture::new(),
+        })
+    }
+}
+
+impl<H: SpineHash, M: Mapper, P: PunctureSchedule> SpinalCode<H, M, P> {
+    /// Assembles a custom configuration. The hash must be seeded
+    /// consistently with `params.seed()` by the caller (the constructor
+    /// cannot check this — hash families hide their seed).
+    pub fn new(params: CodeParams, hash: H, mapper: M, schedule: P) -> Self {
+        Self {
+            params,
+            hash,
+            mapper,
+            schedule,
+        }
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> &CodeParams {
+        &self.params
+    }
+
+    /// The spine hash.
+    pub fn hash(&self) -> &H {
+        &self.hash
+    }
+
+    /// The constellation mapper.
+    pub fn mapper(&self) -> &M {
+        &self.mapper
+    }
+
+    /// The puncturing schedule.
+    pub fn schedule(&self) -> &P {
+        &self.schedule
+    }
+
+    /// Builds an encoder for `message`.
+    pub fn encoder(&self, message: &BitVec) -> Result<Encoder<H, M>, SpineError> {
+        Encoder::new(&self.params, self.hash.clone(), self.mapper.clone(), message)
+    }
+
+    /// An empty, correctly sized observation set for this code.
+    pub fn observations(&self) -> Observations<M::Symbol> {
+        Observations::new(self.params.n_segments())
+    }
+}
+
+impl<H: SpineHash, M: Mapper<Symbol = IqSymbol>, P: PunctureSchedule> SpinalCode<H, M, P> {
+    /// A beam decoder with the AWGN (ℓ²) metric.
+    pub fn awgn_beam_decoder(&self, config: BeamConfig) -> BeamDecoder<H, M, AwgnCost> {
+        BeamDecoder::new(
+            &self.params,
+            self.hash.clone(),
+            self.mapper.clone(),
+            AwgnCost,
+            config,
+        )
+    }
+
+    /// An exact ML decoder with the AWGN (ℓ²) metric (small messages).
+    pub fn awgn_ml_decoder(&self, config: MlConfig) -> MlDecoder<H, M, AwgnCost> {
+        MlDecoder::new(
+            &self.params,
+            self.hash.clone(),
+            self.mapper.clone(),
+            AwgnCost,
+            config,
+        )
+    }
+}
+
+impl<H: SpineHash, M: Mapper<Symbol = u8>, P: PunctureSchedule> SpinalCode<H, M, P> {
+    /// A beam decoder with the BSC (Hamming) metric.
+    pub fn bsc_beam_decoder(&self, config: BeamConfig) -> BeamDecoder<H, M, BscCost> {
+        BeamDecoder::new(
+            &self.params,
+            self.hash.clone(),
+            self.mapper.clone(),
+            BscCost,
+            config,
+        )
+    }
+
+    /// An exact ML decoder with the BSC (Hamming) metric (small
+    /// messages).
+    pub fn bsc_ml_decoder(&self, config: MlConfig) -> MlDecoder<H, M, BscCost> {
+        MlDecoder::new(
+            &self.params,
+            self.hash.clone(),
+            self.mapper.clone(),
+            BscCost,
+            config,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Slot;
+
+    #[test]
+    fn fig2_roundtrip_via_facade() {
+        let code = SpinalCode::fig2(24, 77).unwrap();
+        let msg = BitVec::from_bytes(&[0xab, 0xcd, 0xef]);
+        let enc = code.encoder(&msg).unwrap();
+        let mut obs = code.observations();
+        obs.extend(enc.stream(code.schedule()).take(6)); // two "passes" worth
+        let dec = code.awgn_beam_decoder(BeamConfig::paper_default());
+        assert_eq!(dec.decode(&obs).message, msg);
+    }
+
+    #[test]
+    fn bsc_roundtrip_via_facade() {
+        let code = SpinalCode::bsc(16, 4, 3).unwrap();
+        let msg = BitVec::from_bytes(&[0x5c, 0xc5]);
+        let enc = code.encoder(&msg).unwrap();
+        let mut obs = code.observations();
+        for pass in 0..8u32 {
+            for t in 0..4u32 {
+                obs.push(Slot::new(t, pass), enc.symbol(Slot::new(t, pass)));
+            }
+        }
+        let dec = code.bsc_beam_decoder(BeamConfig::with_beam(8));
+        assert_eq!(dec.decode(&obs).message, msg);
+    }
+
+    #[test]
+    fn ml_decoders_constructible() {
+        let code = SpinalCode::fig2(24, 0).unwrap();
+        let _ = code.awgn_ml_decoder(MlConfig::default());
+        let bsc = SpinalCode::bsc(8, 4, 0).unwrap();
+        let _ = bsc.bsc_ml_decoder(MlConfig::default());
+    }
+
+    #[test]
+    fn fig2_rejects_bad_length() {
+        assert!(SpinalCode::fig2(25, 0).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let code = SpinalCode::fig2(24, 5).unwrap();
+        assert_eq!(code.params().k(), 8);
+        assert_eq!(code.mapper().c(), 10);
+        assert_eq!(code.schedule().stride(), 8);
+        assert_eq!(code.hash().name(), "lookup3");
+        assert_eq!(code.observations().n_levels(), 3);
+    }
+}

@@ -1,0 +1,614 @@
+//! The practical "graceful scale-down" beam decoder (§3.2).
+//!
+//! The ideal ML decoder expands the full decoding tree (2ⁿ leaves); the
+//! practical decoder "maintains no more than B nodes" per level: it
+//! expands each retained node to its `2^k` children, accumulates the
+//! cumulative path cost against every observation at that level, and
+//! keeps the `B` lowest-cost nodes (ties broken arbitrarily). As `B`
+//! grows the achieved rate approaches capacity; complexity is linear in
+//! message length — `O(L · (n/k) · B · 2^k)` cost evaluations.
+//!
+//! Two refinements beyond the paper's two-paragraph sketch, both needed
+//! for the punctured rateless operation its Figure 2 relies on
+//! (DESIGN.md §2.4–2.5):
+//!
+//! * **Unobserved levels.** Under puncturing a decode attempt may find
+//!   *no* observations at some tree level; every child then ties with its
+//!   parent's cost and pruning to `B` would pick arbitrarily (losing the
+//!   true path with probability `≈ 1 − B/2^k` per gap). When
+//!   [`BeamConfig::defer_prune_unobserved`] is set (default), the decoder
+//!   instead carries the whole frontier across such levels — bounded by
+//!   [`BeamConfig::max_frontier`] — and lets the next observed level do
+//!   the pruning. This is what lets rates exceed `k` bits/symbol at high
+//!   SNR.
+//! * **Tail segments.** Levels past the message carry known zero
+//!   segments (§4), so only the zero branch is expanded there.
+
+use crate::bits::BitVec;
+use crate::decode::cost::CostModel;
+use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
+use crate::expand::symbol_bits;
+use crate::hash::SpineHash;
+use crate::map::Mapper;
+use crate::params::CodeParams;
+use crate::spine::INITIAL_SPINE;
+
+/// Resource configuration for the beam decoder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BeamConfig {
+    /// `B`: hypotheses retained per observed tree level. Figure 2 uses 16.
+    pub beam_width: usize,
+    /// Upper bound on the frontier carried across *unobserved* levels
+    /// (and on any single expansion). Bounds memory and work per decode
+    /// attempt; crossing it forces an early prune with arbitrary
+    /// tie-breaking, degrading gracefully rather than failing.
+    pub max_frontier: usize,
+    /// Carry the frontier across unobserved levels instead of pruning to
+    /// `B` blindly (see module docs). Disable to get the paper's literal
+    /// fixed-B algorithm at every level.
+    pub defer_prune_unobserved: bool,
+}
+
+impl BeamConfig {
+    /// The Figure 2 configuration: `B = 16`.
+    pub fn paper_default() -> Self {
+        Self::with_beam(16)
+    }
+
+    /// A configuration with the given beam width and default resource
+    /// caps.
+    pub fn with_beam(beam_width: usize) -> Self {
+        Self {
+            beam_width,
+            max_frontier: 1 << 16,
+            defer_prune_unobserved: true,
+        }
+    }
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The practical spinal decoder: B-beam search over the decoding tree.
+///
+/// # Example
+///
+/// ```
+/// use spinal_core::bits::BitVec;
+/// use spinal_core::decode::{AwgnCost, BeamConfig, BeamDecoder, Observations};
+/// use spinal_core::encode::Encoder;
+/// use spinal_core::hash::Lookup3;
+/// use spinal_core::map::LinearMapper;
+/// use spinal_core::params::CodeParams;
+/// use spinal_core::symbol::Slot;
+///
+/// let params = CodeParams::new(24, 8).unwrap();
+/// let message = BitVec::from_bytes(&[0xca, 0xfe, 0x42]);
+/// let enc = Encoder::new(&params, Lookup3::new(0), LinearMapper::new(10), &message).unwrap();
+///
+/// // Noiseless channel, two full passes.
+/// let mut obs = Observations::new(params.n_segments());
+/// for pass in 0..2 {
+///     for t in 0..3 {
+///         let slot = Slot::new(t, pass);
+///         obs.push(slot, enc.symbol(slot));
+///     }
+/// }
+///
+/// let dec = BeamDecoder::new(&params, Lookup3::new(0), LinearMapper::new(10),
+///                            AwgnCost, BeamConfig::paper_default());
+/// assert_eq!(dec.decode(&obs).message, message);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BeamDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> {
+    params: CodeParams,
+    hash: H,
+    mapper: M,
+    cost: C,
+    config: BeamConfig,
+}
+
+/// A live hypothesis during the level-by-level sweep.
+#[derive(Clone, Copy, Debug)]
+struct BeamNode {
+    /// Spine value at this node's level.
+    spine: u64,
+    /// Cumulative path cost from the root.
+    cost: f64,
+    /// Index of the parent entry in the backtracking arena
+    /// (`u32::MAX` for children of the root).
+    parent: u32,
+    /// The k-bit segment hypothesis on the incoming edge.
+    seg: u16,
+}
+
+impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
+    /// Builds a decoder. `params`, `hash` (same seed!) and `mapper` must
+    /// match the encoder's.
+    pub fn new(params: &CodeParams, hash: H, mapper: M, cost: C, config: BeamConfig) -> Self {
+        assert!(config.beam_width >= 1, "beam width must be at least 1");
+        assert!(
+            config.max_frontier >= config.beam_width,
+            "max_frontier ({}) must be >= beam_width ({})",
+            config.max_frontier,
+            config.beam_width
+        );
+        Self {
+            params: *params,
+            hash,
+            mapper,
+            cost: cost.clone(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BeamConfig {
+        &self.config
+    }
+
+    /// Runs one decode attempt over everything received so far and
+    /// returns the best hypotheses.
+    ///
+    /// The attempt is self-contained (the paper re-decodes from scratch
+    /// each pass); incremental decoding across attempts would be an
+    /// optimisation, not a semantic change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` was created for a different spine length.
+    pub fn decode(&self, obs: &Observations<M::Symbol>) -> DecodeResult {
+        assert_eq!(
+            obs.n_levels(),
+            self.params.n_segments(),
+            "observations sized for {} levels, code has {}",
+            obs.n_levels(),
+            self.params.n_segments()
+        );
+        let n_levels = self.params.n_segments();
+        let msg_segs = self.params.message_segments();
+        let branch = 1usize << self.params.k();
+        let bps = self.mapper.bits_per_symbol();
+
+        // Backtracking arena of retained nodes: (parent index, segment).
+        let mut arena: Vec<(u32, u16)> = Vec::new();
+        let mut beam: Vec<BeamNode> = vec![BeamNode {
+            spine: INITIAL_SPINE,
+            cost: 0.0,
+            parent: u32::MAX,
+            seg: 0,
+        }];
+        // The root is a placeholder: it is not in the arena; its children
+        // use parent = u32::MAX.
+        let mut root_level = true;
+
+        let mut stats = DecodeStats {
+            nodes_expanded: 0,
+            frontier_peak: 1,
+            complete: true,
+        };
+        let mut next: Vec<BeamNode> = Vec::new();
+
+        for t in 0..n_levels {
+            let level_obs = obs.at_level(t);
+            let tail = t >= msg_segs;
+            let level_branch = if tail { 1 } else { branch };
+
+            // Pre-prune so the expansion never exceeds max_frontier.
+            let cap_parents = (self.config.max_frontier / level_branch).max(1);
+            if beam.len() > cap_parents {
+                Self::retain_best(&mut beam, cap_parents);
+            }
+
+            // Commit this level's parents to the arena (children need
+            // stable indices to point at).
+            let parent_base = arena.len() as u32;
+            if !root_level {
+                arena.extend(beam.iter().map(|n| (n.parent, n.seg)));
+            }
+
+            next.clear();
+            next.reserve(beam.len() * level_branch);
+            for (i, node) in beam.iter().enumerate() {
+                let parent_idx = if root_level {
+                    u32::MAX
+                } else {
+                    parent_base + i as u32
+                };
+                for seg in 0..level_branch as u64 {
+                    let child_spine = self.hash.hash(node.spine, seg);
+                    let mut c = node.cost;
+                    for &(pass, observed) in level_obs {
+                        let hyp = self.mapper.map(symbol_bits(&self.hash, child_spine, pass, bps));
+                        c += self.cost.cost(observed, hyp);
+                    }
+                    next.push(BeamNode {
+                        spine: child_spine,
+                        cost: c,
+                        parent: parent_idx,
+                        seg: seg as u16,
+                    });
+                }
+            }
+            stats.nodes_expanded += next.len() as u64;
+            stats.frontier_peak = stats.frontier_peak.max(next.len());
+
+            // Prune: to B at observed levels (or always, if deferral is
+            // off); otherwise only enforce the frontier cap.
+            let keep = if !level_obs.is_empty() || !self.config.defer_prune_unobserved {
+                self.config.beam_width
+            } else {
+                self.config.max_frontier
+            };
+            if next.len() > keep {
+                Self::retain_best(&mut next, keep);
+            }
+            std::mem::swap(&mut beam, &mut next);
+            root_level = false;
+        }
+
+        // Rank the surviving hypotheses.
+        beam.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+        let take = beam.len().min(self.config.beam_width.max(1));
+        let candidates: Vec<Candidate> = beam[..take]
+            .iter()
+            .map(|n| Candidate {
+                message: self.backtrack(&arena, n),
+                cost: n.cost,
+            })
+            .collect();
+        let best = candidates[0].clone();
+        DecodeResult {
+            message: best.message,
+            cost: best.cost,
+            candidates,
+            stats,
+        }
+    }
+
+    /// Keeps the `keep` lowest-cost nodes (arbitrary order, deterministic
+    /// for a given input order — the paper's "breaking ties arbitrarily").
+    fn retain_best(nodes: &mut Vec<BeamNode>, keep: usize) {
+        if nodes.len() > keep {
+            nodes.select_nth_unstable_by(keep - 1, |a, b| {
+                a.cost.partial_cmp(&b.cost).expect("finite costs")
+            });
+            nodes.truncate(keep);
+        }
+    }
+
+    /// Reconstructs the message bits along a leaf's root path.
+    fn backtrack(&self, arena: &[(u32, u16)], leaf: &BeamNode) -> BitVec {
+        let n_levels = self.params.n_segments() as usize;
+        let mut segs = Vec::with_capacity(n_levels);
+        segs.push(leaf.seg);
+        let mut idx = leaf.parent;
+        while idx != u32::MAX {
+            let (parent, seg) = arena[idx as usize];
+            segs.push(seg);
+            idx = parent;
+        }
+        segs.reverse();
+        debug_assert_eq!(segs.len(), n_levels);
+        let k = self.params.k() as usize;
+        let mut bits = BitVec::new();
+        for &seg in segs.iter().take(self.params.message_segments() as usize) {
+            for i in (0..k).rev() {
+                bits.push((seg >> i) & 1 == 1);
+            }
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::cost::{AwgnCost, BscCost};
+    use crate::encode::Encoder;
+    use crate::hash::Lookup3;
+    use crate::map::{BinaryMapper, LinearMapper};
+    use crate::symbol::Slot;
+    use proptest::prelude::*;
+
+    fn params(bits: u32, k: u32, tail: u32) -> CodeParams {
+        CodeParams::builder()
+            .message_bits(bits)
+            .k(k)
+            .tail_segments(tail)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    fn noiseless_obs(
+        enc: &Encoder<Lookup3, LinearMapper>,
+        passes: u32,
+    ) -> Observations<crate::symbol::IqSymbol> {
+        let mut obs = Observations::new(enc.params().n_segments());
+        for pass in 0..passes {
+            for t in 0..enc.params().n_segments() {
+                let slot = Slot::new(t, pass);
+                obs.push(slot, enc.symbol(slot));
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn decodes_noiseless_awgn() {
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[0x13, 0x37, 0xbe]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        );
+        let res = dec.decode(&noiseless_obs(&enc, 1));
+        assert_eq!(res.message, msg);
+        assert_eq!(res.cost, 0.0);
+        assert!(res.stats.complete);
+    }
+
+    #[test]
+    fn decodes_noiseless_bsc() {
+        let p = params(16, 4, 0);
+        let msg = BitVec::from_bytes(&[0xa5, 0x3c]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), BinaryMapper::new(), &msg).unwrap();
+        let mut obs = Observations::new(p.n_segments());
+        for pass in 0..8 {
+            for t in 0..p.n_segments() {
+                let slot = Slot::new(t, pass);
+                obs.push(slot, enc.symbol(slot));
+            }
+        }
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            BinaryMapper::new(),
+            BscCost,
+            BeamConfig::with_beam(4),
+        );
+        let res = dec.decode(&obs);
+        assert_eq!(res.message, msg);
+        assert_eq!(res.cost, 0.0);
+    }
+
+    #[test]
+    fn recovers_from_bsc_bit_flips() {
+        // Flip a few received bits; with enough passes Hamming-ML recovers.
+        let p = params(16, 4, 0);
+        let msg = BitVec::from_bytes(&[0x7e, 0x81]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), BinaryMapper::new(), &msg).unwrap();
+        let mut obs = Observations::new(p.n_segments());
+        let mut flipped = 0;
+        for pass in 0..16 {
+            for t in 0..p.n_segments() {
+                let slot = Slot::new(t, pass);
+                let mut bit = enc.symbol(slot);
+                // Deterministically corrupt every 7th symbol.
+                if (pass * p.n_segments() + t) % 7 == 3 {
+                    bit ^= 1;
+                    flipped += 1;
+                }
+                obs.push(slot, bit);
+            }
+        }
+        assert!(flipped > 0);
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            BinaryMapper::new(),
+            BscCost,
+            BeamConfig::with_beam(16),
+        );
+        let res = dec.decode(&obs);
+        assert_eq!(res.message, msg);
+        assert!(res.cost > 0.0, "corrupted symbols must show up as cost");
+    }
+
+    #[test]
+    fn unobserved_gap_recovered_with_deferral() {
+        // Observe levels 0 and 2 only (the punctured high-SNR situation).
+        // With deferral the decoder carries all 2^k continuations across
+        // level 1 and the level-2 observation disambiguates.
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[0x42, 0x99, 0x17]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let mut obs = Observations::new(3);
+        for &t in &[0u32, 2] {
+            for pass in 0..2 {
+                let slot = Slot::new(t, pass);
+                obs.push(slot, enc.symbol(slot));
+            }
+        }
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        );
+        let res = dec.decode(&obs);
+        assert_eq!(res.message, msg, "deferral must bridge the gap");
+
+        // Without deferral the beam prunes blindly at level 1 and almost
+        // surely loses the true path (16 of 256 survive).
+        let literal = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig {
+                defer_prune_unobserved: false,
+                ..BeamConfig::paper_default()
+            },
+        );
+        let res2 = literal.decode(&obs);
+        // (Not asserting failure — it is probabilistic — but the work
+        // done must be strictly smaller without deferral.)
+        assert!(res2.stats.frontier_peak <= res.stats.frontier_peak);
+    }
+
+    #[test]
+    fn tail_segments_only_expand_zero_branch() {
+        let p = params(16, 8, 2);
+        let msg = BitVec::from_bytes(&[0xaa, 0x55]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(8), &msg).unwrap();
+        let mut obs = Observations::new(p.n_segments());
+        for t in 0..p.n_segments() {
+            let slot = Slot::new(t, 0);
+            obs.push(slot, enc.symbol(slot));
+        }
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(8),
+            AwgnCost,
+            BeamConfig::with_beam(4),
+        );
+        let res = dec.decode(&obs);
+        assert_eq!(res.message, msg);
+        assert_eq!(res.message.len(), 16, "tail bits are stripped");
+        // Work bound: levels 0,1 expand 4·256; tail levels expand ≤ 4·1.
+        assert!(res.stats.nodes_expanded <= 2 * 4 * 256 + 2 * 4 + 256);
+    }
+
+    #[test]
+    fn beam_one_is_greedy_and_cheap() {
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[1, 2, 3]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::with_beam(1),
+        );
+        let res = dec.decode(&noiseless_obs(&enc, 1));
+        // Noiseless: even B = 1 follows the zero-cost path.
+        assert_eq!(res.message, msg);
+        // Exactly 2^8 children per level, 3 levels.
+        assert_eq!(res.stats.nodes_expanded, 3 * 256);
+        assert_eq!(res.candidates.len(), 1);
+    }
+
+    #[test]
+    fn candidates_sorted_and_bounded() {
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[0xf0, 0x0f, 0x3c]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::with_beam(8),
+        );
+        let res = dec.decode(&noiseless_obs(&enc, 2));
+        assert!(res.candidates.len() <= 8);
+        for w in res.candidates.windows(2) {
+            assert!(w[0].cost <= w[1].cost, "candidates must be sorted");
+        }
+        assert_eq!(res.candidates[0].message, res.message);
+    }
+
+    #[test]
+    fn empty_observations_return_some_message() {
+        let p = params(24, 8, 0);
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::with_beam(2),
+        );
+        let res = dec.decode(&Observations::new(3));
+        assert_eq!(res.message.len(), 24);
+        assert_eq!(res.cost, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "observations sized for")]
+    fn level_count_mismatch_panics() {
+        let p = params(24, 8, 0);
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::default(),
+        );
+        dec.decode(&Observations::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_frontier")]
+    fn invalid_config_rejected() {
+        let p = params(24, 8, 0);
+        BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig {
+                beam_width: 64,
+                max_frontier: 8,
+                defer_prune_unobserved: true,
+            },
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Round-trip invariant: any message, noiseless channel, one full
+        /// pass, paper-default beam — decoding must recover the message.
+        #[test]
+        fn prop_noiseless_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 3),
+                                    seed in any::<u64>()) {
+            let p = CodeParams::builder().message_bits(24).k(8).seed(seed).build().unwrap();
+            let msg = BitVec::from_bytes(&bytes);
+            let enc = Encoder::new(&p, Lookup3::new(seed), LinearMapper::new(10), &msg).unwrap();
+            let mut obs = Observations::new(3);
+            for t in 0..3 {
+                let slot = Slot::new(t, 0);
+                obs.push(slot, enc.symbol(slot));
+            }
+            let dec = BeamDecoder::new(&p, Lookup3::new(seed), LinearMapper::new(10),
+                                       AwgnCost, BeamConfig::paper_default());
+            let res = dec.decode(&obs);
+            prop_assert_eq!(res.message, msg);
+            prop_assert_eq!(res.cost, 0.0);
+        }
+
+        /// Work scales linearly with message length (the scale-down
+        /// property): nodes expanded = levels · B_effective · 2^k exactly
+        /// when every level is observed.
+        #[test]
+        fn prop_linear_work(segs in 2u32..10) {
+            let p = CodeParams::builder().message_bits(4 * segs).k(4).seed(9).build().unwrap();
+            let msg = BitVec::zeros((4 * segs) as usize);
+            let enc = Encoder::new(&p, Lookup3::new(9), LinearMapper::new(6), &msg).unwrap();
+            let mut obs = Observations::new(segs);
+            for t in 0..segs {
+                obs.push(Slot::new(t, 0), enc.symbol(Slot::new(t, 0)));
+            }
+            let b = 4usize;
+            let dec = BeamDecoder::new(&p, Lookup3::new(9), LinearMapper::new(6),
+                                       AwgnCost, BeamConfig::with_beam(b));
+            let res = dec.decode(&obs);
+            // Level 0 expands 1·16, later levels ≤ B·16.
+            let bound = 16 + (segs as u64 - 1) * (b as u64) * 16;
+            prop_assert!(res.stats.nodes_expanded <= bound);
+            prop_assert_eq!(res.message.len(), (4 * segs) as usize);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The spinal encoder: message → rateless symbol stream.
+//!
+//! Encoding is two cheap steps (§3.1, Figure 1): compute the spine (one
+//! hash per `k` message bits — linear in the message size), then, per
+//! pass, expand each spine value's bit string and map successive `2c`-bit
+//! windows to constellation points. The encoder is *random access*: any
+//! `(position, pass)` symbol can be produced in O(1) hashes, which both
+//! the puncturing schedules and the decoder's replay rely on.
+
+use crate::bits::BitVec;
+use crate::expand::symbol_bits;
+use crate::hash::SpineHash;
+use crate::map::Mapper;
+use crate::params::CodeParams;
+use crate::puncture::PunctureSchedule;
+use crate::spine::{compute_spine, SpineError};
+use crate::symbol::Slot;
+
+/// A spinal encoder bound to one message.
+///
+/// # Example
+///
+/// ```
+/// use spinal_core::bits::BitVec;
+/// use spinal_core::encode::Encoder;
+/// use spinal_core::hash::Lookup3;
+/// use spinal_core::map::LinearMapper;
+/// use spinal_core::params::CodeParams;
+/// use spinal_core::puncture::NoPuncture;
+///
+/// let params = CodeParams::new(24, 8).unwrap();
+/// let enc = Encoder::new(
+///     &params,
+///     Lookup3::new(params.seed()),
+///     LinearMapper::new(10),
+///     &BitVec::from_bytes(&[0xca, 0xfe, 0x42]),
+/// )
+/// .unwrap();
+///
+/// // One full pass is n/k = 3 symbols; the stream never ends.
+/// assert_eq!(enc.pass(0).len(), 3);
+/// let first_nine: Vec<_> = enc.stream(&NoPuncture::new()).take(9).collect();
+/// assert_eq!(first_nine.len(), 9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Encoder<H: SpineHash, M: Mapper> {
+    params: CodeParams,
+    hash: H,
+    mapper: M,
+    spine: Vec<u64>,
+}
+
+impl<H: SpineHash, M: Mapper> Encoder<H, M> {
+    /// Builds the encoder for `message`, computing its spine.
+    pub fn new(
+        params: &CodeParams,
+        hash: H,
+        mapper: M,
+        message: &BitVec,
+    ) -> Result<Self, SpineError> {
+        let spine = compute_spine(params, &hash, message)?;
+        Ok(Self {
+            params: *params,
+            hash,
+            mapper,
+            spine,
+        })
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> &CodeParams {
+        &self.params
+    }
+
+    /// The mapper in use.
+    pub fn mapper(&self) -> &M {
+        &self.mapper
+    }
+
+    /// The computed spine values, `spine()[t]` being the paper's `s_{t+1}`.
+    pub fn spine(&self) -> &[u64] {
+        &self.spine
+    }
+
+    /// The symbol transmitted in `slot` — random access into the
+    /// conceptually infinite stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot.t` is outside the spine.
+    #[inline]
+    pub fn symbol(&self, slot: Slot) -> M::Symbol {
+        let spine = self.spine[slot.t as usize];
+        let bits = symbol_bits(&self.hash, spine, slot.pass, self.mapper.bits_per_symbol());
+        self.mapper.map(bits)
+    }
+
+    /// All `n_segments` symbols of one pass, in position order
+    /// (unpunctured pass layout).
+    pub fn pass(&self, pass: u32) -> Vec<M::Symbol> {
+        (0..self.params.n_segments())
+            .map(|t| self.symbol(Slot::new(t, pass)))
+            .collect()
+    }
+
+    /// The `(slot, symbol)` pairs of global sub-pass `g` under `schedule`.
+    pub fn subpass<P: PunctureSchedule>(
+        &self,
+        schedule: &P,
+        g: u32,
+    ) -> Vec<(Slot, M::Symbol)> {
+        schedule
+            .subpass_slots(self.params.n_segments(), g)
+            .into_iter()
+            .map(|slot| (slot, self.symbol(slot)))
+            .collect()
+    }
+
+    /// The rateless symbol stream under `schedule`: an unbounded iterator
+    /// of `(slot, symbol)` in transmission order. "The encoder can
+    /// produce as many symbols as necessary" (§3) — callers `take` what
+    /// the channel carries.
+    pub fn stream<'a, P: PunctureSchedule>(
+        &'a self,
+        schedule: &'a P,
+    ) -> impl Iterator<Item = (Slot, M::Symbol)> + 'a {
+        let n_spine = self.params.n_segments();
+        (0u32..).flat_map(move |g| {
+            schedule
+                .subpass_slots(n_spine, g)
+                .into_iter()
+                .map(move |slot| (slot, self.symbol(slot)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{Lookup3, SplitMix};
+    use crate::map::{BinaryMapper, LinearMapper, Mapper};
+    use crate::puncture::{NoPuncture, StridedPuncture};
+    use proptest::prelude::*;
+
+    fn fig2_encoder(msg: &[u8]) -> Encoder<Lookup3, LinearMapper> {
+        let params = CodeParams::new(24, 8).unwrap();
+        Encoder::new(
+            &params,
+            Lookup3::new(params.seed()),
+            LinearMapper::new(10),
+            &BitVec::from_bytes(msg),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn symbol_matches_expand_plus_map() {
+        let enc = fig2_encoder(&[1, 2, 3]);
+        let h = Lookup3::new(0);
+        let m = LinearMapper::new(10);
+        for t in 0..3u32 {
+            for pass in 0..5u32 {
+                let bits = symbol_bits(&h, enc.spine()[t as usize], pass, 20);
+                assert_eq!(enc.symbol(Slot::new(t, pass)), m.map(bits));
+            }
+        }
+    }
+
+    #[test]
+    fn pass_is_position_ordered() {
+        let enc = fig2_encoder(&[9, 9, 9]);
+        let p0 = enc.pass(0);
+        assert_eq!(p0.len(), 3);
+        for (t, &sym) in p0.iter().enumerate() {
+            assert_eq!(sym, enc.symbol(Slot::new(t as u32, 0)));
+        }
+    }
+
+    #[test]
+    fn different_passes_differ() {
+        // Different passes consume different expansion windows, so (with
+        // overwhelming probability) produce different symbols.
+        let enc = fig2_encoder(&[0xde, 0xad, 0x00]);
+        assert_ne!(enc.pass(0), enc.pass(1));
+        assert_ne!(enc.pass(1), enc.pass(2));
+    }
+
+    #[test]
+    fn stream_unpunctured_is_row_major() {
+        let enc = fig2_encoder(&[7, 8, 9]);
+        let got: Vec<Slot> = enc
+            .stream(&NoPuncture::new())
+            .take(7)
+            .map(|(s, _)| s)
+            .collect();
+        let want = vec![
+            Slot::new(0, 0),
+            Slot::new(1, 0),
+            Slot::new(2, 0),
+            Slot::new(0, 1),
+            Slot::new(1, 1),
+            Slot::new(2, 1),
+            Slot::new(0, 2),
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stream_strided_skips_empty_subpasses() {
+        // n_spine = 3, stride 8: transmission order within a pass is
+        // t = 0 (residue 0), t = 2 (residue 2), t = 1 (residue 1).
+        let enc = fig2_encoder(&[7, 8, 9]);
+        let sched = StridedPuncture::stride8();
+        let got: Vec<Slot> = enc.stream(&sched).take(4).map(|(s, _)| s).collect();
+        let want = vec![
+            Slot::new(0, 0),
+            Slot::new(2, 0),
+            Slot::new(1, 0),
+            Slot::new(0, 1),
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stream_symbols_match_random_access() {
+        let enc = fig2_encoder(&[0xaa, 0xbb, 0xcc]);
+        let sched = StridedPuncture::new(4);
+        for (slot, sym) in enc.stream(&sched).take(20) {
+            assert_eq!(sym, enc.symbol(slot));
+        }
+    }
+
+    #[test]
+    fn binary_encoder_emits_bits() {
+        let params = CodeParams::new(16, 4).unwrap();
+        let enc = Encoder::new(
+            &params,
+            SplitMix::new(5),
+            BinaryMapper::new(),
+            &BitVec::from_bytes(&[0x5a, 0xa5]),
+        )
+        .unwrap();
+        let pass = enc.pass(0);
+        assert_eq!(pass.len(), 4);
+        assert!(pass.iter().all(|&b| b <= 1));
+        // Successive passes walk successive expansion bits, so across many
+        // passes the bit stream must not be constant.
+        let bits: Vec<u8> = (0..32).map(|p| enc.symbol(Slot::new(0, p))).collect();
+        assert!(bits.iter().any(|&b| b == 0) && bits.iter().any(|&b| b == 1));
+    }
+
+    #[test]
+    fn tail_segments_produce_symbols_too() {
+        let params = CodeParams::builder()
+            .message_bits(16)
+            .k(8)
+            .tail_segments(2)
+            .build()
+            .unwrap();
+        let enc = Encoder::new(
+            &params,
+            Lookup3::new(0),
+            LinearMapper::new(6),
+            &BitVec::from_bytes(&[1, 2]),
+        )
+        .unwrap();
+        assert_eq!(enc.pass(0).len(), 4); // 2 message + 2 tail segments
+    }
+
+    #[test]
+    fn wrong_message_length_propagates() {
+        let params = CodeParams::new(24, 8).unwrap();
+        let err = Encoder::new(
+            &params,
+            Lookup3::new(0),
+            LinearMapper::new(10),
+            &BitVec::from_bytes(&[1]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpineError::MessageLength { expected: 24, got: 8 }));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_same_message_same_stream(bytes in proptest::collection::vec(any::<u8>(), 3),
+                                         seed in any::<u64>()) {
+            let params = CodeParams::builder().message_bits(24).k(8).seed(seed).build().unwrap();
+            let mk = || Encoder::new(
+                &params, Lookup3::new(seed), LinearMapper::new(10),
+                &BitVec::from_bytes(&bytes)).unwrap();
+            let (a, b) = (mk(), mk());
+            let sa: Vec<_> = a.stream(&NoPuncture::new()).take(12).collect();
+            let sb: Vec<_> = b.stream(&NoPuncture::new()).take(12).collect();
+            prop_assert_eq!(sa, sb);
+        }
+
+        #[test]
+        fn prop_symbol_energy_bounded(bytes in proptest::collection::vec(any::<u8>(), 3),
+                                      pass in 0u32..16) {
+            let enc = fig2_encoder(&bytes);
+            let peak = enc.mapper().peak();
+            for t in 0..3u32 {
+                let s = enc.symbol(Slot::new(t, pass));
+                prop_assert!(s.energy() <= 2.0 * peak * peak + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_messages_differing_in_last_segment_share_prefix_symbols(
+            a in any::<u8>(), b in any::<u8>(), c1 in any::<u8>(), c2 in any::<u8>()) {
+            prop_assume!(c1 != c2);
+            let e1 = fig2_encoder(&[a, b, c1]);
+            let e2 = fig2_encoder(&[a, b, c2]);
+            for pass in 0..3u32 {
+                // Positions 0 and 1 depend only on the first two segments.
+                prop_assert_eq!(e1.symbol(Slot::new(0, pass)), e2.symbol(Slot::new(0, pass)));
+                prop_assert_eq!(e1.symbol(Slot::new(1, pass)), e2.symbol(Slot::new(1, pass)));
+            }
+        }
+    }
+}

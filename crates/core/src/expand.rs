@@ -1,0 +1,164 @@
+//! Symbol-bit expansion: an unbounded pseudo-random bit string per spine
+//! value.
+//!
+//! Conceptually each spine value is an infinite-precision real
+//! `0.b1 b2 b3 …` and pass ℓ consumes bits `b_{2c(ℓ-1)+1} … b_{2cℓ}`
+//! (§3.1, step 2). The paper notes this is unproblematic in practice
+//! because "there are many ways to produce as many output bits as needed
+//! … e.g., using repeated hashing with different known salts". That is
+//! exactly what this module does: the bit string of spine value `s` is
+//!
+//! ```text
+//! bits(s) = H(s, SALT+0) ‖ H(s, SALT+1) ‖ H(s, SALT+2) ‖ …
+//! ```
+//!
+//! where `H` is the same hash family used for the spine and `SALT` is a
+//! constant far outside the `k ≤ 16`-bit segment space, so expansion
+//! inputs can never collide with spine-step inputs. Each 64-bit output
+//! word contributes its bits MSB-first. The stream is *random access*:
+//! the decoder replays arbitrary `(pass, position)` symbols when the
+//! transmission is punctured.
+
+use crate::hash::SpineHash;
+
+/// Salt base for expansion blocks. Any value with bits above the maximum
+/// segment width works; this one spells "spinal-x" in ASCII to make hex
+/// dumps self-describing.
+pub const EXPAND_SALT: u64 = 0x7370_696e_616c_2d78;
+
+/// Reads `count ≤ 64` expansion bits of spine value `spine`, starting at
+/// bit offset `start`, MSB-first within each 64-bit block.
+///
+/// Bit `i` of the stream is bit `63 - (i % 64)` of block `i / 64`, where
+/// block `j` is `hash.hash(spine, EXPAND_SALT + j)`.
+pub fn expand_bits<H: SpineHash>(hash: &H, spine: u64, start: u64, count: u32) -> u64 {
+    debug_assert!(count <= 64, "expand_bits reads at most 64 bits");
+    if count == 0 {
+        return 0;
+    }
+    let first_block = start / 64;
+    let offset = (start % 64) as u32;
+    let block0 = hash.hash(spine, EXPAND_SALT + first_block);
+    if offset + count <= 64 {
+        // Single block: shift the window down.
+        let shifted = block0 << offset;
+        shifted >> (64 - count)
+    } else {
+        // Straddles two blocks.
+        let bits_from_first = 64 - offset;
+        let bits_from_second = count - bits_from_first;
+        let block1 = hash.hash(spine, EXPAND_SALT + first_block + 1);
+        let hi = (block0 << offset) >> (64 - bits_from_first);
+        let lo = block1 >> (64 - bits_from_second);
+        (hi << bits_from_second) | lo
+    }
+}
+
+/// The `2c`-bit symbol-bit group for `pass` (0-based) of spine value
+/// `spine`: stream bits `[2c·pass, 2c·(pass+1))`.
+pub fn symbol_bits<H: SpineHash>(hash: &H, spine: u64, pass: u32, bits_per_symbol: u32) -> u64 {
+    expand_bits(
+        hash,
+        spine,
+        u64::from(pass) * u64::from(bits_per_symbol),
+        bits_per_symbol,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{Lookup3, SplitMix};
+    use proptest::prelude::*;
+
+    #[test]
+    fn sequential_reads_are_consistent_with_block_reads() {
+        let h = Lookup3::new(9);
+        let spine = 0xabcdef;
+        // Read 128 bits one at a time and compare with two block reads.
+        let mut bits = Vec::new();
+        for i in 0..128 {
+            bits.push(expand_bits(&h, spine, i, 1) & 1);
+        }
+        let w0 = expand_bits(&h, spine, 0, 64);
+        let w1 = expand_bits(&h, spine, 64, 64);
+        for i in 0..64 {
+            assert_eq!(bits[i] & 1, (w0 >> (63 - i)) & 1, "bit {i}");
+            assert_eq!(bits[64 + i] & 1, (w1 >> (63 - i)) & 1, "bit {}", 64 + i);
+        }
+    }
+
+    #[test]
+    fn straddling_read_matches_concatenation() {
+        let h = Lookup3::new(1);
+        let spine = 42;
+        // 20-bit read starting at bit 54 straddles blocks 0 and 1.
+        let r = expand_bits(&h, spine, 54, 20);
+        let hi = expand_bits(&h, spine, 54, 10);
+        let lo = expand_bits(&h, spine, 64, 10);
+        assert_eq!(r, (hi << 10) | lo);
+    }
+
+    #[test]
+    fn symbol_bits_walks_the_stream() {
+        let h = SplitMix::new(77);
+        let spine = 1234;
+        let c2 = 20; // 2c for c = 10
+        for pass in 0..10u32 {
+            assert_eq!(
+                symbol_bits(&h, spine, pass, c2),
+                expand_bits(&h, spine, u64::from(pass) * u64::from(c2), c2)
+            );
+        }
+    }
+
+    #[test]
+    fn different_spines_differ() {
+        let h = Lookup3::new(5);
+        assert_ne!(
+            expand_bits(&h, 1, 0, 64),
+            expand_bits(&h, 2, 0, 64)
+        );
+    }
+
+    #[test]
+    fn zero_count_reads_zero() {
+        let h = Lookup3::new(5);
+        assert_eq!(expand_bits(&h, 7, 13, 0), 0);
+    }
+
+    #[test]
+    fn expansion_bits_look_balanced() {
+        // Pooled over many spine values, the expansion stream should be
+        // about half ones (a gross-bias smoke test).
+        let h = Lookup3::new(2024);
+        let mut ones = 0u32;
+        const SPINES: u64 = 512;
+        for spine in 0..SPINES {
+            ones += expand_bits(&h, spine, 0, 64).count_ones();
+        }
+        let frac = f64::from(ones) / (SPINES as f64 * 64.0);
+        assert!((0.47..0.53).contains(&frac), "ones fraction {frac}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reads_fit_in_count(spine in any::<u64>(), start in 0u64..4096, count in 1u32..=64) {
+            let h = Lookup3::new(3);
+            let v = expand_bits(&h, spine, start, count);
+            if count < 64 {
+                prop_assert!(v < (1u64 << count));
+            }
+        }
+
+        #[test]
+        fn prop_split_reads_concatenate(spine in any::<u64>(), start in 0u64..1024,
+                                        a in 1u32..32, b in 1u32..32) {
+            let h = SplitMix::new(8);
+            let whole = expand_bits(&h, spine, start, a + b);
+            let hi = expand_bits(&h, spine, start, a);
+            let lo = expand_bits(&h, spine, start + u64::from(a), b);
+            prop_assert_eq!(whole, (hi << b) | lo);
+        }
+    }
+}

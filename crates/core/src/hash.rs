@@ -1,0 +1,478 @@
+//! Hash-function families for spine generation.
+//!
+//! The paper defines the spinal code in terms of a random hash function
+//! `h : [0,1) × {0,1}^k → [0,1)` chosen from a family `H`, with uniformity
+//! and pairwise-independence assumptions (§3.1, Eqs. 1–2). A real
+//! implementation replaces the infinite-precision real state with a
+//! fixed-width integer; we use a 64-bit spine state (see DESIGN.md §2.1).
+//!
+//! Four families are provided, all implemented from scratch:
+//!
+//! * [`Lookup3`] — Bob Jenkins' lookup3 word hash; the authors' follow-up
+//!   implementation (SIGCOMM 2012) used this family. **Default.**
+//! * [`OneAtATime`] — Jenkins one-at-a-time, a classic byte-serial hash.
+//! * [`SipHash24`] — SipHash-2-4 keyed hash, the strongest mixer here.
+//! * [`SplitMix`] — the splitmix64 finalizer, the cheapest mixer here.
+//!
+//! All families are *seeded*: encoder and decoder must construct the hash
+//! with the same seed (the paper's "random seed … the encoder and decoder
+//! both know h"). The `ablation_hash` bench target shows the achieved rate
+//! is insensitive to the family choice, as the paper's analysis predicts.
+
+/// A seeded hash family mapping `(spine state, k-bit segment)` to the next
+/// spine state.
+///
+/// Implementations must be pure functions of `(seed, state, segment)`:
+/// the decoder replays the encoder (§3.2) and any hidden state would
+/// desynchronize the two. The `segment` argument carries the k message
+/// bits in its low bits; `k ≤ 16` everywhere in this crate so the upper
+/// bits are zero.
+pub trait SpineHash: Clone + Send + Sync + std::fmt::Debug {
+    /// Hashes one spine step: `s_t = h(s_{t-1}, M_t)`.
+    fn hash(&self, state: u64, segment: u64) -> u64;
+
+    /// A short, stable name used in experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+#[inline(always)]
+fn rot32(x: u32, k: u32) -> u32 {
+    x.rotate_left(k)
+}
+
+/// Bob Jenkins' lookup3 mixing step.
+#[inline(always)]
+fn lookup3_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rot32(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot32(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot32(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rot32(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot32(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot32(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+/// Bob Jenkins' lookup3 final step.
+#[inline(always)]
+fn lookup3_final(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *c ^= *b;
+    *c = c.wrapping_sub(rot32(*b, 14));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot32(*c, 11));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot32(*a, 25));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot32(*b, 16));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot32(*c, 4));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot32(*a, 14));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot32(*b, 24));
+}
+
+/// Jenkins lookup3 over the four 32-bit words of `(state, segment)`,
+/// keyed by `seed`. This is the hash family used by the authors' own
+/// spinal-codes implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lookup3 {
+    seed: u64,
+}
+
+impl Lookup3 {
+    /// Creates the family member identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl SpineHash for Lookup3 {
+    fn hash(&self, state: u64, segment: u64) -> u64 {
+        // hashword-style: 4 input words, initialised with the seed split
+        // across *pc/*pb as in Jenkins' hashword2().
+        let words = [
+            state as u32,
+            (state >> 32) as u32,
+            segment as u32,
+            (segment >> 32) as u32,
+        ];
+        let mut a = 0xdeadbeefu32
+            .wrapping_add(4 << 2)
+            .wrapping_add(self.seed as u32);
+        let mut b = a;
+        let mut c = a.wrapping_add((self.seed >> 32) as u32);
+        a = a.wrapping_add(words[0]);
+        b = b.wrapping_add(words[1]);
+        c = c.wrapping_add(words[2]);
+        lookup3_mix(&mut a, &mut b, &mut c);
+        a = a.wrapping_add(words[3]);
+        lookup3_final(&mut a, &mut b, &mut c);
+        (u64::from(b) << 32) | u64::from(c)
+    }
+
+    fn name(&self) -> &'static str {
+        "lookup3"
+    }
+}
+
+/// Jenkins one-at-a-time hash over the 16 little-endian bytes of
+/// `(state, segment)`, run twice with different seed-derived initial
+/// values to produce 64 output bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OneAtATime {
+    seed: u64,
+}
+
+impl OneAtATime {
+    /// Creates the family member identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    fn oaat(init: u32, state: u64, segment: u64) -> u32 {
+        let mut h = init;
+        for chunk in [state, segment] {
+            for i in 0..8 {
+                h = h.wrapping_add(u32::from((chunk >> (8 * i)) as u8));
+                h = h.wrapping_add(h << 10);
+                h ^= h >> 6;
+            }
+        }
+        h = h.wrapping_add(h << 3);
+        h ^= h >> 11;
+        h = h.wrapping_add(h << 15);
+        h
+    }
+}
+
+impl SpineHash for OneAtATime {
+    fn hash(&self, state: u64, segment: u64) -> u64 {
+        let lo = Self::oaat(self.seed as u32, state, segment);
+        let hi = Self::oaat(
+            (self.seed >> 32) as u32 ^ 0x9e37_79b9,
+            state,
+            segment,
+        );
+        (u64::from(hi) << 32) | u64::from(lo)
+    }
+
+    fn name(&self) -> &'static str {
+        "one-at-a-time"
+    }
+}
+
+/// SipHash-2-4 with key `(seed, seed ⊕ ODD_CONST)` over the 16 bytes of
+/// `(state, segment)`; a cryptographic-strength mixer for the spine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SipHash24 {
+    k0: u64,
+    k1: u64,
+}
+
+impl SipHash24 {
+    /// Creates the family member identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            k0: seed,
+            k1: seed ^ 0x5851_f42d_4c95_7f2d,
+        }
+    }
+
+    #[inline(always)]
+    fn sipround(v: &mut [u64; 4]) {
+        v[0] = v[0].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(13);
+        v[1] ^= v[0];
+        v[0] = v[0].rotate_left(32);
+        v[2] = v[2].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(16);
+        v[3] ^= v[2];
+        v[0] = v[0].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(21);
+        v[3] ^= v[0];
+        v[2] = v[2].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(17);
+        v[1] ^= v[2];
+        v[2] = v[2].rotate_left(32);
+    }
+}
+
+impl SpineHash for SipHash24 {
+    fn hash(&self, state: u64, segment: u64) -> u64 {
+        let mut v = [
+            self.k0 ^ 0x736f_6d65_7073_6575,
+            self.k1 ^ 0x646f_7261_6e64_6f6d,
+            self.k0 ^ 0x6c79_6765_6e65_7261,
+            self.k1 ^ 0x7465_6462_7974_6573,
+        ];
+        // Two 8-byte message blocks: state, then segment.
+        for m in [state, segment] {
+            v[3] ^= m;
+            Self::sipround(&mut v);
+            Self::sipround(&mut v);
+            v[0] ^= m;
+        }
+        // Length block: 16 bytes total -> (16 % 256) << 56.
+        let b = 16u64 << 56;
+        v[3] ^= b;
+        Self::sipround(&mut v);
+        Self::sipround(&mut v);
+        v[0] ^= b;
+        // Finalisation.
+        v[2] ^= 0xff;
+        for _ in 0..4 {
+            Self::sipround(&mut v);
+        }
+        v[0] ^ v[1] ^ v[2] ^ v[3]
+    }
+
+    fn name(&self) -> &'static str {
+        "siphash-2-4"
+    }
+}
+
+/// The splitmix64 finalizer applied to `state ⊕ mix(segment ⊕ seed)` —
+/// the cheapest family here, two multiply-xorshift rounds per spine step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix {
+    seed: u64,
+}
+
+impl SplitMix {
+    /// Creates the family member identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// David Stafford's "Mix13" variant of the splitmix64 finalizer.
+    #[inline(always)]
+    pub fn mix64(mut z: u64) -> u64 {
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z
+    }
+}
+
+impl SpineHash for SplitMix {
+    fn hash(&self, state: u64, segment: u64) -> u64 {
+        let seg = Self::mix64(
+            segment
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_mul(self.seed | 1),
+        );
+        Self::mix64(state ^ seg)
+    }
+
+    fn name(&self) -> &'static str {
+        "splitmix"
+    }
+}
+
+/// The hash families available by name, for experiment configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HashFamily {
+    /// [`Lookup3`] (default).
+    Lookup3,
+    /// [`OneAtATime`].
+    OneAtATime,
+    /// [`SipHash24`].
+    SipHash24,
+    /// [`SplitMix`].
+    SplitMix,
+}
+
+/// A family member usable behind a single concrete type, for code that
+/// selects the family at run time (the ablation harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnyHash {
+    /// See [`Lookup3`].
+    Lookup3(Lookup3),
+    /// See [`OneAtATime`].
+    OneAtATime(OneAtATime),
+    /// See [`SipHash24`].
+    SipHash24(SipHash24),
+    /// See [`SplitMix`].
+    SplitMix(SplitMix),
+}
+
+impl AnyHash {
+    /// Instantiates `family` with `seed`.
+    pub fn new(family: HashFamily, seed: u64) -> Self {
+        match family {
+            HashFamily::Lookup3 => AnyHash::Lookup3(Lookup3::new(seed)),
+            HashFamily::OneAtATime => AnyHash::OneAtATime(OneAtATime::new(seed)),
+            HashFamily::SipHash24 => AnyHash::SipHash24(SipHash24::new(seed)),
+            HashFamily::SplitMix => AnyHash::SplitMix(SplitMix::new(seed)),
+        }
+    }
+}
+
+impl SpineHash for AnyHash {
+    fn hash(&self, state: u64, segment: u64) -> u64 {
+        match self {
+            AnyHash::Lookup3(h) => h.hash(state, segment),
+            AnyHash::OneAtATime(h) => h.hash(state, segment),
+            AnyHash::SipHash24(h) => h.hash(state, segment),
+            AnyHash::SplitMix(h) => h.hash(state, segment),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyHash::Lookup3(h) => h.name(),
+            AnyHash::OneAtATime(h) => h.name(),
+            AnyHash::SipHash24(h) => h.name(),
+            AnyHash::SplitMix(h) => h.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn families(seed: u64) -> Vec<AnyHash> {
+        vec![
+            AnyHash::new(HashFamily::Lookup3, seed),
+            AnyHash::new(HashFamily::OneAtATime, seed),
+            AnyHash::new(HashFamily::SipHash24, seed),
+            AnyHash::new(HashFamily::SplitMix, seed),
+        ]
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        for h in families(42) {
+            let h2 = h;
+            assert_eq!(h.hash(1, 2), h2.hash(1, 2), "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        for (a, b) in families(1).into_iter().zip(families(2)) {
+            assert_ne!(a.hash(123, 45), b.hash(123, 45), "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn segment_changes_output() {
+        for h in families(7) {
+            assert_ne!(h.hash(99, 0), h.hash(99, 1), "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn state_changes_output() {
+        for h in families(7) {
+            assert_ne!(h.hash(0, 5), h.hash(1, 5), "{}", h.name());
+        }
+    }
+
+    /// §3.1 assumption (i): outputs should look uniform. A coarse bucket
+    /// chi-square over 64k samples catches gross non-uniformity.
+    #[test]
+    fn output_roughly_uniform() {
+        const BUCKETS: usize = 64;
+        const SAMPLES: usize = 1 << 16;
+        for h in families(0xfeed) {
+            let mut counts = [0usize; BUCKETS];
+            for i in 0..SAMPLES {
+                let out = h.hash(i as u64, (i % 256) as u64);
+                counts[(out >> (64 - 6)) as usize] += 1;
+            }
+            let expect = (SAMPLES / BUCKETS) as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - expect;
+                    d * d / expect
+                })
+                .sum();
+            // 63 degrees of freedom; mean 63, stddev ~11.2. 150 is ~7.7
+            // sigma -- essentially impossible for a decent hash.
+            assert!(chi2 < 150.0, "{} chi2 = {chi2}", h.name());
+        }
+    }
+
+    /// One-bit input changes should flip about half the output bits
+    /// (avalanche); we tolerate a wide band since this is a smoke test.
+    #[test]
+    fn avalanche_on_segment_bit() {
+        for h in families(3) {
+            let mut total = 0u32;
+            const TRIALS: u32 = 1024;
+            for i in 0..TRIALS {
+                let a = h.hash(i as u64, 0b0000);
+                let b = h.hash(i as u64, 0b0001);
+                total += (a ^ b).count_ones();
+            }
+            let mean = f64::from(total) / f64::from(TRIALS);
+            assert!(
+                (20.0..44.0).contains(&mean),
+                "{}: mean flipped bits {mean}",
+                h.name()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn siphash_matches_std_reference() {
+        // Cross-check our from-scratch SipHash-2-4 against the standard
+        // library's (deprecated, but still canonical) SipHasher, which
+        // implements SipHash-2-4 over raw bytes.
+        use std::hash::Hasher;
+        let k0 = 0x0706050403020100u64;
+        let k1 = 0x0f0e0d0c0b0a0908u64;
+        let ours = SipHash24 { k0, k1 };
+        for (m0, m1) in [
+            (0u64, 0u64),
+            (0x0706050403020100, 0x0f0e0d0c0b0a0908),
+            (u64::MAX, 42),
+            (0xdead_beef_dead_beef, 0x0123_4567_89ab_cdef),
+        ] {
+            let mut std_hasher = std::hash::SipHasher::new_with_keys(k0, k1);
+            let mut bytes = [0u8; 16];
+            bytes[..8].copy_from_slice(&m0.to_le_bytes());
+            bytes[8..].copy_from_slice(&m1.to_le_bytes());
+            std_hasher.write(&bytes);
+            assert_eq!(ours.hash(m0, m1), std_hasher.finish());
+        }
+    }
+
+    proptest! {
+        /// §3.1 assumption (ii): distinct inputs give (with overwhelming
+        /// probability) distinct outputs — a 64-bit collision inside a
+        /// small random sample would be a red flag.
+        #[test]
+        fn prop_no_trivial_collisions(state in any::<u64>(), s1 in 0u64..256, s2 in 0u64..256) {
+            prop_assume!(s1 != s2);
+            for h in families(11) {
+                prop_assert_ne!(h.hash(state, s1), h.hash(state, s2), "{}", h.name());
+            }
+        }
+
+        #[test]
+        fn prop_pure_function(state in any::<u64>(), seg in 0u64..65536, seed in any::<u64>()) {
+            for h in families(seed) {
+                prop_assert_eq!(h.hash(state, seg), h.hash(state, seg));
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! # Rateless spinal codes
+//!
+//! A from-scratch implementation of **spinal codes** (Perry, Balakrishnan,
+//! Shah — *Rateless Spinal Codes*, HotNets 2011): a family of rateless
+//! channel codes built from a hash function applied sequentially over
+//! `k`-bit segments of the message, whose pseudo-random output bits map
+//! directly onto a dense I-Q constellation (or onto coded bits for binary
+//! channels).
+//!
+//! ## Architecture
+//!
+//! ```text
+//! message bits ──BitVec──► spine (hash chain)  ──► expansion bits ──► mapper ──► symbols
+//!      ▲                    [spine::compute_spine]  [expand]           [map]       │
+//!      │                                                                           ▼ channel
+//! decoded bits ◄── beam / ML tree search over replayed encoder ◄── Observations ◄─┘
+//!                  [decode::beam, decode::ml]
+//! ```
+//!
+//! * [`params`] — code parameters (`n`, `k`, tail segments, seed).
+//! * [`hash`] — seeded spine-hash families (lookup3, one-at-a-time,
+//!   SipHash-2-4, splitmix), all implemented here.
+//! * [`spine`] — the sequential hash chain `s_t = h(s_{t−1}, M_t)`.
+//! * [`expand`] — counter-mode expansion of each spine value into the
+//!   "infinite precision bit representation" the paper indexes per pass.
+//! * [`map`] — constellation mappers: the paper's Eq. 3 linear map, an
+//!   offset-uniform variant, a truncated Gaussian (the §6 future-work
+//!   mapper), and the binary mapper for BSC operation.
+//! * [`puncture`] — transmission schedules; stride-8 bit-reversed
+//!   puncturing enables rates above `k` bits/symbol.
+//! * [`encode`] — the rateless encoder (random-access and streaming).
+//! * [`decode`] — the practical B-beam decoder with graceful scale-down
+//!   and the exact branch-and-bound ML decoder, over AWGN (ℓ²) and BSC
+//!   (Hamming) metrics.
+//! * [`frame`] — CRC-16/32 framing, genie and CRC termination.
+//! * [`code`] — the [`code::SpinalCode`] facade bundling a configuration.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spinal_core::bits::BitVec;
+//! use spinal_core::code::SpinalCode;
+//! use spinal_core::decode::BeamConfig;
+//!
+//! // The Figure 2 code: 24-bit messages, k = 8, c = 10.
+//! let code = SpinalCode::fig2(24, 42).unwrap();
+//! let message = BitVec::from_bytes(&[0xca, 0xfe, 0x42]);
+//!
+//! // Sender side: a rateless stream of I-Q symbols.
+//! let encoder = code.encoder(&message).unwrap();
+//! let symbols: Vec<_> = encoder.stream(code.schedule()).take(6).collect();
+//!
+//! // Receiver side (noiseless here): collect observations, decode.
+//! let mut obs = code.observations();
+//! obs.extend(symbols);
+//! let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+//! assert_eq!(decoder.decode(&obs).message, message);
+//! ```
+//!
+//! Channel models, modulation for the LDPC baseline, information-theoretic
+//! bounds and the experiment harness live in the sibling crates
+//! (`spinal-channel`, `spinal-modem`, `spinal-ldpc`, `spinal-info`,
+//! `spinal-sim`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod code;
+pub mod decode;
+pub mod encode;
+pub mod expand;
+pub mod frame;
+pub mod hash;
+pub mod map;
+pub mod params;
+pub mod puncture;
+pub mod spine;
+pub mod symbol;
+
+pub use bits::BitVec;
+pub use code::SpinalCode;
+pub use decode::{
+    AwgnCost, BeamConfig, BeamDecoder, BscCost, Candidate, CostModel, DecodeResult, DecodeStats,
+    MlConfig, MlDecoder, Observations,
+};
+pub use encode::Encoder;
+pub use frame::{frame_check, frame_encode, Checksum, CrcTerminator, GenieOracle, Terminator};
+pub use hash::{AnyHash, HashFamily, Lookup3, OneAtATime, SipHash24, SpineHash, SplitMix};
+pub use map::{AnyIqMapper, BinaryMapper, LinearMapper, Mapper, OffsetUniformMapper, TruncGaussMapper};
+pub use params::{CodeParams, CodeParamsBuilder, ParamError};
+pub use puncture::{AnySchedule, NoPuncture, PunctureSchedule, StridedPuncture};
+pub use spine::{compute_spine, segment_value, spine_step, SpineError, INITIAL_SPINE};
+pub use symbol::{IqSymbol, Slot};

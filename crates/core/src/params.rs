@@ -1,0 +1,315 @@
+//! Code parameters and their validation.
+//!
+//! A spinal code is described by a handful of integers (§3.1): the message
+//! length `n`, the segment size `k` (bits hashed per spine step), the
+//! number of known tail segments appended to protect the final bits (§4),
+//! and the hash seed shared by encoder and decoder. The constellation
+//! precision `c` lives in the mapper (see [`crate::map`]), not here, so the
+//! same parameters drive both I-Q and binary instantiations of the code.
+
+/// Validation errors for [`CodeParams`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// The message must contain at least one bit.
+    ZeroMessageBits,
+    /// `k` must lie in `1..=16`: the decoder expands `2^k` children per
+    /// tree level, and the paper expects "k to be a small constant, ≤ 8 in
+    /// practice" (§3.2); 16 is a hard ceiling baked into segment storage.
+    KOutOfRange(u32),
+    /// The message length must be a multiple of `k` so it divides into
+    /// whole segments (`M = M_1 … M_{n/k}`, §3.1).
+    MessageNotSegmentMultiple {
+        /// Message length in bits.
+        message_bits: u32,
+        /// Segment size in bits.
+        k: u32,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::ZeroMessageBits => write!(f, "message must contain at least one bit"),
+            ParamError::KOutOfRange(k) => {
+                write!(f, "segment size k must be in 1..=16, got {k}")
+            }
+            ParamError::MessageNotSegmentMultiple { message_bits, k } => write!(
+                f,
+                "message length {message_bits} is not a multiple of segment size k = {k}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Parameters of one spinal code instance.
+///
+/// Construct via [`CodeParams::new`] for the common case or
+/// [`CodeParams::builder`] for full control. The struct is `Copy` and
+/// cheap to pass around; encoder and decoder must be constructed from the
+/// *same* parameters (and the same hash seed) or they will desynchronize.
+///
+/// # Example
+///
+/// ```
+/// use spinal_core::params::CodeParams;
+///
+/// // The paper's Figure 2 message: 24 bits, k = 8.
+/// let p = CodeParams::new(24, 8).unwrap();
+/// assert_eq!(p.message_segments(), 3);
+/// assert_eq!(p.n_segments(), 3); // no tail segments by default
+///
+/// let with_tail = CodeParams::builder()
+///     .message_bits(96)
+///     .k(4)
+///     .tail_segments(2)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// assert_eq!(with_tail.n_segments(), 24 + 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CodeParams {
+    message_bits: u32,
+    k: u32,
+    tail_segments: u32,
+    seed: u64,
+}
+
+impl CodeParams {
+    /// Creates parameters with no tail segments and seed 0.
+    pub fn new(message_bits: u32, k: u32) -> Result<Self, ParamError> {
+        Self::builder().message_bits(message_bits).k(k).build()
+    }
+
+    /// Starts a builder with the defaults `k = 4`, no tail, seed 0.
+    pub fn builder() -> CodeParamsBuilder {
+        CodeParamsBuilder::default()
+    }
+
+    /// Message length `n` in bits (excluding tail segments).
+    pub fn message_bits(&self) -> u32 {
+        self.message_bits
+    }
+
+    /// Segment size `k` in bits.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of known all-zero segments appended after the message
+    /// (the §4 "known trailing bits" device).
+    pub fn tail_segments(&self) -> u32 {
+        self.tail_segments
+    }
+
+    /// Hash seed shared by encoder and decoder.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of message segments, `n / k`.
+    pub fn message_segments(&self) -> u32 {
+        self.message_bits / self.k
+    }
+
+    /// Total spine length: message segments plus tail segments.
+    pub fn n_segments(&self) -> u32 {
+        self.message_segments() + self.tail_segments
+    }
+
+    /// Bitmask selecting the low `k` bits of a segment value.
+    pub fn segment_mask(&self) -> u64 {
+        if self.k == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.k) - 1
+        }
+    }
+
+    /// The maximum rate of the *unpunctured* code in bits per symbol:
+    /// `k`, achieved when one pass suffices (§3.1). Puncturing can exceed
+    /// this (see [`crate::puncture`]).
+    pub fn max_rate_unpunctured(&self) -> f64 {
+        f64::from(self.k)
+    }
+
+    /// Returns a copy with a different seed (e.g., per-trial reseeding in
+    /// experiments while keeping the geometry fixed).
+    pub fn reseeded(&self, seed: u64) -> Self {
+        Self { seed, ..*self }
+    }
+}
+
+/// Builder for [`CodeParams`]; see [`CodeParams::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct CodeParamsBuilder {
+    message_bits: u32,
+    k: u32,
+    tail_segments: u32,
+    seed: u64,
+}
+
+impl Default for CodeParamsBuilder {
+    fn default() -> Self {
+        Self {
+            message_bits: 0,
+            k: 4,
+            tail_segments: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl CodeParamsBuilder {
+    /// Sets the message length in bits (required; must be a positive
+    /// multiple of `k`).
+    pub fn message_bits(mut self, bits: u32) -> Self {
+        self.message_bits = bits;
+        self
+    }
+
+    /// Sets the segment size `k` (default 4; must be in `1..=16`).
+    pub fn k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the number of known tail segments (default 0).
+    pub fn tail_segments(mut self, tail: u32) -> Self {
+        self.tail_segments = tail;
+        self
+    }
+
+    /// Sets the shared hash seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the parameters.
+    pub fn build(self) -> Result<CodeParams, ParamError> {
+        if !(1..=16).contains(&self.k) {
+            return Err(ParamError::KOutOfRange(self.k));
+        }
+        if self.message_bits == 0 {
+            return Err(ParamError::ZeroMessageBits);
+        }
+        if self.message_bits % self.k != 0 {
+            return Err(ParamError::MessageNotSegmentMultiple {
+                message_bits: self.message_bits,
+                k: self.k,
+            });
+        }
+        Ok(CodeParams {
+            message_bits: self.message_bits,
+            k: self.k,
+            tail_segments: self.tail_segments,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_fig2_params() {
+        let p = CodeParams::new(24, 8).unwrap();
+        assert_eq!(p.message_bits(), 24);
+        assert_eq!(p.k(), 8);
+        assert_eq!(p.message_segments(), 3);
+        assert_eq!(p.n_segments(), 3);
+        assert_eq!(p.segment_mask(), 0xff);
+        assert_eq!(p.max_rate_unpunctured(), 8.0);
+    }
+
+    #[test]
+    fn builder_with_tail_and_seed() {
+        let p = CodeParams::builder()
+            .message_bits(32)
+            .k(4)
+            .tail_segments(3)
+            .seed(0xabcd)
+            .build()
+            .unwrap();
+        assert_eq!(p.message_segments(), 8);
+        assert_eq!(p.n_segments(), 11);
+        assert_eq!(p.seed(), 0xabcd);
+        assert_eq!(p.tail_segments(), 3);
+    }
+
+    #[test]
+    fn rejects_zero_message() {
+        assert_eq!(
+            CodeParams::new(0, 4).unwrap_err(),
+            ParamError::ZeroMessageBits
+        );
+    }
+
+    #[test]
+    fn rejects_k_out_of_range() {
+        assert_eq!(CodeParams::new(24, 0).unwrap_err(), ParamError::KOutOfRange(0));
+        assert_eq!(
+            CodeParams::new(24, 17).unwrap_err(),
+            ParamError::KOutOfRange(17)
+        );
+    }
+
+    #[test]
+    fn rejects_non_multiple() {
+        assert_eq!(
+            CodeParams::new(25, 8).unwrap_err(),
+            ParamError::MessageNotSegmentMultiple {
+                message_bits: 25,
+                k: 8
+            }
+        );
+    }
+
+    #[test]
+    fn reseeded_keeps_geometry() {
+        let p = CodeParams::new(24, 8).unwrap();
+        let q = p.reseeded(99);
+        assert_eq!(q.seed(), 99);
+        assert_eq!(q.message_bits(), p.message_bits());
+        assert_eq!(q.k(), p.k());
+    }
+
+    #[test]
+    fn errors_display() {
+        // The Display strings are part of the public API surface (they
+        // reach experiment logs); pin their key content.
+        let e = CodeParams::new(25, 8).unwrap_err();
+        assert!(e.to_string().contains("not a multiple"));
+        assert!(ParamError::ZeroMessageBits.to_string().contains("at least one bit"));
+        assert!(ParamError::KOutOfRange(99).to_string().contains("99"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_valid_params_consistent(k in 1u32..=16, segs in 1u32..=64, tail in 0u32..=8, seed in any::<u64>()) {
+            let p = CodeParams::builder()
+                .message_bits(k * segs)
+                .k(k)
+                .tail_segments(tail)
+                .seed(seed)
+                .build()
+                .unwrap();
+            prop_assert_eq!(p.message_segments(), segs);
+            prop_assert_eq!(p.n_segments(), segs + tail);
+            prop_assert_eq!(p.message_segments() * p.k(), p.message_bits());
+            prop_assert_eq!(p.segment_mask().count_ones(), k);
+        }
+
+        #[test]
+        fn prop_non_multiple_rejected(k in 2u32..=16, segs in 1u32..=64, off in 1u32..16) {
+            prop_assume!(off % k != 0);
+            let bits = k * segs + (off % k);
+            prop_assert!(CodeParams::new(bits, k).is_err());
+        }
+    }
+}

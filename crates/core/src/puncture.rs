@@ -1,0 +1,307 @@
+//! Puncturing schedules: which symbols actually get transmitted, and the
+//! sub-pass boundaries at which the receiver attempts to decode.
+//!
+//! §3.1: "we actually obtain rates higher than k bits/symbol using
+//! puncturing, where the transmitter does not send each successive spine
+//! value in every pass." The paper does not pin down a schedule; we adopt
+//! the natural strided one (DESIGN.md §2.4): each pass is divided into
+//! `stride` sub-passes, and sub-pass `j` transmits the symbols of spine
+//! positions `t ≡ order[j] (mod stride)`, with `order` the bit-reversed
+//! enumeration (`[0,4,2,6,1,5,3,7]` for stride 8) so that early sub-passes
+//! spread coverage as evenly as possible.
+//!
+//! Decode attempts happen after every non-empty sub-pass, so with stride 8
+//! the achievable rates extend to `8k` bits/symbol — at high SNR the
+//! receiver can succeed long before a pass completes.
+
+use crate::symbol::Slot;
+
+/// A deterministic transmission schedule over the rateless symbol stream.
+///
+/// Both sides know the schedule: the sender emits symbols sub-pass by
+/// sub-pass, and the receiver labels each received sample with its
+/// [`Slot`] before handing it to the decoder (§3.2 requires slot-labelled
+/// observations).
+pub trait PunctureSchedule: Clone + Send + Sync + std::fmt::Debug {
+    /// Number of sub-passes that make up one pass (decode-attempt
+    /// granularity is one sub-pass).
+    fn subpasses_per_pass(&self) -> u32;
+
+    /// The slots transmitted in global sub-pass `g` (0-based) for a spine
+    /// of length `n_spine`, in transmission order. May be empty when the
+    /// stride exceeds `n_spine` and the sub-pass's residue class is
+    /// unpopulated.
+    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot>;
+
+    /// Short stable name for experiment logs.
+    fn name(&self) -> &'static str;
+
+    /// Convenience: the pass index that global sub-pass `g` belongs to.
+    fn pass_of_subpass(&self, g: u32) -> u32 {
+        g / self.subpasses_per_pass()
+    }
+}
+
+/// No puncturing: every pass transmits every spine position in order
+/// (one sub-pass per pass). The maximum rate is `k` bits/symbol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoPuncture;
+
+impl NoPuncture {
+    /// Creates the trivial schedule.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl PunctureSchedule for NoPuncture {
+    fn subpasses_per_pass(&self) -> u32 {
+        1
+    }
+
+    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot> {
+        (0..n_spine).map(|t| Slot::new(t, g)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Strided puncturing with bit-reversed sub-pass ordering.
+///
+/// Pass `ℓ` is split into `stride` sub-passes; sub-pass `j` sends the
+/// pass-`ℓ` symbols of positions `t ≡ order[j] (mod stride)` in ascending
+/// `t`. `order` is the bit-reversal permutation of `0..stride`, which
+/// maximises the spread of early coverage (positions hit 0, stride/2,
+/// stride/4, 3·stride/4, … apart).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StridedPuncture {
+    stride: u32,
+    order: Vec<u32>,
+}
+
+impl StridedPuncture {
+    /// Creates a strided schedule with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stride` is a power of two in `2..=64` (bit-reversal
+    /// needs a power of two; stride 1 is [`NoPuncture`]).
+    pub fn new(stride: u32) -> Self {
+        assert!(
+            stride.is_power_of_two() && (2..=64).contains(&stride),
+            "StridedPuncture requires a power-of-two stride in 2..=64, got {stride}"
+        );
+        let bits = stride.trailing_zeros();
+        let order = (0..stride)
+            .map(|j| j.reverse_bits() >> (32 - bits))
+            .collect();
+        Self { stride, order }
+    }
+
+    /// The paper-default stride-8 schedule (`order = [0,4,2,6,1,5,3,7]`).
+    pub fn stride8() -> Self {
+        Self::new(8)
+    }
+
+    /// The stride.
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// The sub-pass residue order (bit-reversed `0..stride`).
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+}
+
+impl PunctureSchedule for StridedPuncture {
+    fn subpasses_per_pass(&self) -> u32 {
+        self.stride
+    }
+
+    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot> {
+        let pass = g / self.stride;
+        let residue = self.order[(g % self.stride) as usize];
+        (residue..n_spine)
+            .step_by(self.stride as usize)
+            .map(|t| Slot::new(t, pass))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "strided"
+    }
+}
+
+/// Either of the two built-in schedules behind one concrete type, for
+/// run-time configuration in the experiment harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnySchedule {
+    /// See [`NoPuncture`].
+    None(NoPuncture),
+    /// See [`StridedPuncture`].
+    Strided(StridedPuncture),
+}
+
+impl AnySchedule {
+    /// The unpunctured schedule.
+    pub fn none() -> Self {
+        AnySchedule::None(NoPuncture)
+    }
+
+    /// The strided schedule with the given stride.
+    pub fn strided(stride: u32) -> Self {
+        AnySchedule::Strided(StridedPuncture::new(stride))
+    }
+}
+
+impl PunctureSchedule for AnySchedule {
+    fn subpasses_per_pass(&self) -> u32 {
+        match self {
+            AnySchedule::None(s) => s.subpasses_per_pass(),
+            AnySchedule::Strided(s) => s.subpasses_per_pass(),
+        }
+    }
+
+    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot> {
+        match self {
+            AnySchedule::None(s) => s.subpass_slots(n_spine, g),
+            AnySchedule::Strided(s) => s.subpass_slots(n_spine, g),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnySchedule::None(s) => s.name(),
+            AnySchedule::Strided(s) => s.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stride8_order_matches_design() {
+        let s = StridedPuncture::stride8();
+        assert_eq!(s.order(), &[0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn no_puncture_sends_whole_pass() {
+        let s = NoPuncture::new();
+        let slots = s.subpass_slots(3, 5);
+        assert_eq!(
+            slots,
+            vec![Slot::new(0, 5), Slot::new(1, 5), Slot::new(2, 5)]
+        );
+        assert_eq!(s.subpasses_per_pass(), 1);
+        assert_eq!(s.pass_of_subpass(5), 5);
+    }
+
+    #[test]
+    fn strided_subpass_residues() {
+        let s = StridedPuncture::new(8);
+        // Sub-pass 0 of pass 0: residue 0 → t = 0, 8, 16 for n_spine = 20.
+        assert_eq!(
+            s.subpass_slots(20, 0),
+            vec![Slot::new(0, 0), Slot::new(8, 0), Slot::new(16, 0)]
+        );
+        // Sub-pass 1: residue order[1] = 4 → t = 4, 12.
+        assert_eq!(
+            s.subpass_slots(20, 1),
+            vec![Slot::new(4, 0), Slot::new(12, 0)]
+        );
+        // Sub-pass 8 = first sub-pass of pass 1.
+        assert_eq!(
+            s.subpass_slots(20, 8),
+            vec![Slot::new(0, 1), Slot::new(8, 1), Slot::new(16, 1)]
+        );
+    }
+
+    #[test]
+    fn strided_small_spine_has_empty_subpasses() {
+        // n_spine = 3 (the paper's m = 24, k = 8): residues 3..8 are
+        // unpopulated, so 5 of 8 sub-passes are empty.
+        let s = StridedPuncture::new(8);
+        let sizes: Vec<usize> = (0..8).map(|g| s.subpass_slots(3, g).len()).collect();
+        assert_eq!(sizes, vec![1, 0, 1, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn one_pass_covers_every_position_exactly_once() {
+        for stride in [2u32, 4, 8, 16] {
+            let s = StridedPuncture::new(stride);
+            for n_spine in [1u32, 3, 8, 13, 32] {
+                let mut seen = HashSet::new();
+                for g in 0..stride {
+                    for slot in s.subpass_slots(n_spine, g) {
+                        assert_eq!(slot.pass, 0);
+                        assert!(seen.insert(slot.t), "duplicate t={} stride={stride}", slot.t);
+                    }
+                }
+                assert_eq!(seen.len() as u32, n_spine, "stride={stride} n={n_spine}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two stride")]
+    fn rejects_non_power_of_two() {
+        StridedPuncture::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two stride")]
+    fn rejects_stride_one() {
+        StridedPuncture::new(1);
+    }
+
+    #[test]
+    fn any_schedule_delegates() {
+        let a = AnySchedule::strided(4);
+        let b = StridedPuncture::new(4);
+        assert_eq!(a.subpass_slots(10, 3), b.subpass_slots(10, 3));
+        assert_eq!(a.subpasses_per_pass(), 4);
+        assert_eq!(AnySchedule::none().name(), "none");
+        assert_eq!(a.name(), "strided");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bit_reversed_order_is_permutation(log in 1u32..=6) {
+            let s = StridedPuncture::new(1 << log);
+            let mut sorted = s.order().to_vec();
+            sorted.sort_unstable();
+            let expect: Vec<u32> = (0..(1 << log)).collect();
+            prop_assert_eq!(sorted, expect);
+        }
+
+        #[test]
+        fn prop_slots_belong_to_their_subpass(stride_log in 1u32..=5,
+                                              n_spine in 1u32..64,
+                                              g in 0u32..40) {
+            let s = StridedPuncture::new(1 << stride_log);
+            for slot in s.subpass_slots(n_spine, g) {
+                prop_assert!(slot.t < n_spine);
+                prop_assert_eq!(slot.pass, g / s.subpasses_per_pass());
+                prop_assert_eq!(slot.t % s.stride(), s.order()[(g % s.stride()) as usize]);
+            }
+        }
+
+        #[test]
+        fn prop_early_subpasses_spread(stride_log in 2u32..=4) {
+            // After the first two sub-passes the covered residues must be
+            // stride/2 apart (bit-reversal property).
+            let stride = 1u32 << stride_log;
+            let s = StridedPuncture::new(stride);
+            prop_assert_eq!(s.order()[0], 0);
+            prop_assert_eq!(s.order()[1], stride / 2);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Spine generation: the sequential hash chain at the heart of the code.
+//!
+//! "The encoder first produces the spine of the code" (§3.1): the message
+//! is split into `k`-bit segments `M_1 … M_{n/k}` and the spine values are
+//! `s_t = h(s_{t−1}, M_t)` from the agreed initial value `s_0`. We use
+//! `s_0 = 0` (any constant works as long as encoder and decoder agree).
+//!
+//! When tail segments are configured (§4's "known trailing bits"), the
+//! chain is extended past the message with all-zero segments; the decoder
+//! exploits that those segments are known.
+
+use crate::bits::BitVec;
+use crate::hash::SpineHash;
+use crate::params::CodeParams;
+
+/// The agreed initial spine value `s_0` (§3.2: "the decoder knows the
+/// initial spine state s_0 = 0").
+pub const INITIAL_SPINE: u64 = 0;
+
+/// Errors raised when a message does not match its parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpineError {
+    /// The message bit-length does not equal `params.message_bits()`.
+    MessageLength {
+        /// Expected number of bits (`params.message_bits()`).
+        expected: u32,
+        /// Actual number of bits supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SpineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpineError::MessageLength { expected, got } => {
+                write!(f, "message has {got} bits, parameters require {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpineError {}
+
+/// One hash-chain step: `s_t = h(s_{t−1}, M_t)`.
+///
+/// Exposed separately because the decoder replays exactly this step for
+/// every candidate segment at every tree level (§3.2).
+#[inline(always)]
+pub fn spine_step<H: SpineHash>(hash: &H, prev: u64, segment: u64) -> u64 {
+    hash.hash(prev, segment)
+}
+
+/// Extracts segment `t` (0-based) of the padded message: message bits for
+/// `t < message_segments`, zero for tail segments.
+///
+/// # Panics
+///
+/// Panics if `t >= params.n_segments()` or the message length mismatches.
+pub fn segment_value(params: &CodeParams, message: &BitVec, t: u32) -> u64 {
+    assert!(
+        t < params.n_segments(),
+        "segment index {t} out of range 0..{}",
+        params.n_segments()
+    );
+    if t < params.message_segments() {
+        message.get_range((t * params.k()) as usize, params.k() as usize)
+    } else {
+        0 // tail segments carry known zero bits
+    }
+}
+
+/// Computes the full spine `s_1 … s_{n/k (+tail)}` for `message`.
+///
+/// The returned vector is indexed by 0-based spine position: entry `t`
+/// is the paper's `s_{t+1}`.
+pub fn compute_spine<H: SpineHash>(
+    params: &CodeParams,
+    hash: &H,
+    message: &BitVec,
+) -> Result<Vec<u64>, SpineError> {
+    if message.len() != params.message_bits() as usize {
+        return Err(SpineError::MessageLength {
+            expected: params.message_bits(),
+            got: message.len(),
+        });
+    }
+    let mut spine = Vec::with_capacity(params.n_segments() as usize);
+    let mut s = INITIAL_SPINE;
+    for t in 0..params.n_segments() {
+        s = spine_step(hash, s, segment_value(params, message, t));
+        spine.push(s);
+    }
+    Ok(spine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{Lookup3, SpineHash};
+    use proptest::prelude::*;
+
+    fn params(bits: u32, k: u32, tail: u32) -> CodeParams {
+        CodeParams::builder()
+            .message_bits(bits)
+            .k(k)
+            .tail_segments(tail)
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn spine_matches_manual_chain() {
+        let p = params(24, 8, 0);
+        let h = Lookup3::new(p.seed());
+        let msg = BitVec::from_bytes(&[0xab, 0xcd, 0xef]);
+        let spine = compute_spine(&p, &h, &msg).unwrap();
+        assert_eq!(spine.len(), 3);
+        let s1 = h.hash(INITIAL_SPINE, 0xab);
+        let s2 = h.hash(s1, 0xcd);
+        let s3 = h.hash(s2, 0xef);
+        assert_eq!(spine, vec![s1, s2, s3]);
+    }
+
+    #[test]
+    fn tail_segments_extend_with_zero_inputs() {
+        let p = params(16, 8, 2);
+        let h = Lookup3::new(p.seed());
+        let msg = BitVec::from_bytes(&[0x12, 0x34]);
+        let spine = compute_spine(&p, &h, &msg).unwrap();
+        assert_eq!(spine.len(), 4);
+        assert_eq!(spine[2], h.hash(spine[1], 0));
+        assert_eq!(spine[3], h.hash(spine[2], 0));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let p = params(24, 8, 0);
+        let h = Lookup3::new(p.seed());
+        let msg = BitVec::from_bytes(&[0xab, 0xcd]); // 16 bits, expected 24
+        let err = compute_spine(&p, &h, &msg).unwrap_err();
+        assert_eq!(
+            err,
+            SpineError::MessageLength {
+                expected: 24,
+                got: 16
+            }
+        );
+        assert!(err.to_string().contains("16 bits"));
+    }
+
+    #[test]
+    fn segment_value_reads_msb_first() {
+        let p = params(16, 4, 1);
+        let msg = BitVec::from_bytes(&[0b1010_0101, 0b1111_0000]);
+        assert_eq!(segment_value(&p, &msg, 0), 0b1010);
+        assert_eq!(segment_value(&p, &msg, 1), 0b0101);
+        assert_eq!(segment_value(&p, &msg, 2), 0b1111);
+        assert_eq!(segment_value(&p, &msg, 3), 0b0000);
+        assert_eq!(segment_value(&p, &msg, 4), 0); // tail
+    }
+
+    /// The avalanche property the paper's §4 relies on: two messages
+    /// differing in one bit get completely different spines *from that
+    /// segment onward* (earlier spine values are identical).
+    #[test]
+    fn single_bit_flip_diverges_from_its_segment() {
+        let p = params(32, 8, 0);
+        let h = Lookup3::new(3);
+        let msg_a = BitVec::from_bytes(&[1, 2, 3, 4]);
+        let mut msg_b = msg_a.clone();
+        msg_b.set(17, !msg_b.get(17)); // inside segment 2
+        let sa = compute_spine(&p, &h, &msg_a).unwrap();
+        let sb = compute_spine(&p, &h, &msg_b).unwrap();
+        assert_eq!(sa[0], sb[0]);
+        assert_eq!(sa[1], sb[1]);
+        assert_ne!(sa[2], sb[2]);
+        assert_ne!(sa[3], sb[3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spine_deterministic(bytes in proptest::collection::vec(any::<u8>(), 4),
+                                    seed in any::<u64>()) {
+            let p = CodeParams::builder().message_bits(32).k(8).seed(seed).build().unwrap();
+            let h = Lookup3::new(seed);
+            let msg = BitVec::from_bytes(&bytes);
+            let a = compute_spine(&p, &h, &msg).unwrap();
+            let b = compute_spine(&p, &h, &msg).unwrap();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_prefix_property(bytes in proptest::collection::vec(any::<u8>(), 4),
+                                flip_bit in 0usize..32) {
+            // Flipping bit i only changes spine values from segment i/k on.
+            let p = CodeParams::new(32, 8).unwrap();
+            let h = Lookup3::new(11);
+            let msg_a = BitVec::from_bytes(&bytes);
+            let mut msg_b = msg_a.clone();
+            msg_b.set(flip_bit, !msg_b.get(flip_bit));
+            let sa = compute_spine(&p, &h, &msg_a).unwrap();
+            let sb = compute_spine(&p, &h, &msg_b).unwrap();
+            let seg = flip_bit / 8;
+            for t in 0..seg {
+                prop_assert_eq!(sa[t], sb[t], "prefix must match at {}", t);
+            }
+            prop_assert_ne!(sa[seg], sb[seg], "divergence segment must differ");
+        }
+
+        #[test]
+        fn prop_spine_length(k in 1u32..=8, segs in 1u32..=32, tail in 0u32..=4) {
+            let p = CodeParams::builder()
+                .message_bits(k * segs).k(k).tail_segments(tail).build().unwrap();
+            let h = Lookup3::new(0);
+            let msg = BitVec::zeros((k * segs) as usize);
+            let spine = compute_spine(&p, &h, &msg).unwrap();
+            prop_assert_eq!(spine.len() as u32, segs + tail);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Transmission symbols on the I-Q (quadrature) plane.
+//!
+//! The spinal encoder "can code message bits in a packet directly to
+//! symbols for transmission" (§1). This module defines the symbol type
+//! shared by the encoder, the channel models, and the decoder cost
+//! functions. We keep our own 16-byte complex type rather than pulling in
+//! a complex-number crate: the codec needs exactly squared distance,
+//! energy, and addition.
+
+/// A point on the I-Q plane (a complex baseband sample).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IqSymbol {
+    /// In-phase (real) coordinate.
+    pub i: f64,
+    /// Quadrature (imaginary) coordinate.
+    pub q: f64,
+}
+
+impl IqSymbol {
+    /// Creates a symbol from its I and Q coordinates.
+    pub const fn new(i: f64, q: f64) -> Self {
+        Self { i, q }
+    }
+
+    /// Squared Euclidean distance `‖self − other‖²`, the per-symbol cost
+    /// of the AWGN ML rule (§3.2, Eq. 4).
+    #[inline(always)]
+    pub fn dist_sq(&self, other: &IqSymbol) -> f64 {
+        let di = self.i - other.i;
+        let dq = self.q - other.q;
+        di * di + dq * dq
+    }
+
+    /// Symbol energy `‖self‖²`.
+    #[inline(always)]
+    pub fn energy(&self) -> f64 {
+        self.i * self.i + self.q * self.q
+    }
+}
+
+impl std::ops::Add for IqSymbol {
+    type Output = IqSymbol;
+    fn add(self, rhs: IqSymbol) -> IqSymbol {
+        IqSymbol::new(self.i + rhs.i, self.q + rhs.q)
+    }
+}
+
+impl std::ops::Sub for IqSymbol {
+    type Output = IqSymbol;
+    fn sub(self, rhs: IqSymbol) -> IqSymbol {
+        IqSymbol::new(self.i - rhs.i, self.q - rhs.q)
+    }
+}
+
+impl std::ops::Mul<f64> for IqSymbol {
+    type Output = IqSymbol;
+    fn mul(self, rhs: f64) -> IqSymbol {
+        IqSymbol::new(self.i * rhs, self.q * rhs)
+    }
+}
+
+/// Identifies one slot of the rateless stream: spine position `t`
+/// (0-based) within pass `pass` (0-based).
+///
+/// The receiver knows the puncturing schedule, so every received sample
+/// comes labelled with the slot it occupies; the decoder groups samples
+/// by `t` and replays the encoder's `(t, pass)` symbol for each
+/// hypothesis (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Slot {
+    /// Spine position, `0 ≤ t < n/k (+ tail segments)`.
+    pub t: u32,
+    /// Pass index, `ℓ − 1` in the paper's 1-based notation.
+    pub pass: u32,
+}
+
+impl Slot {
+    /// Creates a slot.
+    pub const fn new(t: u32, pass: u32) -> Self {
+        Self { t, pass }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dist_sq_is_squared_euclidean() {
+        let a = IqSymbol::new(1.0, 2.0);
+        let b = IqSymbol::new(4.0, 6.0);
+        assert_eq!(a.dist_sq(&b), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn energy_is_norm_squared() {
+        assert_eq!(IqSymbol::new(3.0, 4.0).energy(), 25.0);
+        assert_eq!(IqSymbol::default().energy(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = IqSymbol::new(1.0, -1.0);
+        let b = IqSymbol::new(0.5, 2.0);
+        assert_eq!(a + b, IqSymbol::new(1.5, 1.0));
+        assert_eq!(a - b, IqSymbol::new(0.5, -3.0));
+        assert_eq!(a * 2.0, IqSymbol::new(2.0, -2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dist_symmetric(ai in -10.0..10.0f64, aq in -10.0..10.0f64,
+                               bi in -10.0..10.0f64, bq in -10.0..10.0f64) {
+            let a = IqSymbol::new(ai, aq);
+            let b = IqSymbol::new(bi, bq);
+            prop_assert!((a.dist_sq(&b) - b.dist_sq(&a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_dist_zero_iff_equal(ai in -10.0..10.0f64, aq in -10.0..10.0f64) {
+            let a = IqSymbol::new(ai, aq);
+            prop_assert_eq!(a.dist_sq(&a), 0.0);
+        }
+
+        #[test]
+        fn prop_energy_is_dist_from_origin(ai in -10.0..10.0f64, aq in -10.0..10.0f64) {
+            let a = IqSymbol::new(ai, aq);
+            prop_assert!((a.energy() - a.dist_sq(&IqSymbol::default())).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Channel capacities and the spinal-code rate thresholds of Theorems 1–2.
+//!
+//! Conventions (DESIGN.md §2.8): symbols are complex (two real dimensions);
+//! SNR is the ratio of average symbol energy to total noise energy per
+//! symbol, `SNR = E[|x|²]/E[|w|²]`. The Shannon capacity plotted in Fig. 2
+//! is `log₂(1 + SNR)` bits per symbol, which matches the paper's y-axis
+//! ("rate (bits per symbol)"; ≈10 bits at 30 dB).
+
+use crate::special::binary_entropy;
+
+/// Converts a decibel value to a linear power ratio: `10^(dB/10)`.
+pub fn db_to_linear(db: f64) -> f64 {
+    10.0_f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels: `10 log₁₀(x)`.
+///
+/// # Panics
+///
+/// Panics if `linear` is not positive.
+pub fn linear_to_db(linear: f64) -> f64 {
+    assert!(linear > 0.0, "linear_to_db requires a positive ratio");
+    10.0 * linear.log10()
+}
+
+/// Shannon capacity of the complex AWGN channel in bits per (complex)
+/// symbol: `C = log₂(1 + SNR)` with `SNR` linear.
+///
+/// # Panics
+///
+/// Panics if `snr` is negative.
+pub fn awgn_capacity(snr: f64) -> f64 {
+    assert!(snr >= 0.0, "awgn_capacity requires SNR >= 0, got {snr}");
+    (1.0 + snr).log2()
+}
+
+/// Shannon capacity of the complex AWGN channel with SNR given in dB.
+pub fn awgn_capacity_db(snr_db: f64) -> f64 {
+    awgn_capacity(db_to_linear(snr_db))
+}
+
+/// Capacity of a single *real* AWGN dimension: `½ log₂(1 + SNR_dim)`.
+///
+/// `snr_dim` is per-dimension (energy per dimension over noise variance
+/// per dimension). With the symmetric split used throughout this
+/// repository, `snr_dim` equals the per-symbol SNR.
+pub fn awgn_capacity_real(snr_dim: f64) -> f64 {
+    assert!(snr_dim >= 0.0, "capacity requires SNR >= 0, got {snr_dim}");
+    0.5 * (1.0 + snr_dim).log2()
+}
+
+/// Capacity of the binary symmetric channel with crossover probability
+/// `p`: `C = 1 − H₂(p)` bits per channel use.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn bsc_capacity(p: f64) -> f64 {
+    1.0 - binary_entropy(p)
+}
+
+/// Capacity of the binary erasure channel with erasure probability `e`:
+/// `C = 1 − e` bits per channel use.
+///
+/// # Panics
+///
+/// Panics if `e` is outside `[0, 1]`.
+pub fn bec_capacity(e: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&e),
+        "bec_capacity requires e in [0,1], got {e}"
+    );
+    1.0 - e
+}
+
+/// The constant gap `Δ = ½ log₂(πe/6) ≈ 0.2546` bits of Theorem 1.
+///
+/// Theorem 1 guarantees BER → 0 once `L · [C_awgn(SNR) − Δ] > k`; the gap
+/// is attributed to the linear (rather than Gaussian) constellation
+/// mapping plus proof slack (§4).
+pub fn theorem1_gap() -> f64 {
+    0.5 * (std::f64::consts::PI * std::f64::consts::E / 6.0).log2()
+}
+
+/// The smallest number of passes for which Theorem 1 guarantees
+/// BER → 0 on an AWGN channel: `L = ⌈k / (C_awgn(SNR) − Δ)⌉ (+1 on the
+/// boundary)`, or `None` when the guarantee is vacuous
+/// (`C_awgn(SNR) ≤ Δ`).
+pub fn theorem1_min_passes(snr: f64, k: u32) -> Option<u32> {
+    let margin = awgn_capacity(snr) - theorem1_gap();
+    min_passes_for_margin(margin, k)
+}
+
+/// The smallest number of passes for which Theorem 2 guarantees
+/// BER → 0 on a BSC(p): `L · C_bsc(p) > k`, or `None` when `C_bsc(p) = 0`
+/// (`p = ½`).
+pub fn theorem2_min_passes(p: f64, k: u32) -> Option<u32> {
+    min_passes_for_margin(bsc_capacity(p), k)
+}
+
+/// Smallest integer `L ≥ 1` with `L · margin > k`, if any.
+fn min_passes_for_margin(margin: f64, k: u32) -> Option<u32> {
+    if margin <= 0.0 {
+        return None;
+    }
+    let l = (f64::from(k) / margin).floor() as u32 + 1;
+    // Floating point edge: ensure the strict inequality actually holds.
+    let mut l = l.max(1);
+    while f64::from(l) * margin <= f64::from(k) {
+        l += 1;
+    }
+    Some(l)
+}
+
+/// The rate (bits per symbol) at which Theorem 1's guarantee kicks in for
+/// pass count `L`: the spinal code at `k` bits/segment and `L` passes runs
+/// at `k/L` bits per symbol.
+pub fn spinal_rate(k: u32, passes: u32) -> f64 {
+    assert!(passes > 0, "spinal_rate requires at least one pass");
+    f64::from(k) / f64::from(passes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn db_conversions_roundtrip() {
+        for db in [-10.0, 0.0, 3.0, 10.0, 30.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-12);
+        }
+        assert!((db_to_linear(0.0) - 1.0).abs() < 1e-15);
+        assert!((db_to_linear(10.0) - 10.0).abs() < 1e-12);
+        assert!((db_to_linear(-10.0) - 0.1).abs() < 1e-15);
+    }
+
+    /// The paper's own calibration point: "for SNR = 30 dB, the capacity
+    /// in two dimensions is roughly 10 bits/s/Hz" (§4).
+    #[test]
+    fn thirty_db_capacity_matches_paper() {
+        let c = awgn_capacity_db(30.0);
+        assert!(
+            (c - 9.967).abs() < 0.01,
+            "30 dB capacity = {c}, paper says ~10"
+        );
+    }
+
+    #[test]
+    fn capacity_zero_at_zero_snr() {
+        assert_eq!(awgn_capacity(0.0), 0.0);
+        assert_eq!(awgn_capacity_real(0.0), 0.0);
+    }
+
+    #[test]
+    fn bsc_capacity_known_points() {
+        assert!((bsc_capacity(0.0) - 1.0).abs() < 1e-15);
+        assert!(bsc_capacity(0.5).abs() < 1e-15);
+        // C_bsc(0.11) ≈ 0.5 (classic half-capacity point).
+        assert!((bsc_capacity(0.11) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bec_capacity_is_one_minus_e() {
+        assert_eq!(bec_capacity(0.0), 1.0);
+        assert_eq!(bec_capacity(1.0), 0.0);
+        assert!((bec_capacity(0.3) - 0.7).abs() < 1e-15);
+    }
+
+    /// The paper states Δ ≈ 0.25 and quotes 97.5% of capacity at 30 dB.
+    #[test]
+    fn theorem1_gap_matches_paper() {
+        let gap = theorem1_gap();
+        assert!((gap - 0.2546).abs() < 1e-3, "gap = {gap}");
+        let frac = (awgn_capacity_db(30.0) - gap) / awgn_capacity_db(30.0);
+        assert!(
+            (frac - 0.975).abs() < 0.002,
+            "30 dB guaranteed fraction = {frac}, paper says ~97.5%"
+        );
+    }
+
+    #[test]
+    fn theorem1_min_passes_examples() {
+        // At 0 dB: C = 1, margin ≈ 0.745; k = 8 needs L = ⌈8/0.745⌉ = 11.
+        let l = theorem1_min_passes(1.0, 8).unwrap();
+        assert_eq!(l, 11);
+        // Vacuous when capacity below the gap.
+        let tiny_snr = db_to_linear(-10.0) * 0.1; // C ≈ 0.0144 < Δ
+        assert_eq!(theorem1_min_passes(tiny_snr, 8), None);
+    }
+
+    #[test]
+    fn theorem2_min_passes_examples() {
+        // p = 0.11 → C ≈ 0.50008 (just above ½) → k = 8 needs L = 16
+        // (16 · 0.50008 = 8.0013 > 8, and 15 · C < 8).
+        assert_eq!(theorem2_min_passes(0.11, 8), Some(16));
+        // Perfect channel: one pass per k/1 — L·1 > k → L = k+1? No:
+        // p = 0 → C = 1 → smallest L with L > 8 is 9.
+        assert_eq!(theorem2_min_passes(0.0, 8), Some(9));
+        // Useless channel.
+        assert_eq!(theorem2_min_passes(0.5, 8), None);
+    }
+
+    #[test]
+    fn spinal_rate_is_k_over_l() {
+        assert_eq!(spinal_rate(8, 1), 8.0);
+        assert_eq!(spinal_rate(8, 4), 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_awgn_capacity_monotone(a in 0.0..1e4f64, d in 1e-6..10.0f64) {
+            prop_assert!(awgn_capacity(a + d) > awgn_capacity(a));
+        }
+
+        #[test]
+        fn prop_bsc_capacity_symmetric(p in 0.0..=1.0f64) {
+            prop_assert!((bsc_capacity(p) - bsc_capacity(1.0 - p)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_theorem1_min_passes_is_minimal(snr_db in -5.0..40.0f64, k in 1u32..=12) {
+            let snr = db_to_linear(snr_db);
+            if let Some(l) = theorem1_min_passes(snr, k) {
+                let margin = awgn_capacity(snr) - theorem1_gap();
+                prop_assert!(f64::from(l) * margin > f64::from(k));
+                if l > 1 {
+                    prop_assert!(f64::from(l - 1) * margin <= f64::from(k));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_theorem2_threshold_strict(p in 0.0..0.49f64, k in 1u32..=12) {
+            let l = theorem2_min_passes(p, k).unwrap();
+            prop_assert!(f64::from(l) * bsc_capacity(p) > f64::from(k));
+        }
+    }
+}

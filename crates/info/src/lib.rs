@@ -1,0 +1,47 @@
+//! Information-theoretic reference curves for the spinal-codes evaluation.
+//!
+//! Everything Figure 2 of *Rateless Spinal Codes* (HotNets 2011) plots
+//! besides measured code performance comes from this crate:
+//!
+//! * the **Shannon bound** — [`capacity::awgn_capacity`] /
+//!   [`capacity::bsc_capacity`];
+//! * the **fixed-block approximation bound** for block length 24 at error
+//!   probability 1e−4 — [`ppv::fig2_fixed_block_bound`], the
+//!   Polyanskiy–Poor–Verdú normal approximation;
+//! * the **Theorem 1 / Theorem 2 thresholds** used by the theorem
+//!   validation harness — [`capacity::theorem1_min_passes`] and
+//!   [`capacity::theorem2_min_passes`].
+//!
+//! All special functions (`erf`, `Q`, `Q⁻¹`, binary entropy) are
+//! implemented from scratch in [`special`]; the crate has no dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use spinal_info::capacity::{awgn_capacity_db, theorem1_min_passes, db_to_linear};
+//! use spinal_info::ppv::fig2_fixed_block_bound;
+//!
+//! // The paper's §4 calibration: ~10 bits/symbol capacity at 30 dB.
+//! assert!((awgn_capacity_db(30.0) - 9.97).abs() < 0.01);
+//!
+//! // Finite-blocklength penalty at 30 dB for a length-24 code:
+//! let bound = fig2_fixed_block_bound(30.0);
+//! assert!(bound < awgn_capacity_db(30.0));
+//!
+//! // Passes needed for the Theorem-1 guarantee at 0 dB with k = 8:
+//! assert_eq!(theorem1_min_passes(db_to_linear(0.0), 8), Some(11));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod ppv;
+pub mod special;
+
+pub use capacity::{
+    awgn_capacity, awgn_capacity_db, bec_capacity, bsc_capacity, db_to_linear, linear_to_db,
+    spinal_rate, theorem1_gap, theorem1_min_passes, theorem2_min_passes,
+};
+pub use ppv::{crossover_snr_db, fig2_fixed_block_bound, ppv_awgn_rate, ppv_bsc_rate, vlf_max_rate};
+pub use special::{binary_entropy, binary_entropy_inv, erf, erfc, normal_inv_cdf, q_func, q_inv};

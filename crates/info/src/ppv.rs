@@ -1,0 +1,295 @@
+//! Finite-blocklength converse bounds (Polyanskiy–Poor–Verdú 2010).
+//!
+//! Figure 2 of the paper plots, alongside Shannon capacity, the
+//! "fixed-block approx. bound (len=24, err.prob=1e−04)" from its reference
+//! 12 (Polyanskiy, Poor, Verdú, *Channel coding rate in the finite
+//! blocklength regime*, IEEE Trans. IT 2010). This module implements the
+//! *normal approximation* from that paper:
+//!
+//! ```text
+//! R(n, ε) ≈ C − √(V/n) · Q⁻¹(ε) + log₂(n) / (2n)
+//! ```
+//!
+//! where `C` is capacity and `V` the channel dispersion. The paper uses it
+//! to show that a rateless code over a 24-bit message can outperform *any*
+//! fixed-rate code of block length 24 for all SNR below a crossover
+//! (~25 dB): the rateless code effectively picks its blocklength after the
+//! fact, while a rated code must commit in advance.
+
+use crate::capacity::{awgn_capacity, bsc_capacity, db_to_linear};
+use crate::special::q_inv;
+
+/// log₂(e), the nat→bit conversion factor that enters the dispersion.
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+
+/// Dispersion of the complex AWGN channel, in bits² per channel use:
+///
+/// ```text
+/// V(SNR) = [SNR (SNR + 2)] / (SNR + 1)² · log₂²(e)
+/// ```
+///
+/// (PPV 2010, Theorem 78, complex case; the real-channel dispersion is
+/// half this at half the capacity.)
+pub fn awgn_dispersion(snr: f64) -> f64 {
+    assert!(snr >= 0.0, "awgn_dispersion requires SNR >= 0, got {snr}");
+    let s = snr;
+    (s * (s + 2.0)) / ((s + 1.0) * (s + 1.0)) * LOG2_E * LOG2_E
+}
+
+/// Dispersion of the BSC(p), in bits² per channel use:
+///
+/// ```text
+/// V(p) = p (1 − p) · log₂²((1 − p)/p)
+/// ```
+pub fn bsc_dispersion(p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "bsc_dispersion requires p in [0,1], got {p}"
+    );
+    if p == 0.0 || p == 1.0 || p == 0.5 {
+        return 0.0;
+    }
+    p * (1.0 - p) * ((1.0 - p) / p).log2().powi(2)
+}
+
+/// PPV normal-approximation rate for the complex AWGN channel, in bits
+/// per channel use (symbol), for block length `n` symbols and target
+/// block error probability `eps`.
+///
+/// Returns 0 when the approximation goes negative (very short blocks at
+/// very low SNR — no positive rate is achievable at that error target).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `eps` is outside `(0, 1)`.
+pub fn ppv_awgn_rate(n: u32, eps: f64, snr: f64) -> f64 {
+    assert!(n > 0, "ppv_awgn_rate requires a positive block length");
+    assert!(
+        eps > 0.0 && eps < 1.0,
+        "ppv_awgn_rate requires eps in (0,1), got {eps}"
+    );
+    let nf = f64::from(n);
+    let r = awgn_capacity(snr) - (awgn_dispersion(snr) / nf).sqrt() * q_inv(eps)
+        + nf.log2() / (2.0 * nf);
+    r.max(0.0)
+}
+
+/// [`ppv_awgn_rate`] with SNR in dB.
+pub fn ppv_awgn_rate_db(n: u32, eps: f64, snr_db: f64) -> f64 {
+    ppv_awgn_rate(n, eps, db_to_linear(snr_db))
+}
+
+/// PPV normal-approximation rate for the BSC(p), in bits per channel use,
+/// for block length `n` bits and block error probability `eps`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `eps` is outside `(0, 1)`.
+pub fn ppv_bsc_rate(n: u32, eps: f64, p: f64) -> f64 {
+    assert!(n > 0, "ppv_bsc_rate requires a positive block length");
+    assert!(
+        eps > 0.0 && eps < 1.0,
+        "ppv_bsc_rate requires eps in (0,1), got {eps}"
+    );
+    let nf = f64::from(n);
+    let r = bsc_capacity(p) - (bsc_dispersion(p) / nf).sqrt() * q_inv(eps)
+        + nf.log2() / (2.0 * nf);
+    r.max(0.0)
+}
+
+/// The Figure 2 dashed line: bits per symbol allowed by the PPV normal
+/// approximation for a fixed-rate code of block length 24 symbols at
+/// block error probability 1e−4, as a function of SNR in dB.
+pub fn fig2_fixed_block_bound(snr_db: f64) -> f64 {
+    ppv_awgn_rate_db(24, 1e-4, snr_db)
+}
+
+/// Converse for **variable-length feedback (VLF)** codes — the setting
+/// the genie experiments actually operate in (Polyanskiy, Poor, Verdú,
+/// *Feedback in the non-asymptotic regime*, IEEE Trans. IT 2011):
+/// a VLF code delivering `m` bits with error probability `eps` needs
+///
+/// ```text
+/// E[N] ≥ m (1 − eps) / C    ⇒    rate m/E[N] ≤ C / (1 − eps)
+/// ```
+///
+/// per channel use — no dispersion penalty, which is *why* rateless codes
+/// with feedback can beat the fixed-block bound at short lengths (§5's
+/// observation). Returns the maximum achievable `m/E[N]` in bits per
+/// symbol.
+///
+/// # Panics
+///
+/// Panics if `eps` is outside `[0, 1)`.
+pub fn vlf_max_rate(snr: f64, eps: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&eps),
+        "vlf_max_rate requires eps in [0,1), got {eps}"
+    );
+    awgn_capacity(snr) / (1.0 - eps)
+}
+
+/// Finds the SNR (dB) at which `rate_fn` first drops below the Fig. 2
+/// fixed-block bound, scanning `snr_dbs` in ascending order and linearly
+/// interpolating between grid points. Returns `None` if `rate_fn` stays
+/// above the bound over the whole grid (no crossover) or is below it from
+/// the start.
+///
+/// Used to reproduce the §5 claim that the (rateless) spinal code beats
+/// the len-24 fixed-block bound for all SNR ≲ 25 dB.
+pub fn crossover_snr_db(snr_dbs: &[f64], rates: &[f64]) -> Option<f64> {
+    assert_eq!(
+        snr_dbs.len(),
+        rates.len(),
+        "crossover_snr_db requires parallel slices"
+    );
+    let mut prev: Option<(f64, f64)> = None; // (snr_db, rate - bound)
+    for (&snr, &rate) in snr_dbs.iter().zip(rates) {
+        let diff = rate - fig2_fixed_block_bound(snr);
+        if let Some((psnr, pdiff)) = prev {
+            if pdiff >= 0.0 && diff < 0.0 {
+                // Linear interpolation for the zero crossing.
+                let t = pdiff / (pdiff - diff);
+                return Some(psnr + t * (snr - psnr));
+            }
+        } else if diff < 0.0 {
+            return None; // below the bound from the start
+        }
+        prev = Some((snr, diff));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dispersion_limits() {
+        // V → 0 as SNR → 0, V → log2²e as SNR → ∞.
+        assert!(awgn_dispersion(0.0).abs() < 1e-15);
+        let v_inf = awgn_dispersion(1e9);
+        assert!((v_inf - LOG2_E * LOG2_E).abs() < 1e-6, "V(inf) = {v_inf}");
+        // BSC dispersion vanishes at the degenerate points.
+        assert_eq!(bsc_dispersion(0.0), 0.0);
+        assert_eq!(bsc_dispersion(0.5), 0.0);
+        assert_eq!(bsc_dispersion(1.0), 0.0);
+    }
+
+    #[test]
+    fn ppv_below_capacity_at_short_blocks() {
+        // At n=24, eps=1e-4 the bound must sit well below capacity.
+        for snr_db in [0.0, 10.0, 20.0, 30.0] {
+            let c = awgn_capacity(db_to_linear(snr_db));
+            let r = ppv_awgn_rate_db(24, 1e-4, snr_db);
+            assert!(r < c, "PPV {r} !< capacity {c} at {snr_db} dB");
+        }
+    }
+
+    #[test]
+    fn ppv_approaches_capacity_for_long_blocks() {
+        let snr = db_to_linear(10.0);
+        let c = awgn_capacity(snr);
+        let r_short = ppv_awgn_rate(24, 1e-4, snr);
+        let r_long = ppv_awgn_rate(1_000_000, 1e-4, snr);
+        assert!(r_long > r_short);
+        assert!((c - r_long) / c < 0.01, "long-block gap too large");
+    }
+
+    #[test]
+    fn ppv_clamps_to_zero_at_low_snr() {
+        // n = 24, eps = 1e-4 at −10 dB: penalty exceeds capacity.
+        let r = ppv_awgn_rate_db(24, 1e-4, -10.0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn fig2_bound_sane_at_named_points() {
+        // At 25 dB (the paper's crossover), the bound must be positive
+        // and within ~30% below capacity.
+        let b = fig2_fixed_block_bound(25.0);
+        let c = awgn_capacity(db_to_linear(25.0));
+        assert!(b > 0.5 * c && b < c, "bound {b}, capacity {c}");
+    }
+
+    #[test]
+    fn bsc_ppv_below_capacity() {
+        for p in [0.01, 0.05, 0.11] {
+            let r = ppv_bsc_rate(648, 1e-4, p);
+            assert!(r > 0.0 && r < bsc_capacity(p), "p={p}: r={r}");
+        }
+    }
+
+    #[test]
+    fn vlf_bound_above_fixed_block_bound() {
+        // The VLF converse dominates the fixed-block normal approximation
+        // at short lengths — the §5 rateless-beats-rated mechanism.
+        for snr_db in [0.0, 10.0, 20.0] {
+            let snr = db_to_linear(snr_db);
+            let vlf = vlf_max_rate(snr, 1e-4);
+            let fixed = ppv_awgn_rate(24, 1e-4, snr);
+            assert!(vlf > fixed, "{snr_db} dB: VLF {vlf} !> fixed {fixed}");
+            // And essentially equals capacity at tiny eps.
+            assert!((vlf - awgn_capacity(snr)).abs() / vlf < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eps in [0,1)")]
+    fn vlf_rejects_bad_eps() {
+        vlf_max_rate(1.0, 1.0);
+    }
+
+    #[test]
+    fn crossover_detects_capacity_curve() {
+        // Shannon capacity exceeds the n=24 bound everywhere, so a code
+        // achieving capacity never crosses: expect None.
+        let grid: Vec<f64> = (-10..=40).map(f64::from).collect();
+        let rates: Vec<f64> = grid.iter().map(|&s| awgn_capacity_db_local(s)).collect();
+        assert_eq!(crossover_snr_db(&grid, &rates), None);
+
+        // A curve pinned at 4 bits/symbol crosses the bound somewhere in
+        // (10, 20) dB (the bound passes 4 bits/symbol there).
+        let flat: Vec<f64> = grid.iter().map(|_| 4.0).collect();
+        let x = crossover_snr_db(&grid, &flat).expect("flat curve must cross");
+        assert!(
+            (10.0..20.0).contains(&x),
+            "flat-4 crossover at {x} dB, expected (10, 20)"
+        );
+    }
+
+    fn awgn_capacity_db_local(db: f64) -> f64 {
+        awgn_capacity(db_to_linear(db))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ppv_monotone_in_n(snr_db in 0.0..40.0f64, n in 10u32..1000) {
+            let a = ppv_awgn_rate_db(n, 1e-4, snr_db);
+            let b = ppv_awgn_rate_db(n * 4, 1e-4, snr_db);
+            prop_assert!(b >= a, "n={n}: {a} -> {b}");
+        }
+
+        #[test]
+        fn prop_ppv_monotone_in_eps(snr_db in 0.0..40.0f64,
+                                    e1 in 1e-6..1e-2f64) {
+            // Easier (larger) error target permits a higher rate.
+            let strict = ppv_awgn_rate_db(24, e1, snr_db);
+            let loose = ppv_awgn_rate_db(24, e1 * 10.0, snr_db);
+            prop_assert!(loose >= strict);
+        }
+
+        #[test]
+        fn prop_ppv_monotone_in_snr(lo in -10.0..39.0f64, d in 0.1..5.0f64) {
+            let a = ppv_awgn_rate_db(24, 1e-4, lo);
+            let b = ppv_awgn_rate_db(24, 1e-4, lo + d);
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn prop_dispersion_nonnegative(snr in 0.0..1e6f64) {
+            prop_assert!(awgn_dispersion(snr) >= 0.0);
+        }
+    }
+}

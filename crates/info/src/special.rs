@@ -1,0 +1,388 @@
+//! Special functions implemented from scratch: `erf`, `erfc`, the Gaussian
+//! tail function `Q`, its inverse, and the binary entropy function.
+//!
+//! These are the only pieces of numerical analysis the evaluation needs:
+//! the Shannon bounds use `log2`, the Polyanskiy–Poor–Verdú normal
+//! approximation uses `Q⁻¹`, and the BSC capacity uses the binary entropy.
+//! Implementations follow classical published rational approximations
+//! (Cody-style for `erfc`, Acklam for the inverse normal CDF) with a
+//! Halley refinement step, giving ~1e-12 relative accuracy over the ranges
+//! the experiments exercise — far tighter than the Monte-Carlo noise of
+//! any simulation in this repository.
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^(−t²) dt`.
+///
+/// Uses the complementary function for |x| ≥ 0.5 to avoid cancellation;
+/// for small |x| a 15-term Maclaurin series already exceeds f64 precision.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x < 0.5 {
+        // Maclaurin series: erf(x) = 2/√π Σ (−1)ⁿ x^(2n+1) / (n! (2n+1)).
+        let two_over_sqrt_pi = 1.128_379_167_095_512_6_f64;
+        let x2 = x * x;
+        let mut term = x;
+        let mut sum = x;
+        for n in 1..30 {
+            term *= -x2 / n as f64;
+            let add = term / (2 * n + 1) as f64;
+            sum += add;
+            if add.abs() < 1e-18 * sum.abs() {
+                break;
+            }
+        }
+        two_over_sqrt_pi * sum
+    } else {
+        1.0 - erfc(x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// For x ≥ 0.5 uses the continued-fraction/rational expansion from
+/// Numerical Recipes (Cody-style Chebyshev fit), accurate to ~1e-14
+/// relative; negative arguments use the reflection `erfc(−x) = 2 − erfc(x)`.
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < 0.5 {
+        return 1.0 - erf(x);
+    }
+    // Chebyshev fit to erfc(x) = t·exp(−x² + P(t)), t = 2/(2+x)
+    // (Numerical Recipes "erfc" with extended coefficient set).
+    let t = 2.0 / (2.0 + x);
+    let ty = 4.0 * t - 2.0;
+    const COF: [f64; 28] = [
+        -1.3026537197817094,
+        6.419_697_923_564_902e-1,
+        1.9476473204185836e-2,
+        -9.561_514_786_808_63e-3,
+        -9.46595344482036e-4,
+        3.66839497852761e-4,
+        4.2523324806907e-5,
+        -2.0278578112534e-5,
+        -1.624290004647e-6,
+        1.303655835580e-6,
+        1.5626441722e-8,
+        -8.5238095915e-8,
+        6.529054439e-9,
+        5.059343495e-9,
+        -9.91364156e-10,
+        -2.27365122e-10,
+        9.6467911e-11,
+        2.394038e-12,
+        -6.886027e-12,
+        8.94487e-13,
+        3.13092e-13,
+        -1.12708e-13,
+        3.81e-16,
+        7.106e-15,
+        -1.523e-15,
+        -9.4e-17,
+        1.21e-16,
+        -2.8e-17,
+    ];
+    let mut d = 0.0_f64;
+    let mut dd = 0.0_f64;
+    for &c in COF.iter().rev().take(COF.len() - 1) {
+        let tmp = d;
+        d = ty * d - dd + c;
+        dd = tmp;
+    }
+    let ans = t * (-x * x + 0.5 * (COF[0] + ty * d) - dd).exp();
+    ans
+}
+
+/// The Gaussian tail function `Q(x) = P(N(0,1) > x) = ½ erfc(x/√2)`.
+pub fn q_func(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// The standard normal CDF `Φ(x) = 1 − Q(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// The standard normal density `φ(x)`.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Inverse of the standard normal CDF, `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Peter Acklam's rational approximation (~1.15e-9 relative error)
+/// followed by one Halley step against our high-precision [`normal_cdf`],
+/// which drives the error down to ~1e-14.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_inv_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_inv_cdf requires p in (0,1), got {p}"
+    );
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step: u = (Φ(x) − p)/φ(x);
+    // x ← x − u / (1 + x·u/2).
+    let e = normal_cdf(x) - p;
+    let u = e / normal_pdf(x);
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+/// Inverse of the Gaussian tail function: `Q⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn q_inv(p: f64) -> f64 {
+    normal_inv_cdf(1.0 - p)
+}
+
+/// The binary entropy function `H₂(p) = −p log₂ p − (1−p) log₂ (1−p)`,
+/// with the conventional continuous extension `H₂(0) = H₂(1) = 0`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binary_entropy(p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "binary_entropy requires p in [0,1], got {p}"
+    );
+    if p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Inverse of [`binary_entropy`] restricted to `p ∈ [0, ½]`, by bisection.
+///
+/// Useful for converting a BSC capacity target back into a crossover
+/// probability (`C = 1 − H₂(p)` ⇒ `p = H₂⁻¹(1 − C)`).
+///
+/// # Panics
+///
+/// Panics if `h` is outside `[0, 1]`.
+pub fn binary_entropy_inv(h: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&h),
+        "binary_entropy_inv requires h in [0,1], got {h}"
+    );
+    if h == 0.0 {
+        return 0.0;
+    }
+    if h == 1.0 {
+        return 0.5;
+    }
+    let (mut lo, mut hi) = (0.0_f64, 0.5_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if binary_entropy(mid) < h {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-15 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference values from Abramowitz & Stegun table 7.1 and
+    /// high-precision computation.
+    #[test]
+    fn erf_reference_values() {
+        let cases = [
+            (0.0, 0.0),
+            (0.1, 0.112_462_916_018_284_9),
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (1.5, 0.966_105_146_475_310_7),
+            (2.0, 0.995_322_265_018_952_7),
+            (3.0, 0.999_977_909_503_001_4),
+        ];
+        for (x, want) in cases {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "erf({x}) = {got}, want {want}"
+            );
+            assert!((erf(-x) + want).abs() < 1e-12, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        let cases = [
+            (0.5, 0.479_500_122_186_953_5),
+            (1.0, 0.157_299_207_050_285_1),
+            (2.0, 4.677_734_981_047_266e-3),
+            (3.0, 2.209_049_699_858_544e-5),
+            (4.0, 1.541_725_790_028_002e-8),
+            (5.0, 1.537_459_794_428_035e-12),
+        ];
+        for (x, want) in cases {
+            let got = erfc(x);
+            assert!(
+                ((got - want) / want).abs() < 1e-10,
+                "erfc({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_reference_values() {
+        // Q(x) for standard x from normal tables.
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.158_655_253_931_457_05),
+            (1.96, 0.024_997_895_148_220_428),
+            (3.0, 1.349_898_031_630_094_5e-3),
+            (4.7534243088229, 1e-6),
+        ];
+        for (x, want) in cases {
+            let got = q_func(x);
+            assert!(
+                ((got - want) / want).abs() < 1e-9,
+                "Q({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_inv_reference_values() {
+        // Q⁻¹(1e−4) ≈ 3.719016485… (used by the Fig. 2 PPV bound).
+        let got = q_inv(1e-4);
+        assert!(
+            (got - 3.719_016_485_455_709).abs() < 1e-9,
+            "Q^-1(1e-4) = {got}"
+        );
+        assert!((q_inv(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_entropy_known_points() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-15);
+        // H2(0.11) ≈ 0.49981… (the classic "half-capacity" crossover).
+        assert!((binary_entropy(0.11) - 0.499_915_958_164_528_6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn normal_inv_cdf_rejects_zero() {
+        normal_inv_cdf(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in [0,1]")]
+    fn binary_entropy_rejects_out_of_range() {
+        binary_entropy(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_erf_odd(x in -5.0..5.0f64) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+        }
+
+        #[test]
+        fn prop_erf_erfc_complement(x in -5.0..5.0f64) {
+            prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_erf_monotone(x in -4.0..4.0f64, dx in 1e-6..0.5f64) {
+            prop_assert!(erf(x + dx) > erf(x));
+        }
+
+        #[test]
+        fn prop_q_inv_roundtrip(p in 1e-9..0.999f64) {
+            let x = q_inv(p);
+            let back = q_func(x);
+            prop_assert!(((back - p) / p).abs() < 1e-7,
+                         "p={p} x={x} back={back}");
+        }
+
+        #[test]
+        fn prop_normal_inv_cdf_roundtrip(x in -5.0..5.0f64) {
+            let p = normal_cdf(x);
+            prop_assume!(p > 1e-12 && p < 1.0 - 1e-12);
+            prop_assert!((normal_inv_cdf(p) - x).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_entropy_symmetric(p in 0.0..=1.0f64) {
+            prop_assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_entropy_inv_roundtrip(p in 0.0..=0.5f64) {
+            let h = binary_entropy(p);
+            let back = binary_entropy_inv(h);
+            prop_assert!((back - p).abs() < 1e-9, "p={p} h={h} back={back}");
+        }
+    }
+}

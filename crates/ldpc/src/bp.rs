@@ -1,0 +1,306 @@
+//! Belief-propagation decoding on the Tanner graph.
+//!
+//! Figure 2's baseline is "decoded with a powerful decoder (40-iteration
+//! belief propagation decoder using soft information)" (§5). This module
+//! implements flooding-schedule BP with two check-node rules:
+//!
+//! * [`BpMethod::SumProduct`] — the exact tanh rule, the paper's
+//!   "powerful decoder";
+//! * [`BpMethod::MinSum`] — normalised min-sum, the standard hardware
+//!   simplification, for the decoder-quality ablation.
+//!
+//! LLR convention: positive means bit 0 (matching `spinal-modem`'s
+//! demappers). Decoding stops early when the hard decision satisfies
+//! every check.
+
+use crate::sparse::SparseBinMatrix;
+
+/// Check-node update rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BpMethod {
+    /// Exact sum-product (tanh) rule.
+    SumProduct,
+    /// Normalised min-sum with scale factor `alpha` (0.75–0.9 typical).
+    MinSum {
+        /// Normalisation factor applied to the minimum magnitude.
+        alpha: f64,
+    },
+}
+
+/// The outcome of a BP decode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BpOutcome {
+    /// Hard-decision bits after the final iteration.
+    pub bits: Vec<u8>,
+    /// `true` if all parity checks were satisfied (decoding success).
+    pub converged: bool,
+    /// Iterations actually run (≤ the configured maximum).
+    pub iterations: u32,
+}
+
+/// Message magnitudes are clamped here to keep `atanh` finite.
+const LLR_CLAMP: f64 = 25.0;
+
+/// Runs belief propagation.
+///
+/// * `h` — parity-check matrix;
+/// * `channel_llrs` — one LLR per variable (positive ⇒ bit 0);
+/// * `max_iters` — iteration cap (the paper uses 40);
+/// * `method` — check-node rule.
+///
+/// # Panics
+///
+/// Panics if `channel_llrs.len() != h.n_cols()` or `max_iters == 0`.
+pub fn decode(
+    h: &SparseBinMatrix,
+    channel_llrs: &[f64],
+    max_iters: u32,
+    method: BpMethod,
+) -> BpOutcome {
+    assert_eq!(
+        channel_llrs.len(),
+        h.n_cols(),
+        "got {} LLRs for {} variables",
+        channel_llrs.len(),
+        h.n_cols()
+    );
+    assert!(max_iters > 0, "need at least one iteration");
+
+    // Edge layout: one slot per (check, position-within-check).
+    let n_checks = h.n_rows();
+    let n_vars = h.n_cols();
+    let mut check_edge_start = Vec::with_capacity(n_checks + 1);
+    let mut total_edges = 0usize;
+    for r in 0..n_checks {
+        check_edge_start.push(total_edges);
+        total_edges += h.row(r).len();
+    }
+    check_edge_start.push(total_edges);
+
+    // For the variable-side pass we need, per variable, its incident
+    // (edge index) list.
+    let mut var_edges: Vec<Vec<u32>> = vec![Vec::new(); n_vars];
+    for r in 0..n_checks {
+        for (pos, &v) in h.row(r).iter().enumerate() {
+            var_edges[v as usize].push((check_edge_start[r] + pos) as u32);
+        }
+    }
+
+    // Messages. v2c initialised with the channel LLRs.
+    let mut v2c = vec![0.0f64; total_edges];
+    let mut c2v = vec![0.0f64; total_edges];
+    for r in 0..n_checks {
+        for (pos, &v) in h.row(r).iter().enumerate() {
+            v2c[check_edge_start[r] + pos] = channel_llrs[v as usize];
+        }
+    }
+
+    let mut hard = vec![0u8; n_vars];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for iter in 1..=max_iters {
+        iterations = iter;
+
+        // --- Check-node update ---
+        match method {
+            BpMethod::SumProduct => {
+                for r in 0..n_checks {
+                    let (start, end) = (check_edge_start[r], check_edge_start[r + 1]);
+                    let deg = end - start;
+                    if deg == 0 {
+                        continue;
+                    }
+                    // Prefix/suffix products of tanh(m/2) for exclusion.
+                    let tanhs: Vec<f64> = v2c[start..end]
+                        .iter()
+                        .map(|&m| (m.clamp(-LLR_CLAMP, LLR_CLAMP) / 2.0).tanh())
+                        .collect();
+                    let mut prefix = vec![1.0f64; deg + 1];
+                    for i in 0..deg {
+                        prefix[i + 1] = prefix[i] * tanhs[i];
+                    }
+                    let mut suffix = 1.0f64;
+                    for i in (0..deg).rev() {
+                        let t = prefix[i] * suffix;
+                        // Guard the open interval for atanh.
+                        let t = t.clamp(-0.999_999_999_999, 0.999_999_999_999);
+                        c2v[start + i] = 2.0 * t.atanh();
+                        suffix *= tanhs[i];
+                    }
+                }
+            }
+            BpMethod::MinSum { alpha } => {
+                for r in 0..n_checks {
+                    let (start, end) = (check_edge_start[r], check_edge_start[r + 1]);
+                    let deg = end - start;
+                    if deg == 0 {
+                        continue;
+                    }
+                    // Sign product and the two smallest magnitudes.
+                    let mut sign_prod = 1.0f64;
+                    let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
+                    let mut min1_pos = 0usize;
+                    for (i, &m) in v2c[start..end].iter().enumerate() {
+                        if m < 0.0 {
+                            sign_prod = -sign_prod;
+                        }
+                        let a = m.abs();
+                        if a < min1 {
+                            min2 = min1;
+                            min1 = a;
+                            min1_pos = i;
+                        } else if a < min2 {
+                            min2 = a;
+                        }
+                    }
+                    for i in 0..deg {
+                        let m = v2c[start + i];
+                        let self_sign = if m < 0.0 { -1.0 } else { 1.0 };
+                        let mag = if i == min1_pos { min2 } else { min1 };
+                        c2v[start + i] = alpha * sign_prod * self_sign * mag;
+                    }
+                }
+            }
+        }
+
+        // --- Variable-node update + posterior/hard decision ---
+        for v in 0..n_vars {
+            let total: f64 = channel_llrs[v]
+                + var_edges[v].iter().map(|&e| c2v[e as usize]).sum::<f64>();
+            hard[v] = u8::from(total < 0.0);
+            for &e in &var_edges[v] {
+                let m = (total - c2v[e as usize]).clamp(-LLR_CLAMP, LLR_CLAMP);
+                v2c[e as usize] = m;
+            }
+        }
+
+        // --- Early termination on parity satisfaction ---
+        if h.is_codeword(&hard) {
+            converged = true;
+            break;
+        }
+    }
+
+    BpOutcome {
+        bits: hard,
+        converged,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::{build_base, LdpcRate};
+    use crate::encode::encode;
+    use crate::qc::lift;
+
+    fn random_info(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+                (state >> 63) as u8
+            })
+            .collect()
+    }
+
+    /// LLRs for a noiseless BPSK observation of `bits`.
+    fn clean_llrs(bits: &[u8], confidence: f64) -> Vec<f64> {
+        bits.iter()
+            .map(|&b| if b == 0 { confidence } else { -confidence })
+            .collect()
+    }
+
+    #[test]
+    fn clean_input_converges_first_iteration() {
+        for rate in LdpcRate::all() {
+            let base = build_base(rate, 27, 3);
+            let h = lift(&base);
+            let cw = encode(&base, &random_info(rate.info_cols() * 27, 1));
+            let out = decode(&h, &clean_llrs(&cw, 10.0), 40, BpMethod::SumProduct);
+            assert!(out.converged, "rate {}", rate.name());
+            assert_eq!(out.iterations, 1);
+            assert_eq!(out.bits, cw);
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        // Flip a handful of bits with low confidence; BP must fix them.
+        let base = build_base(LdpcRate::R12, 27, 4);
+        let h = lift(&base);
+        let cw = encode(&base, &random_info(324, 2));
+        let mut llrs = clean_llrs(&cw, 4.0);
+        for &i in &[10usize, 100, 200, 300, 400, 500, 600] {
+            llrs[i] = -llrs[i] * 0.5; // wrong sign, weaker confidence
+        }
+        for method in [BpMethod::SumProduct, BpMethod::MinSum { alpha: 0.8 }] {
+            let out = decode(&h, &llrs, 40, method);
+            assert!(out.converged, "{method:?}");
+            assert_eq!(out.bits, cw, "{method:?}");
+            assert!(out.iterations <= 10, "{method:?}: {}", out.iterations);
+        }
+    }
+
+    #[test]
+    fn hopeless_input_reports_failure() {
+        // Random LLRs uncorrelated with any codeword: decoding must not
+        // claim success (except with vanishing probability).
+        let base = build_base(LdpcRate::R12, 27, 5);
+        let h = lift(&base);
+        let mut state = 77u64;
+        let llrs: Vec<f64> = (0..648)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 4.0
+            })
+            .collect();
+        let out = decode(&h, &llrs, 40, BpMethod::SumProduct);
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 40);
+    }
+
+    #[test]
+    fn erasure_like_llrs_recoverable() {
+        // Zero LLRs on a few positions (erasures) with the rest clean:
+        // parity constraints fill them in.
+        let base = build_base(LdpcRate::R23, 27, 6);
+        let h = lift(&base);
+        let cw = encode(&base, &random_info(432, 3));
+        let mut llrs = clean_llrs(&cw, 8.0);
+        for &i in &[0usize, 50, 333, 647] {
+            llrs[i] = 0.0;
+        }
+        let out = decode(&h, &llrs, 40, BpMethod::SumProduct);
+        assert!(out.converged);
+        assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    fn min_sum_alpha_one_is_plain_min_sum() {
+        let base = build_base(LdpcRate::R56, 27, 7);
+        let h = lift(&base);
+        let cw = encode(&base, &random_info(540, 4));
+        let out = decode(&h, &clean_llrs(&cw, 6.0), 40, BpMethod::MinSum { alpha: 1.0 });
+        assert!(out.converged);
+        assert_eq!(out.bits, cw);
+    }
+
+    #[test]
+    #[should_panic(expected = "LLRs for")]
+    fn llr_length_checked() {
+        let base = build_base(LdpcRate::R12, 27, 1);
+        let h = lift(&base);
+        decode(&h, &[0.0; 10], 40, BpMethod::SumProduct);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let base = build_base(LdpcRate::R12, 27, 1);
+        let h = lift(&base);
+        decode(&h, &vec![0.0; 648], 0, BpMethod::SumProduct);
+    }
+}

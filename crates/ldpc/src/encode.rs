@@ -1,0 +1,193 @@
+//! Linear-time QC-LDPC encoding via the dual-diagonal structure.
+//!
+//! The 802.11n parity part is designed so encoding needs no matrix
+//! inversion. Writing the codeword as `[s | p₀ | p₁ … p_{m_b−1}]` in
+//! `Z`-bit blocks, with `λ_i = Σ_j P^{h(i,j)} s_j` the info contribution
+//! to block row `i`:
+//!
+//! 1. Summing *all* block rows cancels every dual-diagonal parity block
+//!    (each appears twice) and the weight-3 column's two `P^{s₀}` entries,
+//!    leaving `p₀ = Σ_i λ_i`.
+//! 2. Row 0 then gives `p₁ = λ₀ + P^{s₀} p₀`.
+//! 3. Row `i` (1 ≤ i ≤ m_b−2) gives `p_{i+1} = λ_i + p_i` (plus `p₀` at
+//!    the weight-3 column's middle row).
+//!
+//! The final row is redundant and doubles as an internal consistency
+//! check (`debug_assert`).
+
+use crate::base::BaseMatrix;
+use crate::qc::{rotate, xor_into};
+
+/// Encodes `info` (length `k = info_cols·Z` bits of 0/1) into a codeword
+/// of length `n = 24·Z`.
+///
+/// # Panics
+///
+/// Panics if `info.len()` is not `k`.
+pub fn encode(base: &BaseMatrix, info: &[u8]) -> Vec<u8> {
+    let z = base.z() as usize;
+    let mb = base.rows();
+    let kb = base.cols() - mb;
+    assert_eq!(
+        info.len(),
+        kb * z,
+        "info length {} != k = {}",
+        info.len(),
+        kb * z
+    );
+
+    // λ_i = Σ_j P^{h(i,j)} s_j over the info columns.
+    let mut lambda = vec![vec![0u8; z]; mb];
+    for (r, c, s) in base.blocks() {
+        if c < kb {
+            let block = &info[c * z..(c + 1) * z];
+            let rotated = rotate(block, s);
+            xor_into(&mut lambda[r], &rotated);
+        }
+    }
+
+    // p0 = Σ λ_i.
+    let mut p0 = vec![0u8; z];
+    for l in &lambda {
+        xor_into(&mut p0, l);
+    }
+
+    // Back-substitution for p1..p_{mb-1}.
+    let s0 = base.s0();
+    let mid = base.mid_row();
+    let mut parity: Vec<Vec<u8>> = Vec::with_capacity(mb);
+    parity.push(p0.clone());
+    // p1 = λ0 + P^{s0} p0.
+    let mut p = lambda[0].clone();
+    xor_into(&mut p, &rotate(&p0, s0));
+    parity.push(p);
+    for i in 1..mb - 1 {
+        // p_{i+1} = λ_i + p_i (+ P^0 p0 if i == mid).
+        let mut next = lambda[i].clone();
+        xor_into(&mut next, &parity[i]);
+        if i == mid {
+            xor_into(&mut next, &p0);
+        }
+        parity.push(next);
+    }
+
+    // Redundant final row: λ_{mb−1} + P^{s0} p0 + p_{mb−1} = 0.
+    #[cfg(debug_assertions)]
+    {
+        let mut check = lambda[mb - 1].clone();
+        xor_into(&mut check, &rotate(&p0, s0));
+        xor_into(&mut check, &parity[mb - 1]);
+        if mid == mb - 1 {
+            xor_into(&mut check, &p0);
+        }
+        debug_assert!(
+            check.iter().all(|&b| b == 0),
+            "dual-diagonal consistency violated — base matrix malformed"
+        );
+    }
+
+    let mut codeword = Vec::with_capacity(24 * z);
+    codeword.extend_from_slice(info);
+    for p in &parity {
+        codeword.extend_from_slice(p);
+    }
+    codeword
+}
+
+/// Extracts the information bits from a codeword (systematic prefix).
+pub fn extract_info(base: &BaseMatrix, codeword: &[u8]) -> Vec<u8> {
+    let z = base.z() as usize;
+    let kb = base.cols() - base.rows();
+    codeword[..kb * z].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::{build_base, LdpcRate};
+    use crate::qc::lift;
+    use proptest::prelude::*;
+
+    fn random_info(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 63) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codewords_satisfy_all_checks() {
+        for rate in LdpcRate::all() {
+            let base = build_base(rate, 27, 11);
+            let h = lift(&base);
+            for seed in 0..8u64 {
+                let info = random_info(rate.info_cols() * 27, seed);
+                let cw = encode(&base, &info);
+                assert_eq!(cw.len(), 648);
+                assert!(
+                    h.is_codeword(&cw),
+                    "rate {} seed {seed}: H·c != 0",
+                    rate.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_systematic() {
+        let base = build_base(LdpcRate::R12, 27, 1);
+        let info = random_info(324, 99);
+        let cw = encode(&base, &info);
+        assert_eq!(&cw[..324], info.as_slice());
+        assert_eq!(extract_info(&base, &cw), info);
+    }
+
+    #[test]
+    fn zero_info_gives_zero_codeword() {
+        for rate in LdpcRate::all() {
+            let base = build_base(rate, 27, 2);
+            let cw = encode(&base, &vec![0u8; rate.info_cols() * 27]);
+            assert!(cw.iter().all(|&b| b == 0), "rate {}", rate.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "info length")]
+    fn wrong_info_length_panics() {
+        let base = build_base(LdpcRate::R12, 27, 1);
+        encode(&base, &[0u8; 100]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The code is linear: encode(a ⊕ b) = encode(a) ⊕ encode(b).
+        #[test]
+        fn prop_linearity(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+            let base = build_base(LdpcRate::R23, 27, 5);
+            let k = LdpcRate::R23.info_cols() * 27;
+            let a = random_info(k, seed_a);
+            let b = random_info(k, seed_b);
+            let ab: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            let ca = encode(&base, &a);
+            let cb = encode(&base, &b);
+            let cab = encode(&base, &ab);
+            let sum: Vec<u8> = ca.iter().zip(&cb).map(|(x, y)| x ^ y).collect();
+            prop_assert_eq!(cab, sum);
+        }
+
+        /// Every random codeword checks out, for every rate.
+        #[test]
+        fn prop_random_codewords_valid(seed in any::<u64>()) {
+            for rate in LdpcRate::all() {
+                let base = build_base(rate, 27, 7);
+                let h = lift(&base);
+                let info = random_info(rate.info_cols() * 27, seed);
+                prop_assert!(h.is_codeword(&encode(&base, &info)));
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Lifting: base matrix → full parity-check matrix.
+//!
+//! Each non-empty base entry with shift `s` expands to the `Z×Z` cyclic
+//! permutation `P^s`: block `(r, c)` contributes ones at
+//! `(r·Z + a, c·Z + (a + s) mod Z)` for `a = 0..Z`. The result for the
+//! paper's codes is a 648-column sparse matrix with 324/216/162/108 rows
+//! for rates 1/2, 2/3, 3/4, 5/6.
+
+use crate::base::BaseMatrix;
+use crate::sparse::SparseBinMatrix;
+
+/// Expands `base` into the lifted parity-check matrix.
+pub fn lift(base: &BaseMatrix) -> SparseBinMatrix {
+    let z = base.z() as usize;
+    let mut h = SparseBinMatrix::new(base.rows() * z, base.cols() * z);
+    for (r, c, s) in base.blocks() {
+        for a in 0..z {
+            h.set(r * z + a, c * z + (a + s as usize) % z);
+        }
+    }
+    h
+}
+
+/// Applies the block operator `P^s` to a length-`Z` GF(2) vector:
+/// `(P^s x)[a] = x[(a + s) mod Z]` — a left rotation by `s`. This is the
+/// per-block arithmetic the linear-time encoder uses.
+pub fn rotate(x: &[u8], s: u32) -> Vec<u8> {
+    let z = x.len();
+    let s = s as usize % z;
+    (0..z).map(|a| x[(a + s) % z]).collect()
+}
+
+/// XORs `src` into `dst` elementwise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "block length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s & 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::{build_base, LdpcRate};
+
+    #[test]
+    fn lifted_dimensions() {
+        for rate in LdpcRate::all() {
+            let b = build_base(rate, 27, 1);
+            let h = lift(&b);
+            assert_eq!(h.n_cols(), 648);
+            assert_eq!(h.n_rows(), rate.base_rows() * 27);
+        }
+    }
+
+    #[test]
+    fn each_block_is_a_permutation() {
+        // Every lifted row within a block has exactly one entry per
+        // non-empty base block; total row weight equals base row weight.
+        let b = build_base(LdpcRate::R12, 27, 2);
+        let h = lift(&b);
+        for r in 0..b.rows() {
+            let base_weight = (0..b.cols()).filter(|&c| b.shift(r, c) >= 0).count();
+            for a in 0..27 {
+                assert_eq!(h.row(r * 27 + a).len(), base_weight, "row ({r},{a})");
+            }
+        }
+    }
+
+    #[test]
+    fn column_weights_match_base() {
+        let b = build_base(LdpcRate::R34, 27, 3);
+        let h = lift(&b);
+        for c in 0..b.cols() {
+            let base_weight = (0..b.rows()).filter(|&r| b.shift(r, c) >= 0).count();
+            for a in 0..27 {
+                assert_eq!(h.col(c * 27 + a).len(), base_weight, "col ({c},{a})");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_is_cyclic_left_shift() {
+        let x = [1u8, 0, 0, 1, 0];
+        assert_eq!(rotate(&x, 0), x.to_vec());
+        assert_eq!(rotate(&x, 1), vec![0, 0, 1, 0, 1]);
+        assert_eq!(rotate(&x, 5), x.to_vec()); // full cycle
+        assert_eq!(rotate(&x, 7), rotate(&x, 2));
+    }
+
+    #[test]
+    fn rotate_matches_lifted_block_action() {
+        // For a single block with shift s, H·x restricted to that block
+        // must equal rotate(x, s).
+        let z = 27usize;
+        let s = 13u32;
+        let mut h = SparseBinMatrix::new(z, z);
+        for a in 0..z {
+            h.set(a, (a + s as usize) % z);
+        }
+        let x: Vec<u8> = (0..z as u8).map(|i| i % 2).collect();
+        assert_eq!(h.mul_vec(&x), rotate(&x, s));
+    }
+
+    #[test]
+    fn xor_into_is_gf2_addition() {
+        let mut a = [1u8, 1, 0, 0];
+        xor_into(&mut a, &[1, 0, 1, 0]);
+        assert_eq!(a, [0, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Sparse binary (GF(2)) matrices, as adjacency lists.
+//!
+//! Belief propagation and encoding both walk the Tanner graph — "which
+//! variables does check `i` touch, which checks does variable `j` touch" —
+//! so the parity-check matrix is stored as paired row/column adjacency
+//! lists rather than anything dense.
+
+/// A sparse binary matrix with both row-major and column-major adjacency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseBinMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<Vec<u32>>,
+    cols: Vec<Vec<u32>>,
+    ones: usize,
+}
+
+impl SparseBinMatrix {
+    /// Creates an all-zero matrix.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            rows: vec![Vec::new(); n_rows],
+            cols: vec![Vec::new(); n_cols],
+            ones: 0,
+        }
+    }
+
+    /// Builds from a list of one-entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicate entries.
+    pub fn from_entries(
+        n_rows: usize,
+        n_cols: usize,
+        entries: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        let mut m = Self::new(n_rows, n_cols);
+        for (r, c) in entries {
+            m.set(r, c);
+        }
+        m
+    }
+
+    /// Sets entry `(r, c)` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is out of range or already set.
+    pub fn set(&mut self, r: usize, c: usize) {
+        assert!(r < self.n_rows && c < self.n_cols, "entry ({r},{c}) out of range");
+        debug_assert!(
+            !self.rows[r].contains(&(c as u32)),
+            "duplicate entry ({r},{c})"
+        );
+        self.rows[r].push(c as u32);
+        self.cols[c].push(r as u32);
+        self.ones += 1;
+    }
+
+    /// Number of rows (checks).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (variables).
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of one-entries.
+    pub fn ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Column indices of the ones in row `r`.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.rows[r]
+    }
+
+    /// Row indices of the ones in column `c`.
+    pub fn col(&self, c: usize) -> &[u32] {
+        &self.cols[c]
+    }
+
+    /// GF(2) matrix–vector product `H·x` (syndrome computation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols`.
+    pub fn mul_vec(&self, x: &[u8]) -> Vec<u8> {
+        assert_eq!(x.len(), self.n_cols, "vector length mismatch");
+        self.rows
+            .iter()
+            .map(|row| row.iter().fold(0u8, |acc, &c| acc ^ (x[c as usize] & 1)))
+            .collect()
+    }
+
+    /// `true` when `x` satisfies every check (`H·x = 0`).
+    pub fn is_codeword(&self, x: &[u8]) -> bool {
+        assert_eq!(x.len(), self.n_cols, "vector length mismatch");
+        self.rows
+            .iter()
+            .all(|row| row.iter().fold(0u8, |acc, &c| acc ^ (x[c as usize] & 1)) == 0)
+    }
+
+    /// Fraction of entries that are one.
+    pub fn density(&self) -> f64 {
+        self.ones as f64 / (self.n_rows * self.n_cols) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let m = SparseBinMatrix::from_entries(3, 4, [(0, 1), (0, 3), (1, 0), (2, 1)]);
+        assert_eq!(m.row(0), &[1, 3]);
+        assert_eq!(m.row(1), &[0]);
+        assert_eq!(m.col(1), &[0, 2]);
+        assert_eq!(m.col(2), &[] as &[u32]);
+        assert_eq!(m.ones(), 4);
+        assert!((m.density() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_computes_syndrome() {
+        // H = [1 1 0; 0 1 1]
+        let m = SparseBinMatrix::from_entries(2, 3, [(0, 0), (0, 1), (1, 1), (1, 2)]);
+        assert_eq!(m.mul_vec(&[1, 1, 0]), vec![0, 1]);
+        assert_eq!(m.mul_vec(&[1, 1, 1]), vec![0, 0]);
+        assert!(m.is_codeword(&[1, 1, 1]));
+        assert!(!m.is_codeword(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn zero_vector_is_always_a_codeword() {
+        let m = SparseBinMatrix::from_entries(2, 5, [(0, 0), (1, 4)]);
+        assert!(m.is_codeword(&[0; 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        SparseBinMatrix::new(2, 2).set(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mul_vec_length_checked() {
+        SparseBinMatrix::new(2, 3).mul_vec(&[0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_syndrome_linear(x in proptest::collection::vec(0u8..2, 8),
+                                y in proptest::collection::vec(0u8..2, 8),
+                                seed in any::<u64>()) {
+            // Syndromes are GF(2)-linear: s(x ^ y) = s(x) ^ s(y).
+            let mut entries = Vec::new();
+            let mut state = seed | 1;
+            for r in 0..5usize {
+                for c in 0..8usize {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if state >> 62 == 3 {
+                        entries.push((r, c));
+                    }
+                }
+            }
+            let m = SparseBinMatrix::from_entries(5, 8, entries);
+            let xy: Vec<u8> = x.iter().zip(&y).map(|(a, b)| a ^ b).collect();
+            let sx = m.mul_vec(&x);
+            let sy = m.mul_vec(&y);
+            let sxy = m.mul_vec(&xy);
+            let combined: Vec<u8> = sx.iter().zip(&sy).map(|(a, b)| a ^ b).collect();
+            prop_assert_eq!(sxy, combined);
+        }
+    }
+}

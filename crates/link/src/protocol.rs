@@ -1,0 +1,155 @@
+//! Protocol configuration and reporting types.
+//!
+//! The paper's §6 lists "developing a feedback link-layer protocol for
+//! rateless spinal codes" as next-step work and §5 notes that "an
+//! eventual system using spinal codes (or for that matter any rateless
+//! code) ought to use a feedback protocol to achieve the best possible
+//! trade-off between throughput and latency." This crate builds that
+//! protocol in simulation:
+//!
+//! * the **sender** streams coded symbols for the frames in its window,
+//!   round-robin, and keeps transmitting a frame until its ACK arrives —
+//!   it has no channel estimate and never adapts a rate;
+//! * the **receiver** attempts decoding as symbols accumulate and sends
+//!   an ACK the moment a frame decodes; the ACK takes
+//!   [`LinkConfig::feedback_delay`] symbol-times to reach the sender;
+//! * with a window of 1 the protocol is stop-and-wait and every frame
+//!   wastes ~`feedback_delay` symbols; with a deeper window the sender
+//!   fills the ACK gap with other frames' symbols (pipelining), which is
+//!   the trade-off the `link_protocol` binary quantifies.
+
+use spinal_core::decode::BeamConfig;
+use spinal_core::hash::HashFamily;
+use spinal_core::map::AnyIqMapper;
+use spinal_core::puncture::AnySchedule;
+use spinal_sim::stats::RunningStats;
+
+/// Configuration of a link simulation.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Frame payload in bits (the spinal-code message).
+    pub message_bits: u32,
+    /// Segment size `k`.
+    pub k: u32,
+    /// Spine-hash family.
+    pub hash: HashFamily,
+    /// Constellation mapper.
+    pub mapper: AnyIqMapper,
+    /// Transmission schedule.
+    pub schedule: AnySchedule,
+    /// Beam decoder resources at the receiver.
+    pub beam: BeamConfig,
+    /// Channel SNR in dB.
+    pub snr_db: f64,
+    /// ACK propagation time, in symbol-times.
+    pub feedback_delay: u64,
+    /// Sender window: frames simultaneously in flight (1 = stop-and-wait).
+    pub frames_in_flight: u32,
+    /// Decode-attempt thinning at the receiver (≥ 1.0; see
+    /// `spinal_sim::rateless::RatelessConfig::attempt_growth`).
+    pub attempt_growth: f64,
+    /// Sender abandons a frame after this many of its symbols
+    /// (the §3 "too much time has been spent" escape hatch).
+    pub max_symbols_per_frame: u64,
+}
+
+impl LinkConfig {
+    /// A small demonstration configuration: 16-bit frames, k = 4, c = 6.
+    pub fn demo(snr_db: f64, feedback_delay: u64, frames_in_flight: u32) -> Self {
+        Self {
+            message_bits: 16,
+            k: 4,
+            hash: HashFamily::Lookup3,
+            mapper: AnyIqMapper::linear(6),
+            schedule: AnySchedule::none(),
+            beam: BeamConfig::with_beam(8),
+            snr_db,
+            feedback_delay,
+            frames_in_flight,
+            attempt_growth: 1.0,
+            max_symbols_per_frame: 4000,
+        }
+    }
+}
+
+/// Results of a link simulation.
+#[derive(Clone, Debug)]
+pub struct LinkReport {
+    /// Frames the application offered.
+    pub frames_requested: u32,
+    /// Frames delivered (decoded correctly and ACKed).
+    pub frames_delivered: u32,
+    /// Frames abandoned after the per-frame symbol budget.
+    pub frames_aborted: u32,
+    /// Total symbols the sender transmitted (including post-decode,
+    /// pre-ACK waste).
+    pub symbols_sent: u64,
+    /// Per-frame decode latency in symbol-times (first symbol sent →
+    /// decoded), over delivered frames.
+    pub decode_latency: RunningStats,
+    /// Per-frame symbols the receiver actually needed to decode.
+    pub symbols_to_decode: RunningStats,
+}
+
+impl LinkReport {
+    /// Link throughput in payload bits per transmitted symbol — the
+    /// protocol-level figure of merit (coding rate × protocol
+    /// efficiency).
+    pub fn throughput(&self, message_bits: u32) -> f64 {
+        if self.symbols_sent == 0 {
+            0.0
+        } else {
+            f64::from(self.frames_delivered) * f64::from(message_bits) / self.symbols_sent as f64
+        }
+    }
+
+    /// Fraction of frames delivered.
+    pub fn delivery_fraction(&self) -> f64 {
+        if self.frames_requested == 0 {
+            0.0
+        } else {
+            f64::from(self.frames_delivered) / f64::from(self.frames_requested)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_config_is_valid() {
+        let cfg = LinkConfig::demo(10.0, 16, 4);
+        assert_eq!(cfg.message_bits % cfg.k, 0);
+        assert!(cfg.attempt_growth >= 1.0);
+        assert_eq!(cfg.frames_in_flight, 4);
+    }
+
+    #[test]
+    fn report_throughput_math() {
+        let report = LinkReport {
+            frames_requested: 10,
+            frames_delivered: 8,
+            frames_aborted: 2,
+            symbols_sent: 64,
+            decode_latency: RunningStats::new(),
+            symbols_to_decode: RunningStats::new(),
+        };
+        assert!((report.throughput(16) - 8.0 * 16.0 / 64.0).abs() < 1e-12);
+        assert!((report.delivery_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let report = LinkReport {
+            frames_requested: 0,
+            frames_delivered: 0,
+            frames_aborted: 0,
+            symbols_sent: 0,
+            decode_latency: RunningStats::new(),
+            symbols_to_decode: RunningStats::new(),
+        };
+        assert_eq!(report.throughput(16), 0.0);
+        assert_eq!(report.delivery_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Fixed constellations: BPSK, QPSK (QAM-4), QAM-16, QAM-64.
+//!
+//! These are the symbol sets the Figure 2 LDPC baselines modulate over
+//! ("LDPC, rate ½, BPSK", "rate ¾, QAM-16", …). Square QAM is built as
+//! two independent Gray-coded PAM axes (the 802.11 labelling); every
+//! constellation is normalised to **unit average symbol energy** so the
+//! same AWGN channel calibration serves spinal and LDPC experiments
+//! alike.
+//!
+//! Bit order within a symbol is MSB-first: the first
+//! `bits_per_symbol/2` bits select the I level, the rest the Q level
+//! (for BPSK the single bit selects the I sign).
+
+use crate::gray::gray_decode;
+use spinal_core::symbol::IqSymbol;
+
+/// The modulations used by the Figure 2 baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// 1 bit/symbol, ±1 on the I axis.
+    Bpsk,
+    /// 2 bits/symbol (QAM-4).
+    Qpsk,
+    /// 4 bits/symbol.
+    Qam16,
+    /// 6 bits/symbol.
+    Qam64,
+}
+
+impl Modulation {
+    /// Bits carried per symbol.
+    pub fn bits_per_symbol(&self) -> u32 {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QAM-4",
+            Modulation::Qam16 => "QAM-16",
+            Modulation::Qam64 => "QAM-64",
+        }
+    }
+
+    /// All four modulations, in increasing density.
+    pub fn all() -> [Modulation; 4] {
+        [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ]
+    }
+}
+
+/// A concrete constellation: the point table plus its labelling.
+#[derive(Clone, Debug)]
+pub struct Constellation {
+    modulation: Modulation,
+    points: Vec<IqSymbol>,
+}
+
+impl Constellation {
+    /// Builds the (unit-energy, Gray-labelled) constellation for
+    /// `modulation`.
+    pub fn new(modulation: Modulation) -> Self {
+        let b = modulation.bits_per_symbol();
+        let mut points = match modulation {
+            Modulation::Bpsk => (0..2u64)
+                .map(|bits| IqSymbol::new(if bits == 0 { 1.0 } else { -1.0 }, 0.0))
+                .collect::<Vec<_>>(),
+            _ => {
+                // Square QAM: b/2 bits per axis, Gray labelling.
+                let half = b / 2;
+                let levels = 1u32 << half;
+                (0..(1u64 << b))
+                    .map(|bits| {
+                        let i_bits = (bits >> half) as u32;
+                        let q_bits = (bits & ((1 << half) - 1)) as u32;
+                        IqSymbol::new(
+                            Self::pam_level(i_bits, levels),
+                            Self::pam_level(q_bits, levels),
+                        )
+                    })
+                    .collect()
+            }
+        };
+        // Normalise to unit average energy.
+        let e: f64 = points.iter().map(IqSymbol::energy).sum::<f64>() / points.len() as f64;
+        let scale = (1.0 / e).sqrt();
+        for p in &mut points {
+            *p = *p * scale;
+        }
+        Self { modulation, points }
+    }
+
+    /// Gray-labelled PAM: bit pattern `v` selects level
+    /// `gray⁻¹`-ordered position `u`, mapped to `2u + 1 − L` (unnormalised).
+    fn pam_level(v: u32, levels: u32) -> f64 {
+        // Find the position whose Gray code equals v: since gray_encode is
+        // a bijection, position u satisfies gray_encode(u) = v.
+        let u = gray_decode(v);
+        f64::from(2 * u + 1) - f64::from(levels)
+    }
+
+    /// The modulation this table implements.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// Bits per symbol.
+    pub fn bits_per_symbol(&self) -> u32 {
+        self.modulation.bits_per_symbol()
+    }
+
+    /// The point table, indexed by the symbol's bit label.
+    pub fn points(&self) -> &[IqSymbol] {
+        &self.points
+    }
+
+    /// Maps a `bits_per_symbol`-bit label (low bits of `bits`) to its
+    /// point.
+    #[inline]
+    pub fn modulate(&self, bits: u64) -> IqSymbol {
+        self.points[(bits & ((1 << self.bits_per_symbol()) - 1)) as usize]
+    }
+
+    /// Modulates a bit slice (`0`/`1` values), MSB-first per symbol.
+    /// The final group is zero-padded if `bits.len()` is not a multiple
+    /// of `bits_per_symbol`.
+    pub fn modulate_bits(&self, bits: &[u8]) -> Vec<IqSymbol> {
+        let b = self.bits_per_symbol() as usize;
+        bits.chunks(b)
+            .map(|chunk| {
+                let mut v = 0u64;
+                for i in 0..b {
+                    v = (v << 1) | u64::from(*chunk.get(i).unwrap_or(&0) & 1);
+                }
+                self.modulate(v)
+            })
+            .collect()
+    }
+
+    /// Nearest-point hard demodulation: returns the label of the closest
+    /// constellation point.
+    pub fn hard_demodulate(&self, y: IqSymbol) -> u64 {
+        let mut best = (f64::INFINITY, 0u64);
+        for (label, p) in self.points.iter().enumerate() {
+            let d = y.dist_sq(p);
+            if d < best.0 {
+                best = (d, label as u64);
+            }
+        }
+        best.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_constellations() -> Vec<Constellation> {
+        Modulation::all().iter().map(|&m| Constellation::new(m)).collect()
+    }
+
+    #[test]
+    fn point_counts() {
+        let sizes: Vec<usize> = all_constellations().iter().map(|c| c.points().len()).collect();
+        assert_eq!(sizes, vec![2, 4, 16, 64]);
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for c in all_constellations() {
+            let e: f64 =
+                c.points().iter().map(IqSymbol::energy).sum::<f64>() / c.points().len() as f64;
+            assert!((e - 1.0).abs() < 1e-12, "{}: energy {e}", c.modulation().name());
+        }
+    }
+
+    #[test]
+    fn bpsk_is_antipodal_on_i() {
+        let c = Constellation::new(Modulation::Bpsk);
+        assert_eq!(c.modulate(0), IqSymbol::new(1.0, 0.0));
+        assert_eq!(c.modulate(1), IqSymbol::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn qpsk_occupies_four_quadrants() {
+        let c = Constellation::new(Modulation::Qpsk);
+        let mut quadrants: Vec<(bool, bool)> =
+            c.points().iter().map(|p| (p.i > 0.0, p.q > 0.0)).collect();
+        quadrants.sort_unstable();
+        quadrants.dedup();
+        assert_eq!(quadrants.len(), 4);
+    }
+
+    #[test]
+    fn gray_labelling_nearest_neighbours_differ_one_bit() {
+        // For square QAM, horizontally/vertically adjacent points must
+        // have labels at Hamming distance 1.
+        for m in [Modulation::Qam16, Modulation::Qam64] {
+            let c = Constellation::new(m);
+            let pts = c.points();
+            let n = pts.len();
+            let dmin = {
+                let mut d = f64::INFINITY;
+                for a in 0..n {
+                    for b in 0..n {
+                        if a != b {
+                            d = d.min(pts[a].dist_sq(&pts[b]));
+                        }
+                    }
+                }
+                d
+            };
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if pts[a].dist_sq(&pts[b]) < dmin * 1.0001 {
+                        let hd = ((a ^ b) as u32).count_ones();
+                        assert_eq!(hd, 1, "{}: labels {a:b} vs {b:b}", m.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modulate_bits_chunks_msb_first() {
+        let c = Constellation::new(Modulation::Qam16);
+        // 8 bits -> 2 symbols; first symbol label 0b1010, second 0b0101.
+        let syms = c.modulate_bits(&[1, 0, 1, 0, 0, 1, 0, 1]);
+        assert_eq!(syms.len(), 2);
+        assert_eq!(syms[0], c.modulate(0b1010));
+        assert_eq!(syms[1], c.modulate(0b0101));
+    }
+
+    #[test]
+    fn modulate_bits_pads_final_group_with_zeros() {
+        let c = Constellation::new(Modulation::Qpsk);
+        let syms = c.modulate_bits(&[1]);
+        assert_eq!(syms.len(), 1);
+        assert_eq!(syms[0], c.modulate(0b10));
+    }
+
+    #[test]
+    fn hard_demodulate_inverts_modulate() {
+        for c in all_constellations() {
+            for label in 0..c.points().len() as u64 {
+                assert_eq!(c.hard_demodulate(c.modulate(label)), label);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_legend() {
+        assert_eq!(Modulation::Qpsk.name(), "QAM-4");
+        assert_eq!(Modulation::Qam16.name(), "QAM-16");
+        assert_eq!(Modulation::Qam64.name(), "QAM-64");
+        assert_eq!(Modulation::Bpsk.name(), "BPSK");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hard_demod_robust_to_small_noise(label in 0u64..64, ni in -0.05..0.05f64, nq in -0.05..0.05f64) {
+            // QAM-64 min distance is ~0.31 after normalisation; ±0.05
+            // perturbations never cross a decision boundary.
+            let c = Constellation::new(Modulation::Qam64);
+            let y = c.modulate(label) + IqSymbol::new(ni, nq);
+            prop_assert_eq!(c.hard_demodulate(y), label);
+        }
+
+        #[test]
+        fn prop_modulate_masks_high_bits(bits in any::<u64>()) {
+            for c in all_constellations() {
+                let mask = (1u64 << c.bits_per_symbol()) - 1;
+                prop_assert_eq!(c.modulate(bits), c.modulate(bits & mask));
+            }
+        }
+    }
+}

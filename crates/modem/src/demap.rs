@@ -1,0 +1,229 @@
+//! Soft demapping: received symbols → per-bit log-likelihood ratios.
+//!
+//! The paper's LDPC baseline is "decoded with a powerful decoder
+//! (40-iteration belief propagation decoder using soft information)" (§5);
+//! the soft information is produced here. For each coded bit `i` of a
+//! symbol the demapper computes
+//!
+//! ```text
+//! LLR_i = ln  Σ_{x : bit_i(x)=0} exp(−‖y−x‖²/σ²)
+//!       − ln  Σ_{x : bit_i(x)=1} exp(−‖y−x‖²/σ²)
+//! ```
+//!
+//! (positive ⇒ bit 0 more likely), with `σ²` the total complex noise
+//! variance. [`DemapMethod::Exact`] evaluates the sums with a numerically
+//! stable log-sum-exp; [`DemapMethod::MaxLog`] keeps only the dominant
+//! term (`max-log-MAP`), the common hardware simplification.
+
+use crate::constellation::Constellation;
+use spinal_core::symbol::IqSymbol;
+
+/// Demapping algorithm choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemapMethod {
+    /// Full log-sum-exp over the constellation (exact bit-MAP LLRs).
+    Exact,
+    /// Max-log approximation: difference of minimum distances.
+    MaxLog,
+}
+
+/// Computes the LLRs of one received symbol, appending
+/// `bits_per_symbol` values (MSB-first, matching
+/// [`Constellation::modulate`]'s bit order) to `out`.
+///
+/// # Panics
+///
+/// Panics if `sigma2` is not positive.
+pub fn demap_into(
+    cst: &Constellation,
+    y: IqSymbol,
+    sigma2: f64,
+    method: DemapMethod,
+    out: &mut Vec<f64>,
+) {
+    assert!(sigma2 > 0.0, "demapping requires positive noise variance");
+    let b = cst.bits_per_symbol();
+    let points = cst.points();
+    match method {
+        DemapMethod::Exact => {
+            // Precompute the (negative) exponents once per point.
+            let exps: Vec<f64> = points.iter().map(|x| -y.dist_sq(x) / sigma2).collect();
+            for bit in (0..b).rev() {
+                let (mut max0, mut max1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for (label, &e) in exps.iter().enumerate() {
+                    if (label >> bit) & 1 == 0 {
+                        max0 = max0.max(e);
+                    } else {
+                        max1 = max1.max(e);
+                    }
+                }
+                // Stable log-sum-exp per class.
+                let (mut s0, mut s1) = (0.0f64, 0.0f64);
+                for (label, &e) in exps.iter().enumerate() {
+                    if (label >> bit) & 1 == 0 {
+                        s0 += (e - max0).exp();
+                    } else {
+                        s1 += (e - max1).exp();
+                    }
+                }
+                out.push((max0 + s0.ln()) - (max1 + s1.ln()));
+            }
+        }
+        DemapMethod::MaxLog => {
+            let d2: Vec<f64> = points.iter().map(|x| y.dist_sq(x)).collect();
+            for bit in (0..b).rev() {
+                let (mut min0, mut min1) = (f64::INFINITY, f64::INFINITY);
+                for (label, &d) in d2.iter().enumerate() {
+                    if (label >> bit) & 1 == 0 {
+                        min0 = min0.min(d);
+                    } else {
+                        min1 = min1.min(d);
+                    }
+                }
+                out.push((min1 - min0) / sigma2);
+            }
+        }
+    }
+}
+
+/// Demaps a whole received sequence, returning one LLR per coded bit.
+pub fn demap_sequence(
+    cst: &Constellation,
+    ys: &[IqSymbol],
+    sigma2: f64,
+    method: DemapMethod,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(ys.len() * cst.bits_per_symbol() as usize);
+    for &y in ys {
+        demap_into(cst, y, sigma2, method, &mut out);
+    }
+    out
+}
+
+/// Hard decision from an LLR: `0` when the LLR favours bit 0.
+#[inline]
+pub fn hard_decision(llr: f64) -> u8 {
+    u8::from(llr < 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::Modulation;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bpsk_exact_llr_is_4y_over_sigma2() {
+        // Classic closed form: x = ±1 on I, LLR = 4·y_i/σ².
+        let c = Constellation::new(Modulation::Bpsk);
+        for (y, sigma2) in [(0.7, 0.5), (-0.3, 1.0), (1.5, 0.2)] {
+            let mut out = Vec::new();
+            demap_into(&c, IqSymbol::new(y, 0.0), sigma2, DemapMethod::Exact, &mut out);
+            let want = 4.0 * y / sigma2;
+            assert!((out[0] - want).abs() < 1e-9, "y={y}: got {} want {want}", out[0]);
+        }
+    }
+
+    #[test]
+    fn bpsk_maxlog_equals_exact() {
+        // With only one point per class, max-log is exact.
+        let c = Constellation::new(Modulation::Bpsk);
+        let y = IqSymbol::new(0.42, 0.1);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        demap_into(&c, y, 0.3, DemapMethod::Exact, &mut a);
+        demap_into(&c, y, 0.3, DemapMethod::MaxLog, &mut b);
+        assert!((a[0] - b[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_symbol_gives_correct_signs() {
+        for m in Modulation::all() {
+            let c = Constellation::new(m);
+            for label in 0..(1u64 << c.bits_per_symbol()) {
+                let y = c.modulate(label);
+                for method in [DemapMethod::Exact, DemapMethod::MaxLog] {
+                    let mut out = Vec::new();
+                    demap_into(&c, y, 0.01, method, &mut out);
+                    for (j, &llr) in out.iter().enumerate() {
+                        let bit = (label >> (c.bits_per_symbol() - 1 - j as u32)) & 1;
+                        assert_eq!(
+                            u64::from(hard_decision(llr)),
+                            bit,
+                            "{} label {label} bit {j} llr {llr}",
+                            m.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_grows_with_snr() {
+        let c = Constellation::new(Modulation::Qam16);
+        let y = c.modulate(0b1010);
+        let mag = |sigma2: f64| {
+            let mut out = Vec::new();
+            demap_into(&c, y, sigma2, DemapMethod::Exact, &mut out);
+            out.iter().map(|l| l.abs()).sum::<f64>()
+        };
+        assert!(mag(0.01) > mag(0.1));
+        assert!(mag(0.1) > mag(1.0));
+    }
+
+    #[test]
+    fn maxlog_tracks_exact_at_high_snr() {
+        let c = Constellation::new(Modulation::Qam64);
+        let y = c.modulate(13) + IqSymbol::new(0.02, -0.03);
+        let mut exact = Vec::new();
+        let mut maxlog = Vec::new();
+        demap_into(&c, y, 0.01, DemapMethod::Exact, &mut exact);
+        demap_into(&c, y, 0.01, DemapMethod::MaxLog, &mut maxlog);
+        for (a, b) in exact.iter().zip(&maxlog) {
+            assert!((a - b).abs() / a.abs().max(1.0) < 0.05, "exact {a} maxlog {b}");
+        }
+    }
+
+    #[test]
+    fn demap_sequence_concatenates() {
+        let c = Constellation::new(Modulation::Qpsk);
+        let ys = [c.modulate(0b01), c.modulate(0b10)];
+        let llrs = demap_sequence(&c, &ys, 0.1, DemapMethod::Exact);
+        assert_eq!(llrs.len(), 4);
+        // First symbol: bits 0,1 -> signs +,-; second: -,+.
+        assert!(llrs[0] > 0.0 && llrs[1] < 0.0);
+        assert!(llrs[2] < 0.0 && llrs[3] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive noise variance")]
+    fn rejects_zero_variance() {
+        let c = Constellation::new(Modulation::Bpsk);
+        demap_into(&c, IqSymbol::new(1.0, 0.0), 0.0, DemapMethod::Exact, &mut Vec::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_llrs_finite(mi in -2.0..2.0f64, mq in -2.0..2.0f64, s in 0.01..2.0f64) {
+            let c = Constellation::new(Modulation::Qam16);
+            let mut out = Vec::new();
+            demap_into(&c, IqSymbol::new(mi, mq), s, DemapMethod::Exact, &mut out);
+            demap_into(&c, IqSymbol::new(mi, mq), s, DemapMethod::MaxLog, &mut out);
+            prop_assert!(out.iter().all(|l| l.is_finite()));
+        }
+
+        #[test]
+        fn prop_exact_maxlog_agree_in_sign_far_from_boundaries(label in 0u64..16) {
+            let c = Constellation::new(Modulation::Qam16);
+            let y = c.modulate(label); // exactly on a point
+            let mut exact = Vec::new();
+            let mut maxlog = Vec::new();
+            demap_into(&c, y, 0.05, DemapMethod::Exact, &mut exact);
+            demap_into(&c, y, 0.05, DemapMethod::MaxLog, &mut maxlog);
+            for (a, b) in exact.iter().zip(&maxlog) {
+                prop_assert_eq!(hard_decision(*a), hard_decision(*b));
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Gray coding: adjacent constellation points differ in exactly one bit.
+//!
+//! Every fixed constellation in the Figure 2 LDPC baseline uses Gray
+//! labelling per axis (as 802.11 does), so a nearest-neighbour symbol
+//! error corrupts a single coded bit.
+
+/// Binary-reflected Gray encoding.
+#[inline]
+pub fn gray_encode(n: u32) -> u32 {
+    n ^ (n >> 1)
+}
+
+/// Inverse of [`gray_encode`] (prefix-XOR from the top bit down).
+#[inline]
+pub fn gray_decode(g: u32) -> u32 {
+    let mut out = 0u32;
+    let mut acc = 0u32;
+    for bit in (0..32).rev() {
+        acc ^= (g >> bit) & 1;
+        out |= acc << bit;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        // 0,1,2,3,4 -> 0,1,3,2,6
+        assert_eq!(gray_encode(0), 0);
+        assert_eq!(gray_encode(1), 1);
+        assert_eq!(gray_encode(2), 3);
+        assert_eq!(gray_encode(3), 2);
+        assert_eq!(gray_encode(4), 6);
+    }
+
+    #[test]
+    fn adjacent_codes_differ_in_one_bit() {
+        for n in 0u32..255 {
+            let d = gray_encode(n) ^ gray_encode(n + 1);
+            assert_eq!(d.count_ones(), 1, "n={n}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(n in any::<u32>()) {
+            prop_assert_eq!(gray_decode(gray_encode(n)), n);
+            prop_assert_eq!(gray_encode(gray_decode(n)), n);
+        }
+
+        #[test]
+        fn prop_gray_is_bijection_on_bytes(a in 0u32..256, b in 0u32..256) {
+            prop_assume!(a != b);
+            prop_assert_ne!(gray_encode(a), gray_encode(b));
+        }
+    }
+}

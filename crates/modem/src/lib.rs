@@ -1,0 +1,33 @@
+//! Fixed constellations and soft demapping — the modulation substrate of
+//! the Figure 2 LDPC baseline.
+//!
+//! The paper compares the spinal code against 802.11n LDPC codes run over
+//! BPSK, QAM-4, QAM-16 and QAM-64. This crate provides those symbol sets
+//! ([`constellation::Constellation`], Gray-labelled, unit average energy)
+//! and the LLR demappers ([`demap`]) that feed soft information to the
+//! belief-propagation decoder in `spinal-ldpc`.
+//!
+//! # Example
+//!
+//! ```
+//! use spinal_modem::{Constellation, DemapMethod, Modulation, demap_sequence, hard_decision};
+//!
+//! let qam16 = Constellation::new(Modulation::Qam16);
+//! let coded = [1u8, 0, 1, 1, 0, 0, 1, 0];
+//! let tx = qam16.modulate_bits(&coded);
+//! // Noiseless demap recovers the bits with confident LLRs.
+//! let llrs = demap_sequence(&qam16, &tx, 0.05, DemapMethod::Exact);
+//! let hard: Vec<u8> = llrs.iter().map(|&l| hard_decision(l)).collect();
+//! assert_eq!(hard, coded);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constellation;
+pub mod demap;
+pub mod gray;
+
+pub use constellation::{Constellation, Modulation};
+pub use demap::{demap_into, demap_sequence, hard_decision, DemapMethod};
+pub use gray::{gray_decode, gray_encode};

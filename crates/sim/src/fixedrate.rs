@@ -1,0 +1,190 @@
+//! The fixed-rate LDPC goodput harness — Figure 2's baseline curves.
+//!
+//! Each LDPC configuration in the figure is a (code rate, modulation)
+//! pair at a fixed nominal rate of `code_rate × bits_per_symbol` bits per
+//! symbol. Per trial: random information word → systematic QC-LDPC
+//! encoding → Gray-mapped modulation → AWGN → exact soft demapping →
+//! 40-iteration belief propagation. The plotted goodput is
+//! `nominal rate × frame success rate`: below the waterfall the curve
+//! collapses to zero, above it the curve sits flat at the nominal rate —
+//! the step shapes of Figure 2.
+
+use crate::stats::derive_seed;
+use spinal_channel::{AwgnChannel, Channel, Rng};
+use spinal_ldpc::{BpMethod, LdpcCode, LdpcRate};
+use spinal_modem::{demap_sequence, Constellation, DemapMethod, Modulation};
+
+/// One baseline configuration (a legend entry of Figure 2).
+#[derive(Clone, Debug)]
+pub struct LdpcConfig {
+    /// Code rate.
+    pub rate: LdpcRate,
+    /// Modulation.
+    pub modulation: Modulation,
+    /// BP iteration cap (the paper uses 40).
+    pub max_iters: u32,
+    /// Check-node rule.
+    pub method: BpMethod,
+    /// Soft-demapping algorithm.
+    pub demap: DemapMethod,
+    /// Seed selecting the QC-LDPC circulant shifts.
+    pub code_seed: u64,
+}
+
+impl LdpcConfig {
+    /// The paper's decoder settings for a (rate, modulation) pair:
+    /// 40-iteration sum-product BP on exact LLRs.
+    pub fn paper(rate: LdpcRate, modulation: Modulation) -> Self {
+        Self {
+            rate,
+            modulation,
+            max_iters: 40,
+            method: BpMethod::SumProduct,
+            demap: DemapMethod::Exact,
+            code_seed: 0x8021_1000,
+        }
+    }
+
+    /// The eight legend entries of Figure 2, in the paper's order.
+    pub fn fig2_set() -> Vec<LdpcConfig> {
+        [
+            (LdpcRate::R12, Modulation::Bpsk),
+            (LdpcRate::R12, Modulation::Qpsk),
+            (LdpcRate::R34, Modulation::Qpsk),
+            (LdpcRate::R12, Modulation::Qam16),
+            (LdpcRate::R34, Modulation::Qam16),
+            (LdpcRate::R23, Modulation::Qam64),
+            (LdpcRate::R34, Modulation::Qam64),
+            (LdpcRate::R56, Modulation::Qam64),
+        ]
+        .into_iter()
+        .map(|(r, m)| LdpcConfig::paper(r, m))
+        .collect()
+    }
+
+    /// Nominal information rate in bits per symbol.
+    pub fn nominal_rate(&self) -> f64 {
+        self.rate.as_f64() * f64::from(self.modulation.bits_per_symbol())
+    }
+
+    /// Legend label, e.g. `LDPC r=3/4 QAM-16`.
+    pub fn label(&self) -> String {
+        format!("LDPC r={} {}", self.rate.name(), self.modulation.name())
+    }
+}
+
+/// Aggregated results of an LDPC goodput run.
+#[derive(Clone, Debug)]
+pub struct LdpcOutcome {
+    /// Trials run.
+    pub trials: u32,
+    /// Frames decoded to exactly the transmitted codeword.
+    pub frame_successes: u32,
+    /// Frames where BP converged to a *different* codeword (undetected).
+    pub undetected: u32,
+    /// Nominal rate of the configuration (bits/symbol).
+    pub nominal_rate: f64,
+}
+
+impl LdpcOutcome {
+    /// Frame success rate.
+    pub fn fsr(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            f64::from(self.frame_successes) / f64::from(self.trials)
+        }
+    }
+
+    /// Goodput in information bits per symbol:
+    /// `nominal rate × frame success rate`.
+    pub fn goodput(&self) -> f64 {
+        self.nominal_rate * self.fsr()
+    }
+}
+
+/// Runs `trials` frames of `cfg` over AWGN at `snr_db`.
+pub fn run_ldpc_awgn(cfg: &LdpcConfig, snr_db: f64, trials: u32, seed: u64) -> LdpcOutcome {
+    let code = LdpcCode::new(cfg.rate, cfg.code_seed);
+    let cst = Constellation::new(cfg.modulation);
+    let mut outcome = LdpcOutcome {
+        trials: 0,
+        frame_successes: 0,
+        undetected: 0,
+        nominal_rate: cfg.nominal_rate(),
+    };
+    for trial in 0..trials {
+        let msg_seed = derive_seed(seed, 20, u64::from(trial));
+        let noise_seed = derive_seed(seed, 21, u64::from(trial));
+        let mut rng = Rng::seed_from(msg_seed);
+        let info: Vec<u8> = (0..code.k()).map(|_| u8::from(rng.bit())).collect();
+        let cw = code.encode(&info);
+        let tx = cst.modulate_bits(&cw);
+        let mut channel = AwgnChannel::from_snr_db(snr_db, noise_seed);
+        let rx: Vec<_> = tx.into_iter().map(|x| channel.transmit(x)).collect();
+        let llrs = demap_sequence(&cst, &rx, channel.sigma2(), cfg.demap);
+        let out = code.decode(&llrs[..code.n()], cfg.max_iters, cfg.method);
+        outcome.trials += 1;
+        if out.converged {
+            if out.bits == cw {
+                outcome.frame_successes += 1;
+            } else {
+                outcome.undetected += 1;
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_set_matches_legend() {
+        let set = LdpcConfig::fig2_set();
+        assert_eq!(set.len(), 8);
+        let labels: Vec<String> = set.iter().map(LdpcConfig::label).collect();
+        assert_eq!(labels[0], "LDPC r=1/2 BPSK");
+        assert_eq!(labels[7], "LDPC r=5/6 QAM-64");
+        // Nominal rates ascend overall from 0.5 to 5.
+        assert!((set[0].nominal_rate() - 0.5).abs() < 1e-12);
+        assert!((set[7].nominal_rate() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_snr_reaches_nominal_rate() {
+        // Rate 1/2 QPSK at 15 dB is far above its waterfall (~1-2 dB).
+        let cfg = LdpcConfig::paper(LdpcRate::R12, Modulation::Qpsk);
+        let out = run_ldpc_awgn(&cfg, 15.0, 12, 5);
+        assert_eq!(out.fsr(), 1.0, "FSR {}", out.fsr());
+        assert!((out.goodput() - 1.0).abs() < 1e-9);
+        assert_eq!(out.undetected, 0);
+    }
+
+    #[test]
+    fn low_snr_collapses_to_zero() {
+        // Rate 3/4 QAM-64 needs ~18 dB; at 2 dB nothing decodes.
+        let cfg = LdpcConfig::paper(LdpcRate::R34, Modulation::Qam64);
+        let out = run_ldpc_awgn(&cfg, 2.0, 8, 6);
+        assert_eq!(out.frame_successes, 0);
+        assert_eq!(out.goodput(), 0.0);
+    }
+
+    #[test]
+    fn waterfall_is_monotone() {
+        let cfg = LdpcConfig::paper(LdpcRate::R12, Modulation::Bpsk);
+        let lo = run_ldpc_awgn(&cfg, -4.0, 10, 7).fsr();
+        let hi = run_ldpc_awgn(&cfg, 6.0, 10, 7).fsr();
+        assert!(hi >= lo, "FSR must not decrease with SNR: {lo} -> {hi}");
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = LdpcConfig::paper(LdpcRate::R23, Modulation::Qam16);
+        let a = run_ldpc_awgn(&cfg, 9.0, 6, 11);
+        let b = run_ldpc_awgn(&cfg, 9.0, 6, 11);
+        assert_eq!(a.frame_successes, b.frame_successes);
+    }
+}

@@ -1,0 +1,148 @@
+//! A small deterministic thread-pool runner for parameter sweeps.
+//!
+//! Experiment points (SNR values, beam widths, …) are independent, so the
+//! harness fans them out over `std::thread::scope` workers. Results come
+//! back in input order, and each point derives its own seed, so the output
+//! is identical whatever the thread count — determinism is part of the
+//! reproduction contract (DESIGN.md §2.10).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on `threads` worker threads, preserving order.
+///
+/// `f` must be `Sync` (shared by reference across workers); items are
+/// taken by index, so no channel machinery is needed.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker panics.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker left a hole")
+        })
+        .collect()
+}
+
+/// A sensible default worker count: available parallelism, capped at the
+/// item count by [`parallel_map`] anyway.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// An inclusive SNR grid in dB with the given step.
+///
+/// # Panics
+///
+/// Panics if `step` is not positive or `hi < lo`.
+pub fn snr_grid(lo: f64, hi: f64, step: f64) -> Vec<f64> {
+    assert!(step > 0.0, "step must be positive");
+    assert!(hi >= lo, "empty grid: hi < lo");
+    let n = ((hi - lo) / step).round() as usize;
+    (0..=n).map(|i| lo + i as f64 * step).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * x);
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn single_thread_matches_many_threads() {
+        let items: Vec<u64> = (0..37).collect();
+        let one = parallel_map(&items, 1, |&x| x.wrapping_mul(0x9e3779b9).rotate_left(7));
+        let many = parallel_map(&items, 16, |&x| x.wrapping_mul(0x9e3779b9).rotate_left(7));
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u64> = Vec::new();
+        let out: Vec<u64> = parallel_map(&items, 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1u32, 2, 3];
+        let out = parallel_map(&items, 64, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently_when_asked() {
+        // Smoke test: all items processed exactly once.
+        use std::sync::atomic::AtomicU32;
+        let counter = AtomicU32::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let _ = parallel_map(&items, 8, |_| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn snr_grid_inclusive() {
+        let g = snr_grid(-10.0, 40.0, 5.0);
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], -10.0);
+        assert_eq!(g[10], 40.0);
+        let fine = snr_grid(0.0, 1.0, 0.25);
+        assert_eq!(fine, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        parallel_map(&[1], 0, |&x: &i32| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn bad_grid_step_rejected() {
+        snr_grid(0.0, 10.0, 0.0);
+    }
+}

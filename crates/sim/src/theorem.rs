@@ -1,0 +1,255 @@
+//! Empirical validation of Theorems 1 and 2.
+//!
+//! Both theorems have the same shape: BER → 0 (as n → ∞) once the number
+//! of passes `L` clears a capacity threshold —
+//! `L·[C_awgn(SNR) − ½log₂(πe/6)] > k` for AWGN (Thm. 1) and
+//! `L·C_bsc(p) > k` for the BSC (Thm. 2). The harness here measures BER
+//! as a function of `L` at fixed channel quality: transmit exactly `L`
+//! unpunctured passes, decode once, count wrong message bits. The
+//! regenerating binaries (`thm1_awgn`, `thm2_bsc`) print the measured
+//! curve next to the theorem's threshold.
+
+use crate::rateless::{BscRatelessConfig, RatelessConfig};
+use crate::stats::derive_seed;
+use spinal_channel::{AdcQuantizer, AwgnChannel, BscChannel, Channel, Rng};
+use spinal_core::decode::{BeamConfig, BeamDecoder, CostModel, Observations};
+use spinal_core::hash::AnyHash;
+use spinal_core::map::{BinaryMapper, Mapper};
+use spinal_core::params::CodeParams;
+use spinal_core::symbol::Slot;
+use spinal_core::{AwgnCost, BitVec, BscCost, Encoder};
+
+/// Measured BER at one pass count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TheoremPoint {
+    /// Number of passes transmitted.
+    pub passes: u32,
+    /// The code rate this corresponds to, `k / L` bits per symbol.
+    pub rate: f64,
+    /// Measured bit error rate over the message bits.
+    pub ber: f64,
+    /// Fraction of trials with at least one bit error.
+    pub frame_error_rate: f64,
+}
+
+/// Transmits exactly `passes` unpunctured passes and decodes once,
+/// returning the decoded message. Shared by the theorem and
+/// BER-by-position harnesses.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decode_after_passes<M, C, Ch>(
+    params: &CodeParams,
+    hash: AnyHash,
+    mapper: &M,
+    cost: C,
+    beam: BeamConfig,
+    passes: u32,
+    message: &BitVec,
+    channel: &mut Ch,
+    post: impl Fn(M::Symbol) -> M::Symbol,
+) -> BitVec
+where
+    M: Mapper,
+    C: CostModel<M::Symbol>,
+    Ch: Channel<M::Symbol>,
+{
+    let encoder = Encoder::new(params, hash.clone(), mapper.clone(), message)
+        .expect("message length validated by caller");
+    let mut obs = Observations::new(params.n_segments());
+    for pass in 0..passes {
+        for t in 0..params.n_segments() {
+            let slot = Slot::new(t, pass);
+            obs.push(slot, post(channel.transmit(encoder.symbol(slot))));
+        }
+    }
+    BeamDecoder::new(params, hash, mapper.clone(), cost, beam)
+        .decode(&obs)
+        .message
+}
+
+fn count_bit_errors(a: &BitVec, b: &BitVec) -> usize {
+    a.hamming_distance(b)
+}
+
+/// Measures the Theorem-1 BER-vs-L curve on AWGN at `snr_db`.
+///
+/// Uses `cfg`'s code geometry, mapper, beam and ADC settings; the
+/// schedule and termination fields are ignored (transmission is exactly
+/// `L` full passes).
+pub fn thm1_curve(
+    cfg: &RatelessConfig,
+    snr_db: f64,
+    l_values: &[u32],
+    trials: u32,
+    seed: u64,
+) -> Vec<TheoremPoint> {
+    l_values
+        .iter()
+        .map(|&l| {
+            assert!(l >= 1, "pass counts start at 1");
+            let mut bit_errors = 0usize;
+            let mut frame_errors = 0u32;
+            for trial in 0..trials {
+                let code_seed = derive_seed(seed, 30 + u64::from(l), u64::from(trial));
+                let noise_seed = derive_seed(seed, 130 + u64::from(l), u64::from(trial));
+                let msg_seed = derive_seed(seed, 230 + u64::from(l), u64::from(trial));
+                let params = CodeParams::builder()
+                    .message_bits(cfg.message_bits)
+                    .k(cfg.k)
+                    .tail_segments(cfg.tail_segments)
+                    .seed(code_seed)
+                    .build()
+                    .expect("invalid config");
+                let hash = AnyHash::new(cfg.hash, code_seed);
+                let mut rng = Rng::seed_from(msg_seed);
+                let message: BitVec = (0..cfg.message_bits).map(|_| rng.bit()).collect();
+                let mut channel = AwgnChannel::from_snr_db(snr_db, noise_seed);
+                let adc = cfg.adc_bits.map(|b| {
+                    AdcQuantizer::new(b, cfg.mapper.peak() + 4.0 * (channel.sigma2() / 2.0).sqrt())
+                });
+                let decoded = decode_after_passes(
+                    &params,
+                    hash,
+                    &cfg.mapper,
+                    AwgnCost,
+                    cfg.beam,
+                    l,
+                    &message,
+                    &mut channel,
+                    |y| match &adc {
+                        Some(q) => q.quantize_symbol(y),
+                        None => y,
+                    },
+                );
+                let e = count_bit_errors(&decoded, &message);
+                bit_errors += e;
+                frame_errors += u32::from(e > 0);
+            }
+            TheoremPoint {
+                passes: l,
+                rate: f64::from(cfg.k) / f64::from(l),
+                ber: bit_errors as f64 / (f64::from(trials) * f64::from(cfg.message_bits)),
+                frame_error_rate: f64::from(frame_errors) / f64::from(trials),
+            }
+        })
+        .collect()
+}
+
+/// Measures the Theorem-2 BER-vs-L curve on a BSC(p).
+pub fn thm2_curve(
+    cfg: &BscRatelessConfig,
+    p: f64,
+    l_values: &[u32],
+    trials: u32,
+    seed: u64,
+) -> Vec<TheoremPoint> {
+    l_values
+        .iter()
+        .map(|&l| {
+            assert!(l >= 1, "pass counts start at 1");
+            let mut bit_errors = 0usize;
+            let mut frame_errors = 0u32;
+            for trial in 0..trials {
+                let code_seed = derive_seed(seed, 330 + u64::from(l), u64::from(trial));
+                let noise_seed = derive_seed(seed, 430 + u64::from(l), u64::from(trial));
+                let msg_seed = derive_seed(seed, 530 + u64::from(l), u64::from(trial));
+                let params = CodeParams::builder()
+                    .message_bits(cfg.message_bits)
+                    .k(cfg.k)
+                    .tail_segments(cfg.tail_segments)
+                    .seed(code_seed)
+                    .build()
+                    .expect("invalid config");
+                let hash = AnyHash::new(cfg.hash, code_seed);
+                let mut rng = Rng::seed_from(msg_seed);
+                let message: BitVec = (0..cfg.message_bits).map(|_| rng.bit()).collect();
+                let mut channel = BscChannel::new(p, noise_seed);
+                let decoded = decode_after_passes(
+                    &params,
+                    hash,
+                    &BinaryMapper::new(),
+                    BscCost,
+                    cfg.beam,
+                    l,
+                    &message,
+                    &mut channel,
+                    |y| y,
+                );
+                let e = count_bit_errors(&decoded, &message);
+                bit_errors += e;
+                frame_errors += u32::from(e > 0);
+            }
+            TheoremPoint {
+                passes: l,
+                rate: f64::from(cfg.k) / f64::from(l),
+                ber: bit_errors as f64 / (f64::from(trials) * f64::from(cfg.message_bits)),
+                frame_error_rate: f64::from(frame_errors) / f64::from(trials),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinal_core::hash::HashFamily;
+    use spinal_core::map::AnyIqMapper;
+    use spinal_core::puncture::AnySchedule;
+
+    fn cfg() -> RatelessConfig {
+        RatelessConfig {
+            message_bits: 16,
+            k: 4,
+            tail_segments: 0,
+            hash: HashFamily::Lookup3,
+            mapper: AnyIqMapper::linear(6),
+            schedule: AnySchedule::none(),
+            beam: BeamConfig::with_beam(8),
+            adc_bits: None,
+            max_passes: 100,
+            attempt_growth: 1.0,
+            termination: crate::rateless::Termination::Genie,
+        }
+    }
+
+    #[test]
+    fn thm1_ber_decreases_with_passes() {
+        // At 5 dB (C ≈ 2.06), k = 4 needs L ≥ 3 by Theorem 1;
+        // L = 1 must be lossy, L = 6 essentially clean.
+        let pts = thm1_curve(&cfg(), 5.0, &[1, 6], 12, 1);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[0].ber > pts[1].ber,
+            "BER must fall with L: {} -> {}",
+            pts[0].ber,
+            pts[1].ber
+        );
+        assert!(pts[1].ber < 0.02, "L=6 BER {}", pts[1].ber);
+        assert_eq!(pts[0].passes, 1);
+        assert!((pts[0].rate - 4.0).abs() < 1e-12);
+        assert!((pts[1].rate - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thm2_ber_decreases_with_passes() {
+        let bsc_cfg = BscRatelessConfig::default_k4(16);
+        // p = 0.05 (C ≈ 0.71): k = 4 needs L ≥ 6; L = 2 lossy, L = 12 clean.
+        let pts = thm2_curve(&bsc_cfg, 0.05, &[2, 12], 12, 2);
+        assert!(pts[0].ber > pts[1].ber);
+        assert!(pts[1].ber < 0.03, "L=12 BER {}", pts[1].ber);
+    }
+
+    #[test]
+    fn clean_channels_are_perfect_at_threshold() {
+        // Noiseless AWGN: one pass decodes exactly.
+        let pts = thm1_curve(&cfg(), 60.0, &[1], 8, 3);
+        assert_eq!(pts[0].ber, 0.0);
+        assert_eq!(pts[0].frame_error_rate, 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = thm1_curve(&cfg(), 5.0, &[2], 6, 9);
+        let b = thm1_curve(&cfg(), 5.0, &[2], 6, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! # spinal-codes — Rateless Spinal Codes (HotNets 2011), reproduced in Rust
+//!
+//! This is the umbrella crate of a from-scratch reproduction of
+//! *Rateless Spinal Codes* (Perry, Balakrishnan, Shah — HotNets 2011):
+//! a rateless channel code that hashes the message's `k`-bit segments
+//! into a spine of pseudo-random states and maps their expansion bits
+//! directly onto a dense I-Q constellation. The receiver replays the
+//! encoder over a pruned hypothesis tree (the practical "B-beam"
+//! decoder) and asks for more symbols until it succeeds — no channel
+//! estimation, no rate adaptation.
+//!
+//! The workspace layers, re-exported here as modules:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | crate root | `spinal-core` | encoder, beam + ML decoders, hashes, mappers, puncturing, CRC framing |
+//! | [`channel`] | `spinal-channel` | AWGN, BSC, BEC, Rayleigh block fading, ADC quantizer, seeded PRNG |
+//! | [`modem`] | `spinal-modem` | BPSK/QPSK/QAM-16/QAM-64 + soft LLR demappers |
+//! | [`ldpc`] | `spinal-ldpc` | 802.11n-style QC-LDPC baseline with 40-iter BP |
+//! | [`info`] | `spinal-info` | Shannon capacities, PPV finite-blocklength bound, theorem thresholds |
+//! | [`sim`] | `spinal-sim` | the §5 experiment harness (genie/CRC rateless runs, LDPC goodput, sweeps) |
+//! | [`link`] | `spinal-link` | feedback link-layer protocol simulator (§6 future work) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spinal_codes::{BeamConfig, BitVec, SpinalCode};
+//! use spinal_codes::channel::{AwgnChannel, Channel};
+//!
+//! // The paper's Figure 2 code: 24-bit messages, k = 8, c = 10.
+//! let code = SpinalCode::fig2(24, 7).unwrap();
+//! let message = BitVec::from_bytes(&[0xca, 0xfe, 0x42]);
+//! let encoder = code.encoder(&message).unwrap();
+//! let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+//!
+//! // Stream symbols through a 15 dB AWGN channel until decoding succeeds.
+//! let mut channel = AwgnChannel::from_snr_db(15.0, 99);
+//! let mut obs = code.observations();
+//! let mut stream = encoder.stream(code.schedule());
+//! let mut sent = 0;
+//! let decoded = loop {
+//!     let (slot, x) = stream.next().unwrap();
+//!     obs.push(slot, channel.transmit(x));
+//!     sent += 1;
+//!     let result = decoder.decode(&obs);
+//!     if result.message == message {
+//!         break result.message; // a real receiver checks a CRC here
+//!     }
+//! };
+//! assert_eq!(decoded, message);
+//! // 24 bits over `sent` symbols: the achieved rate adapts to the channel.
+//! assert!(sent >= 4, "capacity at 15 dB is ~5.03 bits/symbol");
+//! ```
+//!
+//! See `examples/` for fading, BSC, decoder-scaling and mini-Figure-2
+//! demonstrations, and `crates/bench/src/bin/` for the binaries that
+//! regenerate every figure and claim in the paper (indexed in DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spinal_core::*;
+
+/// Channel models (AWGN, BSC, BEC, fading, ADC) and the seeded PRNG.
+pub mod channel {
+    pub use spinal_channel::*;
+}
+
+/// Fixed constellations and soft demappers for the LDPC baseline.
+pub mod modem {
+    pub use spinal_modem::*;
+}
+
+/// The 802.11n-style QC-LDPC baseline.
+pub mod ldpc {
+    pub use spinal_ldpc::*;
+}
+
+/// Information-theoretic bounds (Shannon, PPV, theorem thresholds).
+pub mod info {
+    pub use spinal_info::*;
+}
+
+/// The experiment harness reproducing §5.
+pub mod sim {
+    pub use spinal_sim::*;
+}
+
+/// The feedback link-layer protocol simulator (§6 future work).
+pub mod link {
+    pub use spinal_link::*;
+}

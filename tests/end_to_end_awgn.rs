@@ -1,0 +1,97 @@
+//! Integration: the full AWGN pipeline across crates — spinal-core
+//! encoder → spinal-channel AWGN + ADC → spinal-core beam decoder — in
+//! both genie and CRC-terminated rateless operation.
+
+use spinal_codes::channel::{AdcQuantizer, AwgnChannel, Channel};
+use spinal_codes::sim::rateless::{run_awgn, RatelessConfig, Termination};
+use spinal_codes::{
+    frame_encode, BeamConfig, BitVec, Checksum, CrcTerminator, SpinalCode, Terminator,
+};
+
+/// Manual pipeline (no sim harness): encode, corrupt, quantize, decode.
+#[test]
+fn manual_pipeline_with_adc_roundtrip() {
+    let code = SpinalCode::fig2(24, 99).unwrap();
+    let message = BitVec::from_bytes(&[0x0f, 0xf0, 0x5a]);
+    let encoder = code.encoder(&message).unwrap();
+    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let mut channel = AwgnChannel::from_snr_db(18.0, 4);
+    let adc = AdcQuantizer::paper_default(2.0);
+
+    let mut obs = code.observations();
+    let mut decoded = None;
+    for (slot, x) in encoder.stream(code.schedule()).take(600) {
+        obs.push(slot, adc.quantize_symbol(channel.transmit(x)));
+        let result = decoder.decode(&obs);
+        if result.message == message {
+            decoded = Some(obs.len());
+            break;
+        }
+    }
+    let n = decoded.expect("18 dB must decode within 600 symbols");
+    // Capacity at 18 dB is ~5.98 bits/symbol; 24 bits need >= 5 symbols.
+    assert!(n >= 4, "decoded in {n} symbols — faster than capacity allows");
+}
+
+/// CRC-terminated operation: the practical receiver stops itself.
+#[test]
+fn crc_terminated_pipeline() {
+    let payload = BitVec::from_bytes(&[0xab, 0xcd, 0xef]);
+    let framed = frame_encode(&payload, Checksum::Crc32); // 56 bits
+    let code = SpinalCode::fig2(framed.len() as u32, 5).unwrap();
+    let encoder = code.encoder(&framed).unwrap();
+    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let term = CrcTerminator::new(Checksum::Crc32);
+    let mut channel = AwgnChannel::from_snr_db(12.0, 6);
+
+    let mut obs = code.observations();
+    for (slot, x) in encoder.stream(code.schedule()).take(2000) {
+        obs.push(slot, channel.transmit(x));
+        if let Some(got) = term.accept(&decoder.decode(&obs)) {
+            assert_eq!(got, payload, "CRC accepted a wrong payload");
+            return;
+        }
+    }
+    panic!("CRC termination never fired at 12 dB");
+}
+
+/// The sim harness agrees with physics: measured rates are sandwiched
+/// between zero and Shannon capacity (aggregate throughput), and grow
+/// monotonically over a 20 dB span.
+#[test]
+fn harness_rates_bounded_by_capacity() {
+    let mut cfg = RatelessConfig::fig2();
+    cfg.max_passes = 250;
+    let mut last = 0.0;
+    for snr_db in [0.0, 10.0, 20.0] {
+        let out = run_awgn(&cfg, snr_db, 12, 7);
+        let cap = spinal_codes::info::awgn_capacity_db(snr_db);
+        let thpt = out.throughput();
+        assert!(out.success_fraction() > 0.9, "{snr_db} dB: {}", out.success_fraction());
+        assert!(thpt > 0.2 * cap, "{snr_db} dB: throughput {thpt} far below capacity {cap}");
+        assert!(thpt <= cap * 1.05, "{snr_db} dB: throughput {thpt} exceeds capacity {cap}");
+        assert!(thpt > last, "throughput must grow with SNR");
+        last = thpt;
+    }
+}
+
+/// Genie and CRC termination agree on the underlying code: CRC costs a
+/// little rate (checksum overhead) but reaches the same ballpark.
+#[test]
+fn genie_vs_crc_termination() {
+    let mut genie_cfg = RatelessConfig::fig2();
+    genie_cfg.message_bits = 56;
+    genie_cfg.max_passes = 250;
+    let genie = run_awgn(&genie_cfg, 15.0, 12, 8);
+
+    let mut crc_cfg = genie_cfg.clone();
+    crc_cfg.termination = Termination::Crc(Checksum::Crc32); // 24 payload + 32 CRC
+    let crc = run_awgn(&crc_cfg, 15.0, 12, 8);
+
+    assert!(genie.success_fraction() > 0.9);
+    assert!(crc.success_fraction() > 0.9);
+    // Payload rate under CRC < code rate under genie (the overhead), but
+    // within a factor ~56/24 plus slack.
+    assert!(crc.rate_mean() < genie.rate_mean());
+    assert!(crc.rate_mean() > genie.rate_mean() * 24.0 / 56.0 * 0.5);
+}

@@ -1,0 +1,93 @@
+//! Integration: the LDPC baseline pipeline across crates — spinal-ldpc
+//! encoding → spinal-modem modulation → spinal-channel AWGN →
+//! spinal-modem soft demapping → spinal-ldpc BP decoding.
+
+use spinal_codes::channel::{AwgnChannel, Channel, Rng};
+use spinal_codes::ldpc::{extract_info, BpMethod, LdpcCode, LdpcRate};
+use spinal_codes::modem::{demap_sequence, Constellation, DemapMethod, Modulation};
+
+fn run_frame(
+    code: &LdpcCode,
+    cst: &Constellation,
+    snr_db: f64,
+    seed: u64,
+    method: BpMethod,
+) -> (bool, Vec<u8>, Vec<u8>) {
+    let mut rng = Rng::seed_from(seed);
+    let info: Vec<u8> = (0..code.k()).map(|_| u8::from(rng.bit())).collect();
+    let cw = code.encode(&info);
+    let tx = cst.modulate_bits(&cw);
+    let mut ch = AwgnChannel::from_snr_db(snr_db, seed ^ 0xabc);
+    let rx: Vec<_> = tx.into_iter().map(|x| ch.transmit(x)).collect();
+    let llrs = demap_sequence(cst, &rx, ch.sigma2(), DemapMethod::Exact);
+    let out = code.decode(&llrs[..code.n()], 40, method);
+    (out.converged && out.bits == cw, info, extract_info(code.base(), &out.bits))
+}
+
+/// Every (rate, modulation) pair of Figure 2 decodes cleanly well above
+/// its waterfall.
+#[test]
+fn all_fig2_pairs_decode_above_waterfall() {
+    // Conservative "well above waterfall" SNRs per pair.
+    let cases = [
+        (LdpcRate::R12, Modulation::Bpsk, 6.0),
+        (LdpcRate::R12, Modulation::Qpsk, 9.0),
+        (LdpcRate::R34, Modulation::Qpsk, 12.0),
+        (LdpcRate::R12, Modulation::Qam16, 15.0),
+        (LdpcRate::R34, Modulation::Qam16, 18.0),
+        (LdpcRate::R23, Modulation::Qam64, 22.0),
+        (LdpcRate::R34, Modulation::Qam64, 24.0),
+        (LdpcRate::R56, Modulation::Qam64, 26.0),
+    ];
+    for (rate, modulation, snr_db) in cases {
+        let code = LdpcCode::new(rate, 1);
+        let cst = Constellation::new(modulation);
+        for trial in 0..3u64 {
+            let (ok, info, decoded_info) =
+                run_frame(&code, &cst, snr_db, 1000 + trial, BpMethod::SumProduct);
+            assert!(
+                ok,
+                "rate {} {} at {snr_db} dB trial {trial} failed",
+                rate.name(),
+                modulation.name()
+            );
+            assert_eq!(info, decoded_info);
+        }
+    }
+}
+
+/// Min-sum tracks sum-product at high SNR.
+#[test]
+fn min_sum_agrees_at_high_snr() {
+    let code = LdpcCode::new(LdpcRate::R23, 2);
+    let cst = Constellation::new(Modulation::Qam16);
+    for trial in 0..3u64 {
+        let (ok_sp, ..) = run_frame(&code, &cst, 16.0, 2000 + trial, BpMethod::SumProduct);
+        let (ok_ms, ..) = run_frame(
+            &code,
+            &cst,
+            16.0,
+            2000 + trial,
+            BpMethod::MinSum { alpha: 0.8 },
+        );
+        assert!(ok_sp && ok_ms, "trial {trial}: sp={ok_sp} ms={ok_ms}");
+    }
+}
+
+/// Far below the waterfall nothing decodes — and crucially, BP *reports*
+/// the failure (converged = false) rather than lying.
+#[test]
+fn failure_is_detected_below_waterfall() {
+    let code = LdpcCode::new(LdpcRate::R56, 3);
+    let cst = Constellation::new(Modulation::Qam64);
+    let mut rng = Rng::seed_from(9);
+    let info: Vec<u8> = (0..code.k()).map(|_| u8::from(rng.bit())).collect();
+    let cw = code.encode(&info);
+    let tx = cst.modulate_bits(&cw);
+    let mut ch = AwgnChannel::from_snr_db(5.0, 77);
+    let rx: Vec<_> = tx.into_iter().map(|x| ch.transmit(x)).collect();
+    let llrs = demap_sequence(&cst, &rx, ch.sigma2(), DemapMethod::Exact);
+    let out = code.decode(&llrs[..code.n()], 40, BpMethod::SumProduct);
+    assert!(!out.converged, "5 dB cannot carry rate-5/6 QAM-64");
+    assert_eq!(out.iterations, 40);
+}

@@ -1,0 +1,94 @@
+//! Integration: the paper's comparative claims, at reduced scale.
+//!
+//! * Spinal outperforms the fixed-rate LDPC baselines near their
+//!   waterfalls (the Figure 2 ordering);
+//! * spinal's rate tracks capacity within a small gap across the SNR
+//!   range;
+//! * the spinal rate exceeds the PPV len-24 fixed-block bound at low SNR
+//!   (the §5 rateless-vs-rated claim).
+
+use spinal_codes::info::{awgn_capacity_db, fig2_fixed_block_bound};
+use spinal_codes::ldpc::LdpcRate;
+use spinal_codes::modem::Modulation;
+use spinal_codes::sim::rateless::{run_awgn, RatelessConfig};
+use spinal_codes::sim::{run_ldpc_awgn, LdpcConfig};
+
+fn spinal_rate(snr_db: f64, trials: u32, seed: u64) -> f64 {
+    let mut cfg = RatelessConfig::fig2();
+    cfg.max_passes = 250;
+    run_awgn(&cfg, snr_db, trials, seed).rate_mean()
+}
+
+/// At 4 dB, rate-1/2 QPSK LDPC (nominal 1.0 bit/symbol) is just above
+/// its waterfall while spinal reaches ~1.5+ bits/symbol: spinal wins.
+#[test]
+fn spinal_beats_ldpc_near_waterfall() {
+    let spinal = spinal_rate(4.0, 15, 21);
+    let ldpc = run_ldpc_awgn(
+        &LdpcConfig::paper(LdpcRate::R12, Modulation::Qpsk),
+        4.0,
+        15,
+        22,
+    )
+    .goodput();
+    assert!(
+        spinal > ldpc,
+        "spinal {spinal} must beat LDPC 1/2 QPSK {ldpc} at 4 dB"
+    );
+}
+
+/// Below every waterfall (−5 dB) all LDPC configs deliver zero goodput
+/// while spinal still communicates — the low-SNR regime where "the
+/// benefits are especially large" (§5).
+#[test]
+fn spinal_alone_survives_low_snr() {
+    let spinal = spinal_rate(-5.0, 15, 23);
+    assert!(spinal > 0.1, "spinal must deliver at -5 dB, got {spinal}");
+    for (rate, modulation) in [
+        (LdpcRate::R12, Modulation::Bpsk),
+        (LdpcRate::R12, Modulation::Qam16),
+        (LdpcRate::R56, Modulation::Qam64),
+    ] {
+        let g = run_ldpc_awgn(&LdpcConfig::paper(rate, modulation), -5.0, 10, 24).goodput();
+        assert_eq!(g, 0.0, "{}-{} should be dead at -5 dB", rate.name(), modulation.name());
+    }
+}
+
+/// Spinal tracks capacity over a 30 dB span. Two caveats, both
+/// documented in EXPERIMENTS.md, set the upper tolerance: the per-trial
+/// mean rate E[m/N] is Jensen-biased upward on a 24-bit message, and
+/// even the aggregate throughput can exceed C slightly at low SNR
+/// because the genie's stop signal is unpaid side information worth
+/// ~log₂(decode attempts) bits — material against m = 24. At −5 dB
+/// (~40 attempts) that is ≈ 5/24 ≈ 20% headroom; at high SNR (few
+/// attempts) it vanishes.
+#[test]
+fn spinal_tracks_capacity() {
+    for (snr_db, upper) in [(-5.0, 1.25), (5.0, 1.05), (15.0, 1.01), (25.0, 1.01)] {
+        let cap = awgn_capacity_db(snr_db);
+        let mut cfg = RatelessConfig::fig2();
+        cfg.max_passes = 250;
+        let out = run_awgn(&cfg, snr_db, 15, 25);
+        let thpt = out.throughput();
+        assert!(
+            thpt > 0.4 * cap && thpt <= cap * upper,
+            "{snr_db} dB: throughput {thpt} vs capacity {cap} (tolerance {upper})"
+        );
+    }
+}
+
+/// §5: "the rateless nature of spinal code allows it to outperform any
+/// rated code of block length 24 for all SNR ≤ 25 dB": at low SNR the
+/// measured mean rate must exceed the PPV normal-approximation bound for
+/// length-24 fixed-rate codes.
+#[test]
+fn spinal_beats_fixed_block_bound_at_low_snr() {
+    for snr_db in [-5.0, 0.0, 5.0] {
+        let bound = fig2_fixed_block_bound(snr_db);
+        let rate = spinal_rate(snr_db, 20, 26);
+        assert!(
+            rate > bound,
+            "{snr_db} dB: spinal {rate} must exceed PPV(24, 1e-4) bound {bound}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration: quick empirical checks of Theorems 1 and 2 through the
+//! public API (the full curves come from the `thm1_awgn` / `thm2_bsc`
+//! bench binaries).
+
+use spinal_codes::info::{db_to_linear, theorem1_min_passes, theorem2_min_passes};
+use spinal_codes::sim::rateless::{BscRatelessConfig, RatelessConfig, Termination};
+use spinal_codes::sim::theorem::{thm1_curve, thm2_curve};
+use spinal_codes::{BeamConfig, HashFamily};
+use spinal_codes::{AnyIqMapper, AnySchedule};
+
+fn awgn_cfg() -> RatelessConfig {
+    RatelessConfig {
+        message_bits: 32,
+        k: 4,
+        tail_segments: 0,
+        hash: HashFamily::Lookup3,
+        mapper: AnyIqMapper::linear(8),
+        schedule: AnySchedule::none(),
+        beam: BeamConfig::with_beam(16),
+        adc_bits: Some(14),
+        max_passes: 64,
+        attempt_growth: 1.0,
+        termination: Termination::Genie,
+    }
+}
+
+/// Theorem 1 at 10 dB, k = 4: threshold L* = ⌈k/(C−Δ)⌉ = 2. BER must be
+/// high at L = 1 (rate 4 > C−Δ per pass) and near zero at L = 2x
+/// threshold.
+#[test]
+fn theorem1_threshold_behaviour() {
+    let snr_db = 10.0;
+    let lstar = theorem1_min_passes(db_to_linear(snr_db), 4).unwrap();
+    assert_eq!(lstar, 2, "C(10dB)=3.46, gap 0.255: L* should be 2");
+    let pts = thm1_curve(&awgn_cfg(), snr_db, &[1, 2 * lstar], 15, 31);
+    assert!(
+        pts[0].ber > 0.05,
+        "L=1 is above capacity per pass; BER {} too clean",
+        pts[0].ber
+    );
+    assert!(
+        pts[1].ber < 0.01,
+        "L=2L*={} should be clean, BER {}",
+        2 * lstar,
+        pts[1].ber
+    );
+}
+
+/// Theorem 2 on BSC(0.05), k = 4: C ≈ 0.7136, L* = 6. Same collapse.
+#[test]
+fn theorem2_threshold_behaviour() {
+    let p = 0.05;
+    let lstar = theorem2_min_passes(p, 4).unwrap();
+    assert_eq!(lstar, 6);
+    let cfg = BscRatelessConfig {
+        message_bits: 32,
+        beam: BeamConfig::with_beam(16),
+        ..BscRatelessConfig::default_k4(32)
+    };
+    let pts = thm2_curve(&cfg, p, &[2, 2 * lstar], 15, 32);
+    assert!(pts[0].ber > 0.05, "L=2 (rate 2 > C) BER {}", pts[0].ber);
+    assert!(pts[1].ber < 0.01, "L=12 BER {}", pts[1].ber);
+}
+
+/// The theorem harness's rate bookkeeping: rate = k/L exactly.
+#[test]
+fn theorem_points_report_rates()
+{
+    let pts = thm1_curve(&awgn_cfg(), 20.0, &[1, 2, 4, 8], 3, 33);
+    let rates: Vec<f64> = pts.iter().map(|p| p.rate).collect();
+    assert_eq!(rates, vec![4.0, 2.0, 1.0, 0.5]);
+}
