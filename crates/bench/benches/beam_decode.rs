@@ -1,0 +1,85 @@
+//! Micro-benchmark: the allocation-free, hash-deduplicated beam-decode
+//! core versus the straightforward reference implementation.
+//!
+//! Four passes of observations per level make every level
+//! multi-observation, which is where the hash-block deduplication pays:
+//! the reference hashes ~1 expansion block per `(child, observation)`
+//! pair, the engine ~2 distinct blocks per child regardless of the
+//! observation count. `decoder_scaling` covers B- and n-scaling; this
+//! target isolates optimized-vs-baseline at fixed shape. The
+//! `bench_beam_decode` binary runs the same comparison and writes
+//! `BENCH_beam_decode.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinal_core::bits::BitVec;
+use spinal_core::decode::{
+    reference_decode, AwgnCost, BeamConfig, BeamDecoder, DecoderScratch, Observations,
+};
+use spinal_core::encode::Encoder;
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::symbol::Slot;
+use std::hint::black_box;
+
+const MESSAGE_BITS: u32 = 96;
+const PASSES: u32 = 16;
+
+fn observations(enc: &Encoder<Lookup3, LinearMapper>) -> Observations<spinal_core::IqSymbol> {
+    let mut obs = Observations::new(enc.params().n_segments());
+    for pass in 0..PASSES {
+        for t in 0..enc.params().n_segments() {
+            let slot = Slot::new(t, pass);
+            obs.push(slot, enc.symbol(slot));
+        }
+    }
+    obs
+}
+
+fn bench_beam_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beam_decode");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let params = CodeParams::new(MESSAGE_BITS, 8).unwrap();
+    let message = BitVec::from_bools(
+        &(0..MESSAGE_BITS as usize)
+            .map(|i| i % 3 != 0)
+            .collect::<Vec<_>>(),
+    );
+    let enc = Encoder::new(&params, Lookup3::new(11), LinearMapper::new(10), &message).unwrap();
+    let obs = observations(&enc);
+    for &b in &[4usize, 16, 64, 256] {
+        let cfg = BeamConfig::with_beam(b);
+        let dec = BeamDecoder::new(
+            &params,
+            Lookup3::new(11),
+            LinearMapper::new(10),
+            AwgnCost,
+            cfg,
+        );
+        let mut scratch = DecoderScratch::new();
+        group.bench_with_input(BenchmarkId::new("optimized", b), &b, |bch, _| {
+            bch.iter(|| black_box(dec.decode_with_scratch(&obs, &mut scratch).cost));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", b), &b, |bch, _| {
+            bch.iter(|| {
+                black_box(
+                    reference_decode(
+                        &params,
+                        &Lookup3::new(11),
+                        &LinearMapper::new(10),
+                        &AwgnCost,
+                        &cfg,
+                        &obs,
+                    )
+                    .cost,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beam_decode);
+criterion_main!(benches);

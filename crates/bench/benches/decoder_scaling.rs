@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spinal_core::bits::BitVec;
-use spinal_core::decode::{AwgnCost, BeamConfig, BeamDecoder, Observations};
+use spinal_core::decode::{AwgnCost, BeamConfig, BeamDecoder, DecoderScratch, Observations};
 use spinal_core::encode::Encoder;
 use spinal_core::hash::Lookup3;
 use spinal_core::map::LinearMapper;
@@ -46,8 +46,9 @@ fn bench_beam_width(c: &mut Criterion) {
             AwgnCost,
             BeamConfig::with_beam(b),
         );
+        let mut scratch = DecoderScratch::new();
         group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bch, _| {
-            bch.iter(|| black_box(dec.decode(&obs).cost));
+            bch.iter(|| black_box(dec.decode_with_scratch(&obs, &mut scratch).cost));
         });
     }
     group.finish();
@@ -70,8 +71,9 @@ fn bench_message_len(c: &mut Criterion) {
             AwgnCost,
             BeamConfig::paper_default(),
         );
+        let mut scratch = DecoderScratch::new();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| black_box(dec.decode(&obs).cost));
+            bch.iter(|| black_box(dec.decode_with_scratch(&obs, &mut scratch).cost));
         });
     }
     group.finish();

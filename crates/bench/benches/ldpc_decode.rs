@@ -35,7 +35,12 @@ fn bench_ldpc(c: &mut Criterion) {
     // Converging case: scattered weak errors.
     let easy = noisy_llrs(&cw, 5.0, 60);
     group.bench_function("sum_product_converging", |b| {
-        b.iter(|| black_box(code.decode(black_box(&easy), 40, BpMethod::SumProduct).iterations));
+        b.iter(|| {
+            black_box(
+                code.decode(black_box(&easy), 40, BpMethod::SumProduct)
+                    .iterations,
+            )
+        });
     });
     group.bench_function("min_sum_converging", |b| {
         b.iter(|| {
@@ -51,7 +56,12 @@ fn bench_ldpc(c: &mut Criterion) {
         .map(|i| if i % 2 == 0 { 0.8 } else { -0.8 })
         .collect();
     group.bench_function("sum_product_full_40_iters", |b| {
-        b.iter(|| black_box(code.decode(black_box(&hopeless), 40, BpMethod::SumProduct).converged));
+        b.iter(|| {
+            black_box(
+                code.decode(black_box(&hopeless), 40, BpMethod::SumProduct)
+                    .converged,
+            )
+        });
     });
 
     // Encoder for scale.

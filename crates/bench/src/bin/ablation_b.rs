@@ -33,8 +33,13 @@ fn main() {
     for &snr in &snrs {
         print!(" {:>8}", format!("{snr}dB"));
     }
-    println!("   (capacity: {})",
-        snrs.iter().map(|&s| format!("{:.2}", awgn_capacity_db(s))).collect::<Vec<_>>().join(", "));
+    println!(
+        "   (capacity: {})",
+        snrs.iter()
+            .map(|&s| format!("{:.2}", awgn_capacity_db(s)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     let jobs: Vec<(usize, f64)> = beams
         .iter()
@@ -48,8 +53,13 @@ fn main() {
             defer_prune_unobserved: true,
         };
         cfg.max_passes = 300;
-        run_awgn(&cfg, snr, args.trials, derive_seed(args.seed, 6, (b as u64) << 32 | snr.to_bits() >> 32))
-            .rate_mean()
+        run_awgn(
+            &cfg,
+            snr,
+            args.trials,
+            derive_seed(args.seed, 6, (b as u64) << 32 | snr.to_bits() >> 32),
+        )
+        .rate_mean()
     });
 
     for (bi, &b) in beams.iter().enumerate() {

@@ -18,7 +18,11 @@ use spinal_sim::{derive_seed, parallel_map};
 
 fn main() {
     let args = RunArgs::parse(60);
-    let cs: &[u32] = if args.quick { &[2, 6, 10] } else { &[2, 4, 6, 8, 10, 12] };
+    let cs: &[u32] = if args.quick {
+        &[2, 6, 10]
+    } else {
+        &[2, 4, 6, 8, 10, 12]
+    };
     let snrs = [0.0, 10.0, 25.0, 35.0];
     banner(
         "Ablation: rate vs constellation precision c (§3.1)",
@@ -30,8 +34,13 @@ fn main() {
     for &snr in &snrs {
         print!(" {:>8}", format!("{snr}dB"));
     }
-    println!("   (capacity: {})",
-        snrs.iter().map(|&s| format!("{:.2}", awgn_capacity_db(s))).collect::<Vec<_>>().join(", "));
+    println!(
+        "   (capacity: {})",
+        snrs.iter()
+            .map(|&s| format!("{:.2}", awgn_capacity_db(s)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     let jobs: Vec<(u32, f64)> = cs
         .iter()
@@ -41,8 +50,13 @@ fn main() {
         let mut cfg = RatelessConfig::fig2();
         cfg.mapper = AnyIqMapper::linear(c);
         cfg.max_passes = 300;
-        run_awgn(&cfg, snr, args.trials, derive_seed(args.seed, 8, u64::from(c) ^ snr.to_bits()))
-            .rate_mean()
+        run_awgn(
+            &cfg,
+            snr,
+            args.trials,
+            derive_seed(args.seed, 8, u64::from(c) ^ snr.to_bits()),
+        )
+        .rate_mean()
     });
 
     for (ci, &c) in cs.iter().enumerate() {

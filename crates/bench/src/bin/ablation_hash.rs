@@ -40,7 +40,10 @@ fn main() {
     println!(
         "{:>14} {}",
         "(capacity)",
-        snrs.iter().map(|&s| f3(awgn_capacity_db(s))).collect::<Vec<_>>().join(" ")
+        snrs.iter()
+            .map(|&s| f3(awgn_capacity_db(s)))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     let jobs: Vec<(usize, f64)> = (0..families.len())
@@ -50,8 +53,13 @@ fn main() {
         let mut cfg = RatelessConfig::fig2();
         cfg.hash = families[fi].1;
         cfg.max_passes = 300;
-        run_awgn(&cfg, snr, args.trials, derive_seed(args.seed, 10, (fi as u64) << 40 ^ snr.to_bits()))
-            .rate_mean()
+        run_awgn(
+            &cfg,
+            snr,
+            args.trials,
+            derive_seed(args.seed, 10, (fi as u64) << 40 ^ snr.to_bits()),
+        )
+        .rate_mean()
     });
 
     for (fi, (name, _)) in families.iter().enumerate() {

@@ -33,8 +33,13 @@ fn main() {
     for &snr in &snrs {
         print!(" {:>8}", format!("{snr}dB"));
     }
-    println!("   (capacity: {})",
-        snrs.iter().map(|&s| format!("{:.2}", awgn_capacity_db(s))).collect::<Vec<_>>().join(", "));
+    println!(
+        "   (capacity: {})",
+        snrs.iter()
+            .map(|&s| format!("{:.2}", awgn_capacity_db(s)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     let jobs: Vec<(u32, f64)> = ks
         .iter()
@@ -54,8 +59,13 @@ fn main() {
             attempt_growth: 1.05,
             termination: Termination::Genie,
         };
-        run_awgn(&cfg, snr, args.trials, derive_seed(args.seed, 7, u64::from(k) ^ snr.to_bits()))
-            .rate_mean()
+        run_awgn(
+            &cfg,
+            snr,
+            args.trials,
+            derive_seed(args.seed, 7, u64::from(k) ^ snr.to_bits()),
+        )
+        .rate_mean()
     });
 
     for (ki, &k) in ks.iter().enumerate() {

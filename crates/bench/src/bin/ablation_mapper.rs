@@ -43,8 +43,13 @@ fn main() {
         let mut cfg = RatelessConfig::fig2();
         cfg.mapper = mappers[mi].1.clone();
         cfg.max_passes = 300;
-        run_awgn(&cfg, snr, args.trials, derive_seed(args.seed, 9, (mi as u64) << 48 ^ snr.to_bits()))
-            .rate_mean()
+        run_awgn(
+            &cfg,
+            snr,
+            args.trials,
+            derive_seed(args.seed, 9, (mi as u64) << 48 ^ snr.to_bits()),
+        )
+        .rate_mean()
     });
 
     for (si, &snr) in grid.iter().enumerate() {
@@ -54,5 +59,7 @@ fn main() {
         }
         println!();
     }
-    println!("\nExpected shape: all three track capacity; the Gaussian mapper edges ahead at mid SNR.");
+    println!(
+        "\nExpected shape: all three track capacity; the Gaussian mapper edges ahead at mid SNR."
+    );
 }

@@ -45,8 +45,13 @@ fn main() {
         let mut cfg = RatelessConfig::fig2();
         cfg.schedule = schedules[si].1.clone();
         cfg.max_passes = 300;
-        run_awgn(&cfg, snr, args.trials, derive_seed(args.seed, 11, (si as u64) << 44 ^ snr.to_bits()))
-            .rate_mean()
+        run_awgn(
+            &cfg,
+            snr,
+            args.trials,
+            derive_seed(args.seed, 11, (si as u64) << 44 ^ snr.to_bits()),
+        )
+        .rate_mean()
     });
 
     for (i, &snr) in snrs.iter().enumerate() {

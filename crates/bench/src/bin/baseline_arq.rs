@@ -40,8 +40,13 @@ fn main() {
     let mut spinal_cfg = RatelessConfig::fig2();
     spinal_cfg.max_passes = 300;
     let spinal = parallel_map(&grid, args.threads, |&snr| {
-        run_awgn(&spinal_cfg, snr, args.trials, derive_seed(args.seed, 13, snr.to_bits()))
-            .rate_mean()
+        run_awgn(
+            &spinal_cfg,
+            snr,
+            args.trials,
+            derive_seed(args.seed, 13, snr.to_bits()),
+        )
+        .rate_mean()
     });
 
     let jobs: Vec<(usize, f64)> = (0..mods.len())
@@ -58,7 +63,11 @@ fn main() {
     });
 
     for (si, &snr) in grid.iter().enumerate() {
-        print!("{snr:>6.1} {:>9.3} {:>9.3}", awgn_capacity_db(snr), spinal[si]);
+        print!(
+            "{snr:>6.1} {:>9.3} {:>9.3}",
+            awgn_capacity_db(snr),
+            spinal[si]
+        );
         for mi in 0..mods.len() {
             print!("  {}", f3(arq[mi * grid.len() + si]));
         }

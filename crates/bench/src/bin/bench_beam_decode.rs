@@ -1,0 +1,229 @@
+//! Beam-decode throughput tracker: optimized engine vs reference baseline.
+//!
+//! Measures, at B ∈ {4, 16, 64, 256} on the Figure-2 code shape (k = 8,
+//! c = 10, four full passes of observations):
+//!
+//! * decoded **symbols/sec** for the optimized scratch-reusing engine and
+//!   for the straightforward reference implementation
+//!   ([`spinal_core::decode::reference`]), and their ratio;
+//! * **hash invocations per decode** for both (from
+//!   [`spinal_core::DecodeStats::hash_calls`]), and their ratio.
+//!
+//! Writes `BENCH_beam_decode.json` into the working directory so later
+//! PRs have a perf trajectory to compare against, and prints the same
+//! numbers as a table. Options: `--trials N` (measurement iterations per
+//! point, default 40), `--seed S`, `--quick`.
+
+use spinal_bench::{banner, RunArgs};
+use spinal_core::bits::BitVec;
+use spinal_core::decode::{
+    reference_decode, AwgnCost, BeamConfig, BeamDecoder, DecoderScratch, Observations,
+};
+use spinal_core::encode::Encoder;
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::symbol::Slot;
+use spinal_core::IqSymbol;
+use std::hint::black_box;
+use std::time::Instant;
+
+const MESSAGE_BITS: u32 = 96;
+const PASSES: u32 = 16;
+const BEAMS: [usize; 4] = [4, 16, 64, 256];
+
+struct Point {
+    beam: usize,
+    opt_symbols_per_sec: f64,
+    ref_symbols_per_sec: f64,
+    speedup: f64,
+    opt_hash_calls: u64,
+    ref_hash_calls: u64,
+    hash_ratio: f64,
+}
+
+fn observations(enc: &Encoder<Lookup3, LinearMapper>) -> Observations<IqSymbol> {
+    let mut obs = Observations::new(enc.params().n_segments());
+    for pass in 0..PASSES {
+        for t in 0..enc.params().n_segments() {
+            let slot = Slot::new(t, pass);
+            obs.push(slot, enc.symbol(slot));
+        }
+    }
+    obs
+}
+
+/// Times `f` over `iters` runs after one warm-up run; returns seconds per
+/// run.
+fn time_per_run(iters: u32, f: &mut impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+/// Interleaved A/B measurement over `rounds` rounds, taking each side's
+/// fastest round: background load hits both engines alike instead of
+/// whichever happened to run during a noisy window, and the minimum is
+/// the noise-robust point statistic for throughput.
+fn measure_pair(
+    rounds: u32,
+    a_iters: u32,
+    b_iters: u32,
+    a: &mut impl FnMut(),
+    b: &mut impl FnMut(),
+) -> (f64, f64) {
+    let mut a_best = f64::INFINITY;
+    let mut b_best = f64::INFINITY;
+    for _ in 0..rounds {
+        a_best = a_best.min(time_per_run(a_iters, a));
+        b_best = b_best.min(time_per_run(b_iters, b));
+    }
+    (a_best, b_best)
+}
+
+fn main() {
+    let args = RunArgs::parse(40);
+    banner(
+        "beam_decode: optimized vs reference",
+        &args,
+        &format!("message_bits={MESSAGE_BITS} k=8 c=10 passes={PASSES}"),
+    );
+    let iters = args.trials.max(1);
+
+    let params = CodeParams::builder()
+        .message_bits(MESSAGE_BITS)
+        .k(8)
+        .seed(args.seed)
+        .build()
+        .expect("valid params");
+    let message = BitVec::from_bools(
+        &(0..MESSAGE_BITS as usize)
+            .map(|i| i % 3 != 0)
+            .collect::<Vec<_>>(),
+    );
+    let enc = Encoder::new(
+        &params,
+        Lookup3::new(args.seed),
+        LinearMapper::new(10),
+        &message,
+    )
+    .expect("valid message");
+    let obs = observations(&enc);
+    let n_symbols = obs.len() as f64;
+
+    println!(
+        "{:>5} {:>16} {:>16} {:>8} {:>14} {:>14} {:>10}",
+        "B", "opt sym/s", "ref sym/s", "speedup", "opt hash/dec", "ref hash/dec", "hash x"
+    );
+    let mut points = Vec::new();
+    for &b in &BEAMS {
+        let cfg = BeamConfig::with_beam(b);
+        let dec = BeamDecoder::new(
+            &params,
+            Lookup3::new(args.seed),
+            LinearMapper::new(10),
+            AwgnCost,
+            cfg,
+        );
+        let mut scratch = DecoderScratch::new();
+        let opt_result = dec.decode_with_scratch(&obs, &mut scratch);
+        let ref_result = reference_decode(
+            &params,
+            &Lookup3::new(args.seed),
+            &LinearMapper::new(10),
+            &AwgnCost,
+            &cfg,
+            &obs,
+        );
+        assert_eq!(
+            opt_result.message, ref_result.message,
+            "engines disagree at B = {b}"
+        );
+
+        let rounds = 5;
+        let opt_iters = iters.div_ceil(rounds).max(1);
+        let ref_iters = opt_iters.div_ceil(3).max(1); // the baseline is slow
+        let (opt_secs, ref_secs) = measure_pair(
+            rounds,
+            opt_iters,
+            ref_iters,
+            &mut || {
+                black_box(dec.decode_with_scratch(&obs, &mut scratch).cost);
+            },
+            &mut || {
+                black_box(
+                    reference_decode(
+                        &params,
+                        &Lookup3::new(args.seed),
+                        &LinearMapper::new(10),
+                        &AwgnCost,
+                        &cfg,
+                        &obs,
+                    )
+                    .cost,
+                );
+            },
+        );
+
+        let point = Point {
+            beam: b,
+            opt_symbols_per_sec: n_symbols / opt_secs,
+            ref_symbols_per_sec: n_symbols / ref_secs,
+            speedup: ref_secs / opt_secs,
+            opt_hash_calls: opt_result.stats.hash_calls,
+            ref_hash_calls: ref_result.stats.hash_calls,
+            hash_ratio: ref_result.stats.hash_calls as f64 / opt_result.stats.hash_calls as f64,
+        };
+        println!(
+            "{:>5} {:>16.0} {:>16.0} {:>7.2}x {:>14} {:>14} {:>9.2}x",
+            point.beam,
+            point.opt_symbols_per_sec,
+            point.ref_symbols_per_sec,
+            point.speedup,
+            point.opt_hash_calls,
+            point.ref_hash_calls,
+            point.hash_ratio,
+        );
+        points.push(point);
+    }
+
+    let json = render_json(&args, &points);
+    std::fs::write("BENCH_beam_decode.json", &json).expect("write BENCH_beam_decode.json");
+    println!("# wrote BENCH_beam_decode.json");
+}
+
+/// Hand-rendered JSON (the workspace carries no serialization
+/// dependency).
+fn render_json(args: &RunArgs, points: &[Point]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"beam_decode\",\n");
+    s.push_str("  \"config\": {\n");
+    s.push_str(&format!(
+        "    \"message_bits\": {MESSAGE_BITS},\n    \"k\": 8,\n    \"c\": 10,\n    \"passes\": {PASSES},\n"
+    ));
+    s.push_str(&format!(
+        "    \"seed\": {},\n    \"iters\": {},\n    \"baseline\": \"decode::reference (per-observation expand_bits, no scratch reuse)\"\n",
+        args.seed, args.trials
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"B\": {}, \"optimized_symbols_per_sec\": {:.1}, \"reference_symbols_per_sec\": {:.1}, \"speedup\": {:.3}, \"optimized_hash_calls_per_decode\": {}, \"reference_hash_calls_per_decode\": {}, \"hash_call_reduction\": {:.3}}}{}\n",
+            p.beam,
+            p.opt_symbols_per_sec,
+            p.ref_symbols_per_sec,
+            p.speedup,
+            p.opt_hash_calls,
+            p.ref_hash_calls,
+            p.hash_ratio,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -24,7 +24,10 @@ fn main() {
     banner(
         "Link protocol (§6 ext.): throughput (bits/symbol) vs feedback delay and window",
         &args,
-        &format!("16-bit frames, k=4, c=6, B=8 at {snr_db} dB; cells are {} frames", args.trials),
+        &format!(
+            "16-bit frames, k=4, c=6, B=8 at {snr_db} dB; cells are {} frames",
+            args.trials
+        ),
     );
 
     print!("{:>7}", "delay");
@@ -39,8 +42,12 @@ fn main() {
         .collect();
     let tputs = parallel_map(&jobs, args.threads, |&(d, w)| {
         let cfg = LinkConfig::demo(snr_db, d, w);
-        simulate_link(&cfg, args.trials, derive_seed(args.seed, 12, d << 8 | u64::from(w)))
-            .throughput(cfg.message_bits)
+        simulate_link(
+            &cfg,
+            args.trials,
+            derive_seed(args.seed, 12, d << 8 | u64::from(w)),
+        )
+        .throughput(cfg.message_bits)
     });
 
     for (di, &d) in delays.iter().enumerate() {

@@ -17,8 +17,8 @@ use spinal_core::hash::HashFamily;
 use spinal_core::map::AnyIqMapper;
 use spinal_core::puncture::AnySchedule;
 use spinal_sim::berpos::ber_by_position_awgn;
-use spinal_sim::rateless::{RatelessConfig, Termination};
 use spinal_sim::derive_seed;
+use spinal_sim::rateless::{RatelessConfig, Termination};
 
 fn cfg(tail: u32) -> RatelessConfig {
     RatelessConfig {
@@ -45,8 +45,20 @@ fn main() {
         &format!("m=32 k=4 c=6 B=4, {passes} passes at {snr_db} dB"),
     );
 
-    let without = ber_by_position_awgn(&cfg(0), snr_db, passes, args.trials, derive_seed(args.seed, 5, 0));
-    let with = ber_by_position_awgn(&cfg(2), snr_db, passes, args.trials, derive_seed(args.seed, 5, 1));
+    let without = ber_by_position_awgn(
+        &cfg(0),
+        snr_db,
+        passes,
+        args.trials,
+        derive_seed(args.seed, 5, 0),
+    );
+    let with = ber_by_position_awgn(
+        &cfg(2),
+        snr_db,
+        passes,
+        args.trials,
+        derive_seed(args.seed, 5, 1),
+    );
 
     println!("{:>4} {:>10} {:>10}", "bit", "no-tail", "2-tail");
     for i in 0..32 {

@@ -14,13 +14,13 @@
 
 use spinal_bench::{banner, ber_fmt, RunArgs};
 use spinal_core::decode::BeamConfig;
+use spinal_core::hash::HashFamily;
+use spinal_core::map::AnyIqMapper;
+use spinal_core::puncture::AnySchedule;
 use spinal_info::{db_to_linear, theorem1_min_passes};
 use spinal_sim::rateless::{RatelessConfig, Termination};
 use spinal_sim::theorem::thm1_curve;
 use spinal_sim::{derive_seed, parallel_map};
-use spinal_core::hash::HashFamily;
-use spinal_core::map::AnyIqMapper;
-use spinal_core::puncture::AnySchedule;
 
 fn main() {
     let args = RunArgs::parse(60);

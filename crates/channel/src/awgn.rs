@@ -117,8 +117,7 @@ mod tests {
         let mut ch = AwgnChannel::from_snr_db(3.0, 7);
         let want = ch.sigma2();
         const N: usize = 200_000;
-        let measured: f64 =
-            (0..N).map(|_| ch.noise().energy()).sum::<f64>() / N as f64;
+        let measured: f64 = (0..N).map(|_| ch.noise().energy()).sum::<f64>() / N as f64;
         assert!(
             ((measured - want) / want).abs() < 0.02,
             "measured {measured}, want {want}"

@@ -56,10 +56,7 @@ pub fn apply(h: Gain, x: IqSymbol) -> IqSymbol {
 pub fn equalize(h: Gain, y: IqSymbol) -> IqSymbol {
     let p = h.power();
     assert!(p > 0.0, "cannot equalize a zero gain");
-    IqSymbol::new(
-        (h.re * y.i + h.im * y.q) / p,
-        (h.re * y.q - h.im * y.i) / p,
-    )
+    IqSymbol::new((h.re * y.i + h.im * y.q) / p, (h.re * y.q - h.im * y.i) / p)
 }
 
 /// Rayleigh block-fading process: `h ~ CN(0, 1)`, constant over blocks of
@@ -97,7 +94,7 @@ impl RayleighBlockFading {
     /// Advances one symbol period and returns the gain in effect,
     /// redrawing it at block boundaries.
     pub fn next_gain(&mut self) -> Gain {
-        if self.idx % self.block_len == 0 {
+        if self.idx.is_multiple_of(self.block_len) {
             let (a, b) = self.gauss.pair();
             // CN(0,1): each part N(0, 1/2).
             let s = std::f64::consts::FRAC_1_SQRT_2;

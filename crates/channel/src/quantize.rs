@@ -27,7 +27,10 @@ impl AdcQuantizer {
     ///
     /// Panics unless `1 ≤ bits ≤ 24` and `range > 0`.
     pub fn new(bits: u32, range: f64) -> Self {
-        assert!((1..=24).contains(&bits), "ADC bits must be in 1..=24, got {bits}");
+        assert!(
+            (1..=24).contains(&bits),
+            "ADC bits must be in 1..=24, got {bits}"
+        );
         assert!(range > 0.0, "ADC range must be positive, got {range}");
         let levels = (1u64 << bits) as f64;
         Self {

@@ -79,7 +79,10 @@ impl Rng {
     /// Panics if `p` is outside `[0, 1]`.
     #[inline]
     pub fn bernoulli(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "bernoulli requires p in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "bernoulli requires p in [0,1], got {p}"
+        );
         self.next_f64() < p
     }
 

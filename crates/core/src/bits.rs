@@ -83,6 +83,13 @@ impl BitVec {
         self.len
     }
 
+    /// Removes all bits, keeping the allocated capacity (so a reused
+    /// buffer refills without touching the heap).
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.len = 0;
+    }
+
     /// `true` when the vector holds no bits.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -192,7 +199,7 @@ impl BitVec {
         }
         self.len = len;
         self.bytes.truncate(len.div_ceil(8));
-        if len % 8 != 0 {
+        if !len.is_multiple_of(8) {
             let keep = 0xffu8 << (8 - (len % 8));
             if let Some(last) = self.bytes.last_mut() {
                 *last &= keep;
@@ -244,10 +251,7 @@ mod tests {
     #[test]
     fn from_u64_msb_first() {
         let v = BitVec::from_u64(0b1011, 4);
-        assert_eq!(
-            v.iter().collect::<Vec<_>>(),
-            vec![true, false, true, true]
-        );
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![true, false, true, true]);
     }
 
     #[test]

@@ -118,7 +118,12 @@ impl<H: SpineHash, M: Mapper, P: PunctureSchedule> SpinalCode<H, M, P> {
 
     /// Builds an encoder for `message`.
     pub fn encoder(&self, message: &BitVec) -> Result<Encoder<H, M>, SpineError> {
-        Encoder::new(&self.params, self.hash.clone(), self.mapper.clone(), message)
+        Encoder::new(
+            &self.params,
+            self.hash.clone(),
+            self.mapper.clone(),
+            message,
+        )
     }
 
     /// An empty, correctly sized observation set for this code.

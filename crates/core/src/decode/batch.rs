@@ -1,0 +1,186 @@
+//! Shared hash-block batching for the tree decoders.
+//!
+//! Every observation at tree level `t` reads its symbol bits out of the
+//! *same* few 64-bit expansion blocks of the candidate child spine
+//! (`expand`: block `j` of spine `s` is `H(s, EXPAND_SALT + j)`). The
+//! naive decoder calls [`crate::expand::expand_bits`] once or twice per
+//! `(child, observation)` pair, re-hashing blocks that several
+//! observations share. This module plans a level once — the distinct
+//! block indices any observation touches, and a per-observation read
+//! descriptor into that block cache — so each child hashes each distinct
+//! block exactly once no matter how many observations the level has.
+//!
+//! Used by both the beam decoder ([`crate::decode::beam`]) and the ML
+//! decoder ([`crate::decode::ml`]).
+
+use crate::expand::EXPAND_SALT;
+use crate::hash::SpineHash;
+
+/// How one observation's symbol bits sit inside the level's block cache.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ObsRead {
+    /// Cache position of the block holding the first bit.
+    lo: u32,
+    /// Cache position of the block holding the last bit (== `lo` unless
+    /// the read straddles a block boundary).
+    hi: u32,
+    /// Bit offset of the read inside the first block.
+    offset: u32,
+    /// Number of bits read (`bits_per_symbol`, 1..=64).
+    count: u32,
+}
+
+impl ObsRead {
+    /// `true` when the read spans two expansion blocks.
+    pub(crate) fn straddles(&self) -> bool {
+        self.lo != self.hi
+    }
+}
+
+/// Plans one tree level: fills `block_ids` with the sorted, deduplicated
+/// expansion-block indices needed by any observation, and `reads` with
+/// one descriptor per observation (in observation order) pointing into
+/// that cache. Both vectors are cleared first and reused across calls, so
+/// steady-state planning allocates nothing.
+pub(crate) fn plan_level(
+    passes: impl Iterator<Item = u32> + Clone,
+    bits_per_symbol: u32,
+    block_ids: &mut Vec<u64>,
+    reads: &mut Vec<ObsRead>,
+) {
+    debug_assert!((1..=64).contains(&bits_per_symbol));
+    block_ids.clear();
+    reads.clear();
+    for pass in passes.clone() {
+        let start = u64::from(pass) * u64::from(bits_per_symbol);
+        let first = start / 64;
+        let last = (start + u64::from(bits_per_symbol) - 1) / 64;
+        block_ids.push(first);
+        if last != first {
+            block_ids.push(last);
+        }
+    }
+    block_ids.sort_unstable();
+    block_ids.dedup();
+    for pass in passes {
+        let start = u64::from(pass) * u64::from(bits_per_symbol);
+        let first = start / 64;
+        let last = (start + u64::from(bits_per_symbol) - 1) / 64;
+        let pos = |b: u64| block_ids.binary_search(&b).expect("planned block") as u32;
+        reads.push(ObsRead {
+            lo: pos(first),
+            hi: pos(last),
+            offset: (start % 64) as u32,
+            count: bits_per_symbol,
+        });
+    }
+}
+
+/// Hashes the planned blocks of `spine` into `blocks` (the level's block
+/// cache). `blocks.len()` must equal `block_ids.len()`; the cost is one
+/// hash invocation per *distinct* block, however many observations share
+/// it.
+#[inline]
+pub(crate) fn fill_blocks<H: SpineHash>(
+    hash: &H,
+    spine: u64,
+    block_ids: &[u64],
+    blocks: &mut [u64],
+) {
+    debug_assert_eq!(block_ids.len(), blocks.len());
+    for (slot, &id) in blocks.iter_mut().zip(block_ids) {
+        *slot = hash.hash(spine, EXPAND_SALT + id);
+    }
+}
+
+/// Reads one observation's symbol bits out of the filled block cache.
+/// Bit-identical to [`crate::expand::expand_bits`] over the same stream.
+#[inline]
+pub(crate) fn read_obs(blocks: &[u64], r: &ObsRead) -> u64 {
+    let b0 = blocks[r.lo as usize];
+    if !r.straddles() {
+        (b0 << r.offset) >> (64 - r.count)
+    } else {
+        let bits_from_first = 64 - r.offset;
+        let bits_from_second = r.count - bits_from_first;
+        let hi = (b0 << r.offset) >> (64 - bits_from_first);
+        let lo = blocks[r.hi as usize] >> (64 - bits_from_second);
+        (hi << bits_from_second) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::symbol_bits;
+    use crate::hash::{Lookup3, SplitMix};
+    use proptest::prelude::*;
+
+    fn check_plan_matches_expand(passes: &[u32], bps: u32, spine: u64) {
+        let h = Lookup3::new(17);
+        let mut ids = Vec::new();
+        let mut reads = Vec::new();
+        plan_level(passes.iter().copied(), bps, &mut ids, &mut reads);
+        let mut blocks = vec![0u64; ids.len()];
+        fill_blocks(&h, spine, &ids, &mut blocks);
+        for (r, &pass) in reads.iter().zip(passes) {
+            assert_eq!(
+                read_obs(&blocks, r),
+                symbol_bits(&h, spine, pass, bps),
+                "pass {pass} bps {bps}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_reads_match_expand_bits() {
+        check_plan_matches_expand(&[0, 1, 2, 3], 20, 0xdead_beef);
+        check_plan_matches_expand(&[0, 5, 999], 20, 42);
+        check_plan_matches_expand(&[7, 7, 7], 1, 1);
+        check_plan_matches_expand(&[0], 64, 3);
+        check_plan_matches_expand(&[1, 3], 64, 3);
+    }
+
+    #[test]
+    fn blocks_are_deduplicated() {
+        // bps = 20: passes 0..=2 all fit in blocks 0 and 1.
+        let mut ids = Vec::new();
+        let mut reads = Vec::new();
+        plan_level([0u32, 1, 2].into_iter(), 20, &mut ids, &mut reads);
+        assert_eq!(ids, vec![0]);
+        assert_eq!(reads.len(), 3);
+        // Pass 3 (bits 60..80) straddles into block 1.
+        plan_level([0u32, 1, 2, 3].into_iter(), 20, &mut ids, &mut reads);
+        assert_eq!(ids, vec![0, 1]);
+        assert!(reads[3].straddles());
+    }
+
+    #[test]
+    fn sparse_passes_hash_only_touched_blocks() {
+        // Passes {0, 999} at bps = 32 touch blocks {0, 499} — the cache
+        // must hold exactly those two, not the whole 0..=499 range.
+        let mut ids = Vec::new();
+        let mut reads = Vec::new();
+        plan_level([0u32, 999].into_iter(), 32, &mut ids, &mut reads);
+        assert_eq!(ids, vec![0, 499]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cached_reads_match_expand_bits(
+            passes in proptest::collection::vec(0u32..2000, 1..8),
+            bps in 1u32..=64,
+            spine in any::<u64>(),
+        ) {
+            let h = SplitMix::new(5);
+            let mut ids = Vec::new();
+            let mut reads = Vec::new();
+            plan_level(passes.iter().copied(), bps, &mut ids, &mut reads);
+            let mut blocks = vec![0u64; ids.len()];
+            fill_blocks(&h, spine, &ids, &mut blocks);
+            for (r, &pass) in reads.iter().zip(&passes) {
+                prop_assert_eq!(read_obs(&blocks, r), symbol_bits(&h, spine, pass, bps));
+            }
+        }
+    }
+}

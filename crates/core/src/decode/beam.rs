@@ -23,11 +23,49 @@
 //!   SNR.
 //! * **Tail segments.** Levels past the message carry known zero
 //!   segments (§4), so only the zero branch is expanded there.
+//!
+//! # Engine architecture
+//!
+//! The decode hot path is built for steady-state rateless operation,
+//! where the receiver re-decodes from scratch after every sub-pass:
+//!
+//! * **Structure-of-arrays frontier.** A hypothesis is four parallel
+//!   entries — `spines: Vec<u64>`, `costs: Vec<f64>`, `parents: Vec<u32>`,
+//!   `segs: Vec<u16>` — instead of a struct per node. The expansion loop
+//!   walks flat slices with no branching beyond the observation loop,
+//!   which the vectorizer and prefetcher both like.
+//! * **Reusable scratch.** All working memory lives in a
+//!   [`DecoderScratch`] that survives across levels *and* across decode
+//!   attempts. [`BeamDecoder::decode_into`] additionally reuses the
+//!   output buffers, so a warmed-up attempt performs **zero heap
+//!   allocation** (verified by the `no_alloc` integration test; the
+//!   `parallel` feature's worker threads are the one documented
+//!   exception).
+//! * **Hash-block deduplication.** All observations at a level read
+//!   their symbol bits out of the same few 64-bit expansion blocks of
+//!   the child spine. The engine plans each level once
+//!   ([`crate::decode::batch`]), hashes each *distinct* block exactly
+//!   once per child, and slices every observation out of the cached
+//!   blocks — collapsing what was one or two hash invocations per
+//!   `(child, observation)` pair into one per `(child, distinct block)`.
+//!   [`DecodeStats::hash_calls`] reports the resulting hash count.
+//! * **Partial selection.** Pruning and final ranking use
+//!   `select_nth_unstable` to find the `B` lowest-cost nodes in `O(n)`,
+//!   then sort only those `B`. Ties break canonically by expansion index
+//!   (the paper's "arbitrarily", made deterministic), so results are
+//!   bit-identical to the straightforward reference implementation in
+//!   [`crate::decode::reference`].
+//! * **Optional parallelism.** With the `parallel` crate feature, levels
+//!   whose expansion exceeds a work threshold are split over scoped
+//!   `std::thread` workers by parent chunk. Every child's cost is
+//!   computed with the same floating-point operation order as the serial
+//!   loop and written to a disjoint pre-sized slice, so the output is
+//!   **bit-identical** to the serial path.
 
 use crate::bits::BitVec;
+use crate::decode::batch::{self, ObsRead};
 use crate::decode::cost::CostModel;
 use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
-use crate::expand::symbol_bits;
 use crate::hash::SpineHash;
 use crate::map::Mapper;
 use crate::params::CodeParams;
@@ -72,6 +110,51 @@ impl Default for BeamConfig {
     }
 }
 
+/// Reusable working memory for [`BeamDecoder`] decode attempts.
+///
+/// Holds the structure-of-arrays frontier, the child expansion buffers,
+/// the backtracking arena, the level's hash-block cache, and the
+/// selection/backtrack scratch. Create one per decoding loop (or per
+/// worker thread) and pass it to [`BeamDecoder::decode_with_scratch`] /
+/// [`BeamDecoder::decode_into`]; after the first attempt warms the
+/// capacities up, subsequent attempts allocate nothing.
+///
+/// A scratch is not tied to a particular decoder, message length, or
+/// symbol type and may be shared between them sequentially.
+#[derive(Clone, Debug, Default)]
+pub struct DecoderScratch {
+    /// Current frontier, one entry per retained hypothesis.
+    spines: Vec<u64>,
+    costs: Vec<f64>,
+    parents: Vec<u32>,
+    segs: Vec<u16>,
+    /// Child buffers the frontier expands into (swapped per level).
+    next_spines: Vec<u64>,
+    next_costs: Vec<f64>,
+    next_parents: Vec<u32>,
+    next_segs: Vec<u16>,
+    /// Backtracking arena of committed `(parent, segment)` records.
+    arena_parents: Vec<u32>,
+    arena_segs: Vec<u16>,
+    /// The level plan: distinct expansion-block ids + per-observation reads.
+    block_ids: Vec<u64>,
+    reads: Vec<ObsRead>,
+    /// Hash-block cache (one row per worker under `parallel`).
+    blocks: Vec<u64>,
+    /// Index ordering used by the partial selections.
+    order: Vec<u32>,
+    /// Segment buffer for backtracking.
+    path: Vec<u16>,
+}
+
+impl DecoderScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The practical spinal decoder: B-beam search over the decoding tree.
 ///
 /// # Example
@@ -109,20 +192,10 @@ pub struct BeamDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> {
     mapper: M,
     cost: C,
     config: BeamConfig,
-}
-
-/// A live hypothesis during the level-by-level sweep.
-#[derive(Clone, Copy, Debug)]
-struct BeamNode {
-    /// Spine value at this node's level.
-    spine: u64,
-    /// Cumulative path cost from the root.
-    cost: f64,
-    /// Index of the parent entry in the backtracking arena
-    /// (`u32::MAX` for children of the root).
-    parent: u32,
-    /// The k-bit segment hypothesis on the incoming edge.
-    seg: u16,
+    /// Worker-thread count for the `parallel` feature, resolved once at
+    /// construction (env reads allocate; the decode hot path must not).
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    parallel_workers: usize,
 }
 
 impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
@@ -142,6 +215,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             mapper,
             cost: cost.clone(),
             config,
+            parallel_workers: default_parallel_workers(),
         }
     }
 
@@ -150,17 +224,62 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         &self.config
     }
 
+    /// Overrides the worker-thread count the `parallel` feature may use
+    /// for large levels (default: the `SPINAL_DECODE_WORKERS` environment
+    /// variable when set, the machine's available parallelism otherwise).
+    /// A count of 1 pins the decoder to its serial path.
+    #[cfg(feature = "parallel")]
+    pub fn with_parallel_workers(mut self, workers: usize) -> Self {
+        self.parallel_workers = workers.clamp(1, PARALLEL_MAX_WORKERS);
+        self
+    }
+
     /// Runs one decode attempt over everything received so far and
     /// returns the best hypotheses.
     ///
     /// The attempt is self-contained (the paper re-decodes from scratch
-    /// each pass); incremental decoding across attempts would be an
-    /// optimisation, not a semantic change.
+    /// each pass). This convenience entry point allocates a fresh
+    /// [`DecoderScratch`] per call; decoding loops should hold one and
+    /// use [`decode_with_scratch`](Self::decode_with_scratch) (or
+    /// [`decode_into`](Self::decode_into) to also reuse the output
+    /// buffers).
     ///
     /// # Panics
     ///
     /// Panics if `obs` was created for a different spine length.
     pub fn decode(&self, obs: &Observations<M::Symbol>) -> DecodeResult {
+        let mut scratch = DecoderScratch::new();
+        self.decode_with_scratch(obs, &mut scratch)
+    }
+
+    /// Like [`decode`](Self::decode), reusing `scratch` for all working
+    /// memory. After warm-up the search itself performs no heap
+    /// allocation; only the returned [`DecodeResult`] is built fresh.
+    pub fn decode_with_scratch(
+        &self,
+        obs: &Observations<M::Symbol>,
+        scratch: &mut DecoderScratch,
+    ) -> DecodeResult {
+        let mut out = DecodeResult::default();
+        self.decode_into(obs, scratch, &mut out);
+        out
+    }
+
+    /// The fully buffer-reusing entry point: decodes into `out`,
+    /// recycling its message/candidate storage. With a warmed-up
+    /// `scratch` and `out`, a decode attempt performs **zero heap
+    /// allocation** (the `parallel` feature's scoped worker threads are
+    /// the one exception — thread spawning allocates stacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` was created for a different spine length.
+    pub fn decode_into(
+        &self,
+        obs: &Observations<M::Symbol>,
+        scratch: &mut DecoderScratch,
+        out: &mut DecodeResult,
+    ) {
         assert_eq!(
             obs.n_levels(),
             self.params.n_segments(),
@@ -173,24 +292,44 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let branch = 1usize << self.params.k();
         let bps = self.mapper.bits_per_symbol();
 
-        // Backtracking arena of retained nodes: (parent index, segment).
-        let mut arena: Vec<(u32, u16)> = Vec::new();
-        let mut beam: Vec<BeamNode> = vec![BeamNode {
-            spine: INITIAL_SPINE,
-            cost: 0.0,
-            parent: u32::MAX,
-            seg: 0,
-        }];
+        let DecoderScratch {
+            spines: fr_spines,
+            costs: fr_costs,
+            parents: fr_parents,
+            segs: fr_segs,
+            next_spines,
+            next_costs,
+            next_parents,
+            next_segs,
+            arena_parents,
+            arena_segs,
+            block_ids,
+            reads,
+            blocks,
+            order,
+            path,
+        } = scratch;
+
         // The root is a placeholder: it is not in the arena; its children
         // use parent = u32::MAX.
+        fr_spines.clear();
+        fr_costs.clear();
+        fr_parents.clear();
+        fr_segs.clear();
+        fr_spines.push(INITIAL_SPINE);
+        fr_costs.push(0.0);
+        fr_parents.push(u32::MAX);
+        fr_segs.push(0);
+        arena_parents.clear();
+        arena_segs.clear();
         let mut root_level = true;
 
         let mut stats = DecodeStats {
             nodes_expanded: 0,
             frontier_peak: 1,
+            hash_calls: 0,
             complete: true,
         };
-        let mut next: Vec<BeamNode> = Vec::new();
 
         for t in 0..n_levels {
             let level_obs = obs.at_level(t);
@@ -199,42 +338,81 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
 
             // Pre-prune so the expansion never exceeds max_frontier.
             let cap_parents = (self.config.max_frontier / level_branch).max(1);
-            if beam.len() > cap_parents {
-                Self::retain_best(&mut beam, cap_parents);
+            if fr_spines.len() > cap_parents {
+                select_into(
+                    order,
+                    cap_parents,
+                    (
+                        fr_spines.as_slice(),
+                        fr_costs.as_slice(),
+                        fr_parents.as_slice(),
+                        fr_segs.as_slice(),
+                    ),
+                    (
+                        &mut *next_spines,
+                        &mut *next_costs,
+                        &mut *next_parents,
+                        &mut *next_segs,
+                    ),
+                );
+                std::mem::swap(fr_spines, next_spines);
+                std::mem::swap(fr_costs, next_costs);
+                std::mem::swap(fr_parents, next_parents);
+                std::mem::swap(fr_segs, next_segs);
             }
 
             // Commit this level's parents to the arena (children need
             // stable indices to point at).
-            let parent_base = arena.len() as u32;
+            let parent_base = arena_parents.len() as u32;
             if !root_level {
-                arena.extend(beam.iter().map(|n| (n.parent, n.seg)));
+                arena_parents.extend_from_slice(fr_parents);
+                arena_segs.extend_from_slice(fr_segs);
             }
 
-            next.clear();
-            next.reserve(beam.len() * level_branch);
-            for (i, node) in beam.iter().enumerate() {
-                let parent_idx = if root_level {
-                    u32::MAX
-                } else {
-                    parent_base + i as u32
-                };
-                for seg in 0..level_branch as u64 {
-                    let child_spine = self.hash.hash(node.spine, seg);
-                    let mut c = node.cost;
-                    for &(pass, observed) in level_obs {
-                        let hyp = self.mapper.map(symbol_bits(&self.hash, child_spine, pass, bps));
-                        c += self.cost.cost(observed, hyp);
-                    }
-                    next.push(BeamNode {
-                        spine: child_spine,
-                        cost: c,
-                        parent: parent_idx,
-                        seg: seg as u16,
-                    });
-                }
+            // Plan the level once: distinct expansion blocks + one read
+            // descriptor per observation.
+            if level_obs.is_empty() {
+                block_ids.clear();
+                reads.clear();
+            } else {
+                batch::plan_level(level_obs.iter().map(|&(p, _)| p), bps, block_ids, reads);
             }
-            stats.nodes_expanded += next.len() as u64;
-            stats.frontier_peak = stats.frontier_peak.max(next.len());
+
+            // Expand every parent into the pre-sized child buffers.
+            let n_parents = fr_spines.len();
+            let n_children = n_parents * level_branch;
+            next_spines.clear();
+            next_spines.resize(n_children, 0);
+            next_costs.clear();
+            next_costs.resize(n_children, 0.0);
+            next_parents.clear();
+            next_parents.resize(n_children, 0);
+            next_segs.clear();
+            next_segs.resize(n_children, 0);
+            expand_level(
+                &self.hash,
+                &self.mapper,
+                &self.cost,
+                self.parallel_workers,
+                fr_spines,
+                fr_costs,
+                parent_base,
+                root_level,
+                level_branch,
+                level_obs,
+                block_ids,
+                reads,
+                blocks,
+                next_spines,
+                next_costs,
+                next_parents,
+                next_segs,
+            );
+            stats.nodes_expanded += n_children as u64;
+            stats.frontier_peak = stats.frontier_peak.max(n_children);
+            // One spine-step hash per child, plus one hash per distinct
+            // expansion block per child at observed levels.
+            stats.hash_calls += n_children as u64 * (1 + block_ids.len() as u64);
 
             // Prune: to B at observed levels (or always, if deferral is
             // off); otherwise only enforce the frontier cap.
@@ -243,64 +421,411 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             } else {
                 self.config.max_frontier
             };
-            if next.len() > keep {
-                Self::retain_best(&mut next, keep);
+            if n_children > keep {
+                select_into(
+                    order,
+                    keep,
+                    (
+                        next_spines.as_slice(),
+                        next_costs.as_slice(),
+                        next_parents.as_slice(),
+                        next_segs.as_slice(),
+                    ),
+                    (
+                        &mut *fr_spines,
+                        &mut *fr_costs,
+                        &mut *fr_parents,
+                        &mut *fr_segs,
+                    ),
+                );
+            } else {
+                std::mem::swap(fr_spines, next_spines);
+                std::mem::swap(fr_costs, next_costs);
+                std::mem::swap(fr_parents, next_parents);
+                std::mem::swap(fr_segs, next_segs);
             }
-            std::mem::swap(&mut beam, &mut next);
             root_level = false;
         }
 
-        // Rank the surviving hypotheses.
-        beam.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
-        let take = beam.len().min(self.config.beam_width.max(1));
-        let candidates: Vec<Candidate> = beam[..take]
-            .iter()
-            .map(|n| Candidate {
-                message: self.backtrack(&arena, n),
-                cost: n.cost,
-            })
-            .collect();
-        let best = candidates[0].clone();
-        DecodeResult {
-            message: best.message,
-            cost: best.cost,
-            candidates,
-            stats,
+        // Rank the surviving hypotheses: select the top-B, sort only
+        // those (canonical (cost, index) order — identical to a stable
+        // full sort by cost).
+        let n = fr_spines.len();
+        let take = n.min(self.config.beam_width.max(1));
+        order.clear();
+        order.extend(0..n as u32);
+        let cmp = by_cost_then_index(fr_costs);
+        if n > take {
+            order.select_nth_unstable_by(take - 1, &cmp);
+            order.truncate(take);
         }
-    }
+        order.sort_unstable_by(&cmp);
 
-    /// Keeps the `keep` lowest-cost nodes (arbitrary order, deterministic
-    /// for a given input order — the paper's "breaking ties arbitrarily").
-    fn retain_best(nodes: &mut Vec<BeamNode>, keep: usize) {
-        if nodes.len() > keep {
-            nodes.select_nth_unstable_by(keep - 1, |a, b| {
-                a.cost.partial_cmp(&b.cost).expect("finite costs")
+        // Materialize the result, reusing the output buffers.
+        out.stats = stats;
+        out.candidates.truncate(take);
+        while out.candidates.len() < take {
+            out.candidates.push(Candidate {
+                message: BitVec::new(),
+                cost: 0.0,
             });
-            nodes.truncate(keep);
+        }
+        for (slot, &idx) in out.candidates.iter_mut().zip(order.iter()) {
+            let i = idx as usize;
+            slot.cost = fr_costs[i];
+            backtrack_into(
+                &self.params,
+                arena_parents,
+                arena_segs,
+                fr_parents[i],
+                fr_segs[i],
+                path,
+                &mut slot.message,
+            );
+        }
+        out.cost = out.candidates[0].cost;
+        let best = &out.candidates[0].message;
+        out.message.clear();
+        out.message.extend_from(best);
+    }
+}
+
+/// Keeps the `keep` lowest-cost entries of `src` in canonical
+/// `(cost, expansion index)` order, writing them into `dst` (cleared
+/// first). The canonical tie-break realizes the paper's "breaking ties
+/// arbitrarily" deterministically, and matches a stable sort by cost.
+type SoaRef<'a> = (&'a [u64], &'a [f64], &'a [u32], &'a [u16]);
+type SoaMut<'a> = (
+    &'a mut Vec<u64>,
+    &'a mut Vec<f64>,
+    &'a mut Vec<u32>,
+    &'a mut Vec<u16>,
+);
+
+/// The canonical total order every selection in this module uses: cost
+/// ascending, position (expansion index) breaking ties. Both the
+/// optimized engine and [`crate::decode::reference`] rank by exactly
+/// this rule — keep it in one place so they cannot drift apart.
+fn by_cost_then_index(costs: &[f64]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
+    move |a: &u32, b: &u32| {
+        costs[*a as usize]
+            .partial_cmp(&costs[*b as usize])
+            .expect("finite costs")
+            .then(a.cmp(b))
+    }
+}
+
+fn select_into(order: &mut Vec<u32>, keep: usize, src: SoaRef<'_>, dst: SoaMut<'_>) {
+    let (src_spines, src_costs, src_parents, src_segs) = src;
+    let (dst_spines, dst_costs, dst_parents, dst_segs) = dst;
+    let n = src_costs.len();
+    debug_assert!(n > keep);
+    order.clear();
+    order.extend(0..n as u32);
+    let cmp = by_cost_then_index(src_costs);
+    order.select_nth_unstable_by(keep - 1, &cmp);
+    order.truncate(keep);
+    order.sort_unstable_by(&cmp);
+    dst_spines.clear();
+    dst_costs.clear();
+    dst_parents.clear();
+    dst_segs.clear();
+    for &i in order.iter() {
+        let i = i as usize;
+        dst_spines.push(src_spines[i]);
+        dst_costs.push(src_costs[i]);
+        dst_parents.push(src_parents[i]);
+        dst_segs.push(src_segs[i]);
+    }
+}
+
+/// Expands one level, choosing the parallel path when it is enabled and
+/// worthwhile, and falling back to the serial flat loop otherwise.
+#[allow(clippy::too_many_arguments)]
+#[cfg_attr(not(feature = "parallel"), allow(unused_variables))]
+fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
+    hash: &H,
+    mapper: &M,
+    cost: &C,
+    parallel_workers: usize,
+    parent_spines: &[u64],
+    parent_costs: &[f64],
+    parent_base: u32,
+    root_level: bool,
+    level_branch: usize,
+    level_obs: &[(u32, M::Symbol)],
+    block_ids: &[u64],
+    reads: &[ObsRead],
+    blocks: &mut Vec<u64>,
+    out_spines: &mut [u64],
+    out_costs: &mut [f64],
+    out_parents: &mut [u32],
+    out_segs: &mut [u16],
+) {
+    #[cfg(feature = "parallel")]
+    {
+        if expand_level_parallel(
+            hash,
+            mapper,
+            cost,
+            parallel_workers,
+            parent_spines,
+            parent_costs,
+            parent_base,
+            root_level,
+            level_branch,
+            level_obs,
+            block_ids,
+            reads,
+            blocks,
+            out_spines,
+            out_costs,
+            out_parents,
+            out_segs,
+        ) {
+            return;
         }
     }
+    blocks.clear();
+    blocks.resize(block_ids.len(), 0);
+    expand_parents(
+        hash,
+        mapper,
+        cost,
+        parent_spines,
+        parent_costs,
+        0,
+        parent_base,
+        root_level,
+        level_branch,
+        level_obs,
+        block_ids,
+        reads,
+        blocks,
+        out_spines,
+        out_costs,
+        out_parents,
+        out_segs,
+    );
+}
 
-    /// Reconstructs the message bits along a leaf's root path.
-    fn backtrack(&self, arena: &[(u32, u16)], leaf: &BeamNode) -> BitVec {
-        let n_levels = self.params.n_segments() as usize;
-        let mut segs = Vec::with_capacity(n_levels);
-        segs.push(leaf.seg);
-        let mut idx = leaf.parent;
-        while idx != u32::MAX {
-            let (parent, seg) = arena[idx as usize];
-            segs.push(seg);
-            idx = parent;
-        }
-        segs.reverse();
-        debug_assert_eq!(segs.len(), n_levels);
-        let k = self.params.k() as usize;
-        let mut bits = BitVec::new();
-        for &seg in segs.iter().take(self.params.message_segments() as usize) {
-            for i in (0..k).rev() {
-                bits.push((seg >> i) & 1 == 1);
+/// The flat expansion loop over a contiguous run of parents.
+/// `first_parent` is the run's global index (for arena parent pointers);
+/// output slices cover exactly this run's children.
+#[allow(clippy::too_many_arguments)]
+fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
+    hash: &H,
+    mapper: &M,
+    cost: &C,
+    parent_spines: &[u64],
+    parent_costs: &[f64],
+    first_parent: usize,
+    parent_base: u32,
+    root_level: bool,
+    level_branch: usize,
+    level_obs: &[(u32, M::Symbol)],
+    block_ids: &[u64],
+    reads: &[ObsRead],
+    blocks: &mut [u64],
+    out_spines: &mut [u64],
+    out_costs: &mut [f64],
+    out_parents: &mut [u32],
+    out_segs: &mut [u16],
+) {
+    debug_assert_eq!(out_spines.len(), parent_spines.len() * level_branch);
+    // Chunked iterators instead of indexed writes: one child row per
+    // `zip` step, no bounds checks in the hot loop.
+    let parents = parent_spines.iter().zip(parent_costs);
+    let children = out_spines
+        .chunks_exact_mut(level_branch)
+        .zip(out_costs.chunks_exact_mut(level_branch))
+        .zip(out_parents.chunks_exact_mut(level_branch))
+        .zip(out_segs.chunks_exact_mut(level_branch));
+    for (p, ((&pspine, &pcost), (((row_s, row_c), row_p), row_g))) in
+        parents.zip(children).enumerate()
+    {
+        let parent_idx = if root_level {
+            u32::MAX
+        } else {
+            parent_base + (first_parent + p) as u32
+        };
+        let row = row_s
+            .iter_mut()
+            .zip(row_c.iter_mut())
+            .zip(row_p.iter_mut())
+            .zip(row_g.iter_mut());
+        for (seg, (((slot_s, slot_c), slot_p), slot_g)) in row.enumerate() {
+            let child_spine = hash.hash(pspine, seg as u64);
+            let mut c = pcost;
+            if !reads.is_empty() {
+                batch::fill_blocks(hash, child_spine, block_ids, blocks);
+                for (r, &(_, observed)) in reads.iter().zip(level_obs) {
+                    let hyp = mapper.map(batch::read_obs(blocks, r));
+                    c += cost.cost(observed, hyp);
+                }
             }
+            *slot_s = child_spine;
+            *slot_c = c;
+            *slot_p = parent_idx;
+            *slot_g = seg as u16;
         }
-        bits
+    }
+}
+
+/// Minimum `children × observations` work for a level before scoped
+/// threads pay for themselves.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_WORK: usize = 1 << 14;
+
+/// Cap on worker threads per level.
+#[cfg(feature = "parallel")]
+const PARALLEL_MAX_WORKERS: usize = 8;
+
+/// Default worker count for parallel expansion, resolved at decoder
+/// construction: the `SPINAL_DECODE_WORKERS` environment variable when
+/// set (useful for benchmarking and for exercising the threaded path on
+/// machines where `available_parallelism` reports 1), the machine's
+/// parallelism otherwise.
+#[cfg(feature = "parallel")]
+fn default_parallel_workers() -> usize {
+    let machine = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let n = match std::env::var("SPINAL_DECODE_WORKERS") {
+        // A malformed value falls back to the machine default rather
+        // than silently pinning the decoder serial.
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| machine()),
+        Err(_) => machine(),
+    };
+    n.clamp(1, PARALLEL_MAX_WORKERS)
+}
+
+/// Without the `parallel` feature the decoder is always serial.
+#[cfg(not(feature = "parallel"))]
+fn default_parallel_workers() -> usize {
+    1
+}
+
+/// Splits the expansion over scoped worker threads by parent chunk.
+/// Returns `false` (doing nothing) when the level is too small, the
+/// machine has a single core, or the level is unobserved. Each worker
+/// writes a disjoint slice and runs the identical per-child arithmetic,
+/// so the result is bit-identical to [`expand_parents`].
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
+    hash: &H,
+    mapper: &M,
+    cost: &C,
+    parallel_workers: usize,
+    parent_spines: &[u64],
+    parent_costs: &[f64],
+    parent_base: u32,
+    root_level: bool,
+    level_branch: usize,
+    level_obs: &[(u32, M::Symbol)],
+    block_ids: &[u64],
+    reads: &[ObsRead],
+    blocks: &mut Vec<u64>,
+    out_spines: &mut [u64],
+    out_costs: &mut [f64],
+    out_parents: &mut [u32],
+    out_segs: &mut [u16],
+) -> bool {
+    let n_parents = parent_spines.len();
+    let work = n_parents * level_branch * level_obs.len();
+    if level_obs.is_empty() || work < PARALLEL_MIN_WORK {
+        return false;
+    }
+    let workers = parallel_workers.min(n_parents);
+    if workers < 2 {
+        return false;
+    }
+    let block_len = block_ids.len();
+    blocks.clear();
+    blocks.resize(workers * block_len, 0);
+    let chunk = n_parents.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut ps = parent_spines;
+        let mut pc = parent_costs;
+        let mut os = out_spines;
+        let mut oc = out_costs;
+        let mut op = out_parents;
+        let mut og = out_segs;
+        let mut bl = blocks.as_mut_slice();
+        let mut first_parent = 0usize;
+        while !ps.is_empty() {
+            let take = chunk.min(ps.len());
+            let (ps_c, ps_r) = ps.split_at(take);
+            ps = ps_r;
+            let (pc_c, pc_r) = pc.split_at(take);
+            pc = pc_r;
+            let (os_c, os_r) = std::mem::take(&mut os).split_at_mut(take * level_branch);
+            os = os_r;
+            let (oc_c, oc_r) = std::mem::take(&mut oc).split_at_mut(take * level_branch);
+            oc = oc_r;
+            let (op_c, op_r) = std::mem::take(&mut op).split_at_mut(take * level_branch);
+            op = op_r;
+            let (og_c, og_r) = std::mem::take(&mut og).split_at_mut(take * level_branch);
+            og = og_r;
+            let (bl_c, bl_r) = std::mem::take(&mut bl).split_at_mut(block_len);
+            bl = bl_r;
+            let fp = first_parent;
+            first_parent += take;
+            scope.spawn(move || {
+                expand_parents(
+                    hash,
+                    mapper,
+                    cost,
+                    ps_c,
+                    pc_c,
+                    fp,
+                    parent_base,
+                    root_level,
+                    level_branch,
+                    level_obs,
+                    block_ids,
+                    reads,
+                    bl_c,
+                    os_c,
+                    oc_c,
+                    op_c,
+                    og_c,
+                );
+            });
+        }
+    });
+    true
+}
+
+/// Reconstructs the message bits along a leaf's root path into `out`
+/// (cleared first), using `path` as the segment scratch buffer.
+fn backtrack_into(
+    params: &CodeParams,
+    arena_parents: &[u32],
+    arena_segs: &[u16],
+    leaf_parent: u32,
+    leaf_seg: u16,
+    path: &mut Vec<u16>,
+    out: &mut BitVec,
+) {
+    path.clear();
+    path.push(leaf_seg);
+    let mut idx = leaf_parent;
+    while idx != u32::MAX {
+        path.push(arena_segs[idx as usize]);
+        idx = arena_parents[idx as usize];
+    }
+    path.reverse();
+    debug_assert_eq!(path.len(), params.n_segments() as usize);
+    let k = params.k() as usize;
+    out.clear();
+    for &seg in path.iter().take(params.message_segments() as usize) {
+        for i in (0..k).rev() {
+            out.push((seg >> i) & 1 == 1);
+        }
     }
 }
 
@@ -308,6 +833,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
 mod tests {
     use super::*;
     use crate::decode::cost::{AwgnCost, BscCost};
+    use crate::decode::reference::reference_decode;
     use crate::encode::Encoder;
     use crate::hash::Lookup3;
     use crate::map::{BinaryMapper, LinearMapper};
@@ -533,6 +1059,131 @@ mod tests {
         let res = dec.decode(&Observations::new(3));
         assert_eq!(res.message.len(), 24);
         assert_eq!(res.cost, 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_and_stable() {
+        // The same scratch carried across attempts (and across decoders
+        // of different shapes) must not change any output.
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[0x11, 0x22, 0x33]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        );
+        let mut scratch = DecoderScratch::new();
+        let mut out = DecodeResult::default();
+        for passes in [1u32, 2, 3, 1] {
+            let obs = noiseless_obs(&enc, passes);
+            let fresh = dec.decode(&obs);
+            dec.decode_into(&obs, &mut scratch, &mut out);
+            assert_eq!(out.message, fresh.message, "passes {passes}");
+            assert_eq!(out.cost.to_bits(), fresh.cost.to_bits());
+            assert_eq!(out.candidates, fresh.candidates);
+            assert_eq!(out.stats, fresh.stats);
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[0x5a, 0xc3, 0x96]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        );
+        let obs = noiseless_obs(&enc, 3);
+        let opt = dec.decode(&obs);
+        let reference = reference_decode(
+            &p,
+            &Lookup3::new(p.seed()),
+            &LinearMapper::new(10),
+            &AwgnCost,
+            &BeamConfig::paper_default(),
+            &obs,
+        );
+        assert_eq!(opt.message, reference.message);
+        assert_eq!(opt.cost.to_bits(), reference.cost.to_bits());
+        assert_eq!(opt.candidates, reference.candidates);
+        assert_eq!(opt.stats.nodes_expanded, reference.stats.nodes_expanded);
+        assert_eq!(opt.stats.frontier_peak, reference.stats.frontier_peak);
+    }
+
+    #[test]
+    fn hash_dedup_cuts_hash_calls_on_multi_observation_levels() {
+        // 4 passes at c = 10 (20 bits/symbol) read blocks {0, 1}: the
+        // naive decoder hashes ≥ 4 expansion blocks per child, the
+        // deduplicated engine exactly 2.
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[0xab, 0xcd, 0xef]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let obs = noiseless_obs(&enc, 4);
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        );
+        let opt = dec.decode(&obs);
+        let reference = reference_decode(
+            &p,
+            &Lookup3::new(p.seed()),
+            &LinearMapper::new(10),
+            &AwgnCost,
+            &BeamConfig::paper_default(),
+            &obs,
+        );
+        assert!(
+            opt.stats.hash_calls * 2 <= reference.stats.hash_calls,
+            "dedup {} vs naive {}",
+            opt.stats.hash_calls,
+            reference.stats.hash_calls
+        );
+    }
+
+    /// With the `parallel` feature, force multi-threaded expansion (this
+    /// container may report a single core) and check bit-identical
+    /// output against the always-serial reference.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_expansion_is_bit_identical_to_serial() {
+        let p = params(40, 8, 0);
+        let msg = BitVec::from_bytes(&[0x42, 0x99, 0x17, 0x5a, 0xc3]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        // B = 64 → 64·256 = 16384 children per level: crosses
+        // PARALLEL_MIN_WORK, so the scoped-thread path engages.
+        let cfg = BeamConfig::with_beam(64);
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            cfg,
+        )
+        .with_parallel_workers(4);
+        let obs = noiseless_obs(&enc, 3);
+        let par = dec.decode(&obs);
+        let reference = reference_decode(
+            &p,
+            &Lookup3::new(p.seed()),
+            &LinearMapper::new(10),
+            &AwgnCost,
+            &cfg,
+            &obs,
+        );
+        assert_eq!(par.message, reference.message);
+        assert_eq!(par.cost.to_bits(), reference.cost.to_bits());
+        assert_eq!(par.candidates, reference.candidates);
+        assert_eq!(par.stats.nodes_expanded, reference.stats.nodes_expanded);
     }
 
     #[test]

@@ -16,13 +16,19 @@
 //! SNR, little data) bounded, in the same "scale-down" spirit as the beam
 //! decoder.
 //!
+//! Like the beam decoder, the ML decoder batches its hash work: each
+//! level's observation layout is planned once ([`crate::decode::batch`]),
+//! and every candidate child hashes each distinct expansion block exactly
+//! once however many observations the level holds. Working buffers live
+//! in a reusable [`MlScratch`] ([`MlDecoder::decode_with_scratch`]).
+//!
 //! Use this decoder for small messages only (tests, theorem validation,
 //! beam-vs-ML comparisons); the beam decoder is the practical one.
 
 use crate::bits::BitVec;
+use crate::decode::batch;
 use crate::decode::cost::CostModel;
 use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
-use crate::expand::symbol_bits;
 use crate::hash::SpineHash;
 use crate::map::Mapper;
 use crate::params::CodeParams;
@@ -41,6 +47,31 @@ impl Default for MlConfig {
         Self {
             max_nodes: 1 << 24, // ~16.7M edge evaluations
         }
+    }
+}
+
+/// One level's hash-block plan.
+#[derive(Clone, Debug, Default)]
+struct LevelPlan {
+    block_ids: Vec<u64>,
+    reads: Vec<batch::ObsRead>,
+}
+
+/// Reusable working memory for [`MlDecoder`] decode attempts: per-level
+/// hash-block plans, per-depth child buffers, and the block cache.
+/// Mirrors the beam decoder's [`crate::decode::DecoderScratch`].
+#[derive(Clone, Debug, Default)]
+pub struct MlScratch {
+    plans: Vec<LevelPlan>,
+    child_bufs: Vec<Vec<(f64, u64, u16)>>,
+    blocks: Vec<u64>,
+}
+
+impl MlScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -82,10 +113,12 @@ pub struct MlDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> {
 struct Search<'a, H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> {
     dec: &'a MlDecoder<H, M, C>,
     obs: &'a Observations<M::Symbol>,
+    scratch: &'a mut MlScratch,
     best_cost: f64,
     best_path: Vec<u16>,
     path: Vec<u16>,
     nodes: u64,
+    hash_calls: u64,
     budget_hit: bool,
 }
 
@@ -110,6 +143,17 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> MlDecoder<H, M, C> {
     ///
     /// Panics if `obs` was created for a different spine length.
     pub fn decode(&self, obs: &Observations<M::Symbol>) -> DecodeResult {
+        let mut scratch = MlScratch::new();
+        self.decode_with_scratch(obs, &mut scratch)
+    }
+
+    /// Like [`decode`](Self::decode), reusing `scratch` across attempts
+    /// (the rateless receiver re-decodes after every sub-pass).
+    pub fn decode_with_scratch(
+        &self,
+        obs: &Observations<M::Symbol>,
+        scratch: &mut MlScratch,
+    ) -> DecodeResult {
         assert_eq!(
             obs.n_levels(),
             self.params.n_segments(),
@@ -118,13 +162,44 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> MlDecoder<H, M, C> {
             self.params.n_segments()
         );
         let n_levels = self.params.n_segments() as usize;
+        let bps = self.mapper.bits_per_symbol();
+
+        // Plan every level once per attempt.
+        if scratch.plans.len() < n_levels {
+            scratch.plans.resize_with(n_levels, LevelPlan::default);
+        }
+        if scratch.child_bufs.len() < n_levels {
+            scratch.child_bufs.resize_with(n_levels, Vec::new);
+        }
+        let mut max_blocks = 0;
+        for t in 0..n_levels {
+            let plan = &mut scratch.plans[t];
+            let level_obs = obs.at_level(t as u32);
+            if level_obs.is_empty() {
+                plan.block_ids.clear();
+                plan.reads.clear();
+            } else {
+                batch::plan_level(
+                    level_obs.iter().map(|&(p, _)| p),
+                    bps,
+                    &mut plan.block_ids,
+                    &mut plan.reads,
+                );
+            }
+            max_blocks = max_blocks.max(plan.block_ids.len());
+        }
+        scratch.blocks.clear();
+        scratch.blocks.resize(max_blocks, 0);
+
         let mut search = Search {
             dec: self,
             obs,
+            scratch,
             best_cost: f64::INFINITY,
             best_path: Vec::new(),
             path: Vec::with_capacity(n_levels),
             nodes: 0,
+            hash_calls: 0,
             budget_hit: false,
         };
         search.dfs(0, INITIAL_SPINE, 0.0);
@@ -134,6 +209,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> MlDecoder<H, M, C> {
         let stats = DecodeStats {
             nodes_expanded: search.nodes,
             frontier_peak: n_levels,
+            hash_calls: search.hash_calls,
             complete: !search.budget_hit,
         };
         DecodeResult {
@@ -160,6 +236,39 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> MlDecoder<H, M, C> {
 }
 
 impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> Search<'_, H, M, C> {
+    /// Scores all children of `(level, spine, cost)` into `children`
+    /// using the level's block plan (one hash per distinct block per
+    /// child).
+    fn score_children(
+        &mut self,
+        level: u32,
+        spine: u64,
+        cost: f64,
+        children: &mut Vec<(f64, u64, u16)>,
+    ) {
+        let params = &self.dec.params;
+        let tail = level >= params.message_segments();
+        let branch = if tail { 1u64 } else { 1u64 << params.k() };
+        let level_obs = self.obs.at_level(level);
+        children.clear();
+        let scratch = &mut *self.scratch;
+        let plan = &scratch.plans[level as usize];
+        let blocks = &mut scratch.blocks[..plan.block_ids.len()];
+        for seg in 0..branch {
+            let child_spine = self.dec.hash.hash(spine, seg);
+            let mut c = cost;
+            if !plan.reads.is_empty() {
+                batch::fill_blocks(&self.dec.hash, child_spine, &plan.block_ids, blocks);
+                for (r, &(_, observed)) in plan.reads.iter().zip(level_obs) {
+                    let hyp = self.dec.mapper.map(batch::read_obs(blocks, r));
+                    c += self.dec.cost.cost(observed, hyp);
+                }
+            }
+            children.push((c, child_spine, seg as u16));
+        }
+        self.hash_calls += branch * (1 + plan.block_ids.len() as u64);
+    }
+
     fn dfs(&mut self, level: u32, spine: u64, cost: f64) {
         let params = &self.dec.params;
         if level == params.n_segments() {
@@ -178,29 +287,14 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> Search<'_, H, M, C> {
             }
             return;
         }
-        let tail = level >= params.message_segments();
-        let branch = if tail { 1u64 } else { 1u64 << params.k() };
-        let level_obs = self.obs.at_level(level);
-        let bps = self.dec.mapper.bits_per_symbol();
 
         // Evaluate all children, then visit cheapest-first.
-        let mut children: Vec<(f64, u64, u16)> = Vec::with_capacity(branch as usize);
-        for seg in 0..branch {
-            let child_spine = self.dec.hash.hash(spine, seg);
-            let mut c = cost;
-            for &(pass, observed) in level_obs {
-                let hyp = self
-                    .dec
-                    .mapper
-                    .map(symbol_bits(&self.dec.hash, child_spine, pass, bps));
-                c += self.dec.cost.cost(observed, hyp);
-            }
-            children.push((c, child_spine, seg as u16));
-        }
+        let mut children = std::mem::take(&mut self.scratch.child_bufs[level as usize]);
+        self.score_children(level, spine, cost, &mut children);
         self.nodes += children.len() as u64;
         children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
 
-        for (c, child_spine, seg) in children {
+        for &(c, child_spine, seg) in children.iter() {
             if c >= self.best_cost {
                 break; // all remaining children are at least as costly
             }
@@ -208,6 +302,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> Search<'_, H, M, C> {
             self.dfs(level + 1, child_spine, c);
             self.path.pop();
         }
+        self.scratch.child_bufs[level as usize] = children;
     }
 
     /// Completes the current prefix by always taking the locally cheapest
@@ -215,27 +310,15 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> Search<'_, H, M, C> {
     /// budget expires before any leaf was reached.
     fn greedy_finish(&mut self, mut level: u32, mut spine: u64, mut cost: f64) {
         let params = &self.dec.params;
-        let bps = self.dec.mapper.bits_per_symbol();
         let mut path = self.path.clone();
+        let mut children = Vec::new();
         while level < params.n_segments() {
-            let tail = level >= params.message_segments();
-            let branch = if tail { 1u64 } else { 1u64 << params.k() };
-            let level_obs = self.obs.at_level(level);
-            let mut best = (f64::INFINITY, 0u64, 0u16);
-            for seg in 0..branch {
-                let child_spine = self.dec.hash.hash(spine, seg);
-                let mut c = cost;
-                for &(pass, observed) in level_obs {
-                    let hyp = self
-                        .dec
-                        .mapper
-                        .map(symbol_bits(&self.dec.hash, child_spine, pass, bps));
-                    c += self.dec.cost.cost(observed, hyp);
-                }
-                if c < best.0 {
-                    best = (c, child_spine, seg as u16);
-                }
-            }
+            self.score_children(level, spine, cost, &mut children);
+            let best = children
+                .iter()
+                .copied()
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"))
+                .expect("at least one child");
             path.push(best.2);
             spine = best.1;
             cost = best.0;
@@ -257,10 +340,7 @@ mod tests {
     use crate::symbol::{IqSymbol, Slot};
     use proptest::prelude::*;
 
-    fn full_obs(
-        enc: &Encoder<Lookup3, LinearMapper>,
-        passes: u32,
-    ) -> Observations<IqSymbol> {
+    fn full_obs(enc: &Encoder<Lookup3, LinearMapper>, passes: u32) -> Observations<IqSymbol> {
         let mut obs = Observations::new(enc.params().n_segments());
         for pass in 0..passes {
             for t in 0..enc.params().n_segments() {
@@ -287,6 +367,30 @@ mod tests {
         assert_eq!(res.message, msg);
         assert_eq!(res.cost, 0.0);
         assert!(res.stats.complete);
+        assert!(res.stats.hash_calls > 0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_decode() {
+        let p = CodeParams::new(12, 4).unwrap();
+        let msg = BitVec::from_u64(0x9ac, 12);
+        let enc = Encoder::new(&p, Lookup3::new(4), LinearMapper::new(6), &msg).unwrap();
+        let dec = MlDecoder::new(
+            &p,
+            Lookup3::new(4),
+            LinearMapper::new(6),
+            AwgnCost,
+            MlConfig::default(),
+        );
+        let mut scratch = MlScratch::new();
+        for passes in [1u32, 2, 1] {
+            let obs = full_obs(&enc, passes);
+            let fresh = dec.decode(&obs);
+            let reused = dec.decode_with_scratch(&obs, &mut scratch);
+            assert_eq!(fresh.message, reused.message);
+            assert_eq!(fresh.cost.to_bits(), reused.cost.to_bits());
+            assert_eq!(fresh.stats, reused.stats);
+        }
     }
 
     #[test]

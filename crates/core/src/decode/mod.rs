@@ -9,13 +9,16 @@
 //! [`ml::MlDecoder`] explores the full tree with branch-and-bound pruning
 //! and realizes the ML rule of Eq. 4 exactly.
 
+pub(crate) mod batch;
 pub mod beam;
 pub mod cost;
 pub mod ml;
+pub mod reference;
 
-pub use beam::{BeamConfig, BeamDecoder};
+pub use beam::{BeamConfig, BeamDecoder, DecoderScratch};
 pub use cost::{AwgnCost, BscCost, CostModel};
-pub use ml::{MlConfig, MlDecoder};
+pub use ml::{MlConfig, MlDecoder, MlScratch};
+pub use reference::reference_decode;
 
 use crate::bits::BitVec;
 use crate::symbol::Slot;
@@ -102,13 +105,19 @@ pub struct DecodeStats {
     pub nodes_expanded: u64,
     /// Largest temporary frontier the decoder held at once.
     pub frontier_peak: usize,
+    /// Spine-hash invocations performed: one per child generated, plus
+    /// the expansion-block hashes needed to score it. The optimized
+    /// engine hashes each distinct block once per child however many
+    /// observations share it, so this is the direct measure of the
+    /// hash-deduplication win over [`reference::reference_decode`].
+    pub hash_calls: u64,
     /// `false` if the search was cut short by a resource cap (the ML
     /// decoder's node budget); the result is then best-effort.
     pub complete: bool,
 }
 
 /// The outcome of a decode attempt.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DecodeResult {
     /// The minimum-cost message hypothesis.
     pub message: BitVec,

@@ -104,11 +104,7 @@ impl<H: SpineHash, M: Mapper> Encoder<H, M> {
     }
 
     /// The `(slot, symbol)` pairs of global sub-pass `g` under `schedule`.
-    pub fn subpass<P: PunctureSchedule>(
-        &self,
-        schedule: &P,
-        g: u32,
-    ) -> Vec<(Slot, M::Symbol)> {
+    pub fn subpass<P: PunctureSchedule>(&self, schedule: &P, g: u32) -> Vec<(Slot, M::Symbol)> {
         schedule
             .subpass_slots(self.params.n_segments(), g)
             .into_iter()
@@ -246,7 +242,7 @@ mod tests {
         // Successive passes walk successive expansion bits, so across many
         // passes the bit stream must not be constant.
         let bits: Vec<u8> = (0..32).map(|p| enc.symbol(Slot::new(0, p))).collect();
-        assert!(bits.iter().any(|&b| b == 0) && bits.iter().any(|&b| b == 1));
+        assert!(bits.contains(&0) && bits.contains(&1));
     }
 
     #[test]
@@ -277,7 +273,13 @@ mod tests {
             &BitVec::from_bytes(&[1]),
         )
         .unwrap_err();
-        assert!(matches!(err, SpineError::MessageLength { expected: 24, got: 8 }));
+        assert!(matches!(
+            err,
+            SpineError::MessageLength {
+                expected: 24,
+                got: 8
+            }
+        ));
     }
 
     proptest! {

@@ -115,10 +115,7 @@ mod tests {
     #[test]
     fn different_spines_differ() {
         let h = Lookup3::new(5);
-        assert_ne!(
-            expand_bits(&h, 1, 0, 64),
-            expand_bits(&h, 2, 0, 64)
-        );
+        assert_ne!(expand_bits(&h, 1, 0, 64), expand_bits(&h, 2, 0, 64));
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl Checksum {
 /// treats as its message.
 pub fn frame_encode(payload: &BitVec, checksum: Checksum) -> BitVec {
     let mut framed = payload.clone();
-    framed.extend_from(&BitVec::from_u64(checksum.compute(payload), checksum.width()));
+    framed.extend_from(&BitVec::from_u64(
+        checksum.compute(payload),
+        checksum.width(),
+    ));
     framed
 }
 
@@ -246,6 +249,7 @@ mod tests {
             stats: DecodeStats {
                 nodes_expanded: 0,
                 frontier_peak: 0,
+                hash_calls: 0,
                 complete: true,
             },
         }
@@ -257,11 +261,17 @@ mod tests {
         let wrong = BitVec::from_bytes(&[0xab]);
         let genie = GenieOracle::new(truth.clone());
         assert_eq!(
-            genie.accept(&result_with(vec![Candidate { message: truth.clone(), cost: 0.0 }])),
+            genie.accept(&result_with(vec![Candidate {
+                message: truth.clone(),
+                cost: 0.0
+            }])),
             Some(truth.clone())
         );
         assert_eq!(
-            genie.accept(&result_with(vec![Candidate { message: wrong, cost: 0.0 }])),
+            genie.accept(&result_with(vec![Candidate {
+                message: wrong,
+                cost: 0.0
+            }])),
             None
         );
         assert_eq!(genie.name(), "genie");
@@ -275,8 +285,14 @@ mod tests {
         garbage.set(0, !garbage.get(0));
         // Best candidate is garbage (fails CRC), second is valid.
         let res = result_with(vec![
-            Candidate { message: garbage, cost: 1.0 },
-            Candidate { message: framed, cost: 2.0 },
+            Candidate {
+                message: garbage,
+                cost: 1.0,
+            },
+            Candidate {
+                message: framed,
+                cost: 2.0,
+            },
         ]);
         let term = CrcTerminator::new(Checksum::Crc16);
         assert_eq!(term.accept(&res), Some(payload));
@@ -288,7 +304,10 @@ mod tests {
     fn crc_terminator_rejects_all_invalid() {
         let mut bad = frame_encode(&BitVec::from_bytes(&[9, 9]), Checksum::Crc16);
         bad.set(3, !bad.get(3));
-        let res = result_with(vec![Candidate { message: bad, cost: 0.5 }]);
+        let res = result_with(vec![Candidate {
+            message: bad,
+            cost: 0.5,
+        }]);
         assert_eq!(CrcTerminator::new(Checksum::Crc16).accept(&res), None);
     }
 

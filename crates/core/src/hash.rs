@@ -159,11 +159,7 @@ impl OneAtATime {
 impl SpineHash for OneAtATime {
     fn hash(&self, state: u64, segment: u64) -> u64 {
         let lo = Self::oaat(self.seed as u32, state, segment);
-        let hi = Self::oaat(
-            (self.seed >> 32) as u32 ^ 0x9e37_79b9,
-            state,
-            segment,
-        );
+        let hi = Self::oaat((self.seed >> 32) as u32 ^ 0x9e37_79b9, state, segment);
         (u64::from(hi) << 32) | u64::from(lo)
     }
 

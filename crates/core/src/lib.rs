@@ -81,13 +81,15 @@ pub mod symbol;
 pub use bits::BitVec;
 pub use code::SpinalCode;
 pub use decode::{
-    AwgnCost, BeamConfig, BeamDecoder, BscCost, Candidate, CostModel, DecodeResult, DecodeStats,
-    MlConfig, MlDecoder, Observations,
+    reference_decode, AwgnCost, BeamConfig, BeamDecoder, BscCost, Candidate, CostModel,
+    DecodeResult, DecodeStats, DecoderScratch, MlConfig, MlDecoder, MlScratch, Observations,
 };
 pub use encode::Encoder;
 pub use frame::{frame_check, frame_encode, Checksum, CrcTerminator, GenieOracle, Terminator};
 pub use hash::{AnyHash, HashFamily, Lookup3, OneAtATime, SipHash24, SpineHash, SplitMix};
-pub use map::{AnyIqMapper, BinaryMapper, LinearMapper, Mapper, OffsetUniformMapper, TruncGaussMapper};
+pub use map::{
+    AnyIqMapper, BinaryMapper, LinearMapper, Mapper, OffsetUniformMapper, TruncGaussMapper,
+};
 pub use params::{CodeParams, CodeParamsBuilder, ParamError};
 pub use puncture::{AnySchedule, NoPuncture, PunctureSchedule, StridedPuncture};
 pub use spine::{compute_spine, segment_value, spine_step, SpineError, INITIAL_SPINE};

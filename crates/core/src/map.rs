@@ -69,6 +69,9 @@ pub struct LinearMapper {
     c: u32,
     /// `P*` chosen for unit average symbol energy.
     p_star: f64,
+    /// `P* / (2^(c-1) - 1)`, precomputed so the per-symbol hot path
+    /// multiplies instead of dividing.
+    scale: f64,
 }
 
 impl LinearMapper {
@@ -79,14 +82,21 @@ impl LinearMapper {
     /// Panics unless `2 ≤ c ≤ 16` (with `c = 1` the magnitude field is
     /// empty and every symbol is the origin).
     pub fn new(c: u32) -> Self {
-        assert!((2..=16).contains(&c), "LinearMapper requires 2 <= c <= 16, got {c}");
+        assert!(
+            (2..=16).contains(&c),
+            "LinearMapper requires 2 <= c <= 16, got {c}"
+        );
         // Per dimension the magnitude m is uniform on 0..N-1, N = 2^(c-1):
         //   E[m²] = (N−1)(2N−1)/6,
         //   E[x²] = P*² E[m²]/(N−1)² = P*² (2N−1)/(6(N−1)).
         // Unit *symbol* energy (two dimensions): 2 E[x²] = 1.
         let n = f64::from(1u32 << (c - 1));
         let p_star = (3.0 * (n - 1.0) / (2.0 * n - 1.0)).sqrt();
-        Self { c, p_star }
+        Self {
+            c,
+            p_star,
+            scale: p_star / (n - 1.0),
+        }
     }
 
     /// The `c` parameter (bits per dimension).
@@ -101,10 +111,13 @@ impl LinearMapper {
 
     #[inline]
     fn map_dim(&self, bits: u64) -> f64 {
-        let sign = if (bits >> (self.c - 1)) & 1 == 1 { -1.0 } else { 1.0 };
+        let sign = if (bits >> (self.c - 1)) & 1 == 1 {
+            -1.0
+        } else {
+            1.0
+        };
         let mag_bits = bits & ((1u64 << (self.c - 1)) - 1);
-        let denom = f64::from((1u32 << (self.c - 1)) - 1);
-        sign * (mag_bits as f64 / denom) * self.p_star
+        sign * (mag_bits as f64 * self.scale)
     }
 }
 
@@ -145,6 +158,10 @@ impl Mapper for LinearMapper {
 pub struct OffsetUniformMapper {
     c: u32,
     p_star: f64,
+    /// `2 P* / 2^c` and `(1 - 2^c) P* / 2^c`: level `u` maps to
+    /// `u * step + offset`, division-free.
+    step: f64,
+    offset: f64,
 }
 
 impl OffsetUniformMapper {
@@ -154,13 +171,21 @@ impl OffsetUniformMapper {
     ///
     /// Panics unless `1 ≤ c ≤ 16`.
     pub fn new(c: u32) -> Self {
-        assert!((1..=16).contains(&c), "OffsetUniformMapper requires 1 <= c <= 16, got {c}");
+        assert!(
+            (1..=16).contains(&c),
+            "OffsetUniformMapper requires 1 <= c <= 16, got {c}"
+        );
         // Levels x_u = (2u+1−N)/N, u = 0..N−1:
         //   E[x²] = (N²−1)/(3N²); unit symbol energy: 2 P*² E[x²] = 1.
         let n = f64::from(1u32 << c);
         let e = (n * n - 1.0) / (3.0 * n * n);
         let p_star = (1.0 / (2.0 * e)).sqrt();
-        Self { c, p_star }
+        Self {
+            c,
+            p_star,
+            step: 2.0 * p_star / n,
+            offset: (1.0 - n) / n * p_star,
+        }
     }
 
     /// The `c` parameter (bits per dimension).
@@ -170,8 +195,7 @@ impl OffsetUniformMapper {
 
     #[inline]
     fn map_dim(&self, bits: u64) -> f64 {
-        let n = f64::from(1u32 << self.c);
-        ((2.0 * bits as f64 + 1.0 - n) / n) * self.p_star
+        bits as f64 * self.step + self.offset
     }
 }
 
@@ -185,7 +209,10 @@ impl Mapper for OffsetUniformMapper {
     #[inline]
     fn map(&self, bits: u64) -> IqSymbol {
         let mask = (1u64 << self.c) - 1;
-        IqSymbol::new(self.map_dim((bits >> self.c) & mask), self.map_dim(bits & mask))
+        IqSymbol::new(
+            self.map_dim((bits >> self.c) & mask),
+            self.map_dim(bits & mask),
+        )
     }
 
     fn avg_energy(&self) -> f64 {
@@ -225,7 +252,10 @@ impl TruncGaussMapper {
     ///
     /// Panics unless `1 ≤ c ≤ 14` and `beta > 0`.
     pub fn new(c: u32, beta: f64) -> Self {
-        assert!((1..=14).contains(&c), "TruncGaussMapper requires 1 <= c <= 14, got {c}");
+        assert!(
+            (1..=14).contains(&c),
+            "TruncGaussMapper requires 1 <= c <= 14, got {c}"
+        );
         assert!(beta > 0.0, "TruncGaussMapper requires beta > 0, got {beta}");
         let n = 1usize << c;
         let lo = normal_cdf(-beta);
@@ -280,7 +310,9 @@ impl Mapper for TruncGaussMapper {
     }
 
     fn peak(&self) -> f64 {
-        self.levels[self.levels.len() - 1].abs().max(self.levels[0].abs())
+        self.levels[self.levels.len() - 1]
+            .abs()
+            .max(self.levels[0].abs())
     }
 
     fn name(&self) -> &'static str {
@@ -468,7 +500,7 @@ fn normal_inv_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -544,10 +576,7 @@ mod tests {
         for c in [2, 3, 4, 6, 8] {
             let m = LinearMapper::new(c);
             let e = measured_energy(&m);
-            assert!(
-                (e - 1.0).abs() < 1e-9,
-                "c={c}: measured energy {e} != 1"
-            );
+            assert!((e - 1.0).abs() < 1e-9, "c={c}: measured energy {e} != 1");
         }
     }
 
@@ -590,7 +619,11 @@ mod tests {
             assert!(x > prev, "levels must be strictly increasing");
             prev = x;
         }
-        assert!(m.peak() <= 2.0 * 1.2, "peak {} should be ~beta·scale", m.peak());
+        assert!(
+            m.peak() <= 2.0 * 1.2,
+            "peak {} should be ~beta·scale",
+            m.peak()
+        );
     }
 
     #[test]

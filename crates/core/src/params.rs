@@ -196,7 +196,7 @@ impl CodeParamsBuilder {
         if self.message_bits == 0 {
             return Err(ParamError::ZeroMessageBits);
         }
-        if self.message_bits % self.k != 0 {
+        if !self.message_bits.is_multiple_of(self.k) {
             return Err(ParamError::MessageNotSegmentMultiple {
                 message_bits: self.message_bits,
                 k: self.k,
@@ -252,7 +252,10 @@ mod tests {
 
     #[test]
     fn rejects_k_out_of_range() {
-        assert_eq!(CodeParams::new(24, 0).unwrap_err(), ParamError::KOutOfRange(0));
+        assert_eq!(
+            CodeParams::new(24, 0).unwrap_err(),
+            ParamError::KOutOfRange(0)
+        );
         assert_eq!(
             CodeParams::new(24, 17).unwrap_err(),
             ParamError::KOutOfRange(17)
@@ -285,7 +288,9 @@ mod tests {
         // reach experiment logs); pin their key content.
         let e = CodeParams::new(25, 8).unwrap_err();
         assert!(e.to_string().contains("not a multiple"));
-        assert!(ParamError::ZeroMessageBits.to_string().contains("at least one bit"));
+        assert!(ParamError::ZeroMessageBits
+            .to_string()
+            .contains("at least one bit"));
         assert!(ParamError::KOutOfRange(99).to_string().contains("99"));
     }
 

@@ -242,7 +242,11 @@ mod tests {
                 for g in 0..stride {
                     for slot in s.subpass_slots(n_spine, g) {
                         assert_eq!(slot.pass, 0);
-                        assert!(seen.insert(slot.t), "duplicate t={} stride={stride}", slot.t);
+                        assert!(
+                            seen.insert(slot.t),
+                            "duplicate t={} stride={stride}",
+                            slot.t
+                        );
                     }
                 }
                 assert_eq!(seen.len() as u32, n_spine, "stride={stride} n={n_spine}");

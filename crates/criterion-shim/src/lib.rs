@@ -1,0 +1,309 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The workspace builds with no network access, so the real criterion is
+//! unavailable; this shim implements the API subset the `benches/`
+//! targets use (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotation) with a
+//! simple but honest timing loop:
+//!
+//! 1. warm up for the configured warm-up time,
+//! 2. calibrate an iteration batch that lasts ≥ ~1 ms,
+//! 3. run batches until the measurement time elapses,
+//! 4. report the minimum, mean, and maximum per-iteration time across
+//!    batches (minimum is the most noise-robust point statistic).
+//!
+//! There is no statistical regression analysis and no HTML report; the
+//! output is one line per benchmark on stdout, which is what the repo's
+//! `BENCH_*.json` runners parse-free pipeline expects.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, mirroring criterion's
+/// function-name/parameter naming scheme.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Units processed per iteration, used to derive a rate in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    batches: Vec<(u64, Duration)>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called repeatedly; see the module docs for the loop
+    /// structure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+        }
+        // Calibrate a batch size lasting at least ~1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 8;
+        }
+        // Measure.
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.batches.push((batch, t.elapsed()));
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.batches.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let per_iter = |&(n, d): &(u64, Duration)| d.as_secs_f64() / n as f64;
+        let min = self
+            .batches
+            .iter()
+            .map(per_iter)
+            .fold(f64::INFINITY, f64::min);
+        let max = self.batches.iter().map(per_iter).fold(0.0f64, f64::max);
+        let total_iters: u64 = self.batches.iter().map(|&(n, _)| n).sum();
+        let total_time: f64 = self.batches.iter().map(|&(_, d)| d.as_secs_f64()).sum();
+        let mean = total_time / total_iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>10.1} MiB/s", b as f64 / mean / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(e)) => format!("  {:>10.0} elem/s", e as f64 / mean),
+            None => String::new(),
+        };
+        println!(
+            "{label:<40} time: [{} {} {}]{rate}",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; accepted for API compatibility (the shim sizes
+    /// batches by time, not count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            batches: Vec::new(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim, kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group(name.to_string())
+            .bench_function("base", f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input outside any group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.benchmark_group(id.id.clone()).bench_with_input(
+            BenchmarkId::from_parameter("base"),
+            input,
+            f,
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 16).id, "f/16");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

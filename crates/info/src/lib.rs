@@ -43,5 +43,7 @@ pub use capacity::{
     awgn_capacity, awgn_capacity_db, bec_capacity, bsc_capacity, db_to_linear, linear_to_db,
     spinal_rate, theorem1_gap, theorem1_min_passes, theorem2_min_passes,
 };
-pub use ppv::{crossover_snr_db, fig2_fixed_block_bound, ppv_awgn_rate, ppv_bsc_rate, vlf_max_rate};
+pub use ppv::{
+    crossover_snr_db, fig2_fixed_block_bound, ppv_awgn_rate, ppv_bsc_rate, vlf_max_rate,
+};
 pub use special::{binary_entropy, binary_entropy_inv, erf, erfc, normal_inv_cdf, q_func, q_inv};

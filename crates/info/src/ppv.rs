@@ -92,8 +92,7 @@ pub fn ppv_bsc_rate(n: u32, eps: f64, p: f64) -> f64 {
         "ppv_bsc_rate requires eps in (0,1), got {eps}"
     );
     let nf = f64::from(n);
-    let r = bsc_capacity(p) - (bsc_dispersion(p) / nf).sqrt() * q_inv(eps)
-        + nf.log2() / (2.0 * nf);
+    let r = bsc_capacity(p) - (bsc_dispersion(p) / nf).sqrt() * q_inv(eps) + nf.log2() / (2.0 * nf);
     r.max(0.0)
 }
 

@@ -23,7 +23,7 @@ pub fn erf(x: f64) -> f64 {
     }
     if x < 0.5 {
         // Maclaurin series: erf(x) = 2/√π Σ (−1)ⁿ x^(2n+1) / (n! (2n+1)).
-        let two_over_sqrt_pi = 1.128_379_167_095_512_6_f64;
+        let two_over_sqrt_pi = std::f64::consts::FRAC_2_SQRT_PI;
         let x2 = x * x;
         let mut term = x;
         let mut sum = x;
@@ -97,8 +97,8 @@ pub fn erfc(x: f64) -> f64 {
         d = ty * d - dd + c;
         dd = tmp;
     }
-    let ans = t * (-x * x + 0.5 * (COF[0] + ty * d) - dd).exp();
-    ans
+
+    t * (-x * x + 0.5 * (COF[0] + ty * d) - dd).exp()
 }
 
 /// The Gaussian tail function `Q(x) = P(N(0,1) > x) = ½ erfc(x/√2)`.
@@ -135,7 +135,7 @@ pub fn normal_inv_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -264,10 +264,7 @@ mod tests {
         ];
         for (x, want) in cases {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "erf({x}) = {got}, want {want}");
             assert!((erf(-x) + want).abs() < 1e-12, "erf(-{x})");
         }
     }

@@ -80,9 +80,9 @@ pub fn decode(
     // For the variable-side pass we need, per variable, its incident
     // (edge index) list.
     let mut var_edges: Vec<Vec<u32>> = vec![Vec::new(); n_vars];
-    for r in 0..n_checks {
+    for (r, &estart) in check_edge_start.iter().enumerate().take(n_checks) {
         for (pos, &v) in h.row(r).iter().enumerate() {
-            var_edges[v as usize].push((check_edge_start[r] + pos) as u32);
+            var_edges[v as usize].push((estart + pos) as u32);
         }
     }
 
@@ -166,8 +166,8 @@ pub fn decode(
 
         // --- Variable-node update + posterior/hard decision ---
         for v in 0..n_vars {
-            let total: f64 = channel_llrs[v]
-                + var_edges[v].iter().map(|&e| c2v[e as usize]).sum::<f64>();
+            let total: f64 =
+                channel_llrs[v] + var_edges[v].iter().map(|&e| c2v[e as usize]).sum::<f64>();
             hard[v] = u8::from(total < 0.0);
             for &e in &var_edges[v] {
                 let m = (total - c2v[e as usize]).clamp(-LLR_CLAMP, LLR_CLAMP);
@@ -283,7 +283,12 @@ mod tests {
         let base = build_base(LdpcRate::R56, 27, 7);
         let h = lift(&base);
         let cw = encode(&base, &random_info(540, 4));
-        let out = decode(&h, &clean_llrs(&cw, 6.0), 40, BpMethod::MinSum { alpha: 1.0 });
+        let out = decode(
+            &h,
+            &clean_llrs(&cw, 6.0),
+            40,
+            BpMethod::MinSum { alpha: 1.0 },
+        );
         assert!(out.converged);
         assert_eq!(out.bits, cw);
     }

@@ -111,7 +111,12 @@ mod tests {
 
     #[test]
     fn code_dimensions() {
-        let expect = [(LdpcRate::R12, 324), (LdpcRate::R23, 432), (LdpcRate::R34, 486), (LdpcRate::R56, 540)];
+        let expect = [
+            (LdpcRate::R12, 324),
+            (LdpcRate::R23, 432),
+            (LdpcRate::R34, 486),
+            (LdpcRate::R56, 540),
+        ];
         for (rate, k) in expect {
             let code = LdpcCode::new(rate, 0);
             assert_eq!(code.n(), 648);
@@ -126,7 +131,10 @@ mod tests {
         let info: Vec<u8> = (0..code.k()).map(|i| (i % 3 == 0) as u8).collect();
         let cw = code.encode(&info);
         assert!(code.check(&cw));
-        let llrs: Vec<f64> = cw.iter().map(|&b| if b == 0 { 7.0 } else { -7.0 }).collect();
+        let llrs: Vec<f64> = cw
+            .iter()
+            .map(|&b| if b == 0 { 7.0 } else { -7.0 })
+            .collect();
         let out = code.decode(&llrs, 40, BpMethod::SumProduct);
         assert!(out.converged);
         assert_eq!(extract_info(code.base(), &out.bits), info);

@@ -50,7 +50,10 @@ impl SparseBinMatrix {
     ///
     /// Panics if the entry is out of range or already set.
     pub fn set(&mut self, r: usize, c: usize) {
-        assert!(r < self.n_rows && c < self.n_cols, "entry ({r},{c}) out of range");
+        assert!(
+            r < self.n_rows && c < self.n_cols,
+            "entry ({r},{c}) out of range"
+        );
         debug_assert!(
             !self.rows[r].contains(&(c as u32)),
             "duplicate entry ({r},{c})"

@@ -14,7 +14,7 @@
 
 use crate::protocol::{LinkConfig, LinkReport};
 use spinal_channel::{AwgnChannel, Channel, Rng};
-use spinal_core::decode::{BeamDecoder, Observations};
+use spinal_core::decode::{BeamDecoder, DecoderScratch, Observations};
 use spinal_core::hash::AnyHash;
 use spinal_core::map::AnyIqMapper;
 use spinal_core::params::CodeParams;
@@ -52,7 +52,7 @@ impl ActiveFrame {
         let hash = AnyHash::new(cfg.hash, code_seed);
         let mut rng = Rng::seed_from(msg_seed);
         let message: BitVec = (0..cfg.message_bits).map(|_| rng.bit()).collect();
-        let encoder = Encoder::new(&params, hash.clone(), cfg.mapper.clone(), &message)
+        let encoder = Encoder::new(&params, hash, cfg.mapper.clone(), &message)
             .expect("message length matches params");
         let decoder = BeamDecoder::new(&params, hash, cfg.mapper.clone(), AwgnCost, cfg.beam);
         let obs = Observations::new(params.n_segments());
@@ -85,7 +85,10 @@ impl ActiveFrame {
 
 /// Runs the link protocol for `n_frames` frames and reports.
 pub fn simulate_link(cfg: &LinkConfig, n_frames: u32, seed: u64) -> LinkReport {
-    assert!(cfg.frames_in_flight >= 1, "window must hold at least one frame");
+    assert!(
+        cfg.frames_in_flight >= 1,
+        "window must hold at least one frame"
+    );
     assert!(cfg.attempt_growth >= 1.0, "attempt_growth must be >= 1");
     let mut channel = AwgnChannel::from_snr_db(cfg.snr_db, derive_seed(seed, 62, 0));
 
@@ -107,6 +110,9 @@ pub fn simulate_link(cfg: &LinkConfig, n_frames: u32, seed: u64) -> LinkReport {
 
     let mut now: u64 = 0;
     let mut rr: usize = 0; // round-robin pointer
+                           // One scratch + result pair serves every frame's decode attempts.
+    let mut scratch = DecoderScratch::new();
+    let mut result = spinal_core::DecodeResult::default();
 
     while !window.is_empty() {
         // 1. Deliver due ACKs, refill the window.
@@ -144,7 +150,9 @@ pub fn simulate_link(cfg: &LinkConfig, n_frames: u32, seed: u64) -> LinkReport {
         if frame.decoded_at.is_none() {
             frame.obs.push(slot, y);
             if frame.sent >= frame.next_attempt {
-                let result = frame.decoder.decode(&frame.obs);
+                frame
+                    .decoder
+                    .decode_into(&frame.obs, &mut scratch, &mut result);
                 if result.message == frame.message {
                     frame.decoded_at = Some(now);
                     frame.ack_due = Some(now + cfg.feedback_delay);
@@ -197,7 +205,10 @@ mod tests {
         let fast = simulate_link(&LinkConfig::demo(30.0, 0, 1), 20, 2);
         let slow = simulate_link(&LinkConfig::demo(30.0, 16, 1), 20, 2);
         let (tf, ts) = (fast.throughput(16), slow.throughput(16));
-        assert!(ts < tf * 0.45, "delay must hurt stop-and-wait: {tf} -> {ts}");
+        assert!(
+            ts < tf * 0.45,
+            "delay must hurt stop-and-wait: {tf} -> {ts}"
+        );
         assert!((ts - 0.8).abs() < 0.3, "expected ~0.8, got {ts}");
     }
 

@@ -167,12 +167,18 @@ mod tests {
     use proptest::prelude::*;
 
     fn all_constellations() -> Vec<Constellation> {
-        Modulation::all().iter().map(|&m| Constellation::new(m)).collect()
+        Modulation::all()
+            .iter()
+            .map(|&m| Constellation::new(m))
+            .collect()
     }
 
     #[test]
     fn point_counts() {
-        let sizes: Vec<usize> = all_constellations().iter().map(|c| c.points().len()).collect();
+        let sizes: Vec<usize> = all_constellations()
+            .iter()
+            .map(|c| c.points().len())
+            .collect();
         assert_eq!(sizes, vec![2, 4, 16, 64]);
     }
 
@@ -181,7 +187,11 @@ mod tests {
         for c in all_constellations() {
             let e: f64 =
                 c.points().iter().map(IqSymbol::energy).sum::<f64>() / c.points().len() as f64;
-            assert!((e - 1.0).abs() < 1e-12, "{}: energy {e}", c.modulation().name());
+            assert!(
+                (e - 1.0).abs() < 1e-12,
+                "{}: energy {e}",
+                c.modulation().name()
+            );
         }
     }
 

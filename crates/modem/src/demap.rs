@@ -118,9 +118,19 @@ mod tests {
         let c = Constellation::new(Modulation::Bpsk);
         for (y, sigma2) in [(0.7, 0.5), (-0.3, 1.0), (1.5, 0.2)] {
             let mut out = Vec::new();
-            demap_into(&c, IqSymbol::new(y, 0.0), sigma2, DemapMethod::Exact, &mut out);
+            demap_into(
+                &c,
+                IqSymbol::new(y, 0.0),
+                sigma2,
+                DemapMethod::Exact,
+                &mut out,
+            );
             let want = 4.0 * y / sigma2;
-            assert!((out[0] - want).abs() < 1e-9, "y={y}: got {} want {want}", out[0]);
+            assert!(
+                (out[0] - want).abs() < 1e-9,
+                "y={y}: got {} want {want}",
+                out[0]
+            );
         }
     }
 
@@ -181,7 +191,10 @@ mod tests {
         demap_into(&c, y, 0.01, DemapMethod::Exact, &mut exact);
         demap_into(&c, y, 0.01, DemapMethod::MaxLog, &mut maxlog);
         for (a, b) in exact.iter().zip(&maxlog) {
-            assert!((a - b).abs() / a.abs().max(1.0) < 0.05, "exact {a} maxlog {b}");
+            assert!(
+                (a - b).abs() / a.abs().max(1.0) < 0.05,
+                "exact {a} maxlog {b}"
+            );
         }
     }
 
@@ -200,7 +213,13 @@ mod tests {
     #[should_panic(expected = "positive noise variance")]
     fn rejects_zero_variance() {
         let c = Constellation::new(Modulation::Bpsk);
-        demap_into(&c, IqSymbol::new(1.0, 0.0), 0.0, DemapMethod::Exact, &mut Vec::new());
+        demap_into(
+            &c,
+            IqSymbol::new(1.0, 0.0),
+            0.0,
+            DemapMethod::Exact,
+            &mut Vec::new(),
+        );
     }
 
     proptest! {

@@ -48,7 +48,8 @@ impl ArqConfig {
 
     /// Symbols per transmission attempt.
     pub fn symbols_per_attempt(&self) -> u32 {
-        self.frame_bits().div_ceil(self.modulation.bits_per_symbol())
+        self.frame_bits()
+            .div_ceil(self.modulation.bits_per_symbol())
     }
 }
 
@@ -101,8 +102,7 @@ pub fn run_arq_awgn(cfg: &ArqConfig, snr_db: f64, trials: u32, seed: u64) -> Arq
     };
     for trial in 0..trials {
         let mut rng = Rng::seed_from(derive_seed(seed, 50, u64::from(trial)));
-        let mut channel =
-            AwgnChannel::from_snr_db(snr_db, derive_seed(seed, 51, u64::from(trial)));
+        let mut channel = AwgnChannel::from_snr_db(snr_db, derive_seed(seed, 51, u64::from(trial)));
         let payload: BitVec = (0..cfg.payload_bits).map(|_| rng.bit()).collect();
         let framed = frame_encode(&payload, Checksum::Crc32);
         let tx_bits: Vec<u8> = framed.iter().map(u8::from).collect();

@@ -16,6 +16,7 @@ use crate::rateless::RatelessConfig;
 use crate::stats::derive_seed;
 use crate::theorem::decode_after_passes;
 use spinal_channel::{AdcQuantizer, AwgnChannel, Rng};
+use spinal_core::decode::DecoderScratch;
 use spinal_core::hash::AnyHash;
 use spinal_core::map::Mapper;
 use spinal_core::params::CodeParams;
@@ -61,6 +62,7 @@ pub fn ber_by_position_awgn(
     let n = cfg.message_bits as usize;
     let mut errors = vec![0u32; n];
     let mut frame_errors = 0u32;
+    let mut scratch = DecoderScratch::new();
     for trial in 0..trials {
         let code_seed = derive_seed(seed, 40, u64::from(trial));
         let noise_seed = derive_seed(seed, 41, u64::from(trial));
@@ -92,17 +94,21 @@ pub fn ber_by_position_awgn(
                 Some(q) => q.quantize_symbol(y),
                 None => y,
             },
+            &mut scratch,
         );
         let mut any = false;
-        for i in 0..n {
+        for (i, slot) in errors.iter_mut().enumerate() {
             if decoded.get(i) != message.get(i) {
-                errors[i] += 1;
+                *slot += 1;
                 any = true;
             }
         }
         frame_errors += u32::from(any);
     }
-    let per_bit: Vec<f64> = errors.iter().map(|&e| f64::from(e) / f64::from(trials)).collect();
+    let per_bit: Vec<f64> = errors
+        .iter()
+        .map(|&e| f64::from(e) / f64::from(trials))
+        .collect();
     let overall = per_bit.iter().sum::<f64>() / n as f64;
     BerByPosition {
         per_bit,

@@ -12,7 +12,7 @@
 use crate::rateless::{BscRatelessConfig, RatelessConfig};
 use crate::stats::derive_seed;
 use spinal_channel::{AdcQuantizer, AwgnChannel, BscChannel, Channel, Rng};
-use spinal_core::decode::{BeamConfig, BeamDecoder, CostModel, Observations};
+use spinal_core::decode::{BeamConfig, BeamDecoder, CostModel, DecoderScratch, Observations};
 use spinal_core::hash::AnyHash;
 use spinal_core::map::{BinaryMapper, Mapper};
 use spinal_core::params::CodeParams;
@@ -46,13 +46,14 @@ pub(crate) fn decode_after_passes<M, C, Ch>(
     message: &BitVec,
     channel: &mut Ch,
     post: impl Fn(M::Symbol) -> M::Symbol,
+    scratch: &mut DecoderScratch,
 ) -> BitVec
 where
     M: Mapper,
     C: CostModel<M::Symbol>,
     Ch: Channel<M::Symbol>,
 {
-    let encoder = Encoder::new(params, hash.clone(), mapper.clone(), message)
+    let encoder = Encoder::new(params, hash, mapper.clone(), message)
         .expect("message length validated by caller");
     let mut obs = Observations::new(params.n_segments());
     for pass in 0..passes {
@@ -62,7 +63,7 @@ where
         }
     }
     BeamDecoder::new(params, hash, mapper.clone(), cost, beam)
-        .decode(&obs)
+        .decode_with_scratch(&obs, scratch)
         .message
 }
 
@@ -88,6 +89,7 @@ pub fn thm1_curve(
             assert!(l >= 1, "pass counts start at 1");
             let mut bit_errors = 0usize;
             let mut frame_errors = 0u32;
+            let mut scratch = DecoderScratch::new();
             for trial in 0..trials {
                 let code_seed = derive_seed(seed, 30 + u64::from(l), u64::from(trial));
                 let noise_seed = derive_seed(seed, 130 + u64::from(l), u64::from(trial));
@@ -119,6 +121,7 @@ pub fn thm1_curve(
                         Some(q) => q.quantize_symbol(y),
                         None => y,
                     },
+                    &mut scratch,
                 );
                 let e = count_bit_errors(&decoded, &message);
                 bit_errors += e;
@@ -148,6 +151,7 @@ pub fn thm2_curve(
             assert!(l >= 1, "pass counts start at 1");
             let mut bit_errors = 0usize;
             let mut frame_errors = 0u32;
+            let mut scratch = DecoderScratch::new();
             for trial in 0..trials {
                 let code_seed = derive_seed(seed, 330 + u64::from(l), u64::from(trial));
                 let noise_seed = derive_seed(seed, 430 + u64::from(l), u64::from(trial));
@@ -173,6 +177,7 @@ pub fn thm2_curve(
                     &message,
                     &mut channel,
                     |y| y,
+                    &mut scratch,
                 );
                 let e = count_bit_errors(&decoded, &message);
                 bit_errors += e;

@@ -25,8 +25,15 @@ fn main() {
     let text = b"spinal!!";
     let payload = BitVec::from_bytes(text);
     let framed = frame_encode(&payload, Checksum::Crc16); // 64 + 16 bits
-    println!("payload   : {:?} ({} bits + CRC-16)", String::from_utf8_lossy(text), payload.len());
-    println!("channel   : BSC(p = {p}), capacity {:.3} bits/use", bsc_capacity(p));
+    println!(
+        "payload   : {:?} ({} bits + CRC-16)",
+        String::from_utf8_lossy(text),
+        payload.len()
+    );
+    println!(
+        "channel   : BSC(p = {p}), capacity {:.3} bits/use",
+        bsc_capacity(p)
+    );
 
     let code = SpinalCode::bsc(framed.len() as u32, 4, 77).expect("80 bits, k=4");
     let encoder = code.encoder(&framed).expect("length matches");
@@ -40,7 +47,7 @@ fn main() {
         obs.push(slot, channel.transmit(bit));
         sent += 1;
         // Attempt a decode at pass boundaries (every n/k coded bits).
-        if sent % code.params().n_segments() != 0 {
+        if !sent.is_multiple_of(code.params().n_segments()) {
             continue;
         }
         let result = decoder.decode(&obs);
@@ -50,7 +57,10 @@ fn main() {
                 "decoded after {sent} coded bits ({} flipped by the channel)",
                 channel.flips()
             );
-            println!("rate      : {:.3} payload bits per channel use", payload.len() as f64 / f64::from(sent));
+            println!(
+                "rate      : {:.3} payload bits per channel use",
+                payload.len() as f64 / f64::from(sent)
+            );
             println!("recovered : {:?}", String::from_utf8_lossy(&bytes));
             assert_eq!(decoded_payload, payload, "CRC accepted a wrong payload?!");
             return;

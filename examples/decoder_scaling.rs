@@ -32,7 +32,12 @@ fn main() {
         .seed(42)
         .build()
         .expect("valid");
-    let code = SpinalCode::new(params, Lookup3::new(42), LinearMapper::new(6), NoPuncture::new());
+    let code = SpinalCode::new(
+        params,
+        Lookup3::new(42),
+        LinearMapper::new(6),
+        NoPuncture::new(),
+    );
     let message = BitVec::from_bytes(&[0x1b, 0xad, 0xb0, 0x57]);
     let encoder = code.encoder(&message).expect("length matches");
 
@@ -49,7 +54,10 @@ fn main() {
         "m=32, k=4, c=6; {passes} passes received at {snr_db} dB ({} symbols)",
         obs.len()
     );
-    println!("{:>5} {:>10} {:>14} {:>9}", "B", "decoded?", "tree edges", "cost");
+    println!(
+        "{:>5} {:>10} {:>14} {:>9}",
+        "B", "decoded?", "tree edges", "cost"
+    );
 
     for b in [1usize, 2, 4, 8, 16, 64, 256] {
         let decoder = BeamDecoder::new(
@@ -62,7 +70,11 @@ fn main() {
         let result = decoder.decode(&obs);
         println!(
             "{b:>5} {:>10} {:>14} {:>9.3}",
-            if result.message == message { "yes" } else { "NO" },
+            if result.message == message {
+                "yes"
+            } else {
+                "NO"
+            },
             result.stats.nodes_expanded,
             result.cost
         );

@@ -24,7 +24,10 @@ fn main() {
     let message = BitVec::from_bytes(&[0xca, 0xfe, 0x42]);
     println!("message   : {message:?}");
     println!("code      : m=24, k=8, c=10, stride-8 puncturing, B=16 beam");
-    println!("channel   : AWGN at {snr_db} dB (capacity {:.2} bits/symbol)", awgn_capacity_db(snr_db));
+    println!(
+        "channel   : AWGN at {snr_db} dB (capacity {:.2} bits/symbol)",
+        awgn_capacity_db(snr_db)
+    );
 
     let encoder = code.encoder(&message).expect("length matches");
     let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
@@ -37,7 +40,10 @@ fn main() {
         sent += 1;
         let result = decoder.decode(&obs);
         if result.message == message {
-            println!("decoded after {sent} symbols -> rate {:.2} bits/symbol", 24.0 / f64::from(sent));
+            println!(
+                "decoded after {sent} symbols -> rate {:.2} bits/symbol",
+                24.0 / f64::from(sent)
+            );
             println!("decoder cost: {} tree edges", result.stats.nodes_expanded);
             return;
         }

@@ -30,7 +30,10 @@ fn manual_pipeline_with_adc_roundtrip() {
     }
     let n = decoded.expect("18 dB must decode within 600 symbols");
     // Capacity at 18 dB is ~5.98 bits/symbol; 24 bits need >= 5 symbols.
-    assert!(n >= 4, "decoded in {n} symbols — faster than capacity allows");
+    assert!(
+        n >= 4,
+        "decoded in {n} symbols — faster than capacity allows"
+    );
 }
 
 /// CRC-terminated operation: the practical receiver stops itself.
@@ -67,9 +70,19 @@ fn harness_rates_bounded_by_capacity() {
         let out = run_awgn(&cfg, snr_db, 12, 7);
         let cap = spinal_codes::info::awgn_capacity_db(snr_db);
         let thpt = out.throughput();
-        assert!(out.success_fraction() > 0.9, "{snr_db} dB: {}", out.success_fraction());
-        assert!(thpt > 0.2 * cap, "{snr_db} dB: throughput {thpt} far below capacity {cap}");
-        assert!(thpt <= cap * 1.05, "{snr_db} dB: throughput {thpt} exceeds capacity {cap}");
+        assert!(
+            out.success_fraction() > 0.9,
+            "{snr_db} dB: {}",
+            out.success_fraction()
+        );
+        assert!(
+            thpt > 0.2 * cap,
+            "{snr_db} dB: throughput {thpt} far below capacity {cap}"
+        );
+        assert!(
+            thpt <= cap * 1.05,
+            "{snr_db} dB: throughput {thpt} exceeds capacity {cap}"
+        );
         assert!(thpt > last, "throughput must grow with SNR");
         last = thpt;
     }

@@ -21,7 +21,11 @@ fn run_frame(
     let rx: Vec<_> = tx.into_iter().map(|x| ch.transmit(x)).collect();
     let llrs = demap_sequence(cst, &rx, ch.sigma2(), DemapMethod::Exact);
     let out = code.decode(&llrs[..code.n()], 40, method);
-    (out.converged && out.bits == cw, info, extract_info(code.base(), &out.bits))
+    (
+        out.converged && out.bits == cw,
+        info,
+        extract_info(code.base(), &out.bits),
+    )
 }
 
 /// Every (rate, modulation) pair of Figure 2 decodes cleanly well above

@@ -3,11 +3,11 @@
 //! reproduce ML decisions, and a narrow beam can only be worse-or-equal.
 
 use spinal_codes::channel::{AwgnChannel, BscChannel, Channel};
-use spinal_codes::{
-    AwgnCost, BeamConfig, BeamDecoder, BitVec, BscCost, CodeParams, Encoder, LinearMapper,
-    Lookup3, MlConfig, MlDecoder, Observations, Slot,
-};
 use spinal_codes::BinaryMapper;
+use spinal_codes::{
+    AwgnCost, BeamConfig, BeamDecoder, BitVec, BscCost, CodeParams, Encoder, LinearMapper, Lookup3,
+    MlConfig, MlDecoder, Observations, Slot,
+};
 
 fn awgn_observations(
     params: &CodeParams,
@@ -16,8 +16,13 @@ fn awgn_observations(
     passes: u32,
     noise_seed: u64,
 ) -> Observations<spinal_codes::IqSymbol> {
-    let enc = Encoder::new(params, Lookup3::new(params.seed()), LinearMapper::new(6), message)
-        .unwrap();
+    let enc = Encoder::new(
+        params,
+        Lookup3::new(params.seed()),
+        LinearMapper::new(6),
+        message,
+    )
+    .unwrap();
     let mut ch = AwgnChannel::from_snr_db(snr_db, noise_seed);
     let mut obs = Observations::new(params.n_segments());
     for pass in 0..passes {
@@ -33,7 +38,12 @@ fn awgn_observations(
 /// the ML cost and message.
 #[test]
 fn wide_beam_matches_ml_awgn() {
-    let params = CodeParams::builder().message_bits(12).k(4).seed(3).build().unwrap();
+    let params = CodeParams::builder()
+        .message_bits(12)
+        .k(4)
+        .seed(3)
+        .build()
+        .unwrap();
     for trial in 0..20u64 {
         let message = BitVec::from_u64(0x5a3 ^ (trial * 97), 12);
         let obs = awgn_observations(&params, &message, 6.0, 1, 100 + trial);
@@ -67,7 +77,12 @@ fn wide_beam_matches_ml_awgn() {
 /// usually equal at benign SNR.
 #[test]
 fn narrow_beam_never_beats_ml() {
-    let params = CodeParams::builder().message_bits(12).k(4).seed(5).build().unwrap();
+    let params = CodeParams::builder()
+        .message_bits(12)
+        .k(4)
+        .seed(5)
+        .build()
+        .unwrap();
     let mut equal = 0;
     for trial in 0..20u64 {
         let message = BitVec::from_u64(0x0c1 ^ (trial * 31), 12);
@@ -98,17 +113,24 @@ fn narrow_beam_never_beats_ml() {
             equal += 1;
         }
     }
-    assert!(equal >= 15, "B=4 should match ML usually at 8 dB, got {equal}/20");
+    assert!(
+        equal >= 15,
+        "B=4 should match ML usually at 8 dB, got {equal}/20"
+    );
 }
 
 /// Same agreement on the BSC with Hamming costs.
 #[test]
 fn wide_beam_matches_ml_bsc() {
-    let params = CodeParams::builder().message_bits(8).k(4).seed(7).build().unwrap();
+    let params = CodeParams::builder()
+        .message_bits(8)
+        .k(4)
+        .seed(7)
+        .build()
+        .unwrap();
     for trial in 0..10u64 {
         let message = BitVec::from_u64(0x9d ^ trial, 8);
-        let enc =
-            Encoder::new(&params, Lookup3::new(7), BinaryMapper::new(), &message).unwrap();
+        let enc = Encoder::new(&params, Lookup3::new(7), BinaryMapper::new(), &message).unwrap();
         let mut ch = BscChannel::new(0.08, 300 + trial);
         let mut obs = Observations::new(2);
         for pass in 0..10u32 {
@@ -146,7 +168,12 @@ fn wide_beam_matches_ml_bsc() {
 /// Sanity: both decoders recover the true message on clean channels.
 #[test]
 fn both_decoders_roundtrip_clean() {
-    let params = CodeParams::builder().message_bits(16).k(4).seed(11).build().unwrap();
+    let params = CodeParams::builder()
+        .message_bits(16)
+        .k(4)
+        .seed(11)
+        .build()
+        .unwrap();
     let message = BitVec::from_u64(0xbeef, 16);
     let obs = awgn_observations(&params, &message, 100.0, 1, 400);
     let ml = MlDecoder::new(

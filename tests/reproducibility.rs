@@ -2,11 +2,11 @@
 //! experiment entry point is a pure function of its seed, across crates
 //! and regardless of parallelism.
 
+use spinal_codes::ldpc::LdpcRate;
 use spinal_codes::link::{simulate_link, LinkConfig};
+use spinal_codes::modem::Modulation;
 use spinal_codes::sim::rateless::{run_awgn, run_bsc, BscRatelessConfig, RatelessConfig};
 use spinal_codes::sim::{parallel_map, run_ldpc_awgn, LdpcConfig};
-use spinal_codes::ldpc::LdpcRate;
-use spinal_codes::modem::Modulation;
 
 #[test]
 fn awgn_rateless_reproducible() {

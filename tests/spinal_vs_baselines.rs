@@ -50,7 +50,13 @@ fn spinal_alone_survives_low_snr() {
         (LdpcRate::R56, Modulation::Qam64),
     ] {
         let g = run_ldpc_awgn(&LdpcConfig::paper(rate, modulation), -5.0, 10, 24).goodput();
-        assert_eq!(g, 0.0, "{}-{} should be dead at -5 dB", rate.name(), modulation.name());
+        assert_eq!(
+            g,
+            0.0,
+            "{}-{} should be dead at -5 dB",
+            rate.name(),
+            modulation.name()
+        );
     }
 }
 

@@ -5,8 +5,8 @@
 use spinal_codes::info::{db_to_linear, theorem1_min_passes, theorem2_min_passes};
 use spinal_codes::sim::rateless::{BscRatelessConfig, RatelessConfig, Termination};
 use spinal_codes::sim::theorem::{thm1_curve, thm2_curve};
-use spinal_codes::{BeamConfig, HashFamily};
 use spinal_codes::{AnyIqMapper, AnySchedule};
+use spinal_codes::{BeamConfig, HashFamily};
 
 fn awgn_cfg() -> RatelessConfig {
     RatelessConfig {
@@ -64,8 +64,7 @@ fn theorem2_threshold_behaviour() {
 
 /// The theorem harness's rate bookkeeping: rate = k/L exactly.
 #[test]
-fn theorem_points_report_rates()
-{
+fn theorem_points_report_rates() {
     let pts = thm1_curve(&awgn_cfg(), 20.0, &[1, 2, 4, 8], 3, 33);
     let rates: Vec<f64> = pts.iter().map(|p| p.rate).collect();
     assert_eq!(rates, vec![4.0, 2.0, 1.0, 0.5]);
