@@ -1,35 +1,92 @@
-//! Micro-benchmark: spine-hash families.
+//! Micro-benchmark: spine-hash families, scalar and batched.
 //!
 //! The encoder costs one hash per k message bits and the decoder one hash
 //! per expanded tree edge, so the hash is the innermost loop of the whole
 //! system ("the low cost provided by hash functions", §6). Compares the
-//! four families on the (state, segment) word-hash the spine uses.
+//! four families on the (state, segment) word-hash the spine uses, in
+//! three call shapes:
+//!
+//! * `chain` — serially dependent scalar calls (the spine computation);
+//! * `scalar` — independent scalar calls over a slab (the pre-batching
+//!   decoder expansion);
+//! * `batch` — [`SpineHash::hash_batch`] over the same slab (the batched
+//!   expansion the encoder and beam decoder now use).
+//!
+//! Running this bench also records `BENCH_hash.json` in the working
+//! directory so future PRs have a hash-layer perf trajectory.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use spinal_bench::measure_hash_families;
 use spinal_core::hash::{AnyHash, HashFamily, SpineHash};
 use std::hint::black_box;
+
+const FAMILIES: [HashFamily; 4] = [
+    HashFamily::Lookup3,
+    HashFamily::OneAtATime,
+    HashFamily::SipHash24,
+    HashFamily::SplitMix,
+];
 
 fn bench_hash(c: &mut Criterion) {
     let mut group = c.benchmark_group("spine_hash");
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for family in [
-        HashFamily::Lookup3,
-        HashFamily::OneAtATime,
-        HashFamily::SipHash24,
-        HashFamily::SplitMix,
-    ] {
+    const N: usize = 1024;
+    let states: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let segments: Vec<u64> = (0..N as u64).map(|i| i.rotate_left(17) ^ 0xabcd).collect();
+    for family in FAMILIES {
         let h = AnyHash::new(family, 0xfeed);
-        group.bench_function(h.name(), |b| {
+        group.bench_function(format!("{}/chain", h.name()), |b| {
             let mut state = 0x1234_5678_u64;
             b.iter(|| {
                 state = h.hash(black_box(state), black_box(state & 0xff));
                 state
             });
         });
+        let mut out = vec![0u64; N];
+        group.bench_function(format!("{}/batch-{N}", h.name()), |b| {
+            b.iter(|| {
+                h.hash_batch(black_box(&states), black_box(&segments), &mut out);
+                out[N - 1]
+            });
+        });
     }
     group.finish();
 }
 
+/// Renders `BENCH_hash.json` from the shared measurement in
+/// [`spinal_bench::measure_hash_families`] (the same numbers
+/// `bench_sim_engine` reports, by construction).
+fn write_json() {
+    let rows = measure_hash_families(0xfeed);
+    let mut json = String::from("{\n  \"bench\": \"hash_throughput\",\n  \"families\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:<16} chain {:7.2} ns  scalar {:7.2} ns  batch {:7.2} ns  ({:.2}x)",
+            r.name,
+            r.chain_ns,
+            r.scalar_ns,
+            r.batch_ns,
+            r.batch_speedup()
+        );
+        json.push_str(&format!(
+            "    \"{}\": {{\"chain_ns\": {:.3}, \"scalar_ns\": {:.3}, \"batch_ns\": {:.3}, \"batch_speedup\": {:.2}}}{}\n",
+            r.name,
+            r.chain_ns,
+            r.scalar_ns,
+            r.batch_ns,
+            r.batch_speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_hash.json", &json).expect("write BENCH_hash.json");
+    println!("# wrote BENCH_hash.json");
+}
+
 criterion_group!(benches, bench_hash);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_json();
+}

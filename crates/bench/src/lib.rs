@@ -100,3 +100,91 @@ pub fn ber_fmt(x: f64) -> String {
         format!("{x:>9.1e}")
     }
 }
+
+/// Best-of-`rounds` wall time of `f`, in seconds — the noise-robust
+/// point statistic all the perf trackers use.
+pub fn best_time(rounds: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One spine-hash family's measured call-shape timings (ns per hash).
+pub struct HashMeasurement {
+    /// Family name (`SpineHash::name`).
+    pub name: &'static str,
+    /// Serially dependent scalar calls (the spine-chain shape).
+    pub chain_ns: f64,
+    /// Independent scalar calls over a slab (pre-batching expansion).
+    pub scalar_ns: f64,
+    /// [`spinal_core::hash::SpineHash::hash_batch`] over the same slab.
+    pub batch_ns: f64,
+}
+
+impl HashMeasurement {
+    /// Scalar-loop over batch ratio.
+    pub fn batch_speedup(&self) -> f64 {
+        self.scalar_ns / self.batch_ns
+    }
+}
+
+/// Measures chain / scalar-loop / batch throughput for every hash
+/// family over one fixed 4096-element slab. `BENCH_hash.json` and
+/// `BENCH_sim_engine.json` both render from this single definition, so
+/// their hash numbers can never drift apart.
+pub fn measure_hash_families(seed: u64) -> Vec<HashMeasurement> {
+    use spinal_core::hash::{AnyHash, HashFamily, SpineHash};
+    use std::hint::black_box;
+    const N: usize = 4096;
+    const ROUNDS: u32 = 60;
+    let states: Vec<u64> = (0..N as u64)
+        .map(|i| spinal_sim::derive_seed(seed, 90, i))
+        .collect();
+    let segments: Vec<u64> = (0..N as u64)
+        .map(|i| spinal_sim::derive_seed(seed, 91, i))
+        .collect();
+    let mut out = vec![0u64; N];
+    [
+        HashFamily::Lookup3,
+        HashFamily::OneAtATime,
+        HashFamily::SipHash24,
+        HashFamily::SplitMix,
+    ]
+    .into_iter()
+    .map(|family| {
+        let h = AnyHash::new(family, seed);
+        let chain = {
+            let mut state = 0x1234_5678_u64;
+            best_time(ROUNDS, || {
+                for _ in 0..N {
+                    state = h.hash(state, state & 0xff);
+                }
+                black_box(state);
+            }) / N as f64
+                * 1e9
+        };
+        let scalar = best_time(ROUNDS, || {
+            for ((o, &s), &g) in out.iter_mut().zip(&states).zip(&segments) {
+                *o = h.hash(s, g);
+            }
+            black_box(&out);
+        }) / N as f64
+            * 1e9;
+        let batch = best_time(ROUNDS, || {
+            h.hash_batch(&states, &segments, &mut out);
+            black_box(&out);
+        }) / N as f64
+            * 1e9;
+        HashMeasurement {
+            name: h.name(),
+            chain_ns: chain,
+            scalar_ns: scalar,
+            batch_ns: batch,
+        }
+    })
+    .collect()
+}

@@ -32,16 +32,19 @@ pub(crate) struct ObsRead {
 
 impl ObsRead {
     /// `true` when the read spans two expansion blocks.
+    #[cfg(test)]
     pub(crate) fn straddles(&self) -> bool {
         self.lo != self.hi
     }
 }
 
 /// Plans one tree level: fills `block_ids` with the sorted, deduplicated
-/// expansion-block indices needed by any observation, and `reads` with
-/// one descriptor per observation (in observation order) pointing into
-/// that cache. Both vectors are cleared first and reused across calls, so
-/// steady-state planning allocates nothing.
+/// *salted* expansion-block segments (`EXPAND_SALT + index`) needed by
+/// any observation, and `reads` with one descriptor per observation (in
+/// observation order) pointing into that cache. Storing the salt in the
+/// plan lets the fill step hand the ids straight to the batched hash
+/// entry points. Both vectors are cleared first and reused across calls,
+/// so steady-state planning allocates nothing.
 pub(crate) fn plan_level(
     passes: impl Iterator<Item = u32> + Clone,
     bits_per_symbol: u32,
@@ -55,9 +58,9 @@ pub(crate) fn plan_level(
         let start = u64::from(pass) * u64::from(bits_per_symbol);
         let first = start / 64;
         let last = (start + u64::from(bits_per_symbol) - 1) / 64;
-        block_ids.push(first);
+        block_ids.push(EXPAND_SALT + first);
         if last != first {
-            block_ids.push(last);
+            block_ids.push(EXPAND_SALT + last);
         }
     }
     block_ids.sort_unstable();
@@ -66,7 +69,11 @@ pub(crate) fn plan_level(
         let start = u64::from(pass) * u64::from(bits_per_symbol);
         let first = start / 64;
         let last = (start + u64::from(bits_per_symbol) - 1) / 64;
-        let pos = |b: u64| block_ids.binary_search(&b).expect("planned block") as u32;
+        let pos = |b: u64| {
+            block_ids
+                .binary_search(&(EXPAND_SALT + b))
+                .expect("planned block") as u32
+        };
         reads.push(ObsRead {
             lo: pos(first),
             hi: pos(last),
@@ -77,9 +84,9 @@ pub(crate) fn plan_level(
 }
 
 /// Hashes the planned blocks of `spine` into `blocks` (the level's block
-/// cache). `blocks.len()` must equal `block_ids.len()`; the cost is one
-/// hash invocation per *distinct* block, however many observations share
-/// it.
+/// cache), one batched hash call over the distinct salted ids.
+/// `blocks.len()` must equal `block_ids.len()`; the cost is one hash
+/// invocation per *distinct* block, however many observations share it.
 #[inline]
 pub(crate) fn fill_blocks<H: SpineHash>(
     hash: &H,
@@ -88,25 +95,106 @@ pub(crate) fn fill_blocks<H: SpineHash>(
     blocks: &mut [u64],
 ) {
     debug_assert_eq!(block_ids.len(), blocks.len());
-    for (slot, &id) in blocks.iter_mut().zip(block_ids) {
-        *slot = hash.hash(spine, EXPAND_SALT + id);
+    hash.hash_batch_fixed_state(spine, block_ids, blocks);
+}
+
+/// Fills the block cache for a whole *run of sibling spines* at once, in
+/// block-major layout: `blocks[b * spines.len() + c]` is salted block
+/// `block_ids[b]` of `spines[c]`. Each distinct block is one
+/// [`SpineHash::hash_batch_fixed_segment`] sweep over the run — the
+/// beam decoder's expansion loop batches a parent's entire child row
+/// this way.
+#[inline]
+pub(crate) fn fill_blocks_for_spines<H: SpineHash>(
+    hash: &H,
+    spines: &[u64],
+    block_ids: &[u64],
+    blocks: &mut [u64],
+) {
+    debug_assert_eq!(block_ids.len() * spines.len(), blocks.len());
+    for (row, &id) in blocks.chunks_exact_mut(spines.len().max(1)).zip(block_ids) {
+        hash.hash_batch_fixed_segment(spines, id, row);
     }
+}
+
+/// One expansion block's packed observations on a 1-bit channel:
+/// `sel` marks the stream bits observed at this level inside block
+/// `block_ids[pos]`, `obs` carries the received bits at those positions.
+/// A child's level cost is `Σ popcount((block ^ obs) & sel)` — the
+/// whole per-observation Hamming loop in two ALU ops per block. Exact:
+/// every packed cost is a small integer, so the `f64` sum is identical
+/// to per-observation accumulation in any order.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PackedMask {
+    /// Cache position (index into `block_ids`).
+    pub pos: u32,
+    /// Selector: which bits of the block are observed.
+    pub sel: u64,
+    /// Observed bits, aligned with `sel`.
+    pub obs: u64,
+}
+
+/// Builds the packed per-block masks for a 1-bit-per-symbol level out of
+/// `(pass, observed bit)` pairs. Returns `false` (leaving `out` empty)
+/// when a stream bit is observed more than once — popcount would count
+/// the duplicate once where the per-observation loop counts it twice, so
+/// such levels take the generic path.
+pub(crate) fn plan_packed_level(
+    obs_bits: impl Iterator<Item = (u32, u8)>,
+    block_ids: &[u64],
+    out: &mut Vec<PackedMask>,
+) -> bool {
+    out.clear();
+    for (pass, bit) in obs_bits {
+        let id = EXPAND_SALT + u64::from(pass) / 64;
+        let pos = block_ids.binary_search(&id).expect("planned block") as u32;
+        let mask = 1u64 << (63 - (pass % 64));
+        let entry = match out.iter_mut().find(|m| m.pos == pos) {
+            Some(m) => m,
+            None => {
+                out.push(PackedMask {
+                    pos,
+                    sel: 0,
+                    obs: 0,
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        if entry.sel & mask != 0 {
+            out.clear();
+            return false;
+        }
+        entry.sel |= mask;
+        if bit & 1 == 1 {
+            entry.obs |= mask;
+        }
+    }
+    true
+}
+
+/// Reads one observation's symbol bits for sibling `c` out of a
+/// block-major cache filled by [`fill_blocks_for_spines`] over `n`
+/// spines. Bit-identical to [`read_obs`] on a per-spine cache.
+#[inline]
+pub(crate) fn read_obs_strided(blocks: &[u64], n: usize, c: usize, r: &ObsRead) -> u64 {
+    crate::expand::read_window(
+        blocks[r.lo as usize * n + c],
+        blocks[r.hi as usize * n + c],
+        r.offset,
+        r.count,
+    )
 }
 
 /// Reads one observation's symbol bits out of the filled block cache.
 /// Bit-identical to [`crate::expand::expand_bits`] over the same stream.
 #[inline]
 pub(crate) fn read_obs(blocks: &[u64], r: &ObsRead) -> u64 {
-    let b0 = blocks[r.lo as usize];
-    if !r.straddles() {
-        (b0 << r.offset) >> (64 - r.count)
-    } else {
-        let bits_from_first = 64 - r.offset;
-        let bits_from_second = r.count - bits_from_first;
-        let hi = (b0 << r.offset) >> (64 - bits_from_first);
-        let lo = blocks[r.hi as usize] >> (64 - bits_from_second);
-        (hi << bits_from_second) | lo
-    }
+    crate::expand::read_window(
+        blocks[r.lo as usize],
+        blocks[r.hi as usize],
+        r.offset,
+        r.count,
+    )
 }
 
 #[cfg(test)]
@@ -147,11 +235,11 @@ mod tests {
         let mut ids = Vec::new();
         let mut reads = Vec::new();
         plan_level([0u32, 1, 2].into_iter(), 20, &mut ids, &mut reads);
-        assert_eq!(ids, vec![0]);
+        assert_eq!(ids, vec![EXPAND_SALT]);
         assert_eq!(reads.len(), 3);
         // Pass 3 (bits 60..80) straddles into block 1.
         plan_level([0u32, 1, 2, 3].into_iter(), 20, &mut ids, &mut reads);
-        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(ids, vec![EXPAND_SALT, EXPAND_SALT + 1]);
         assert!(reads[3].straddles());
     }
 
@@ -162,7 +250,31 @@ mod tests {
         let mut ids = Vec::new();
         let mut reads = Vec::new();
         plan_level([0u32, 999].into_iter(), 32, &mut ids, &mut reads);
-        assert_eq!(ids, vec![0, 499]);
+        assert_eq!(ids, vec![EXPAND_SALT, EXPAND_SALT + 499]);
+    }
+
+    #[test]
+    fn spine_run_cache_matches_per_spine_cache() {
+        // The block-major run cache must read back exactly what the
+        // per-spine cache (and expand_bits) produce, for every sibling.
+        let h = Lookup3::new(23);
+        let spines: Vec<u64> = (0..13).map(|i| 0x1000 + i * 7).collect();
+        let passes = [0u32, 3, 7];
+        let bps = 20;
+        let mut ids = Vec::new();
+        let mut reads = Vec::new();
+        plan_level(passes.iter().copied(), bps, &mut ids, &mut reads);
+        let mut run = vec![0u64; ids.len() * spines.len()];
+        fill_blocks_for_spines(&h, &spines, &ids, &mut run);
+        for (c, &spine) in spines.iter().enumerate() {
+            for (r, &pass) in reads.iter().zip(&passes) {
+                assert_eq!(
+                    read_obs_strided(&run, spines.len(), c, r),
+                    symbol_bits(&h, spine, pass, bps),
+                    "spine {c} pass {pass}"
+                );
+            }
+        }
     }
 
     proptest! {

@@ -63,7 +63,7 @@
 //!   **bit-identical** to the serial path.
 
 use crate::bits::BitVec;
-use crate::decode::batch::{self, ObsRead};
+use crate::decode::batch::{self, ObsRead, PackedMask};
 use crate::decode::cost::CostModel;
 use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
 use crate::hash::SpineHash;
@@ -139,8 +139,15 @@ pub struct DecoderScratch {
     /// The level plan: distinct expansion-block ids + per-observation reads.
     block_ids: Vec<u64>,
     reads: Vec<ObsRead>,
-    /// Hash-block cache (one row per worker under `parallel`).
+    /// Bit-channel fast path: per-block XOR/popcount masks (empty when
+    /// the level is not packable).
+    packed: Vec<PackedMask>,
+    /// Hash-block cache in block-major child-run layout
+    /// (one `block_len × branch` region per worker under `parallel`).
     blocks: Vec<u64>,
+    /// The ascending segment values `0, 1, 2, …` handed to the batched
+    /// child-spine hash (`seg_ids[..level_branch]` per parent row).
+    seg_ids: Vec<u64>,
     /// Index ordering used by the partial selections.
     order: Vec<u32>,
     /// Segment buffer for backtracking.
@@ -305,10 +312,15 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             arena_segs,
             block_ids,
             reads,
+            packed,
             blocks,
+            seg_ids,
             order,
             path,
         } = scratch;
+        if seg_ids.len() < branch {
+            seg_ids.extend(seg_ids.len() as u64..branch as u64);
+        }
 
         // The root is a placeholder: it is not in the arena; its children
         // use parent = u32::MAX.
@@ -370,12 +382,29 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             }
 
             // Plan the level once: distinct expansion blocks + one read
-            // descriptor per observation.
+            // descriptor per observation; on 1-bit channels, also try to
+            // collapse the whole level into XOR/popcount block masks.
+            packed.clear();
             if level_obs.is_empty() {
                 block_ids.clear();
                 reads.clear();
             } else {
                 batch::plan_level(level_obs.iter().map(|&(p, _)| p), bps, block_ids, reads);
+                if bps == 1 && self.mapper.bit_identity() {
+                    let mut packable = true;
+                    let bits = level_obs.iter().map_while(|&(pass, sym)| {
+                        match self.cost.packed_bit(sym) {
+                            Some(bit) => Some((pass, bit)),
+                            None => {
+                                packable = false;
+                                None
+                            }
+                        }
+                    });
+                    if !batch::plan_packed_level(bits, block_ids, packed) || !packable {
+                        packed.clear();
+                    }
+                }
             }
 
             // Expand every parent into the pre-sized child buffers.
@@ -398,10 +427,11 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 fr_costs,
                 parent_base,
                 root_level,
-                level_branch,
+                &seg_ids[..level_branch],
                 level_obs,
                 block_ids,
                 reads,
+                packed,
                 blocks,
                 next_spines,
                 next_costs,
@@ -552,10 +582,11 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     parent_costs: &[f64],
     parent_base: u32,
     root_level: bool,
-    level_branch: usize,
+    seg_ids: &[u64],
     level_obs: &[(u32, M::Symbol)],
     block_ids: &[u64],
     reads: &[ObsRead],
+    packed: &[PackedMask],
     blocks: &mut Vec<u64>,
     out_spines: &mut [u64],
     out_costs: &mut [f64],
@@ -573,10 +604,11 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
             parent_costs,
             parent_base,
             root_level,
-            level_branch,
+            seg_ids,
             level_obs,
             block_ids,
             reads,
+            packed,
             blocks,
             out_spines,
             out_costs,
@@ -587,7 +619,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         }
     }
     blocks.clear();
-    blocks.resize(block_ids.len(), 0);
+    blocks.resize(block_ids.len() * seg_ids.len(), 0);
     expand_parents(
         hash,
         mapper,
@@ -597,10 +629,11 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         0,
         parent_base,
         root_level,
-        level_branch,
+        seg_ids,
         level_obs,
         block_ids,
         reads,
+        packed,
         blocks,
         out_spines,
         out_costs,
@@ -609,9 +642,14 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     );
 }
 
-/// The flat expansion loop over a contiguous run of parents.
-/// `first_parent` is the run's global index (for arena parent pointers);
-/// output slices cover exactly this run's children.
+/// The flat expansion loop over a contiguous run of parents, batched:
+/// each parent's whole child row is spine-hashed in one
+/// [`SpineHash::hash_batch_fixed_state`] sweep (directly into the output
+/// spine row), the row's expansion blocks are filled block-major by
+/// [`batch::fill_blocks_for_spines`], and only the per-observation cost
+/// accumulation runs per child. `first_parent` is the run's global index
+/// (for arena parent pointers); output slices cover exactly this run's
+/// children; `blocks` must hold `block_ids.len() * seg_ids.len()` words.
 #[allow(clippy::too_many_arguments)]
 fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     hash: &H,
@@ -622,16 +660,18 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     first_parent: usize,
     parent_base: u32,
     root_level: bool,
-    level_branch: usize,
+    seg_ids: &[u64],
     level_obs: &[(u32, M::Symbol)],
     block_ids: &[u64],
     reads: &[ObsRead],
+    packed: &[PackedMask],
     blocks: &mut [u64],
     out_spines: &mut [u64],
     out_costs: &mut [f64],
     out_parents: &mut [u32],
     out_segs: &mut [u16],
 ) {
+    let level_branch = seg_ids.len();
     debug_assert_eq!(out_spines.len(), parent_spines.len() * level_branch);
     // Chunked iterators instead of indexed writes: one child row per
     // `zip` step, no bounds checks in the hot loop.
@@ -649,24 +689,41 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         } else {
             parent_base + (first_parent + p) as u32
         };
-        let row = row_s
-            .iter_mut()
-            .zip(row_c.iter_mut())
-            .zip(row_p.iter_mut())
-            .zip(row_g.iter_mut());
-        for (seg, (((slot_s, slot_c), slot_p), slot_g)) in row.enumerate() {
-            let child_spine = hash.hash(pspine, seg as u64);
-            let mut c = pcost;
-            if !reads.is_empty() {
-                batch::fill_blocks(hash, child_spine, block_ids, blocks);
-                for (r, &(_, observed)) in reads.iter().zip(level_obs) {
-                    let hyp = mapper.map(batch::read_obs(blocks, r));
-                    c += cost.cost(observed, hyp);
+        // One batched hash sweep computes the whole child-spine row.
+        hash.hash_batch_fixed_state(pspine, seg_ids, row_s);
+        if reads.is_empty() {
+            row_c.fill(pcost);
+        } else {
+            // One batched sweep per distinct expansion block fills the
+            // row's block cache (block-major), then the cost loop reads
+            // cached words only.
+            batch::fill_blocks_for_spines(hash, row_s, block_ids, blocks);
+            if !packed.is_empty() {
+                // Bit-channel fast path: the level's whole Hamming cost
+                // is an XOR + popcount per cached block. Exact — packed
+                // costs are small integers, so this f64 sum is
+                // bit-identical to the per-observation loop.
+                for (c, slot_c) in row_c.iter_mut().enumerate() {
+                    let mut errs = 0u32;
+                    for m in packed {
+                        let block = blocks[m.pos as usize * level_branch + c];
+                        errs += ((block ^ m.obs) & m.sel).count_ones();
+                    }
+                    *slot_c = pcost + f64::from(errs);
+                }
+            } else {
+                for (c, slot_c) in row_c.iter_mut().enumerate() {
+                    let mut acc = pcost;
+                    for (r, &(_, observed)) in reads.iter().zip(level_obs) {
+                        let hyp = mapper.map(batch::read_obs_strided(blocks, level_branch, c, r));
+                        acc += cost.cost(observed, hyp);
+                    }
+                    *slot_c = acc;
                 }
             }
-            *slot_s = child_spine;
-            *slot_c = c;
-            *slot_p = parent_idx;
+        }
+        row_p.fill(parent_idx);
+        for (seg, slot_g) in row_g.iter_mut().enumerate() {
             *slot_g = seg as u16;
         }
     }
@@ -724,16 +781,18 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     parent_costs: &[f64],
     parent_base: u32,
     root_level: bool,
-    level_branch: usize,
+    seg_ids: &[u64],
     level_obs: &[(u32, M::Symbol)],
     block_ids: &[u64],
     reads: &[ObsRead],
+    packed: &[PackedMask],
     blocks: &mut Vec<u64>,
     out_spines: &mut [u64],
     out_costs: &mut [f64],
     out_parents: &mut [u32],
     out_segs: &mut [u16],
 ) -> bool {
+    let level_branch = seg_ids.len();
     let n_parents = parent_spines.len();
     let work = n_parents * level_branch * level_obs.len();
     if level_obs.is_empty() || work < PARALLEL_MIN_WORK {
@@ -743,7 +802,7 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     if workers < 2 {
         return false;
     }
-    let block_len = block_ids.len();
+    let block_len = block_ids.len() * level_branch;
     blocks.clear();
     blocks.resize(workers * block_len, 0);
     let chunk = n_parents.div_ceil(workers);
@@ -784,10 +843,11 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
                     fp,
                     parent_base,
                     root_level,
-                    level_branch,
+                    seg_ids,
                     level_obs,
                     block_ids,
                     reads,
+                    packed,
                     bl_c,
                     os_c,
                     oc_c,
@@ -1115,6 +1175,51 @@ mod tests {
         assert_eq!(opt.candidates, reference.candidates);
         assert_eq!(opt.stats.nodes_expanded, reference.stats.nodes_expanded);
         assert_eq!(opt.stats.frontier_peak, reference.stats.frontier_peak);
+    }
+
+    #[test]
+    fn duplicate_bit_observations_fall_back_and_match_reference() {
+        // The same slot received twice (e.g. a repeated transmission):
+        // the XOR/popcount packing must bail (it would count the
+        // duplicate once) and the generic loop must match the reference
+        // bit-for-bit.
+        let p = params(16, 4, 0);
+        let msg = BitVec::from_bytes(&[0x3c, 0x99]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), BinaryMapper::new(), &msg).unwrap();
+        let mut obs = Observations::new(p.n_segments());
+        for pass in 0..6 {
+            for t in 0..p.n_segments() {
+                let slot = Slot::new(t, pass);
+                let mut bit = enc.symbol(slot);
+                if (pass + t) % 5 == 1 {
+                    bit ^= 1;
+                }
+                obs.push(slot, bit);
+                if pass == 2 {
+                    obs.push(slot, bit ^ 1); // duplicate stream bit
+                }
+            }
+        }
+        let cfg = BeamConfig::with_beam(8);
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            BinaryMapper::new(),
+            BscCost,
+            cfg,
+        );
+        let opt = dec.decode(&obs);
+        let reference = reference_decode(
+            &p,
+            &Lookup3::new(p.seed()),
+            &BinaryMapper::new(),
+            &BscCost,
+            &cfg,
+            &obs,
+        );
+        assert_eq!(opt.message, reference.message);
+        assert_eq!(opt.cost.to_bits(), reference.cost.to_bits());
+        assert_eq!(opt.candidates, reference.candidates);
     }
 
     #[test]

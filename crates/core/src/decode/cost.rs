@@ -15,6 +15,21 @@ pub trait CostModel<S>: Clone + Send + Sync + std::fmt::Debug {
     /// would have transmitted `hypothesis`.
     fn cost(&self, observed: S, hypothesis: S) -> f64;
 
+    /// For one-bit channels whose metric is plain Hamming distance: the
+    /// observed bit (0/1) this observation contributes, or `None` when
+    /// the observation cannot be bit-packed (soft values, erasures).
+    ///
+    /// When every observation at a tree level packs, the beam decoder
+    /// XOR-popcounts whole 64-bit expansion blocks instead of looping
+    /// per observation — bit-identical (all packed costs are small
+    /// integers, exact in `f64` under any summation order) and several
+    /// times faster on BSC/BEC workloads.
+    #[inline]
+    fn packed_bit(&self, observed: S) -> Option<u8> {
+        let _ = observed;
+        None
+    }
+
     /// Short stable name for experiment logs.
     fn name(&self) -> &'static str;
 }
@@ -46,8 +61,49 @@ impl CostModel<u8> for BscCost {
         f64::from((observed ^ hypothesis) & 1)
     }
 
+    #[inline(always)]
+    fn packed_bit(&self, observed: u8) -> Option<u8> {
+        Some(observed & 1)
+    }
+
     fn name(&self) -> &'static str {
         "bsc-hamming"
+    }
+}
+
+/// The binary-erasure-channel metric: erased observations (the receiver
+/// *knows* the bit was lost) carry no information and cost nothing
+/// against any hypothesis; surviving bits arrive intact, so a mismatch
+/// costs one Hamming unit exactly as on the BSC. An erased observation
+/// is encoded as [`BecCost::ERASURE`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BecCost;
+
+impl BecCost {
+    /// The received value standing for "erased" (outside the bit
+    /// alphabet {0, 1}).
+    pub const ERASURE: u8 = 2;
+}
+
+impl CostModel<u8> for BecCost {
+    #[inline(always)]
+    fn cost(&self, observed: u8, hypothesis: u8) -> f64 {
+        if observed == Self::ERASURE {
+            0.0
+        } else {
+            f64::from((observed ^ hypothesis) & 1)
+        }
+    }
+
+    #[inline(always)]
+    fn packed_bit(&self, observed: u8) -> Option<u8> {
+        // Erasures cost nothing against every hypothesis; a level
+        // containing one falls back to the per-observation loop.
+        (observed != Self::ERASURE).then_some(observed & 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "bec-erasure"
     }
 }
 
@@ -70,6 +126,16 @@ mod tests {
         assert_eq!(BscCost.cost(0, 1), 1.0);
         assert_eq!(BscCost.cost(1, 0), 1.0);
         assert_eq!(BscCost.cost(1, 1), 0.0);
+    }
+
+    #[test]
+    fn bec_cost_ignores_erasures() {
+        assert_eq!(BecCost.cost(BecCost::ERASURE, 0), 0.0);
+        assert_eq!(BecCost.cost(BecCost::ERASURE, 1), 0.0);
+        assert_eq!(BecCost.cost(0, 0), 0.0);
+        assert_eq!(BecCost.cost(0, 1), 1.0);
+        assert_eq!(BecCost.cost(1, 0), 1.0);
+        assert_eq!(BecCost.cost(1, 1), 0.0);
     }
 
     proptest! {

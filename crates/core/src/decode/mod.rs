@@ -16,7 +16,7 @@ pub mod ml;
 pub mod reference;
 
 pub use beam::{BeamConfig, BeamDecoder, DecoderScratch};
-pub use cost::{AwgnCost, BscCost, CostModel};
+pub use cost::{AwgnCost, BecCost, BscCost, CostModel};
 pub use ml::{MlConfig, MlDecoder, MlScratch};
 pub use reference::reference_decode;
 
@@ -43,6 +43,16 @@ impl<S: Copy> Observations<S> {
             levels: vec![Vec::new(); n_levels as usize],
             count: 0,
         }
+    }
+
+    /// Forgets every recorded symbol, keeping the per-level capacity —
+    /// simulation workers reuse one observation set across trials this
+    /// way (no steady-state allocation).
+    pub fn clear(&mut self) {
+        for level in &mut self.levels {
+            level.clear();
+        }
+        self.count = 0;
     }
 
     /// Records the symbol received in `slot`.

@@ -8,13 +8,18 @@
 //! the puncturing schedules and the decoder's replay rely on.
 
 use crate::bits::BitVec;
-use crate::expand::symbol_bits;
+use crate::expand::{read_window, symbol_bits, window_straddles, EXPAND_SALT};
 use crate::hash::SpineHash;
 use crate::map::Mapper;
 use crate::params::CodeParams;
 use crate::puncture::PunctureSchedule;
-use crate::spine::{compute_spine, SpineError};
+use crate::spine::{compute_spine, compute_spine_into, SpineError};
 use crate::symbol::Slot;
+
+/// Spine positions expanded per batched-hash sweep in
+/// [`Encoder::pass_into`] / [`Encoder::subpass_into`]. Stack buffers of
+/// this size keep the batched paths allocation-free.
+const ENC_CHUNK: usize = 32;
 
 /// A spinal encoder bound to one message.
 ///
@@ -95,38 +100,154 @@ impl<H: SpineHash, M: Mapper> Encoder<H, M> {
         self.mapper.map(bits)
     }
 
+    /// Rebinds the encoder to a new `(params, hash, message)` triple,
+    /// recomputing the spine in place. `params` must have the same
+    /// geometry as the original (only its seed may differ — use
+    /// [`CodeParams::reseeded`]); storing it keeps
+    /// [`params().seed()`](Self::params) in sync with the new hash, so
+    /// the crate's "build the shared hash from `params.seed()`" pattern
+    /// stays valid for rebound encoders. The mapper is unchanged; once
+    /// warmed, rebinding allocates nothing — simulation workers reuse
+    /// one encoder across every trial this way.
+    ///
+    /// On error the encoder is left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` changes the code geometry (message bits, `k`,
+    /// or tail segments).
+    pub fn rebind(
+        &mut self,
+        params: &CodeParams,
+        hash: H,
+        message: &BitVec,
+    ) -> Result<(), SpineError> {
+        assert!(
+            params.message_bits() == self.params.message_bits()
+                && params.k() == self.params.k()
+                && params.n_segments() == self.params.n_segments(),
+            "rebind cannot change the code geometry"
+        );
+        if message.len() != params.message_bits() as usize {
+            return Err(SpineError::MessageLength {
+                expected: params.message_bits(),
+                got: message.len(),
+            });
+        }
+        compute_spine_into(params, &hash, message, &mut self.spine).expect("length checked above");
+        self.params = *params;
+        self.hash = hash;
+        Ok(())
+    }
+
     /// All `n_segments` symbols of one pass, in position order
     /// (unpunctured pass layout).
     pub fn pass(&self, pass: u32) -> Vec<M::Symbol> {
-        (0..self.params.n_segments())
-            .map(|t| self.symbol(Slot::new(t, pass)))
-            .collect()
+        let mut out = Vec::with_capacity(self.params.n_segments() as usize);
+        self.pass_into(pass, &mut out);
+        out
+    }
+
+    /// Like [`pass`](Self::pass), writing into a caller-provided buffer
+    /// (cleared first). Every position of a pass reads the same one or
+    /// two expansion blocks of its spine value, so the whole pass is
+    /// produced with one batched hash sweep per block — no allocation,
+    /// ~half the per-symbol hash latency of the scalar path.
+    pub fn pass_into(&self, pass: u32, out: &mut Vec<M::Symbol>) {
+        out.clear();
+        let bps = self.mapper.bits_per_symbol();
+        debug_assert!((1..=64).contains(&bps));
+        let start = u64::from(pass) * u64::from(bps);
+        let offset = (start % 64) as u32;
+        let salt0 = EXPAND_SALT + start / 64;
+        let straddles = window_straddles(offset, bps);
+        let mut b0 = [0u64; ENC_CHUNK];
+        let mut b1 = [0u64; ENC_CHUNK];
+        for chunk in self.spine.chunks(ENC_CHUNK) {
+            let n = chunk.len();
+            self.hash
+                .hash_batch_fixed_segment(chunk, salt0, &mut b0[..n]);
+            if straddles {
+                self.hash
+                    .hash_batch_fixed_segment(chunk, salt0 + 1, &mut b1[..n]);
+            }
+            for i in 0..n {
+                out.push(self.mapper.map(read_window(b0[i], b1[i], offset, bps)));
+            }
+        }
     }
 
     /// The `(slot, symbol)` pairs of global sub-pass `g` under `schedule`.
     pub fn subpass<P: PunctureSchedule>(&self, schedule: &P, g: u32) -> Vec<(Slot, M::Symbol)> {
-        schedule
-            .subpass_slots(self.params.n_segments(), g)
-            .into_iter()
-            .map(|slot| (slot, self.symbol(slot)))
-            .collect()
+        let mut slots = Vec::new();
+        let mut out = Vec::new();
+        self.subpass_into(schedule, g, &mut slots, &mut out);
+        out
+    }
+
+    /// Like [`subpass`](Self::subpass), writing into caller-provided
+    /// buffers (both cleared first; `slots` is working storage for the
+    /// schedule's slot list). Sub-passes whose slots share one pass — all
+    /// built-in schedules — are produced with batched hash sweeps, like
+    /// [`pass_into`](Self::pass_into); mixed-pass sub-passes fall back to
+    /// per-slot hashing. Steady-state streaming allocates nothing.
+    pub fn subpass_into<P: PunctureSchedule>(
+        &self,
+        schedule: &P,
+        g: u32,
+        slots: &mut Vec<Slot>,
+        out: &mut Vec<(Slot, M::Symbol)>,
+    ) {
+        schedule.subpass_slots_into(self.params.n_segments(), g, slots);
+        out.clear();
+        let bps = self.mapper.bits_per_symbol();
+        debug_assert!((1..=64).contains(&bps));
+        let mut spines = [0u64; ENC_CHUNK];
+        let mut b0 = [0u64; ENC_CHUNK];
+        let mut b1 = [0u64; ENC_CHUNK];
+        for chunk in slots.chunks(ENC_CHUNK) {
+            let pass = chunk[0].pass;
+            if chunk.iter().any(|s| s.pass != pass) {
+                // A schedule mixing passes within one sub-pass: correct,
+                // just not batched.
+                for &slot in chunk {
+                    out.push((slot, self.symbol(slot)));
+                }
+                continue;
+            }
+            let n = chunk.len();
+            let start = u64::from(pass) * u64::from(bps);
+            let offset = (start % 64) as u32;
+            let salt0 = EXPAND_SALT + start / 64;
+            let straddles = window_straddles(offset, bps);
+            for (dst, s) in spines[..n].iter_mut().zip(chunk) {
+                *dst = self.spine[s.t as usize];
+            }
+            self.hash
+                .hash_batch_fixed_segment(&spines[..n], salt0, &mut b0[..n]);
+            if straddles {
+                self.hash
+                    .hash_batch_fixed_segment(&spines[..n], salt0 + 1, &mut b1[..n]);
+            }
+            for (i, &slot) in chunk.iter().enumerate() {
+                out.push((
+                    slot,
+                    self.mapper.map(read_window(b0[i], b1[i], offset, bps)),
+                ));
+            }
+        }
     }
 
     /// The rateless symbol stream under `schedule`: an unbounded iterator
     /// of `(slot, symbol)` in transmission order. "The encoder can
     /// produce as many symbols as necessary" (§3) — callers `take` what
-    /// the channel carries.
+    /// the channel carries. Each sub-pass is produced through the batched
+    /// [`subpass`](Self::subpass) path.
     pub fn stream<'a, P: PunctureSchedule>(
         &'a self,
         schedule: &'a P,
     ) -> impl Iterator<Item = (Slot, M::Symbol)> + 'a {
-        let n_spine = self.params.n_segments();
-        (0u32..).flat_map(move |g| {
-            schedule
-                .subpass_slots(n_spine, g)
-                .into_iter()
-                .map(move |slot| (slot, self.symbol(slot)))
-        })
+        (0u32..).flat_map(move |g| self.subpass(schedule, g))
     }
 }
 
@@ -215,6 +336,88 @@ mod tests {
             Slot::new(0, 1),
         ];
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pass_into_matches_scalar_symbols() {
+        // The batched pass expansion must be bit-identical to per-slot
+        // random access, for both I-Q and binary mappers (the binary
+        // mapper's bps = 1 exercises deep block offsets; pass 63→64
+        // crosses a block boundary).
+        let enc = fig2_encoder(&[0x5a, 0x12, 0xfe]);
+        let mut buf = Vec::new();
+        for pass in [0u32, 1, 5, 31] {
+            enc.pass_into(pass, &mut buf);
+            assert_eq!(buf.len(), 3);
+            for (t, &sym) in buf.iter().enumerate() {
+                assert_eq!(
+                    sym,
+                    enc.symbol(Slot::new(t as u32, pass)),
+                    "pass {pass} t {t}"
+                );
+            }
+        }
+        let params = CodeParams::new(16, 4).unwrap();
+        let benc = Encoder::new(
+            &params,
+            SplitMix::new(5),
+            BinaryMapper::new(),
+            &BitVec::from_bytes(&[0x5a, 0xa5]),
+        )
+        .unwrap();
+        let mut bbuf = Vec::new();
+        for pass in [0u32, 63, 64, 100] {
+            benc.pass_into(pass, &mut bbuf);
+            for (t, &bit) in bbuf.iter().enumerate() {
+                assert_eq!(bit, benc.symbol(Slot::new(t as u32, pass)));
+            }
+        }
+    }
+
+    #[test]
+    fn subpass_into_matches_subpass() {
+        let enc = fig2_encoder(&[0xaa, 0xbb, 0xcc]);
+        let mut slots = Vec::new();
+        let mut buf = Vec::new();
+        let strided = StridedPuncture::stride8();
+        let none = NoPuncture::new();
+        for g in 0..20u32 {
+            enc.subpass_into(&strided, g, &mut slots, &mut buf);
+            assert_eq!(buf, enc.subpass(&strided, g), "strided g={g}");
+            enc.subpass_into(&none, g, &mut slots, &mut buf);
+            assert_eq!(buf, enc.subpass(&none, g), "none g={g}");
+        }
+    }
+
+    #[test]
+    fn rebind_matches_fresh_encoder() {
+        let params = CodeParams::new(24, 8).unwrap();
+        let mut enc = Encoder::new(
+            &params,
+            Lookup3::new(1),
+            LinearMapper::new(10),
+            &BitVec::from_bytes(&[1, 2, 3]),
+        )
+        .unwrap();
+        enc.rebind(
+            &params.reseeded(9),
+            Lookup3::new(9),
+            &BitVec::from_bytes(&[4, 5, 6]),
+        )
+        .unwrap();
+        let fresh = Encoder::new(
+            &params,
+            Lookup3::new(9),
+            LinearMapper::new(10),
+            &BitVec::from_bytes(&[4, 5, 6]),
+        )
+        .unwrap();
+        assert_eq!(enc.spine(), fresh.spine());
+        assert_eq!(enc.pass(3), fresh.pass(3));
+        // A bad rebind leaves the encoder usable.
+        let err = enc.rebind(&params, Lookup3::new(0), &BitVec::from_bytes(&[7]));
+        assert!(err.is_err());
+        assert_eq!(enc.pass(3), fresh.pass(3));
     }
 
     #[test]

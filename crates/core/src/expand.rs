@@ -26,6 +26,33 @@ use crate::hash::SpineHash;
 /// dumps self-describing.
 pub const EXPAND_SALT: u64 = 0x7370_696e_616c_2d78;
 
+/// `true` when a `count`-bit window at bit `offset` of a block spills
+/// into the next block.
+#[inline(always)]
+pub(crate) fn window_straddles(offset: u32, count: u32) -> bool {
+    offset + count > 64
+}
+
+/// Assembles the `count ≤ 64`-bit window at bit `offset` (MSB-first)
+/// from expansion block `b0` and — only read when the window straddles —
+/// its successor `b1`. This is the *one* definition of the expansion
+/// stream's bit layout; the encoder's batched pass expansion and the
+/// decoder's block caches all read through it, so the convention cannot
+/// drift between the two sides.
+#[inline(always)]
+pub(crate) fn read_window(b0: u64, b1: u64, offset: u32, count: u32) -> u64 {
+    debug_assert!((1..=64).contains(&count) && offset < 64);
+    if !window_straddles(offset, count) {
+        (b0 << offset) >> (64 - count)
+    } else {
+        let bits_from_first = 64 - offset;
+        let bits_from_second = count - bits_from_first;
+        let hi = (b0 << offset) >> (64 - bits_from_first);
+        let lo = b1 >> (64 - bits_from_second);
+        (hi << bits_from_second) | lo
+    }
+}
+
 /// Reads `count ≤ 64` expansion bits of spine value `spine`, starting at
 /// bit offset `start`, MSB-first within each 64-bit block.
 ///
@@ -39,19 +66,12 @@ pub fn expand_bits<H: SpineHash>(hash: &H, spine: u64, start: u64, count: u32) -
     let first_block = start / 64;
     let offset = (start % 64) as u32;
     let block0 = hash.hash(spine, EXPAND_SALT + first_block);
-    if offset + count <= 64 {
-        // Single block: shift the window down.
-        let shifted = block0 << offset;
-        shifted >> (64 - count)
+    let block1 = if window_straddles(offset, count) {
+        hash.hash(spine, EXPAND_SALT + first_block + 1)
     } else {
-        // Straddles two blocks.
-        let bits_from_first = 64 - offset;
-        let bits_from_second = count - bits_from_first;
-        let block1 = hash.hash(spine, EXPAND_SALT + first_block + 1);
-        let hi = (block0 << offset) >> (64 - bits_from_first);
-        let lo = block1 >> (64 - bits_from_second);
-        (hi << bits_from_second) | lo
-    }
+        0
+    };
+    read_window(block0, block1, offset, count)
 }
 
 /// The `2c`-bit symbol-bit group for `pass` (0-based) of spine value

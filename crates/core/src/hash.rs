@@ -27,12 +27,116 @@
 /// desynchronize the two. The `segment` argument carries the k message
 /// bits in its low bits; `k ≤ 16` everywhere in this crate so the upper
 /// bits are zero.
+///
+/// # Batched hashing
+///
+/// The encoder's pass expansion and the decoder's tree expansion both
+/// hash long runs of independent inputs, so the trait also exposes a
+/// batched interface. Implementors override only [`hash4`](Self::hash4)
+/// — a four-lane kernel whose independent dependency chains fill the
+/// ALU pipelines — and the slice entry points
+/// ([`hash_batch`](Self::hash_batch),
+/// [`hash_batch_fixed_state`](Self::hash_batch_fixed_state),
+/// [`hash_batch_fixed_segment`](Self::hash_batch_fixed_segment)) are
+/// provided on top of it. Every batched method is **bit-identical** to
+/// the corresponding sequence of scalar [`hash`](Self::hash) calls; the
+/// `hash_batch_matches_scalar` property tests enforce this for every
+/// family.
 pub trait SpineHash: Clone + Send + Sync + std::fmt::Debug {
     /// Hashes one spine step: `s_t = h(s_{t-1}, M_t)`.
     fn hash(&self, state: u64, segment: u64) -> u64;
 
     /// A short, stable name used in experiment logs.
     fn name(&self) -> &'static str;
+
+    /// Hashes four independent `(state, segment)` lanes.
+    ///
+    /// The default falls back to four scalar calls; families override
+    /// this with an unrolled four-wide kernel. Must equal
+    /// `[hash(s0,g0), hash(s1,g1), hash(s2,g2), hash(s3,g3)]` exactly.
+    #[inline]
+    fn hash4(&self, states: [u64; 4], segments: [u64; 4]) -> [u64; 4] {
+        [
+            self.hash(states[0], segments[0]),
+            self.hash(states[1], segments[1]),
+            self.hash(states[2], segments[2]),
+            self.hash(states[3], segments[3]),
+        ]
+    }
+
+    /// Element-wise batch: `out[i] = hash(states[i], segments[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `states`, `segments` and `out` have equal lengths.
+    #[inline]
+    fn hash_batch(&self, states: &[u64], segments: &[u64], out: &mut [u64]) {
+        assert_eq!(states.len(), segments.len(), "hash_batch length mismatch");
+        assert_eq!(states.len(), out.len(), "hash_batch length mismatch");
+        let mut chunks_s = states.chunks_exact(4);
+        let mut chunks_g = segments.chunks_exact(4);
+        let mut chunks_o = out.chunks_exact_mut(4);
+        for ((s, g), o) in (&mut chunks_s).zip(&mut chunks_g).zip(&mut chunks_o) {
+            let r = self.hash4([s[0], s[1], s[2], s[3]], [g[0], g[1], g[2], g[3]]);
+            o.copy_from_slice(&r);
+        }
+        for ((&s, &g), o) in chunks_s
+            .remainder()
+            .iter()
+            .zip(chunks_g.remainder())
+            .zip(chunks_o.into_remainder())
+        {
+            *o = self.hash(s, g);
+        }
+    }
+
+    /// Broadcast-state batch: `out[i] = hash(state, segments[i])` — the
+    /// decoder's block-cache fill (one spine, several expansion salts).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `segments` and `out` have equal lengths.
+    #[inline]
+    fn hash_batch_fixed_state(&self, state: u64, segments: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            segments.len(),
+            out.len(),
+            "hash_batch_fixed_state length mismatch"
+        );
+        let mut chunks_g = segments.chunks_exact(4);
+        let mut chunks_o = out.chunks_exact_mut(4);
+        for (g, o) in (&mut chunks_g).zip(&mut chunks_o) {
+            let r = self.hash4([state; 4], [g[0], g[1], g[2], g[3]]);
+            o.copy_from_slice(&r);
+        }
+        for (&g, o) in chunks_g.remainder().iter().zip(chunks_o.into_remainder()) {
+            *o = self.hash(state, g);
+        }
+    }
+
+    /// Broadcast-segment batch: `out[i] = hash(states[i], segment)` —
+    /// the encoder's pass expansion (many spine values, one block salt).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `states` and `out` have equal lengths.
+    #[inline]
+    fn hash_batch_fixed_segment(&self, states: &[u64], segment: u64, out: &mut [u64]) {
+        assert_eq!(
+            states.len(),
+            out.len(),
+            "hash_batch_fixed_segment length mismatch"
+        );
+        let mut chunks_s = states.chunks_exact(4);
+        let mut chunks_o = out.chunks_exact_mut(4);
+        for (s, o) in (&mut chunks_s).zip(&mut chunks_o) {
+            let r = self.hash4([s[0], s[1], s[2], s[3]], [segment; 4]);
+            o.copy_from_slice(&r);
+        }
+        for (&s, o) in chunks_s.remainder().iter().zip(chunks_o.into_remainder()) {
+            *o = self.hash(s, segment);
+        }
+    }
 }
 
 #[inline(always)]
@@ -124,6 +228,78 @@ impl SpineHash for Lookup3 {
     fn name(&self) -> &'static str {
         "lookup3"
     }
+
+    #[inline]
+    fn hash4(&self, states: [u64; 4], segments: [u64; 4]) -> [u64; 4] {
+        // Four interleaved lanes of the scalar algorithm: every mix step
+        // advances all lanes before the next step, keeping four
+        // independent dependency chains in flight.
+        let init = 0xdeadbeefu32
+            .wrapping_add(4 << 2)
+            .wrapping_add(self.seed as u32);
+        let init_c = init.wrapping_add((self.seed >> 32) as u32);
+        let mut a = [0u32; 4];
+        let mut b = [0u32; 4];
+        let mut c = [0u32; 4];
+        let mut w3 = [0u32; 4];
+        for l in 0..4 {
+            a[l] = init.wrapping_add(states[l] as u32);
+            b[l] = init.wrapping_add((states[l] >> 32) as u32);
+            c[l] = init_c.wrapping_add(segments[l] as u32);
+            w3[l] = (segments[l] >> 32) as u32;
+        }
+        lookup3_mix4(&mut a, &mut b, &mut c);
+        for l in 0..4 {
+            a[l] = a[l].wrapping_add(w3[l]);
+        }
+        lookup3_final4(&mut a, &mut b, &mut c);
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            out[l] = (u64::from(b[l]) << 32) | u64::from(c[l]);
+        }
+        out
+    }
+}
+
+/// Four-lane [`lookup3_mix`]: each scalar step applied to all lanes
+/// before the next, so the lanes' chains interleave.
+#[inline(always)]
+fn lookup3_mix4(a: &mut [u32; 4], b: &mut [u32; 4], c: &mut [u32; 4]) {
+    macro_rules! step {
+        ($x:ident -= $y:ident, rot $r:literal, $z:ident += $w:ident) => {
+            for l in 0..4 {
+                $x[l] = $x[l].wrapping_sub($y[l]);
+                $x[l] ^= rot32($y[l], $r);
+                $z[l] = $z[l].wrapping_add($w[l]);
+            }
+        };
+    }
+    step!(a -= c, rot 4, c += b);
+    step!(b -= a, rot 6, a += c);
+    step!(c -= b, rot 8, b += a);
+    step!(a -= c, rot 16, c += b);
+    step!(b -= a, rot 19, a += c);
+    step!(c -= b, rot 4, b += a);
+}
+
+/// Four-lane [`lookup3_final`].
+#[inline(always)]
+fn lookup3_final4(a: &mut [u32; 4], b: &mut [u32; 4], c: &mut [u32; 4]) {
+    macro_rules! step {
+        ($x:ident ^= $y:ident, rot $r:literal) => {
+            for l in 0..4 {
+                $x[l] ^= $y[l];
+                $x[l] = $x[l].wrapping_sub(rot32($y[l], $r));
+            }
+        };
+    }
+    step!(c ^= b, rot 14);
+    step!(a ^= c, rot 11);
+    step!(b ^= a, rot 25);
+    step!(c ^= b, rot 16);
+    step!(a ^= c, rot 4);
+    step!(b ^= a, rot 14);
+    step!(c ^= b, rot 24);
 }
 
 /// Jenkins one-at-a-time hash over the 16 little-endian bytes of
@@ -166,6 +342,39 @@ impl SpineHash for OneAtATime {
     fn name(&self) -> &'static str {
         "one-at-a-time"
     }
+
+    /// Eight interleaved chains (four lanes × the lo/hi halves): the
+    /// byte-serial chain is the longest dependency chain of any family
+    /// here, so packing every independent chain into one unrolled pass
+    /// pays the most.
+    #[inline]
+    fn hash4(&self, states: [u64; 4], segments: [u64; 4]) -> [u64; 4] {
+        let init_lo = self.seed as u32;
+        let init_hi = (self.seed >> 32) as u32 ^ 0x9e37_79b9;
+        // h[0..4] = lo chains, h[4..8] = hi chains over the same bytes.
+        let mut h = [
+            init_lo, init_lo, init_lo, init_lo, init_hi, init_hi, init_hi, init_hi,
+        ];
+        for chunk in [states, segments] {
+            for i in 0..8 {
+                for l in 0..8 {
+                    h[l] = h[l].wrapping_add(u32::from((chunk[l & 3] >> (8 * i)) as u8));
+                    h[l] = h[l].wrapping_add(h[l] << 10);
+                    h[l] ^= h[l] >> 6;
+                }
+            }
+        }
+        for x in &mut h {
+            *x = x.wrapping_add(*x << 3);
+            *x ^= *x >> 11;
+            *x = x.wrapping_add(*x << 15);
+        }
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            out[l] = (u64::from(h[l + 4]) << 32) | u64::from(h[l]);
+        }
+        out
+    }
 }
 
 /// SipHash-2-4 with key `(seed, seed ⊕ ODD_CONST)` over the 16 bytes of
@@ -204,6 +413,30 @@ impl SipHash24 {
     }
 }
 
+impl SipHash24 {
+    /// Four-lane [`Self::sipround`] on `v[word][lane]`.
+    #[inline(always)]
+    #[allow(clippy::needless_range_loop)] // lane-indexed across words
+    fn sipround4(v: &mut [[u64; 4]; 4]) {
+        for l in 0..4 {
+            v[0][l] = v[0][l].wrapping_add(v[1][l]);
+            v[1][l] = v[1][l].rotate_left(13);
+            v[1][l] ^= v[0][l];
+            v[0][l] = v[0][l].rotate_left(32);
+            v[2][l] = v[2][l].wrapping_add(v[3][l]);
+            v[3][l] = v[3][l].rotate_left(16);
+            v[3][l] ^= v[2][l];
+            v[0][l] = v[0][l].wrapping_add(v[3][l]);
+            v[3][l] = v[3][l].rotate_left(21);
+            v[3][l] ^= v[0][l];
+            v[2][l] = v[2][l].wrapping_add(v[1][l]);
+            v[1][l] = v[1][l].rotate_left(17);
+            v[1][l] ^= v[2][l];
+            v[2][l] = v[2][l].rotate_left(32);
+        }
+    }
+}
+
 impl SpineHash for SipHash24 {
     fn hash(&self, state: u64, segment: u64) -> u64 {
         let mut v = [
@@ -236,6 +469,45 @@ impl SpineHash for SipHash24 {
     fn name(&self) -> &'static str {
         "siphash-2-4"
     }
+
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // lane-indexed across words
+    fn hash4(&self, states: [u64; 4], segments: [u64; 4]) -> [u64; 4] {
+        let mut v = [
+            [self.k0 ^ 0x736f_6d65_7073_6575; 4],
+            [self.k1 ^ 0x646f_7261_6e64_6f6d; 4],
+            [self.k0 ^ 0x6c79_6765_6e65_7261; 4],
+            [self.k1 ^ 0x7465_6462_7974_6573; 4],
+        ];
+        for m in [states, segments] {
+            for l in 0..4 {
+                v[3][l] ^= m[l];
+            }
+            Self::sipround4(&mut v);
+            Self::sipround4(&mut v);
+            for l in 0..4 {
+                v[0][l] ^= m[l];
+            }
+        }
+        let b = 16u64 << 56;
+        for l in 0..4 {
+            v[3][l] ^= b;
+        }
+        Self::sipround4(&mut v);
+        Self::sipround4(&mut v);
+        for l in 0..4 {
+            v[0][l] ^= b;
+            v[2][l] ^= 0xff;
+        }
+        for _ in 0..4 {
+            Self::sipround4(&mut v);
+        }
+        let mut out = [0u64; 4];
+        for l in 0..4 {
+            out[l] = v[0][l] ^ v[1][l] ^ v[2][l] ^ v[3][l];
+        }
+        out
+    }
 }
 
 /// The splitmix64 finalizer applied to `state ⊕ mix(segment ⊕ seed)` —
@@ -263,6 +535,22 @@ impl SplitMix {
     }
 }
 
+impl SplitMix {
+    /// Four-lane [`Self::mix64`].
+    #[inline(always)]
+    #[allow(clippy::needless_range_loop)] // interleaved-lane kernel
+    fn mix64x4(mut z: [u64; 4]) -> [u64; 4] {
+        for l in 0..4 {
+            z[l] ^= z[l] >> 30;
+            z[l] = z[l].wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z[l] ^= z[l] >> 27;
+            z[l] = z[l].wrapping_mul(0x94d0_49bb_1331_11eb);
+            z[l] ^= z[l] >> 31;
+        }
+        z
+    }
+}
+
 impl SpineHash for SplitMix {
     fn hash(&self, state: u64, segment: u64) -> u64 {
         let seg = Self::mix64(
@@ -275,6 +563,23 @@ impl SpineHash for SplitMix {
 
     fn name(&self) -> &'static str {
         "splitmix"
+    }
+
+    #[inline]
+    fn hash4(&self, states: [u64; 4], segments: [u64; 4]) -> [u64; 4] {
+        let mul = self.seed | 1;
+        let mut z = [0u64; 4];
+        for l in 0..4 {
+            z[l] = segments[l]
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_mul(mul);
+        }
+        let seg = Self::mix64x4(z);
+        let mut x = [0u64; 4];
+        for l in 0..4 {
+            x[l] = states[l] ^ seg[l];
+        }
+        Self::mix64x4(x)
     }
 }
 
@@ -317,23 +622,43 @@ impl AnyHash {
     }
 }
 
+/// Forwards every `SpineHash` method to the selected family, so batched
+/// calls resolve the variant once per slice instead of once per element.
+macro_rules! any_hash_dispatch {
+    ($self:ident, $h:ident => $call:expr) => {
+        match $self {
+            AnyHash::Lookup3($h) => $call,
+            AnyHash::OneAtATime($h) => $call,
+            AnyHash::SipHash24($h) => $call,
+            AnyHash::SplitMix($h) => $call,
+        }
+    };
+}
+
 impl SpineHash for AnyHash {
     fn hash(&self, state: u64, segment: u64) -> u64 {
-        match self {
-            AnyHash::Lookup3(h) => h.hash(state, segment),
-            AnyHash::OneAtATime(h) => h.hash(state, segment),
-            AnyHash::SipHash24(h) => h.hash(state, segment),
-            AnyHash::SplitMix(h) => h.hash(state, segment),
-        }
+        any_hash_dispatch!(self, h => h.hash(state, segment))
     }
 
     fn name(&self) -> &'static str {
-        match self {
-            AnyHash::Lookup3(h) => h.name(),
-            AnyHash::OneAtATime(h) => h.name(),
-            AnyHash::SipHash24(h) => h.name(),
-            AnyHash::SplitMix(h) => h.name(),
-        }
+        any_hash_dispatch!(self, h => h.name())
+    }
+
+    #[inline]
+    fn hash4(&self, states: [u64; 4], segments: [u64; 4]) -> [u64; 4] {
+        any_hash_dispatch!(self, h => h.hash4(states, segments))
+    }
+
+    fn hash_batch(&self, states: &[u64], segments: &[u64], out: &mut [u64]) {
+        any_hash_dispatch!(self, h => h.hash_batch(states, segments, out))
+    }
+
+    fn hash_batch_fixed_state(&self, state: u64, segments: &[u64], out: &mut [u64]) {
+        any_hash_dispatch!(self, h => h.hash_batch_fixed_state(state, segments, out))
+    }
+
+    fn hash_batch_fixed_segment(&self, states: &[u64], segment: u64, out: &mut [u64]) {
+        any_hash_dispatch!(self, h => h.hash_batch_fixed_segment(states, segment, out))
     }
 }
 
@@ -468,6 +793,50 @@ mod tests {
         fn prop_pure_function(state in any::<u64>(), seg in 0u64..65536, seed in any::<u64>()) {
             for h in families(seed) {
                 prop_assert_eq!(h.hash(state, seg), h.hash(state, seg));
+            }
+        }
+
+        /// The batched-hashing contract: every batch entry point is
+        /// bit-identical to the corresponding scalar calls, for every
+        /// family, at every length (covering all remainder paths).
+        #[test]
+        fn prop_hash_batch_matches_scalar(
+            states in proptest::collection::vec(any::<u64>(), 0..23),
+            seed in any::<u64>(),
+            fixed in any::<u64>(),
+        ) {
+            // Deterministic companion segments of the same length.
+            let segments: Vec<u64> =
+                states.iter().map(|&s| s.wrapping_mul(0x9e37_79b9).rotate_left(11)).collect();
+            let n = states.len();
+            let mut out = vec![0u64; n];
+            for h in families(seed) {
+                h.hash_batch(&states, &segments, &mut out);
+                for i in 0..n {
+                    prop_assert_eq!(out[i], h.hash(states[i], segments[i]), "{}", h.name());
+                }
+                h.hash_batch_fixed_state(fixed, &segments, &mut out);
+                for i in 0..n {
+                    prop_assert_eq!(out[i], h.hash(fixed, segments[i]), "{}", h.name());
+                }
+                h.hash_batch_fixed_segment(&states, fixed, &mut out);
+                for i in 0..n {
+                    prop_assert_eq!(out[i], h.hash(states[i], fixed), "{}", h.name());
+                }
+            }
+        }
+
+        /// `hash4` (the override point itself) agrees with scalar.
+        #[test]
+        fn prop_hash4_matches_scalar(s0 in any::<u64>(), g0 in any::<u64>(),
+                                     seed in any::<u64>()) {
+            let ss = [s0, s0.rotate_left(17), !s0, s0 ^ 0xabcd];
+            let gs = [g0, !g0, g0.rotate_right(9), g0.wrapping_add(1)];
+            for h in families(seed) {
+                let got = h.hash4(ss, gs);
+                for l in 0..4 {
+                    prop_assert_eq!(got[l], h.hash(ss[l], gs[l]), "{}", h.name());
+                }
             }
         }
     }

@@ -81,7 +81,7 @@ pub mod symbol;
 pub use bits::BitVec;
 pub use code::SpinalCode;
 pub use decode::{
-    reference_decode, AwgnCost, BeamConfig, BeamDecoder, BscCost, Candidate, CostModel,
+    reference_decode, AwgnCost, BeamConfig, BeamDecoder, BecCost, BscCost, Candidate, CostModel,
     DecodeResult, DecodeStats, DecoderScratch, MlConfig, MlDecoder, MlScratch, Observations,
 };
 pub use encode::Encoder;

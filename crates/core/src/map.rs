@@ -49,6 +49,16 @@ pub trait Mapper: Clone + Send + Sync + std::fmt::Debug {
     /// clipping ranges.
     fn peak(&self) -> f64;
 
+    /// `true` when this mapper is the identity on one expansion bit —
+    /// `bits_per_symbol() == 1` and `map(b)` is exactly `b & 1`. This is
+    /// the precondition (together with
+    /// [`crate::decode::CostModel::packed_bit`]) for the beam decoder's
+    /// XOR-popcount level costing on bit channels.
+    #[inline]
+    fn bit_identity(&self) -> bool {
+        false
+    }
+
     /// Short stable name for experiment logs.
     fn name(&self) -> &'static str;
 }
@@ -350,6 +360,10 @@ impl Mapper for BinaryMapper {
 
     fn peak(&self) -> f64 {
         1.0
+    }
+
+    fn bit_identity(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -27,11 +27,22 @@ pub trait PunctureSchedule: Clone + Send + Sync + std::fmt::Debug {
     /// granularity is one sub-pass).
     fn subpasses_per_pass(&self) -> u32;
 
-    /// The slots transmitted in global sub-pass `g` (0-based) for a spine
-    /// of length `n_spine`, in transmission order. May be empty when the
-    /// stride exceeds `n_spine` and the sub-pass's residue class is
-    /// unpopulated.
-    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot>;
+    /// Writes the slots transmitted in global sub-pass `g` (0-based) for
+    /// a spine of length `n_spine`, in transmission order, into `out`
+    /// (cleared first) — the one required enumeration method, so the
+    /// allocation-free streaming path and the convenience form below can
+    /// never disagree. May leave `out` empty when the stride exceeds
+    /// `n_spine` and the sub-pass's residue class is unpopulated.
+    fn subpass_slots_into(&self, n_spine: u32, g: u32, out: &mut Vec<Slot>);
+
+    /// Convenience form of
+    /// [`subpass_slots_into`](Self::subpass_slots_into) returning a
+    /// fresh vector.
+    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot> {
+        let mut out = Vec::new();
+        self.subpass_slots_into(n_spine, g, &mut out);
+        out
+    }
 
     /// Short stable name for experiment logs.
     fn name(&self) -> &'static str;
@@ -59,8 +70,9 @@ impl PunctureSchedule for NoPuncture {
         1
     }
 
-    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot> {
-        (0..n_spine).map(|t| Slot::new(t, g)).collect()
+    fn subpass_slots_into(&self, n_spine: u32, g: u32, out: &mut Vec<Slot>) {
+        out.clear();
+        out.extend((0..n_spine).map(|t| Slot::new(t, g)));
     }
 
     fn name(&self) -> &'static str {
@@ -121,13 +133,15 @@ impl PunctureSchedule for StridedPuncture {
         self.stride
     }
 
-    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot> {
+    fn subpass_slots_into(&self, n_spine: u32, g: u32, out: &mut Vec<Slot>) {
         let pass = g / self.stride;
         let residue = self.order[(g % self.stride) as usize];
-        (residue..n_spine)
-            .step_by(self.stride as usize)
-            .map(|t| Slot::new(t, pass))
-            .collect()
+        out.clear();
+        out.extend(
+            (residue..n_spine)
+                .step_by(self.stride as usize)
+                .map(|t| Slot::new(t, pass)),
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -165,10 +179,10 @@ impl PunctureSchedule for AnySchedule {
         }
     }
 
-    fn subpass_slots(&self, n_spine: u32, g: u32) -> Vec<Slot> {
+    fn subpass_slots_into(&self, n_spine: u32, g: u32, out: &mut Vec<Slot>) {
         match self {
-            AnySchedule::None(s) => s.subpass_slots(n_spine, g),
-            AnySchedule::Strided(s) => s.subpass_slots(n_spine, g),
+            AnySchedule::None(s) => s.subpass_slots_into(n_spine, g, out),
+            AnySchedule::Strided(s) => s.subpass_slots_into(n_spine, g, out),
         }
     }
 

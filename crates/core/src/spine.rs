@@ -78,19 +78,33 @@ pub fn compute_spine<H: SpineHash>(
     hash: &H,
     message: &BitVec,
 ) -> Result<Vec<u64>, SpineError> {
+    let mut spine = Vec::with_capacity(params.n_segments() as usize);
+    compute_spine_into(params, hash, message, &mut spine)?;
+    Ok(spine)
+}
+
+/// Computes the spine into a caller-provided buffer (cleared first), so
+/// encoding loops that rebind one [`crate::encode::Encoder`] to many
+/// messages allocate nothing after warm-up.
+pub fn compute_spine_into<H: SpineHash>(
+    params: &CodeParams,
+    hash: &H,
+    message: &BitVec,
+    spine: &mut Vec<u64>,
+) -> Result<(), SpineError> {
     if message.len() != params.message_bits() as usize {
         return Err(SpineError::MessageLength {
             expected: params.message_bits(),
             got: message.len(),
         });
     }
-    let mut spine = Vec::with_capacity(params.n_segments() as usize);
+    spine.clear();
     let mut s = INITIAL_SPINE;
     for t in 0..params.n_segments() {
         s = spine_step(hash, s, segment_value(params, message, t));
         spine.push(s);
     }
-    Ok(spine)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -30,4 +30,4 @@ pub mod protocol;
 pub mod sim;
 
 pub use protocol::{LinkConfig, LinkReport};
-pub use sim::simulate_link;
+pub use sim::{simulate_link, simulate_link_ensemble};

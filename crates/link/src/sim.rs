@@ -21,6 +21,7 @@ use spinal_core::params::CodeParams;
 use spinal_core::puncture::PunctureSchedule;
 use spinal_core::symbol::{IqSymbol, Slot};
 use spinal_core::{AwgnCost, BitVec, Encoder};
+use spinal_sim::engine::{Accumulate, Scenario, SimEngine, Trial};
 use spinal_sim::stats::{derive_seed, RunningStats};
 
 /// One frame in flight.
@@ -29,8 +30,11 @@ struct ActiveFrame {
     encoder: Encoder<AnyHash, AnyIqMapper>,
     decoder: BeamDecoder<AnyHash, AnyIqMapper, AwgnCost>,
     obs: Observations<IqSymbol>,
-    /// Pending symbols of the current sub-pass, reversed for pop().
+    /// Pending symbols of the current sub-pass (batched
+    /// [`Encoder::subpass_into`] refills; `queue_pos` walks it).
     queue: Vec<(Slot, IqSymbol)>,
+    queue_pos: usize,
+    slot_buf: Vec<Slot>,
     next_subpass: u32,
     sent: u64,
     next_attempt: u64,
@@ -62,6 +66,8 @@ impl ActiveFrame {
             decoder,
             obs,
             queue: Vec::new(),
+            queue_pos: 0,
+            slot_buf: Vec::new(),
             next_subpass: 0,
             sent: 0,
             next_attempt: 1,
@@ -73,13 +79,19 @@ impl ActiveFrame {
 
     /// The next symbol this frame's sender would transmit.
     fn next_symbol(&mut self, schedule: &impl PunctureSchedule) -> (Slot, IqSymbol) {
-        while self.queue.is_empty() {
-            let mut sub = self.encoder.subpass(schedule, self.next_subpass);
+        while self.queue_pos >= self.queue.len() {
+            self.encoder.subpass_into(
+                schedule,
+                self.next_subpass,
+                &mut self.slot_buf,
+                &mut self.queue,
+            );
+            self.queue_pos = 0;
             self.next_subpass += 1;
-            sub.reverse();
-            self.queue = sub;
         }
-        self.queue.pop().expect("refilled above")
+        let sym = self.queue[self.queue_pos];
+        self.queue_pos += 1;
+        sym
     }
 }
 
@@ -179,6 +191,64 @@ pub fn simulate_link(cfg: &LinkConfig, n_frames: u32, seed: u64) -> LinkReport {
     report
 }
 
+impl Accumulate for LinkReport {
+    fn merge(&mut self, o: Self) {
+        self.frames_requested += o.frames_requested;
+        self.frames_delivered += o.frames_delivered;
+        self.frames_aborted += o.frames_aborted;
+        self.symbols_sent += o.symbols_sent;
+        self.decode_latency.merge(&o.decode_latency);
+        self.symbols_to_decode.merge(&o.symbols_to_decode);
+    }
+}
+
+/// One independent link run (a "replication") per engine trial.
+struct LinkScenario<'a> {
+    cfg: &'a LinkConfig,
+    n_frames: u32,
+}
+
+impl Scenario for LinkScenario<'_> {
+    type Worker = ();
+    type Acc = LinkReport;
+
+    fn make_worker(&self) {}
+
+    fn empty_acc(&self) -> LinkReport {
+        LinkReport {
+            frames_requested: 0,
+            frames_delivered: 0,
+            frames_aborted: 0,
+            symbols_sent: 0,
+            decode_latency: RunningStats::new(),
+            symbols_to_decode: RunningStats::new(),
+        }
+    }
+
+    fn run_trial(&self, trial: Trial, _w: &mut (), acc: &mut LinkReport) {
+        acc.merge(simulate_link(self.cfg, self.n_frames, trial.seed));
+    }
+}
+
+/// Runs `replications` independent copies of the link simulation on
+/// `engine` (one replication per trial, counter-based seeds) and merges
+/// their reports — the cheap way to tighten the latency/throughput
+/// confidence intervals of a protocol operating point. Statistics are
+/// bit-identical for any worker count.
+pub fn simulate_link_ensemble(
+    cfg: &LinkConfig,
+    n_frames: u32,
+    replications: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> LinkReport {
+    engine.run(
+        &LinkScenario { cfg, n_frames },
+        u64::from(replications),
+        seed,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +330,21 @@ mod tests {
         let report = simulate_link(&LinkConfig::demo(10.0, 4, 2), 0, 0);
         assert_eq!(report.symbols_sent, 0);
         assert_eq!(report.frames_delivered, 0);
+    }
+
+    #[test]
+    fn ensemble_is_bit_identical_across_worker_counts() {
+        let cfg = LinkConfig::demo(15.0, 4, 2);
+        let serial = simulate_link_ensemble(&cfg, 4, 6, 21, &SimEngine::serial().chunk_trials(2));
+        let sharded =
+            simulate_link_ensemble(&cfg, 4, 6, 21, &SimEngine::with_workers(3).chunk_trials(2));
+        assert_eq!(serial.frames_delivered, sharded.frames_delivered);
+        assert_eq!(serial.symbols_sent, sharded.symbols_sent);
+        assert_eq!(
+            serial.decode_latency.mean().to_bits(),
+            sharded.decode_latency.mean().to_bits()
+        );
+        assert_eq!(serial.frames_requested, 24);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! The `baseline_arq` binary prints this curve next to Shannon capacity
 //! and the spinal code's measured rate.
 
+use crate::engine::{Accumulate, Scenario, SimEngine, Trial};
 use crate::stats::{derive_seed, RunningStats};
 use spinal_channel::{AwgnChannel, Channel, Rng};
 use spinal_core::bits::BitVec;
@@ -89,27 +90,53 @@ impl ArqOutcome {
     }
 }
 
-/// Runs `trials` frames of stop-and-wait ARQ over AWGN at `snr_db`.
-pub fn run_arq_awgn(cfg: &ArqConfig, snr_db: f64, trials: u32, seed: u64) -> ArqOutcome {
-    let cst = Constellation::new(cfg.modulation);
-    let mut outcome = ArqOutcome {
-        trials: 0,
-        delivered: 0,
-        undetected: 0,
-        attempts: RunningStats::new(),
-        total_symbols: 0,
-        payload_bits: cfg.payload_bits,
-    };
-    for trial in 0..trials {
-        let mut rng = Rng::seed_from(derive_seed(seed, 50, u64::from(trial)));
-        let mut channel = AwgnChannel::from_snr_db(snr_db, derive_seed(seed, 51, u64::from(trial)));
+impl Accumulate for ArqOutcome {
+    fn merge(&mut self, o: Self) {
+        self.trials += o.trials;
+        self.delivered += o.delivered;
+        self.undetected += o.undetected;
+        self.attempts.merge(&o.attempts);
+        self.total_symbols += o.total_symbols;
+        self.payload_bits = o.payload_bits;
+    }
+}
+
+struct ArqScenario<'a> {
+    cfg: &'a ArqConfig,
+    cst: Constellation,
+    snr_db: f64,
+    master_seed: u64,
+}
+
+impl Scenario for ArqScenario<'_> {
+    type Worker = ();
+    type Acc = ArqOutcome;
+
+    fn make_worker(&self) {}
+
+    fn empty_acc(&self) -> ArqOutcome {
+        ArqOutcome {
+            trials: 0,
+            delivered: 0,
+            undetected: 0,
+            attempts: RunningStats::new(),
+            total_symbols: 0,
+            payload_bits: self.cfg.payload_bits,
+        }
+    }
+
+    fn run_trial(&self, trial: Trial, _w: &mut (), outcome: &mut ArqOutcome) {
+        let cfg = self.cfg;
+        let cst = &self.cst;
+        let mut rng = Rng::seed_from(derive_seed(self.master_seed, 50, trial.index));
+        let mut channel =
+            AwgnChannel::from_snr_db(self.snr_db, derive_seed(self.master_seed, 51, trial.index));
         let payload: BitVec = (0..cfg.payload_bits).map(|_| rng.bit()).collect();
         let framed = frame_encode(&payload, Checksum::Crc32);
         let tx_bits: Vec<u8> = framed.iter().map(u8::from).collect();
         let tx = cst.modulate_bits(&tx_bits);
 
         outcome.trials += 1;
-        let mut delivered = false;
         for attempt in 1..=cfg.max_transmissions {
             outcome.total_symbols += tx.len() as u64;
             // Hard-decision demodulation of the uncoded frame.
@@ -132,13 +159,33 @@ pub fn run_arq_awgn(cfg: &ArqConfig, snr_db: f64, trials: u32, seed: u64) -> Arq
                     outcome.undetected += 1;
                 }
                 outcome.attempts.push(f64::from(attempt));
-                delivered = true;
                 break;
             }
         }
-        let _ = delivered;
     }
-    outcome
+}
+
+/// Runs `trials` frames of stop-and-wait ARQ over AWGN at `snr_db`
+/// (serial engine; see [`run_arq_awgn_with`]).
+pub fn run_arq_awgn(cfg: &ArqConfig, snr_db: f64, trials: u32, seed: u64) -> ArqOutcome {
+    run_arq_awgn_with(cfg, snr_db, trials, seed, &SimEngine::serial())
+}
+
+/// [`run_arq_awgn`] on an explicit [`SimEngine`].
+pub fn run_arq_awgn_with(
+    cfg: &ArqConfig,
+    snr_db: f64,
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> ArqOutcome {
+    let scenario = ArqScenario {
+        cfg,
+        cst: Constellation::new(cfg.modulation),
+        snr_db,
+        master_seed: seed,
+    };
+    engine.run(&scenario, u64::from(trials), seed)
 }
 
 #[cfg(test)]

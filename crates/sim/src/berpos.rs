@@ -10,17 +10,19 @@
 //!
 //! This harness runs marginal-L decodes and histograms errors per
 //! message-bit position, with and without tail segments; the `tail_bits`
-//! binary prints both profiles.
+//! binary prints both profiles. Trials run on the sharded
+//! [`SimEngine`] with integer histograms — bit-identical for any worker
+//! count and chunk size.
 
+use crate::engine::{Accumulate, AwgnModel, Scenario, SimEngine, Trial};
 use crate::rateless::RatelessConfig;
 use crate::stats::derive_seed;
-use crate::theorem::decode_after_passes;
-use spinal_channel::{AdcQuantizer, AwgnChannel, Rng};
-use spinal_core::decode::DecoderScratch;
-use spinal_core::hash::AnyHash;
-use spinal_core::map::Mapper;
+use crate::theorem::{fixed_pass_trial, FixedPassWorker};
+use spinal_core::decode::BeamConfig;
+use spinal_core::hash::HashFamily;
+use spinal_core::map::{AnyIqMapper, Mapper};
 use spinal_core::params::CodeParams;
-use spinal_core::{AwgnCost, BitVec};
+use spinal_core::AwgnCost;
 
 /// Per-position bit error rates from a fixed-pass experiment.
 #[derive(Clone, Debug)]
@@ -49,8 +51,87 @@ impl BerByPosition {
     }
 }
 
+/// Integer per-position error histogram.
+#[derive(Clone, Debug, Default)]
+struct PositionAcc {
+    trials: u64,
+    frame_errors: u64,
+    errors: Vec<u64>,
+}
+
+impl Accumulate for PositionAcc {
+    fn merge(&mut self, o: Self) {
+        self.trials += o.trials;
+        self.frame_errors += o.frame_errors;
+        if self.errors.is_empty() {
+            self.errors = o.errors;
+        } else {
+            for (a, b) in self.errors.iter_mut().zip(o.errors) {
+                *a += b;
+            }
+        }
+    }
+}
+
+struct BerPositionScenario {
+    params: CodeParams,
+    hash: HashFamily,
+    mapper: AnyIqMapper,
+    beam: BeamConfig,
+    channel: AwgnModel,
+    passes: u32,
+    master_seed: u64,
+}
+
+impl Scenario for BerPositionScenario {
+    type Worker = FixedPassWorker<AnyIqMapper>;
+    type Acc = PositionAcc;
+
+    fn make_worker(&self) -> Self::Worker {
+        FixedPassWorker::new(self.params.n_segments())
+    }
+
+    fn empty_acc(&self) -> PositionAcc {
+        PositionAcc {
+            trials: 0,
+            frame_errors: 0,
+            errors: vec![0; self.params.message_bits() as usize],
+        }
+    }
+
+    fn run_trial(&self, trial: Trial, w: &mut Self::Worker, acc: &mut PositionAcc) {
+        let seeds = (
+            derive_seed(self.master_seed, 40, trial.index),
+            derive_seed(self.master_seed, 41, trial.index),
+            derive_seed(self.master_seed, 42, trial.index),
+        );
+        fixed_pass_trial(
+            &self.params,
+            self.hash,
+            &self.mapper,
+            &AwgnCost,
+            self.beam,
+            &self.channel,
+            self.passes,
+            seeds,
+            w,
+        );
+        let (decoded, truth) = w.decoded_and_truth();
+        let mut any = false;
+        for (i, slot) in acc.errors.iter_mut().enumerate() {
+            if decoded.get(i) != truth.get(i) {
+                *slot += 1;
+                any = true;
+            }
+        }
+        acc.trials += 1;
+        acc.frame_errors += u64::from(any);
+    }
+}
+
 /// Runs `trials` fixed-`passes` AWGN decodes of `cfg`'s code at `snr_db`
-/// and histograms bit errors by position.
+/// and histograms bit errors by position. Serial engine; see
+/// [`ber_by_position_awgn_with`].
 pub fn ber_by_position_awgn(
     cfg: &RatelessConfig,
     snr_db: f64,
@@ -58,63 +139,51 @@ pub fn ber_by_position_awgn(
     trials: u32,
     seed: u64,
 ) -> BerByPosition {
+    ber_by_position_awgn_with(cfg, snr_db, passes, trials, seed, &SimEngine::serial())
+}
+
+/// [`ber_by_position_awgn`] on an explicit [`SimEngine`].
+pub fn ber_by_position_awgn_with(
+    cfg: &RatelessConfig,
+    snr_db: f64,
+    passes: u32,
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> BerByPosition {
     assert!(passes >= 1, "need at least one pass");
-    let n = cfg.message_bits as usize;
-    let mut errors = vec![0u32; n];
-    let mut frame_errors = 0u32;
-    let mut scratch = DecoderScratch::new();
-    for trial in 0..trials {
-        let code_seed = derive_seed(seed, 40, u64::from(trial));
-        let noise_seed = derive_seed(seed, 41, u64::from(trial));
-        let msg_seed = derive_seed(seed, 42, u64::from(trial));
-        let params = CodeParams::builder()
+    let scenario = BerPositionScenario {
+        params: CodeParams::builder()
             .message_bits(cfg.message_bits)
             .k(cfg.k)
             .tail_segments(cfg.tail_segments)
-            .seed(code_seed)
+            .seed(derive_seed(seed, 40, 0))
             .build()
-            .expect("invalid config");
-        let hash = AnyHash::new(cfg.hash, code_seed);
-        let mut rng = Rng::seed_from(msg_seed);
-        let message: BitVec = (0..cfg.message_bits).map(|_| rng.bit()).collect();
-        let mut channel = AwgnChannel::from_snr_db(snr_db, noise_seed);
-        let adc = cfg.adc_bits.map(|b| {
-            AdcQuantizer::new(b, cfg.mapper.peak() + 4.0 * (channel.sigma2() / 2.0).sqrt())
-        });
-        let decoded = decode_after_passes(
-            &params,
-            hash,
-            &cfg.mapper,
-            AwgnCost,
-            cfg.beam,
-            passes,
-            &message,
-            &mut channel,
-            |y| match &adc {
-                Some(q) => q.quantize_symbol(y),
-                None => y,
-            },
-            &mut scratch,
-        );
-        let mut any = false;
-        for (i, slot) in errors.iter_mut().enumerate() {
-            if decoded.get(i) != message.get(i) {
-                *slot += 1;
-                any = true;
-            }
-        }
-        frame_errors += u32::from(any);
-    }
-    let per_bit: Vec<f64> = errors
+            .expect("invalid config"),
+        hash: cfg.hash,
+        mapper: cfg.mapper.clone(),
+        beam: cfg.beam,
+        channel: AwgnModel {
+            snr_db,
+            adc_bits: cfg.adc_bits,
+            peak: cfg.mapper.peak(),
+        },
+        passes,
+        master_seed: seed,
+    };
+    let acc = engine.run(&scenario, u64::from(trials), seed);
+    let n = cfg.message_bits as usize;
+    let per_bit: Vec<f64> = acc
+        .errors
         .iter()
-        .map(|&e| f64::from(e) / f64::from(trials))
+        .map(|&e| e as f64 / acc.trials as f64)
         .collect();
     let overall = per_bit.iter().sum::<f64>() / n as f64;
     BerByPosition {
         per_bit,
         overall,
         trials,
-        frame_error_rate: f64::from(frame_errors) / f64::from(trials),
+        frame_error_rate: acc.frame_errors as f64 / acc.trials as f64,
     }
 }
 
@@ -122,9 +191,6 @@ pub fn ber_by_position_awgn(
 mod tests {
     use super::*;
     use crate::rateless::Termination;
-    use spinal_core::decode::BeamConfig;
-    use spinal_core::hash::HashFamily;
-    use spinal_core::map::AnyIqMapper;
     use spinal_core::puncture::AnySchedule;
 
     fn cfg(tail: u32) -> RatelessConfig {
@@ -185,5 +251,20 @@ mod tests {
         assert_eq!(b.overall, 0.0);
         assert_eq!(b.frame_error_rate, 0.0);
         assert!(b.per_bit.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn sharded_histogram_matches_serial() {
+        let serial = ber_by_position_awgn(&cfg(0), 6.0, 2, 40, 5);
+        let sharded = ber_by_position_awgn_with(
+            &cfg(0),
+            6.0,
+            2,
+            40,
+            5,
+            &SimEngine::with_workers(4).chunk_trials(7),
+        );
+        assert_eq!(serial.per_bit, sharded.per_bit);
+        assert_eq!(serial.frame_error_rate, sharded.frame_error_rate);
     }
 }

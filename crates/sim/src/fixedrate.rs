@@ -9,6 +9,7 @@
 //! collapses to zero, above it the curve sits flat at the nominal rate —
 //! the step shapes of Figure 2.
 
+use crate::engine::{Accumulate, Scenario, SimEngine, Trial};
 use crate::stats::derive_seed;
 use spinal_channel::{AwgnChannel, Channel, Rng};
 use spinal_ldpc::{BpMethod, LdpcCode, LdpcRate};
@@ -103,37 +104,91 @@ impl LdpcOutcome {
     }
 }
 
-/// Runs `trials` frames of `cfg` over AWGN at `snr_db`.
-pub fn run_ldpc_awgn(cfg: &LdpcConfig, snr_db: f64, trials: u32, seed: u64) -> LdpcOutcome {
-    let code = LdpcCode::new(cfg.rate, cfg.code_seed);
-    let cst = Constellation::new(cfg.modulation);
-    let mut outcome = LdpcOutcome {
-        trials: 0,
-        frame_successes: 0,
-        undetected: 0,
-        nominal_rate: cfg.nominal_rate(),
-    };
-    for trial in 0..trials {
-        let msg_seed = derive_seed(seed, 20, u64::from(trial));
-        let noise_seed = derive_seed(seed, 21, u64::from(trial));
+impl Accumulate for LdpcOutcome {
+    fn merge(&mut self, o: Self) {
+        self.trials += o.trials;
+        self.frame_successes += o.frame_successes;
+        self.undetected += o.undetected;
+        self.nominal_rate = o.nominal_rate;
+    }
+}
+
+/// One LDPC goodput grid point as an engine scenario: the QC code and
+/// constellation are built once and shared; each worker reuses its
+/// received-symbol buffer across frames.
+struct LdpcScenario<'a> {
+    cfg: &'a LdpcConfig,
+    code: LdpcCode,
+    cst: Constellation,
+    snr_db: f64,
+    master_seed: u64,
+}
+
+impl Scenario for LdpcScenario<'_> {
+    type Worker = Vec<spinal_core::IqSymbol>;
+    type Acc = LdpcOutcome;
+
+    fn make_worker(&self) -> Self::Worker {
+        Vec::new()
+    }
+
+    fn empty_acc(&self) -> LdpcOutcome {
+        LdpcOutcome {
+            trials: 0,
+            frame_successes: 0,
+            undetected: 0,
+            nominal_rate: self.cfg.nominal_rate(),
+        }
+    }
+
+    fn run_trial(&self, trial: Trial, rx: &mut Self::Worker, acc: &mut LdpcOutcome) {
+        let msg_seed = derive_seed(self.master_seed, 20, trial.index);
+        let noise_seed = derive_seed(self.master_seed, 21, trial.index);
         let mut rng = Rng::seed_from(msg_seed);
-        let info: Vec<u8> = (0..code.k()).map(|_| u8::from(rng.bit())).collect();
-        let cw = code.encode(&info);
-        let tx = cst.modulate_bits(&cw);
-        let mut channel = AwgnChannel::from_snr_db(snr_db, noise_seed);
-        let rx: Vec<_> = tx.into_iter().map(|x| channel.transmit(x)).collect();
-        let llrs = demap_sequence(&cst, &rx, channel.sigma2(), cfg.demap);
-        let out = code.decode(&llrs[..code.n()], cfg.max_iters, cfg.method);
-        outcome.trials += 1;
+        let info: Vec<u8> = (0..self.code.k()).map(|_| u8::from(rng.bit())).collect();
+        let cw = self.code.encode(&info);
+        let tx = self.cst.modulate_bits(&cw);
+        let mut channel = AwgnChannel::from_snr_db(self.snr_db, noise_seed);
+        rx.clear();
+        rx.extend(tx.into_iter().map(|x| channel.transmit(x)));
+        let llrs = demap_sequence(&self.cst, rx, channel.sigma2(), self.cfg.demap);
+        let out = self
+            .code
+            .decode(&llrs[..self.code.n()], self.cfg.max_iters, self.cfg.method);
+        acc.trials += 1;
         if out.converged {
             if out.bits == cw {
-                outcome.frame_successes += 1;
+                acc.frame_successes += 1;
             } else {
-                outcome.undetected += 1;
+                acc.undetected += 1;
             }
         }
     }
-    outcome
+}
+
+/// Runs `trials` frames of `cfg` over AWGN at `snr_db` (serial engine —
+/// the historical entry point; see [`run_ldpc_awgn_with`]).
+pub fn run_ldpc_awgn(cfg: &LdpcConfig, snr_db: f64, trials: u32, seed: u64) -> LdpcOutcome {
+    run_ldpc_awgn_with(cfg, snr_db, trials, seed, &SimEngine::serial())
+}
+
+/// [`run_ldpc_awgn`] on an explicit [`SimEngine`] (integer statistics:
+/// bit-identical for any worker count and chunk size).
+pub fn run_ldpc_awgn_with(
+    cfg: &LdpcConfig,
+    snr_db: f64,
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> LdpcOutcome {
+    let scenario = LdpcScenario {
+        cfg,
+        code: LdpcCode::new(cfg.rate, cfg.code_seed),
+        cst: Constellation::new(cfg.modulation),
+        snr_db,
+        master_seed: seed,
+    };
+    engine.run(&scenario, u64::from(trials), seed)
 }
 
 #[cfg(test)]
@@ -186,5 +241,21 @@ mod tests {
         let a = run_ldpc_awgn(&cfg, 9.0, 6, 11);
         let b = run_ldpc_awgn(&cfg, 9.0, 6, 11);
         assert_eq!(a.frame_successes, b.frame_successes);
+    }
+
+    #[test]
+    fn sharded_matches_serial() {
+        let cfg = LdpcConfig::paper(LdpcRate::R12, Modulation::Qpsk);
+        let serial = run_ldpc_awgn(&cfg, 3.0, 9, 13);
+        let sharded = run_ldpc_awgn_with(
+            &cfg,
+            3.0,
+            9,
+            13,
+            &SimEngine::with_workers(3).chunk_trials(2),
+        );
+        assert_eq!(serial.trials, sharded.trials);
+        assert_eq!(serial.frame_successes, sharded.frame_successes);
+        assert_eq!(serial.undetected, sharded.undetected);
     }
 }

@@ -30,6 +30,7 @@
 
 pub mod arq;
 pub mod berpos;
+pub mod engine;
 pub mod fixedrate;
 pub mod rateless;
 pub mod runner;
@@ -38,10 +39,15 @@ pub mod theorem;
 
 pub use arq::{run_arq_awgn, ArqConfig, ArqOutcome};
 pub use berpos::{ber_by_position_awgn, BerByPosition};
+pub use engine::{
+    Accumulate, AwgnModel, BecModel, BscModel, ChannelModel, FadingModel, Scenario, SimEngine,
+    Trial,
+};
 pub use fixedrate::{run_ldpc_awgn, LdpcConfig, LdpcOutcome};
 pub use rateless::{
-    run_awgn, run_bsc, BscRatelessConfig, RatelessConfig, RatelessOutcome, Termination,
+    run_awgn, run_awgn_until, run_awgn_with, run_bec_with, run_bsc, run_bsc_until, run_bsc_with,
+    run_fading_with, BscRatelessConfig, RatelessConfig, RatelessOutcome, StopRule, Termination,
 };
 pub use runner::{default_threads, parallel_map, snr_grid};
-pub use stats::{derive_seed, RunningStats};
+pub use stats::{derive_seed, wilson_halfwidth, wilson_interval, RunningStats};
 pub use theorem::{thm1_curve, thm2_curve, TheoremPoint};

@@ -17,17 +17,32 @@
 //! ([`RatelessConfig::attempt_growth`]) to keep very-low-SNR runs
 //! affordable; growth 1.0 attempts after every non-empty sub-pass, the
 //! paper's idealised receiver.
+//!
+//! All trial loops run on the sharded [`crate::engine::SimEngine`]: each
+//! worker owns a long-lived encoder / decoder scratch / observation set
+//! reused across trials (zero steady-state allocation in genie mode),
+//! per-trial randomness is counter-based, and every statistic is
+//! bit-identical for any worker count. The harness is generic over the
+//! channel through [`crate::engine::ChannelModel`], so AWGN (with ADC),
+//! BSC, BEC and Rayleigh fading all share this one implementation —
+//! see [`run_awgn_with`], [`run_bsc_with`], [`run_bec_with`],
+//! [`run_fading_with`], and the early-stopping [`run_awgn_until`].
 
-use crate::stats::{derive_seed, RunningStats};
-use spinal_channel::{AdcQuantizer, AwgnChannel, BscChannel, Channel, Rng};
+use crate::engine::{
+    Accumulate, AwgnModel, BecModel, BscModel, ChannelModel, FadingModel, Scenario, SimEngine,
+    Trial,
+};
+use crate::stats::{derive_seed, wilson_halfwidth, RunningStats};
+use spinal_channel::{Channel, Rng};
 use spinal_core::decode::{BeamConfig, BeamDecoder, CostModel, DecoderScratch, Observations};
-use spinal_core::frame::{frame_encode, Checksum, CrcTerminator, GenieOracle, Terminator};
+use spinal_core::frame::{frame_encode, Checksum, CrcTerminator, Terminator};
 use spinal_core::hash::{AnyHash, HashFamily};
 use spinal_core::map::{AnyIqMapper, BinaryMapper, Mapper};
 use spinal_core::params::CodeParams;
 use spinal_core::puncture::{AnySchedule, PunctureSchedule};
+use spinal_core::symbol::Slot;
 use spinal_core::DecodeResult;
-use spinal_core::{AwgnCost, BitVec, BscCost, Encoder};
+use spinal_core::{AwgnCost, BecCost, BitVec, BscCost, Encoder};
 
 /// How the receiver decides it has decoded successfully.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,16 +105,6 @@ impl RatelessConfig {
             termination: Termination::Genie,
         }
     }
-
-    fn params(&self, code_seed: u64) -> CodeParams {
-        CodeParams::builder()
-            .message_bits(self.message_bits)
-            .k(self.k)
-            .tail_segments(self.tail_segments)
-            .seed(code_seed)
-            .build()
-            .expect("invalid rateless configuration")
-    }
 }
 
 /// Configuration of a BSC rateless experiment (binary mapper; one coded
@@ -140,16 +145,6 @@ impl BscRatelessConfig {
             attempt_growth: 1.0,
             termination: Termination::Genie,
         }
-    }
-
-    fn params(&self, code_seed: u64) -> CodeParams {
-        CodeParams::builder()
-            .message_bits(self.message_bits)
-            .k(self.k)
-            .tail_segments(self.tail_segments)
-            .seed(code_seed)
-            .build()
-            .expect("invalid BSC rateless configuration")
     }
 }
 
@@ -224,223 +219,498 @@ impl RatelessOutcome {
     }
 }
 
-/// One trial's raw result.
-struct TrialResult {
-    finished: bool,
-    correct: bool,
-    symbols: u64,
-    attempts: u32,
+impl Accumulate for RatelessOutcome {
+    fn merge(&mut self, other: Self) {
+        if other.trials == 0 {
+            return;
+        }
+        if self.trials == 0 {
+            *self = other;
+            return;
+        }
+        debug_assert_eq!(self.payload_bits, other.payload_bits);
+        self.trials += other.trials;
+        self.successes += other.successes;
+        self.undetected += other.undetected;
+        self.rate.merge(&other.rate);
+        self.symbols_on_success.merge(&other.symbols_on_success);
+        self.attempts.merge(&other.attempts);
+        self.total_symbols += other.total_symbols;
+    }
 }
 
-/// The shared trial loop: stream sub-passes, attempt decodes, stop on
-/// acceptance. Generic over mapper/cost/channel so AWGN and BSC share one
-/// implementation.
-///
-/// `scratch` and `result` are reused for every decode attempt (and, via
-/// the callers, across trials): after the first attempt warms their
-/// buffers, re-decodes allocate nothing in the search itself.
-#[allow(clippy::too_many_arguments)]
-fn run_one_trial<M, C, Ch>(
-    params: &CodeParams,
-    hash: AnyHash,
-    mapper: &M,
+/// Per-worker reusable state for the rateless scenario: everything a
+/// trial needs, warmed once and recycled — after the first few trials a
+/// genie-mode worker performs **zero heap allocation** per trial
+/// (CRC-mode framing still builds one message per trial).
+pub struct RatelessWorker<M: Mapper> {
+    encoder: Option<Encoder<AnyHash, M>>,
+    obs: Observations<M::Symbol>,
+    scratch: DecoderScratch,
+    result: DecodeResult,
+    slots: Vec<Slot>,
+    sub: Vec<(Slot, M::Symbol)>,
+    message: BitVec,
+    payload: BitVec,
+}
+
+/// The generic rateless experiment: one trial = draw message, stream
+/// sub-passes through the channel, re-decode on the thinned attempt
+/// schedule, stop at acceptance. Instantiated per channel family via
+/// [`ChannelModel`].
+struct RatelessScenario<'a, M: Mapper, C: CostModel<M::Symbol>, CM: ChannelModel<M::Symbol>> {
+    message_bits: u32,
+    k: u32,
+    tail_segments: u32,
+    code_seed_base: u64,
+    hash: HashFamily,
+    mapper: M,
     cost: C,
-    schedule: &AnySchedule,
+    schedule: &'a AnySchedule,
     beam: BeamConfig,
-    termination: Termination,
     max_passes: u32,
     attempt_growth: f64,
-    message: &BitVec,
-    payload: &BitVec,
-    channel: &mut Ch,
-    post: impl Fn(M::Symbol) -> M::Symbol,
-    scratch: &mut DecoderScratch,
-    result: &mut DecodeResult,
-) -> TrialResult
+    termination: Termination,
+    payload_bits: u32,
+    channel: CM,
+    /// `derive_seed` stream labels for (code, noise, message) — kept
+    /// distinct per channel family so ported entry points reproduce the
+    /// pre-engine trial randomness.
+    streams: [u64; 3],
+    master_seed: u64,
+}
+
+/// Fills `out` with `bits` random bits (no allocation once warmed).
+fn random_message_into(rng: &mut Rng, bits: u32, out: &mut BitVec) {
+    out.clear();
+    for _ in 0..bits {
+        out.push(rng.bit());
+    }
+}
+
+impl<M, C, CM> RatelessScenario<'_, M, C, CM>
 where
     M: Mapper,
     C: CostModel<M::Symbol>,
-    Ch: Channel<M::Symbol>,
+    CM: ChannelModel<M::Symbol>,
 {
-    let encoder = Encoder::new(params, hash, mapper.clone(), message)
-        .expect("message length validated by config");
-    let decoder = BeamDecoder::new(params, hash, mapper.clone(), cost, beam);
-    let genie = GenieOracle::new(message.clone());
-    let mut obs = Observations::new(params.n_segments());
-    let mut sent: u64 = 0;
-    let mut next_attempt: u64 = 1;
-    let mut attempts: u32 = 0;
-
-    let total_subpasses = max_passes.saturating_mul(schedule.subpasses_per_pass());
-    for g in 0..total_subpasses {
-        let sub = encoder.subpass(schedule, g);
-        if sub.is_empty() {
-            continue;
-        }
-        for (slot, x) in sub {
-            obs.push(slot, post(channel.transmit(x)));
-            sent += 1;
-        }
-        if sent < next_attempt {
-            continue;
-        }
-        attempts += 1;
-        decoder.decode_into(&obs, scratch, result);
-        let accepted: Option<BitVec> = match termination {
-            Termination::Genie => genie.accept(result),
-            Termination::Crc(ck) => CrcTerminator::new(ck).accept(result),
-        };
-        if let Some(decoded) = accepted {
-            let correct = match termination {
-                Termination::Genie => true, // genie accepts only the truth
-                Termination::Crc(_) => decoded == *payload,
-            };
-            return TrialResult {
-                finished: true,
-                correct,
-                symbols: sent,
-                attempts,
-            };
-        }
-        next_attempt = (sent + 1).max((sent as f64 * attempt_growth).ceil() as u64);
-    }
-    TrialResult {
-        finished: false,
-        correct: false,
-        symbols: sent,
-        attempts,
+    fn params(&self, code_seed: u64) -> CodeParams {
+        CodeParams::builder()
+            .message_bits(self.message_bits)
+            .k(self.k)
+            .tail_segments(self.tail_segments)
+            .seed(code_seed)
+            .build()
+            .expect("invalid rateless configuration")
     }
 }
 
-/// Draws `bits` random message bits.
-fn random_message(rng: &mut Rng, bits: u32) -> BitVec {
-    (0..bits).map(|_| rng.bit()).collect()
+impl<M, C, CM> Scenario for RatelessScenario<'_, M, C, CM>
+where
+    M: Mapper,
+    C: CostModel<M::Symbol>,
+    CM: ChannelModel<M::Symbol>,
+    M::Symbol: Send,
+{
+    type Worker = RatelessWorker<M>;
+    type Acc = RatelessOutcome;
+
+    fn make_worker(&self) -> RatelessWorker<M> {
+        let n_segments = self.params(self.code_seed_base).n_segments();
+        RatelessWorker {
+            encoder: None,
+            obs: Observations::new(n_segments),
+            scratch: DecoderScratch::new(),
+            result: DecodeResult::default(),
+            slots: Vec::new(),
+            sub: Vec::new(),
+            message: BitVec::new(),
+            payload: BitVec::new(),
+        }
+    }
+
+    fn empty_acc(&self) -> RatelessOutcome {
+        RatelessOutcome::new(self.payload_bits)
+    }
+
+    fn run_trial(&self, trial: Trial, w: &mut RatelessWorker<M>, acc: &mut RatelessOutcome) {
+        let code_seed = derive_seed(self.master_seed, self.streams[0], trial.index);
+        let noise_seed = derive_seed(self.master_seed, self.streams[1], trial.index);
+        let msg_seed = derive_seed(self.master_seed, self.streams[2], trial.index);
+        let RatelessWorker {
+            encoder,
+            obs,
+            scratch,
+            result,
+            slots,
+            sub,
+            message,
+            payload,
+        } = w;
+
+        // Draw the trial's message (and, in CRC mode, frame it).
+        let mut rng = Rng::seed_from(msg_seed);
+        match self.termination {
+            Termination::Genie => random_message_into(&mut rng, self.message_bits, message),
+            Termination::Crc(ck) => {
+                let width = ck.width() as u32;
+                assert!(
+                    self.message_bits > width,
+                    "message_bits ({}) must exceed the CRC width ({width})",
+                    self.message_bits
+                );
+                random_message_into(&mut rng, self.message_bits - width, payload);
+                *message = frame_encode(payload, ck);
+            }
+        }
+
+        // Rebind the worker's long-lived encoder; build the (bufferless)
+        // decoder and this trial's channel.
+        let params = self.params(code_seed);
+        let hash = AnyHash::new(self.hash, code_seed);
+        match encoder {
+            Some(enc) => enc
+                .rebind(&params, hash, message)
+                .expect("message length validated by config"),
+            None => {
+                *encoder = Some(
+                    Encoder::new(&params, hash, self.mapper.clone(), message)
+                        .expect("message length validated by config"),
+                )
+            }
+        }
+        let enc = encoder.as_ref().expect("bound above");
+        let decoder = BeamDecoder::new(
+            &params,
+            hash,
+            self.mapper.clone(),
+            self.cost.clone(),
+            self.beam,
+        );
+        let mut channel = self.channel.make(noise_seed);
+
+        // Stream sub-passes, attempting decodes on the thinned schedule.
+        obs.clear();
+        let mut sent: u64 = 0;
+        let mut next_attempt: u64 = 1;
+        let mut attempts: u32 = 0;
+        let mut finished = false;
+        let mut correct = false;
+        let total_subpasses = self
+            .max_passes
+            .saturating_mul(self.schedule.subpasses_per_pass());
+        for g in 0..total_subpasses {
+            enc.subpass_into(self.schedule, g, slots, sub);
+            if sub.is_empty() {
+                continue;
+            }
+            for &(slot, x) in sub.iter() {
+                obs.push(slot, channel.transmit(x));
+                sent += 1;
+            }
+            if sent < next_attempt {
+                continue;
+            }
+            attempts += 1;
+            decoder.decode_into(obs, scratch, result);
+            let accepted = match self.termination {
+                // The genie accepts exactly the truth — no clone needed.
+                Termination::Genie => (result.message == *message).then_some(true),
+                Termination::Crc(ck) => CrcTerminator::new(ck)
+                    .accept(result)
+                    .map(|decoded| decoded == *payload),
+            };
+            if let Some(ok) = accepted {
+                finished = true;
+                correct = ok;
+                break;
+            }
+            next_attempt = (sent + 1).max((sent as f64 * self.attempt_growth).ceil() as u64);
+        }
+
+        acc.trials += 1;
+        acc.attempts.push(f64::from(attempts));
+        acc.total_symbols += sent;
+        if finished && correct {
+            acc.successes += 1;
+            acc.rate.push(f64::from(self.payload_bits) / sent as f64);
+            acc.symbols_on_success.push(sent as f64);
+        } else {
+            if finished {
+                acc.undetected += 1;
+            }
+            acc.rate.push(0.0);
+        }
+    }
 }
 
-/// Prepares `(code message, payload)` for one trial under `termination`.
-fn make_message(rng: &mut Rng, message_bits: u32, termination: Termination) -> (BitVec, BitVec) {
+/// When to cut a Monte-Carlo run short: evaluated by the engine after
+/// each deterministic chunk merge, so early-stopped results are still
+/// bit-identical for any worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct StopRule {
+    /// Never stop before this many trials.
+    pub min_trials: u64,
+    /// Normal quantile for the Wilson interval (1.96 ≈ 95%).
+    pub z: f64,
+    /// Stop once the Wilson half-width of the success fraction is at or
+    /// below this.
+    pub max_success_halfwidth: Option<f64>,
+    /// Stop once the standard error of the mean rate is at or below
+    /// this.
+    pub max_rate_stderr: Option<f64>,
+}
+
+impl StopRule {
+    /// A 95% Wilson-interval rule on the success fraction.
+    pub fn success_within(halfwidth: f64, min_trials: u64) -> Self {
+        Self {
+            min_trials,
+            z: 1.96,
+            max_success_halfwidth: Some(halfwidth),
+            max_rate_stderr: None,
+        }
+    }
+
+    /// A rate-standard-error rule.
+    pub fn rate_stderr_within(stderr: f64, min_trials: u64) -> Self {
+        Self {
+            min_trials,
+            z: 1.96,
+            max_success_halfwidth: None,
+            max_rate_stderr: Some(stderr),
+        }
+    }
+
+    /// `true` once every configured criterion is met (and at least one
+    /// is configured).
+    pub fn satisfied(&self, acc: &RatelessOutcome, trials_done: u64) -> bool {
+        if trials_done < self.min_trials {
+            return false;
+        }
+        if self.max_success_halfwidth.is_none() && self.max_rate_stderr.is_none() {
+            return false;
+        }
+        if let Some(target) = self.max_success_halfwidth {
+            if wilson_halfwidth(u64::from(acc.successes), u64::from(acc.trials), self.z) > target {
+                return false;
+            }
+        }
+        if let Some(target) = self.max_rate_stderr {
+            if acc.rate.stderr() > target || acc.rate.count() < 2 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn payload_bits_for(message_bits: u32, termination: Termination) -> u32 {
     match termination {
-        Termination::Genie => {
-            let m = random_message(rng, message_bits);
-            (m.clone(), m)
-        }
-        Termination::Crc(ck) => {
-            let w = ck.width() as u32;
-            assert!(
-                message_bits > w,
-                "message_bits ({message_bits}) must exceed the CRC width ({w})"
-            );
-            let payload = random_message(rng, message_bits - w);
-            (frame_encode(&payload, ck), payload)
+        Termination::Genie => message_bits,
+        Termination::Crc(ck) => message_bits - ck.width() as u32,
+    }
+}
+
+/// Runs the generic rateless experiment on `engine`, optionally early
+/// stopping. Returns the merged outcome (its `trials` field reports how
+/// many trials it covers).
+fn run_generic<M, C, CM>(
+    scenario: &RatelessScenario<'_, M, C, CM>,
+    max_trials: u32,
+    engine: &SimEngine,
+    stop: Option<&StopRule>,
+) -> RatelessOutcome
+where
+    M: Mapper,
+    C: CostModel<M::Symbol>,
+    CM: ChannelModel<M::Symbol>,
+    M::Symbol: Send,
+{
+    assert!(
+        scenario.attempt_growth >= 1.0,
+        "attempt_growth must be >= 1"
+    );
+    let (outcome, _trials) = engine.run_until(
+        scenario,
+        u64::from(max_trials),
+        scenario.master_seed,
+        |acc: &RatelessOutcome, done| stop.is_some_and(|rule| rule.satisfied(acc, done)),
+    );
+    outcome
+}
+
+impl RatelessConfig {
+    /// The scenario for this configuration over an arbitrary I-Q channel
+    /// model (the `streams` labels keep trial randomness stable per
+    /// family).
+    fn scenario<CM: ChannelModel<spinal_core::IqSymbol>>(
+        &self,
+        channel: CM,
+        streams: [u64; 3],
+        seed: u64,
+    ) -> RatelessScenario<'_, AnyIqMapper, AwgnCost, CM> {
+        RatelessScenario {
+            message_bits: self.message_bits,
+            k: self.k,
+            tail_segments: self.tail_segments,
+            code_seed_base: derive_seed(seed, streams[0], 0),
+            hash: self.hash,
+            mapper: self.mapper.clone(),
+            cost: AwgnCost,
+            schedule: &self.schedule,
+            beam: self.beam,
+            max_passes: self.max_passes,
+            attempt_growth: self.attempt_growth,
+            termination: self.termination,
+            payload_bits: payload_bits_for(self.message_bits, self.termination),
+            channel,
+            streams,
+            master_seed: seed,
         }
     }
 }
 
-fn record(outcome: &mut RatelessOutcome, payload_bits: u32, r: TrialResult) {
-    outcome.trials += 1;
-    outcome.attempts.push(f64::from(r.attempts));
-    outcome.total_symbols += r.symbols;
-    if r.finished && r.correct {
-        outcome.successes += 1;
-        outcome
-            .rate
-            .push(f64::from(payload_bits) / r.symbols as f64);
-        outcome.symbols_on_success.push(r.symbols as f64);
-    } else {
-        if r.finished {
-            outcome.undetected += 1;
+impl BscRatelessConfig {
+    fn scenario<C: CostModel<u8>, CM: ChannelModel<u8>>(
+        &self,
+        cost: C,
+        channel: CM,
+        streams: [u64; 3],
+        seed: u64,
+    ) -> RatelessScenario<'_, BinaryMapper, C, CM> {
+        RatelessScenario {
+            message_bits: self.message_bits,
+            k: self.k,
+            tail_segments: self.tail_segments,
+            code_seed_base: derive_seed(seed, streams[0], 0),
+            hash: self.hash,
+            mapper: BinaryMapper::new(),
+            cost,
+            schedule: &self.schedule,
+            beam: self.beam,
+            max_passes: self.max_passes,
+            attempt_growth: self.attempt_growth,
+            termination: self.termination,
+            payload_bits: payload_bits_for(self.message_bits, self.termination),
+            channel,
+            streams,
+            master_seed: seed,
         }
-        outcome.rate.push(0.0);
     }
 }
 
-/// Runs `trials` AWGN trials at `snr_db` and aggregates.
+/// Runs `trials` AWGN trials at `snr_db` and aggregates (serial engine —
+/// the historical entry point).
 pub fn run_awgn(cfg: &RatelessConfig, snr_db: f64, trials: u32, seed: u64) -> RatelessOutcome {
-    assert!(cfg.attempt_growth >= 1.0, "attempt_growth must be >= 1");
-    let payload_bits = match cfg.termination {
-        Termination::Genie => cfg.message_bits,
-        Termination::Crc(ck) => cfg.message_bits - ck.width() as u32,
-    };
-    let mut outcome = RatelessOutcome::new(payload_bits);
-    let mut scratch = DecoderScratch::new();
-    let mut result = DecodeResult::default();
-    for trial in 0..trials {
-        let code_seed = derive_seed(seed, 0, u64::from(trial));
-        let noise_seed = derive_seed(seed, 1, u64::from(trial));
-        let msg_seed = derive_seed(seed, 2, u64::from(trial));
-        let params = cfg.params(code_seed);
-        let hash = AnyHash::new(cfg.hash, code_seed);
-        let mut rng = Rng::seed_from(msg_seed);
-        let (message, payload) = make_message(&mut rng, cfg.message_bits, cfg.termination);
-        let mut channel = AwgnChannel::from_snr_db(snr_db, noise_seed);
-        let adc = cfg.adc_bits.map(|b| {
-            let headroom = cfg.mapper.peak() + 4.0 * (channel.sigma2() / 2.0).sqrt();
-            AdcQuantizer::new(b, headroom)
-        });
-        let r = run_one_trial(
-            &params,
-            hash,
-            &cfg.mapper,
-            AwgnCost,
-            &cfg.schedule,
-            cfg.beam,
-            cfg.termination,
-            cfg.max_passes,
-            cfg.attempt_growth,
-            &message,
-            &payload,
-            &mut channel,
-            |y| match &adc {
-                Some(q) => q.quantize_symbol(y),
-                None => y,
-            },
-            &mut scratch,
-            &mut result,
-        );
-        record(&mut outcome, payload_bits, r);
-    }
-    outcome
+    run_awgn_with(cfg, snr_db, trials, seed, &SimEngine::serial())
 }
 
-/// Runs `trials` BSC trials at crossover probability `p` and aggregates.
-pub fn run_bsc(cfg: &BscRatelessConfig, p: f64, trials: u32, seed: u64) -> RatelessOutcome {
-    assert!(cfg.attempt_growth >= 1.0, "attempt_growth must be >= 1");
-    let payload_bits = match cfg.termination {
-        Termination::Genie => cfg.message_bits,
-        Termination::Crc(ck) => cfg.message_bits - ck.width() as u32,
+/// [`run_awgn`] on an explicit [`SimEngine`] (sharded across its
+/// workers; bit-identical for any worker count).
+pub fn run_awgn_with(
+    cfg: &RatelessConfig,
+    snr_db: f64,
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> RatelessOutcome {
+    run_awgn_until(cfg, snr_db, trials, seed, engine, None)
+}
+
+/// [`run_awgn_with`] with an optional early-stop rule: runs at most
+/// `max_trials`, stopping once `stop` is satisfied on the deterministic
+/// chunk prefix.
+pub fn run_awgn_until(
+    cfg: &RatelessConfig,
+    snr_db: f64,
+    max_trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+    stop: Option<&StopRule>,
+) -> RatelessOutcome {
+    let model = AwgnModel {
+        snr_db,
+        adc_bits: cfg.adc_bits,
+        peak: cfg.mapper.peak(),
     };
-    let mut outcome = RatelessOutcome::new(payload_bits);
-    let mut scratch = DecoderScratch::new();
-    let mut result = DecodeResult::default();
-    for trial in 0..trials {
-        let code_seed = derive_seed(seed, 10, u64::from(trial));
-        let noise_seed = derive_seed(seed, 11, u64::from(trial));
-        let msg_seed = derive_seed(seed, 12, u64::from(trial));
-        let params = cfg.params(code_seed);
-        let hash = AnyHash::new(cfg.hash, code_seed);
-        let mut rng = Rng::seed_from(msg_seed);
-        let (message, payload) = make_message(&mut rng, cfg.message_bits, cfg.termination);
-        let mut channel = BscChannel::new(p, noise_seed);
-        let r = run_one_trial(
-            &params,
-            hash,
-            &BinaryMapper::new(),
-            BscCost,
-            &cfg.schedule,
-            cfg.beam,
-            cfg.termination,
-            cfg.max_passes,
-            cfg.attempt_growth,
-            &message,
-            &payload,
-            &mut channel,
-            |y| y,
-            &mut scratch,
-            &mut result,
-        );
-        record(&mut outcome, payload_bits, r);
-    }
-    outcome
+    run_generic(
+        &cfg.scenario(model, [0, 1, 2], seed),
+        max_trials,
+        engine,
+        stop,
+    )
+}
+
+/// Runs `trials` Rayleigh block-fading trials at mean SNR `snr_db` with
+/// coherence `block_len` symbols (coherent receiver; ideal ADC).
+pub fn run_fading_with(
+    cfg: &RatelessConfig,
+    snr_db: f64,
+    block_len: u32,
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> RatelessOutcome {
+    let model = FadingModel { snr_db, block_len };
+    run_generic(
+        &cfg.scenario(model, [20, 21, 22], seed),
+        trials,
+        engine,
+        None,
+    )
+}
+
+/// Runs `trials` BSC trials at crossover probability `p` and aggregates
+/// (serial engine — the historical entry point).
+pub fn run_bsc(cfg: &BscRatelessConfig, p: f64, trials: u32, seed: u64) -> RatelessOutcome {
+    run_bsc_with(cfg, p, trials, seed, &SimEngine::serial())
+}
+
+/// [`run_bsc`] on an explicit [`SimEngine`].
+pub fn run_bsc_with(
+    cfg: &BscRatelessConfig,
+    p: f64,
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> RatelessOutcome {
+    run_bsc_until(cfg, p, trials, seed, engine, None)
+}
+
+/// [`run_bsc_with`] with an optional early-stop rule.
+pub fn run_bsc_until(
+    cfg: &BscRatelessConfig,
+    p: f64,
+    max_trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+    stop: Option<&StopRule>,
+) -> RatelessOutcome {
+    run_generic(
+        &cfg.scenario(BscCost, BscModel { p }, [10, 11, 12], seed),
+        max_trials,
+        engine,
+        stop,
+    )
+}
+
+/// Runs `trials` binary-erasure trials at erasure probability `e`:
+/// erased bits reach the decoder as [`BecCost::ERASURE`] and cost
+/// nothing against any hypothesis, surviving bits are exact.
+pub fn run_bec_with(
+    cfg: &BscRatelessConfig,
+    e: f64,
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> RatelessOutcome {
+    run_generic(
+        &cfg.scenario(BecCost, BecModel { e }, [30, 31, 32], seed),
+        trials,
+        engine,
+        None,
+    )
 }
 
 #[cfg(test)]
@@ -636,6 +906,109 @@ mod tests {
         let out = run_bsc(&cfg, 0.5, 5, 3);
         assert_eq!(out.successes, 0);
         assert_eq!(out.rate_mean(), 0.0);
+    }
+
+    /// Acceptance contract: every reported statistic — success
+    /// fraction, rate mean/stderr, symbol counts — is bit-identical
+    /// whatever the worker count, at several chunk sizes.
+    #[test]
+    fn engine_output_bit_identical_across_worker_counts() {
+        let cfg = quick_cfg();
+        for chunk in [4u64, 16, 64] {
+            let base = run_awgn_with(&cfg, 8.0, 30, 77, &SimEngine::serial().chunk_trials(chunk));
+            for workers in [2usize, 8] {
+                let out = run_awgn_with(
+                    &cfg,
+                    8.0,
+                    30,
+                    77,
+                    &SimEngine::with_workers(workers).chunk_trials(chunk),
+                );
+                assert_eq!(out.trials, base.trials);
+                assert_eq!(out.successes, base.successes, "chunk {chunk} w {workers}");
+                assert_eq!(out.undetected, base.undetected);
+                assert_eq!(out.total_symbols, base.total_symbols);
+                assert_eq!(
+                    out.success_fraction().to_bits(),
+                    base.success_fraction().to_bits()
+                );
+                assert_eq!(out.rate_mean().to_bits(), base.rate_mean().to_bits());
+                assert_eq!(out.rate_stderr().to_bits(), base.rate_stderr().to_bits());
+                assert_eq!(
+                    out.symbols_on_success.mean().to_bits(),
+                    base.symbols_on_success.mean().to_bits()
+                );
+            }
+        }
+        // BSC path too.
+        let bsc = BscRatelessConfig::default_k4(16);
+        let a = run_bsc_with(&bsc, 0.03, 24, 5, &SimEngine::serial().chunk_trials(8));
+        let b = run_bsc_with(
+            &bsc,
+            0.03,
+            24,
+            5,
+            &SimEngine::with_workers(8).chunk_trials(8),
+        );
+        assert_eq!(a.successes, b.successes);
+        assert_eq!(a.total_symbols, b.total_symbols);
+        assert_eq!(a.rate_mean().to_bits(), b.rate_mean().to_bits());
+    }
+
+    #[test]
+    fn early_stop_caps_trials_deterministically() {
+        let cfg = quick_cfg();
+        // At 20 dB essentially everything succeeds: a loose Wilson
+        // target is reached long before the 400-trial budget.
+        let rule = StopRule::success_within(0.2, 16);
+        let engine = SimEngine::serial().chunk_trials(8);
+        let out = run_awgn_until(&cfg, 20.0, 400, 3, &engine, Some(&rule));
+        assert!(out.trials < 400, "early stop never fired ({})", out.trials);
+        assert!(out.trials >= 16);
+        // Same stopped statistics with a different worker count.
+        let par = run_awgn_until(
+            &cfg,
+            20.0,
+            400,
+            3,
+            &SimEngine::with_workers(4).chunk_trials(8),
+            Some(&rule),
+        );
+        assert_eq!(par.trials, out.trials);
+        assert_eq!(par.rate_mean().to_bits(), out.rate_mean().to_bits());
+    }
+
+    #[test]
+    fn bec_clean_and_erasure_rates() {
+        let cfg = BscRatelessConfig::default_k4(16);
+        let engine = SimEngine::serial();
+        // e = 0: the BEC is transparent, rate matches the clean BSC.
+        let clean = run_bec_with(&cfg, 0.0, 10, 1, &engine);
+        assert!(clean.success_fraction() > 0.9);
+        assert!(clean.rate_mean() > 0.4);
+        // e = 0.3 (capacity 0.7): decodes, but needs more symbols; the
+        // rate cannot exceed the surviving-bit fraction by much.
+        let lossy = run_bec_with(&cfg, 0.3, 10, 2, &engine);
+        assert!(
+            lossy.success_fraction() > 0.8,
+            "{}",
+            lossy.success_fraction()
+        );
+        assert!(
+            lossy.symbols_on_success.mean() > clean.symbols_on_success.mean(),
+            "erasures must cost symbols: {} !> {}",
+            lossy.symbols_on_success.mean(),
+            clean.symbols_on_success.mean()
+        );
+    }
+
+    #[test]
+    fn fading_decodes_at_high_mean_snr() {
+        let cfg = quick_cfg();
+        let out = run_fading_with(&cfg, 25.0, 8, 12, 4, &SimEngine::serial());
+        assert!(out.success_fraction() > 0.7, "{}", out.success_fraction());
+        // Deep fades make rate vary; just demand sane bounds.
+        assert!(out.rate_mean() > 0.0 && out.rate_mean() <= 4.0 + 1e-9);
     }
 
     #[test]

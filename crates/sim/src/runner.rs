@@ -65,13 +65,28 @@ pub fn default_threads() -> usize {
 
 /// An inclusive SNR grid in dB with the given step.
 ///
+/// Every point is computed by integer index (`lo + i·step`), never by
+/// repeated float addition — accumulation drift (`0.1 + 0.1 + …`) can
+/// otherwise drop or duplicate the final grid point. The point count is
+/// the largest `n` with `lo + n·step ≤ hi` up to one part in 10⁶ of a
+/// step, so a `hi` that the step representably reaches (e.g. `2.0` by
+/// `0.1`, where `(hi−lo)/step` rounds to `19.999…`) is always included,
+/// while a step that overshoots (`0.0..=1.0` by `0.3`) never produces a
+/// point beyond `hi`.
+///
 /// # Panics
 ///
 /// Panics if `step` is not positive or `hi < lo`.
 pub fn snr_grid(lo: f64, hi: f64, step: f64) -> Vec<f64> {
     assert!(step > 0.0, "step must be positive");
     assert!(hi >= lo, "empty grid: hi < lo");
-    let n = ((hi - lo) / step).round() as usize;
+    let mut n = ((hi - lo) / step + 0.5).floor() as usize;
+    // The rounded count may overshoot when step does not divide the
+    // range; back off until the last point fits (with a one-ppm-of-step
+    // tolerance for representation error).
+    while n > 0 && lo + n as f64 * step > hi + step * 1e-6 {
+        n -= 1;
+    }
     (0..=n).map(|i| lo + i as f64 * step).collect()
 }
 
@@ -127,6 +142,25 @@ mod tests {
         assert_eq!(g[10], 40.0);
         let fine = snr_grid(0.0, 1.0, 0.25);
         assert_eq!(fine, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn snr_grid_survives_inexact_steps() {
+        // (2 − 0)/0.1 = 19.999999999999996 in f64: a truncating count
+        // would drop the final 2.0 point.
+        let g = snr_grid(0.0, 2.0, 0.1);
+        assert_eq!(g.len(), 21);
+        assert!((g[20] - 2.0).abs() < 1e-9, "last point {}", g[20]);
+        // Non-dividing step: never overshoot hi.
+        let g = snr_grid(0.0, 1.0, 0.3);
+        assert_eq!(g.len(), 4); // 0.0, 0.3, 0.6, 0.9
+        assert!(*g.last().unwrap() <= 1.0 + 1e-9);
+        // Points are index-computed: g[i] is exactly lo + i*step.
+        for (i, &x) in g.iter().enumerate() {
+            assert_eq!(x.to_bits(), (i as f64 * 0.3).to_bits());
+        }
+        // Degenerate single-point grid.
+        assert_eq!(snr_grid(5.0, 5.0, 1.0), vec![5.0]);
     }
 
     #[test]

@@ -99,6 +99,32 @@ impl RunningStats {
     }
 }
 
+/// The Wilson score interval for a binomial proportion: returns
+/// `(center, halfwidth)` for `successes` out of `trials` at normal
+/// quantile `z` (1.96 ≈ 95%). Unlike the naive normal interval it stays
+/// inside `[0, 1]` and behaves sensibly at 0% / 100% observed rates, so
+/// the simulation engine's early stop can use it from the first trials.
+///
+/// Returns `(0.5, 0.5)` — total uncertainty — when `trials == 0`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.5, 0.5);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (center, half)
+}
+
+/// Convenience: just the Wilson half-width (the engine's stop criterion
+/// "confidence width ≤ target" compares against twice this).
+pub fn wilson_halfwidth(successes: u64, trials: u64, z: f64) -> f64 {
+    wilson_interval(successes, trials, z).1
+}
+
 /// Derives an independent sub-seed from an experiment seed and stream
 /// labels, so that trial `i` of experiment `e` always sees the same
 /// randomness regardless of threading or iteration order.
@@ -192,6 +218,24 @@ mod tests {
         empty.merge(&before);
         assert_eq!(empty.count(), 2);
         assert!((empty.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_behaves() {
+        // Known value: 8/10 at z = 1.96 → center ≈ 0.7167, half ≈ 0.2266.
+        let (c, h) = wilson_interval(8, 10, 1.96);
+        assert!((c - 0.7167).abs() < 1e-3, "center {c}");
+        assert!((h - 0.2266).abs() < 1e-3, "half {h}");
+        // Shrinks with n.
+        assert!(wilson_halfwidth(80, 100, 1.96) < h);
+        assert!(wilson_halfwidth(800, 1000, 1.96) < wilson_halfwidth(80, 100, 1.96));
+        // Stays in [0,1] even at the extremes.
+        let (c0, h0) = wilson_interval(0, 5, 1.96);
+        assert!(c0 - h0 >= -1e-12 && c0 + h0 <= 1.0 + 1e-12);
+        let (c1, h1) = wilson_interval(5, 5, 1.96);
+        assert!(c1 - h1 >= -1e-12 && c1 + h1 <= 1.0 + 1e-12);
+        // Empty: total uncertainty.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.5, 0.5));
     }
 
     #[test]

@@ -8,16 +8,20 @@
 //! unpunctured passes, decode once, count wrong message bits. The
 //! regenerating binaries (`thm1_awgn`, `thm2_bsc`) print the measured
 //! curve next to the theorem's threshold.
+//!
+//! Trials run on the sharded [`SimEngine`] with integer error counters,
+//! so results are bit-identical for any worker count *and* chunk size.
 
+use crate::engine::{Accumulate, AwgnModel, BscModel, ChannelModel, Scenario, SimEngine, Trial};
 use crate::rateless::{BscRatelessConfig, RatelessConfig};
 use crate::stats::derive_seed;
-use spinal_channel::{AdcQuantizer, AwgnChannel, BscChannel, Channel, Rng};
+use spinal_channel::{Channel, Rng};
 use spinal_core::decode::{BeamConfig, BeamDecoder, CostModel, DecoderScratch, Observations};
-use spinal_core::hash::AnyHash;
+use spinal_core::hash::{AnyHash, HashFamily};
 use spinal_core::map::{BinaryMapper, Mapper};
 use spinal_core::params::CodeParams;
 use spinal_core::symbol::Slot;
-use spinal_core::{AwgnCost, BitVec, BscCost, Encoder};
+use spinal_core::{AwgnCost, BitVec, BscCost, DecodeResult, Encoder};
 
 /// Measured BER at one pass count.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,50 +36,184 @@ pub struct TheoremPoint {
     pub frame_error_rate: f64,
 }
 
-/// Transmits exactly `passes` unpunctured passes and decodes once,
-/// returning the decoded message. Shared by the theorem and
-/// BER-by-position harnesses.
+/// Per-worker reusable state for fixed-pass decode trials (shared with
+/// the BER-by-position harness).
+pub(crate) struct FixedPassWorker<M: Mapper> {
+    encoder: Option<Encoder<AnyHash, M>>,
+    obs: Observations<M::Symbol>,
+    scratch: DecoderScratch,
+    result: DecodeResult,
+    message: BitVec,
+    pass_buf: Vec<M::Symbol>,
+}
+
+impl<M: Mapper> FixedPassWorker<M> {
+    /// `(decoded hypothesis, true message)` of the last trial.
+    pub(crate) fn decoded_and_truth(&self) -> (&BitVec, &BitVec) {
+        (&self.result.message, &self.message)
+    }
+
+    pub(crate) fn new(n_segments: u32) -> Self {
+        Self {
+            encoder: None,
+            obs: Observations::new(n_segments),
+            scratch: DecoderScratch::new(),
+            result: DecodeResult::default(),
+            message: BitVec::new(),
+            pass_buf: Vec::new(),
+        }
+    }
+}
+
+/// One fixed-pass trial: draw a message, transmit exactly `passes`
+/// unpunctured passes of it through `channel`, decode once. Afterwards
+/// `worker.message` holds the truth and `worker.result.message` the
+/// decoded hypothesis. All buffers are reused; the steady state
+/// allocates nothing.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn decode_after_passes<M, C, Ch>(
+pub(crate) fn fixed_pass_trial<M, C, CM>(
     params: &CodeParams,
-    hash: AnyHash,
+    hash_family: HashFamily,
     mapper: &M,
+    cost: &C,
+    beam: BeamConfig,
+    channel_model: &CM,
+    passes: u32,
+    seeds: (u64, u64, u64),
+    worker: &mut FixedPassWorker<M>,
+) where
+    M: Mapper,
+    C: CostModel<M::Symbol>,
+    CM: ChannelModel<M::Symbol>,
+{
+    let (code_seed, noise_seed, msg_seed) = seeds;
+    // Keep params.seed() in lockstep with the per-trial hash seed.
+    let params = params.reseeded(code_seed);
+    let FixedPassWorker {
+        encoder,
+        obs,
+        scratch,
+        result,
+        message,
+        pass_buf,
+    } = worker;
+    let mut rng = Rng::seed_from(msg_seed);
+    message.clear();
+    for _ in 0..params.message_bits() {
+        message.push(rng.bit());
+    }
+    let hash = AnyHash::new(hash_family, code_seed);
+    match encoder {
+        Some(enc) => enc
+            .rebind(&params, hash, message)
+            .expect("message length matches params"),
+        None => {
+            *encoder = Some(
+                Encoder::new(&params, hash, mapper.clone(), message)
+                    .expect("message length matches params"),
+            )
+        }
+    }
+    let enc = encoder.as_ref().expect("bound above");
+    let mut channel = channel_model.make(noise_seed);
+    obs.clear();
+    for pass in 0..passes {
+        enc.pass_into(pass, pass_buf);
+        for (t, &sym) in pass_buf.iter().enumerate() {
+            obs.push(Slot::new(t as u32, pass), channel.transmit(sym));
+        }
+    }
+    BeamDecoder::new(&params, hash, mapper.clone(), cost.clone(), beam)
+        .decode_into(obs, scratch, result);
+}
+
+/// Integer error counters — merge order cannot matter.
+#[derive(Clone, Copy, Debug, Default)]
+struct ErrorAcc {
+    trials: u64,
+    bit_errors: u64,
+    frame_errors: u64,
+}
+
+impl Accumulate for ErrorAcc {
+    fn merge(&mut self, o: Self) {
+        self.trials += o.trials;
+        self.bit_errors += o.bit_errors;
+        self.frame_errors += o.frame_errors;
+    }
+}
+
+/// The fixed-`L` BER measurement behind both theorem harnesses.
+struct TheoremScenario<M: Mapper, C: CostModel<M::Symbol>, CM: ChannelModel<M::Symbol>> {
+    params: CodeParams,
+    hash: HashFamily,
+    mapper: M,
     cost: C,
     beam: BeamConfig,
+    channel: CM,
     passes: u32,
-    message: &BitVec,
-    channel: &mut Ch,
-    post: impl Fn(M::Symbol) -> M::Symbol,
-    scratch: &mut DecoderScratch,
-) -> BitVec
+    /// `derive_seed(master, stream_base + s, trial)` for s = code,
+    /// noise, message — matching the pre-engine harness streams.
+    stream_base: (u64, u64, u64),
+    master_seed: u64,
+}
+
+impl<M, C, CM> Scenario for TheoremScenario<M, C, CM>
 where
     M: Mapper,
     C: CostModel<M::Symbol>,
-    Ch: Channel<M::Symbol>,
+    CM: ChannelModel<M::Symbol>,
+    M::Symbol: Send,
 {
-    let encoder = Encoder::new(params, hash, mapper.clone(), message)
-        .expect("message length validated by caller");
-    let mut obs = Observations::new(params.n_segments());
-    for pass in 0..passes {
-        for t in 0..params.n_segments() {
-            let slot = Slot::new(t, pass);
-            obs.push(slot, post(channel.transmit(encoder.symbol(slot))));
-        }
+    type Worker = FixedPassWorker<M>;
+    type Acc = ErrorAcc;
+
+    fn make_worker(&self) -> FixedPassWorker<M> {
+        FixedPassWorker::new(self.params.n_segments())
     }
-    BeamDecoder::new(params, hash, mapper.clone(), cost, beam)
-        .decode_with_scratch(&obs, scratch)
-        .message
+
+    fn empty_acc(&self) -> ErrorAcc {
+        ErrorAcc::default()
+    }
+
+    fn run_trial(&self, trial: Trial, w: &mut FixedPassWorker<M>, acc: &mut ErrorAcc) {
+        let seeds = (
+            derive_seed(self.master_seed, self.stream_base.0, trial.index),
+            derive_seed(self.master_seed, self.stream_base.1, trial.index),
+            derive_seed(self.master_seed, self.stream_base.2, trial.index),
+        );
+        fixed_pass_trial(
+            &self.params,
+            self.hash,
+            &self.mapper,
+            &self.cost,
+            self.beam,
+            &self.channel,
+            self.passes,
+            seeds,
+            w,
+        );
+        let errors = w.result.message.hamming_distance(&w.message);
+        acc.trials += 1;
+        acc.bit_errors += errors as u64;
+        acc.frame_errors += u64::from(errors > 0);
+    }
 }
 
-fn count_bit_errors(a: &BitVec, b: &BitVec) -> usize {
-    a.hamming_distance(b)
+fn curve_point(acc: ErrorAcc, k: u32, l: u32, message_bits: u32) -> TheoremPoint {
+    TheoremPoint {
+        passes: l,
+        rate: f64::from(k) / f64::from(l),
+        ber: acc.bit_errors as f64 / (acc.trials as f64 * f64::from(message_bits)),
+        frame_error_rate: acc.frame_errors as f64 / acc.trials as f64,
+    }
 }
 
 /// Measures the Theorem-1 BER-vs-L curve on AWGN at `snr_db`.
 ///
 /// Uses `cfg`'s code geometry, mapper, beam and ADC settings; the
 /// schedule and termination fields are ignored (transmission is exactly
-/// `L` full passes).
+/// `L` full passes). Serial engine; see [`thm1_curve_with`].
 pub fn thm1_curve(
     cfg: &RatelessConfig,
     snr_db: f64,
@@ -83,61 +221,51 @@ pub fn thm1_curve(
     trials: u32,
     seed: u64,
 ) -> Vec<TheoremPoint> {
+    thm1_curve_with(cfg, snr_db, l_values, trials, seed, &SimEngine::serial())
+}
+
+/// [`thm1_curve`] on an explicit [`SimEngine`].
+pub fn thm1_curve_with(
+    cfg: &RatelessConfig,
+    snr_db: f64,
+    l_values: &[u32],
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> Vec<TheoremPoint> {
     l_values
         .iter()
         .map(|&l| {
             assert!(l >= 1, "pass counts start at 1");
-            let mut bit_errors = 0usize;
-            let mut frame_errors = 0u32;
-            let mut scratch = DecoderScratch::new();
-            for trial in 0..trials {
-                let code_seed = derive_seed(seed, 30 + u64::from(l), u64::from(trial));
-                let noise_seed = derive_seed(seed, 130 + u64::from(l), u64::from(trial));
-                let msg_seed = derive_seed(seed, 230 + u64::from(l), u64::from(trial));
-                let params = CodeParams::builder()
+            let scenario = TheoremScenario {
+                params: CodeParams::builder()
                     .message_bits(cfg.message_bits)
                     .k(cfg.k)
                     .tail_segments(cfg.tail_segments)
-                    .seed(code_seed)
+                    .seed(derive_seed(seed, 30 + u64::from(l), 0))
                     .build()
-                    .expect("invalid config");
-                let hash = AnyHash::new(cfg.hash, code_seed);
-                let mut rng = Rng::seed_from(msg_seed);
-                let message: BitVec = (0..cfg.message_bits).map(|_| rng.bit()).collect();
-                let mut channel = AwgnChannel::from_snr_db(snr_db, noise_seed);
-                let adc = cfg.adc_bits.map(|b| {
-                    AdcQuantizer::new(b, cfg.mapper.peak() + 4.0 * (channel.sigma2() / 2.0).sqrt())
-                });
-                let decoded = decode_after_passes(
-                    &params,
-                    hash,
-                    &cfg.mapper,
-                    AwgnCost,
-                    cfg.beam,
-                    l,
-                    &message,
-                    &mut channel,
-                    |y| match &adc {
-                        Some(q) => q.quantize_symbol(y),
-                        None => y,
-                    },
-                    &mut scratch,
-                );
-                let e = count_bit_errors(&decoded, &message);
-                bit_errors += e;
-                frame_errors += u32::from(e > 0);
-            }
-            TheoremPoint {
+                    .expect("invalid config"),
+                hash: cfg.hash,
+                mapper: cfg.mapper.clone(),
+                cost: AwgnCost,
+                beam: cfg.beam,
+                channel: AwgnModel {
+                    snr_db,
+                    adc_bits: cfg.adc_bits,
+                    peak: cfg.mapper.peak(),
+                },
                 passes: l,
-                rate: f64::from(cfg.k) / f64::from(l),
-                ber: bit_errors as f64 / (f64::from(trials) * f64::from(cfg.message_bits)),
-                frame_error_rate: f64::from(frame_errors) / f64::from(trials),
-            }
+                stream_base: (30 + u64::from(l), 130 + u64::from(l), 230 + u64::from(l)),
+                master_seed: seed,
+            };
+            let acc = engine.run(&scenario, u64::from(trials), seed);
+            curve_point(acc, cfg.k, l, cfg.message_bits)
         })
         .collect()
 }
 
-/// Measures the Theorem-2 BER-vs-L curve on a BSC(p).
+/// Measures the Theorem-2 BER-vs-L curve on a BSC(p). Serial engine; see
+/// [`thm2_curve_with`].
 pub fn thm2_curve(
     cfg: &BscRatelessConfig,
     p: f64,
@@ -145,50 +273,41 @@ pub fn thm2_curve(
     trials: u32,
     seed: u64,
 ) -> Vec<TheoremPoint> {
+    thm2_curve_with(cfg, p, l_values, trials, seed, &SimEngine::serial())
+}
+
+/// [`thm2_curve`] on an explicit [`SimEngine`].
+pub fn thm2_curve_with(
+    cfg: &BscRatelessConfig,
+    p: f64,
+    l_values: &[u32],
+    trials: u32,
+    seed: u64,
+    engine: &SimEngine,
+) -> Vec<TheoremPoint> {
     l_values
         .iter()
         .map(|&l| {
             assert!(l >= 1, "pass counts start at 1");
-            let mut bit_errors = 0usize;
-            let mut frame_errors = 0u32;
-            let mut scratch = DecoderScratch::new();
-            for trial in 0..trials {
-                let code_seed = derive_seed(seed, 330 + u64::from(l), u64::from(trial));
-                let noise_seed = derive_seed(seed, 430 + u64::from(l), u64::from(trial));
-                let msg_seed = derive_seed(seed, 530 + u64::from(l), u64::from(trial));
-                let params = CodeParams::builder()
+            let scenario = TheoremScenario {
+                params: CodeParams::builder()
                     .message_bits(cfg.message_bits)
                     .k(cfg.k)
                     .tail_segments(cfg.tail_segments)
-                    .seed(code_seed)
+                    .seed(derive_seed(seed, 330 + u64::from(l), 0))
                     .build()
-                    .expect("invalid config");
-                let hash = AnyHash::new(cfg.hash, code_seed);
-                let mut rng = Rng::seed_from(msg_seed);
-                let message: BitVec = (0..cfg.message_bits).map(|_| rng.bit()).collect();
-                let mut channel = BscChannel::new(p, noise_seed);
-                let decoded = decode_after_passes(
-                    &params,
-                    hash,
-                    &BinaryMapper::new(),
-                    BscCost,
-                    cfg.beam,
-                    l,
-                    &message,
-                    &mut channel,
-                    |y| y,
-                    &mut scratch,
-                );
-                let e = count_bit_errors(&decoded, &message);
-                bit_errors += e;
-                frame_errors += u32::from(e > 0);
-            }
-            TheoremPoint {
+                    .expect("invalid config"),
+                hash: cfg.hash,
+                mapper: BinaryMapper::new(),
+                cost: BscCost,
+                beam: cfg.beam,
+                channel: BscModel { p },
                 passes: l,
-                rate: f64::from(cfg.k) / f64::from(l),
-                ber: bit_errors as f64 / (f64::from(trials) * f64::from(cfg.message_bits)),
-                frame_error_rate: f64::from(frame_errors) / f64::from(trials),
-            }
+                stream_base: (330 + u64::from(l), 430 + u64::from(l), 530 + u64::from(l)),
+                master_seed: seed,
+            };
+            let acc = engine.run(&scenario, u64::from(trials), seed);
+            curve_point(acc, cfg.k, l, cfg.message_bits)
         })
         .collect()
 }
@@ -196,7 +315,6 @@ pub fn thm2_curve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spinal_core::hash::HashFamily;
     use spinal_core::map::AnyIqMapper;
     use spinal_core::puncture::AnySchedule;
 
@@ -256,5 +374,30 @@ mod tests {
         let a = thm1_curve(&cfg(), 5.0, &[2], 6, 9);
         let b = thm1_curve(&cfg(), 5.0, &[2], 6, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_curves() {
+        // Integer accumulators: identical for any workers AND chunking.
+        let serial = thm1_curve(&cfg(), 5.0, &[1, 4], 16, 11);
+        let sharded = thm1_curve_with(
+            &cfg(),
+            5.0,
+            &[1, 4],
+            16,
+            11,
+            &SimEngine::with_workers(8).chunk_trials(3),
+        );
+        assert_eq!(serial, sharded);
+        let s2 = thm2_curve(&BscRatelessConfig::default_k4(16), 0.05, &[3], 12, 4);
+        let p2 = thm2_curve_with(
+            &BscRatelessConfig::default_k4(16),
+            0.05,
+            &[3],
+            12,
+            4,
+            &SimEngine::with_workers(2).chunk_trials(5),
+        );
+        assert_eq!(s2, p2);
     }
 }
