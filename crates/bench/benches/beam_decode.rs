@@ -57,7 +57,8 @@ fn bench_beam_decode(c: &mut Criterion) {
             LinearMapper::new(10),
             AwgnCost,
             cfg,
-        );
+        )
+        .unwrap();
         let mut scratch = DecoderScratch::new();
         group.bench_with_input(BenchmarkId::new("optimized", b), &b, |bch, _| {
             bch.iter(|| black_box(dec.decode_with_scratch(&obs, &mut scratch).cost));

@@ -45,7 +45,8 @@ fn bench_beam_width(c: &mut Criterion) {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::with_beam(b),
-        );
+        )
+        .unwrap();
         let mut scratch = DecoderScratch::new();
         group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bch, _| {
             bch.iter(|| black_box(dec.decode_with_scratch(&obs, &mut scratch).cost));
@@ -70,7 +71,8 @@ fn bench_message_len(c: &mut Criterion) {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::paper_default(),
-        );
+        )
+        .unwrap();
         let mut scratch = DecoderScratch::new();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter(|| black_box(dec.decode_with_scratch(&obs, &mut scratch).cost));

@@ -1,0 +1,105 @@
+//! Micro-benchmark: incremental session retries vs decode-from-scratch.
+//!
+//! One measured iteration replays a fixed post-first-pass retry chain —
+//! the steady state of a rateless receiver with per-symbol feedback:
+//! each retry adds one symbol (at the spine position the stride-8
+//! schedule dictates) and re-decodes. The incremental engine resumes
+//! from per-level checkpoints below the new symbol's position; the
+//! baseline re-runs every level with a reused scratch. The
+//! `bench_session` binary runs the full cross-delay comparison and
+//! writes `BENCH_session.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinal_channel::{AwgnChannel, Channel};
+use spinal_core::bits::BitVec;
+use spinal_core::decode::{
+    AwgnCost, BeamCheckpoints, BeamConfig, BeamDecoder, DecodeResult, DecoderScratch, Observations,
+};
+use spinal_core::encode::Encoder;
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::puncture::{PunctureSchedule, StridedPuncture};
+use std::hint::black_box;
+
+const MESSAGE_BITS: u32 = 128;
+const RETRIES: usize = 32; // one pass worth of per-symbol retries
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_retry");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let params = CodeParams::new(MESSAGE_BITS, 4).unwrap();
+    let message = BitVec::from_bools(
+        &(0..MESSAGE_BITS as usize)
+            .map(|i| i % 3 != 0)
+            .collect::<Vec<_>>(),
+    );
+    let enc = Encoder::new(&params, Lookup3::new(11), LinearMapper::new(8), &message).unwrap();
+    let dec = BeamDecoder::new(
+        &params,
+        Lookup3::new(11),
+        LinearMapper::new(8),
+        AwgnCost,
+        BeamConfig::paper_default(),
+    )
+    .unwrap();
+    let sched = StridedPuncture::stride8();
+
+    // The recorded noisy stream: one full pass, then RETRIES singles.
+    let mut channel = AwgnChannel::from_snr_db(8.0, 17);
+    let mut stream = Vec::new();
+    let mut slots = Vec::new();
+    let mut g = 0u32;
+    while stream.len() < params.n_segments() as usize + RETRIES {
+        sched.subpass_slots_into(params.n_segments(), g, &mut slots);
+        for &slot in &slots {
+            stream.push((slot, channel.transmit(enc.symbol(slot))));
+        }
+        g += 1;
+    }
+    let first_pass = params.n_segments() as usize;
+
+    let mut scratch = DecoderScratch::new();
+    let mut result = DecodeResult::default();
+    let mut obs = Observations::new(params.n_segments());
+    let mut ckpt = BeamCheckpoints::new();
+
+    group.bench_function(BenchmarkId::new("incremental", RETRIES), |b| {
+        b.iter(|| {
+            obs.clear();
+            ckpt.reset();
+            for &(slot, y) in &stream[..first_pass] {
+                obs.push(slot, y);
+            }
+            dec.decode_incremental(&obs, 0, &mut ckpt, &mut scratch, &mut result);
+            for &(slot, y) in &stream[first_pass..first_pass + RETRIES] {
+                obs.push(slot, y);
+                dec.decode_incremental(&obs, slot.t, &mut ckpt, &mut scratch, &mut result);
+            }
+            black_box(result.cost)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("from_scratch", RETRIES), |b| {
+        b.iter(|| {
+            obs.clear();
+            for &(slot, y) in &stream[..first_pass] {
+                obs.push(slot, y);
+            }
+            dec.decode_into(&obs, &mut scratch, &mut result);
+            for &(slot, y) in &stream[first_pass..first_pass + RETRIES] {
+                obs.push(slot, y);
+                dec.decode_into(&obs, &mut scratch, &mut result);
+            }
+            black_box(result.cost)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

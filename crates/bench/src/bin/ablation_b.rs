@@ -59,6 +59,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 6, (b as u64) << 32 | snr.to_bits() >> 32),
         )
+        .expect("valid experiment config")
         .rate_mean()
     });
 

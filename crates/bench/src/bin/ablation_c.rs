@@ -56,6 +56,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 8, u64::from(c) ^ snr.to_bits()),
         )
+        .expect("valid experiment config")
         .rate_mean()
     });
 

@@ -59,6 +59,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 10, (fi as u64) << 40 ^ snr.to_bits()),
         )
+        .expect("valid experiment config")
         .rate_mean()
     });
 

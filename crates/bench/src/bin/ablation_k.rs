@@ -65,6 +65,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 7, u64::from(k) ^ snr.to_bits()),
         )
+        .expect("valid experiment config")
         .rate_mean()
     });
 

@@ -49,6 +49,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 9, (mi as u64) << 48 ^ snr.to_bits()),
         )
+        .expect("valid experiment config")
         .rate_mean()
     });
 

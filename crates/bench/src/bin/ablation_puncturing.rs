@@ -30,7 +30,7 @@ fn main() {
 
     let schedules = [
         ("none", AnySchedule::none()),
-        ("strided-8", AnySchedule::strided(8)),
+        ("strided-8", AnySchedule::strided(8).expect("valid stride")),
     ];
     print!("{:>6} {:>9}", "SNR", "capacity");
     for (name, _) in &schedules {
@@ -51,6 +51,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 11, (si as u64) << 44 ^ snr.to_bits()),
         )
+        .expect("valid experiment config")
         .rate_mean()
     });
 

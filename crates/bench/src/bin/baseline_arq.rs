@@ -46,6 +46,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 13, snr.to_bits()),
         )
+        .expect("valid experiment config")
         .rate_mean()
     });
 
@@ -59,6 +60,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 14, (mi as u64) << 40 ^ snr.to_bits()),
         )
+        .expect("valid ARQ config")
         .goodput()
     });
 

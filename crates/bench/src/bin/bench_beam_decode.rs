@@ -127,7 +127,8 @@ fn main() {
             LinearMapper::new(10),
             AwgnCost,
             cfg,
-        );
+        )
+        .expect("valid decoder config");
         let mut scratch = DecoderScratch::new();
         let opt_result = dec.decode_with_scratch(&obs, &mut scratch);
         let ref_result = reference_decode(

@@ -1,0 +1,332 @@
+//! Streaming-session perf tracker: incremental retry vs decode-from-scratch.
+//!
+//! Models the receiver of a rateless link with feedback: symbols arrive
+//! in bursts of `d` (the attempt interval — one symbol per attempt at
+//! `d = 1` models per-symbol feedback; a full pass per attempt models a
+//! slow ACK loop), and after each burst the receiver retries decoding
+//! everything received so far until the genie accepts. Two receivers run
+//! the *identical* attempt schedule over the identical noisy streams:
+//!
+//! * **incremental** — an [`RxSession`]-style loop through
+//!   [`BeamDecoder::decode_incremental`]: per-level checkpoints resume
+//!   the tree sweep at the first spine position that changed, and cached
+//!   level plans skip re-planning unchanged levels;
+//! * **scratch** — the pre-session receiver:
+//!   [`BeamDecoder::decode_with_scratch`] re-runs every level from the
+//!   root on every retry (scratch reuse, but no cross-attempt state).
+//!
+//! Both must accept at exactly the same symbol count (bit-identity is
+//! asserted). Writes `BENCH_session.json`; options: `--trials N`
+//! (measurement rounds, default 30), `--seed S`, `--quick`.
+
+use spinal_bench::{banner, RunArgs};
+use spinal_channel::{AwgnChannel, Channel};
+use spinal_core::bits::BitVec;
+use spinal_core::decode::{
+    AwgnCost, BeamCheckpoints, BeamConfig, BeamDecoder, DecodeResult, DecoderScratch, Observations,
+};
+use spinal_core::encode::Encoder;
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::puncture::{PunctureSchedule, StridedPuncture};
+use spinal_core::symbol::Slot;
+use spinal_core::IqSymbol;
+use std::hint::black_box;
+use std::time::Instant;
+
+const MESSAGE_BITS: u32 = 128;
+const K: u32 = 4;
+const C: u32 = 8;
+const SNR_DB: f64 = 8.0;
+const BEAM: usize = 16;
+/// Symbols of one full pass (`n / k` spine positions).
+const PASS_SYMBOLS: usize = (MESSAGE_BITS / K) as usize;
+/// Attempt intervals in symbols ("feedback delays") after the first
+/// full pass: 1 = per-symbol feedback, 4 = a stride-8 sub-pass,
+/// 32 = one full pass per attempt.
+const DELAYS: [usize; 4] = [1, 2, 4, 32];
+const STREAMS: usize = 8;
+const MAX_SYMBOLS: usize = 1600;
+
+struct Trial {
+    message: BitVec,
+    /// The noisy received stream in schedule order.
+    stream: Vec<(Slot, IqSymbol)>,
+}
+
+struct Point {
+    delay: usize,
+    incremental_sessions_per_sec: f64,
+    scratch_sessions_per_sec: f64,
+    speedup: f64,
+    mean_symbols_to_decode: f64,
+    levels_resumed_fraction: f64,
+}
+
+fn build_trials(seed: u64) -> (CodeParams, Vec<Trial>) {
+    let params = CodeParams::builder()
+        .message_bits(MESSAGE_BITS)
+        .k(K)
+        .seed(seed)
+        .build()
+        .expect("valid params");
+    let sched = StridedPuncture::stride8();
+    let trials = (0..STREAMS as u64)
+        .map(|i| {
+            let mut message = BitVec::new();
+            for b in 0..MESSAGE_BITS as u64 {
+                message.push(
+                    (seed ^ (i << 32)).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (b % 63) & 1 == 1,
+                );
+            }
+            let enc = Encoder::new(&params, Lookup3::new(seed), LinearMapper::new(C), &message)
+                .expect("valid message");
+            let mut channel = AwgnChannel::from_snr_db(SNR_DB, seed.wrapping_add(i * 7919));
+            let mut stream = Vec::with_capacity(MAX_SYMBOLS);
+            let mut slots = Vec::new();
+            let mut g = 0u32;
+            while stream.len() < MAX_SYMBOLS {
+                sched.subpass_slots_into(params.n_segments(), g, &mut slots);
+                for &slot in &slots {
+                    stream.push((slot, channel.transmit(enc.symbol(slot))));
+                }
+                g += 1;
+            }
+            stream.truncate(MAX_SYMBOLS);
+            Trial { message, stream }
+        })
+        .collect();
+    (params, trials)
+}
+
+/// One full incremental session: ingest bursts of `delay` symbols,
+/// retry via checkpoint resumption, stop at genie acceptance. Returns
+/// symbols consumed.
+#[allow(clippy::too_many_arguments)]
+fn run_incremental(
+    dec: &BeamDecoder<Lookup3, LinearMapper, AwgnCost>,
+    trial: &Trial,
+    delay: usize,
+    obs: &mut Observations<IqSymbol>,
+    ckpt: &mut BeamCheckpoints,
+    scratch: &mut DecoderScratch,
+    result: &mut DecodeResult,
+) -> usize {
+    obs.clear();
+    ckpt.reset();
+    // The receiver's first attempt waits for one full pass (every level
+    // observed once); the retry loop proper starts after it.
+    for &(slot, y) in &trial.stream[..PASS_SYMBOLS] {
+        obs.push(slot, y);
+    }
+    let mut used = PASS_SYMBOLS;
+    dec.decode_incremental(obs, 0, ckpt, scratch, result);
+    if result.message == trial.message {
+        return used;
+    }
+    for burst in trial.stream[PASS_SYMBOLS..].chunks(delay) {
+        let mut dirty = u32::MAX;
+        for &(slot, y) in burst {
+            obs.push(slot, y);
+            dirty = dirty.min(slot.t);
+        }
+        used += burst.len();
+        dec.decode_incremental(obs, dirty, ckpt, scratch, result);
+        if result.message == trial.message {
+            return used;
+        }
+    }
+    used
+}
+
+/// The identical attempt schedule, decoding from scratch each retry.
+fn run_scratch(
+    dec: &BeamDecoder<Lookup3, LinearMapper, AwgnCost>,
+    trial: &Trial,
+    delay: usize,
+    obs: &mut Observations<IqSymbol>,
+    scratch: &mut DecoderScratch,
+    result: &mut DecodeResult,
+) -> usize {
+    obs.clear();
+    for &(slot, y) in &trial.stream[..PASS_SYMBOLS] {
+        obs.push(slot, y);
+    }
+    let mut used = PASS_SYMBOLS;
+    dec.decode_into(obs, scratch, result);
+    if result.message == trial.message {
+        return used;
+    }
+    for burst in trial.stream[PASS_SYMBOLS..].chunks(delay) {
+        for &(slot, y) in burst {
+            obs.push(slot, y);
+        }
+        used += burst.len();
+        dec.decode_into(obs, scratch, result);
+        if result.message == trial.message {
+            return used;
+        }
+    }
+    used
+}
+
+fn time_per_sweep(rounds: u32, f: &mut impl FnMut() -> usize) -> f64 {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = RunArgs::parse(30);
+    banner(
+        "session: incremental retry vs decode-from-scratch",
+        &args,
+        &format!(
+            "message_bits={MESSAGE_BITS} k={K} c={C} B={BEAM} snr={SNR_DB}dB stride-8 streams={STREAMS}"
+        ),
+    );
+    let rounds = if args.quick { 3 } else { args.trials.max(3) };
+    let (params, trials) = build_trials(args.seed);
+    let dec = BeamDecoder::new(
+        &params,
+        Lookup3::new(args.seed),
+        LinearMapper::new(C),
+        AwgnCost,
+        BeamConfig::with_beam(BEAM),
+    )
+    .expect("valid decoder config");
+
+    let mut obs = Observations::new(params.n_segments());
+    let mut ckpt = BeamCheckpoints::new();
+    let mut scratch = DecoderScratch::new();
+    let mut result = DecodeResult::default();
+
+    println!(
+        "{:>7} {:>18} {:>18} {:>8} {:>12} {:>14}",
+        "delay", "incr sessions/s", "scratch sessions/s", "speedup", "mean syms", "lvls resumed"
+    );
+    let mut points = Vec::new();
+    for &delay in &DELAYS {
+        // Bit-identity: both receivers must accept at the same symbol.
+        let mut total_syms = 0usize;
+        for trial in &trials {
+            let a = run_incremental(
+                &dec,
+                trial,
+                delay,
+                &mut obs,
+                &mut ckpt,
+                &mut scratch,
+                &mut result,
+            );
+            let b = run_scratch(&dec, trial, delay, &mut obs, &mut scratch, &mut result);
+            assert_eq!(a, b, "engines must accept at the same symbol (d={delay})");
+            assert!(
+                a < MAX_SYMBOLS,
+                "stream budget too small to decode at d={delay}"
+            );
+            total_syms += a;
+        }
+        // Resumption fraction measured on a fresh checkpoint sweep.
+        let mut frac_ckpt = BeamCheckpoints::new();
+        for trial in &trials {
+            run_incremental(
+                &dec,
+                trial,
+                delay,
+                &mut obs,
+                &mut frac_ckpt,
+                &mut scratch,
+                &mut result,
+            );
+        }
+        let resumed = frac_ckpt.levels_resumed() as f64;
+        let run = frac_ckpt.levels_run() as f64;
+
+        let mut incr = || {
+            let mut acc = 0;
+            for trial in &trials {
+                acc += run_incremental(
+                    &dec,
+                    trial,
+                    delay,
+                    &mut obs,
+                    &mut ckpt,
+                    &mut scratch,
+                    &mut result,
+                );
+            }
+            acc
+        };
+        let incr_secs = time_per_sweep(rounds, &mut incr) / STREAMS as f64;
+        let mut scr = || {
+            let mut acc = 0;
+            for trial in &trials {
+                acc += run_scratch(&dec, trial, delay, &mut obs, &mut scratch, &mut result);
+            }
+            acc
+        };
+        let scr_secs = time_per_sweep(rounds, &mut scr) / STREAMS as f64;
+
+        let point = Point {
+            delay,
+            incremental_sessions_per_sec: 1.0 / incr_secs,
+            scratch_sessions_per_sec: 1.0 / scr_secs,
+            speedup: scr_secs / incr_secs,
+            mean_symbols_to_decode: total_syms as f64 / STREAMS as f64,
+            levels_resumed_fraction: resumed / (resumed + run),
+        };
+        println!(
+            "{:>7} {:>18.1} {:>18.1} {:>7.2}x {:>12.1} {:>13.1}%",
+            point.delay,
+            point.incremental_sessions_per_sec,
+            point.scratch_sessions_per_sec,
+            point.speedup,
+            point.mean_symbols_to_decode,
+            100.0 * point.levels_resumed_fraction,
+        );
+        points.push(point);
+    }
+
+    let json = render_json(&args, rounds, &points);
+    std::fs::write("BENCH_session.json", &json).expect("write BENCH_session.json");
+    println!("# wrote BENCH_session.json");
+}
+
+/// Hand-rendered JSON (the workspace carries no serialization
+/// dependency).
+fn render_json(args: &RunArgs, rounds: u32, points: &[Point]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"session_incremental_retry\",\n");
+    s.push_str("  \"config\": {\n");
+    s.push_str(&format!(
+        "    \"message_bits\": {MESSAGE_BITS},\n    \"k\": {K},\n    \"c\": {C},\n    \"beam\": {BEAM},\n    \"snr_db\": {SNR_DB},\n    \"schedule\": \"strided-8\",\n    \"streams\": {STREAMS},\n"
+    ));
+    s.push_str(&format!(
+        "    \"seed\": {},\n    \"rounds\": {},\n    \"baseline\": \"decode_with_scratch from level 0 on every retry (identical attempt schedule)\"\n",
+        args.seed, rounds
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"attempt_interval_symbols\": {}, \"incremental_sessions_per_sec\": {:.1}, \"scratch_sessions_per_sec\": {:.1}, \"speedup\": {:.3}, \"mean_symbols_to_decode\": {:.1}, \"levels_resumed_fraction\": {:.3}}}{}\n",
+            p.delay,
+            p.incremental_sessions_per_sec,
+            p.scratch_sessions_per_sec,
+            p.speedup,
+            p.mean_symbols_to_decode,
+            p.levels_resumed_fraction,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -203,7 +203,8 @@ where
             trials,
             seed,
             |params, hash, obs, message| {
-                let decoder = BeamDecoder::new(params, hash, mapper.clone(), cost.clone(), beam);
+                let decoder = BeamDecoder::new(params, hash, mapper.clone(), cost.clone(), beam)
+                    .expect("valid decoder config");
                 decoder.decode_into(obs, &mut scratch, &mut result);
                 result.message == *message
             },
@@ -286,7 +287,11 @@ fn main() {
         awgn.max_passes,
         [0, 1, 2],
         |s| AwgnChannel::from_snr_db(AWGN_SNR_DB, s),
-        |engine| run_awgn_with(&awgn, AWGN_SNR_DB, trials, args.seed, engine).successes,
+        |engine| {
+            run_awgn_with(&awgn, AWGN_SNR_DB, trials, args.seed, engine)
+                .expect("valid experiment config")
+                .successes
+        },
         trials,
         args.seed,
         threads,
@@ -304,7 +309,11 @@ fn main() {
         bsc.max_passes,
         [10, 11, 12],
         |s| BscChannel::new(BSC_P, s),
-        |engine| run_bsc_with(&bsc, BSC_P, bsc_trials, args.seed, engine).successes,
+        |engine| {
+            run_bsc_with(&bsc, BSC_P, bsc_trials, args.seed, engine)
+                .expect("valid experiment config")
+                .successes
+        },
         bsc_trials,
         args.seed,
         threads,

@@ -39,7 +39,8 @@ fn main() {
             snr,
             args.trials,
             derive_seed(args.seed, 1, snr.to_bits()),
-        );
+        )
+        .expect("valid experiment config");
         (out.rate_mean(), out.throughput())
     });
 

@@ -47,6 +47,7 @@ fn main() {
             args.trials,
             derive_seed(args.seed, 12, d << 8 | u64::from(w)),
         )
+        .expect("valid link config")
         .throughput(cfg.message_bits)
     });
 

@@ -102,15 +102,16 @@ fn main() {
 
     let mut rows = Vec::new();
     for snr_db in [5.0, 15.0] {
-        let out = run_awgn_with(&awgn, snr_db, TRIALS, SEED, &e2);
-        let serial = run_awgn_with(&awgn, snr_db, TRIALS, SEED, &e1);
+        let out = run_awgn_with(&awgn, snr_db, TRIALS, SEED, &e2).expect("valid experiment config");
+        let serial =
+            run_awgn_with(&awgn, snr_db, TRIALS, SEED, &e1).expect("valid experiment config");
         let label = format!("awgn/{snr_db}dB");
         assert_identical(&label, &out, &serial);
         rows.push(point_json(&label, &out));
     }
     for p in [0.0, 0.05] {
-        let out = run_bsc_with(&bsc, p, TRIALS, SEED, &e2);
-        let serial = run_bsc_with(&bsc, p, TRIALS, SEED, &e1);
+        let out = run_bsc_with(&bsc, p, TRIALS, SEED, &e2).expect("valid experiment config");
+        let serial = run_bsc_with(&bsc, p, TRIALS, SEED, &e1).expect("valid experiment config");
         let label = format!("bsc/p{p}");
         assert_identical(&label, &out, &serial);
         rows.push(point_json(&label, &out));

@@ -51,14 +51,16 @@ fn main() {
         passes,
         args.trials,
         derive_seed(args.seed, 5, 0),
-    );
+    )
+    .expect("valid experiment config");
     let with = ber_by_position_awgn(
         &cfg(2),
         snr_db,
         passes,
         args.trials,
         derive_seed(args.seed, 5, 1),
-    );
+    )
+    .expect("valid experiment config");
 
     println!("{:>4} {:>10} {:>10}", "bit", "no-tail", "2-tail");
     for i in 0..32 {

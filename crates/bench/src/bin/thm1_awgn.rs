@@ -61,7 +61,8 @@ fn main() {
                 &[l],
                 args.trials,
                 derive_seed(args.seed, 3, u64::from(l)),
-            )[0]
+            )
+            .expect("valid experiment config")[0]
         });
         println!(
             "\nSNR = {snr_db} dB   (Theorem-1 threshold L* = {})",

@@ -41,7 +41,8 @@ fn main() {
                 &[l],
                 args.trials,
                 derive_seed(args.seed, 4, u64::from(l) ^ p.to_bits()),
-            )[0]
+            )
+            .expect("valid experiment config")[0]
         });
         println!("\np = {p}   (Theorem-2 threshold L* = {lstar})");
         println!("{:>4} {:>8} {:>10} {:>8}", "L", "rate", "BER", "FER");

@@ -53,14 +53,27 @@ impl AwgnChannel {
     ///
     /// # Panics
     ///
-    /// Panics if `sigma2` is negative.
+    /// Panics if `sigma2` is negative;
+    /// [`try_from_sigma2`](Self::try_from_sigma2) is the checked form.
     pub fn from_sigma2(sigma2: f64, seed: u64) -> Self {
-        assert!(sigma2 >= 0.0, "noise variance must be non-negative");
-        Self {
+        Self::try_from_sigma2(sigma2, seed).expect("noise variance must be non-negative")
+    }
+
+    /// Channel with explicit total noise variance `σ²`, rejecting a
+    /// negative variance with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`spinal_core::SpinalError::NoiseVariance`].
+    pub fn try_from_sigma2(sigma2: f64, seed: u64) -> Result<Self, spinal_core::SpinalError> {
+        if sigma2.is_nan() || sigma2 < 0.0 {
+            return Err(spinal_core::SpinalError::NoiseVariance(sigma2));
+        }
+        Ok(Self {
             sigma2,
             sigma_dim: (sigma2 / 2.0).sqrt(),
             gauss: GaussianSampler::seed_from(seed),
-        }
+        })
     }
 
     /// Total complex noise variance `σ²`.

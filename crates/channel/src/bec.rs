@@ -8,6 +8,7 @@
 //! use it.
 
 use crate::rng::Rng;
+use spinal_core::SpinalError;
 
 /// BEC with erasure probability `e`. `transmit` returns `None` on
 /// erasure.
@@ -24,15 +25,32 @@ impl BecChannel {
     ///
     /// # Panics
     ///
-    /// Panics if `e` is outside `[0, 1]`.
+    /// Panics if `e` is outside `[0, 1]`; [`try_new`](Self::try_new) is
+    /// the checked form.
     pub fn new(e: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&e), "BEC requires e in [0,1], got {e}");
-        Self {
+        Self::try_new(e, seed)
+            .unwrap_or_else(|err| panic!("BEC requires e in [0,1], got {e}: {err}"))
+    }
+
+    /// Creates a BEC(e), rejecting probabilities outside `[0, 1]` with a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::Probability`].
+    pub fn try_new(e: f64, seed: u64) -> Result<Self, SpinalError> {
+        if !(0.0..=1.0).contains(&e) {
+            return Err(SpinalError::Probability {
+                name: "erasure",
+                value: e,
+            });
+        }
+        Ok(Self {
             e,
             rng: Rng::seed_from(seed),
             erasures: 0,
             transmitted: 0,
-        }
+        })
     }
 
     /// The erasure probability.

@@ -7,6 +7,7 @@
 
 use crate::awgn::Channel;
 use crate::rng::Rng;
+use spinal_core::SpinalError;
 
 /// BSC with crossover probability `p`.
 #[derive(Clone, Debug)]
@@ -22,15 +23,31 @@ impl BscChannel {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `[0, 1]`.
+    /// Panics if `p` is outside `[0, 1]`; [`try_new`](Self::try_new) is
+    /// the checked form.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "BSC requires p in [0,1], got {p}");
-        Self {
+        Self::try_new(p, seed).unwrap_or_else(|e| panic!("BSC requires p in [0,1], got {p}: {e}"))
+    }
+
+    /// Creates a BSC(p), rejecting probabilities outside `[0, 1]` with a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::Probability`].
+    pub fn try_new(p: f64, seed: u64) -> Result<Self, SpinalError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(SpinalError::Probability {
+                name: "crossover",
+                value: p,
+            });
+        }
+        Ok(Self {
             p,
             rng: Rng::seed_from(seed),
             flips: 0,
             transmitted: 0,
-        }
+        })
     }
 
     /// The crossover probability.

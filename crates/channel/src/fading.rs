@@ -75,15 +75,28 @@ impl RayleighBlockFading {
     ///
     /// # Panics
     ///
-    /// Panics if `block_len == 0`.
+    /// Panics if `block_len == 0`; [`try_new`](Self::try_new) is the
+    /// checked form.
     pub fn new(block_len: u32, seed: u64) -> Self {
-        assert!(block_len > 0, "block length must be positive");
-        Self {
+        Self::try_new(block_len, seed).expect("block length must be positive")
+    }
+
+    /// Creates the process, rejecting a zero block length with a typed
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`spinal_core::SpinalError::BlockLength`].
+    pub fn try_new(block_len: u32, seed: u64) -> Result<Self, spinal_core::SpinalError> {
+        if block_len == 0 {
+            return Err(spinal_core::SpinalError::BlockLength(block_len));
+        }
+        Ok(Self {
             block_len,
             idx: 0,
             gain: Gain::unit(),
             gauss: GaussianSampler::seed_from(seed),
-        }
+        })
     }
 
     /// The block length in symbols.

@@ -8,14 +8,16 @@
 
 use crate::bits::BitVec;
 use crate::decode::{
-    AwgnCost, BeamConfig, BeamDecoder, BscCost, MlConfig, MlDecoder, Observations,
+    AwgnCost, BeamConfig, BeamDecoder, BscCost, CostModel, MlConfig, MlDecoder, Observations,
 };
 use crate::encode::Encoder;
+use crate::error::SpinalError;
+use crate::frame::AnyTerminator;
 use crate::hash::{Lookup3, SpineHash};
 use crate::map::{BinaryMapper, LinearMapper, Mapper};
-use crate::params::{CodeParams, ParamError};
+use crate::params::CodeParams;
 use crate::puncture::{NoPuncture, PunctureSchedule, StridedPuncture};
-use crate::spine::SpineError;
+use crate::session::{RxConfig, RxSession, TxSession};
 use crate::symbol::IqSymbol;
 
 /// A complete spinal-code configuration: parameters + hash + mapper +
@@ -36,7 +38,7 @@ use crate::symbol::IqSymbol;
 /// let mut obs = code.observations();
 /// obs.extend(enc.stream(code.schedule()).take(3));
 ///
-/// let dec = code.awgn_beam_decoder(BeamConfig::paper_default());
+/// let dec = code.awgn_beam_decoder(BeamConfig::paper_default()).unwrap();
 /// assert_eq!(dec.decode(&obs).message, message);
 /// ```
 #[derive(Clone, Debug)]
@@ -50,7 +52,7 @@ pub struct SpinalCode<H: SpineHash, M: Mapper, P: PunctureSchedule> {
 impl SpinalCode<Lookup3, LinearMapper, StridedPuncture> {
     /// The configuration evaluated in Figure 2: `k = 8`, `c = 10`,
     /// lookup3 spine hash, linear (Eq. 3) mapper, stride-8 puncturing.
-    pub fn fig2(message_bits: u32, seed: u64) -> Result<Self, ParamError> {
+    pub fn fig2(message_bits: u32, seed: u64) -> Result<Self, SpinalError> {
         let params = CodeParams::builder()
             .message_bits(message_bits)
             .k(8)
@@ -68,7 +70,7 @@ impl SpinalCode<Lookup3, LinearMapper, StridedPuncture> {
 impl SpinalCode<Lookup3, BinaryMapper, NoPuncture> {
     /// A BSC instantiation: binary mapper (one coded bit per spine value
     /// per pass), no puncturing.
-    pub fn bsc(message_bits: u32, k: u32, seed: u64) -> Result<Self, ParamError> {
+    pub fn bsc(message_bits: u32, k: u32, seed: u64) -> Result<Self, SpinalError> {
         let params = CodeParams::builder()
             .message_bits(message_bits)
             .k(k)
@@ -117,13 +119,57 @@ impl<H: SpineHash, M: Mapper, P: PunctureSchedule> SpinalCode<H, M, P> {
     }
 
     /// Builds an encoder for `message`.
-    pub fn encoder(&self, message: &BitVec) -> Result<Encoder<H, M>, SpineError> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::MessageLength`] when the message does not
+    /// match the parameters.
+    pub fn encoder(&self, message: &BitVec) -> Result<Encoder<H, M>, SpinalError> {
         Encoder::new(
             &self.params,
             self.hash.clone(),
             self.mapper.clone(),
             message,
         )
+    }
+
+    /// Opens a sender session for `message`: the rateless symbol stream
+    /// under this code's schedule, with seek/replay for NACK handling
+    /// (see [`TxSession`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::MessageLength`] when the message does not
+    /// match the parameters.
+    pub fn tx_session(&self, message: &BitVec) -> Result<TxSession<H, M, P>, SpinalError> {
+        Ok(TxSession::new(
+            self.encoder(message)?,
+            self.schedule.clone(),
+        ))
+    }
+
+    /// Opens a receiver session around an explicit cost model — the
+    /// generic form behind
+    /// [`awgn_rx_session`](SpinalCode::awgn_rx_session) /
+    /// [`bsc_rx_session`](SpinalCode::bsc_rx_session).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid beam or session configuration.
+    pub fn rx_session<C: CostModel<M::Symbol>>(
+        &self,
+        cost: C,
+        terminator: AnyTerminator,
+        cfg: RxConfig,
+    ) -> Result<RxSession<H, M, C, P>, SpinalError> {
+        let decoder = BeamDecoder::new(
+            &self.params,
+            self.hash.clone(),
+            self.mapper.clone(),
+            cost,
+            cfg.beam,
+        )?;
+        RxSession::new(decoder, self.schedule.clone(), terminator, cfg)
     }
 
     /// An empty, correctly sized observation set for this code.
@@ -134,7 +180,14 @@ impl<H: SpineHash, M: Mapper, P: PunctureSchedule> SpinalCode<H, M, P> {
 
 impl<H: SpineHash, M: Mapper<Symbol = IqSymbol>, P: PunctureSchedule> SpinalCode<H, M, P> {
     /// A beam decoder with the AWGN (ℓ²) metric.
-    pub fn awgn_beam_decoder(&self, config: BeamConfig) -> BeamDecoder<H, M, AwgnCost> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::BeamConfig`] for an invalid configuration.
+    pub fn awgn_beam_decoder(
+        &self,
+        config: BeamConfig,
+    ) -> Result<BeamDecoder<H, M, AwgnCost>, SpinalError> {
         BeamDecoder::new(
             &self.params,
             self.hash.clone(),
@@ -144,8 +197,28 @@ impl<H: SpineHash, M: Mapper<Symbol = IqSymbol>, P: PunctureSchedule> SpinalCode
         )
     }
 
+    /// A receiver session with the AWGN (ℓ²) metric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid beam or session configuration.
+    pub fn awgn_rx_session(
+        &self,
+        terminator: AnyTerminator,
+        cfg: RxConfig,
+    ) -> Result<RxSession<H, M, AwgnCost, P>, SpinalError> {
+        self.rx_session(AwgnCost, terminator, cfg)
+    }
+
     /// An exact ML decoder with the AWGN (ℓ²) metric (small messages).
-    pub fn awgn_ml_decoder(&self, config: MlConfig) -> MlDecoder<H, M, AwgnCost> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::NodeBudget`] for a zero node budget.
+    pub fn awgn_ml_decoder(
+        &self,
+        config: MlConfig,
+    ) -> Result<MlDecoder<H, M, AwgnCost>, SpinalError> {
         MlDecoder::new(
             &self.params,
             self.hash.clone(),
@@ -158,7 +231,14 @@ impl<H: SpineHash, M: Mapper<Symbol = IqSymbol>, P: PunctureSchedule> SpinalCode
 
 impl<H: SpineHash, M: Mapper<Symbol = u8>, P: PunctureSchedule> SpinalCode<H, M, P> {
     /// A beam decoder with the BSC (Hamming) metric.
-    pub fn bsc_beam_decoder(&self, config: BeamConfig) -> BeamDecoder<H, M, BscCost> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::BeamConfig`] for an invalid configuration.
+    pub fn bsc_beam_decoder(
+        &self,
+        config: BeamConfig,
+    ) -> Result<BeamDecoder<H, M, BscCost>, SpinalError> {
         BeamDecoder::new(
             &self.params,
             self.hash.clone(),
@@ -168,9 +248,29 @@ impl<H: SpineHash, M: Mapper<Symbol = u8>, P: PunctureSchedule> SpinalCode<H, M,
         )
     }
 
+    /// A receiver session with the BSC (Hamming) metric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid beam or session configuration.
+    pub fn bsc_rx_session(
+        &self,
+        terminator: AnyTerminator,
+        cfg: RxConfig,
+    ) -> Result<RxSession<H, M, BscCost, P>, SpinalError> {
+        self.rx_session(BscCost, terminator, cfg)
+    }
+
     /// An exact ML decoder with the BSC (Hamming) metric (small
     /// messages).
-    pub fn bsc_ml_decoder(&self, config: MlConfig) -> MlDecoder<H, M, BscCost> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::NodeBudget`] for a zero node budget.
+    pub fn bsc_ml_decoder(
+        &self,
+        config: MlConfig,
+    ) -> Result<MlDecoder<H, M, BscCost>, SpinalError> {
         MlDecoder::new(
             &self.params,
             self.hash.clone(),
@@ -193,7 +293,7 @@ mod tests {
         let enc = code.encoder(&msg).unwrap();
         let mut obs = code.observations();
         obs.extend(enc.stream(code.schedule()).take(6)); // two "passes" worth
-        let dec = code.awgn_beam_decoder(BeamConfig::paper_default());
+        let dec = code.awgn_beam_decoder(BeamConfig::paper_default()).unwrap();
         assert_eq!(dec.decode(&obs).message, msg);
     }
 
@@ -208,16 +308,16 @@ mod tests {
                 obs.push(Slot::new(t, pass), enc.symbol(Slot::new(t, pass)));
             }
         }
-        let dec = code.bsc_beam_decoder(BeamConfig::with_beam(8));
+        let dec = code.bsc_beam_decoder(BeamConfig::with_beam(8)).unwrap();
         assert_eq!(dec.decode(&obs).message, msg);
     }
 
     #[test]
     fn ml_decoders_constructible() {
         let code = SpinalCode::fig2(24, 0).unwrap();
-        let _ = code.awgn_ml_decoder(MlConfig::default());
+        let _ = code.awgn_ml_decoder(MlConfig::default()).unwrap();
         let bsc = SpinalCode::bsc(8, 4, 0).unwrap();
-        let _ = bsc.bsc_ml_decoder(MlConfig::default());
+        let _ = bsc.bsc_ml_decoder(MlConfig::default()).unwrap();
     }
 
     #[test]

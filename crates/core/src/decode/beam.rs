@@ -66,6 +66,7 @@ use crate::bits::BitVec;
 use crate::decode::batch::{self, ObsRead, PackedMask};
 use crate::decode::cost::CostModel;
 use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
+use crate::error::SpinalError;
 use crate::hash::SpineHash;
 use crate::map::Mapper;
 use crate::params::CodeParams;
@@ -101,6 +102,22 @@ impl BeamConfig {
             max_frontier: 1 << 16,
             defer_prune_unobserved: true,
         }
+    }
+
+    /// Checks the configuration's invariants: the beam width must be at
+    /// least 1 and no larger than the frontier cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::BeamConfig`] on violation.
+    pub fn validate(&self) -> Result<(), SpinalError> {
+        if self.beam_width < 1 || self.max_frontier < self.beam_width {
+            return Err(SpinalError::BeamConfig {
+                beam_width: self.beam_width,
+                max_frontier: self.max_frontier,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -162,6 +179,190 @@ impl DecoderScratch {
     }
 }
 
+/// Largest entering frontier [`BeamCheckpoints`] will snapshot. Levels
+/// whose frontier exceeds this (deep unobserved-gap deferral) stop the
+/// checkpoint prefix for that attempt; resumption then starts below
+/// them. Bounds checkpoint memory at
+/// `MAX_CHECKPOINT_FRONTIER × n_levels` entries.
+pub const MAX_CHECKPOINT_FRONTIER: usize = 1 << 12;
+
+/// One level's snapshot: the frontier *entering* the level, the arena
+/// prefix committed before it, and the cumulative work counters.
+#[derive(Clone, Debug, Default)]
+struct SavedLevel {
+    spines: Vec<u64>,
+    costs: Vec<f64>,
+    parents: Vec<u32>,
+    segs: Vec<u16>,
+    arena_len: usize,
+    stats: DecodeStats,
+}
+
+/// The contiguous prefix of per-level snapshots a prior attempt left
+/// behind. Entries `[0, valid)` describe the current observation prefix.
+#[derive(Clone, Debug, Default)]
+struct SavedStates {
+    levels: Vec<SavedLevel>,
+    valid: u32,
+}
+
+impl SavedStates {
+    /// Snapshots the state entering level `t`. Only extends the valid
+    /// prefix contiguously, and skips (freezing the prefix) when the
+    /// frontier is too large to be worth copying.
+    #[allow(clippy::too_many_arguments)]
+    fn save(
+        &mut self,
+        t: u32,
+        spines: &[u64],
+        costs: &[f64],
+        parents: &[u32],
+        segs: &[u16],
+        arena_len: usize,
+        stats: DecodeStats,
+    ) {
+        if t != self.valid || spines.len() > MAX_CHECKPOINT_FRONTIER {
+            return;
+        }
+        if self.levels.len() <= t as usize {
+            self.levels.resize_with(t as usize + 1, SavedLevel::default);
+        }
+        let e = &mut self.levels[t as usize];
+        e.spines.clear();
+        e.spines.extend_from_slice(spines);
+        e.costs.clear();
+        e.costs.extend_from_slice(costs);
+        e.parents.clear();
+        e.parents.extend_from_slice(parents);
+        e.segs.clear();
+        e.segs.extend_from_slice(segs);
+        e.arena_len = arena_len;
+        e.stats = stats;
+        self.valid = t + 1;
+    }
+}
+
+/// One level's cached hash-block plan (see [`crate::decode::batch`]),
+/// invalidated by observation-count changes. `obs_len == usize::MAX`
+/// marks a never-built or reset entry.
+#[derive(Clone, Debug)]
+struct CachedPlan {
+    obs_len: usize,
+    block_ids: Vec<u64>,
+    reads: Vec<ObsRead>,
+    packed: Vec<PackedMask>,
+}
+
+impl Default for CachedPlan {
+    fn default() -> Self {
+        Self {
+            obs_len: usize::MAX,
+            block_ids: Vec::new(),
+            reads: Vec::new(),
+            packed: Vec::new(),
+        }
+    }
+}
+
+/// Persistent cross-attempt state for [`BeamDecoder::decode_incremental`]:
+/// per-level frontier checkpoints, the backtracking arena they index
+/// into, and per-level hash-block plan caches.
+///
+/// A retry that only added observations at levels `>= d` (e.g. one more
+/// punctured sub-pass, or the next symbol of an in-progress pass) resumes
+/// the level sweep at `d` instead of level 0: everything below `d` saw
+/// identical observations, so the saved frontier is exactly what a
+/// from-scratch decode would recompute. The result — message, costs,
+/// candidates, *and* [`DecodeStats`] (reported as-if-from-scratch) — is
+/// **bit-identical** to [`BeamDecoder::decode_into`] over the same
+/// observation set.
+///
+/// # Contract
+///
+/// A checkpoint store belongs to one `(decoder, observation set)` pair at
+/// a time, and the observation set must be **append-only** between
+/// attempts. Call [`reset`](Self::reset) whenever the observations are
+/// cleared or the decoder (parameters, hash, config) changes; stale
+/// checkpoints are also discarded automatically when the observation
+/// count shrinks or the level count changes. After the first attempt
+/// warms the buffers, checkpointing allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct BeamCheckpoints {
+    saved: SavedStates,
+    /// The backtracking arena shared across attempts (replaces the
+    /// per-attempt arena in [`DecoderScratch`]).
+    arena_parents: Vec<u32>,
+    arena_segs: Vec<u16>,
+    plans: Vec<CachedPlan>,
+    /// Observation count at the last attempt (shrinkage ⇒ stale).
+    obs_len: usize,
+    n_levels: u32,
+    levels_resumed: u64,
+    levels_run: u64,
+}
+
+impl BeamCheckpoints {
+    /// Creates an empty checkpoint store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discards all checkpoints and cached plans (keeping capacity), so
+    /// the next attempt decodes from level 0. Required when the
+    /// observation set is cleared or the decoder changes.
+    pub fn reset(&mut self) {
+        self.saved.valid = 0;
+        for plan in &mut self.plans {
+            plan.obs_len = usize::MAX;
+        }
+        self.obs_len = 0;
+        self.n_levels = 0;
+    }
+
+    /// Tree levels skipped via checkpoint resumption, accumulated over
+    /// the store's lifetime — the direct measure of the incremental-retry
+    /// saving.
+    pub fn levels_resumed(&self) -> u64 {
+        self.levels_resumed
+    }
+
+    /// Tree levels actually expanded across all attempts.
+    pub fn levels_run(&self) -> u64 {
+        self.levels_run
+    }
+}
+
+/// Where the level loop gets its hash-block plans from.
+enum PlanSource<'a> {
+    /// Rebuild every level's plan into per-attempt scratch buffers
+    /// (the batch path).
+    Scratch {
+        block_ids: &'a mut Vec<u64>,
+        reads: &'a mut Vec<ObsRead>,
+        packed: &'a mut Vec<PackedMask>,
+    },
+    /// Reuse cached plans, rebuilding only levels whose observation
+    /// count changed (the incremental path).
+    Cached(&'a mut Vec<CachedPlan>),
+}
+
+/// The frontier / expansion working buffers borrowed out of a
+/// [`DecoderScratch`] for one attempt.
+struct SearchBufs<'a> {
+    fr_spines: &'a mut Vec<u64>,
+    fr_costs: &'a mut Vec<f64>,
+    fr_parents: &'a mut Vec<u32>,
+    fr_segs: &'a mut Vec<u16>,
+    next_spines: &'a mut Vec<u64>,
+    next_costs: &'a mut Vec<f64>,
+    next_parents: &'a mut Vec<u32>,
+    next_segs: &'a mut Vec<u16>,
+    blocks: &'a mut Vec<u64>,
+    seg_ids: &'a mut Vec<u64>,
+    order: &'a mut Vec<u32>,
+    path: &'a mut Vec<u16>,
+}
+
 /// The practical spinal decoder: B-beam search over the decoding tree.
 ///
 /// # Example
@@ -189,7 +390,7 @@ impl DecoderScratch {
 /// }
 ///
 /// let dec = BeamDecoder::new(&params, Lookup3::new(0), LinearMapper::new(10),
-///                            AwgnCost, BeamConfig::paper_default());
+///                            AwgnCost, BeamConfig::paper_default()).unwrap();
 /// assert_eq!(dec.decode(&obs).message, message);
 /// ```
 #[derive(Clone, Debug)]
@@ -208,27 +409,37 @@ pub struct BeamDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> {
 impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
     /// Builds a decoder. `params`, `hash` (same seed!) and `mapper` must
     /// match the encoder's.
-    pub fn new(params: &CodeParams, hash: H, mapper: M, cost: C, config: BeamConfig) -> Self {
-        assert!(config.beam_width >= 1, "beam width must be at least 1");
-        assert!(
-            config.max_frontier >= config.beam_width,
-            "max_frontier ({}) must be >= beam_width ({})",
-            config.max_frontier,
-            config.beam_width
-        );
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::BeamConfig`] when the configuration's
+    /// invariants do not hold (see [`BeamConfig::validate`]).
+    pub fn new(
+        params: &CodeParams,
+        hash: H,
+        mapper: M,
+        cost: C,
+        config: BeamConfig,
+    ) -> Result<Self, SpinalError> {
+        config.validate()?;
+        Ok(Self {
             params: *params,
             hash,
             mapper,
             cost: cost.clone(),
             config,
             parallel_workers: default_parallel_workers(),
-        }
+        })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &BeamConfig {
         &self.config
+    }
+
+    /// The code parameters this decoder was built for.
+    pub fn params(&self) -> &CodeParams {
+        &self.params
     }
 
     /// Overrides the worker-thread count the `parallel` feature may use
@@ -278,6 +489,10 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
     /// allocation** (the `parallel` feature's scoped worker threads are
     /// the one exception — thread spawning allocates stacks).
     ///
+    /// This is the one-shot form of the search:
+    /// [`decode_incremental`](Self::decode_incremental) runs the same
+    /// level sweep but resumes from per-level checkpoints.
+    ///
     /// # Panics
     ///
     /// Panics if `obs` was created for a different spine length.
@@ -287,23 +502,12 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         scratch: &mut DecoderScratch,
         out: &mut DecodeResult,
     ) {
-        assert_eq!(
-            obs.n_levels(),
-            self.params.n_segments(),
-            "observations sized for {} levels, code has {}",
-            obs.n_levels(),
-            self.params.n_segments()
-        );
-        let n_levels = self.params.n_segments();
-        let msg_segs = self.params.message_segments();
-        let branch = 1usize << self.params.k();
-        let bps = self.mapper.bits_per_symbol();
-
+        self.check_levels(obs);
         let DecoderScratch {
-            spines: fr_spines,
-            costs: fr_costs,
-            parents: fr_parents,
-            segs: fr_segs,
+            spines,
+            costs,
+            parents,
+            segs,
             next_spines,
             next_costs,
             next_parents,
@@ -318,35 +522,248 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             order,
             path,
         } = scratch;
+        let bufs = SearchBufs {
+            fr_spines: spines,
+            fr_costs: costs,
+            fr_parents: parents,
+            fr_segs: segs,
+            next_spines,
+            next_costs,
+            next_parents,
+            next_segs,
+            blocks,
+            seg_ids,
+            order,
+            path,
+        };
+        self.run_levels(
+            obs,
+            bufs,
+            arena_parents,
+            arena_segs,
+            PlanSource::Scratch {
+                block_ids,
+                reads,
+                packed,
+            },
+            None,
+            0,
+            fresh_stats(),
+            out,
+        );
+    }
+
+    /// Incremental re-decode for rateless retry loops: bit-identical to
+    /// [`decode_into`](Self::decode_into) over the same observations, but
+    /// resumes the level sweep from the deepest checkpoint at or below
+    /// `dirty_from` — the lowest spine position that received a new
+    /// observation since the previous attempt with this `ckpt`. Levels
+    /// below the resume point are not re-expanded; their saved frontier
+    /// is exactly what a from-scratch decode would recompute, because
+    /// their observations did not change.
+    ///
+    /// Pass `dirty_from = 0` (or a fresh/reset `ckpt`) to decode from
+    /// scratch; pass `dirty_from >= n_segments` when no observation was
+    /// added to re-rank the saved final frontier without any expansion.
+    ///
+    /// The reported [`DecodeStats`] are *as-if-from-scratch* (prefix
+    /// counters are restored from the checkpoint), so results compare
+    /// bit-for-bit with the batch path; the actual work saved is
+    /// tracked on the checkpoint store
+    /// ([`BeamCheckpoints::levels_resumed`]).
+    ///
+    /// See [`BeamCheckpoints`] for the append-only observation contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` was created for a different spine length.
+    pub fn decode_incremental(
+        &self,
+        obs: &Observations<M::Symbol>,
+        dirty_from: u32,
+        ckpt: &mut BeamCheckpoints,
+        scratch: &mut DecoderScratch,
+        out: &mut DecodeResult,
+    ) {
+        self.check_levels(obs);
+        let n_levels = self.params.n_segments();
+        if ckpt.n_levels != n_levels || obs.len() < ckpt.obs_len {
+            // Geometry changed or observations shrank: everything saved
+            // is stale.
+            ckpt.reset();
+            ckpt.n_levels = n_levels;
+        }
+        let start = dirty_from
+            .min(n_levels)
+            .min(ckpt.saved.valid.saturating_sub(1));
+        ckpt.levels_resumed += u64::from(start);
+        ckpt.levels_run += u64::from(n_levels - start);
+        ckpt.obs_len = obs.len();
+        if ckpt.plans.len() < n_levels as usize {
+            ckpt.plans
+                .resize_with(n_levels as usize, CachedPlan::default);
+        }
+
+        let init_stats = if start == 0 {
+            fresh_stats()
+        } else {
+            ckpt.saved.levels[start as usize].stats
+        };
+        if start > 0 {
+            // Restore the frontier entering `start` and roll the arena
+            // back to what was committed before it.
+            let e = &ckpt.saved.levels[start as usize];
+            scratch.spines.clear();
+            scratch.spines.extend_from_slice(&e.spines);
+            scratch.costs.clear();
+            scratch.costs.extend_from_slice(&e.costs);
+            scratch.parents.clear();
+            scratch.parents.extend_from_slice(&e.parents);
+            scratch.segs.clear();
+            scratch.segs.extend_from_slice(&e.segs);
+            ckpt.arena_parents.truncate(e.arena_len);
+            ckpt.arena_segs.truncate(e.arena_len);
+        }
+        // Checkpoints at and above the resume point are about to be
+        // overwritten.
+        ckpt.saved.valid = start;
+
+        let BeamCheckpoints {
+            saved,
+            arena_parents,
+            arena_segs,
+            plans,
+            ..
+        } = ckpt;
+        let DecoderScratch {
+            spines,
+            costs,
+            parents,
+            segs,
+            next_spines,
+            next_costs,
+            next_parents,
+            next_segs,
+            blocks,
+            seg_ids,
+            order,
+            path,
+            ..
+        } = scratch;
+        let bufs = SearchBufs {
+            fr_spines: spines,
+            fr_costs: costs,
+            fr_parents: parents,
+            fr_segs: segs,
+            next_spines,
+            next_costs,
+            next_parents,
+            next_segs,
+            blocks,
+            seg_ids,
+            order,
+            path,
+        };
+        self.run_levels(
+            obs,
+            bufs,
+            arena_parents,
+            arena_segs,
+            PlanSource::Cached(plans),
+            Some(saved),
+            start,
+            init_stats,
+            out,
+        );
+    }
+
+    fn check_levels(&self, obs: &Observations<M::Symbol>) {
+        assert_eq!(
+            obs.n_levels(),
+            self.params.n_segments(),
+            "observations sized for {} levels, code has {}",
+            obs.n_levels(),
+            self.params.n_segments()
+        );
+    }
+
+    /// The level sweep shared by the batch and incremental entry points.
+    /// `bufs` must hold the frontier entering `start_level` (for
+    /// `start_level == 0` it is initialized here), and the arena must be
+    /// truncated to its pre-`start_level` prefix.
+    #[allow(clippy::too_many_arguments)]
+    fn run_levels(
+        &self,
+        obs: &Observations<M::Symbol>,
+        bufs: SearchBufs<'_>,
+        arena_parents: &mut Vec<u32>,
+        arena_segs: &mut Vec<u16>,
+        mut plans: PlanSource<'_>,
+        mut saver: Option<&mut SavedStates>,
+        start_level: u32,
+        init_stats: DecodeStats,
+        out: &mut DecodeResult,
+    ) {
+        let n_levels = self.params.n_segments();
+        let msg_segs = self.params.message_segments();
+        let branch = 1usize << self.params.k();
+        let bps = self.mapper.bits_per_symbol();
+
+        let SearchBufs {
+            fr_spines,
+            fr_costs,
+            fr_parents,
+            fr_segs,
+            next_spines,
+            next_costs,
+            next_parents,
+            next_segs,
+            blocks,
+            seg_ids,
+            order,
+            path,
+        } = bufs;
         if seg_ids.len() < branch {
             seg_ids.extend(seg_ids.len() as u64..branch as u64);
         }
 
-        // The root is a placeholder: it is not in the arena; its children
-        // use parent = u32::MAX.
-        fr_spines.clear();
-        fr_costs.clear();
-        fr_parents.clear();
-        fr_segs.clear();
-        fr_spines.push(INITIAL_SPINE);
-        fr_costs.push(0.0);
-        fr_parents.push(u32::MAX);
-        fr_segs.push(0);
-        arena_parents.clear();
-        arena_segs.clear();
-        let mut root_level = true;
+        if start_level == 0 {
+            // The root is a placeholder: it is not in the arena; its
+            // children use parent = u32::MAX.
+            fr_spines.clear();
+            fr_costs.clear();
+            fr_parents.clear();
+            fr_segs.clear();
+            fr_spines.push(INITIAL_SPINE);
+            fr_costs.push(0.0);
+            fr_parents.push(u32::MAX);
+            fr_segs.push(0);
+            arena_parents.clear();
+            arena_segs.clear();
+        }
 
-        let mut stats = DecodeStats {
-            nodes_expanded: 0,
-            frontier_peak: 1,
-            hash_calls: 0,
-            complete: true,
-        };
+        let mut stats = init_stats;
 
-        for t in 0..n_levels {
+        for t in start_level..n_levels {
+            let root_level = t == 0;
             let level_obs = obs.at_level(t);
             let tail = t >= msg_segs;
             let level_branch = if tail { 1 } else { branch };
+
+            // Snapshot the state entering this level so a later attempt
+            // whose first new observation sits at or above `t` can resume
+            // here.
+            if let Some(sv) = saver.as_deref_mut() {
+                sv.save(
+                    t,
+                    fr_spines,
+                    fr_costs,
+                    fr_parents,
+                    fr_segs,
+                    arena_parents.len(),
+                    stats,
+                );
+            }
 
             // Pre-prune so the expansion never exceeds max_frontier.
             let cap_parents = (self.config.max_frontier / level_branch).max(1);
@@ -383,29 +800,45 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
 
             // Plan the level once: distinct expansion blocks + one read
             // descriptor per observation; on 1-bit channels, also try to
-            // collapse the whole level into XOR/popcount block masks.
-            packed.clear();
-            if level_obs.is_empty() {
-                block_ids.clear();
-                reads.clear();
-            } else {
-                batch::plan_level(level_obs.iter().map(|&(p, _)| p), bps, block_ids, reads);
-                if bps == 1 && self.mapper.bit_identity() {
-                    let mut packable = true;
-                    let bits = level_obs.iter().map_while(|&(pass, sym)| {
-                        match self.cost.packed_bit(sym) {
-                            Some(bit) => Some((pass, bit)),
-                            None => {
-                                packable = false;
-                                None
-                            }
-                        }
-                    });
-                    if !batch::plan_packed_level(bits, block_ids, packed) || !packable {
-                        packed.clear();
+            // collapse the whole level into XOR/popcount block masks. The
+            // incremental path reuses the cached plan while the level's
+            // observation count is unchanged (observations are
+            // append-only, so equal count means equal content).
+            let (plan_blocks, plan_reads, plan_packed): (&[u64], &[ObsRead], &[PackedMask]) =
+                match &mut plans {
+                    PlanSource::Scratch {
+                        block_ids,
+                        reads,
+                        packed,
+                    } => {
+                        build_plan(
+                            &self.mapper,
+                            &self.cost,
+                            level_obs,
+                            bps,
+                            block_ids,
+                            reads,
+                            packed,
+                        );
+                        (block_ids, reads, packed)
                     }
-                }
-            }
+                    PlanSource::Cached(cache) => {
+                        let p = &mut cache[t as usize];
+                        if p.obs_len != level_obs.len() {
+                            build_plan(
+                                &self.mapper,
+                                &self.cost,
+                                level_obs,
+                                bps,
+                                &mut p.block_ids,
+                                &mut p.reads,
+                                &mut p.packed,
+                            );
+                            p.obs_len = level_obs.len();
+                        }
+                        (&p.block_ids, &p.reads, &p.packed)
+                    }
+                };
 
             // Expand every parent into the pre-sized child buffers.
             let n_parents = fr_spines.len();
@@ -429,9 +862,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 root_level,
                 &seg_ids[..level_branch],
                 level_obs,
-                block_ids,
-                reads,
-                packed,
+                plan_blocks,
+                plan_reads,
+                plan_packed,
                 blocks,
                 next_spines,
                 next_costs,
@@ -442,7 +875,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             stats.frontier_peak = stats.frontier_peak.max(n_children);
             // One spine-step hash per child, plus one hash per distinct
             // expansion block per child at observed levels.
-            stats.hash_calls += n_children as u64 * (1 + block_ids.len() as u64);
+            stats.hash_calls += n_children as u64 * (1 + plan_blocks.len() as u64);
 
             // Prune: to B at observed levels (or always, if deferral is
             // off); otherwise only enforce the frontier cap.
@@ -474,7 +907,20 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 std::mem::swap(fr_parents, next_parents);
                 std::mem::swap(fr_segs, next_segs);
             }
-            root_level = false;
+        }
+
+        // Snapshot the final frontier too (entry `n_levels`), so an
+        // attempt with no new observations is a pure re-rank.
+        if let Some(sv) = saver {
+            sv.save(
+                n_levels,
+                fr_spines,
+                fr_costs,
+                fr_parents,
+                fr_segs,
+                arena_parents.len(),
+                stats,
+            );
         }
 
         // Rank the surviving hypotheses: select the top-B, sort only
@@ -517,6 +963,51 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let best = &out.candidates[0].message;
         out.message.clear();
         out.message.extend_from(best);
+    }
+}
+
+/// The work counters a from-scratch attempt starts with.
+fn fresh_stats() -> DecodeStats {
+    DecodeStats {
+        nodes_expanded: 0,
+        frontier_peak: 1,
+        hash_calls: 0,
+        complete: true,
+    }
+}
+
+/// Builds one level's hash-block plan (and, on bit channels, the packed
+/// XOR/popcount masks) into the given buffers.
+fn build_plan<M: Mapper, C: CostModel<M::Symbol>>(
+    mapper: &M,
+    cost: &C,
+    level_obs: &[(u32, M::Symbol)],
+    bps: u32,
+    block_ids: &mut Vec<u64>,
+    reads: &mut Vec<ObsRead>,
+    packed: &mut Vec<PackedMask>,
+) {
+    packed.clear();
+    if level_obs.is_empty() {
+        block_ids.clear();
+        reads.clear();
+        return;
+    }
+    batch::plan_level(level_obs.iter().map(|&(p, _)| p), bps, block_ids, reads);
+    if bps == 1 && mapper.bit_identity() {
+        let mut packable = true;
+        let bits = level_obs
+            .iter()
+            .map_while(|&(pass, sym)| match cost.packed_bit(sym) {
+                Some(bit) => Some((pass, bit)),
+                None => {
+                    packable = false;
+                    None
+                }
+            });
+        if !batch::plan_packed_level(bits, block_ids, packed) || !packable {
+            packed.clear();
+        }
     }
 }
 
@@ -935,7 +1426,8 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::paper_default(),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&noiseless_obs(&enc, 1));
         assert_eq!(res.message, msg);
         assert_eq!(res.cost, 0.0);
@@ -960,7 +1452,8 @@ mod tests {
             BinaryMapper::new(),
             BscCost,
             BeamConfig::with_beam(4),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&obs);
         assert_eq!(res.message, msg);
         assert_eq!(res.cost, 0.0);
@@ -993,7 +1486,8 @@ mod tests {
             BinaryMapper::new(),
             BscCost,
             BeamConfig::with_beam(16),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&obs);
         assert_eq!(res.message, msg);
         assert!(res.cost > 0.0, "corrupted symbols must show up as cost");
@@ -1020,7 +1514,8 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::paper_default(),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&obs);
         assert_eq!(res.message, msg, "deferral must bridge the gap");
 
@@ -1035,7 +1530,8 @@ mod tests {
                 defer_prune_unobserved: false,
                 ..BeamConfig::paper_default()
             },
-        );
+        )
+        .unwrap();
         let res2 = literal.decode(&obs);
         // (Not asserting failure — it is probabilistic — but the work
         // done must be strictly smaller without deferral.)
@@ -1058,7 +1554,8 @@ mod tests {
             LinearMapper::new(8),
             AwgnCost,
             BeamConfig::with_beam(4),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&obs);
         assert_eq!(res.message, msg);
         assert_eq!(res.message.len(), 16, "tail bits are stripped");
@@ -1077,7 +1574,8 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::with_beam(1),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&noiseless_obs(&enc, 1));
         // Noiseless: even B = 1 follows the zero-cost path.
         assert_eq!(res.message, msg);
@@ -1097,7 +1595,8 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::with_beam(8),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&noiseless_obs(&enc, 2));
         assert!(res.candidates.len() <= 8);
         for w in res.candidates.windows(2) {
@@ -1115,7 +1614,8 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::with_beam(2),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&Observations::new(3));
         assert_eq!(res.message.len(), 24);
         assert_eq!(res.cost, 0.0);
@@ -1134,7 +1634,8 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::paper_default(),
-        );
+        )
+        .unwrap();
         let mut scratch = DecoderScratch::new();
         let mut out = DecodeResult::default();
         for passes in [1u32, 2, 3, 1] {
@@ -1159,7 +1660,8 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::paper_default(),
-        );
+        )
+        .unwrap();
         let obs = noiseless_obs(&enc, 3);
         let opt = dec.decode(&obs);
         let reference = reference_decode(
@@ -1207,7 +1709,8 @@ mod tests {
             BinaryMapper::new(),
             BscCost,
             cfg,
-        );
+        )
+        .unwrap();
         let opt = dec.decode(&obs);
         let reference = reference_decode(
             &p,
@@ -1237,7 +1740,8 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::paper_default(),
-        );
+        )
+        .unwrap();
         let opt = dec.decode(&obs);
         let reference = reference_decode(
             &p,
@@ -1274,6 +1778,7 @@ mod tests {
             AwgnCost,
             cfg,
         )
+        .unwrap()
         .with_parallel_workers(4);
         let obs = noiseless_obs(&enc, 3);
         let par = dec.decode(&obs);
@@ -1301,25 +1806,195 @@ mod tests {
             LinearMapper::new(10),
             AwgnCost,
             BeamConfig::default(),
-        );
+        )
+        .unwrap();
         dec.decode(&Observations::new(5));
     }
 
     #[test]
-    #[should_panic(expected = "max_frontier")]
-    fn invalid_config_rejected() {
+    fn invalid_config_rejected_with_typed_error() {
         let p = params(24, 8, 0);
-        BeamDecoder::new(
+        for (beam_width, max_frontier) in [(64usize, 8usize), (0, 8)] {
+            let err = BeamDecoder::new(
+                &p,
+                Lookup3::new(p.seed()),
+                LinearMapper::new(10),
+                AwgnCost,
+                BeamConfig {
+                    beam_width,
+                    max_frontier,
+                    defer_prune_unobserved: true,
+                },
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                crate::error::SpinalError::BeamConfig {
+                    beam_width,
+                    max_frontier
+                }
+            );
+        }
+    }
+
+    /// The incremental entry point must be bit-identical to the batch
+    /// decode at every step of a growing observation set, for every
+    /// chunking of arrivals (per symbol, per sub-pass, per pass) and
+    /// under strided puncturing where resumption actually skips levels.
+    #[test]
+    fn incremental_decode_matches_batch_at_every_step() {
+        use crate::puncture::{PunctureSchedule, StridedPuncture};
+        let p = params(64, 8, 0); // 8 levels: strided sub-passes skip prefixes
+        let msg = BitVec::from_bytes(&[0x1f, 0x2e, 0x3d, 0x4c, 0x5b, 0x6a, 0x79, 0x88]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
             &p,
             Lookup3::new(p.seed()),
             LinearMapper::new(10),
             AwgnCost,
-            BeamConfig {
-                beam_width: 64,
-                max_frontier: 8,
-                defer_prune_unobserved: true,
-            },
+            BeamConfig::with_beam(4),
+        )
+        .unwrap();
+        let sched = StridedPuncture::stride8();
+        let mut obs = Observations::new(p.n_segments());
+        let mut ckpt = BeamCheckpoints::new();
+        let mut scratch = DecoderScratch::new();
+        let mut inc = DecodeResult::default();
+        for g in 0..24u32 {
+            let slots = sched.subpass_slots(p.n_segments(), g);
+            if slots.is_empty() {
+                continue;
+            }
+            let dirty = slots.iter().map(|s| s.t).min().unwrap();
+            for &slot in &slots {
+                obs.push(slot, enc.symbol(slot));
+            }
+            dec.decode_incremental(&obs, dirty, &mut ckpt, &mut scratch, &mut inc);
+            let batch = dec.decode(&obs);
+            assert_eq!(inc.message, batch.message, "subpass {g}");
+            assert_eq!(inc.cost.to_bits(), batch.cost.to_bits());
+            assert_eq!(inc.candidates, batch.candidates);
+            assert_eq!(inc.stats, batch.stats, "stats are as-if-from-scratch");
+        }
+        assert!(
+            ckpt.levels_resumed() > 0,
+            "strided sub-passes must have resumed past saved levels"
         );
+    }
+
+    /// One-symbol-at-a-time arrivals (the link-simulation pattern): every
+    /// retry after a symbol at level t resumes at t.
+    #[test]
+    fn incremental_decode_per_symbol_arrivals() {
+        let p = params(40, 8, 0);
+        let msg = BitVec::from_bytes(&[9, 8, 7, 6, 5]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        )
+        .unwrap();
+        let mut obs = Observations::new(p.n_segments());
+        let mut ckpt = BeamCheckpoints::new();
+        let mut scratch = DecoderScratch::new();
+        let mut inc = DecodeResult::default();
+        for pass in 0..2u32 {
+            for t in 0..p.n_segments() {
+                let slot = Slot::new(t, pass);
+                obs.push(slot, enc.symbol(slot));
+                dec.decode_incremental(&obs, t, &mut ckpt, &mut scratch, &mut inc);
+                let batch = dec.decode(&obs);
+                assert_eq!(inc.message, batch.message, "pass {pass} t {t}");
+                assert_eq!(inc.cost.to_bits(), batch.cost.to_bits());
+                assert_eq!(inc.candidates, batch.candidates);
+                assert_eq!(inc.stats, batch.stats);
+            }
+        }
+        // Re-rank with nothing new: still identical.
+        dec.decode_incremental(&obs, p.n_segments(), &mut ckpt, &mut scratch, &mut inc);
+        let batch = dec.decode(&obs);
+        assert_eq!(inc.candidates, batch.candidates);
+        // 5 levels x 10 arrivals: levels below the dirty one are skipped.
+        assert!(ckpt.levels_resumed() >= 10, "{}", ckpt.levels_resumed());
+    }
+
+    /// Clearing the observations without resetting the checkpoints is
+    /// caught by the shrinkage guard; resetting works too.
+    #[test]
+    fn incremental_checkpoints_survive_reset_and_shrink() {
+        let p = params(24, 8, 0);
+        let msg_a = BitVec::from_bytes(&[1, 2, 3]);
+        let msg_b = BitVec::from_bytes(&[4, 5, 6]);
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        )
+        .unwrap();
+        let mut ckpt = BeamCheckpoints::new();
+        let mut scratch = DecoderScratch::new();
+        let mut out = DecodeResult::default();
+        for (msg, use_reset) in [(&msg_a, false), (&msg_b, true), (&msg_a, false)] {
+            let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), msg).unwrap();
+            let mut obs = Observations::new(p.n_segments());
+            if use_reset {
+                ckpt.reset();
+            }
+            for t in 0..p.n_segments() {
+                let slot = Slot::new(t, 0);
+                obs.push(slot, enc.symbol(slot));
+                // A fresh (smaller) observation set: the shrinkage guard
+                // must invalidate stale checkpoints even without reset().
+                dec.decode_incremental(&obs, t, &mut ckpt, &mut scratch, &mut out);
+                assert_eq!(out.candidates, dec.decode(&obs).candidates, "t {t}");
+            }
+            assert_eq!(out.message, *msg);
+        }
+    }
+
+    /// Duplicate observations at one level (packed-mask fallback) under
+    /// incremental retries: the cached plan is rebuilt when the level's
+    /// count changes and results stay identical to batch.
+    #[test]
+    fn incremental_decode_bsc_duplicates_match_batch() {
+        let p = params(16, 4, 0);
+        let msg = BitVec::from_bytes(&[0x3c, 0x99]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), BinaryMapper::new(), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            BinaryMapper::new(),
+            BscCost,
+            BeamConfig::with_beam(8),
+        )
+        .unwrap();
+        let mut obs = Observations::new(p.n_segments());
+        let mut ckpt = BeamCheckpoints::new();
+        let mut scratch = DecoderScratch::new();
+        let mut inc = DecodeResult::default();
+        for pass in 0..6u32 {
+            for t in 0..p.n_segments() {
+                let slot = Slot::new(t, pass);
+                let mut bit = enc.symbol(slot);
+                if (pass + t) % 5 == 1 {
+                    bit ^= 1;
+                }
+                obs.push(slot, bit);
+                if pass == 2 {
+                    obs.push(slot, bit ^ 1); // duplicate stream bit
+                }
+            }
+            dec.decode_incremental(&obs, 0, &mut ckpt, &mut scratch, &mut inc);
+            let batch = dec.decode(&obs);
+            assert_eq!(inc.message, batch.message, "pass {pass}");
+            assert_eq!(inc.cost.to_bits(), batch.cost.to_bits());
+            assert_eq!(inc.candidates, batch.candidates);
+        }
     }
 
     proptest! {
@@ -1339,7 +2014,7 @@ mod tests {
                 obs.push(slot, enc.symbol(slot));
             }
             let dec = BeamDecoder::new(&p, Lookup3::new(seed), LinearMapper::new(10),
-                                       AwgnCost, BeamConfig::paper_default());
+                                       AwgnCost, BeamConfig::paper_default()).unwrap();
             let res = dec.decode(&obs);
             prop_assert_eq!(res.message, msg);
             prop_assert_eq!(res.cost, 0.0);
@@ -1359,7 +2034,7 @@ mod tests {
             }
             let b = 4usize;
             let dec = BeamDecoder::new(&p, Lookup3::new(9), LinearMapper::new(6),
-                                       AwgnCost, BeamConfig::with_beam(b));
+                                       AwgnCost, BeamConfig::with_beam(b)).unwrap();
             let res = dec.decode(&obs);
             // Level 0 expands 1·16, later levels ≤ B·16.
             let bound = 16 + (segs as u64 - 1) * (b as u64) * 16;

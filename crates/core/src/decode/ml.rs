@@ -29,6 +29,7 @@ use crate::bits::BitVec;
 use crate::decode::batch;
 use crate::decode::cost::CostModel;
 use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
+use crate::error::SpinalError;
 use crate::hash::SpineHash;
 use crate::map::Mapper;
 use crate::params::CodeParams;
@@ -96,7 +97,7 @@ impl MlScratch {
 ///     obs.push(Slot::new(t, 0), enc.symbol(Slot::new(t, 0)));
 /// }
 /// let dec = MlDecoder::new(&params, Lookup3::new(0), LinearMapper::new(6),
-///                          AwgnCost, MlConfig::default());
+///                          AwgnCost, MlConfig::default()).unwrap();
 /// let res = dec.decode(&obs);
 /// assert_eq!(res.message, message);
 /// assert!(res.stats.complete);
@@ -125,15 +126,28 @@ struct Search<'a, H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> {
 impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> MlDecoder<H, M, C> {
     /// Builds a decoder; `params`, `hash` and `mapper` must match the
     /// encoder's.
-    pub fn new(params: &CodeParams, hash: H, mapper: M, cost: C, config: MlConfig) -> Self {
-        assert!(config.max_nodes > 0, "node budget must be positive");
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::NodeBudget`] when `config.max_nodes` is
+    /// zero.
+    pub fn new(
+        params: &CodeParams,
+        hash: H,
+        mapper: M,
+        cost: C,
+        config: MlConfig,
+    ) -> Result<Self, SpinalError> {
+        if config.max_nodes == 0 {
+            return Err(SpinalError::NodeBudget);
+        }
+        Ok(Self {
             params: *params,
             hash,
             mapper,
             cost,
             config,
-        }
+        })
     }
 
     /// Returns the exact ML estimate (or best-effort under the node
@@ -362,7 +376,8 @@ mod tests {
             LinearMapper::new(6),
             AwgnCost,
             MlConfig::default(),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&full_obs(&enc, 1));
         assert_eq!(res.message, msg);
         assert_eq!(res.cost, 0.0);
@@ -381,7 +396,8 @@ mod tests {
             LinearMapper::new(6),
             AwgnCost,
             MlConfig::default(),
-        );
+        )
+        .unwrap();
         let mut scratch = MlScratch::new();
         for passes in [1u32, 2, 1] {
             let obs = full_obs(&enc, passes);
@@ -406,7 +422,8 @@ mod tests {
             LinearMapper::new(6),
             AwgnCost,
             MlConfig::default(),
-        );
+        )
+        .unwrap();
         let res = dec.decode(&full_obs(&enc, 1));
         assert_eq!(res.message, msg);
         assert!(
@@ -437,6 +454,7 @@ mod tests {
             AwgnCost,
             MlConfig::default(),
         )
+        .unwrap()
         .decode(&obs);
         let beam = BeamDecoder::new(
             &p,
@@ -449,6 +467,7 @@ mod tests {
                 defer_prune_unobserved: true,
             },
         )
+        .unwrap()
         .decode(&obs);
         assert_eq!(ml.message, beam.message);
         assert!((ml.cost - beam.cost).abs() < 1e-9);
@@ -478,6 +497,7 @@ mod tests {
             BscCost,
             MlConfig::default(),
         )
+        .unwrap()
         .decode(&obs);
         assert_eq!(res.message, msg);
     }
@@ -494,6 +514,7 @@ mod tests {
             AwgnCost,
             MlConfig { max_nodes: 8 },
         )
+        .unwrap()
         .decode(&full_obs(&enc, 1));
         assert!(!res.stats.complete);
         assert_eq!(res.message.len(), 16, "must still return a full message");
@@ -520,6 +541,7 @@ mod tests {
             AwgnCost,
             MlConfig::default(),
         )
+        .unwrap()
         .decode(&obs);
         assert_eq!(res.message, msg);
         assert_eq!(res.message.len(), 8);
@@ -543,7 +565,7 @@ mod tests {
                 obs.push(slot, IqSymbol::new(s.i + ni, s.q + nq));
             }
             let res = MlDecoder::new(&p, Lookup3::new(8), LinearMapper::new(4),
-                                     AwgnCost, MlConfig::default()).decode(&obs);
+                                     AwgnCost, MlConfig::default()).unwrap().decode(&obs);
             // Exhaustive check.
             let mut best = f64::INFINITY;
             for cand in 0u64..256 {

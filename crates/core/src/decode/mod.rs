@@ -15,7 +15,7 @@ pub mod cost;
 pub mod ml;
 pub mod reference;
 
-pub use beam::{BeamConfig, BeamDecoder, DecoderScratch};
+pub use beam::{BeamCheckpoints, BeamConfig, BeamDecoder, DecoderScratch};
 pub use cost::{AwgnCost, BecCost, BscCost, CostModel};
 pub use ml::{MlConfig, MlDecoder, MlScratch};
 pub use reference::reference_decode;

@@ -8,12 +8,13 @@
 //! the puncturing schedules and the decoder's replay rely on.
 
 use crate::bits::BitVec;
+use crate::error::SpinalError;
 use crate::expand::{read_window, symbol_bits, window_straddles, EXPAND_SALT};
 use crate::hash::SpineHash;
 use crate::map::Mapper;
 use crate::params::CodeParams;
 use crate::puncture::PunctureSchedule;
-use crate::spine::{compute_spine, compute_spine_into, SpineError};
+use crate::spine::compute_spine_into;
 use crate::symbol::Slot;
 
 /// Spine positions expanded per batched-hash sweep in
@@ -57,13 +58,19 @@ pub struct Encoder<H: SpineHash, M: Mapper> {
 
 impl<H: SpineHash, M: Mapper> Encoder<H, M> {
     /// Builds the encoder for `message`, computing its spine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::MessageLength`] when the message's
+    /// bit-length does not match `params`.
     pub fn new(
         params: &CodeParams,
         hash: H,
         mapper: M,
         message: &BitVec,
-    ) -> Result<Self, SpineError> {
-        let spine = compute_spine(params, &hash, message)?;
+    ) -> Result<Self, SpinalError> {
+        let mut spine = Vec::with_capacity(params.n_segments() as usize);
+        compute_spine_into(params, &hash, message, &mut spine)?;
         Ok(Self {
             params: *params,
             hash,
@@ -121,7 +128,7 @@ impl<H: SpineHash, M: Mapper> Encoder<H, M> {
         params: &CodeParams,
         hash: H,
         message: &BitVec,
-    ) -> Result<(), SpineError> {
+    ) -> Result<(), SpinalError> {
         assert!(
             params.message_bits() == self.params.message_bits()
                 && params.k() == self.params.k()
@@ -129,7 +136,7 @@ impl<H: SpineHash, M: Mapper> Encoder<H, M> {
             "rebind cannot change the code geometry"
         );
         if message.len() != params.message_bits() as usize {
-            return Err(SpineError::MessageLength {
+            return Err(SpinalError::MessageLength {
                 expected: params.message_bits(),
                 got: message.len(),
             });
@@ -423,7 +430,7 @@ mod tests {
     #[test]
     fn stream_symbols_match_random_access() {
         let enc = fig2_encoder(&[0xaa, 0xbb, 0xcc]);
-        let sched = StridedPuncture::new(4);
+        let sched = StridedPuncture::new(4).unwrap();
         for (slot, sym) in enc.stream(&sched).take(20) {
             assert_eq!(sym, enc.symbol(slot));
         }
@@ -478,7 +485,7 @@ mod tests {
         .unwrap_err();
         assert!(matches!(
             err,
-            SpineError::MessageLength {
+            SpinalError::MessageLength {
                 expected: 24,
                 got: 8
             }

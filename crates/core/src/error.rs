@@ -1,0 +1,219 @@
+//! The crate-wide typed error: every fallible constructor and entry
+//! point across the workspace reports failures through [`SpinalError`].
+//!
+//! Before the session redesign, bad parameters died in `assert!`s
+//! scattered across constructors — fine for experiments, fatal for a
+//! long-running service where one malformed request must not take the
+//! process down. Every validation that used to panic now surfaces as a
+//! variant here; the panicking convenience constructors that remain
+//! (e.g. [`crate::puncture::StridedPuncture::stride8`]) delegate to the
+//! checked paths with known-good arguments.
+//!
+//! The enum is `#[non_exhaustive]`: downstream matches must carry a
+//! wildcard arm, so the service can grow new failure modes without a
+//! breaking release.
+
+use crate::params::ParamError;
+use crate::spine::SpineError;
+
+/// Everything that can go wrong constructing or driving a spinal codec.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SpinalError {
+    /// Invalid code parameters (`k`, message length, …); see
+    /// [`ParamError`] for the specific rule violated.
+    Param(ParamError),
+    /// A message's bit-length does not match its parameters.
+    MessageLength {
+        /// Expected number of bits (`params.message_bits()`).
+        expected: u32,
+        /// Actual number of bits supplied.
+        got: usize,
+    },
+    /// An inconsistent [`crate::decode::BeamConfig`]: the beam width must
+    /// be at least 1 and no larger than the frontier cap.
+    BeamConfig {
+        /// The rejected beam width.
+        beam_width: usize,
+        /// The rejected frontier cap.
+        max_frontier: usize,
+    },
+    /// The ML decoder's node budget must be positive.
+    NodeBudget,
+    /// A puncturing stride outside the supported power-of-two range
+    /// `2..=64`.
+    Stride(u32),
+    /// An observation set sized for a different spine length than the
+    /// code's.
+    ObservationLevels {
+        /// Levels the code expects (`params.n_segments()`).
+        expected: u32,
+        /// Levels the observation set was created for.
+        got: u32,
+    },
+    /// A slot addressed a spine position outside the code.
+    SlotOutOfRange {
+        /// The offending spine position.
+        t: u32,
+        /// Number of valid positions.
+        n_levels: u32,
+    },
+    /// A decode-attempt thinning factor below 1.0.
+    AttemptGrowth(f64),
+    /// A CRC-framed configuration whose message is not strictly longer
+    /// than its checksum.
+    CrcWidth {
+        /// The configured message length (checksum included).
+        message_bits: u32,
+        /// The checksum width.
+        crc_bits: u32,
+    },
+    /// A probability parameter outside `[0, 1]`.
+    Probability {
+        /// Which parameter (e.g. `"crossover"`, `"erasure"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A noise variance below zero.
+    NoiseVariance(f64),
+    /// A fading coherence block of zero symbols.
+    BlockLength(u32),
+    /// A sender window holding zero frames.
+    Window(u32),
+    /// A session was driven past a terminal [`crate::session::Poll`]
+    /// (`Decoded` or `Exhausted`).
+    SessionFinished,
+}
+
+impl std::fmt::Display for SpinalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpinalError::Param(e) => write!(f, "{e}"),
+            SpinalError::MessageLength { expected, got } => {
+                write!(f, "message has {got} bits, parameters require {expected}")
+            }
+            SpinalError::BeamConfig {
+                beam_width,
+                max_frontier,
+            } => write!(
+                f,
+                "beam config invalid: beam_width {beam_width} must be >= 1 and <= max_frontier {max_frontier}"
+            ),
+            SpinalError::NodeBudget => write!(f, "ML node budget must be positive"),
+            SpinalError::Stride(s) => write!(
+                f,
+                "puncturing stride must be a power of two in 2..=64, got {s}"
+            ),
+            SpinalError::ObservationLevels { expected, got } => write!(
+                f,
+                "observations sized for {got} levels, code has {expected}"
+            ),
+            SpinalError::SlotOutOfRange { t, n_levels } => {
+                write!(f, "slot position {t} outside spine of {n_levels} levels")
+            }
+            SpinalError::AttemptGrowth(g) => {
+                write!(f, "attempt growth must be >= 1.0, got {g}")
+            }
+            SpinalError::CrcWidth {
+                message_bits,
+                crc_bits,
+            } => write!(
+                f,
+                "message of {message_bits} bits cannot carry a {crc_bits}-bit checksum"
+            ),
+            SpinalError::Probability { name, value } => {
+                write!(f, "{name} probability must lie in [0, 1], got {value}")
+            }
+            SpinalError::NoiseVariance(v) => {
+                write!(f, "noise variance must be non-negative, got {v}")
+            }
+            SpinalError::BlockLength(b) => {
+                write!(f, "coherence block must span at least one symbol, got {b}")
+            }
+            SpinalError::Window(w) => {
+                write!(f, "sender window must hold at least one frame, got {w}")
+            }
+            SpinalError::SessionFinished => {
+                write!(f, "session already returned a terminal poll")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpinalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpinalError::Param(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamError> for SpinalError {
+    fn from(e: ParamError) -> Self {
+        SpinalError::Param(e)
+    }
+}
+
+impl From<SpineError> for SpinalError {
+    fn from(e: SpineError) -> Self {
+        match e {
+            SpineError::MessageLength { expected, got } => {
+                SpinalError::MessageLength { expected, got }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CodeParams;
+
+    #[test]
+    fn param_errors_convert_and_display() {
+        let e: SpinalError = CodeParams::new(25, 8).unwrap_err().into();
+        assert!(matches!(e, SpinalError::Param(_)));
+        assert!(e.to_string().contains("not a multiple"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn spine_errors_convert() {
+        let e: SpinalError = SpineError::MessageLength {
+            expected: 24,
+            got: 8,
+        }
+        .into();
+        assert_eq!(
+            e,
+            SpinalError::MessageLength {
+                expected: 24,
+                got: 8
+            }
+        );
+        assert!(e.to_string().contains("24"));
+    }
+
+    #[test]
+    fn display_strings_name_the_offender() {
+        assert!(SpinalError::Stride(6).to_string().contains('6'));
+        assert!(SpinalError::BeamConfig {
+            beam_width: 64,
+            max_frontier: 8
+        }
+        .to_string()
+        .contains("max_frontier"));
+        assert!(SpinalError::Probability {
+            name: "crossover",
+            value: 1.5
+        }
+        .to_string()
+        .contains("crossover"));
+        assert!(SpinalError::SessionFinished
+            .to_string()
+            .contains("terminal"));
+    }
+}

@@ -24,8 +24,18 @@ use crate::decode::DecodeResult;
 /// is defined for any bit-length input and agrees with the byte-wise
 /// standard on whole bytes.
 pub fn crc32(bits: &BitVec) -> u32 {
+    crc32_bits(bits.iter())
+}
+
+/// CRC-16/CCITT-FALSE: polynomial `0x1021`, init `0xFFFF`, no reflection,
+/// bit-at-a-time MSB-first.
+pub fn crc16(bits: &BitVec) -> u16 {
+    crc16_bits(bits.iter())
+}
+
+fn crc32_bits(bits: impl Iterator<Item = bool>) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
-    for bit in bits.iter() {
+    for bit in bits {
         let top = (crc >> 31) & 1 == 1;
         crc <<= 1;
         if top != bit {
@@ -35,11 +45,9 @@ pub fn crc32(bits: &BitVec) -> u32 {
     crc ^ 0xFFFF_FFFF
 }
 
-/// CRC-16/CCITT-FALSE: polynomial `0x1021`, init `0xFFFF`, no reflection,
-/// bit-at-a-time MSB-first.
-pub fn crc16(bits: &BitVec) -> u16 {
+fn crc16_bits(bits: impl Iterator<Item = bool>) -> u16 {
     let mut crc: u16 = 0xFFFF;
-    for bit in bits.iter() {
+    for bit in bits {
         let top = (crc >> 15) & 1 == 1;
         crc <<= 1;
         if top != bit {
@@ -69,9 +77,21 @@ impl Checksum {
 
     /// Computes the checksum of `bits`, returned in the low bits.
     pub fn compute(&self, bits: &BitVec) -> u64 {
+        self.compute_prefix(bits, bits.len())
+    }
+
+    /// Computes the checksum of the first `len` bits of `bits` without
+    /// materializing the prefix — the allocation-free path behind
+    /// [`frame_check_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > bits.len()`.
+    pub fn compute_prefix(&self, bits: &BitVec, len: usize) -> u64 {
+        assert!(len <= bits.len(), "prefix longer than the vector");
         match self {
-            Checksum::Crc16 => u64::from(crc16(bits)),
-            Checksum::Crc32 => u64::from(crc32(bits)),
+            Checksum::Crc16 => u64::from(crc16_bits(bits.iter().take(len))),
+            Checksum::Crc32 => u64::from(crc32_bits(bits.iter().take(len))),
         }
     }
 }
@@ -94,19 +114,30 @@ pub fn frame_encode(payload: &BitVec, checksum: Checksum) -> BitVec {
 /// Returns `None` if the message is too short to contain the checksum or
 /// the checksum mismatches.
 pub fn frame_check(framed: &BitVec, checksum: Checksum) -> Option<BitVec> {
+    let mut payload = BitVec::new();
+    frame_check_into(framed, checksum, &mut payload).then_some(payload)
+}
+
+/// Allocation-free form of [`frame_check`]: verifies `framed` and, on
+/// success, writes the payload into `out` (cleared first, reusing its
+/// capacity). Returns whether the checksum verified; on failure `out` is
+/// left cleared. This is the per-candidate hot path of CRC-terminated
+/// streaming sessions.
+pub fn frame_check_into(framed: &BitVec, checksum: Checksum, out: &mut BitVec) -> bool {
+    out.clear();
     let w = checksum.width();
     if framed.len() < w {
-        return None;
+        return false;
     }
     let payload_len = framed.len() - w;
-    let mut payload = framed.clone();
-    payload.truncate(payload_len);
     let got = framed.get_range(payload_len, w);
-    if got == checksum.compute(&payload) {
-        Some(payload)
-    } else {
-        None
+    if got != checksum.compute_prefix(framed, payload_len) {
+        return false;
     }
+    for i in 0..payload_len {
+        out.push(framed.get(i));
+    }
+    true
 }
 
 /// Decides, after each decode attempt, whether the receiver is done.
@@ -115,6 +146,26 @@ pub fn frame_check(framed: &BitVec, checksum: Checksum) -> Option<BitVec> {
 pub trait Terminator {
     /// Inspects a decode attempt's result.
     fn accept(&self, result: &DecodeResult) -> Option<BitVec>;
+
+    /// Allocation-free form of [`accept`](Terminator::accept): on
+    /// acceptance writes the payload into `out` (cleared first, reusing
+    /// its capacity) and returns `true`. Streaming sessions call this
+    /// after every decode attempt; implementations should override the
+    /// default (which delegates to `accept` and copies) when they can
+    /// avoid the intermediate allocation.
+    fn accept_into(&self, result: &DecodeResult, out: &mut BitVec) -> bool {
+        match self.accept(result) {
+            Some(payload) => {
+                out.clear();
+                out.extend_from(&payload);
+                true
+            }
+            None => {
+                out.clear();
+                false
+            }
+        }
+    }
 
     /// Short stable name for experiment logs.
     fn name(&self) -> &'static str;
@@ -138,11 +189,29 @@ impl GenieOracle {
     pub fn truth(&self) -> &BitVec {
         &self.truth
     }
+
+    /// Replaces the truth in place, reusing the existing buffer — the
+    /// per-trial rebind path of simulation workers (no allocation once
+    /// warmed).
+    pub fn set_truth(&mut self, truth: &BitVec) {
+        self.truth.clear();
+        self.truth.extend_from(truth);
+    }
 }
 
 impl Terminator for GenieOracle {
     fn accept(&self, result: &DecodeResult) -> Option<BitVec> {
         (result.message == self.truth).then(|| self.truth.clone())
+    }
+
+    fn accept_into(&self, result: &DecodeResult, out: &mut BitVec) -> bool {
+        out.clear();
+        if result.message == self.truth {
+            out.extend_from(&self.truth);
+            true
+        } else {
+            false
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -181,8 +250,70 @@ impl Terminator for CrcTerminator {
             .find_map(|cand| frame_check(&cand.message, self.checksum))
     }
 
+    fn accept_into(&self, result: &DecodeResult, out: &mut BitVec) -> bool {
+        result
+            .candidates
+            .iter()
+            .any(|cand| frame_check_into(&cand.message, self.checksum, out))
+    }
+
     fn name(&self) -> &'static str {
         "crc"
+    }
+}
+
+/// The built-in termination rules behind one concrete type, so sessions
+/// and experiment configurations can carry either without a generic
+/// parameter.
+#[derive(Clone, Debug)]
+pub enum AnyTerminator {
+    /// See [`GenieOracle`].
+    Genie(GenieOracle),
+    /// See [`CrcTerminator`].
+    Crc(CrcTerminator),
+}
+
+impl AnyTerminator {
+    /// A genie that knows the transmitted message.
+    pub fn genie(truth: BitVec) -> Self {
+        AnyTerminator::Genie(GenieOracle::new(truth))
+    }
+
+    /// The practical CRC receiver.
+    pub fn crc(checksum: Checksum) -> Self {
+        AnyTerminator::Crc(CrcTerminator::new(checksum))
+    }
+
+    /// Mutable access to the genie, for per-trial truth rebinds; `None`
+    /// for CRC termination.
+    pub fn genie_mut(&mut self) -> Option<&mut GenieOracle> {
+        match self {
+            AnyTerminator::Genie(g) => Some(g),
+            AnyTerminator::Crc(_) => None,
+        }
+    }
+}
+
+impl Terminator for AnyTerminator {
+    fn accept(&self, result: &DecodeResult) -> Option<BitVec> {
+        match self {
+            AnyTerminator::Genie(t) => t.accept(result),
+            AnyTerminator::Crc(t) => t.accept(result),
+        }
+    }
+
+    fn accept_into(&self, result: &DecodeResult, out: &mut BitVec) -> bool {
+        match self {
+            AnyTerminator::Genie(t) => t.accept_into(result, out),
+            AnyTerminator::Crc(t) => t.accept_into(result, out),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyTerminator::Genie(t) => t.name(),
+            AnyTerminator::Crc(t) => t.name(),
+        }
     }
 }
 

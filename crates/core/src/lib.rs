@@ -31,8 +31,13 @@
 //! * [`encode`] — the rateless encoder (random-access and streaming).
 //! * [`decode`] — the practical B-beam decoder with graceful scale-down
 //!   and the exact branch-and-bound ML decoder, over AWGN (ℓ²) and BSC
-//!   (Hamming) metrics.
+//!   (Hamming) metrics; [`decode::BeamCheckpoints`] makes retries
+//!   incremental.
 //! * [`frame`] — CRC-16/32 framing, genie and CRC termination.
+//! * [`session`] — streaming sessions: [`session::TxSession`] (pull
+//!   symbols, seek/replay on NACK) and [`session::RxSession`] (push
+//!   symbols, poll `NeedMore` / `Decoded` / `Exhausted`).
+//! * [`error`] — the crate-wide typed [`error::SpinalError`].
 //! * [`code`] — the [`code::SpinalCode`] facade bundling a configuration.
 //!
 //! ## Quickstart
@@ -40,21 +45,29 @@
 //! ```
 //! use spinal_core::bits::BitVec;
 //! use spinal_core::code::SpinalCode;
-//! use spinal_core::decode::BeamConfig;
+//! use spinal_core::frame::AnyTerminator;
+//! use spinal_core::session::{Poll, RxConfig};
 //!
 //! // The Figure 2 code: 24-bit messages, k = 8, c = 10.
 //! let code = SpinalCode::fig2(24, 42).unwrap();
 //! let message = BitVec::from_bytes(&[0xca, 0xfe, 0x42]);
 //!
-//! // Sender side: a rateless stream of I-Q symbols.
-//! let encoder = code.encoder(&message).unwrap();
-//! let symbols: Vec<_> = encoder.stream(code.schedule()).take(6).collect();
+//! // Sender session: a rateless stream of I-Q symbols with replay.
+//! let mut tx = code.tx_session(&message).unwrap();
 //!
-//! // Receiver side (noiseless here): collect observations, decode.
-//! let mut obs = code.observations();
-//! obs.extend(symbols);
-//! let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
-//! assert_eq!(decoder.decode(&obs).message, message);
+//! // Receiver session (noiseless here): push symbols in, poll until
+//! // the terminator accepts. Each retry resumes the previous attempt's
+//! // tree search instead of recomputing it.
+//! let mut rx = code
+//!     .awgn_rx_session(AnyTerminator::genie(message.clone()), RxConfig::default())
+//!     .unwrap();
+//! loop {
+//!     let (_slot, sym) = tx.next_symbol();
+//!     if let Poll::Decoded { .. } = rx.ingest(&[sym]).unwrap() {
+//!         break;
+//!     }
+//! }
+//! assert_eq!(rx.payload(), Some(&message));
 //! ```
 //!
 //! Channel models, modulation for the LDPC baseline, information-theoretic
@@ -69,28 +82,36 @@ pub mod bits;
 pub mod code;
 pub mod decode;
 pub mod encode;
+pub mod error;
 pub mod expand;
 pub mod frame;
 pub mod hash;
 pub mod map;
 pub mod params;
 pub mod puncture;
+pub mod session;
 pub mod spine;
 pub mod symbol;
 
 pub use bits::BitVec;
 pub use code::SpinalCode;
 pub use decode::{
-    reference_decode, AwgnCost, BeamConfig, BeamDecoder, BecCost, BscCost, Candidate, CostModel,
-    DecodeResult, DecodeStats, DecoderScratch, MlConfig, MlDecoder, MlScratch, Observations,
+    reference_decode, AwgnCost, BeamCheckpoints, BeamConfig, BeamDecoder, BecCost, BscCost,
+    Candidate, CostModel, DecodeResult, DecodeStats, DecoderScratch, MlConfig, MlDecoder,
+    MlScratch, Observations,
 };
 pub use encode::Encoder;
-pub use frame::{frame_check, frame_encode, Checksum, CrcTerminator, GenieOracle, Terminator};
+pub use error::SpinalError;
+pub use frame::{
+    frame_check, frame_check_into, frame_encode, AnyTerminator, Checksum, CrcTerminator,
+    GenieOracle, Terminator,
+};
 pub use hash::{AnyHash, HashFamily, Lookup3, OneAtATime, SipHash24, SpineHash, SplitMix};
 pub use map::{
     AnyIqMapper, BinaryMapper, LinearMapper, Mapper, OffsetUniformMapper, TruncGaussMapper,
 };
 pub use params::{CodeParams, CodeParamsBuilder, ParamError};
 pub use puncture::{AnySchedule, NoPuncture, PunctureSchedule, StridedPuncture};
+pub use session::{Poll, RxConfig, RxSession, TxPosition, TxSession};
 pub use spine::{compute_spine, segment_value, spine_step, SpineError, INITIAL_SPINE};
 pub use symbol::{IqSymbol, Slot};

@@ -14,6 +14,7 @@
 //! the achievable rates extend to `8k` bits/symbol — at high SNR the
 //! receiver can succeed long before a pass completes.
 
+use crate::error::SpinalError;
 use crate::symbol::Slot;
 
 /// A deterministic transmission schedule over the rateless symbol stream.
@@ -96,25 +97,25 @@ pub struct StridedPuncture {
 impl StridedPuncture {
     /// Creates a strided schedule with the given stride.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `stride` is a power of two in `2..=64` (bit-reversal
-    /// needs a power of two; stride 1 is [`NoPuncture`]).
-    pub fn new(stride: u32) -> Self {
-        assert!(
-            stride.is_power_of_two() && (2..=64).contains(&stride),
-            "StridedPuncture requires a power-of-two stride in 2..=64, got {stride}"
-        );
+    /// Returns [`SpinalError::Stride`] unless `stride` is a power of two
+    /// in `2..=64` (bit-reversal needs a power of two; stride 1 is
+    /// [`NoPuncture`]).
+    pub fn new(stride: u32) -> Result<Self, SpinalError> {
+        if !stride.is_power_of_two() || !(2..=64).contains(&stride) {
+            return Err(SpinalError::Stride(stride));
+        }
         let bits = stride.trailing_zeros();
         let order = (0..stride)
             .map(|j| j.reverse_bits() >> (32 - bits))
             .collect();
-        Self { stride, order }
+        Ok(Self { stride, order })
     }
 
     /// The paper-default stride-8 schedule (`order = [0,4,2,6,1,5,3,7]`).
     pub fn stride8() -> Self {
-        Self::new(8)
+        Self::new(8).expect("8 is a valid stride")
     }
 
     /// The stride.
@@ -166,8 +167,13 @@ impl AnySchedule {
     }
 
     /// The strided schedule with the given stride.
-    pub fn strided(stride: u32) -> Self {
-        AnySchedule::Strided(StridedPuncture::new(stride))
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::Stride`] for a stride outside the
+    /// power-of-two range `2..=64`.
+    pub fn strided(stride: u32) -> Result<Self, SpinalError> {
+        Ok(AnySchedule::Strided(StridedPuncture::new(stride)?))
     }
 }
 
@@ -220,7 +226,7 @@ mod tests {
 
     #[test]
     fn strided_subpass_residues() {
-        let s = StridedPuncture::new(8);
+        let s = StridedPuncture::new(8).unwrap();
         // Sub-pass 0 of pass 0: residue 0 → t = 0, 8, 16 for n_spine = 20.
         assert_eq!(
             s.subpass_slots(20, 0),
@@ -242,7 +248,7 @@ mod tests {
     fn strided_small_spine_has_empty_subpasses() {
         // n_spine = 3 (the paper's m = 24, k = 8): residues 3..8 are
         // unpopulated, so 5 of 8 sub-passes are empty.
-        let s = StridedPuncture::new(8);
+        let s = StridedPuncture::new(8).unwrap();
         let sizes: Vec<usize> = (0..8).map(|g| s.subpass_slots(3, g).len()).collect();
         assert_eq!(sizes, vec![1, 0, 1, 0, 1, 0, 0, 0]);
     }
@@ -250,7 +256,7 @@ mod tests {
     #[test]
     fn one_pass_covers_every_position_exactly_once() {
         for stride in [2u32, 4, 8, 16] {
-            let s = StridedPuncture::new(stride);
+            let s = StridedPuncture::new(stride).unwrap();
             for n_spine in [1u32, 3, 8, 13, 32] {
                 let mut seen = HashSet::new();
                 for g in 0..stride {
@@ -269,21 +275,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power-of-two stride")]
-    fn rejects_non_power_of_two() {
-        StridedPuncture::new(6);
-    }
-
-    #[test]
-    #[should_panic(expected = "power-of-two stride")]
-    fn rejects_stride_one() {
-        StridedPuncture::new(1);
+    fn rejects_invalid_strides_with_typed_error() {
+        for bad in [0u32, 1, 6, 128] {
+            assert_eq!(
+                StridedPuncture::new(bad).unwrap_err(),
+                crate::error::SpinalError::Stride(bad),
+                "stride {bad}"
+            );
+            assert!(AnySchedule::strided(bad).is_err());
+        }
     }
 
     #[test]
     fn any_schedule_delegates() {
-        let a = AnySchedule::strided(4);
-        let b = StridedPuncture::new(4);
+        let a = AnySchedule::strided(4).unwrap();
+        let b = StridedPuncture::new(4).unwrap();
         assert_eq!(a.subpass_slots(10, 3), b.subpass_slots(10, 3));
         assert_eq!(a.subpasses_per_pass(), 4);
         assert_eq!(AnySchedule::none().name(), "none");
@@ -293,7 +299,7 @@ mod tests {
     proptest! {
         #[test]
         fn prop_bit_reversed_order_is_permutation(log in 1u32..=6) {
-            let s = StridedPuncture::new(1 << log);
+            let s = StridedPuncture::new(1 << log).unwrap();
             let mut sorted = s.order().to_vec();
             sorted.sort_unstable();
             let expect: Vec<u32> = (0..(1 << log)).collect();
@@ -304,7 +310,7 @@ mod tests {
         fn prop_slots_belong_to_their_subpass(stride_log in 1u32..=5,
                                               n_spine in 1u32..64,
                                               g in 0u32..40) {
-            let s = StridedPuncture::new(1 << stride_log);
+            let s = StridedPuncture::new(1 << stride_log).unwrap();
             for slot in s.subpass_slots(n_spine, g) {
                 prop_assert!(slot.t < n_spine);
                 prop_assert_eq!(slot.pass, g / s.subpasses_per_pass());
@@ -317,7 +323,7 @@ mod tests {
             // After the first two sub-passes the covered residues must be
             // stride/2 apart (bit-reversal property).
             let stride = 1u32 << stride_log;
-            let s = StridedPuncture::new(stride);
+            let s = StridedPuncture::new(stride).unwrap();
             prop_assert_eq!(s.order()[0], 0);
             prop_assert_eq!(s.order()[1], stride / 2);
         }

@@ -16,7 +16,7 @@
 //!
 //! // Stop-and-wait with an 8-symbol feedback delay at 25 dB.
 //! let cfg = LinkConfig::demo(25.0, 8, 1);
-//! let report = simulate_link(&cfg, 10, 42);
+//! let report = simulate_link(&cfg, 10, 42).unwrap();
 //! assert_eq!(report.frames_delivered, 10);
 //! // Per frame: ~4 symbols to decode + 8 wasted awaiting the ACK.
 //! let tput = report.throughput(cfg.message_bits);

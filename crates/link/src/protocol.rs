@@ -22,6 +22,7 @@ use spinal_core::decode::BeamConfig;
 use spinal_core::hash::HashFamily;
 use spinal_core::map::AnyIqMapper;
 use spinal_core::puncture::AnySchedule;
+use spinal_core::SpinalError;
 use spinal_sim::stats::RunningStats;
 
 /// Configuration of a link simulation.
@@ -54,6 +55,27 @@ pub struct LinkConfig {
 }
 
 impl LinkConfig {
+    /// Checks the configuration with typed errors: at least one frame in
+    /// flight, attempt growth ≥ 1, valid code parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpinalError`] violated.
+    pub fn validate(&self) -> Result<(), SpinalError> {
+        if self.frames_in_flight == 0 {
+            return Err(SpinalError::Window(self.frames_in_flight));
+        }
+        if self.attempt_growth.is_nan() || self.attempt_growth < 1.0 {
+            return Err(SpinalError::AttemptGrowth(self.attempt_growth));
+        }
+        self.beam.validate()?;
+        spinal_core::params::CodeParams::builder()
+            .message_bits(self.message_bits)
+            .k(self.k)
+            .build()?;
+        Ok(())
+    }
+
     /// A small demonstration configuration: 16-bit frames, k = 4, c = 6.
     pub fn demo(snr_db: f64, feedback_delay: u64, frames_in_flight: u32) -> Self {
         Self {

@@ -14,94 +14,98 @@
 
 use crate::protocol::{LinkConfig, LinkReport};
 use spinal_channel::{AwgnChannel, Channel, Rng};
-use spinal_core::decode::{BeamDecoder, DecoderScratch, Observations};
+use spinal_core::frame::AnyTerminator;
 use spinal_core::hash::AnyHash;
 use spinal_core::map::AnyIqMapper;
 use spinal_core::params::CodeParams;
-use spinal_core::puncture::PunctureSchedule;
-use spinal_core::symbol::{IqSymbol, Slot};
-use spinal_core::{AwgnCost, BitVec, Encoder};
+use spinal_core::puncture::AnySchedule;
+use spinal_core::session::{Poll, RxConfig, RxSession, TxSession};
+use spinal_core::{AwgnCost, BitVec, Encoder, SpinalError};
 use spinal_sim::engine::{Accumulate, Scenario, SimEngine, Trial};
 use spinal_sim::stats::{derive_seed, RunningStats};
 
-/// One frame in flight.
+/// One frame in flight: a sender/receiver session pair plus protocol
+/// timestamps. The receiver session's checkpoint store makes the
+/// per-symbol decode attempts incremental — under `NoPuncture`, a
+/// symbol at spine position `t` resumes the tree sweep at level `t`
+/// instead of level 0.
 struct ActiveFrame {
     message: BitVec,
-    encoder: Encoder<AnyHash, AnyIqMapper>,
-    decoder: BeamDecoder<AnyHash, AnyIqMapper, AwgnCost>,
-    obs: Observations<IqSymbol>,
-    /// Pending symbols of the current sub-pass (batched
-    /// [`Encoder::subpass_into`] refills; `queue_pos` walks it).
-    queue: Vec<(Slot, IqSymbol)>,
-    queue_pos: usize,
-    slot_buf: Vec<Slot>,
-    next_subpass: u32,
-    sent: u64,
-    next_attempt: u64,
+    tx: TxSession<AnyHash, AnyIqMapper, AnySchedule>,
+    rx: RxSession<AnyHash, AnyIqMapper, AwgnCost, AnySchedule>,
     first_sent_at: Option<u64>,
     decoded_at: Option<u64>,
     ack_due: Option<u64>,
 }
 
 impl ActiveFrame {
-    fn new(cfg: &LinkConfig, seed: u64, frame_idx: u32) -> Self {
+    fn new(cfg: &LinkConfig, seed: u64, frame_idx: u32) -> Result<Self, SpinalError> {
         let code_seed = derive_seed(seed, 60, u64::from(frame_idx));
         let msg_seed = derive_seed(seed, 61, u64::from(frame_idx));
         let params = CodeParams::builder()
             .message_bits(cfg.message_bits)
             .k(cfg.k)
             .seed(code_seed)
-            .build()
-            .expect("invalid link configuration");
+            .build()?;
         let hash = AnyHash::new(cfg.hash, code_seed);
         let mut rng = Rng::seed_from(msg_seed);
         let message: BitVec = (0..cfg.message_bits).map(|_| rng.bit()).collect();
-        let encoder = Encoder::new(&params, hash, cfg.mapper.clone(), &message)
-            .expect("message length matches params");
-        let decoder = BeamDecoder::new(&params, hash, cfg.mapper.clone(), AwgnCost, cfg.beam);
-        let obs = Observations::new(params.n_segments());
-        Self {
+        let tx = TxSession::new(
+            Encoder::new(&params, hash, cfg.mapper.clone(), &message)?,
+            cfg.schedule.clone(),
+        );
+        let rx = code_rx(cfg, &params, hash, &message)?;
+        Ok(Self {
             message,
-            encoder,
-            decoder,
-            obs,
-            queue: Vec::new(),
-            queue_pos: 0,
-            slot_buf: Vec::new(),
-            next_subpass: 0,
-            sent: 0,
-            next_attempt: 1,
+            tx,
+            rx,
             first_sent_at: None,
             decoded_at: None,
             ack_due: None,
-        }
-    }
-
-    /// The next symbol this frame's sender would transmit.
-    fn next_symbol(&mut self, schedule: &impl PunctureSchedule) -> (Slot, IqSymbol) {
-        while self.queue_pos >= self.queue.len() {
-            self.encoder.subpass_into(
-                schedule,
-                self.next_subpass,
-                &mut self.slot_buf,
-                &mut self.queue,
-            );
-            self.queue_pos = 0;
-            self.next_subpass += 1;
-        }
-        let sym = self.queue[self.queue_pos];
-        self.queue_pos += 1;
-        sym
+        })
     }
 }
 
+/// Builds one frame's receiver session (genie termination on the known
+/// frame payload — the protocol models an ideal frame check).
+fn code_rx(
+    cfg: &LinkConfig,
+    params: &CodeParams,
+    hash: AnyHash,
+    message: &BitVec,
+) -> Result<RxSession<AnyHash, AnyIqMapper, AwgnCost, AnySchedule>, SpinalError> {
+    let decoder = spinal_core::decode::BeamDecoder::new(
+        params,
+        hash,
+        cfg.mapper.clone(),
+        AwgnCost,
+        cfg.beam,
+    )?;
+    RxSession::new(
+        decoder,
+        cfg.schedule.clone(),
+        AnyTerminator::genie(message.clone()),
+        RxConfig {
+            beam: cfg.beam,
+            max_symbols: cfg.max_symbols_per_frame,
+            attempt_growth: cfg.attempt_growth,
+        },
+    )
+}
+
 /// Runs the link protocol for `n_frames` frames and reports.
-pub fn simulate_link(cfg: &LinkConfig, n_frames: u32, seed: u64) -> LinkReport {
-    assert!(
-        cfg.frames_in_flight >= 1,
-        "window must hold at least one frame"
-    );
-    assert!(cfg.attempt_growth >= 1.0, "attempt_growth must be >= 1");
+///
+/// # Errors
+///
+/// Returns a typed [`SpinalError`] for an invalid configuration
+/// (window, attempt growth, or code parameters) without running any
+/// symbol of simulation.
+pub fn simulate_link(
+    cfg: &LinkConfig,
+    n_frames: u32,
+    seed: u64,
+) -> Result<LinkReport, SpinalError> {
+    cfg.validate()?;
     let mut channel = AwgnChannel::from_snr_db(cfg.snr_db, derive_seed(seed, 62, 0));
 
     let mut report = LinkReport {
@@ -116,15 +120,12 @@ pub fn simulate_link(cfg: &LinkConfig, n_frames: u32, seed: u64) -> LinkReport {
     let mut next_frame_idx: u32 = 0;
     let mut window: Vec<ActiveFrame> = Vec::new();
     while window.len() < cfg.frames_in_flight as usize && next_frame_idx < n_frames {
-        window.push(ActiveFrame::new(cfg, seed, next_frame_idx));
+        window.push(ActiveFrame::new(cfg, seed, next_frame_idx)?);
         next_frame_idx += 1;
     }
 
     let mut now: u64 = 0;
     let mut rr: usize = 0; // round-robin pointer
-                           // One scratch + result pair serves every frame's decode attempts.
-    let mut scratch = DecoderScratch::new();
-    let mut result = spinal_core::DecodeResult::default();
 
     while !window.is_empty() {
         // 1. Deliver due ACKs, refill the window.
@@ -137,7 +138,7 @@ pub fn simulate_link(cfg: &LinkConfig, n_frames: u32, seed: u64) -> LinkReport {
                 let first = frame.first_sent_at.expect("decoded implies sent");
                 report.decode_latency.push((decoded_at - first) as f64);
                 if next_frame_idx < n_frames {
-                    window.push(ActiveFrame::new(cfg, seed, next_frame_idx));
+                    window.push(ActiveFrame::new(cfg, seed, next_frame_idx)?);
                     next_frame_idx += 1;
                 }
             } else {
@@ -152,43 +153,39 @@ pub fn simulate_link(cfg: &LinkConfig, n_frames: u32, seed: u64) -> LinkReport {
         rr %= window.len();
         let frame = &mut window[rr];
         rr += 1;
-        let (slot, x) = frame.next_symbol(&cfg.schedule);
+        let (_slot, x) = frame.tx.next_symbol();
         let y = channel.transmit(x);
         report.symbols_sent += 1;
-        frame.sent += 1;
         frame.first_sent_at.get_or_insert(now);
 
-        // 3. Receiver side (only until the frame decodes).
+        // 3. Receiver side (only until the frame decodes). The session
+        // labels the symbol, runs the (incremental, thinned) decode
+        // attempt, and reports acceptance or budget exhaustion.
         if frame.decoded_at.is_none() {
-            frame.obs.push(slot, y);
-            if frame.sent >= frame.next_attempt {
-                frame
-                    .decoder
-                    .decode_into(&frame.obs, &mut scratch, &mut result);
-                if result.message == frame.message {
+            match frame.rx.ingest(&[y]).expect("frame still listening") {
+                Poll::NeedMore { .. } => {}
+                Poll::Decoded { symbols_used, .. } => {
+                    debug_assert_eq!(frame.rx.payload(), Some(&frame.message));
                     frame.decoded_at = Some(now);
                     frame.ack_due = Some(now + cfg.feedback_delay);
-                    report.symbols_to_decode.push(frame.sent as f64);
-                } else {
-                    frame.next_attempt = (frame.sent + 1)
-                        .max((frame.sent as f64 * cfg.attempt_growth).ceil() as u64);
+                    report.symbols_to_decode.push(symbols_used as f64);
                 }
-            }
-            // Abort hopeless frames.
-            if frame.decoded_at.is_none() && frame.sent >= cfg.max_symbols_per_frame {
-                let idx = rr - 1;
-                window.swap_remove(idx);
-                report.frames_aborted += 1;
-                if next_frame_idx < n_frames {
-                    window.push(ActiveFrame::new(cfg, seed, next_frame_idx));
-                    next_frame_idx += 1;
+                Poll::Exhausted { .. } => {
+                    // Abort hopeless frames.
+                    let idx = rr - 1;
+                    window.swap_remove(idx);
+                    report.frames_aborted += 1;
+                    if next_frame_idx < n_frames {
+                        window.push(ActiveFrame::new(cfg, seed, next_frame_idx)?);
+                        next_frame_idx += 1;
+                    }
                 }
             }
         }
         now += 1;
     }
 
-    report
+    Ok(report)
 }
 
 impl Accumulate for LinkReport {
@@ -226,7 +223,10 @@ impl Scenario for LinkScenario<'_> {
     }
 
     fn run_trial(&self, trial: Trial, _w: &mut (), acc: &mut LinkReport) {
-        acc.merge(simulate_link(self.cfg, self.n_frames, trial.seed));
+        acc.merge(
+            simulate_link(self.cfg, self.n_frames, trial.seed)
+                .expect("config validated by simulate_link_ensemble"),
+        );
     }
 }
 
@@ -241,12 +241,13 @@ pub fn simulate_link_ensemble(
     replications: u32,
     seed: u64,
     engine: &SimEngine,
-) -> LinkReport {
-    engine.run(
+) -> Result<LinkReport, SpinalError> {
+    cfg.validate()?;
+    Ok(engine.run(
         &LinkScenario { cfg, n_frames },
         u64::from(replications),
         seed,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -258,7 +259,7 @@ mod tests {
         // With no feedback delay the protocol adds no overhead: the
         // throughput equals the code's achieved rate (~k at high SNR).
         let cfg = LinkConfig::demo(30.0, 0, 1);
-        let report = simulate_link(&cfg, 20, 1);
+        let report = simulate_link(&cfg, 20, 1).unwrap();
         assert_eq!(report.frames_delivered, 20);
         assert_eq!(report.frames_aborted, 0);
         let tput = report.throughput(cfg.message_bits);
@@ -272,8 +273,8 @@ mod tests {
     fn stop_and_wait_pays_the_delay() {
         // W = 1: each frame costs N + D symbols. At 30 dB N ≈ 4, so
         // D = 16 should cut throughput to ~16/(4+16) = 0.8 bits/symbol.
-        let fast = simulate_link(&LinkConfig::demo(30.0, 0, 1), 20, 2);
-        let slow = simulate_link(&LinkConfig::demo(30.0, 16, 1), 20, 2);
+        let fast = simulate_link(&LinkConfig::demo(30.0, 0, 1), 20, 2).unwrap();
+        let slow = simulate_link(&LinkConfig::demo(30.0, 16, 1), 20, 2).unwrap();
         let (tf, ts) = (fast.throughput(16), slow.throughput(16));
         assert!(
             ts < tf * 0.45,
@@ -285,8 +286,8 @@ mod tests {
     #[test]
     fn pipelining_recovers_the_delay_loss() {
         // A deep window fills the ACK gap with other frames' symbols.
-        let sw = simulate_link(&LinkConfig::demo(30.0, 16, 1), 24, 3);
-        let pipe = simulate_link(&LinkConfig::demo(30.0, 16, 6), 24, 3);
+        let sw = simulate_link(&LinkConfig::demo(30.0, 16, 1), 24, 3).unwrap();
+        let pipe = simulate_link(&LinkConfig::demo(30.0, 16, 6), 24, 3).unwrap();
         let (t1, t6) = (sw.throughput(16), pipe.throughput(16));
         assert!(
             t6 > t1 * 1.5,
@@ -296,7 +297,7 @@ mod tests {
 
     #[test]
     fn all_frames_delivered_at_reasonable_snr() {
-        let report = simulate_link(&LinkConfig::demo(10.0, 8, 3), 15, 4);
+        let report = simulate_link(&LinkConfig::demo(10.0, 8, 3), 15, 4).unwrap();
         assert_eq!(report.frames_delivered, 15);
         assert_eq!(report.delivery_fraction(), 1.0);
         assert!(report.symbols_to_decode.mean() >= 4.0);
@@ -307,7 +308,7 @@ mod tests {
     fn hopeless_snr_aborts_frames() {
         let mut cfg = LinkConfig::demo(-25.0, 4, 2);
         cfg.max_symbols_per_frame = 64;
-        let report = simulate_link(&cfg, 6, 5);
+        let report = simulate_link(&cfg, 6, 5).unwrap();
         assert!(report.frames_aborted > 0, "expected aborts at -25 dB");
         assert_eq!(
             report.frames_aborted + report.frames_delivered,
@@ -319,15 +320,15 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = LinkConfig::demo(12.0, 8, 2);
-        let a = simulate_link(&cfg, 10, 7);
-        let b = simulate_link(&cfg, 10, 7);
+        let a = simulate_link(&cfg, 10, 7).unwrap();
+        let b = simulate_link(&cfg, 10, 7).unwrap();
         assert_eq!(a.symbols_sent, b.symbols_sent);
         assert_eq!(a.frames_delivered, b.frames_delivered);
     }
 
     #[test]
     fn zero_frames_is_empty_report() {
-        let report = simulate_link(&LinkConfig::demo(10.0, 4, 2), 0, 0);
+        let report = simulate_link(&LinkConfig::demo(10.0, 4, 2), 0, 0).unwrap();
         assert_eq!(report.symbols_sent, 0);
         assert_eq!(report.frames_delivered, 0);
     }
@@ -335,9 +336,11 @@ mod tests {
     #[test]
     fn ensemble_is_bit_identical_across_worker_counts() {
         let cfg = LinkConfig::demo(15.0, 4, 2);
-        let serial = simulate_link_ensemble(&cfg, 4, 6, 21, &SimEngine::serial().chunk_trials(2));
+        let serial =
+            simulate_link_ensemble(&cfg, 4, 6, 21, &SimEngine::serial().chunk_trials(2)).unwrap();
         let sharded =
-            simulate_link_ensemble(&cfg, 4, 6, 21, &SimEngine::with_workers(3).chunk_trials(2));
+            simulate_link_ensemble(&cfg, 4, 6, 21, &SimEngine::with_workers(3).chunk_trials(2))
+                .unwrap();
         assert_eq!(serial.frames_delivered, sharded.frames_delivered);
         assert_eq!(serial.symbols_sent, sharded.symbols_sent);
         assert_eq!(
@@ -351,8 +354,8 @@ mod tests {
     fn latency_grows_with_window_under_load() {
         // Sharing the channel across W frames stretches each frame's
         // decode latency even as throughput improves.
-        let w1 = simulate_link(&LinkConfig::demo(20.0, 32, 1), 16, 9);
-        let w4 = simulate_link(&LinkConfig::demo(20.0, 32, 4), 16, 9);
+        let w1 = simulate_link(&LinkConfig::demo(20.0, 32, 1), 16, 9).unwrap();
+        let w4 = simulate_link(&LinkConfig::demo(20.0, 32, 4), 16, 9).unwrap();
         assert!(
             w4.decode_latency.mean() > w1.decode_latency.mean(),
             "W=4 latency {} !> W=1 latency {}",

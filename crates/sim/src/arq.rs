@@ -17,7 +17,8 @@ use crate::engine::{Accumulate, Scenario, SimEngine, Trial};
 use crate::stats::{derive_seed, RunningStats};
 use spinal_channel::{AwgnChannel, Channel, Rng};
 use spinal_core::bits::BitVec;
-use spinal_core::frame::{crc32, frame_encode, Checksum};
+use spinal_core::frame::{frame_check_into, frame_encode, Checksum};
+use spinal_core::SpinalError;
 use spinal_modem::{Constellation, Modulation};
 
 /// Configuration of the ARQ baseline.
@@ -40,6 +41,18 @@ impl ArqConfig {
             modulation,
             max_transmissions: 200,
         }
+    }
+
+    /// Checks the configuration with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::Param`] for an empty payload.
+    pub fn validate(&self) -> Result<(), SpinalError> {
+        if self.payload_bits == 0 {
+            return Err(spinal_core::ParamError::ZeroMessageBits.into());
+        }
+        Ok(())
     }
 
     /// Framed length in bits (payload + CRC-32).
@@ -148,11 +161,9 @@ impl Scenario for ArqScenario<'_> {
                 }
             }
             rx_bits.truncate(framed.len());
-            // Receiver-side CRC check.
-            let mut got_payload = rx_bits.clone();
-            got_payload.truncate(cfg.payload_bits as usize);
-            let got_crc = rx_bits.get_range(cfg.payload_bits as usize, 32) as u32;
-            if got_crc == crc32(&got_payload) {
+            // Receiver-side CRC check (allocation-free framing path).
+            let mut got_payload = BitVec::new();
+            if frame_check_into(&rx_bits, Checksum::Crc32, &mut got_payload) {
                 if got_payload == payload {
                     outcome.delivered += 1;
                 } else {
@@ -167,7 +178,12 @@ impl Scenario for ArqScenario<'_> {
 
 /// Runs `trials` frames of stop-and-wait ARQ over AWGN at `snr_db`
 /// (serial engine; see [`run_arq_awgn_with`]).
-pub fn run_arq_awgn(cfg: &ArqConfig, snr_db: f64, trials: u32, seed: u64) -> ArqOutcome {
+pub fn run_arq_awgn(
+    cfg: &ArqConfig,
+    snr_db: f64,
+    trials: u32,
+    seed: u64,
+) -> Result<ArqOutcome, SpinalError> {
     run_arq_awgn_with(cfg, snr_db, trials, seed, &SimEngine::serial())
 }
 
@@ -178,14 +194,15 @@ pub fn run_arq_awgn_with(
     trials: u32,
     seed: u64,
     engine: &SimEngine,
-) -> ArqOutcome {
+) -> Result<ArqOutcome, SpinalError> {
+    cfg.validate()?;
     let scenario = ArqScenario {
         cfg,
         cst: Constellation::new(cfg.modulation),
         snr_db,
         master_seed: seed,
     };
-    engine.run(&scenario, u64::from(trials), seed)
+    Ok(engine.run(&scenario, u64::from(trials), seed))
 }
 
 #[cfg(test)]
@@ -195,7 +212,7 @@ mod tests {
     #[test]
     fn clean_channel_delivers_first_attempt() {
         let cfg = ArqConfig::default_24bit(Modulation::Qam16);
-        let out = run_arq_awgn(&cfg, 40.0, 10, 1);
+        let out = run_arq_awgn(&cfg, 40.0, 10, 1).unwrap();
         assert_eq!(out.delivered, 10);
         assert_eq!(out.attempts.mean(), 1.0);
         // 56 framed bits over QAM-16 = 14 symbols: goodput 24/14 ≈ 1.71.
@@ -206,7 +223,7 @@ mod tests {
     #[test]
     fn moderate_snr_needs_retransmissions() {
         let cfg = ArqConfig::default_24bit(Modulation::Qam16);
-        let out = run_arq_awgn(&cfg, 14.0, 15, 2);
+        let out = run_arq_awgn(&cfg, 14.0, 15, 2).unwrap();
         assert!(out.delivery_fraction() > 0.9);
         assert!(
             out.attempts.mean() > 1.2,
@@ -221,7 +238,7 @@ mod tests {
         // §2's point: at 5 dB capacity is ~2.06 bits/symbol, but uncoded
         // QAM-16 ARQ delivers essentially nothing.
         let cfg = ArqConfig::default_24bit(Modulation::Qam16);
-        let out = run_arq_awgn(&cfg, 5.0, 10, 3);
+        let out = run_arq_awgn(&cfg, 5.0, 10, 3).unwrap();
         assert!(
             out.goodput() < 0.3,
             "uncoded ARQ at 5 dB should collapse, got {}",
@@ -233,7 +250,7 @@ mod tests {
     fn bpsk_arq_works_at_low_snr_but_capped() {
         // BPSK ARQ survives lower SNR but is capped at 24/56 ≈ 0.43.
         let cfg = ArqConfig::default_24bit(Modulation::Bpsk);
-        let out = run_arq_awgn(&cfg, 10.0, 10, 4);
+        let out = run_arq_awgn(&cfg, 10.0, 10, 4).unwrap();
         assert!(out.delivery_fraction() > 0.9);
         assert!(out.goodput() <= 24.0 / 56.0 + 1e-9);
     }
@@ -241,8 +258,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = ArqConfig::default_24bit(Modulation::Qam16);
-        let a = run_arq_awgn(&cfg, 12.0, 8, 9);
-        let b = run_arq_awgn(&cfg, 12.0, 8, 9);
+        let a = run_arq_awgn(&cfg, 12.0, 8, 9).unwrap();
+        let b = run_arq_awgn(&cfg, 12.0, 8, 9).unwrap();
         assert_eq!(a.total_symbols, b.total_symbols);
         assert_eq!(a.delivered, b.delivered);
     }

@@ -22,7 +22,7 @@ use spinal_core::decode::BeamConfig;
 use spinal_core::hash::HashFamily;
 use spinal_core::map::{AnyIqMapper, Mapper};
 use spinal_core::params::CodeParams;
-use spinal_core::AwgnCost;
+use spinal_core::{AwgnCost, SpinalError};
 
 /// Per-position bit error rates from a fixed-pass experiment.
 #[derive(Clone, Debug)]
@@ -132,17 +132,26 @@ impl Scenario for BerPositionScenario {
 /// Runs `trials` fixed-`passes` AWGN decodes of `cfg`'s code at `snr_db`
 /// and histograms bit errors by position. Serial engine; see
 /// [`ber_by_position_awgn_with`].
+///
+/// # Errors
+///
+/// Returns a typed [`SpinalError`] for invalid code parameters or beam
+/// configuration, before running any trial.
 pub fn ber_by_position_awgn(
     cfg: &RatelessConfig,
     snr_db: f64,
     passes: u32,
     trials: u32,
     seed: u64,
-) -> BerByPosition {
+) -> Result<BerByPosition, SpinalError> {
     ber_by_position_awgn_with(cfg, snr_db, passes, trials, seed, &SimEngine::serial())
 }
 
 /// [`ber_by_position_awgn`] on an explicit [`SimEngine`].
+///
+/// # Errors
+///
+/// See [`ber_by_position_awgn`].
 pub fn ber_by_position_awgn_with(
     cfg: &RatelessConfig,
     snr_db: f64,
@@ -150,16 +159,16 @@ pub fn ber_by_position_awgn_with(
     trials: u32,
     seed: u64,
     engine: &SimEngine,
-) -> BerByPosition {
+) -> Result<BerByPosition, SpinalError> {
     assert!(passes >= 1, "need at least one pass");
+    cfg.beam.validate()?;
     let scenario = BerPositionScenario {
         params: CodeParams::builder()
             .message_bits(cfg.message_bits)
             .k(cfg.k)
             .tail_segments(cfg.tail_segments)
             .seed(derive_seed(seed, 40, 0))
-            .build()
-            .expect("invalid config"),
+            .build()?,
         hash: cfg.hash,
         mapper: cfg.mapper.clone(),
         beam: cfg.beam,
@@ -179,12 +188,12 @@ pub fn ber_by_position_awgn_with(
         .map(|&e| e as f64 / acc.trials as f64)
         .collect();
     let overall = per_bit.iter().sum::<f64>() / n as f64;
-    BerByPosition {
+    Ok(BerByPosition {
         per_bit,
         overall,
         trials,
         frame_error_rate: acc.frame_errors as f64 / acc.trials as f64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -214,7 +223,7 @@ mod tests {
         // Marginal operating point: B = 4, two passes at 6 dB. Errors
         // exist, and the last half of the message carries more of them —
         // the §4 claim.
-        let b = ber_by_position_awgn(&cfg(0), 6.0, 2, 60, 1);
+        let b = ber_by_position_awgn(&cfg(0), 6.0, 2, 60, 1).unwrap();
         assert!(b.overall > 0.0, "need a lossy operating point");
         assert!(
             b.last_half() > b.first_half(),
@@ -226,8 +235,8 @@ mod tests {
 
     #[test]
     fn tail_segments_protect_the_tail() {
-        let without = ber_by_position_awgn(&cfg(0), 6.0, 2, 60, 2);
-        let with = ber_by_position_awgn(&cfg(2), 6.0, 2, 60, 2);
+        let without = ber_by_position_awgn(&cfg(0), 6.0, 2, 60, 2).unwrap();
+        let with = ber_by_position_awgn(&cfg(2), 6.0, 2, 60, 2).unwrap();
         // Tail segments specifically repair the final bits.
         assert!(
             with.last_half() < without.last_half(),
@@ -239,7 +248,7 @@ mod tests {
 
     #[test]
     fn per_bit_vector_shape() {
-        let b = ber_by_position_awgn(&cfg(0), 20.0, 2, 10, 3);
+        let b = ber_by_position_awgn(&cfg(0), 20.0, 2, 10, 3).unwrap();
         assert_eq!(b.per_bit.len(), 32);
         assert!(b.per_bit.iter().all(|&x| (0.0..=1.0).contains(&x)));
         assert_eq!(b.trials, 10);
@@ -247,7 +256,7 @@ mod tests {
 
     #[test]
     fn clean_channel_no_errors_anywhere() {
-        let b = ber_by_position_awgn(&cfg(0), 60.0, 1, 10, 4);
+        let b = ber_by_position_awgn(&cfg(0), 60.0, 1, 10, 4).unwrap();
         assert_eq!(b.overall, 0.0);
         assert_eq!(b.frame_error_rate, 0.0);
         assert!(b.per_bit.iter().all(|&x| x == 0.0));
@@ -255,7 +264,7 @@ mod tests {
 
     #[test]
     fn sharded_histogram_matches_serial() {
-        let serial = ber_by_position_awgn(&cfg(0), 6.0, 2, 40, 5);
+        let serial = ber_by_position_awgn(&cfg(0), 6.0, 2, 40, 5).unwrap();
         let sharded = ber_by_position_awgn_with(
             &cfg(0),
             6.0,
@@ -263,7 +272,8 @@ mod tests {
             40,
             5,
             &SimEngine::with_workers(4).chunk_trials(7),
-        );
+        )
+        .unwrap();
         assert_eq!(serial.per_bit, sharded.per_bit);
         assert_eq!(serial.frame_error_rate, sharded.frame_error_rate);
     }

@@ -19,7 +19,7 @@
 //!
 //! let mut cfg = RatelessConfig::fig2();
 //! cfg.max_passes = 200; // keep the doctest fast
-//! let out = run_awgn(&cfg, 20.0, 5, 42);
+//! let out = run_awgn(&cfg, 20.0, 5, 42).unwrap();
 //! assert!(out.success_fraction() > 0.9);
 //! // At 20 dB, capacity is ~6.66 bits/symbol; the code lands below it.
 //! assert!(out.rate_mean() > 3.0 && out.rate_mean() < 6.66);

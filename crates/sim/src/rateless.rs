@@ -34,15 +34,15 @@ use crate::engine::{
 };
 use crate::stats::{derive_seed, wilson_halfwidth, RunningStats};
 use spinal_channel::{Channel, Rng};
-use spinal_core::decode::{BeamConfig, BeamDecoder, CostModel, DecoderScratch, Observations};
-use spinal_core::frame::{frame_encode, Checksum, CrcTerminator, Terminator};
+use spinal_core::decode::{BeamConfig, BeamDecoder, CostModel};
+use spinal_core::frame::{frame_encode, AnyTerminator, Checksum};
 use spinal_core::hash::{AnyHash, HashFamily};
 use spinal_core::map::{AnyIqMapper, BinaryMapper, Mapper};
 use spinal_core::params::CodeParams;
 use spinal_core::puncture::{AnySchedule, PunctureSchedule};
+use spinal_core::session::{Poll, RxConfig, RxSession, TxSession};
 use spinal_core::symbol::Slot;
-use spinal_core::DecodeResult;
-use spinal_core::{AwgnCost, BecCost, BitVec, BscCost, Encoder};
+use spinal_core::{AwgnCost, BecCost, BitVec, BscCost, Encoder, SpinalError};
 
 /// How the receiver decides it has decoded successfully.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +97,7 @@ impl RatelessConfig {
             tail_segments: 0,
             hash: HashFamily::Lookup3,
             mapper: AnyIqMapper::linear(10),
-            schedule: AnySchedule::strided(8),
+            schedule: AnySchedule::strided(8).expect("8 is a valid stride"),
             beam: BeamConfig::paper_default(),
             adc_bits: Some(14),
             max_passes: 1000,
@@ -239,17 +239,17 @@ impl Accumulate for RatelessOutcome {
     }
 }
 
-/// Per-worker reusable state for the rateless scenario: everything a
-/// trial needs, warmed once and recycled — after the first few trials a
-/// genie-mode worker performs **zero heap allocation** per trial
-/// (CRC-mode framing still builds one message per trial).
-pub struct RatelessWorker<M: Mapper> {
-    encoder: Option<Encoder<AnyHash, M>>,
-    obs: Observations<M::Symbol>,
-    scratch: DecoderScratch,
-    result: DecodeResult,
-    slots: Vec<Slot>,
+/// Per-worker reusable state for the rateless scenario: a long-lived
+/// sender/receiver session pair rebound per trial — after the first few
+/// trials a genie-mode worker performs **zero heap allocation** per
+/// trial (CRC-mode framing still builds one message per trial). The
+/// receiver session's checkpoint store makes every retry after a
+/// sub-pass incremental instead of a decode-from-scratch.
+pub struct RatelessWorker<M: Mapper, C: CostModel<M::Symbol>> {
+    tx: Option<TxSession<AnyHash, M, AnySchedule>>,
+    rx: Option<RxSession<AnyHash, M, C, AnySchedule>>,
     sub: Vec<(Slot, M::Symbol)>,
+    noisy: Vec<M::Symbol>,
     message: BitVec,
     payload: BitVec,
 }
@@ -262,7 +262,6 @@ struct RatelessScenario<'a, M: Mapper, C: CostModel<M::Symbol>, CM: ChannelModel
     message_bits: u32,
     k: u32,
     tail_segments: u32,
-    code_seed_base: u64,
     hash: HashFamily,
     mapper: M,
     cost: C,
@@ -312,18 +311,15 @@ where
     CM: ChannelModel<M::Symbol>,
     M::Symbol: Send,
 {
-    type Worker = RatelessWorker<M>;
+    type Worker = RatelessWorker<M, C>;
     type Acc = RatelessOutcome;
 
-    fn make_worker(&self) -> RatelessWorker<M> {
-        let n_segments = self.params(self.code_seed_base).n_segments();
+    fn make_worker(&self) -> RatelessWorker<M, C> {
         RatelessWorker {
-            encoder: None,
-            obs: Observations::new(n_segments),
-            scratch: DecoderScratch::new(),
-            result: DecodeResult::default(),
-            slots: Vec::new(),
+            tx: None,
+            rx: None,
             sub: Vec::new(),
+            noisy: Vec::new(),
             message: BitVec::new(),
             payload: BitVec::new(),
         }
@@ -333,17 +329,15 @@ where
         RatelessOutcome::new(self.payload_bits)
     }
 
-    fn run_trial(&self, trial: Trial, w: &mut RatelessWorker<M>, acc: &mut RatelessOutcome) {
+    fn run_trial(&self, trial: Trial, w: &mut RatelessWorker<M, C>, acc: &mut RatelessOutcome) {
         let code_seed = derive_seed(self.master_seed, self.streams[0], trial.index);
         let noise_seed = derive_seed(self.master_seed, self.streams[1], trial.index);
         let msg_seed = derive_seed(self.master_seed, self.streams[2], trial.index);
         let RatelessWorker {
-            encoder,
-            obs,
-            scratch,
-            result,
-            slots,
+            tx,
+            rx,
             sub,
+            noisy,
             message,
             payload,
         } = w;
@@ -353,83 +347,100 @@ where
         match self.termination {
             Termination::Genie => random_message_into(&mut rng, self.message_bits, message),
             Termination::Crc(ck) => {
-                let width = ck.width() as u32;
-                assert!(
-                    self.message_bits > width,
-                    "message_bits ({}) must exceed the CRC width ({width})",
-                    self.message_bits
-                );
-                random_message_into(&mut rng, self.message_bits - width, payload);
+                random_message_into(&mut rng, self.message_bits - ck.width() as u32, payload);
                 *message = frame_encode(payload, ck);
             }
         }
 
-        // Rebind the worker's long-lived encoder; build the (bufferless)
-        // decoder and this trial's channel.
+        // Rebind the worker's long-lived sender/receiver sessions to
+        // this trial's reseeded code.
         let params = self.params(code_seed);
         let hash = AnyHash::new(self.hash, code_seed);
-        match encoder {
-            Some(enc) => enc
+        match tx {
+            Some(t) => t
                 .rebind(&params, hash, message)
                 .expect("message length validated by config"),
             None => {
-                *encoder = Some(
+                *tx = Some(TxSession::new(
                     Encoder::new(&params, hash, self.mapper.clone(), message)
                         .expect("message length validated by config"),
-                )
+                    self.schedule.clone(),
+                ))
             }
         }
-        let enc = encoder.as_ref().expect("bound above");
+        let tx = tx.as_mut().expect("bound above");
         let decoder = BeamDecoder::new(
             &params,
             hash,
             self.mapper.clone(),
             self.cost.clone(),
             self.beam,
-        );
+        )
+        .expect("beam config validated by run entry point");
+        match rx {
+            Some(r) => r.rebind(decoder),
+            None => {
+                let terminator = match self.termination {
+                    Termination::Genie => AnyTerminator::genie(BitVec::new()),
+                    Termination::Crc(ck) => AnyTerminator::crc(ck),
+                };
+                *rx = Some(
+                    RxSession::new(
+                        decoder,
+                        self.schedule.clone(),
+                        terminator,
+                        RxConfig {
+                            beam: self.beam,
+                            max_symbols: u64::MAX, // the pass budget bounds the loop
+                            attempt_growth: self.attempt_growth,
+                        },
+                    )
+                    .expect("attempt_growth validated by run entry point"),
+                )
+            }
+        }
+        let rx = rx.as_mut().expect("bound above");
+        if let Termination::Genie = self.termination {
+            rx.terminator_mut()
+                .genie_mut()
+                .expect("genie session")
+                .set_truth(message);
+        }
         let mut channel = self.channel.make(noise_seed);
 
-        // Stream sub-passes, attempting decodes on the thinned schedule.
-        obs.clear();
-        let mut sent: u64 = 0;
-        let mut next_attempt: u64 = 1;
-        let mut attempts: u32 = 0;
+        // Stream sub-passes through the channel into the receiver
+        // session; it runs (incremental) decode attempts on the thinned
+        // schedule and reports acceptance through its poll.
         let mut finished = false;
         let mut correct = false;
         let total_subpasses = self
             .max_passes
             .saturating_mul(self.schedule.subpasses_per_pass());
-        for g in 0..total_subpasses {
-            enc.subpass_into(self.schedule, g, slots, sub);
+        for _ in 0..total_subpasses {
+            tx.next_subpass_into(sub);
             if sub.is_empty() {
                 continue;
             }
-            for &(slot, x) in sub.iter() {
-                obs.push(slot, channel.transmit(x));
-                sent += 1;
+            noisy.clear();
+            noisy.extend(sub.iter().map(|&(_, x)| channel.transmit(x)));
+            match rx.ingest(noisy).expect("session still listening") {
+                Poll::NeedMore { .. } => {}
+                Poll::Decoded { .. } => {
+                    finished = true;
+                    correct = match self.termination {
+                        // The genie accepts exactly the truth.
+                        Termination::Genie => true,
+                        Termination::Crc(_) => rx.payload() == Some(&*payload),
+                    };
+                    break;
+                }
+                Poll::Exhausted { .. } => break,
             }
-            if sent < next_attempt {
-                continue;
-            }
-            attempts += 1;
-            decoder.decode_into(obs, scratch, result);
-            let accepted = match self.termination {
-                // The genie accepts exactly the truth — no clone needed.
-                Termination::Genie => (result.message == *message).then_some(true),
-                Termination::Crc(ck) => CrcTerminator::new(ck)
-                    .accept(result)
-                    .map(|decoded| decoded == *payload),
-            };
-            if let Some(ok) = accepted {
-                finished = true;
-                correct = ok;
-                break;
-            }
-            next_attempt = (sent + 1).max((sent as f64 * self.attempt_growth).ceil() as u64);
         }
 
+        let sent = rx.symbols();
         acc.trials += 1;
-        acc.attempts.push(f64::from(attempts));
+        acc.attempts.push(f64::from(rx.attempts()));
         acc.total_symbols += sent;
         if finished && correct {
             acc.successes += 1;
@@ -508,7 +519,9 @@ impl StopRule {
 fn payload_bits_for(message_bits: u32, termination: Termination) -> u32 {
     match termination {
         Termination::Genie => message_bits,
-        Termination::Crc(ck) => message_bits - ck.width() as u32,
+        // Saturating: a message shorter than its checksum is rejected by
+        // `run_generic` before any trial runs.
+        Termination::Crc(ck) => message_bits.saturating_sub(ck.width() as u32),
     }
 }
 
@@ -520,24 +533,39 @@ fn run_generic<M, C, CM>(
     max_trials: u32,
     engine: &SimEngine,
     stop: Option<&StopRule>,
-) -> RatelessOutcome
+) -> Result<RatelessOutcome, SpinalError>
 where
     M: Mapper,
     C: CostModel<M::Symbol>,
     CM: ChannelModel<M::Symbol>,
     M::Symbol: Send,
 {
-    assert!(
-        scenario.attempt_growth >= 1.0,
-        "attempt_growth must be >= 1"
-    );
+    // Validate the whole configuration up front with typed errors, so
+    // per-trial construction can rely on it unconditionally.
+    if scenario.attempt_growth.is_nan() || scenario.attempt_growth < 1.0 {
+        return Err(SpinalError::AttemptGrowth(scenario.attempt_growth));
+    }
+    scenario.beam.validate()?;
+    CodeParams::builder()
+        .message_bits(scenario.message_bits)
+        .k(scenario.k)
+        .tail_segments(scenario.tail_segments)
+        .build()?;
+    if let Termination::Crc(ck) = scenario.termination {
+        if scenario.message_bits <= ck.width() as u32 {
+            return Err(SpinalError::CrcWidth {
+                message_bits: scenario.message_bits,
+                crc_bits: ck.width() as u32,
+            });
+        }
+    }
     let (outcome, _trials) = engine.run_until(
         scenario,
         u64::from(max_trials),
         scenario.master_seed,
         |acc: &RatelessOutcome, done| stop.is_some_and(|rule| rule.satisfied(acc, done)),
     );
-    outcome
+    Ok(outcome)
 }
 
 impl RatelessConfig {
@@ -554,7 +582,6 @@ impl RatelessConfig {
             message_bits: self.message_bits,
             k: self.k,
             tail_segments: self.tail_segments,
-            code_seed_base: derive_seed(seed, streams[0], 0),
             hash: self.hash,
             mapper: self.mapper.clone(),
             cost: AwgnCost,
@@ -583,7 +610,6 @@ impl BscRatelessConfig {
             message_bits: self.message_bits,
             k: self.k,
             tail_segments: self.tail_segments,
-            code_seed_base: derive_seed(seed, streams[0], 0),
             hash: self.hash,
             mapper: BinaryMapper::new(),
             cost,
@@ -602,7 +628,12 @@ impl BscRatelessConfig {
 
 /// Runs `trials` AWGN trials at `snr_db` and aggregates (serial engine —
 /// the historical entry point).
-pub fn run_awgn(cfg: &RatelessConfig, snr_db: f64, trials: u32, seed: u64) -> RatelessOutcome {
+pub fn run_awgn(
+    cfg: &RatelessConfig,
+    snr_db: f64,
+    trials: u32,
+    seed: u64,
+) -> Result<RatelessOutcome, SpinalError> {
     run_awgn_with(cfg, snr_db, trials, seed, &SimEngine::serial())
 }
 
@@ -614,7 +645,7 @@ pub fn run_awgn_with(
     trials: u32,
     seed: u64,
     engine: &SimEngine,
-) -> RatelessOutcome {
+) -> Result<RatelessOutcome, SpinalError> {
     run_awgn_until(cfg, snr_db, trials, seed, engine, None)
 }
 
@@ -628,7 +659,7 @@ pub fn run_awgn_until(
     seed: u64,
     engine: &SimEngine,
     stop: Option<&StopRule>,
-) -> RatelessOutcome {
+) -> Result<RatelessOutcome, SpinalError> {
     let model = AwgnModel {
         snr_db,
         adc_bits: cfg.adc_bits,
@@ -651,7 +682,10 @@ pub fn run_fading_with(
     trials: u32,
     seed: u64,
     engine: &SimEngine,
-) -> RatelessOutcome {
+) -> Result<RatelessOutcome, SpinalError> {
+    if block_len == 0 {
+        return Err(SpinalError::BlockLength(block_len));
+    }
     let model = FadingModel { snr_db, block_len };
     run_generic(
         &cfg.scenario(model, [20, 21, 22], seed),
@@ -663,7 +697,12 @@ pub fn run_fading_with(
 
 /// Runs `trials` BSC trials at crossover probability `p` and aggregates
 /// (serial engine — the historical entry point).
-pub fn run_bsc(cfg: &BscRatelessConfig, p: f64, trials: u32, seed: u64) -> RatelessOutcome {
+pub fn run_bsc(
+    cfg: &BscRatelessConfig,
+    p: f64,
+    trials: u32,
+    seed: u64,
+) -> Result<RatelessOutcome, SpinalError> {
     run_bsc_with(cfg, p, trials, seed, &SimEngine::serial())
 }
 
@@ -674,7 +713,7 @@ pub fn run_bsc_with(
     trials: u32,
     seed: u64,
     engine: &SimEngine,
-) -> RatelessOutcome {
+) -> Result<RatelessOutcome, SpinalError> {
     run_bsc_until(cfg, p, trials, seed, engine, None)
 }
 
@@ -686,7 +725,13 @@ pub fn run_bsc_until(
     seed: u64,
     engine: &SimEngine,
     stop: Option<&StopRule>,
-) -> RatelessOutcome {
+) -> Result<RatelessOutcome, SpinalError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(SpinalError::Probability {
+            name: "crossover",
+            value: p,
+        });
+    }
     run_generic(
         &cfg.scenario(BscCost, BscModel { p }, [10, 11, 12], seed),
         max_trials,
@@ -704,7 +749,13 @@ pub fn run_bec_with(
     trials: u32,
     seed: u64,
     engine: &SimEngine,
-) -> RatelessOutcome {
+) -> Result<RatelessOutcome, SpinalError> {
+    if !(0.0..=1.0).contains(&e) {
+        return Err(SpinalError::Probability {
+            name: "erasure",
+            value: e,
+        });
+    }
     run_generic(
         &cfg.scenario(BecCost, BecModel { e }, [30, 31, 32], seed),
         trials,
@@ -737,7 +788,7 @@ mod tests {
     fn high_snr_decodes_in_one_pass() {
         // At 30 dB with k = 4 (capacity ≈ 10 bits/symbol), one pass must
         // almost always suffice: rate = k.
-        let out = run_awgn(&quick_cfg(), 30.0, 20, 1);
+        let out = run_awgn(&quick_cfg(), 30.0, 20, 1).unwrap();
         assert_eq!(out.trials, 20);
         assert!(out.success_fraction() > 0.95, "{}", out.success_fraction());
         assert!(
@@ -751,7 +802,7 @@ mod tests {
     #[test]
     fn moderate_snr_needs_more_passes_but_succeeds() {
         // At 0 dB, capacity = 1 bit/symbol: expect ~4+ passes, rate ≤ ~1.
-        let out = run_awgn(&quick_cfg(), 0.0, 15, 2);
+        let out = run_awgn(&quick_cfg(), 0.0, 15, 2).unwrap();
         assert!(out.success_fraction() > 0.9, "{}", out.success_fraction());
         let r = out.rate_mean();
         assert!(r > 0.3 && r < 1.1, "rate {r} implausible at 0 dB");
@@ -762,8 +813,8 @@ mod tests {
     #[test]
     fn rate_monotone_in_snr() {
         let cfg = quick_cfg();
-        let lo = run_awgn(&cfg, 0.0, 15, 3).rate_mean();
-        let hi = run_awgn(&cfg, 20.0, 15, 3).rate_mean();
+        let lo = run_awgn(&cfg, 0.0, 15, 3).unwrap().rate_mean();
+        let hi = run_awgn(&cfg, 20.0, 15, 3).unwrap().rate_mean();
         assert!(hi > lo + 0.5, "rates: lo {lo}, hi {hi}");
     }
 
@@ -771,7 +822,7 @@ mod tests {
     fn throughput_below_rate_mean_and_positive() {
         // Jensen: the mean of per-trial ratios upper-bounds the aggregate
         // throughput when (as here) essentially every trial succeeds.
-        let out = run_awgn(&quick_cfg(), 10.0, 20, 4);
+        let out = run_awgn(&quick_cfg(), 10.0, 20, 4).unwrap();
         assert!(out.success_fraction() > 0.9);
         assert!(out.throughput() > 0.0);
         assert!(
@@ -789,8 +840,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = quick_cfg();
-        let a = run_awgn(&cfg, 5.0, 10, 42);
-        let b = run_awgn(&cfg, 5.0, 10, 42);
+        let a = run_awgn(&cfg, 5.0, 10, 42).unwrap();
+        let b = run_awgn(&cfg, 5.0, 10, 42).unwrap();
         assert_eq!(a.successes, b.successes);
         assert_eq!(a.rate.mean(), b.rate.mean());
         assert_eq!(a.symbols_on_success.count(), b.symbols_on_success.count());
@@ -799,9 +850,9 @@ mod tests {
     #[test]
     fn adc_at_14_bits_is_transparent() {
         let mut cfg = quick_cfg();
-        let ideal = run_awgn(&cfg, 10.0, 15, 7);
+        let ideal = run_awgn(&cfg, 10.0, 15, 7).unwrap();
         cfg.adc_bits = Some(14);
-        let quantized = run_awgn(&cfg, 10.0, 15, 7);
+        let quantized = run_awgn(&cfg, 10.0, 15, 7).unwrap();
         // 14-bit quantization must not measurably change the rate.
         assert!(
             (ideal.rate_mean() - quantized.rate_mean()).abs() < 0.25,
@@ -815,9 +866,9 @@ mod tests {
     fn coarse_adc_hurts() {
         let mut cfg = quick_cfg();
         cfg.adc_bits = Some(2); // 2-bit ADC mangles the dense constellation
-        let coarse = run_awgn(&cfg, 25.0, 10, 8);
+        let coarse = run_awgn(&cfg, 25.0, 10, 8).unwrap();
         cfg.adc_bits = Some(14);
-        let fine = run_awgn(&cfg, 25.0, 10, 8);
+        let fine = run_awgn(&cfg, 25.0, 10, 8).unwrap();
         assert!(
             coarse.rate_mean() < fine.rate_mean(),
             "coarse {} !< fine {}",
@@ -831,7 +882,7 @@ mod tests {
         let mut cfg = quick_cfg();
         cfg.message_bits = 32; // 16 payload + 16 CRC
         cfg.termination = Termination::Crc(Checksum::Crc16);
-        let out = run_awgn(&cfg, 20.0, 15, 9);
+        let out = run_awgn(&cfg, 20.0, 15, 9).unwrap();
         assert!(out.success_fraction() > 0.8, "{}", out.success_fraction());
         // Rate counts only payload bits: 16 payload over ≥ 8 symbols.
         assert!(out.rate_mean() < 4.0);
@@ -848,14 +899,14 @@ mod tests {
             tail_segments: 0,
             hash: HashFamily::Lookup3,
             mapper: AnyIqMapper::linear(10),
-            schedule: AnySchedule::strided(8),
+            schedule: AnySchedule::strided(8).expect("8 is a valid stride"),
             beam: BeamConfig::paper_default(),
             adc_bits: Some(14),
             max_passes: 200,
             attempt_growth: 1.0,
             termination: Termination::Genie,
         };
-        let out = run_awgn(&cfg, 35.0, 10, 11);
+        let out = run_awgn(&cfg, 35.0, 10, 11).unwrap();
         assert!(out.success_fraction() > 0.9);
         assert!(
             out.rate_mean() > 8.5,
@@ -871,7 +922,7 @@ mod tests {
         // segment — not enough to distinguish 2^k children, so several
         // passes are required; rate = k/L ≤ 1 for BSC).
         let cfg = BscRatelessConfig::default_k4(16);
-        let out = run_bsc(&cfg, 0.0, 10, 1);
+        let out = run_bsc(&cfg, 0.0, 10, 1).unwrap();
         assert!(out.success_fraction() > 0.9);
         // Rate can approach C = 1 bit per channel use but not exceed it
         // (plus slack for the short block).
@@ -882,7 +933,7 @@ mod tests {
     #[test]
     fn bsc_noisy_channel_rate_below_capacity_ballpark() {
         let cfg = BscRatelessConfig::default_k4(16);
-        let out = run_bsc(&cfg, 0.11, 15, 2); // C ≈ 0.5
+        let out = run_bsc(&cfg, 0.11, 15, 2).unwrap(); // C ≈ 0.5
         assert!(out.success_fraction() > 0.8, "{}", out.success_fraction());
         let r = out.rate_mean();
         // Genie termination on a 16-bit message gets ~log2(attempts)
@@ -903,7 +954,7 @@ mod tests {
             max_passes: 12,
             ..BscRatelessConfig::default_k4(16)
         };
-        let out = run_bsc(&cfg, 0.5, 5, 3);
+        let out = run_bsc(&cfg, 0.5, 5, 3).unwrap();
         assert_eq!(out.successes, 0);
         assert_eq!(out.rate_mean(), 0.0);
     }
@@ -915,7 +966,8 @@ mod tests {
     fn engine_output_bit_identical_across_worker_counts() {
         let cfg = quick_cfg();
         for chunk in [4u64, 16, 64] {
-            let base = run_awgn_with(&cfg, 8.0, 30, 77, &SimEngine::serial().chunk_trials(chunk));
+            let base =
+                run_awgn_with(&cfg, 8.0, 30, 77, &SimEngine::serial().chunk_trials(chunk)).unwrap();
             for workers in [2usize, 8] {
                 let out = run_awgn_with(
                     &cfg,
@@ -923,7 +975,8 @@ mod tests {
                     30,
                     77,
                     &SimEngine::with_workers(workers).chunk_trials(chunk),
-                );
+                )
+                .unwrap();
                 assert_eq!(out.trials, base.trials);
                 assert_eq!(out.successes, base.successes, "chunk {chunk} w {workers}");
                 assert_eq!(out.undetected, base.undetected);
@@ -942,14 +995,15 @@ mod tests {
         }
         // BSC path too.
         let bsc = BscRatelessConfig::default_k4(16);
-        let a = run_bsc_with(&bsc, 0.03, 24, 5, &SimEngine::serial().chunk_trials(8));
+        let a = run_bsc_with(&bsc, 0.03, 24, 5, &SimEngine::serial().chunk_trials(8)).unwrap();
         let b = run_bsc_with(
             &bsc,
             0.03,
             24,
             5,
             &SimEngine::with_workers(8).chunk_trials(8),
-        );
+        )
+        .unwrap();
         assert_eq!(a.successes, b.successes);
         assert_eq!(a.total_symbols, b.total_symbols);
         assert_eq!(a.rate_mean().to_bits(), b.rate_mean().to_bits());
@@ -962,7 +1016,7 @@ mod tests {
         // target is reached long before the 400-trial budget.
         let rule = StopRule::success_within(0.2, 16);
         let engine = SimEngine::serial().chunk_trials(8);
-        let out = run_awgn_until(&cfg, 20.0, 400, 3, &engine, Some(&rule));
+        let out = run_awgn_until(&cfg, 20.0, 400, 3, &engine, Some(&rule)).unwrap();
         assert!(out.trials < 400, "early stop never fired ({})", out.trials);
         assert!(out.trials >= 16);
         // Same stopped statistics with a different worker count.
@@ -973,7 +1027,8 @@ mod tests {
             3,
             &SimEngine::with_workers(4).chunk_trials(8),
             Some(&rule),
-        );
+        )
+        .unwrap();
         assert_eq!(par.trials, out.trials);
         assert_eq!(par.rate_mean().to_bits(), out.rate_mean().to_bits());
     }
@@ -983,12 +1038,12 @@ mod tests {
         let cfg = BscRatelessConfig::default_k4(16);
         let engine = SimEngine::serial();
         // e = 0: the BEC is transparent, rate matches the clean BSC.
-        let clean = run_bec_with(&cfg, 0.0, 10, 1, &engine);
+        let clean = run_bec_with(&cfg, 0.0, 10, 1, &engine).unwrap();
         assert!(clean.success_fraction() > 0.9);
         assert!(clean.rate_mean() > 0.4);
         // e = 0.3 (capacity 0.7): decodes, but needs more symbols; the
         // rate cannot exceed the surviving-bit fraction by much.
-        let lossy = run_bec_with(&cfg, 0.3, 10, 2, &engine);
+        let lossy = run_bec_with(&cfg, 0.3, 10, 2, &engine).unwrap();
         assert!(
             lossy.success_fraction() > 0.8,
             "{}",
@@ -1005,7 +1060,7 @@ mod tests {
     #[test]
     fn fading_decodes_at_high_mean_snr() {
         let cfg = quick_cfg();
-        let out = run_fading_with(&cfg, 25.0, 8, 12, 4, &SimEngine::serial());
+        let out = run_fading_with(&cfg, 25.0, 8, 12, 4, &SimEngine::serial()).unwrap();
         assert!(out.success_fraction() > 0.7, "{}", out.success_fraction());
         // Deep fades make rate vary; just demand sane bounds.
         assert!(out.rate_mean() > 0.0 && out.rate_mean() <= 4.0 + 1e-9);
@@ -1014,9 +1069,9 @@ mod tests {
     #[test]
     fn attempt_growth_reduces_attempts() {
         let mut cfg = quick_cfg();
-        let dense = run_awgn(&cfg, 0.0, 8, 5);
+        let dense = run_awgn(&cfg, 0.0, 8, 5).unwrap();
         cfg.attempt_growth = 1.5;
-        let sparse = run_awgn(&cfg, 0.0, 8, 5);
+        let sparse = run_awgn(&cfg, 0.0, 8, 5).unwrap();
         assert!(
             sparse.attempts.mean() < dense.attempts.mean(),
             "sparse {} !< dense {}",

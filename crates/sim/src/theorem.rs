@@ -21,7 +21,7 @@ use spinal_core::hash::{AnyHash, HashFamily};
 use spinal_core::map::{BinaryMapper, Mapper};
 use spinal_core::params::CodeParams;
 use spinal_core::symbol::Slot;
-use spinal_core::{AwgnCost, BitVec, BscCost, DecodeResult, Encoder};
+use spinal_core::{AwgnCost, BitVec, BscCost, DecodeResult, Encoder, SpinalError};
 
 /// Measured BER at one pass count.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -124,6 +124,7 @@ pub(crate) fn fixed_pass_trial<M, C, CM>(
         }
     }
     BeamDecoder::new(&params, hash, mapper.clone(), cost.clone(), beam)
+        .expect("beam config validated by curve entry point")
         .decode_into(obs, scratch, result);
 }
 
@@ -214,17 +215,26 @@ fn curve_point(acc: ErrorAcc, k: u32, l: u32, message_bits: u32) -> TheoremPoint
 /// Uses `cfg`'s code geometry, mapper, beam and ADC settings; the
 /// schedule and termination fields are ignored (transmission is exactly
 /// `L` full passes). Serial engine; see [`thm1_curve_with`].
+///
+/// # Errors
+///
+/// Returns a typed [`SpinalError`] for invalid code parameters or beam
+/// configuration, before running any trial.
 pub fn thm1_curve(
     cfg: &RatelessConfig,
     snr_db: f64,
     l_values: &[u32],
     trials: u32,
     seed: u64,
-) -> Vec<TheoremPoint> {
+) -> Result<Vec<TheoremPoint>, SpinalError> {
     thm1_curve_with(cfg, snr_db, l_values, trials, seed, &SimEngine::serial())
 }
 
 /// [`thm1_curve`] on an explicit [`SimEngine`].
+///
+/// # Errors
+///
+/// See [`thm1_curve`].
 pub fn thm1_curve_with(
     cfg: &RatelessConfig,
     snr_db: f64,
@@ -232,7 +242,8 @@ pub fn thm1_curve_with(
     trials: u32,
     seed: u64,
     engine: &SimEngine,
-) -> Vec<TheoremPoint> {
+) -> Result<Vec<TheoremPoint>, SpinalError> {
+    cfg.beam.validate()?;
     l_values
         .iter()
         .map(|&l| {
@@ -243,8 +254,7 @@ pub fn thm1_curve_with(
                     .k(cfg.k)
                     .tail_segments(cfg.tail_segments)
                     .seed(derive_seed(seed, 30 + u64::from(l), 0))
-                    .build()
-                    .expect("invalid config"),
+                    .build()?,
                 hash: cfg.hash,
                 mapper: cfg.mapper.clone(),
                 cost: AwgnCost,
@@ -259,24 +269,33 @@ pub fn thm1_curve_with(
                 master_seed: seed,
             };
             let acc = engine.run(&scenario, u64::from(trials), seed);
-            curve_point(acc, cfg.k, l, cfg.message_bits)
+            Ok(curve_point(acc, cfg.k, l, cfg.message_bits))
         })
         .collect()
 }
 
 /// Measures the Theorem-2 BER-vs-L curve on a BSC(p). Serial engine; see
 /// [`thm2_curve_with`].
+///
+/// # Errors
+///
+/// Returns a typed [`SpinalError`] for invalid code parameters, beam
+/// configuration, or crossover probability, before running any trial.
 pub fn thm2_curve(
     cfg: &BscRatelessConfig,
     p: f64,
     l_values: &[u32],
     trials: u32,
     seed: u64,
-) -> Vec<TheoremPoint> {
+) -> Result<Vec<TheoremPoint>, SpinalError> {
     thm2_curve_with(cfg, p, l_values, trials, seed, &SimEngine::serial())
 }
 
 /// [`thm2_curve`] on an explicit [`SimEngine`].
+///
+/// # Errors
+///
+/// See [`thm2_curve`].
 pub fn thm2_curve_with(
     cfg: &BscRatelessConfig,
     p: f64,
@@ -284,7 +303,14 @@ pub fn thm2_curve_with(
     trials: u32,
     seed: u64,
     engine: &SimEngine,
-) -> Vec<TheoremPoint> {
+) -> Result<Vec<TheoremPoint>, SpinalError> {
+    cfg.beam.validate()?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(SpinalError::Probability {
+            name: "crossover",
+            value: p,
+        });
+    }
     l_values
         .iter()
         .map(|&l| {
@@ -295,8 +321,7 @@ pub fn thm2_curve_with(
                     .k(cfg.k)
                     .tail_segments(cfg.tail_segments)
                     .seed(derive_seed(seed, 330 + u64::from(l), 0))
-                    .build()
-                    .expect("invalid config"),
+                    .build()?,
                 hash: cfg.hash,
                 mapper: BinaryMapper::new(),
                 cost: BscCost,
@@ -307,7 +332,7 @@ pub fn thm2_curve_with(
                 master_seed: seed,
             };
             let acc = engine.run(&scenario, u64::from(trials), seed);
-            curve_point(acc, cfg.k, l, cfg.message_bits)
+            Ok(curve_point(acc, cfg.k, l, cfg.message_bits))
         })
         .collect()
 }
@@ -338,7 +363,7 @@ mod tests {
     fn thm1_ber_decreases_with_passes() {
         // At 5 dB (C ≈ 2.06), k = 4 needs L ≥ 3 by Theorem 1;
         // L = 1 must be lossy, L = 6 essentially clean.
-        let pts = thm1_curve(&cfg(), 5.0, &[1, 6], 12, 1);
+        let pts = thm1_curve(&cfg(), 5.0, &[1, 6], 12, 1).unwrap();
         assert_eq!(pts.len(), 2);
         assert!(
             pts[0].ber > pts[1].ber,
@@ -356,7 +381,7 @@ mod tests {
     fn thm2_ber_decreases_with_passes() {
         let bsc_cfg = BscRatelessConfig::default_k4(16);
         // p = 0.05 (C ≈ 0.71): k = 4 needs L ≥ 6; L = 2 lossy, L = 12 clean.
-        let pts = thm2_curve(&bsc_cfg, 0.05, &[2, 12], 12, 2);
+        let pts = thm2_curve(&bsc_cfg, 0.05, &[2, 12], 12, 2).unwrap();
         assert!(pts[0].ber > pts[1].ber);
         assert!(pts[1].ber < 0.03, "L=12 BER {}", pts[1].ber);
     }
@@ -364,22 +389,22 @@ mod tests {
     #[test]
     fn clean_channels_are_perfect_at_threshold() {
         // Noiseless AWGN: one pass decodes exactly.
-        let pts = thm1_curve(&cfg(), 60.0, &[1], 8, 3);
+        let pts = thm1_curve(&cfg(), 60.0, &[1], 8, 3).unwrap();
         assert_eq!(pts[0].ber, 0.0);
         assert_eq!(pts[0].frame_error_rate, 0.0);
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = thm1_curve(&cfg(), 5.0, &[2], 6, 9);
-        let b = thm1_curve(&cfg(), 5.0, &[2], 6, 9);
+        let a = thm1_curve(&cfg(), 5.0, &[2], 6, 9).unwrap();
+        let b = thm1_curve(&cfg(), 5.0, &[2], 6, 9).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn worker_count_does_not_change_curves() {
         // Integer accumulators: identical for any workers AND chunking.
-        let serial = thm1_curve(&cfg(), 5.0, &[1, 4], 16, 11);
+        let serial = thm1_curve(&cfg(), 5.0, &[1, 4], 16, 11).unwrap();
         let sharded = thm1_curve_with(
             &cfg(),
             5.0,
@@ -387,9 +412,10 @@ mod tests {
             16,
             11,
             &SimEngine::with_workers(8).chunk_trials(3),
-        );
+        )
+        .unwrap();
         assert_eq!(serial, sharded);
-        let s2 = thm2_curve(&BscRatelessConfig::default_k4(16), 0.05, &[3], 12, 4);
+        let s2 = thm2_curve(&BscRatelessConfig::default_k4(16), 0.05, &[3], 12, 4).unwrap();
         let p2 = thm2_curve_with(
             &BscRatelessConfig::default_k4(16),
             0.05,
@@ -397,7 +423,8 @@ mod tests {
             12,
             4,
             &SimEngine::with_workers(2).chunk_trials(5),
-        );
+        )
+        .unwrap();
         assert_eq!(s2, p2);
     }
 }

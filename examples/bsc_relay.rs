@@ -37,7 +37,9 @@ fn main() {
 
     let code = SpinalCode::bsc(framed.len() as u32, 4, 77).expect("80 bits, k=4");
     let encoder = code.encoder(&framed).expect("length matches");
-    let decoder = code.bsc_beam_decoder(BeamConfig::with_beam(16));
+    let decoder = code
+        .bsc_beam_decoder(BeamConfig::with_beam(16))
+        .expect("valid decoder config");
     let terminator = CrcTerminator::new(Checksum::Crc16);
     let mut channel = BscChannel::new(p, 3);
     let mut obs = code.observations();

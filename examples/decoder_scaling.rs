@@ -66,7 +66,8 @@ fn main() {
             LinearMapper::new(6),
             AwgnCost,
             BeamConfig::with_beam(b),
-        );
+        )
+        .unwrap();
         let result = decoder.decode(&obs);
         println!(
             "{b:>5} {:>10} {:>14} {:>9.3}",

@@ -29,7 +29,9 @@ fn main() {
         "SNR", "Shannon", "Spinal", "LDPC 3/4 QAM-16"
     );
     for (i, &snr) in snrs.iter().enumerate() {
-        let spinal = run_awgn(&spinal_cfg, snr, trials, derive_seed(1, 0, i as u64)).rate_mean();
+        let spinal = run_awgn(&spinal_cfg, snr, trials, derive_seed(1, 0, i as u64))
+            .expect("valid experiment config")
+            .rate_mean();
         let ldpc = run_ldpc_awgn(&ldpc_cfg, snr, trials, derive_seed(1, 1, i as u64)).goodput();
         println!(
             "{snr:>6.1} {:>9.2} {:>9.2} {:>16.2}",

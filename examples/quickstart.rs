@@ -1,10 +1,15 @@
-//! Quickstart: one message, one AWGN channel, rateless operation.
+//! Quickstart: one message, one AWGN channel, rateless operation —
+//! through the streaming session API.
 //!
-//! Encodes a 24-bit message with the paper's Figure 2 code, streams
-//! symbols through an AWGN channel at a chosen SNR, and decodes after
-//! every received symbol until the CRC-checked genie says stop. Shows
-//! the defining property of a rateless code: the *same* sender code
-//! lands at whatever rate the channel supports.
+//! Encodes a 24-bit message with the paper's Figure 2 code, opens a
+//! sender session ([`spinal_codes::TxSession`]) and a receiver session
+//! ([`spinal_codes::RxSession`]), streams symbols through an AWGN
+//! channel one at a time, and polls the receiver until its genie says
+//! stop (use `examples/session_link.rs` for the genie-free CRC
+//! receiver). Shows the defining property of a rateless code: the
+//! *same* sender code lands at whatever rate the channel supports —
+//! and, through the session, each retry reuses the previous attempt's
+//! tree work instead of re-searching from scratch.
 //!
 //! ```text
 //! cargo run --release --example quickstart [-- <snr_db>]
@@ -12,7 +17,7 @@
 
 use spinal_codes::channel::{AwgnChannel, Channel};
 use spinal_codes::info::awgn_capacity_db;
-use spinal_codes::{BeamConfig, BitVec, SpinalCode};
+use spinal_codes::{AnyTerminator, BitVec, Poll, RxConfig, SpinalCode};
 
 fn main() {
     let snr_db: f64 = std::env::args()
@@ -29,24 +34,37 @@ fn main() {
         awgn_capacity_db(snr_db)
     );
 
-    let encoder = code.encoder(&message).expect("length matches");
-    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let mut tx = code.tx_session(&message).expect("length matches");
+    let mut rx = code
+        .awgn_rx_session(
+            AnyTerminator::genie(message.clone()),
+            RxConfig {
+                max_symbols: 5000,
+                ..RxConfig::default()
+            },
+        )
+        .expect("valid session configuration");
     let mut channel = AwgnChannel::from_snr_db(snr_db, 7);
-    let mut obs = code.observations();
 
-    let mut sent = 0u32;
-    for (slot, x) in encoder.stream(code.schedule()).take(5000) {
-        obs.push(slot, channel.transmit(x));
-        sent += 1;
-        let result = decoder.decode(&obs);
-        if result.message == message {
-            println!(
-                "decoded after {sent} symbols -> rate {:.2} bits/symbol",
-                24.0 / f64::from(sent)
-            );
-            println!("decoder cost: {} tree edges", result.stats.nodes_expanded);
-            return;
+    loop {
+        let (_slot, x) = tx.next_symbol();
+        match rx.ingest(&[channel.transmit(x)]).expect("session open") {
+            Poll::NeedMore { .. } => continue,
+            Poll::Decoded { symbols_used, .. } => {
+                println!(
+                    "decoded after {symbols_used} symbols -> rate {:.2} bits/symbol",
+                    24.0 / symbols_used as f64
+                );
+                println!(
+                    "decoder cost: {} tree edges",
+                    rx.last_result().stats.nodes_expanded
+                );
+                return;
+            }
+            Poll::Exhausted { symbols_used } => {
+                println!("gave up after {symbols_used} symbols (SNR too low for this budget)");
+                return;
+            }
         }
     }
-    println!("gave up after {sent} symbols (SNR too low for this budget)");
 }

@@ -34,7 +34,9 @@ fn main() {
         let code = SpinalCode::fig2(24, 0x1000 + frame).expect("valid");
         let message: BitVec = (0..24).map(|_| rng.bit()).collect();
         let encoder = code.encoder(&message).expect("length matches");
-        let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+        let decoder = code
+            .awgn_beam_decoder(BeamConfig::paper_default())
+            .expect("valid decoder config");
 
         // The whole frame sees one gain (slow / block fading).
         let h = fading.next_gain();

@@ -23,33 +23,42 @@
 //!
 //! ## Quickstart
 //!
+//! The streaming session API is the front door: a [`TxSession`] pulls
+//! symbols from the encoder (with seek/replay for NACKs), an
+//! [`RxSession`] ingests them and polls `NeedMore` / `Decoded` /
+//! `Exhausted`, with CRC framing deciding termination — no genie. Every
+//! retry is incremental: tree levels unaffected by the newest symbols
+//! are resumed from checkpoints, bit-identical to a batch decode.
+//!
 //! ```
-//! use spinal_codes::{BeamConfig, BitVec, SpinalCode};
+//! use spinal_codes::{frame_encode, AnyTerminator, BitVec, Checksum, Poll, RxConfig, SpinalCode};
 //! use spinal_codes::channel::{AwgnChannel, Channel};
 //!
-//! // The paper's Figure 2 code: 24-bit messages, k = 8, c = 10.
-//! let code = SpinalCode::fig2(24, 7).unwrap();
-//! let message = BitVec::from_bytes(&[0xca, 0xfe, 0x42]);
-//! let encoder = code.encoder(&message).unwrap();
-//! let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+//! // The paper's Figure 2 code carrying a CRC-16-framed payload.
+//! let payload = BitVec::from_bytes(&[0xca]);
+//! let framed = frame_encode(&payload, Checksum::Crc16);
+//! let code = SpinalCode::fig2(framed.len() as u32, 7).unwrap();
 //!
-//! // Stream symbols through a 15 dB AWGN channel until decoding succeeds.
+//! let mut tx = code.tx_session(&framed).unwrap();
+//! let mut rx = code
+//!     .awgn_rx_session(AnyTerminator::crc(Checksum::Crc16), RxConfig::default())
+//!     .unwrap();
+//!
+//! // Stream symbols through a 15 dB AWGN channel until the CRC verifies.
 //! let mut channel = AwgnChannel::from_snr_db(15.0, 99);
-//! let mut obs = code.observations();
-//! let mut stream = encoder.stream(code.schedule());
-//! let mut sent = 0;
-//! let decoded = loop {
-//!     let (slot, x) = stream.next().unwrap();
-//!     obs.push(slot, channel.transmit(x));
-//!     sent += 1;
-//!     let result = decoder.decode(&obs);
-//!     if result.message == message {
-//!         break result.message; // a real receiver checks a CRC here
+//! loop {
+//!     let (_slot, x) = tx.next_symbol();
+//!     match rx.ingest(&[channel.transmit(x)]).unwrap() {
+//!         Poll::NeedMore { .. } => continue,
+//!         Poll::Decoded { symbols_used, .. } => {
+//!             // The achieved rate adapts to the channel.
+//!             assert!(symbols_used >= 4, "capacity at 15 dB is ~5.03 bits/symbol");
+//!             break;
+//!         }
+//!         Poll::Exhausted { .. } => unreachable!("15 dB decodes"),
 //!     }
-//! };
-//! assert_eq!(decoded, message);
-//! // 24 bits over `sent` symbols: the achieved rate adapts to the channel.
-//! assert!(sent >= 4, "capacity at 15 dB is ~5.03 bits/symbol");
+//! }
+//! assert_eq!(rx.payload(), Some(&payload));
 //! ```
 //!
 //! See `examples/` for fading, BSC, decoder-scaling and mini-Figure-2

@@ -103,7 +103,7 @@ fn check_case(
     let schedule = if stride <= 1 {
         AnySchedule::none()
     } else {
-        AnySchedule::strided(stride)
+        AnySchedule::strided(stride).expect("valid stride")
     };
     let mut obs = Observations::new(params.n_segments());
     for (slot, sym) in enc.stream(&schedule).take(subpasses as usize * 4) {
@@ -121,7 +121,7 @@ fn check_case(
         max_frontier: 1 << 14,
         defer_prune_unobserved: true,
     };
-    let decoder = BeamDecoder::new(&params, hash, mapper.clone(), AwgnCost, config);
+    let decoder = BeamDecoder::new(&params, hash, mapper.clone(), AwgnCost, config).unwrap();
     let mut scratch = DecoderScratch::new();
     let opt = decoder.decode_with_scratch(&obs, &mut scratch);
     let reference = reference_decode(&params, &hash, &mapper, &AwgnCost, &config, &obs);

@@ -14,7 +14,7 @@ fn manual_pipeline_with_adc_roundtrip() {
     let code = SpinalCode::fig2(24, 99).unwrap();
     let message = BitVec::from_bytes(&[0x0f, 0xf0, 0x5a]);
     let encoder = code.encoder(&message).unwrap();
-    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default()).unwrap();
     let mut channel = AwgnChannel::from_snr_db(18.0, 4);
     let adc = AdcQuantizer::paper_default(2.0);
 
@@ -43,7 +43,7 @@ fn crc_terminated_pipeline() {
     let framed = frame_encode(&payload, Checksum::Crc32); // 56 bits
     let code = SpinalCode::fig2(framed.len() as u32, 5).unwrap();
     let encoder = code.encoder(&framed).unwrap();
-    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default()).unwrap();
     let term = CrcTerminator::new(Checksum::Crc32);
     let mut channel = AwgnChannel::from_snr_db(12.0, 6);
 
@@ -67,7 +67,7 @@ fn harness_rates_bounded_by_capacity() {
     cfg.max_passes = 250;
     let mut last = 0.0;
     for snr_db in [0.0, 10.0, 20.0] {
-        let out = run_awgn(&cfg, snr_db, 12, 7);
+        let out = run_awgn(&cfg, snr_db, 12, 7).unwrap();
         let cap = spinal_codes::info::awgn_capacity_db(snr_db);
         let thpt = out.throughput();
         assert!(
@@ -95,11 +95,11 @@ fn genie_vs_crc_termination() {
     let mut genie_cfg = RatelessConfig::fig2();
     genie_cfg.message_bits = 56;
     genie_cfg.max_passes = 250;
-    let genie = run_awgn(&genie_cfg, 15.0, 12, 8);
+    let genie = run_awgn(&genie_cfg, 15.0, 12, 8).unwrap();
 
     let mut crc_cfg = genie_cfg.clone();
     crc_cfg.termination = Termination::Crc(Checksum::Crc32); // 24 payload + 32 CRC
-    let crc = run_awgn(&crc_cfg, 15.0, 12, 8);
+    let crc = run_awgn(&crc_cfg, 15.0, 12, 8).unwrap();
 
     assert!(genie.success_fraction() > 0.9);
     assert!(crc.success_fraction() > 0.9);

@@ -1,0 +1,176 @@
+//! `SpinalError` coverage: every fallible constructor and entry point
+//! rejects bad parameters with the *right* typed variant — and never
+//! panics. Before the session redesign these were `assert!`s; a
+//! production service must survive a malformed request.
+
+use spinal_codes::sim::rateless::{run_bec_with, run_bsc_until, BscRatelessConfig, Termination};
+use spinal_codes::sim::SimEngine;
+use spinal_codes::{
+    AnyTerminator, BeamConfig, BitVec, Checksum, CodeParams, MlConfig, ParamError, RxConfig,
+    SpinalCode, SpinalError, StridedPuncture,
+};
+use spinal_link::{simulate_link, LinkConfig};
+
+#[test]
+fn invalid_inputs_return_typed_errors_and_never_panic() {
+    // --- Code parameters: k out of range, zero message, non-multiple. ---
+    assert_eq!(
+        CodeParams::new(24, 0).unwrap_err(),
+        ParamError::KOutOfRange(0)
+    );
+    assert_eq!(
+        SpinalCode::bsc(16, 17, 0).unwrap_err(),
+        SpinalError::Param(ParamError::KOutOfRange(17))
+    );
+    assert_eq!(
+        SpinalCode::fig2(0, 0).unwrap_err(),
+        SpinalError::Param(ParamError::ZeroMessageBits)
+    );
+    assert_eq!(
+        SpinalCode::fig2(25, 0).unwrap_err(),
+        SpinalError::Param(ParamError::MessageNotSegmentMultiple {
+            message_bits: 25,
+            k: 8
+        })
+    );
+
+    // --- Message length mismatches at every entry point that takes one. ---
+    let code = SpinalCode::fig2(24, 1).unwrap();
+    let short = BitVec::from_bytes(&[0xff]);
+    let expected = SpinalError::MessageLength {
+        expected: 24,
+        got: 8,
+    };
+    assert_eq!(code.encoder(&short).unwrap_err(), expected);
+    assert_eq!(code.tx_session(&short).unwrap_err(), expected);
+    let good = BitVec::from_bytes(&[1, 2, 3]);
+    let mut tx = code.tx_session(&good).unwrap();
+    let err = tx.rebind(code.params(), *code.hash(), &short).unwrap_err();
+    assert_eq!(err, expected);
+    // A failed rebind leaves the session usable.
+    let _ = tx.next_symbol();
+
+    // --- Beam configuration. ---
+    for (beam_width, max_frontier) in [(0usize, 16usize), (64, 8)] {
+        let bad = BeamConfig {
+            beam_width,
+            max_frontier,
+            defer_prune_unobserved: true,
+        };
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            SpinalError::BeamConfig {
+                beam_width,
+                max_frontier
+            }
+        );
+        assert_eq!(
+            code.awgn_beam_decoder(bad).unwrap_err(),
+            SpinalError::BeamConfig {
+                beam_width,
+                max_frontier
+            }
+        );
+    }
+
+    // --- ML node budget. ---
+    assert_eq!(
+        code.awgn_ml_decoder(MlConfig { max_nodes: 0 }).unwrap_err(),
+        SpinalError::NodeBudget
+    );
+
+    // --- Puncturing strides. ---
+    for bad in [0u32, 1, 3, 6, 65, 128] {
+        assert_eq!(
+            StridedPuncture::new(bad).unwrap_err(),
+            SpinalError::Stride(bad)
+        );
+    }
+
+    // --- Session configuration. ---
+    let err = code
+        .awgn_rx_session(
+            AnyTerminator::crc(Checksum::Crc16),
+            RxConfig {
+                attempt_growth: 0.99,
+                ..RxConfig::default()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, SpinalError::AttemptGrowth(0.99));
+
+    // --- Simulation entry points: CRC width, probabilities. ---
+    let engine = SimEngine::serial();
+    let mut cfg = BscRatelessConfig::default_k4(16);
+    cfg.termination = Termination::Crc(Checksum::Crc16);
+    assert_eq!(
+        run_bsc_until(&cfg, 0.1, 4, 1, &engine, None).unwrap_err(),
+        SpinalError::CrcWidth {
+            message_bits: 16,
+            crc_bits: 16
+        }
+    );
+    let cfg = BscRatelessConfig::default_k4(16);
+    assert_eq!(
+        run_bsc_until(&cfg, 1.5, 4, 1, &engine, None).unwrap_err(),
+        SpinalError::Probability {
+            name: "crossover",
+            value: 1.5
+        }
+    );
+    assert_eq!(
+        run_bec_with(&cfg, -0.1, 4, 1, &engine).unwrap_err(),
+        SpinalError::Probability {
+            name: "erasure",
+            value: -0.1
+        }
+    );
+    let mut bad_growth = BscRatelessConfig::default_k4(16);
+    bad_growth.attempt_growth = 0.5;
+    assert_eq!(
+        run_bsc_until(&bad_growth, 0.1, 4, 1, &engine, None).unwrap_err(),
+        SpinalError::AttemptGrowth(0.5)
+    );
+
+    // --- Channel constructors. ---
+    assert_eq!(
+        spinal_codes::channel::BscChannel::try_new(2.0, 1).unwrap_err(),
+        SpinalError::Probability {
+            name: "crossover",
+            value: 2.0
+        }
+    );
+    assert_eq!(
+        spinal_codes::channel::BecChannel::try_new(-1.0, 1).unwrap_err(),
+        SpinalError::Probability {
+            name: "erasure",
+            value: -1.0
+        }
+    );
+    assert_eq!(
+        spinal_codes::channel::RayleighBlockFading::try_new(0, 1).unwrap_err(),
+        SpinalError::BlockLength(0)
+    );
+    assert_eq!(
+        spinal_codes::channel::AwgnChannel::try_from_sigma2(-0.5, 1).unwrap_err(),
+        SpinalError::NoiseVariance(-0.5)
+    );
+
+    // --- Link layer. ---
+    let mut link = LinkConfig::demo(10.0, 4, 1);
+    link.frames_in_flight = 0;
+    assert_eq!(
+        simulate_link(&link, 2, 1).unwrap_err(),
+        SpinalError::Window(0)
+    );
+    let mut link = LinkConfig::demo(10.0, 4, 1);
+    link.message_bits = 17; // not a multiple of k = 4
+    assert!(matches!(
+        simulate_link(&link, 2, 1).unwrap_err(),
+        SpinalError::Param(ParamError::MessageNotSegmentMultiple { .. })
+    ));
+
+    // --- Errors are real std errors with useful Display. ---
+    let e: Box<dyn std::error::Error> = Box::new(SpinalError::Stride(6));
+    assert!(e.to_string().contains("power of two"));
+}

@@ -26,7 +26,7 @@ fn code_and_message() -> (
 fn survives_hard_clipping_adc() {
     let (code, message) = code_and_message();
     let encoder = code.encoder(&message).unwrap();
-    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default()).unwrap();
     let clipping = AdcQuantizer::new(14, 0.4); // peak is ~1.22: severe clip
     let mut channel = AwgnChannel::from_snr_db(25.0, 3);
     let mut obs = code.observations();
@@ -50,7 +50,7 @@ fn survives_hard_clipping_adc() {
 fn survives_interference_burst() {
     let (code, message) = code_and_message();
     let encoder = code.encoder(&message).unwrap();
-    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default()).unwrap();
     let mut channel = AwgnChannel::from_snr_db(15.0, 5);
     let mut obs = code.observations();
     let mut count = 0usize;
@@ -76,7 +76,7 @@ fn survives_interference_burst() {
 fn starved_observations_stay_sane() {
     let (code, message) = code_and_message();
     let encoder = code.encoder(&message).unwrap();
-    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default()).unwrap();
     let mut obs: Observations<IqSymbol> = code.observations();
     // Only position 0, pass 0 — 20 bits of evidence for a 24-bit message.
     obs.push(Slot::new(0, 0), encoder.symbol(Slot::new(0, 0)));
@@ -93,7 +93,7 @@ fn starved_observations_stay_sane() {
 fn duplicate_slots_reinforce() {
     let (code, message) = code_and_message();
     let encoder = code.encoder(&message).unwrap();
-    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default());
+    let decoder = code.awgn_beam_decoder(BeamConfig::paper_default()).unwrap();
     let mut channel = AwgnChannel::from_snr_db(20.0, 9);
     let mut obs = code.observations();
     // Send pass 0 sixteen times (pure repetition of the same three
@@ -115,15 +115,23 @@ fn duplicate_slots_reinforce() {
     );
 }
 
-/// Zero-width beams and absurd configurations are rejected loudly, not
-/// silently mis-decoded.
+/// Zero-width beams and absurd configurations are rejected with a typed
+/// error, not silently mis-decoded.
 #[test]
-#[should_panic(expected = "beam width")]
 fn zero_beam_rejected() {
     let (code, _) = code_and_message();
-    let _ = code.awgn_beam_decoder(BeamConfig {
-        beam_width: 0,
-        max_frontier: 16,
-        defer_prune_unobserved: true,
-    });
+    let err = code
+        .awgn_beam_decoder(BeamConfig {
+            beam_width: 0,
+            max_frontier: 16,
+            defer_prune_unobserved: true,
+        })
+        .unwrap_err();
+    assert_eq!(
+        err,
+        spinal_codes::SpinalError::BeamConfig {
+            beam_width: 0,
+            max_frontier: 16
+        }
+    );
 }

@@ -54,6 +54,7 @@ fn wide_beam_matches_ml_awgn() {
             AwgnCost,
             MlConfig::default(),
         )
+        .unwrap()
         .decode(&obs);
         let beam = BeamDecoder::new(
             &params,
@@ -66,6 +67,7 @@ fn wide_beam_matches_ml_awgn() {
                 defer_prune_unobserved: true,
             },
         )
+        .unwrap()
         .decode(&obs);
         assert!(ml.stats.complete, "trial {trial}: ML hit its node budget");
         assert_eq!(ml.message, beam.message, "trial {trial}");
@@ -94,6 +96,7 @@ fn narrow_beam_never_beats_ml() {
             AwgnCost,
             MlConfig::default(),
         )
+        .unwrap()
         .decode(&obs);
         let beam = BeamDecoder::new(
             &params,
@@ -102,6 +105,7 @@ fn narrow_beam_never_beats_ml() {
             AwgnCost,
             BeamConfig::with_beam(4),
         )
+        .unwrap()
         .decode(&obs);
         assert!(
             beam.cost >= ml.cost - 1e-9,
@@ -146,6 +150,7 @@ fn wide_beam_matches_ml_bsc() {
             BscCost,
             MlConfig::default(),
         )
+        .unwrap()
         .decode(&obs);
         let beam = BeamDecoder::new(
             &params,
@@ -158,6 +163,7 @@ fn wide_beam_matches_ml_bsc() {
                 defer_prune_unobserved: true,
             },
         )
+        .unwrap()
         .decode(&obs);
         // Hamming costs tie easily; require equal *cost* (the argmin may
         // legitimately differ among ties).
@@ -183,6 +189,7 @@ fn both_decoders_roundtrip_clean() {
         AwgnCost,
         MlConfig::default(),
     )
+    .unwrap()
     .decode(&obs);
     let beam = BeamDecoder::new(
         &params,
@@ -191,6 +198,7 @@ fn both_decoders_roundtrip_clean() {
         AwgnCost,
         BeamConfig::with_beam(2),
     )
+    .unwrap()
     .decode(&obs);
     assert_eq!(ml.message, message);
     assert_eq!(beam.message, message);

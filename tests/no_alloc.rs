@@ -74,7 +74,8 @@ fn steady_state_decode_performs_zero_heap_allocation() {
         LinearMapper::new(10),
         AwgnCost,
         BeamConfig::paper_default(),
-    );
+    )
+    .unwrap();
 
     // The rateless pattern: observations accumulate pass by pass, with a
     // re-decode after each. Build every observation set up front so the

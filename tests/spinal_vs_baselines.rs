@@ -16,7 +16,7 @@ use spinal_codes::sim::{run_ldpc_awgn, LdpcConfig};
 fn spinal_rate(snr_db: f64, trials: u32, seed: u64) -> f64 {
     let mut cfg = RatelessConfig::fig2();
     cfg.max_passes = 250;
-    run_awgn(&cfg, snr_db, trials, seed).rate_mean()
+    run_awgn(&cfg, snr_db, trials, seed).unwrap().rate_mean()
 }
 
 /// At 4 dB, rate-1/2 QPSK LDPC (nominal 1.0 bit/symbol) is just above
@@ -74,7 +74,7 @@ fn spinal_tracks_capacity() {
         let cap = awgn_capacity_db(snr_db);
         let mut cfg = RatelessConfig::fig2();
         cfg.max_passes = 250;
-        let out = run_awgn(&cfg, snr_db, 15, 25);
+        let out = run_awgn(&cfg, snr_db, 15, 25).unwrap();
         let thpt = out.throughput();
         assert!(
             thpt > 0.4 * cap && thpt <= cap * upper,

@@ -32,7 +32,7 @@ fn theorem1_threshold_behaviour() {
     let snr_db = 10.0;
     let lstar = theorem1_min_passes(db_to_linear(snr_db), 4).unwrap();
     assert_eq!(lstar, 2, "C(10dB)=3.46, gap 0.255: L* should be 2");
-    let pts = thm1_curve(&awgn_cfg(), snr_db, &[1, 2 * lstar], 15, 31);
+    let pts = thm1_curve(&awgn_cfg(), snr_db, &[1, 2 * lstar], 15, 31).unwrap();
     assert!(
         pts[0].ber > 0.05,
         "L=1 is above capacity per pass; BER {} too clean",
@@ -57,7 +57,7 @@ fn theorem2_threshold_behaviour() {
         beam: BeamConfig::with_beam(16),
         ..BscRatelessConfig::default_k4(32)
     };
-    let pts = thm2_curve(&cfg, p, &[2, 2 * lstar], 15, 32);
+    let pts = thm2_curve(&cfg, p, &[2, 2 * lstar], 15, 32).unwrap();
     assert!(pts[0].ber > 0.05, "L=2 (rate 2 > C) BER {}", pts[0].ber);
     assert!(pts[1].ber < 0.01, "L=12 BER {}", pts[1].ber);
 }
@@ -65,7 +65,7 @@ fn theorem2_threshold_behaviour() {
 /// The theorem harness's rate bookkeeping: rate = k/L exactly.
 #[test]
 fn theorem_points_report_rates() {
-    let pts = thm1_curve(&awgn_cfg(), 20.0, &[1, 2, 4, 8], 3, 33);
+    let pts = thm1_curve(&awgn_cfg(), 20.0, &[1, 2, 4, 8], 3, 33).unwrap();
     let rates: Vec<f64> = pts.iter().map(|p| p.rate).collect();
     assert_eq!(rates, vec![4.0, 2.0, 1.0, 0.5]);
 }
