@@ -1,0 +1,504 @@
+//! Multi-session perf tracker: one scheduler serving N concurrent
+//! receivers vs. the one-at-a-time serving loop.
+//!
+//! Models the §1 deployment story — a base station decoding many
+//! same-shape spinal flows with per-symbol feedback. Each round, every
+//! live session receives its next scheduled symbol and retries decoding
+//! everything it has; sessions stop at genie acceptance. Three engines
+//! run the *identical* arrival trace and attempt schedule:
+//!
+//! * **scheduler** — a [`MultiDecoder`] pool: all sessions' attempts run
+//!   fused per cohort through one hot expansion scratch, every retry is
+//!   incremental via per-session checkpoints, and checkpoint memory sits
+//!   under one global budget.
+//! * **one_at_a_time** — the pre-scheduler serving loop: each arrival
+//!   immediately re-decodes that session from scratch
+//!   (`decode_into`, scratch reused across sessions). This is the
+//!   memory-comparable baseline: like the pool it keeps no cross-attempt
+//!   search state per session, which is how a multi-receiver loop runs
+//!   once per-session checkpoint stores stop fitting.
+//! * **checkpointed_sessions** — one `RxSession` per flow driven
+//!   one-at-a-time (the PR-3 single-link receiver replicated N times):
+//!   incremental retries, but a private scratch + checkpoint store +
+//!   plan cache per session, i.e. N× the memory and a cold working set
+//!   per attempt once N is large. Reported honestly alongside.
+//!
+//! All engines must accept every session at exactly the same symbol
+//! count (asserted — the scheduler is an optimization, never a
+//! semantic). A full run writes `BENCH_multi_session.json`; `--quick`
+//! (the CI smoke) runs the worker-count and budget bit-identity
+//! self-checks on a reduced fleet and writes only the deterministic
+//! `quick_multi_session.json` summary, which CI diffs against
+//! `crates/bench/golden/quick_multi_session.json`.
+//!
+//! Options: `--trials N` (measurement rounds, default 5), `--seed S`,
+//! `--quick`.
+
+use spinal_bench::{banner, RunArgs};
+use spinal_channel::{AwgnChannel, Channel};
+use spinal_core::bits::BitVec;
+use spinal_core::decode::{
+    AwgnCost, BeamConfig, BeamDecoder, DecodeResult, DecoderScratch, Observations,
+};
+use spinal_core::encode::Encoder;
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::puncture::{PunctureSchedule, StridedPuncture};
+use spinal_core::sched::{MultiConfig, MultiDecoder, SessionEvent};
+use spinal_core::session::{Poll, RxConfig, RxSession};
+use spinal_core::symbol::Slot;
+use spinal_core::{frame::AnyTerminator, IqSymbol};
+use std::hint::black_box;
+use std::time::Instant;
+
+const MESSAGE_BITS: u32 = 128;
+const K: u32 = 4;
+const C: u32 = 8;
+const SNR_DB: f64 = 8.0;
+const BEAM: usize = 16;
+/// Symbols of one full pass (`n / k` spine positions): every receiver's
+/// first attempt runs after a whole pass arrived (one chunked ingest),
+/// the per-symbol retry loop starts there — the same receiver model as
+/// `bench_session`, avoiding the sparse-observation warm-up attempts
+/// whose deferred-prune frontiers dwarf the steady state.
+const PASS_SYMBOLS: usize = (MESSAGE_BITS / K) as usize;
+const MAX_SYMBOLS: usize = 1600;
+const FLEET: [usize; 4] = [1, 8, 64, 512];
+const FLEET_QUICK: [usize; 3] = [1, 8, 64];
+
+type Pool = MultiDecoder<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
+type Rx = RxSession<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
+
+/// One flow's fixed inputs: its (reseeded) code, message, and the noisy
+/// received stream in schedule order.
+struct Flow {
+    params: CodeParams,
+    seed: u64,
+    message: BitVec,
+    stream: Vec<(Slot, IqSymbol)>,
+}
+
+struct Point {
+    sessions: usize,
+    scheduler_sessions_per_sec: f64,
+    one_at_a_time_sessions_per_sec: f64,
+    checkpointed_sessions_per_sec: f64,
+    speedup: f64,
+    speedup_vs_checkpointed: f64,
+    levels_resumed_fraction: f64,
+    checkpoint_bytes: usize,
+    mean_symbols_to_decode: f64,
+}
+
+fn build_flows(n: usize, master_seed: u64) -> Vec<Flow> {
+    let sched = StridedPuncture::stride8();
+    (0..n as u64)
+        .map(|i| {
+            let seed = master_seed ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+            let params = CodeParams::builder()
+                .message_bits(MESSAGE_BITS)
+                .k(K)
+                .seed(seed)
+                .build()
+                .expect("valid params");
+            let mut message = BitVec::new();
+            for b in 0..u64::from(MESSAGE_BITS) {
+                message.push(seed.rotate_left((b % 61) as u32) & (1 << (b % 13)) != 0);
+            }
+            let enc = Encoder::new(&params, Lookup3::new(seed), LinearMapper::new(C), &message)
+                .expect("valid message");
+            let mut channel = AwgnChannel::from_snr_db(SNR_DB, seed.wrapping_add(0x7919));
+            let mut stream = Vec::with_capacity(MAX_SYMBOLS);
+            let mut slots = Vec::new();
+            let mut g = 0u32;
+            while stream.len() < MAX_SYMBOLS {
+                sched.subpass_slots_into(params.n_segments(), g, &mut slots);
+                for &slot in &slots {
+                    stream.push((slot, channel.transmit(enc.symbol(slot))));
+                }
+                g += 1;
+            }
+            stream.truncate(MAX_SYMBOLS);
+            Flow {
+                params,
+                seed,
+                message,
+                stream,
+            }
+        })
+        .collect()
+}
+
+fn decoder(flow: &Flow) -> BeamDecoder<Lookup3, LinearMapper, AwgnCost> {
+    BeamDecoder::new(
+        &flow.params,
+        Lookup3::new(flow.seed),
+        LinearMapper::new(C),
+        AwgnCost,
+        BeamConfig::with_beam(BEAM),
+    )
+    .expect("valid decoder config")
+}
+
+/// Scheduler engine: one symbol per live session per round, one drive
+/// per round. Returns per-session (symbols, attempts) at acceptance.
+fn run_scheduler(
+    flows: &[Flow],
+    cfg: MultiConfig,
+    stats_out: Option<&mut SchedStats>,
+) -> Vec<(u64, u32)> {
+    let mut pool = Pool::new(cfg);
+    let ids: Vec<_> = flows
+        .iter()
+        .map(|f| {
+            pool.insert(
+                Rx::new(
+                    decoder(f),
+                    StridedPuncture::stride8(),
+                    AnyTerminator::genie(f.message.clone()),
+                    RxConfig::default(),
+                )
+                .expect("valid session config"),
+            )
+        })
+        .collect();
+    let mut cursors = vec![PASS_SYMBOLS; flows.len()];
+    let mut events: Vec<SessionEvent> = Vec::new();
+    let mut out = vec![(0u64, 0u32); flows.len()];
+    let mut live = flows.len();
+    // Round 0: every session ingests its whole first pass as one chunk
+    // (one attempt per session at the first drive).
+    let mut first_pass = Vec::with_capacity(PASS_SYMBOLS);
+    for (flow, &id) in flows.iter().zip(&ids) {
+        first_pass.clear();
+        first_pass.extend(flow.stream[..PASS_SYMBOLS].iter().map(|&(_, y)| y));
+        pool.ingest(id, &first_pass).expect("session listening");
+    }
+    let harvest = |events: &[SessionEvent], out: &mut Vec<(u64, u32)>, live: &mut usize| {
+        for ev in events {
+            if let Poll::Decoded {
+                symbols_used,
+                attempts,
+            } = ev.poll
+            {
+                let lane = ids.iter().position(|&i| i == ev.id).expect("known id");
+                out[lane] = (symbols_used, attempts);
+                *live -= 1;
+            }
+        }
+    };
+    pool.drive_into(&mut events);
+    harvest(&events, &mut out, &mut live);
+    // Then per-symbol feedback rounds.
+    while live > 0 {
+        for (lane, (flow, &id)) in flows.iter().zip(&ids).enumerate() {
+            if pool.get(id).expect("live session").is_finished() {
+                continue;
+            }
+            assert!(cursors[lane] < MAX_SYMBOLS, "stream budget too small");
+            let (_slot, y) = flow.stream[cursors[lane]];
+            cursors[lane] += 1;
+            pool.ingest(id, &[y]).expect("session listening");
+        }
+        pool.drive_into(&mut events);
+        harvest(&events, &mut out, &mut live);
+    }
+    if let Some(stats) = stats_out {
+        let (mut resumed, mut run) = (0u64, 0u64);
+        for &id in &ids {
+            let ck = pool.get(id).expect("live session").checkpoints();
+            resumed += ck.levels_resumed();
+            run += ck.levels_run();
+        }
+        stats.levels_resumed_fraction = resumed as f64 / (resumed + run) as f64;
+        stats.checkpoint_bytes = pool.checkpoint_bytes();
+        stats.evictions = pool.evictions();
+    }
+    out
+}
+
+#[derive(Default)]
+struct SchedStats {
+    levels_resumed_fraction: f64,
+    checkpoint_bytes: usize,
+    evictions: u64,
+}
+
+/// The pre-scheduler serving loop: every arrival immediately re-decodes
+/// its session from scratch over everything received (scratch shared —
+/// it carries nothing — observations per session).
+fn run_one_at_a_time(flows: &[Flow]) -> Vec<(u64, u32)> {
+    let decs: Vec<_> = flows.iter().map(decoder).collect();
+    let mut obs: Vec<Observations<IqSymbol>> = flows
+        .iter()
+        .map(|f| Observations::new(f.params.n_segments()))
+        .collect();
+    let mut scratch = DecoderScratch::new();
+    let mut result = DecodeResult::default();
+    let mut cursors = vec![PASS_SYMBOLS; flows.len()];
+    let mut out = vec![(0u64, 0u32); flows.len()];
+    let mut done = vec![false; flows.len()];
+    let mut live = flows.len();
+    // Round 0: the whole first pass, one attempt per session.
+    for (lane, flow) in flows.iter().enumerate() {
+        for &(slot, y) in &flow.stream[..PASS_SYMBOLS] {
+            obs[lane].push(slot, y);
+        }
+        decs[lane].decode_into(&obs[lane], &mut scratch, &mut result);
+        out[lane].1 += 1;
+        if result.message == flow.message {
+            out[lane].0 = PASS_SYMBOLS as u64;
+            done[lane] = true;
+            live -= 1;
+        }
+    }
+    while live > 0 {
+        for (lane, flow) in flows.iter().enumerate() {
+            if done[lane] {
+                continue;
+            }
+            assert!(cursors[lane] < MAX_SYMBOLS, "stream budget too small");
+            let (slot, y) = flow.stream[cursors[lane]];
+            cursors[lane] += 1;
+            obs[lane].push(slot, y);
+            decs[lane].decode_into(&obs[lane], &mut scratch, &mut result);
+            out[lane].1 += 1;
+            if result.message == flow.message {
+                out[lane].0 = cursors[lane] as u64;
+                done[lane] = true;
+                live -= 1;
+            }
+        }
+    }
+    out
+}
+
+/// One `RxSession` per flow, driven one-at-a-time: incremental retries
+/// but a private scratch/checkpoint/plan set per session.
+fn run_checkpointed_sessions(flows: &[Flow]) -> Vec<(u64, u32)> {
+    let mut sessions: Vec<Rx> = flows
+        .iter()
+        .map(|f| {
+            Rx::new(
+                decoder(f),
+                StridedPuncture::stride8(),
+                AnyTerminator::genie(f.message.clone()),
+                RxConfig::default(),
+            )
+            .expect("valid session config")
+        })
+        .collect();
+    let mut cursors = vec![PASS_SYMBOLS; flows.len()];
+    let mut out = vec![(0u64, 0u32); flows.len()];
+    let mut live = flows.len();
+    // Round 0: the whole first pass as one chunked ingest.
+    let mut first_pass = Vec::with_capacity(PASS_SYMBOLS);
+    for (lane, (flow, rx)) in flows.iter().zip(sessions.iter_mut()).enumerate() {
+        first_pass.clear();
+        first_pass.extend(flow.stream[..PASS_SYMBOLS].iter().map(|&(_, y)| y));
+        if let Poll::Decoded {
+            symbols_used,
+            attempts,
+        } = rx.ingest(&first_pass).expect("session listening")
+        {
+            out[lane] = (symbols_used, attempts);
+            live -= 1;
+        }
+    }
+    while live > 0 {
+        for (lane, (flow, rx)) in flows.iter().zip(sessions.iter_mut()).enumerate() {
+            if rx.is_finished() {
+                continue;
+            }
+            assert!(cursors[lane] < MAX_SYMBOLS, "stream budget too small");
+            let (_slot, y) = flow.stream[cursors[lane]];
+            cursors[lane] += 1;
+            if let Poll::Decoded {
+                symbols_used,
+                attempts,
+            } = rx.ingest(&[y]).expect("session listening")
+            {
+                out[lane] = (symbols_used, attempts);
+                live -= 1;
+            }
+        }
+    }
+    out
+}
+
+fn time_sweep(rounds: u32, f: &mut impl FnMut() -> Vec<(u64, u32)>) -> f64 {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = RunArgs::parse(5);
+    banner(
+        "multi-session: scheduler vs one-at-a-time serving loop",
+        &args,
+        &format!(
+            "message_bits={MESSAGE_BITS} k={K} c={C} B={BEAM} snr={SNR_DB}dB stride-8 per-symbol feedback"
+        ),
+    );
+    let rounds = if args.quick { 2 } else { args.trials.max(2) };
+    let fleet: &[usize] = if args.quick { &FLEET_QUICK } else { &FLEET };
+
+    println!(
+        "{:>9} {:>14} {:>14} {:>14} {:>8} {:>10} {:>12} {:>10}",
+        "sessions",
+        "sched s/s",
+        "scratch s/s",
+        "ckpt s/s",
+        "speedup",
+        "vs ckpt",
+        "lvl resumed",
+        "ckpt KiB"
+    );
+    let mut points = Vec::new();
+    let mut quick_rows = Vec::new();
+    for &n in fleet {
+        let flows = build_flows(n, args.seed);
+
+        // Bit-identity across engines (and the worker-count self-check):
+        // every engine must accept each session at the same symbol.
+        let mut stats = SchedStats::default();
+        let sched = run_scheduler(&flows, MultiConfig::default(), Some(&mut stats));
+        let scratch = run_one_at_a_time(&flows);
+        let ckpt = run_checkpointed_sessions(&flows);
+        for lane in 0..n {
+            assert_eq!(
+                sched[lane], ckpt[lane],
+                "scheduler must match solo sessions (lane {lane})"
+            );
+            assert_eq!(
+                sched[lane].0, scratch[lane].0,
+                "incremental and from-scratch must accept at the same symbol (lane {lane})"
+            );
+        }
+        let workers2 = run_scheduler(
+            &flows,
+            MultiConfig {
+                workers: 2,
+                ..MultiConfig::default()
+            },
+            None,
+        );
+        assert_eq!(sched, workers2, "worker count must not change results");
+        // A tight budget must also change nothing (evictions are policy).
+        let mut tight_stats = SchedStats::default();
+        let tight = run_scheduler(
+            &flows,
+            MultiConfig {
+                checkpoint_budget: 64 * 1024,
+                ..MultiConfig::default()
+            },
+            Some(&mut tight_stats),
+        );
+        assert_eq!(sched, tight, "checkpoint eviction must not change results");
+        let total_symbols: u64 = sched.iter().map(|&(s, _)| s).sum();
+        let total_attempts: u64 = sched.iter().map(|&(_, a)| u64::from(a)).sum();
+        quick_rows.push((n, total_symbols, total_attempts, tight_stats.evictions));
+
+        // Timings.
+        let sched_secs = time_sweep(rounds, &mut || {
+            run_scheduler(&flows, MultiConfig::default(), None)
+        }) / n as f64;
+        let scratch_secs = time_sweep(rounds, &mut || run_one_at_a_time(&flows)) / n as f64;
+        let ckpt_secs = time_sweep(rounds, &mut || run_checkpointed_sessions(&flows)) / n as f64;
+
+        let point = Point {
+            sessions: n,
+            scheduler_sessions_per_sec: 1.0 / sched_secs,
+            one_at_a_time_sessions_per_sec: 1.0 / scratch_secs,
+            checkpointed_sessions_per_sec: 1.0 / ckpt_secs,
+            speedup: scratch_secs / sched_secs,
+            speedup_vs_checkpointed: ckpt_secs / sched_secs,
+            levels_resumed_fraction: stats.levels_resumed_fraction,
+            checkpoint_bytes: stats.checkpoint_bytes,
+            mean_symbols_to_decode: total_symbols as f64 / n as f64,
+        };
+        println!(
+            "{:>9} {:>14.1} {:>14.1} {:>14.1} {:>7.2}x {:>9.2}x {:>11.1}% {:>10.1}",
+            point.sessions,
+            point.scheduler_sessions_per_sec,
+            point.one_at_a_time_sessions_per_sec,
+            point.checkpointed_sessions_per_sec,
+            point.speedup,
+            point.speedup_vs_checkpointed,
+            100.0 * point.levels_resumed_fraction,
+            point.checkpoint_bytes as f64 / 1024.0,
+        );
+        points.push(point);
+    }
+
+    if args.quick {
+        // Quick mode is the CI smoke: it emits only the deterministic
+        // summary for the golden diff, and leaves the full-run timing
+        // artifact `BENCH_multi_session.json` untouched.
+        let json = render_quick_json(&quick_rows);
+        std::fs::write("quick_multi_session.json", &json).expect("write quick_multi_session.json");
+        println!("# wrote quick_multi_session.json (deterministic summary for the golden diff)");
+    } else {
+        let json = render_json(&args, rounds, &points);
+        std::fs::write("BENCH_multi_session.json", &json).expect("write BENCH_multi_session.json");
+        println!("# wrote BENCH_multi_session.json");
+    }
+}
+
+/// Hand-rendered JSON (the workspace carries no serialization
+/// dependency).
+fn render_json(args: &RunArgs, rounds: u32, points: &[Point]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"multi_session_scheduler\",\n");
+    s.push_str("  \"config\": {\n");
+    s.push_str(&format!(
+        "    \"message_bits\": {MESSAGE_BITS},\n    \"k\": {K},\n    \"c\": {C},\n    \"beam\": {BEAM},\n    \"snr_db\": {SNR_DB},\n    \"schedule\": \"strided-8\",\n    \"feedback\": \"per-symbol\",\n"
+    ));
+    s.push_str(&format!(
+        "    \"seed\": {},\n    \"rounds\": {},\n    \"baseline\": \"one-at-a-time serving loop: each arrival re-decodes its session from scratch (decode_into, shared scratch) — the memory-comparable pre-scheduler loop\",\n    \"extra_baseline\": \"checkpointed_sessions: one RxSession per flow (private scratch+checkpoints per session), driven one at a time\"\n",
+        args.seed, rounds
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"sessions\": {}, \"scheduler_sessions_per_sec\": {:.2}, \"one_at_a_time_sessions_per_sec\": {:.2}, \"checkpointed_sessions_per_sec\": {:.2}, \"speedup\": {:.3}, \"speedup_vs_checkpointed\": {:.3}, \"levels_resumed_fraction\": {:.3}, \"checkpoint_bytes\": {}, \"mean_symbols_to_decode\": {:.1}}}{}\n",
+            p.sessions,
+            p.scheduler_sessions_per_sec,
+            p.one_at_a_time_sessions_per_sec,
+            p.checkpointed_sessions_per_sec,
+            p.speedup,
+            p.speedup_vs_checkpointed,
+            p.levels_resumed_fraction,
+            p.checkpoint_bytes,
+            p.mean_symbols_to_decode,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The deterministic quick-mode summary (integers only: accepted symbol
+/// totals, attempt totals, and tight-budget eviction counts per fleet
+/// size) — the golden-diff artifact.
+fn render_quick_json(rows: &[(usize, u64, u64, u64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"benchmark\": \"quick_multi_session\",\n  \"points\": [\n");
+    for (i, &(n, symbols, attempts, evictions)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"sessions\": {n}, \"total_symbols_to_decode\": {symbols}, \"total_attempts\": {attempts}, \"tight_budget_evictions\": {evictions}}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -29,7 +29,7 @@ use spinal_core::encode::Encoder;
 use spinal_core::hash::Lookup3;
 use spinal_core::map::LinearMapper;
 use spinal_core::params::CodeParams;
-use spinal_core::puncture::{PunctureSchedule, StridedPuncture};
+use spinal_core::puncture::{PunctureSchedule, StridedPuncture, SubpassOrder};
 use spinal_core::symbol::Slot;
 use spinal_core::IqSymbol;
 use std::hint::black_box;
@@ -62,16 +62,30 @@ struct Point {
     speedup: f64,
     mean_symbols_to_decode: f64,
     levels_resumed_fraction: f64,
+    /// Heap bytes the warm checkpoint store holds at this operating
+    /// point (saved frontiers + arena + plan caches) — the per-session
+    /// figure a multi-session memory budget accounts against, so the
+    /// scheduler-priority claims are auditable from this artifact.
+    checkpoint_bytes: usize,
 }
 
-fn build_trials(seed: u64) -> (CodeParams, Vec<Trial>) {
+/// One `(ordering, delay)` operating point of the checkpoint-aware
+/// puncturing probe (ROADMAP): retry cost vs coverage.
+struct ProbePoint {
+    ordering: &'static str,
+    delay: usize,
+    sessions_per_sec: f64,
+    mean_symbols_to_decode: f64,
+    levels_resumed_fraction: f64,
+}
+
+fn build_trials(seed: u64, sched: &StridedPuncture) -> (CodeParams, Vec<Trial>) {
     let params = CodeParams::builder()
         .message_bits(MESSAGE_BITS)
         .k(K)
         .seed(seed)
         .build()
         .expect("valid params");
-    let sched = StridedPuncture::stride8();
     let trials = (0..STREAMS as u64)
         .map(|i| {
             let mut message = BitVec::new();
@@ -192,7 +206,7 @@ fn main() {
         ),
     );
     let rounds = if args.quick { 3 } else { args.trials.max(3) };
-    let (params, trials) = build_trials(args.seed);
+    let (params, trials) = build_trials(args.seed, &StridedPuncture::stride8());
     let dec = BeamDecoder::new(
         &params,
         Lookup3::new(args.seed),
@@ -208,8 +222,14 @@ fn main() {
     let mut result = DecodeResult::default();
 
     println!(
-        "{:>7} {:>18} {:>18} {:>8} {:>12} {:>14}",
-        "delay", "incr sessions/s", "scratch sessions/s", "speedup", "mean syms", "lvls resumed"
+        "{:>7} {:>18} {:>18} {:>8} {:>12} {:>14} {:>10}",
+        "delay",
+        "incr sessions/s",
+        "scratch sessions/s",
+        "speedup",
+        "mean syms",
+        "lvls resumed",
+        "ckpt KiB"
     );
     let mut points = Vec::new();
     for &delay in &DELAYS {
@@ -281,27 +301,94 @@ fn main() {
             speedup: scr_secs / incr_secs,
             mean_symbols_to_decode: total_syms as f64 / STREAMS as f64,
             levels_resumed_fraction: resumed / (resumed + run),
+            checkpoint_bytes: frac_ckpt.memory_bytes(),
         };
         println!(
-            "{:>7} {:>18.1} {:>18.1} {:>7.2}x {:>12.1} {:>13.1}%",
+            "{:>7} {:>18.1} {:>18.1} {:>7.2}x {:>12.1} {:>13.1}% {:>10.1}",
             point.delay,
             point.incremental_sessions_per_sec,
             point.scratch_sessions_per_sec,
             point.speedup,
             point.mean_symbols_to_decode,
             100.0 * point.levels_resumed_fraction,
+            point.checkpoint_bytes as f64 / 1024.0,
         );
         points.push(point);
     }
 
-    let json = render_json(&args, rounds, &points);
+    // Checkpoint-aware puncturing probe (ROADMAP): does a deep-first
+    // sub-pass ordering make retries cheaper without costing coverage?
+    println!("# puncturing probe: bit-reversed vs deep-first sub-pass ordering");
+    println!(
+        "{:>14} {:>7} {:>14} {:>12} {:>14}",
+        "ordering", "delay", "sessions/s", "mean syms", "lvls resumed"
+    );
+    let mut probe = Vec::new();
+    for (name, ordering) in [
+        ("bit-reversed", SubpassOrder::BitReversed),
+        ("deep-first", SubpassOrder::DeepFirst),
+    ] {
+        let sched = StridedPuncture::with_order(8, ordering).expect("valid stride");
+        let (_, trials) = build_trials(args.seed, &sched);
+        for delay in [1usize, 4] {
+            let mut frac_ckpt = BeamCheckpoints::new();
+            let mut total_syms = 0usize;
+            for trial in &trials {
+                total_syms += run_incremental(
+                    &dec,
+                    trial,
+                    delay,
+                    &mut obs,
+                    &mut frac_ckpt,
+                    &mut scratch,
+                    &mut result,
+                );
+            }
+            let resumed = frac_ckpt.levels_resumed() as f64;
+            let run = frac_ckpt.levels_run() as f64;
+            let mut sweep = || {
+                let mut acc = 0;
+                for trial in &trials {
+                    acc += run_incremental(
+                        &dec,
+                        trial,
+                        delay,
+                        &mut obs,
+                        &mut ckpt,
+                        &mut scratch,
+                        &mut result,
+                    );
+                }
+                acc
+            };
+            let secs = time_per_sweep(rounds, &mut sweep) / STREAMS as f64;
+            let p = ProbePoint {
+                ordering: name,
+                delay,
+                sessions_per_sec: 1.0 / secs,
+                mean_symbols_to_decode: total_syms as f64 / STREAMS as f64,
+                levels_resumed_fraction: resumed / (resumed + run),
+            };
+            println!(
+                "{:>14} {:>7} {:>14.1} {:>12.1} {:>13.1}%",
+                p.ordering,
+                p.delay,
+                p.sessions_per_sec,
+                p.mean_symbols_to_decode,
+                100.0 * p.levels_resumed_fraction,
+            );
+            probe.push(p);
+        }
+    }
+
+    let json = render_json(&args, rounds, &points, &probe);
     std::fs::write("BENCH_session.json", &json).expect("write BENCH_session.json");
     println!("# wrote BENCH_session.json");
 }
 
 /// Hand-rendered JSON (the workspace carries no serialization
 /// dependency).
-fn render_json(args: &RunArgs, rounds: u32, points: &[Point]) -> String {
+fn render_json(args: &RunArgs, rounds: u32, points: &[Point], probe: &[ProbePoint]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"session_incremental_retry\",\n");
@@ -317,14 +404,28 @@ fn render_json(args: &RunArgs, rounds: u32, points: &[Point]) -> String {
     s.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"attempt_interval_symbols\": {}, \"incremental_sessions_per_sec\": {:.1}, \"scratch_sessions_per_sec\": {:.1}, \"speedup\": {:.3}, \"mean_symbols_to_decode\": {:.1}, \"levels_resumed_fraction\": {:.3}}}{}\n",
+            "    {{\"attempt_interval_symbols\": {}, \"incremental_sessions_per_sec\": {:.1}, \"scratch_sessions_per_sec\": {:.1}, \"speedup\": {:.3}, \"mean_symbols_to_decode\": {:.1}, \"levels_resumed_fraction\": {:.3}, \"checkpoint_bytes\": {}}}{}\n",
             p.delay,
             p.incremental_sessions_per_sec,
             p.scratch_sessions_per_sec,
             p.speedup,
             p.mean_symbols_to_decode,
             p.levels_resumed_fraction,
+            p.checkpoint_bytes,
             if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"puncturing_probe\": [\n");
+    for (i, p) in probe.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"ordering\": \"{}\", \"attempt_interval_symbols\": {}, \"sessions_per_sec\": {:.1}, \"mean_symbols_to_decode\": {:.1}, \"levels_resumed_fraction\": {:.3}}}{}\n",
+            p.ordering,
+            p.delay,
+            p.sessions_per_sec,
+            p.mean_symbols_to_decode,
+            p.levels_resumed_fraction,
+            if i + 1 == probe.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");

@@ -179,11 +179,13 @@ impl DecoderScratch {
     }
 }
 
-/// Largest entering frontier [`BeamCheckpoints`] will snapshot. Levels
-/// whose frontier exceeds this (deep unobserved-gap deferral) stop the
-/// checkpoint prefix for that attempt; resumption then starts below
-/// them. Bounds checkpoint memory at
-/// `MAX_CHECKPOINT_FRONTIER × n_levels` entries.
+/// Default for the largest entering frontier [`BeamCheckpoints`] will
+/// snapshot. Levels whose frontier exceeds the limit (deep
+/// unobserved-gap deferral) stop the checkpoint prefix for that attempt;
+/// resumption then starts below them. Bounds checkpoint memory at
+/// `limit × n_levels` entries per store. The limit is a per-store knob
+/// ([`BeamCheckpoints::with_max_frontier`]) so a multi-session pool can
+/// trade per-session resumption depth against its global memory budget.
 pub const MAX_CHECKPOINT_FRONTIER: usize = 1 << 12;
 
 /// One level's snapshot: the frontier *entering* the level, the arena
@@ -209,11 +211,12 @@ struct SavedStates {
 impl SavedStates {
     /// Snapshots the state entering level `t`. Only extends the valid
     /// prefix contiguously, and skips (freezing the prefix) when the
-    /// frontier is too large to be worth copying.
+    /// frontier exceeds `limit` — too large to be worth copying.
     #[allow(clippy::too_many_arguments)]
     fn save(
         &mut self,
         t: u32,
+        limit: usize,
         spines: &[u64],
         costs: &[f64],
         parents: &[u32],
@@ -221,7 +224,7 @@ impl SavedStates {
         arena_len: usize,
         stats: DecodeStats,
     ) {
-        if t != self.valid || spines.len() > MAX_CHECKPOINT_FRONTIER {
+        if t != self.valid || spines.len() > limit {
             return;
         }
         if self.levels.len() <= t as usize {
@@ -286,7 +289,7 @@ impl Default for CachedPlan {
 /// checkpoints are also discarded automatically when the observation
 /// count shrinks or the level count changes. After the first attempt
 /// warms the buffers, checkpointing allocates nothing.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct BeamCheckpoints {
     saved: SavedStates,
     /// The backtracking arena shared across attempts (replaces the
@@ -299,12 +302,48 @@ pub struct BeamCheckpoints {
     n_levels: u32,
     levels_resumed: u64,
     levels_run: u64,
+    /// Largest entering frontier this store will snapshot (see
+    /// [`MAX_CHECKPOINT_FRONTIER`], the default).
+    max_frontier: usize,
+}
+
+impl Default for BeamCheckpoints {
+    fn default() -> Self {
+        Self {
+            saved: SavedStates::default(),
+            arena_parents: Vec::new(),
+            arena_segs: Vec::new(),
+            plans: Vec::new(),
+            obs_len: 0,
+            n_levels: 0,
+            levels_resumed: 0,
+            levels_run: 0,
+            max_frontier: MAX_CHECKPOINT_FRONTIER,
+        }
+    }
 }
 
 impl BeamCheckpoints {
     /// Creates an empty checkpoint store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty store that snapshots frontiers only up to
+    /// `limit` entries per level (default:
+    /// [`MAX_CHECKPOINT_FRONTIER`]). Smaller limits cap the store's
+    /// memory; `0` disables checkpointing entirely (every attempt then
+    /// decodes from scratch — results are unchanged, only work is).
+    pub fn with_max_frontier(limit: usize) -> Self {
+        Self {
+            max_frontier: limit,
+            ..Self::default()
+        }
+    }
+
+    /// The per-level snapshot frontier limit in use.
+    pub fn max_frontier(&self) -> usize {
+        self.max_frontier
     }
 
     /// Discards all checkpoints and cached plans (keeping capacity), so
@@ -317,6 +356,47 @@ impl BeamCheckpoints {
         }
         self.obs_len = 0;
         self.n_levels = 0;
+    }
+
+    /// [`reset`](Self::reset) that also returns every buffer's memory to
+    /// the allocator — the multi-session scheduler's eviction path:
+    /// an evicted session decodes from scratch on its next retry
+    /// (bit-identical results, more work) and re-warms its buffers only
+    /// if it keeps running.
+    pub fn release(&mut self) {
+        self.reset();
+        self.saved.levels = Vec::new();
+        self.arena_parents = Vec::new();
+        self.arena_segs = Vec::new();
+        self.plans = Vec::new();
+    }
+
+    /// Heap bytes currently held by this store (capacity-based: saved
+    /// frontiers, the backtracking arena, and cached level plans). The
+    /// figure a pool-level checkpoint-memory budget accounts against.
+    pub fn memory_bytes(&self) -> usize {
+        use core::mem::size_of;
+        let mut bytes = self.arena_parents.capacity() * size_of::<u32>()
+            + self.arena_segs.capacity() * size_of::<u16>();
+        for level in &self.saved.levels {
+            bytes += level.spines.capacity() * size_of::<u64>()
+                + level.costs.capacity() * size_of::<f64>()
+                + level.parents.capacity() * size_of::<u32>()
+                + level.segs.capacity() * size_of::<u16>();
+        }
+        for plan in &self.plans {
+            bytes += plan.block_ids.capacity() * size_of::<u64>()
+                + plan.reads.capacity() * size_of::<ObsRead>()
+                + plan.packed.capacity() * size_of::<PackedMask>();
+        }
+        bytes
+    }
+
+    /// Number of tree levels the valid checkpoint prefix covers — the
+    /// deepest point the next retry could resume from. A scheduler uses
+    /// this (with the session's dirty depth) to rank retries by cost.
+    pub fn valid_levels(&self) -> u32 {
+        self.saved.valid
     }
 
     /// Tree levels skipped via checkpoint resumption, accumulated over
@@ -346,21 +426,78 @@ enum PlanSource<'a> {
     Cached(&'a mut Vec<CachedPlan>),
 }
 
-/// The frontier / expansion working buffers borrowed out of a
-/// [`DecoderScratch`] for one attempt.
-struct SearchBufs<'a> {
-    fr_spines: &'a mut Vec<u64>,
-    fr_costs: &'a mut Vec<f64>,
-    fr_parents: &'a mut Vec<u32>,
-    fr_segs: &'a mut Vec<u16>,
-    next_spines: &'a mut Vec<u64>,
-    next_costs: &'a mut Vec<f64>,
-    next_parents: &'a mut Vec<u32>,
-    next_segs: &'a mut Vec<u16>,
+/// The per-attempt *session* state one level step advances: the SoA
+/// frontier entering the level. Between levels this is all that
+/// persists per search (at most `beam_width` entries at observed
+/// levels), which is what lets a multi-session cohort keep one
+/// [`ExpandScratch`] hot while interleaving many sessions' sweeps.
+struct Frontier<'a> {
+    spines: &'a mut Vec<u64>,
+    costs: &'a mut Vec<f64>,
+    parents: &'a mut Vec<u32>,
+    segs: &'a mut Vec<u16>,
+}
+
+/// The expansion working buffers a level step borrows. Contents never
+/// carry information across steps, so one set can be shared by every
+/// session of a cohort (and by every attempt of a session).
+struct ExpandScratch<'a> {
+    spines: &'a mut Vec<u64>,
+    costs: &'a mut Vec<f64>,
+    parents: &'a mut Vec<u32>,
+    segs: &'a mut Vec<u16>,
     blocks: &'a mut Vec<u64>,
     seg_ids: &'a mut Vec<u64>,
     order: &'a mut Vec<u32>,
-    path: &'a mut Vec<u16>,
+}
+
+impl DecoderScratch {
+    /// The frontier buffers (the per-session half of a cohort sweep).
+    fn frontier_mut(&mut self) -> Frontier<'_> {
+        Frontier {
+            spines: &mut self.spines,
+            costs: &mut self.costs,
+            parents: &mut self.parents,
+            segs: &mut self.segs,
+        }
+    }
+
+    /// The expansion buffers (the shareable half of a cohort sweep).
+    fn expand_mut(&mut self) -> ExpandScratch<'_> {
+        ExpandScratch {
+            spines: &mut self.next_spines,
+            costs: &mut self.next_costs,
+            parents: &mut self.next_parents,
+            segs: &mut self.next_segs,
+            blocks: &mut self.blocks,
+            seg_ids: &mut self.seg_ids,
+            order: &mut self.order,
+        }
+    }
+
+    /// Splits one scratch into both halves plus the backtrack path
+    /// buffer (the solo-attempt layout: session and shared buffers live
+    /// in the same scratch).
+    fn split_mut(&mut self) -> (Frontier<'_>, ExpandScratch<'_>, &mut Vec<u16>) {
+        (
+            Frontier {
+                spines: &mut self.spines,
+                costs: &mut self.costs,
+                parents: &mut self.parents,
+                segs: &mut self.segs,
+            },
+            ExpandScratch {
+                spines: &mut self.next_spines,
+                costs: &mut self.next_costs,
+                parents: &mut self.next_parents,
+                segs: &mut self.next_segs,
+                blocks: &mut self.blocks,
+                seg_ids: &mut self.seg_ids,
+                order: &mut self.order,
+            },
+            &mut self.path,
+        )
+    }
 }
 
 /// The practical spinal decoder: B-beam search over the decoding tree.
@@ -503,6 +640,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         out: &mut DecodeResult,
     ) {
         self.check_levels(obs);
+        let n_levels = self.params.n_segments();
         let DecoderScratch {
             spines,
             costs,
@@ -522,33 +660,52 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             order,
             path,
         } = scratch;
-        let bufs = SearchBufs {
-            fr_spines: spines,
-            fr_costs: costs,
-            fr_parents: parents,
-            fr_segs: segs,
-            next_spines,
-            next_costs,
-            next_parents,
-            next_segs,
-            blocks,
-            seg_ids,
-            order,
-            path,
+        init_root(spines, costs, parents, segs, arena_parents, arena_segs);
+        let mut stats = fresh_stats();
+        let mut plans = PlanSource::Scratch {
+            block_ids,
+            reads,
+            packed,
         };
-        self.run_levels(
-            obs,
-            bufs,
+        for t in 0..n_levels {
+            self.level_core(
+                t,
+                obs,
+                Frontier {
+                    spines: &mut *spines,
+                    costs: &mut *costs,
+                    parents: &mut *parents,
+                    segs: &mut *segs,
+                },
+                ExpandScratch {
+                    spines: &mut *next_spines,
+                    costs: &mut *next_costs,
+                    parents: &mut *next_parents,
+                    segs: &mut *next_segs,
+                    blocks: &mut *blocks,
+                    seg_ids: &mut *seg_ids,
+                    order: &mut *order,
+                },
+                arena_parents,
+                arena_segs,
+                &mut plans,
+                None,
+                &mut stats,
+            );
+        }
+        self.finish_core(
+            Frontier {
+                spines,
+                costs,
+                parents,
+                segs,
+            },
             arena_parents,
             arena_segs,
-            PlanSource::Scratch {
-                block_ids,
-                reads,
-                packed,
-            },
             None,
-            0,
-            fresh_stats(),
+            order,
+            path,
+            stats,
             out,
         );
     }
@@ -585,6 +742,33 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         scratch: &mut DecoderScratch,
         out: &mut DecodeResult,
     ) {
+        let (start, mut stats) = self.attempt_begin(obs, dirty_from, ckpt, scratch);
+        let n_levels = self.params.n_segments();
+        for t in start..n_levels {
+            let (fr, ex, _) = scratch.split_mut();
+            self.ckpt_level(t, obs, ckpt, fr, ex, &mut stats);
+        }
+        let (fr, ex, path) = scratch.split_mut();
+        self.ckpt_finish(ckpt, fr, ex.order, path, stats, out);
+    }
+
+    /// First third of an incremental attempt: validates/refreshes the
+    /// checkpoint store, picks the resume level, restores the entering
+    /// frontier into `scratch`'s frontier buffers (or initializes the
+    /// root for a from-scratch start), and rolls the arena back. Returns
+    /// the start level and the as-if-from-scratch work counters entering
+    /// it. Follow with [`attempt_level`](Self::attempt_level) for every
+    /// level from the start and [`attempt_finish`](Self::attempt_finish);
+    /// the sequence is exactly [`decode_incremental`](Self::decode_incremental)
+    /// decomposed, so results are bit-identical to it (and therefore to
+    /// batch [`decode_into`](Self::decode_into)).
+    pub(crate) fn attempt_begin(
+        &self,
+        obs: &Observations<M::Symbol>,
+        dirty_from: u32,
+        ckpt: &mut BeamCheckpoints,
+        scratch: &mut DecoderScratch,
+    ) -> (u32, DecodeStats) {
         self.check_levels(obs);
         let n_levels = self.params.n_segments();
         if ckpt.n_levels != n_levels || obs.len() < ckpt.obs_len {
@@ -623,56 +807,124 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             scratch.segs.extend_from_slice(&e.segs);
             ckpt.arena_parents.truncate(e.arena_len);
             ckpt.arena_segs.truncate(e.arena_len);
+        } else {
+            init_root(
+                &mut scratch.spines,
+                &mut scratch.costs,
+                &mut scratch.parents,
+                &mut scratch.segs,
+                &mut ckpt.arena_parents,
+                &mut ckpt.arena_segs,
+            );
         }
         // Checkpoints at and above the resume point are about to be
         // overwritten.
         ckpt.saved.valid = start;
+        (start, init_stats)
+    }
 
+    /// One level step of an incremental attempt, with the session's
+    /// frontier in `session` and the expansion buffers in `shared` —
+    /// two *different* scratches in a multi-session cohort sweep (the
+    /// shared one stays cache-hot across every session), the same split
+    /// of one scratch in the solo path.
+    pub(crate) fn attempt_level(
+        &self,
+        t: u32,
+        obs: &Observations<M::Symbol>,
+        ckpt: &mut BeamCheckpoints,
+        session: &mut DecoderScratch,
+        shared: &mut DecoderScratch,
+        stats: &mut DecodeStats,
+    ) {
+        self.ckpt_level(
+            t,
+            obs,
+            ckpt,
+            session.frontier_mut(),
+            shared.expand_mut(),
+            stats,
+        );
+    }
+
+    /// Final third of an incremental attempt: snapshots the final
+    /// frontier, ranks the survivors, and materializes `out`.
+    pub(crate) fn attempt_finish(
+        &self,
+        ckpt: &mut BeamCheckpoints,
+        session: &mut DecoderScratch,
+        shared: &mut DecoderScratch,
+        stats: DecodeStats,
+        out: &mut DecodeResult,
+    ) {
+        self.ckpt_finish(
+            ckpt,
+            session.frontier_mut(),
+            &mut shared.order,
+            &mut shared.path,
+            stats,
+            out,
+        );
+    }
+
+    /// [`level_core`](Self::level_core) wired to a checkpoint store's
+    /// arena, plan cache, and saver.
+    fn ckpt_level(
+        &self,
+        t: u32,
+        obs: &Observations<M::Symbol>,
+        ckpt: &mut BeamCheckpoints,
+        fr: Frontier<'_>,
+        ex: ExpandScratch<'_>,
+        stats: &mut DecodeStats,
+    ) {
         let BeamCheckpoints {
             saved,
             arena_parents,
             arena_segs,
             plans,
+            max_frontier,
             ..
         } = ckpt;
-        let DecoderScratch {
-            spines,
-            costs,
-            parents,
-            segs,
-            next_spines,
-            next_costs,
-            next_parents,
-            next_segs,
-            blocks,
-            seg_ids,
-            order,
-            path,
-            ..
-        } = scratch;
-        let bufs = SearchBufs {
-            fr_spines: spines,
-            fr_costs: costs,
-            fr_parents: parents,
-            fr_segs: segs,
-            next_spines,
-            next_costs,
-            next_parents,
-            next_segs,
-            blocks,
-            seg_ids,
-            order,
-            path,
-        };
-        self.run_levels(
+        let mut plans = PlanSource::Cached(plans);
+        self.level_core(
+            t,
             obs,
-            bufs,
+            fr,
+            ex,
             arena_parents,
             arena_segs,
-            PlanSource::Cached(plans),
-            Some(saved),
-            start,
-            init_stats,
+            &mut plans,
+            Some((saved, *max_frontier)),
+            stats,
+        );
+    }
+
+    /// [`finish_core`](Self::finish_core) wired to a checkpoint store.
+    fn ckpt_finish(
+        &self,
+        ckpt: &mut BeamCheckpoints,
+        fr: Frontier<'_>,
+        order: &mut Vec<u32>,
+        path: &mut Vec<u16>,
+        stats: DecodeStats,
+        out: &mut DecodeResult,
+    ) {
+        let BeamCheckpoints {
+            saved,
+            arena_parents,
+            arena_segs,
+            max_frontier,
+            ..
+        } = ckpt;
+        self.finish_core(
+            fr,
+            arena_parents,
+            arena_segs,
+            Some((saved, *max_frontier)),
+            order,
+            path,
+            stats,
             out,
         );
     }
@@ -687,233 +939,239 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         );
     }
 
-    /// The level sweep shared by the batch and incremental entry points.
-    /// `bufs` must hold the frontier entering `start_level` (for
-    /// `start_level == 0` it is initialized here), and the arena must be
-    /// truncated to its pre-`start_level` prefix.
+    /// One level of the beam sweep: snapshot, pre-prune, arena commit,
+    /// plan, expand, prune. `fr` holds the frontier entering level `t`
+    /// and leaves holding the frontier entering `t + 1`; `ex` is pure
+    /// scratch. Both the batch and incremental entry points — and the
+    /// multi-session cohort sweep, which interleaves many sessions'
+    /// steps at the same level through one shared `ex` — are loops over
+    /// this one function, so they cannot drift apart.
     #[allow(clippy::too_many_arguments)]
-    fn run_levels(
+    fn level_core(
         &self,
+        t: u32,
         obs: &Observations<M::Symbol>,
-        bufs: SearchBufs<'_>,
+        fr: Frontier<'_>,
+        ex: ExpandScratch<'_>,
         arena_parents: &mut Vec<u32>,
         arena_segs: &mut Vec<u16>,
-        mut plans: PlanSource<'_>,
-        mut saver: Option<&mut SavedStates>,
-        start_level: u32,
-        init_stats: DecodeStats,
-        out: &mut DecodeResult,
+        plans: &mut PlanSource<'_>,
+        saver: Option<(&mut SavedStates, usize)>,
+        stats: &mut DecodeStats,
     ) {
-        let n_levels = self.params.n_segments();
         let msg_segs = self.params.message_segments();
         let branch = 1usize << self.params.k();
         let bps = self.mapper.bits_per_symbol();
-
-        let SearchBufs {
-            fr_spines,
-            fr_costs,
-            fr_parents,
-            fr_segs,
-            next_spines,
-            next_costs,
-            next_parents,
-            next_segs,
+        let Frontier {
+            spines: fr_spines,
+            costs: fr_costs,
+            parents: fr_parents,
+            segs: fr_segs,
+        } = fr;
+        let ExpandScratch {
+            spines: next_spines,
+            costs: next_costs,
+            parents: next_parents,
+            segs: next_segs,
             blocks,
             seg_ids,
             order,
-            path,
-        } = bufs;
+        } = ex;
         if seg_ids.len() < branch {
             seg_ids.extend(seg_ids.len() as u64..branch as u64);
         }
 
-        if start_level == 0 {
-            // The root is a placeholder: it is not in the arena; its
-            // children use parent = u32::MAX.
-            fr_spines.clear();
-            fr_costs.clear();
-            fr_parents.clear();
-            fr_segs.clear();
-            fr_spines.push(INITIAL_SPINE);
-            fr_costs.push(0.0);
-            fr_parents.push(u32::MAX);
-            fr_segs.push(0);
-            arena_parents.clear();
-            arena_segs.clear();
+        let root_level = t == 0;
+        let level_obs = obs.at_level(t);
+        let tail = t >= msg_segs;
+        let level_branch = if tail { 1 } else { branch };
+
+        // Snapshot the state entering this level so a later attempt
+        // whose first new observation sits at or above `t` can resume
+        // here.
+        if let Some((sv, limit)) = saver {
+            sv.save(
+                t,
+                limit,
+                fr_spines,
+                fr_costs,
+                fr_parents,
+                fr_segs,
+                arena_parents.len(),
+                *stats,
+            );
         }
 
-        let mut stats = init_stats;
+        // Pre-prune so the expansion never exceeds max_frontier.
+        let cap_parents = (self.config.max_frontier / level_branch).max(1);
+        if fr_spines.len() > cap_parents {
+            select_into(
+                order,
+                cap_parents,
+                (
+                    fr_spines.as_slice(),
+                    fr_costs.as_slice(),
+                    fr_parents.as_slice(),
+                    fr_segs.as_slice(),
+                ),
+                (
+                    &mut *next_spines,
+                    &mut *next_costs,
+                    &mut *next_parents,
+                    &mut *next_segs,
+                ),
+            );
+            std::mem::swap(fr_spines, next_spines);
+            std::mem::swap(fr_costs, next_costs);
+            std::mem::swap(fr_parents, next_parents);
+            std::mem::swap(fr_segs, next_segs);
+        }
 
-        for t in start_level..n_levels {
-            let root_level = t == 0;
-            let level_obs = obs.at_level(t);
-            let tail = t >= msg_segs;
-            let level_branch = if tail { 1 } else { branch };
+        // Commit this level's parents to the arena (children need
+        // stable indices to point at).
+        let parent_base = arena_parents.len() as u32;
+        if !root_level {
+            arena_parents.extend_from_slice(fr_parents);
+            arena_segs.extend_from_slice(fr_segs);
+        }
 
-            // Snapshot the state entering this level so a later attempt
-            // whose first new observation sits at or above `t` can resume
-            // here.
-            if let Some(sv) = saver.as_deref_mut() {
-                sv.save(
-                    t,
-                    fr_spines,
-                    fr_costs,
-                    fr_parents,
-                    fr_segs,
-                    arena_parents.len(),
-                    stats,
-                );
-            }
-
-            // Pre-prune so the expansion never exceeds max_frontier.
-            let cap_parents = (self.config.max_frontier / level_branch).max(1);
-            if fr_spines.len() > cap_parents {
-                select_into(
-                    order,
-                    cap_parents,
-                    (
-                        fr_spines.as_slice(),
-                        fr_costs.as_slice(),
-                        fr_parents.as_slice(),
-                        fr_segs.as_slice(),
-                    ),
-                    (
-                        &mut *next_spines,
-                        &mut *next_costs,
-                        &mut *next_parents,
-                        &mut *next_segs,
-                    ),
-                );
-                std::mem::swap(fr_spines, next_spines);
-                std::mem::swap(fr_costs, next_costs);
-                std::mem::swap(fr_parents, next_parents);
-                std::mem::swap(fr_segs, next_segs);
-            }
-
-            // Commit this level's parents to the arena (children need
-            // stable indices to point at).
-            let parent_base = arena_parents.len() as u32;
-            if !root_level {
-                arena_parents.extend_from_slice(fr_parents);
-                arena_segs.extend_from_slice(fr_segs);
-            }
-
-            // Plan the level once: distinct expansion blocks + one read
-            // descriptor per observation; on 1-bit channels, also try to
-            // collapse the whole level into XOR/popcount block masks. The
-            // incremental path reuses the cached plan while the level's
-            // observation count is unchanged (observations are
-            // append-only, so equal count means equal content).
-            let (plan_blocks, plan_reads, plan_packed): (&[u64], &[ObsRead], &[PackedMask]) =
-                match &mut plans {
-                    PlanSource::Scratch {
+        // Plan the level once: distinct expansion blocks + one read
+        // descriptor per observation; on 1-bit channels, also try to
+        // collapse the whole level into XOR/popcount block masks. The
+        // incremental path reuses the cached plan while the level's
+        // observation count is unchanged (observations are
+        // append-only, so equal count means equal content).
+        let (plan_blocks, plan_reads, plan_packed): (&[u64], &[ObsRead], &[PackedMask]) =
+            match plans {
+                PlanSource::Scratch {
+                    block_ids,
+                    reads,
+                    packed,
+                } => {
+                    build_plan(
+                        &self.mapper,
+                        &self.cost,
+                        level_obs,
+                        bps,
                         block_ids,
                         reads,
                         packed,
-                    } => {
+                    );
+                    (block_ids, reads, packed)
+                }
+                PlanSource::Cached(cache) => {
+                    let p = &mut cache[t as usize];
+                    if p.obs_len != level_obs.len() {
                         build_plan(
                             &self.mapper,
                             &self.cost,
                             level_obs,
                             bps,
-                            block_ids,
-                            reads,
-                            packed,
+                            &mut p.block_ids,
+                            &mut p.reads,
+                            &mut p.packed,
                         );
-                        (block_ids, reads, packed)
+                        p.obs_len = level_obs.len();
                     }
-                    PlanSource::Cached(cache) => {
-                        let p = &mut cache[t as usize];
-                        if p.obs_len != level_obs.len() {
-                            build_plan(
-                                &self.mapper,
-                                &self.cost,
-                                level_obs,
-                                bps,
-                                &mut p.block_ids,
-                                &mut p.reads,
-                                &mut p.packed,
-                            );
-                            p.obs_len = level_obs.len();
-                        }
-                        (&p.block_ids, &p.reads, &p.packed)
-                    }
-                };
-
-            // Expand every parent into the pre-sized child buffers.
-            let n_parents = fr_spines.len();
-            let n_children = n_parents * level_branch;
-            next_spines.clear();
-            next_spines.resize(n_children, 0);
-            next_costs.clear();
-            next_costs.resize(n_children, 0.0);
-            next_parents.clear();
-            next_parents.resize(n_children, 0);
-            next_segs.clear();
-            next_segs.resize(n_children, 0);
-            expand_level(
-                &self.hash,
-                &self.mapper,
-                &self.cost,
-                self.parallel_workers,
-                fr_spines,
-                fr_costs,
-                parent_base,
-                root_level,
-                &seg_ids[..level_branch],
-                level_obs,
-                plan_blocks,
-                plan_reads,
-                plan_packed,
-                blocks,
-                next_spines,
-                next_costs,
-                next_parents,
-                next_segs,
-            );
-            stats.nodes_expanded += n_children as u64;
-            stats.frontier_peak = stats.frontier_peak.max(n_children);
-            // One spine-step hash per child, plus one hash per distinct
-            // expansion block per child at observed levels.
-            stats.hash_calls += n_children as u64 * (1 + plan_blocks.len() as u64);
-
-            // Prune: to B at observed levels (or always, if deferral is
-            // off); otherwise only enforce the frontier cap.
-            let keep = if !level_obs.is_empty() || !self.config.defer_prune_unobserved {
-                self.config.beam_width
-            } else {
-                self.config.max_frontier
+                    (&p.block_ids, &p.reads, &p.packed)
+                }
             };
-            if n_children > keep {
-                select_into(
-                    order,
-                    keep,
-                    (
-                        next_spines.as_slice(),
-                        next_costs.as_slice(),
-                        next_parents.as_slice(),
-                        next_segs.as_slice(),
-                    ),
-                    (
-                        &mut *fr_spines,
-                        &mut *fr_costs,
-                        &mut *fr_parents,
-                        &mut *fr_segs,
-                    ),
-                );
-            } else {
-                std::mem::swap(fr_spines, next_spines);
-                std::mem::swap(fr_costs, next_costs);
-                std::mem::swap(fr_parents, next_parents);
-                std::mem::swap(fr_segs, next_segs);
-            }
-        }
 
-        // Snapshot the final frontier too (entry `n_levels`), so an
-        // attempt with no new observations is a pure re-rank.
-        if let Some(sv) = saver {
+        // Expand every parent into the pre-sized child buffers.
+        let n_parents = fr_spines.len();
+        let n_children = n_parents * level_branch;
+        next_spines.clear();
+        next_spines.resize(n_children, 0);
+        next_costs.clear();
+        next_costs.resize(n_children, 0.0);
+        next_parents.clear();
+        next_parents.resize(n_children, 0);
+        next_segs.clear();
+        next_segs.resize(n_children, 0);
+        expand_level(
+            &self.hash,
+            &self.mapper,
+            &self.cost,
+            self.parallel_workers,
+            fr_spines,
+            fr_costs,
+            parent_base,
+            root_level,
+            &seg_ids[..level_branch],
+            level_obs,
+            plan_blocks,
+            plan_reads,
+            plan_packed,
+            blocks,
+            next_spines,
+            next_costs,
+            next_parents,
+            next_segs,
+        );
+        stats.nodes_expanded += n_children as u64;
+        stats.frontier_peak = stats.frontier_peak.max(n_children);
+        // One spine-step hash per child, plus one hash per distinct
+        // expansion block per child at observed levels.
+        stats.hash_calls += n_children as u64 * (1 + plan_blocks.len() as u64);
+
+        // Prune: to B at observed levels (or always, if deferral is
+        // off); otherwise only enforce the frontier cap.
+        let keep = if !level_obs.is_empty() || !self.config.defer_prune_unobserved {
+            self.config.beam_width
+        } else {
+            self.config.max_frontier
+        };
+        if n_children > keep {
+            select_into(
+                order,
+                keep,
+                (
+                    next_spines.as_slice(),
+                    next_costs.as_slice(),
+                    next_parents.as_slice(),
+                    next_segs.as_slice(),
+                ),
+                (
+                    &mut *fr_spines,
+                    &mut *fr_costs,
+                    &mut *fr_parents,
+                    &mut *fr_segs,
+                ),
+            );
+        } else {
+            std::mem::swap(fr_spines, next_spines);
+            std::mem::swap(fr_costs, next_costs);
+            std::mem::swap(fr_parents, next_parents);
+            std::mem::swap(fr_segs, next_segs);
+        }
+    }
+
+    /// The tail of a sweep: snapshot the final frontier (entry
+    /// `n_levels`, so an attempt with no new observations is a pure
+    /// re-rank), rank the survivors, and materialize `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_core(
+        &self,
+        fr: Frontier<'_>,
+        arena_parents: &[u32],
+        arena_segs: &[u16],
+        saver: Option<(&mut SavedStates, usize)>,
+        order: &mut Vec<u32>,
+        path: &mut Vec<u16>,
+        stats: DecodeStats,
+        out: &mut DecodeResult,
+    ) {
+        let n_levels = self.params.n_segments();
+        let Frontier {
+            spines: fr_spines,
+            costs: fr_costs,
+            parents: fr_parents,
+            segs: fr_segs,
+        } = fr;
+        if let Some((sv, limit)) = saver {
             sv.save(
                 n_levels,
+                limit,
                 fr_spines,
                 fr_costs,
                 fr_parents,
@@ -964,6 +1222,28 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         out.message.clear();
         out.message.extend_from(best);
     }
+}
+
+/// Initializes the frontier to the root placeholder (not in the arena;
+/// its children use parent = `u32::MAX`) and clears the arena.
+fn init_root(
+    fr_spines: &mut Vec<u64>,
+    fr_costs: &mut Vec<f64>,
+    fr_parents: &mut Vec<u32>,
+    fr_segs: &mut Vec<u16>,
+    arena_parents: &mut Vec<u32>,
+    arena_segs: &mut Vec<u16>,
+) {
+    fr_spines.clear();
+    fr_costs.clear();
+    fr_parents.clear();
+    fr_segs.clear();
+    fr_spines.push(INITIAL_SPINE);
+    fr_costs.push(0.0);
+    fr_parents.push(u32::MAX);
+    fr_segs.push(0);
+    arena_parents.clear();
+    arena_segs.clear();
 }
 
 /// The work counters a from-scratch attempt starts with.

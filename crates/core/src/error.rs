@@ -84,6 +84,9 @@ pub enum SpinalError {
     /// A session was driven past a terminal [`crate::session::Poll`]
     /// (`Decoded` or `Exhausted`).
     SessionFinished,
+    /// A [`crate::sched::SessionId`] that does not name a live session
+    /// of the pool (already removed, or from another pool).
+    UnknownSession,
 }
 
 impl std::fmt::Display for SpinalError {
@@ -136,6 +139,9 @@ impl std::fmt::Display for SpinalError {
             }
             SpinalError::SessionFinished => {
                 write!(f, "session already returned a terminal poll")
+            }
+            SpinalError::UnknownSession => {
+                write!(f, "session id does not name a live session of this pool")
             }
         }
     }

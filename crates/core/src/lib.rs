@@ -89,6 +89,7 @@ pub mod hash;
 pub mod map;
 pub mod params;
 pub mod puncture;
+pub mod sched;
 pub mod session;
 pub mod spine;
 pub mod symbol;
@@ -111,7 +112,8 @@ pub use map::{
     AnyIqMapper, BinaryMapper, LinearMapper, Mapper, OffsetUniformMapper, TruncGaussMapper,
 };
 pub use params::{CodeParams, CodeParamsBuilder, ParamError};
-pub use puncture::{AnySchedule, NoPuncture, PunctureSchedule, StridedPuncture};
+pub use puncture::{AnySchedule, NoPuncture, PunctureSchedule, StridedPuncture, SubpassOrder};
+pub use sched::{MultiConfig, MultiDecoder, SessionEvent, SessionId};
 pub use session::{Poll, RxConfig, RxSession, TxPosition, TxSession};
 pub use spine::{compute_spine, segment_value, spine_step, SpineError, INITIAL_SPINE};
 pub use symbol::{IqSymbol, Slot};

@@ -81,21 +81,55 @@ impl PunctureSchedule for NoPuncture {
     }
 }
 
-/// Strided puncturing with bit-reversed sub-pass ordering.
+/// How a strided pass orders its sub-pass residues.
+///
+/// The residue *set* per pass is identical either way (full coverage);
+/// the order decides two different costs:
+///
+/// * **Coverage spread** — how evenly the spine is covered after a
+///   partial pass, which is when high-SNR receivers decode.
+///   [`BitReversed`](SubpassOrder::BitReversed) optimizes this.
+/// * **Retry depth** — a decode attempt after sub-pass `j` resumes its
+///   incremental sweep at spine position `order[j]`
+///   ([`crate::decode::BeamDecoder::decode_incremental`]), so orders
+///   that front-load the *shallow* residues make the expensive
+///   low-resume retries happen early (when few symbols are in play) and
+///   leave the late retries deep and cheap.
+///   [`DeepFirst`](SubpassOrder::DeepFirst) is the checkpoint-aware
+///   probe from the ROADMAP: descending residues, deepest first.
+///
+/// `bench_session` quantifies both (see README); the paper default
+/// stays bit-reversed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SubpassOrder {
+    /// Bit-reversed enumeration (`[0,4,2,6,1,5,3,7]` for stride 8): the
+    /// paper-faithful default, maximal early coverage spread.
+    #[default]
+    BitReversed,
+    /// Descending residues (`[7,6,5,4,3,2,1,0]` for stride 8): deep
+    /// spine positions first, so mid-pass retries resume deep.
+    DeepFirst,
+}
+
+/// Strided puncturing with a configurable sub-pass ordering
+/// (bit-reversed by default).
 ///
 /// Pass `ℓ` is split into `stride` sub-passes; sub-pass `j` sends the
 /// pass-`ℓ` symbols of positions `t ≡ order[j] (mod stride)` in ascending
-/// `t`. `order` is the bit-reversal permutation of `0..stride`, which
-/// maximises the spread of early coverage (positions hit 0, stride/2,
-/// stride/4, 3·stride/4, … apart).
+/// `t`. The default `order` is the bit-reversal permutation of
+/// `0..stride`, which maximises the spread of early coverage (positions
+/// hit 0, stride/2, stride/4, 3·stride/4, … apart); see [`SubpassOrder`]
+/// for the checkpoint-aware alternative.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StridedPuncture {
     stride: u32,
     order: Vec<u32>,
+    ordering: SubpassOrder,
 }
 
 impl StridedPuncture {
-    /// Creates a strided schedule with the given stride.
+    /// Creates a strided schedule with the given stride and the default
+    /// bit-reversed sub-pass ordering.
     ///
     /// # Errors
     ///
@@ -103,14 +137,31 @@ impl StridedPuncture {
     /// in `2..=64` (bit-reversal needs a power of two; stride 1 is
     /// [`NoPuncture`]).
     pub fn new(stride: u32) -> Result<Self, SpinalError> {
+        Self::with_order(stride, SubpassOrder::BitReversed)
+    }
+
+    /// Creates a strided schedule with an explicit sub-pass ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::Stride`] for a stride outside the
+    /// power-of-two range `2..=64`.
+    pub fn with_order(stride: u32, ordering: SubpassOrder) -> Result<Self, SpinalError> {
         if !stride.is_power_of_two() || !(2..=64).contains(&stride) {
             return Err(SpinalError::Stride(stride));
         }
         let bits = stride.trailing_zeros();
-        let order = (0..stride)
-            .map(|j| j.reverse_bits() >> (32 - bits))
-            .collect();
-        Ok(Self { stride, order })
+        let order = match ordering {
+            SubpassOrder::BitReversed => (0..stride)
+                .map(|j| j.reverse_bits() >> (32 - bits))
+                .collect(),
+            SubpassOrder::DeepFirst => (0..stride).rev().collect(),
+        };
+        Ok(Self {
+            stride,
+            order,
+            ordering,
+        })
     }
 
     /// The paper-default stride-8 schedule (`order = [0,4,2,6,1,5,3,7]`).
@@ -123,9 +174,14 @@ impl StridedPuncture {
         self.stride
     }
 
-    /// The sub-pass residue order (bit-reversed `0..stride`).
+    /// The sub-pass residue order.
     pub fn order(&self) -> &[u32] {
         &self.order
+    }
+
+    /// The ordering variant in use.
+    pub fn ordering(&self) -> SubpassOrder {
+        self.ordering
     }
 }
 
@@ -146,7 +202,10 @@ impl PunctureSchedule for StridedPuncture {
     }
 
     fn name(&self) -> &'static str {
-        "strided"
+        match self.ordering {
+            SubpassOrder::BitReversed => "strided",
+            SubpassOrder::DeepFirst => "strided-deep",
+        }
     }
 }
 
@@ -174,6 +233,19 @@ impl AnySchedule {
     /// power-of-two range `2..=64`.
     pub fn strided(stride: u32) -> Result<Self, SpinalError> {
         Ok(AnySchedule::Strided(StridedPuncture::new(stride)?))
+    }
+
+    /// The strided schedule with an explicit sub-pass ordering (the
+    /// checkpoint-aware `deep-first` probe, or the default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinalError::Stride`] for a stride outside the
+    /// power-of-two range `2..=64`.
+    pub fn strided_with(stride: u32, ordering: SubpassOrder) -> Result<Self, SpinalError> {
+        Ok(AnySchedule::Strided(StridedPuncture::with_order(
+            stride, ordering,
+        )?))
     }
 }
 
@@ -255,23 +327,59 @@ mod tests {
 
     #[test]
     fn one_pass_covers_every_position_exactly_once() {
-        for stride in [2u32, 4, 8, 16] {
-            let s = StridedPuncture::new(stride).unwrap();
-            for n_spine in [1u32, 3, 8, 13, 32] {
-                let mut seen = HashSet::new();
-                for g in 0..stride {
-                    for slot in s.subpass_slots(n_spine, g) {
-                        assert_eq!(slot.pass, 0);
-                        assert!(
-                            seen.insert(slot.t),
-                            "duplicate t={} stride={stride}",
-                            slot.t
-                        );
+        for ordering in [SubpassOrder::BitReversed, SubpassOrder::DeepFirst] {
+            for stride in [2u32, 4, 8, 16] {
+                let s = StridedPuncture::with_order(stride, ordering).unwrap();
+                for n_spine in [1u32, 3, 8, 13, 32] {
+                    let mut seen = HashSet::new();
+                    for g in 0..stride {
+                        for slot in s.subpass_slots(n_spine, g) {
+                            assert_eq!(slot.pass, 0);
+                            assert!(
+                                seen.insert(slot.t),
+                                "duplicate t={} stride={stride} {ordering:?}",
+                                slot.t
+                            );
+                        }
                     }
+                    assert_eq!(
+                        seen.len() as u32,
+                        n_spine,
+                        "stride={stride} n={n_spine} {ordering:?}"
+                    );
                 }
-                assert_eq!(seen.len() as u32, n_spine, "stride={stride} n={n_spine}");
             }
         }
+    }
+
+    #[test]
+    fn deep_first_sends_deep_residues_first() {
+        let s = StridedPuncture::with_order(8, SubpassOrder::DeepFirst).unwrap();
+        assert_eq!(s.order(), &[7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(s.ordering(), SubpassOrder::DeepFirst);
+        assert_eq!(s.name(), "strided-deep");
+        // Retry depth: the attempt after sub-pass j resumes at residue
+        // order[j] — monotonically *shallower* within a pass, so the
+        // expensive level-0 refresh happens exactly once, last.
+        for (j, w) in s.order().windows(2).enumerate() {
+            assert!(w[0] > w[1], "order must descend at {j}");
+        }
+        // The default remains the paper schedule.
+        assert_eq!(
+            StridedPuncture::stride8().ordering(),
+            SubpassOrder::BitReversed
+        );
+        assert_eq!(StridedPuncture::stride8().name(), "strided");
+        // AnySchedule plumbs the variant through.
+        let any = AnySchedule::strided_with(4, SubpassOrder::DeepFirst).unwrap();
+        assert_eq!(any.name(), "strided-deep");
+        assert_eq!(
+            any.subpass_slots(10, 0),
+            StridedPuncture::with_order(4, SubpassOrder::DeepFirst)
+                .unwrap()
+                .subpass_slots(10, 0)
+        );
+        assert!(AnySchedule::strided_with(5, SubpassOrder::DeepFirst).is_err());
     }
 
     #[test]

@@ -1,0 +1,935 @@
+//! Multi-session scheduling: one decoder core serving many live
+//! [`RxSession`]s.
+//!
+//! A base station or access point decodes many concurrent spinal-coded
+//! flows, not one. Driving each flow's session in isolation leaves two
+//! resources on the table:
+//!
+//! * **A hot expansion scratch.** A decode attempt's working set is
+//!   dominated by the child expansion buffers (`B × 2^k` SoA rows plus
+//!   the hash-block cache), which carry no information between attempts.
+//!   Per-session scratches turn every attempt into a sweep over cold
+//!   memory once a few dozen sessions interleave; the pool keeps **one**
+//!   scratch (per worker) hot and lends it to every attempt, so the only
+//!   per-session state touched between levels is the pruned frontier
+//!   (≤ `beam_width` entries) and the checkpoint store.
+//! * **Checkpoint memory.** Incremental retries
+//!   ([`BeamDecoder::decode_incremental`](crate::decode::BeamDecoder::decode_incremental))
+//!   buy their speedup with per-session per-level snapshots. At hundreds
+//!   of sessions that memory is the scarce resource; the pool enforces a
+//!   **global budget** ([`MultiConfig::checkpoint_budget`]) by evicting
+//!   the *coldest* sessions' stores back to from-scratch decoding —
+//!   which changes work, never results.
+//!
+//! # Cohorts and the fused sweep
+//!
+//! Sessions with the same shape — spine length, segment size `k`, and
+//! [`BeamConfig`](crate::decode::BeamConfig) — form a *cohort*. A
+//! [`drive`](MultiDecoder::drive_into) runs all due attempts of a cohort
+//! **level-interleaved**: level `t` of every member runs back-to-back
+//! through the shared scratch (one plan/expand/prune kernel sequence per
+//! member per level, operating on the same hot buffers), then level
+//! `t + 1`. Each member's arithmetic is untouched — the fused sweep is
+//! the solo sweep with a different buffer home — so results are
+//! **bit-identical** to driving each session alone (pinned by
+//! `tests/multi_session_equivalence.rs`).
+//!
+//! # Scheduling policy
+//!
+//! [`ingest`](MultiDecoder::ingest) only *absorbs* symbols; attempts run
+//! at the next [`drive_into`](MultiDecoder::drive_into). When more
+//! attempts are due than [`MultiConfig::max_attempts_per_drive`] allows,
+//! the pool serves the **cheapest incremental retries first** (fewest
+//! levels to re-expand, i.e. deepest resume point — the signal is
+//! [`BeamCheckpoints::valid_levels`](crate::decode::BeamCheckpoints::valid_levels)
+//! against the session's dirty depth), with an aging escape hatch: a
+//! session deferred for more than a few drives is served regardless of
+//! cost, so no session starves under a saturating cohort.
+//!
+//! # Determinism contract
+//!
+//! For every session, the poll events a drive emits are a pure function
+//! of the symbols ingested between drives — identical to calling
+//! [`RxSession::ingest`] with the same symbols coalesced per drive, and
+//! therefore independent of cohort grouping, attempt ordering, the
+//! [`MultiConfig::workers`] count, and checkpoint evictions. Only
+//! latency and memory are policy; results never are.
+//!
+//! # Example
+//!
+//! ```
+//! use spinal_core::code::SpinalCode;
+//! use spinal_core::frame::AnyTerminator;
+//! use spinal_core::sched::{MultiConfig, MultiDecoder};
+//! use spinal_core::session::{Poll, RxConfig};
+//! use spinal_core::BitVec;
+//!
+//! let code = SpinalCode::fig2(24, 7).unwrap();
+//! let mut pool = MultiDecoder::new(MultiConfig::default());
+//! let mut txs = Vec::new();
+//! let mut ids = Vec::new();
+//! for i in 0..4u8 {
+//!     let msg = BitVec::from_bytes(&[i, 0xca, 0xfe]);
+//!     txs.push(code.tx_session(&msg).unwrap());
+//!     let rx = code
+//!         .awgn_rx_session(AnyTerminator::genie(msg), RxConfig::default())
+//!         .unwrap();
+//!     ids.push(pool.insert(rx));
+//! }
+//! // Noiseless round-robin: one symbol per session per drive.
+//! let mut events = Vec::new();
+//! let mut live = ids.len();
+//! while live > 0 {
+//!     for (tx, &id) in txs.iter_mut().zip(&ids) {
+//!         if pool.get(id).unwrap().is_finished() {
+//!             continue;
+//!         }
+//!         let (_slot, sym) = tx.next_symbol();
+//!         pool.ingest(id, &[sym]).unwrap();
+//!     }
+//!     pool.drive_into(&mut events);
+//!     live -= events
+//!         .iter()
+//!         .filter(|e| matches!(e.poll, Poll::Decoded { .. }))
+//!         .count();
+//! }
+//! ```
+
+use crate::decode::cost::CostModel;
+use crate::decode::{BeamDecoder, DecoderScratch};
+use crate::error::SpinalError;
+use crate::hash::SpineHash;
+use crate::map::Mapper;
+use crate::puncture::PunctureSchedule;
+use crate::session::{Poll, RxSession};
+use crate::symbol::Slot;
+
+/// Drives a session waits before aging lifts it over the
+/// cheapest-first policy (the starvation bound: no due attempt is
+/// deferred more than this many drives beyond the backlog's length).
+const AGING_ROUNDS: u64 = 4;
+
+/// Pool-level resource configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiConfig {
+    /// Worker threads a drive may spread attempt execution over.
+    /// Results are bit-identical for any count (sessions are disjoint);
+    /// `1` (the default) runs everything on the calling thread and is
+    /// the only allocation-free steady state.
+    pub workers: usize,
+    /// Global cap, in heap bytes, on the checkpoint memory of all
+    /// sessions combined ([`RxSession::checkpoint_bytes`] summed). When
+    /// a drive ends over budget, the coldest sessions' stores are
+    /// [evicted](RxSession::evict_checkpoints) until it fits — they
+    /// decode from scratch on their next retry, with identical results.
+    /// `usize::MAX` (the default) disables the budget.
+    pub checkpoint_budget: usize,
+    /// Most decode attempts one drive will run; due attempts beyond it
+    /// are deferred to later drives (cheapest retries and aged sessions
+    /// first). `usize::MAX` (the default) runs every due attempt, which
+    /// keeps the pool's polls bit-identical to solo sessions.
+    pub max_attempts_per_drive: usize,
+}
+
+impl Default for MultiConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            checkpoint_budget: usize::MAX,
+            max_attempts_per_drive: usize::MAX,
+        }
+    }
+}
+
+/// Names a live session of a [`MultiDecoder`]. Ids are generational:
+/// the id of a removed session never resurrects, even if its slot is
+/// reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    index: u32,
+    gen: u32,
+}
+
+/// One session's outcome from a [`MultiDecoder::drive_into`] call: the
+/// same [`Poll`] a solo [`RxSession::ingest`] of the symbols absorbed
+/// since the previous drive would have returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionEvent {
+    /// The session the poll belongs to.
+    pub id: SessionId,
+    /// What its attempt (or budget check) concluded.
+    pub poll: Poll,
+}
+
+/// The shape that decides which sessions can share a fused level sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct CohortKey {
+    n_levels: u32,
+    k: u32,
+    beam_width: usize,
+    max_frontier: usize,
+    defer_prune: bool,
+}
+
+#[derive(Debug)]
+struct Managed<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> {
+    rx: RxSession<H, M, C, P>,
+    gen: u32,
+    key: CohortKey,
+    /// Round of this session's last decode attempt (eviction coldness).
+    last_active: u64,
+    /// Round its pending attempt became due (`u64::MAX` = not due).
+    due_since: u64,
+    /// Symbols absorbed since the last emitted event.
+    absorbed: usize,
+}
+
+fn cohort_key<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>(
+    rx: &RxSession<H, M, C, P>,
+) -> CohortKey {
+    let beam = rx.config().beam;
+    CohortKey {
+        n_levels: rx.params().n_segments(),
+        k: rx.params().k(),
+        beam_width: beam.beam_width,
+        max_frontier: beam.max_frontier,
+        defer_prune: beam.defer_prune_unobserved,
+    }
+}
+
+/// A pool of live receiver sessions sharing one decoder core — see the
+/// [module docs](self) for the batching, policy, and determinism story.
+#[derive(Debug)]
+pub struct MultiDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> {
+    cfg: MultiConfig,
+    slots: Vec<Option<Managed<H, M, C, P>>>,
+    free: Vec<u32>,
+    /// Next generation per slot (bumped at removal, adopted at reuse),
+    /// so stale [`SessionId`]s never resolve.
+    next_gen: Vec<u32>,
+    live: usize,
+    round: u64,
+    evictions: u64,
+    /// Indices of the sessions selected for attempts this drive.
+    due: Vec<u32>,
+    /// The shared expansion scratch (worker 0 / serial path).
+    shared: DecoderScratch,
+    /// Extra per-worker scratches (`workers > 1` drives only).
+    extra: Vec<DecoderScratch>,
+}
+
+impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> Default
+    for MultiDecoder<H, M, C, P>
+{
+    fn default() -> Self {
+        Self::new(MultiConfig::default())
+    }
+}
+
+impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
+    MultiDecoder<H, M, C, P>
+{
+    /// Creates an empty pool.
+    pub fn new(cfg: MultiConfig) -> Self {
+        Self {
+            cfg,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_gen: Vec::new(),
+            live: 0,
+            round: 0,
+            evictions: 0,
+            due: Vec::new(),
+            shared: DecoderScratch::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// The pool configuration in use.
+    pub fn config(&self) -> &MultiConfig {
+        &self.cfg
+    }
+
+    /// Live sessions in the pool.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when the pool holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Drives run so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Checkpoint stores evicted by the memory budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total checkpoint memory currently held across the pool.
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|m| m.rx.checkpoint_bytes())
+            .sum()
+    }
+
+    /// Adopts a session into the pool and returns its id.
+    pub fn insert(&mut self, rx: RxSession<H, M, C, P>) -> SessionId {
+        let key = cohort_key(&rx);
+        self.live += 1;
+        let index = match self.free.pop() {
+            Some(index) => index,
+            None => {
+                self.slots.push(None);
+                self.next_gen.push(0);
+                self.slots.len() as u32 - 1
+            }
+        };
+        let gen = self.next_gen[index as usize];
+        self.slots[index as usize] = Some(Managed {
+            rx,
+            gen,
+            key,
+            last_active: self.round,
+            due_since: u64::MAX,
+            absorbed: 0,
+        });
+        SessionId { index, gen }
+    }
+
+    /// Removes a session, returning it (final results included).
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::UnknownSession`] for a stale or foreign id.
+    pub fn remove(&mut self, id: SessionId) -> Result<RxSession<H, M, C, P>, SpinalError> {
+        self.resolve(id)?;
+        let m = self.slots[id.index as usize]
+            .take()
+            .expect("resolved slot is live");
+        self.free.push(id.index);
+        self.next_gen[id.index as usize] = m.gen + 1;
+        self.live -= 1;
+        Ok(m.rx)
+    }
+
+    /// Borrows a session (payload, stats, observations, …).
+    pub fn get(&self, id: SessionId) -> Option<&RxSession<H, M, C, P>> {
+        match self.slots.get(id.index as usize) {
+            Some(Some(m)) if m.gen == id.gen => Some(&m.rx),
+            _ => None,
+        }
+    }
+
+    /// Borrows a session mutably (e.g. to reseed a genie terminator).
+    /// Mutations that add symbols behind the pool's back are tolerated —
+    /// due-ness is recomputed from session state each drive — but
+    /// [`ingest`](Self::ingest) keeps the event bookkeeping exact.
+    pub fn get_mut(&mut self, id: SessionId) -> Option<&mut RxSession<H, M, C, P>> {
+        match self.slots.get_mut(id.index as usize) {
+            Some(Some(m)) if m.gen == id.gen => Some(&mut m.rx),
+            _ => None,
+        }
+    }
+
+    /// Rebinds a session to a new decoder (the next trial's reseeded
+    /// code) in place, clearing its received state — the pool analogue
+    /// of [`RxSession::rebind`], reusing every buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::UnknownSession`] for a stale or foreign id.
+    pub fn rebind(
+        &mut self,
+        id: SessionId,
+        decoder: BeamDecoder<H, M, C>,
+    ) -> Result<(), SpinalError> {
+        self.resolve(id)?;
+        let m = self.slots[id.index as usize]
+            .as_mut()
+            .expect("resolved slot is live");
+        m.rx.rebind(decoder);
+        m.key = cohort_key(&m.rx);
+        m.due_since = u64::MAX;
+        m.absorbed = 0;
+        Ok(())
+    }
+
+    /// Absorbs received symbols into a session (slot-labelled by its
+    /// schedule cursor, like [`RxSession::ingest`]) **without** running
+    /// a decode attempt — attempts run at the next
+    /// [`drive_into`](Self::drive_into).
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::UnknownSession`] for a stale id,
+    /// [`SpinalError::SessionFinished`] after a terminal poll.
+    pub fn ingest(&mut self, id: SessionId, symbols: &[M::Symbol]) -> Result<(), SpinalError> {
+        self.resolve(id)?;
+        let m = self.slots[id.index as usize]
+            .as_mut()
+            .expect("resolved slot is live");
+        let consumed = m.rx.absorb(symbols)?;
+        m.absorbed += consumed;
+        Ok(())
+    }
+
+    /// [`ingest`](Self::ingest) for explicitly slot-labelled symbols
+    /// (out-of-order arrival, erasure links).
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest), plus
+    /// [`SpinalError::SlotOutOfRange`] (before consuming anything) for a
+    /// slot outside the session's spine.
+    pub fn ingest_at(
+        &mut self,
+        id: SessionId,
+        symbols: &[(Slot, M::Symbol)],
+    ) -> Result<(), SpinalError> {
+        self.resolve(id)?;
+        let m = self.slots[id.index as usize]
+            .as_mut()
+            .expect("resolved slot is live");
+        let consumed = m.rx.absorb_at(symbols)?;
+        m.absorbed += consumed;
+        Ok(())
+    }
+
+    /// Runs the pool one scheduling round: selects due attempts (all of
+    /// them by default; cheapest-first with aging under a
+    /// [`MultiConfig::max_attempts_per_drive`] cap), executes them fused
+    /// per cohort through the shared scratch (across
+    /// [`MultiConfig::workers`] threads when configured), emits one
+    /// [`SessionEvent`] per session with activity, and enforces the
+    /// checkpoint-memory budget. `events` is cleared first and reused.
+    pub fn drive_into(&mut self, events: &mut Vec<SessionEvent>) {
+        events.clear();
+        self.round += 1;
+        let round = self.round;
+
+        // Select the attempts to run.
+        self.due.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(m) = slot.as_mut() else { continue };
+            if !m.rx.is_listening() {
+                m.due_since = u64::MAX;
+                continue;
+            }
+            if m.rx.attempt_due() {
+                if m.due_since == u64::MAX {
+                    m.due_since = round;
+                }
+                self.due.push(i as u32);
+            }
+        }
+        let cap = self.cfg.max_attempts_per_drive.max(1);
+        if self.due.len() > cap {
+            let slots = &self.slots;
+            // Aged sessions first (oldest debt first), then the
+            // cheapest incremental retries (fewest levels to run).
+            self.due.sort_unstable_by_key(|&i| {
+                let m = slots[i as usize].as_ref().expect("due slot is live");
+                if round - m.due_since >= AGING_ROUNDS {
+                    (0u8, m.due_since, i)
+                } else {
+                    (1u8, u64::from(m.rx.levels_to_run()), i)
+                }
+            });
+            self.due.truncate(cap);
+        }
+        // Group same-shape sessions adjacently for the fused sweep
+        // (stable within a cohort: ascending slot index).
+        {
+            let slots = &self.slots;
+            self.due.sort_unstable_by_key(|&i| {
+                (slots[i as usize].as_ref().expect("due slot is live").key, i)
+            });
+        }
+
+        // Execute the selected attempts.
+        if self.cfg.workers > 1 && self.due.len() > 1 {
+            self.run_attempts_parallel(round, events);
+        } else {
+            self.run_attempts_serial(round, events);
+        }
+
+        // Activity that ran no attempt still polls: the symbol-budget
+        // check, then NeedMore — exactly the solo ingest tail. Sessions
+        // whose due attempt was deferred by the cap emit nothing (their
+        // poll is pending, not concluded).
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(m) = slot.as_mut() else { continue };
+            if m.absorbed == 0 || !m.rx.is_listening() || m.rx.attempt_due() {
+                continue;
+            }
+            let consumed = m.absorbed;
+            m.absorbed = 0;
+            let poll = m.rx.poll_without_attempt(consumed);
+            events.push(SessionEvent {
+                id: SessionId {
+                    index: i as u32,
+                    gen: m.gen,
+                },
+                poll,
+            });
+        }
+
+        self.enforce_budget();
+    }
+
+    /// [`drive_into`](Self::drive_into) returning a fresh event vector.
+    pub fn drive(&mut self) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        self.drive_into(&mut events);
+        events
+    }
+
+    /// The serial fused execution path: zero steady-state allocation.
+    ///
+    /// NOTE: the group-scan / `attempt_take` / level-interleave /
+    /// `attempt_conclude` sequence here and in
+    /// [`run_attempts_parallel`](Self::run_attempts_parallel) must stay
+    /// in lockstep — the serial form indexes `slots` so a warm drive
+    /// never allocates, the parallel form needs a splittable borrow
+    /// table, and Rust offers no alloc-free way to abstract over both.
+    /// Any change to the per-member sequence belongs in `RxSession`'s
+    /// `attempt_*` methods (shared by construction); the
+    /// `pool_polls_match_solo_sessions` test pins both paths against
+    /// solo sessions.
+    fn run_attempts_serial(&mut self, round: u64, events: &mut Vec<SessionEvent>) {
+        let Self {
+            slots, shared, due, ..
+        } = self;
+        let mut g0 = 0usize;
+        while g0 < due.len() {
+            let key = slots[due[g0] as usize]
+                .as_ref()
+                .expect("due slot is live")
+                .key;
+            let mut g1 = g0 + 1;
+            while g1 < due.len()
+                && slots[due[g1] as usize]
+                    .as_ref()
+                    .expect("due slot is live")
+                    .key
+                    == key
+            {
+                g1 += 1;
+            }
+            for &i in &due[g0..g1] {
+                slots[i as usize]
+                    .as_mut()
+                    .expect("due slot is live")
+                    .rx
+                    .attempt_take();
+            }
+            // The fused sweep: level t of every cohort member runs
+            // back-to-back through the one hot scratch.
+            for t in 0..key.n_levels {
+                for &i in &due[g0..g1] {
+                    let m = slots[i as usize].as_mut().expect("due slot is live");
+                    if m.rx.sweep_start() <= t {
+                        m.rx.attempt_level(t, shared);
+                    }
+                }
+            }
+            for &i in &due[g0..g1] {
+                let m = slots[i as usize].as_mut().expect("due slot is live");
+                let consumed = m.absorbed;
+                m.absorbed = 0;
+                let poll = m.rx.attempt_conclude(shared, consumed);
+                m.due_since = u64::MAX;
+                m.last_active = round;
+                events.push(SessionEvent {
+                    id: SessionId {
+                        index: i,
+                        gen: m.gen,
+                    },
+                    poll,
+                });
+            }
+            g0 = g1;
+        }
+    }
+
+    /// The multi-worker execution path: the selected sessions are split
+    /// into contiguous chunks (cohort grouping preserved) and each chunk
+    /// runs its fused sweeps on its own thread and scratch (worker 0
+    /// borrows the pool's warm shared scratch; only workers 1.. get
+    /// extras). Sessions are disjoint, so output is bit-identical to the
+    /// serial path; this path allocates per drive (thread stacks and the
+    /// borrow table) and is therefore opt-in. See the lockstep NOTE on
+    /// [`run_attempts_serial`](Self::run_attempts_serial).
+    fn run_attempts_parallel(&mut self, round: u64, events: &mut Vec<SessionEvent>) {
+        let workers = self.cfg.workers.min(self.due.len());
+        while self.extra.len() + 1 < workers {
+            self.extra.push(DecoderScratch::new());
+        }
+        let mut by_index = self.due.clone();
+        by_index.sort_unstable();
+        let due = &self.due;
+        #[allow(clippy::type_complexity)]
+        let mut refs: Vec<(u32, &mut Managed<H, M, C, P>)> = self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let i = i as u32;
+                if by_index.binary_search(&i).is_ok() {
+                    s.as_mut().map(|m| (i, m))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        // Back into drive order (cohort-grouped).
+        refs.sort_unstable_by_key(|(i, m)| (m.key, *i));
+        debug_assert!(refs.iter().map(|(i, _)| *i).eq(due.iter().copied()));
+        let mut polls: Vec<Option<Poll>> = vec![None; refs.len()];
+        let chunk = refs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut refs_rest = refs.as_mut_slice();
+            let mut polls_rest = polls.as_mut_slice();
+            let scratches = std::iter::once(&mut self.shared)
+                .chain(self.extra.iter_mut())
+                .take(workers);
+            for scratch in scratches {
+                if refs_rest.is_empty() {
+                    break;
+                }
+                let take = chunk.min(refs_rest.len());
+                let (rc, rr) = std::mem::take(&mut refs_rest).split_at_mut(take);
+                refs_rest = rr;
+                let (pc, pr) = std::mem::take(&mut polls_rest).split_at_mut(take);
+                polls_rest = pr;
+                scope.spawn(move || {
+                    let mut g0 = 0usize;
+                    while g0 < rc.len() {
+                        let key = rc[g0].1.key;
+                        let mut g1 = g0 + 1;
+                        while g1 < rc.len() && rc[g1].1.key == key {
+                            g1 += 1;
+                        }
+                        for (_, m) in &mut rc[g0..g1] {
+                            m.rx.attempt_take();
+                        }
+                        for t in 0..key.n_levels {
+                            for (_, m) in &mut rc[g0..g1] {
+                                if m.rx.sweep_start() <= t {
+                                    m.rx.attempt_level(t, scratch);
+                                }
+                            }
+                        }
+                        for j in g0..g1 {
+                            let m = &mut rc[j].1;
+                            let consumed = m.absorbed;
+                            m.absorbed = 0;
+                            pc[j] = Some(m.rx.attempt_conclude(scratch, consumed));
+                            m.due_since = u64::MAX;
+                            m.last_active = round;
+                        }
+                        g0 = g1;
+                    }
+                });
+            }
+        });
+        for ((i, m), poll) in refs.iter().zip(polls) {
+            events.push(SessionEvent {
+                id: SessionId {
+                    index: *i,
+                    gen: m.gen,
+                },
+                poll: poll.expect("every selected attempt concluded"),
+            });
+        }
+    }
+
+    /// Evicts the coldest sessions' checkpoint stores until the pool
+    /// fits its memory budget.
+    fn enforce_budget(&mut self) {
+        if self.cfg.checkpoint_budget == usize::MAX {
+            return;
+        }
+        let mut total: usize = self.checkpoint_bytes();
+        while total > self.cfg.checkpoint_budget {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.as_ref().and_then(|m| {
+                        let bytes = m.rx.checkpoint_bytes();
+                        (bytes > 0).then_some((m.last_active, i, bytes))
+                    })
+                })
+                .min();
+            let Some((_, i, bytes)) = victim else { break };
+            self.slots[i]
+                .as_mut()
+                .expect("victim slot is live")
+                .rx
+                .evict_checkpoints();
+            self.evictions += 1;
+            total -= bytes;
+        }
+    }
+
+    fn resolve(&self, id: SessionId) -> Result<(), SpinalError> {
+        match self.slots.get(id.index as usize) {
+            Some(Some(m)) if m.gen == id.gen => Ok(()),
+            _ => Err(SpinalError::UnknownSession),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitVec;
+    use crate::code::SpinalCode;
+    use crate::decode::AwgnCost;
+    use crate::frame::AnyTerminator;
+    use crate::hash::Lookup3;
+    use crate::map::LinearMapper;
+    use crate::puncture::StridedPuncture;
+    use crate::session::{RxConfig, TxSession};
+
+    type Pool = MultiDecoder<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
+    type Tx = TxSession<Lookup3, LinearMapper, StridedPuncture>;
+    type Rx = RxSession<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
+
+    fn session_pair(seed: u64, msg: &BitVec, rx_cfg: RxConfig) -> (Tx, Rx) {
+        let code = SpinalCode::fig2(msg.len() as u32, seed).unwrap();
+        let tx = code.tx_session(msg).unwrap();
+        let rx = code
+            .awgn_rx_session(AnyTerminator::genie(msg.clone()), rx_cfg)
+            .unwrap();
+        (tx, rx)
+    }
+
+    fn msg(i: u8) -> BitVec {
+        BitVec::from_bytes(&[i ^ 0xa5, i.wrapping_mul(37), i ^ 0x3c])
+    }
+
+    /// Noiseless round-robin through the pool must match driving each
+    /// session alone, event for event.
+    #[test]
+    fn pool_polls_match_solo_sessions() {
+        for workers in [1usize, 3] {
+            let mut pool = Pool::new(MultiConfig {
+                workers,
+                ..MultiConfig::default()
+            });
+            let mut txs = Vec::new();
+            let mut ids = Vec::new();
+            let mut solo = Vec::new();
+            for i in 0..5u8 {
+                let m = msg(i);
+                let (tx, rx) = session_pair(100 + u64::from(i), &m, RxConfig::default());
+                let (_, rx2) = session_pair(100 + u64::from(i), &m, RxConfig::default());
+                txs.push(tx);
+                ids.push(pool.insert(rx));
+                solo.push(rx2);
+            }
+            let mut events = Vec::new();
+            for _round in 0..40 {
+                let mut expect = Vec::new();
+                for ((tx, &id), s) in txs.iter_mut().zip(&ids).zip(solo.iter_mut()) {
+                    if s.is_finished() {
+                        continue;
+                    }
+                    let (_slot, sym) = tx.next_symbol();
+                    pool.ingest(id, &[sym]).unwrap();
+                    expect.push((id, s.ingest(&[sym]).unwrap()));
+                }
+                pool.drive_into(&mut events);
+                assert_eq!(events.len(), expect.len());
+                for (id, poll) in expect {
+                    let ev = events
+                        .iter()
+                        .find(|e| e.id == id)
+                        .expect("event per session");
+                    assert_eq!(ev.poll, poll);
+                }
+                if solo.iter().all(|s| s.is_finished()) {
+                    break;
+                }
+            }
+            for (&id, s) in ids.iter().zip(&solo) {
+                assert!(s.is_finished(), "noiseless session must decode");
+                let p = pool.get(id).unwrap();
+                assert_eq!(p.payload(), s.payload());
+                assert_eq!(p.symbols(), s.symbols());
+                assert_eq!(p.attempts(), s.attempts());
+                assert_eq!(p.last_result().candidates, s.last_result().candidates);
+                assert_eq!(p.last_result().stats, s.last_result().stats);
+            }
+        }
+    }
+
+    /// Under a saturating cohort and a per-drive attempt cap, aging must
+    /// keep every session progressing — no starvation.
+    #[test]
+    fn capped_drives_starve_no_session() {
+        let mut pool = Pool::new(MultiConfig {
+            max_attempts_per_drive: 2,
+            ..MultiConfig::default()
+        });
+        let mut txs = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..8u8 {
+            let m = msg(i);
+            // A receiver bound to the wrong seed never accepts: the
+            // cohort saturates forever.
+            let code = SpinalCode::fig2(m.len() as u32, u64::from(i)).unwrap();
+            let wrong = SpinalCode::fig2(m.len() as u32, 1000 + u64::from(i)).unwrap();
+            txs.push(code.tx_session(&m).unwrap());
+            let rx = wrong
+                .awgn_rx_session(AnyTerminator::genie(m), RxConfig::default())
+                .unwrap();
+            ids.push(pool.insert(rx));
+        }
+        let mut events = Vec::new();
+        let mut served_rounds = vec![Vec::new(); ids.len()];
+        for round in 0..48u64 {
+            for (tx, &id) in txs.iter_mut().zip(&ids) {
+                let (_slot, sym) = tx.next_symbol();
+                pool.ingest(id, &[sym]).unwrap();
+            }
+            pool.drive_into(&mut events);
+            assert!(events.len() <= 2, "cap must bound attempts per drive");
+            for ev in &events {
+                let lane = ids.iter().position(|&i| i == ev.id).unwrap();
+                served_rounds[lane].push(round);
+            }
+        }
+        for (lane, rounds) in served_rounds.iter().enumerate() {
+            assert!(
+                rounds.len() >= 4,
+                "session {lane} starved: served only {} times",
+                rounds.len()
+            );
+            // The aging bound: no gap longer than the backlog drain time
+            // plus the aging threshold.
+            for w in rounds.windows(2) {
+                assert!(
+                    w[1] - w[0] <= AGING_ROUNDS + ids.len() as u64,
+                    "session {lane} waited {} rounds",
+                    w[1] - w[0]
+                );
+            }
+        }
+    }
+
+    /// A tight global budget must evict checkpoints — and change
+    /// nothing about the sessions' results.
+    #[test]
+    fn budget_eviction_preserves_results() {
+        let run = |budget: usize| {
+            let mut pool = Pool::new(MultiConfig {
+                checkpoint_budget: budget,
+                ..MultiConfig::default()
+            });
+            let mut txs = Vec::new();
+            let mut ids = Vec::new();
+            for i in 0..6u8 {
+                let m = msg(i);
+                let (tx, rx) = session_pair(500 + u64::from(i), &m, RxConfig::default());
+                txs.push(tx);
+                ids.push(pool.insert(rx));
+            }
+            let mut events = Vec::new();
+            for _ in 0..40 {
+                for (tx, &id) in txs.iter_mut().zip(&ids) {
+                    if pool.get(id).unwrap().is_finished() {
+                        continue;
+                    }
+                    let (_slot, sym) = tx.next_symbol();
+                    pool.ingest(id, &[sym]).unwrap();
+                }
+                pool.drive_into(&mut events);
+                if budget != usize::MAX {
+                    assert!(
+                        pool.checkpoint_bytes() <= budget,
+                        "budget violated after drive: {} > {budget}",
+                        pool.checkpoint_bytes()
+                    );
+                }
+                if ids.iter().all(|&id| pool.get(id).unwrap().is_finished()) {
+                    break;
+                }
+            }
+            let outcomes: Vec<_> = ids
+                .iter()
+                .map(|&id| {
+                    let s = pool.get(id).unwrap();
+                    (s.payload().cloned(), s.symbols(), s.attempts())
+                })
+                .collect();
+            (outcomes, pool.evictions())
+        };
+        let (unbounded, ev0) = run(usize::MAX);
+        assert_eq!(ev0, 0);
+        // A budget of one kilobyte cannot hold even one warm store.
+        let (tight, ev1) = run(1024);
+        assert!(ev1 > 0, "tight budget must evict");
+        assert_eq!(unbounded, tight, "eviction must never change results");
+        for (payload, _, _) in &unbounded {
+            assert!(payload.is_some(), "noiseless sessions must decode");
+        }
+    }
+
+    #[test]
+    fn ids_are_generational() {
+        let mut pool = Pool::new(MultiConfig::default());
+        let m = msg(1);
+        let (_, rx) = session_pair(1, &m, RxConfig::default());
+        let id = pool.insert(rx);
+        assert!(pool.get(id).is_some());
+        assert_eq!(pool.len(), 1);
+        let rx = pool.remove(id).unwrap();
+        assert!(pool.get(id).is_none());
+        assert_eq!(pool.remove(id).unwrap_err(), SpinalError::UnknownSession);
+        assert!(pool.is_empty());
+        let id2 = pool.insert(rx);
+        assert_eq!(id2.index, id.index, "slot is reused");
+        assert_ne!(id2.gen, id.gen, "generation advances");
+        assert!(pool.get(id).is_none(), "stale id must not resolve");
+        assert_eq!(
+            pool.ingest(id, &[]).unwrap_err(),
+            SpinalError::UnknownSession
+        );
+    }
+
+    /// Finished sessions raise `SessionFinished` through the pool, like
+    /// solo sessions do.
+    #[test]
+    fn finished_sessions_reject_ingest() {
+        let mut pool = Pool::new(MultiConfig::default());
+        let m = msg(9);
+        let (mut tx, rx) = session_pair(9, &m, RxConfig::default());
+        let id = pool.insert(rx);
+        let mut events = Vec::new();
+        loop {
+            let (_slot, sym) = tx.next_symbol();
+            pool.ingest(id, &[sym]).unwrap();
+            pool.drive_into(&mut events);
+            if matches!(events.first().map(|e| e.poll), Some(Poll::Decoded { .. })) {
+                break;
+            }
+        }
+        assert_eq!(
+            pool.ingest(id, &[]).unwrap_err(),
+            SpinalError::SessionFinished
+        );
+        let rx = pool.remove(id).unwrap();
+        assert_eq!(rx.payload(), Some(&m));
+    }
+}

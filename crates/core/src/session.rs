@@ -390,6 +390,10 @@ pub struct RxSession<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: Punctu
     attempts: u32,
     next_attempt: u64,
     state: RxState,
+    /// Resume level of the in-flight split attempt (scheduler path).
+    sweep_start: u32,
+    /// Work counters of the in-flight split attempt (scheduler path).
+    sweep_stats: crate::decode::DecodeStats,
 }
 
 impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSession<H, M, C, P> {
@@ -432,6 +436,8 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
             attempts: 0,
             next_attempt: 1,
             state: RxState::Listening,
+            sweep_start: 0,
+            sweep_stats: crate::decode::DecodeStats::default(),
         })
     }
 
@@ -499,6 +505,10 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
         } else {
             self.obs.clear();
         }
+        // Keep the stored config normalized to the decoder that runs
+        // (the same rule as `new`), so `config()` readers — including
+        // the pool's cohort grouping — never see a stale beam shape.
+        self.cfg.beam = *decoder.config();
         self.decoder = decoder;
         self.ckpt.reset();
         self.slots.clear();
@@ -538,16 +548,8 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
     /// Returns [`SpinalError::SessionFinished`] if a terminal poll was
     /// already returned.
     pub fn ingest(&mut self, symbols: &[M::Symbol]) -> Result<Poll, SpinalError> {
-        if self.state != RxState::Listening {
-            return Err(SpinalError::SessionFinished);
-        }
-        for &sym in symbols {
-            let slot = self.next_slot();
-            self.obs.push(slot, sym);
-            self.dirty_from = self.dirty_from.min(slot.t);
-        }
-        self.symbols += symbols.len() as u64;
-        Ok(self.poll_after_ingest(symbols.len()))
+        let consumed = self.absorb(symbols)?;
+        Ok(self.poll_after_ingest(consumed))
     }
 
     /// Like [`ingest`](Self::ingest) for explicitly slot-labelled
@@ -562,6 +564,33 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
     /// and [`SpinalError::SlotOutOfRange`] (before consuming anything)
     /// when a slot addresses a spine position outside the code.
     pub fn ingest_at(&mut self, symbols: &[(Slot, M::Symbol)]) -> Result<Poll, SpinalError> {
+        let consumed = self.absorb_at(symbols)?;
+        Ok(self.poll_after_ingest(consumed))
+    }
+
+    /// Records symbols (slot-labelled by the schedule cursor) without
+    /// running a decode attempt — the scheduler half of
+    /// [`ingest`](Self::ingest): a [`crate::sched::MultiDecoder`]
+    /// absorbs arrivals as they come and batches the attempts at its
+    /// next drive.
+    pub(crate) fn absorb(&mut self, symbols: &[M::Symbol]) -> Result<usize, SpinalError> {
+        if self.state != RxState::Listening {
+            return Err(SpinalError::SessionFinished);
+        }
+        for &sym in symbols {
+            let slot = self.next_slot();
+            self.obs.push(slot, sym);
+            self.dirty_from = self.dirty_from.min(slot.t);
+        }
+        self.symbols += symbols.len() as u64;
+        Ok(symbols.len())
+    }
+
+    /// [`absorb`](Self::absorb) for explicitly slot-labelled symbols.
+    pub(crate) fn absorb_at(
+        &mut self,
+        symbols: &[(Slot, M::Symbol)],
+    ) -> Result<usize, SpinalError> {
         if self.state != RxState::Listening {
             return Err(SpinalError::SessionFinished);
         }
@@ -577,11 +606,11 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
             self.dirty_from = self.dirty_from.min(slot.t);
         }
         self.symbols += symbols.len() as u64;
-        Ok(self.poll_after_ingest(symbols.len()))
+        Ok(symbols.len())
     }
 
     fn poll_after_ingest(&mut self, consumed: usize) -> Poll {
-        if self.dirty_from != u32::MAX && self.symbols >= self.next_attempt {
+        if self.attempt_due() {
             self.attempts += 1;
             let dirty = self.dirty_from;
             self.dirty_from = u32::MAX;
@@ -592,16 +621,122 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
                 &mut self.scratch,
                 &mut self.result,
             );
-            if self.terminator.accept_into(&self.result, &mut self.payload) {
-                self.state = RxState::Decoded;
+            if self.settle_attempt() {
                 return Poll::Decoded {
                     symbols_used: self.symbols,
                     attempts: self.attempts,
                 };
             }
+        }
+        self.poll_without_attempt(consumed)
+    }
+
+    /// `true` when the next [`Poll`] evaluation would run a decode
+    /// attempt: something arrived since the last attempt and the
+    /// thinning schedule is due.
+    pub(crate) fn attempt_due(&self) -> bool {
+        self.state == RxState::Listening
+            && self.dirty_from != u32::MAX
+            && self.symbols >= self.next_attempt
+    }
+
+    /// `true` while no terminal poll has been returned.
+    pub(crate) fn is_listening(&self) -> bool {
+        self.state == RxState::Listening
+    }
+
+    /// Tree levels the next attempt would actually expand — the
+    /// scheduler's cheapest-retry-first priority signal (fewer levels =
+    /// cheaper retry). Exact when an attempt is due; `n_levels` after a
+    /// reset.
+    pub(crate) fn levels_to_run(&self) -> u32 {
+        let n_levels = self.obs.n_levels();
+        let resume = self
+            .dirty_from
+            .min(n_levels)
+            .min(self.ckpt.valid_levels().saturating_sub(1));
+        n_levels - resume
+    }
+
+    /// Takes the due attempt: bumps the counters, consumes the dirty
+    /// mark, and restores the resume frontier. Must be followed by
+    /// [`attempt_level`](Self::attempt_level) for every level from
+    /// [`sweep_start`](Self::sweep_start) and
+    /// [`attempt_conclude`](Self::attempt_conclude) — together these are
+    /// exactly the [`ingest`](Self::ingest) attempt decomposed, so the
+    /// scheduler path is bit-identical to solo ingestion.
+    pub(crate) fn attempt_take(&mut self) {
+        debug_assert!(self.attempt_due());
+        self.attempts += 1;
+        let dirty = self.dirty_from;
+        self.dirty_from = u32::MAX;
+        let (start, stats) =
+            self.decoder
+                .attempt_begin(&self.obs, dirty, &mut self.ckpt, &mut self.scratch);
+        self.sweep_start = start;
+        self.sweep_stats = stats;
+    }
+
+    /// The level the in-flight split attempt resumes from.
+    pub(crate) fn sweep_start(&self) -> u32 {
+        self.sweep_start
+    }
+
+    /// Runs level `t` of the in-flight split attempt, borrowing the
+    /// expansion buffers from `shared` (one scratch serves a whole
+    /// cohort).
+    pub(crate) fn attempt_level(&mut self, t: u32, shared: &mut DecoderScratch) {
+        self.decoder.attempt_level(
+            t,
+            &self.obs,
+            &mut self.ckpt,
+            &mut self.scratch,
+            shared,
+            &mut self.sweep_stats,
+        );
+    }
+
+    /// Concludes the in-flight split attempt: ranks the survivors, runs
+    /// the terminator, and returns the same [`Poll`] a solo
+    /// [`ingest`](Self::ingest) of the absorbed symbols would have
+    /// (`consumed` is echoed in `NeedMore`).
+    pub(crate) fn attempt_conclude(
+        &mut self,
+        shared: &mut DecoderScratch,
+        consumed: usize,
+    ) -> Poll {
+        self.decoder.attempt_finish(
+            &mut self.ckpt,
+            &mut self.scratch,
+            shared,
+            self.sweep_stats,
+            &mut self.result,
+        );
+        if self.settle_attempt() {
+            return Poll::Decoded {
+                symbols_used: self.symbols,
+                attempts: self.attempts,
+            };
+        }
+        self.poll_without_attempt(consumed)
+    }
+
+    /// Terminator check + attempt-schedule advance shared by the solo
+    /// and scheduler paths. Returns `true` on acceptance.
+    fn settle_attempt(&mut self) -> bool {
+        if self.terminator.accept_into(&self.result, &mut self.payload) {
+            self.state = RxState::Decoded;
+            true
+        } else {
             self.next_attempt = (self.symbols + 1)
                 .max((self.symbols as f64 * self.cfg.attempt_growth).ceil() as u64);
+            false
         }
+    }
+
+    /// The poll tail when no attempt ran (or the attempt was rejected):
+    /// the symbol-budget check, then `NeedMore`.
+    pub(crate) fn poll_without_attempt(&mut self, consumed: usize) -> Poll {
         if self.symbols >= self.cfg.max_symbols {
             self.state = RxState::Exhausted;
             return Poll::Exhausted {
@@ -611,6 +746,30 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
         Poll::NeedMore {
             symbols_consumed: consumed,
         }
+    }
+
+    /// Heap bytes held by this session's checkpoint store (the figure a
+    /// pool-level memory budget accounts against).
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.ckpt.memory_bytes()
+    }
+
+    /// Frees the checkpoint store's memory (the scheduler's eviction
+    /// path). The next retry decodes from scratch — results are
+    /// bit-identical, only the work changes.
+    pub fn evict_checkpoints(&mut self) {
+        self.ckpt.release();
+    }
+
+    /// The session's resource configuration (with `beam` normalized to
+    /// the decoder's).
+    pub fn config(&self) -> &RxConfig {
+        &self.cfg
+    }
+
+    /// The decoder this session runs attempts on.
+    pub fn decoder(&self) -> &BeamDecoder<H, M, C> {
+        &self.decoder
     }
 }
 

@@ -19,27 +19,39 @@ use spinal_core::hash::AnyHash;
 use spinal_core::map::AnyIqMapper;
 use spinal_core::params::CodeParams;
 use spinal_core::puncture::AnySchedule;
+use spinal_core::sched::{MultiConfig, MultiDecoder, SessionEvent, SessionId};
 use spinal_core::session::{Poll, RxConfig, RxSession, TxSession};
 use spinal_core::{AwgnCost, BitVec, Encoder, SpinalError};
 use spinal_sim::engine::{Accumulate, Scenario, SimEngine, Trial};
 use spinal_sim::stats::{derive_seed, RunningStats};
 
-/// One frame in flight: a sender/receiver session pair plus protocol
-/// timestamps. The receiver session's checkpoint store makes the
-/// per-symbol decode attempts incremental — under `NoPuncture`, a
-/// symbol at spine position `t` resumes the tree sweep at level `t`
-/// instead of level 0.
+/// The receiver pool type: every in-flight frame's session lives in one
+/// [`MultiDecoder`], so the window's same-shape sessions decode through
+/// a single shared scratch (fused cohort sweeps) instead of one cold
+/// scratch per frame.
+type RxPool = MultiDecoder<AnyHash, AnyIqMapper, AwgnCost, AnySchedule>;
+
+/// One frame in flight: the sender session, the pool id of its receiver
+/// session, and protocol timestamps. The receiver's checkpoint store
+/// makes the per-symbol decode attempts incremental — under
+/// `NoPuncture`, a symbol at spine position `t` resumes the tree sweep
+/// at level `t` instead of level 0.
 struct ActiveFrame {
     message: BitVec,
     tx: TxSession<AnyHash, AnyIqMapper, AnySchedule>,
-    rx: RxSession<AnyHash, AnyIqMapper, AwgnCost, AnySchedule>,
+    rx_id: SessionId,
     first_sent_at: Option<u64>,
     decoded_at: Option<u64>,
     ack_due: Option<u64>,
 }
 
 impl ActiveFrame {
-    fn new(cfg: &LinkConfig, seed: u64, frame_idx: u32) -> Result<Self, SpinalError> {
+    fn new(
+        cfg: &LinkConfig,
+        pool: &mut RxPool,
+        seed: u64,
+        frame_idx: u32,
+    ) -> Result<Self, SpinalError> {
         let code_seed = derive_seed(seed, 60, u64::from(frame_idx));
         let msg_seed = derive_seed(seed, 61, u64::from(frame_idx));
         let params = CodeParams::builder()
@@ -54,11 +66,11 @@ impl ActiveFrame {
             Encoder::new(&params, hash, cfg.mapper.clone(), &message)?,
             cfg.schedule.clone(),
         );
-        let rx = code_rx(cfg, &params, hash, &message)?;
+        let rx_id = pool.insert(code_rx(cfg, &params, hash, &message)?);
         Ok(Self {
             message,
             tx,
-            rx,
+            rx_id,
             first_sent_at: None,
             decoded_at: None,
             ack_due: None,
@@ -117,10 +129,15 @@ pub fn simulate_link(
         symbols_to_decode: RunningStats::new(),
     };
 
+    // All in-flight receiver sessions share one decoder pool: the
+    // window is a same-shape cohort, so every decode attempt runs
+    // through the pool's single hot scratch.
+    let mut pool = RxPool::new(MultiConfig::default());
+    let mut events: Vec<SessionEvent> = Vec::new();
     let mut next_frame_idx: u32 = 0;
     let mut window: Vec<ActiveFrame> = Vec::new();
     while window.len() < cfg.frames_in_flight as usize && next_frame_idx < n_frames {
-        window.push(ActiveFrame::new(cfg, seed, next_frame_idx)?);
+        window.push(ActiveFrame::new(cfg, &mut pool, seed, next_frame_idx)?);
         next_frame_idx += 1;
     }
 
@@ -133,12 +150,13 @@ pub fn simulate_link(
         while i < window.len() {
             if window[i].ack_due.is_some_and(|due| due <= now) {
                 let frame = window.swap_remove(i);
+                pool.remove(frame.rx_id).expect("delivered frame is live");
                 report.frames_delivered += 1;
                 let decoded_at = frame.decoded_at.expect("ACK implies decode");
                 let first = frame.first_sent_at.expect("decoded implies sent");
                 report.decode_latency.push((decoded_at - first) as f64);
                 if next_frame_idx < n_frames {
-                    window.push(ActiveFrame::new(cfg, seed, next_frame_idx)?);
+                    window.push(ActiveFrame::new(cfg, &mut pool, seed, next_frame_idx)?);
                     next_frame_idx += 1;
                 }
             } else {
@@ -158,14 +176,22 @@ pub fn simulate_link(
         report.symbols_sent += 1;
         frame.first_sent_at.get_or_insert(now);
 
-        // 3. Receiver side (only until the frame decodes). The session
-        // labels the symbol, runs the (incremental, thinned) decode
-        // attempt, and reports acceptance or budget exhaustion.
+        // 3. Receiver side (only until the frame decodes). The pool
+        // labels the symbol and its drive runs the (incremental,
+        // thinned) decode attempt, reporting acceptance or budget
+        // exhaustion through the session's event.
         if frame.decoded_at.is_none() {
-            match frame.rx.ingest(&[y]).expect("frame still listening") {
+            pool.ingest(frame.rx_id, &[y])
+                .expect("frame still listening");
+            pool.drive_into(&mut events);
+            debug_assert_eq!(events.len(), 1, "one active session per tick");
+            match events[0].poll {
                 Poll::NeedMore { .. } => {}
                 Poll::Decoded { symbols_used, .. } => {
-                    debug_assert_eq!(frame.rx.payload(), Some(&frame.message));
+                    debug_assert_eq!(
+                        pool.get(frame.rx_id).expect("frame session live").payload(),
+                        Some(&frame.message)
+                    );
                     frame.decoded_at = Some(now);
                     frame.ack_due = Some(now + cfg.feedback_delay);
                     report.symbols_to_decode.push(symbols_used as f64);
@@ -173,10 +199,11 @@ pub fn simulate_link(
                 Poll::Exhausted { .. } => {
                     // Abort hopeless frames.
                     let idx = rr - 1;
-                    window.swap_remove(idx);
+                    let frame = window.swap_remove(idx);
+                    pool.remove(frame.rx_id).expect("aborted frame is live");
                     report.frames_aborted += 1;
                     if next_frame_idx < n_frames {
-                        window.push(ActiveFrame::new(cfg, seed, next_frame_idx)?);
+                        window.push(ActiveFrame::new(cfg, &mut pool, seed, next_frame_idx)?);
                         next_frame_idx += 1;
                     }
                 }

@@ -131,6 +131,31 @@ pub trait Scenario: Sync {
     /// information between trials that affects results (buffers carry
     /// *capacity*, never *content*).
     fn run_trial(&self, trial: Trial, worker: &mut Self::Worker, acc: &mut Self::Acc);
+
+    /// Runs one contiguous chunk of trials. The default is the obvious
+    /// loop over [`run_trial`](Self::run_trial); scenarios that serve
+    /// many concurrent decoder sessions override this to batch the
+    /// chunk's trials through one multi-session scheduler
+    /// (`spinal_core::sched::MultiDecoder`), which amortizes beam
+    /// expansion across them. Overrides **must** accumulate results in
+    /// ascending trial order and produce an accumulator bit-identical to
+    /// the default loop — trials are independent, so concurrency is an
+    /// execution detail, never a semantic.
+    fn run_chunk(
+        &self,
+        indices: std::ops::Range<u64>,
+        master_seed: u64,
+        worker: &mut Self::Worker,
+        acc: &mut Self::Acc,
+    ) {
+        for index in indices {
+            let trial = Trial {
+                index,
+                seed: trial_seed(master_seed, index),
+            };
+            self.run_trial(trial, worker, acc);
+        }
+    }
 }
 
 /// The counter-based per-trial seed: `SplitMix(master_seed, index)`.
@@ -222,13 +247,7 @@ impl SimEngine {
         };
         let run_chunk = |ci: u64, worker: &mut S::Worker| {
             let mut acc = scenario.empty_acc();
-            for index in chunk_range(ci) {
-                let trial = Trial {
-                    index,
-                    seed: trial_seed(master_seed, index),
-                };
-                scenario.run_trial(trial, worker, &mut acc);
-            }
+            scenario.run_chunk(chunk_range(ci), master_seed, worker, &mut acc);
             acc
         };
 

@@ -39,8 +39,8 @@ fn allocations() -> u64 {
 }
 
 use spinal_codes::{
-    AnyTerminator, BeamConfig, BeamDecoder, BitVec, CodeParams, Lookup3, NoPuncture, Poll,
-    RxConfig, RxSession, TxSession,
+    AnyTerminator, BeamConfig, BeamDecoder, BitVec, CodeParams, Lookup3, MultiConfig, MultiDecoder,
+    NoPuncture, Poll, RxConfig, RxSession, SessionEvent, TxSession,
 };
 use spinal_core::map::LinearMapper;
 use spinal_core::{AwgnCost, Encoder};
@@ -136,5 +136,92 @@ fn steady_state_session_cycle_performs_zero_heap_allocation() {
     assert!(
         rx.checkpoints().levels_resumed() > 0,
         "per-symbol retries must resume from checkpoints"
+    );
+
+    // ---- Multi-session scheduler: a warm cohort's ingest/drive cycle
+    // must be equally allocation-free (the per-connection cost model of
+    // a pool serving many receivers: allocation only at establishment).
+    const POOL_SESSIONS: usize = 4;
+    let mut pool: MultiDecoder<Lookup3, LinearMapper, AwgnCost, NoPuncture> =
+        MultiDecoder::new(MultiConfig::default());
+    let mut txs: Vec<TxSession<Lookup3, LinearMapper, NoPuncture>> = (0..POOL_SESSIONS as u64)
+        .map(|s| {
+            TxSession::new(
+                Encoder::new(
+                    &base.reseeded(s),
+                    Lookup3::new(s),
+                    mapper,
+                    &messages[s as usize],
+                )
+                .unwrap(),
+                NoPuncture::new(),
+            )
+        })
+        .collect();
+    let ids: Vec<_> = (0..POOL_SESSIONS)
+        .map(|s| {
+            pool.insert(
+                RxSession::new(
+                    decoders[s].clone(),
+                    NoPuncture::new(),
+                    AnyTerminator::genie(messages[s].clone()),
+                    RxConfig {
+                        beam,
+                        max_symbols: 4096,
+                        attempt_growth: 1.0,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+    let mut events: Vec<SessionEvent> = Vec::new();
+    // One pooled trial: rebind every lane to `base_seed + lane`, stream
+    // one noiseless symbol per session per drive until all decode.
+    let run_pool_trial = |pool: &mut MultiDecoder<Lookup3, LinearMapper, AwgnCost, NoPuncture>,
+                          txs: &mut Vec<TxSession<Lookup3, LinearMapper, NoPuncture>>,
+                          events: &mut Vec<SessionEvent>,
+                          base_seed: u64| {
+        for (lane, (tx, &id)) in txs.iter_mut().zip(&ids).enumerate() {
+            let seed = (base_seed + lane as u64) % 6;
+            let msg = &messages[seed as usize];
+            tx.rebind(&base.reseeded(seed), Lookup3::new(seed), msg)
+                .unwrap();
+            pool.rebind(id, decoders[seed as usize].clone()).unwrap();
+            let rx = pool.get_mut(id).unwrap();
+            rx.terminator_mut().genie_mut().unwrap().set_truth(msg);
+        }
+        let mut live = POOL_SESSIONS;
+        while live > 0 {
+            for (tx, &id) in txs.iter_mut().zip(&ids) {
+                if pool.get(id).unwrap().is_finished() {
+                    continue;
+                }
+                let (_slot, x) = tx.next_symbol();
+                pool.ingest(id, &[x]).unwrap();
+            }
+            pool.drive_into(events);
+            live -= events
+                .iter()
+                .filter(|e| matches!(e.poll, Poll::Decoded { .. }))
+                .count();
+        }
+    };
+
+    // Warm-up sizes the pool's shared scratch, event/due lists, and
+    // every lane's buffers.
+    run_pool_trial(&mut pool, &mut txs, &mut events, 0);
+    run_pool_trial(&mut pool, &mut txs, &mut events, 1);
+
+    let before = allocations();
+    for base_seed in 2..6u64 {
+        run_pool_trial(&mut pool, &mut txs, &mut events, base_seed);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state multi-session cycle must not allocate (saw {} allocations)",
+        after - before
     );
 }
