@@ -16,8 +16,9 @@
 //! directory so future PRs have a hash-layer perf trajectory.
 
 use criterion::{criterion_group, Criterion};
-use spinal_bench::measure_hash_families;
+use spinal_bench::{measure_hash_families, BenchSummary};
 use spinal_core::hash::{AnyHash, HashFamily, SpineHash};
+use spinal_core::kernels::KernelDispatch;
 use std::hint::black_box;
 
 const FAMILIES: [HashFamily; 4] = [
@@ -56,26 +57,39 @@ fn bench_hash(c: &mut Criterion) {
 
 /// Renders `BENCH_hash.json` from the shared measurement in
 /// [`spinal_bench::measure_hash_families`] (the same numbers
-/// `bench_sim_engine` reports, by construction).
+/// `bench_sim_engine` reports, by construction), under the shared
+/// `benchmark`/`config` schema every `BENCH_*.json` artifact carries.
 fn write_json() {
-    let rows = measure_hash_families(0xfeed);
-    let mut json = String::from("{\n  \"bench\": \"hash_throughput\",\n  \"families\": {\n");
+    const SEED: u64 = 0xfeed;
+    let rows = measure_hash_families(SEED);
+    let mut json = BenchSummary::new("hash_throughput", SEED, spinal_bench::HASH_BENCH_ROUNDS)
+        .config("slab", spinal_bench::HASH_BENCH_SLAB)
+        .config_str("kernel_dispatch", KernelDispatch::detect().as_str())
+        .config_str(
+            "shapes",
+            "chain = dependent scalar; scalar = independent scalar; batch = SIMD-dispatched; batch_scalar = batch pinned to scalar lanes",
+        )
+        .render_header();
+    json.push_str("  \"families\": {\n");
     for (i, r) in rows.iter().enumerate() {
         println!(
-            "{:<16} chain {:7.2} ns  scalar {:7.2} ns  batch {:7.2} ns  ({:.2}x)",
-            r.name,
-            r.chain_ns,
-            r.scalar_ns,
-            r.batch_ns,
-            r.batch_speedup()
-        );
-        json.push_str(&format!(
-            "    \"{}\": {{\"chain_ns\": {:.3}, \"scalar_ns\": {:.3}, \"batch_ns\": {:.3}, \"batch_speedup\": {:.2}}}{}\n",
+            "{:<16} chain {:7.2} ns  scalar {:7.2} ns  batch {:7.2} ns ({:.2}x)  kernel {:.2}x",
             r.name,
             r.chain_ns,
             r.scalar_ns,
             r.batch_ns,
             r.batch_speedup(),
+            r.kernel_speedup(),
+        );
+        json.push_str(&format!(
+            "    \"{}\": {{\"chain_ns\": {:.3}, \"scalar_ns\": {:.3}, \"batch_ns\": {:.3}, \"batch_scalar_ns\": {:.3}, \"batch_speedup\": {:.2}, \"kernel_speedup\": {:.2}}}{}\n",
+            r.name,
+            r.chain_ns,
+            r.scalar_ns,
+            r.batch_ns,
+            r.batch_scalar_ns,
+            r.batch_speedup(),
+            r.kernel_speedup(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

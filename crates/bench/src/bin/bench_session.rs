@@ -19,7 +19,7 @@
 //! asserted). Writes `BENCH_session.json`; options: `--trials N`
 //! (measurement rounds, default 30), `--seed S`, `--quick`.
 
-use spinal_bench::{banner, RunArgs};
+use spinal_bench::{banner, deep_first_grid, print_deep_first_grid, DeepFirstPoint, RunArgs};
 use spinal_channel::{AwgnChannel, Channel};
 use spinal_core::bits::BitVec;
 use spinal_core::decode::{
@@ -381,14 +381,35 @@ fn main() {
         }
     }
 
-    let json = render_json(&args, rounds, &points, &probe);
+    // Deep-first coverage validation (ROADMAP): the probe above shows
+    // deep-first wins retry cost at ONE operating point; this grid
+    // sweeps SNR × message length so the promote-or-keep-opt-in call is
+    // made on coverage, not a single cell. Shared with the
+    // `ablation_puncturing` binary.
+    println!("# deep-first coverage grid: mean achieved rate (higher = fewer symbols)");
+    let grid_trials = if args.quick { 12 } else { 60 };
+    let grid = deep_first_grid(&args, grid_trials);
+    let win_fraction = print_deep_first_grid(&grid);
+    println!(
+        "# deep-first matches/beats bit-reversed coverage in {:.0}% of cells",
+        100.0 * win_fraction
+    );
+
+    let json = render_json(&args, rounds, &points, &probe, &grid, grid_trials);
     std::fs::write("BENCH_session.json", &json).expect("write BENCH_session.json");
     println!("# wrote BENCH_session.json");
 }
 
 /// Hand-rendered JSON (the workspace carries no serialization
 /// dependency).
-fn render_json(args: &RunArgs, rounds: u32, points: &[Point], probe: &[ProbePoint]) -> String {
+fn render_json(
+    args: &RunArgs,
+    rounds: u32,
+    points: &[Point],
+    probe: &[ProbePoint],
+    grid: &[DeepFirstPoint],
+    grid_trials: u32,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"session_incremental_retry\",\n");
@@ -428,6 +449,20 @@ fn render_json(args: &RunArgs, rounds: u32, points: &[Point], probe: &[ProbePoin
             if i + 1 == probe.len() { "" } else { "," },
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"deep_first_grid\": {{\n    \"config\": {{\"k\": 4, \"c\": 8, \"beam\": 16, \"stride\": 8, \"trials\": {grid_trials}}},\n    \"points\": [\n"
+    ));
+    for (i, p) in grid.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"snr_db\": {:.1}, \"message_bits\": {}, \"bit_reversed_rate\": {:.4}, \"deep_first_rate\": {:.4}}}{}\n",
+            p.snr_db,
+            p.message_bits,
+            p.bit_reversed_rate,
+            p.deep_first_rate,
+            if i + 1 == grid.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }

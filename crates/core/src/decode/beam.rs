@@ -65,9 +65,11 @@
 use crate::bits::BitVec;
 use crate::decode::batch::{self, ObsRead, PackedMask};
 use crate::decode::cost::CostModel;
+use crate::decode::select::{self, cost_key, SelectMode, SelectScratch};
 use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
 use crate::error::SpinalError;
 use crate::hash::SpineHash;
+use crate::kernels::{self, KernelDispatch};
 use crate::map::Mapper;
 use crate::params::CodeParams;
 use crate::spine::INITIAL_SPINE;
@@ -140,14 +142,19 @@ impl Default for BeamConfig {
 /// symbol type and may be shared between them sequentially.
 #[derive(Clone, Debug, Default)]
 pub struct DecoderScratch {
-    /// Current frontier, one entry per retained hypothesis.
+    /// Current frontier, one entry per retained hypothesis. `keys`
+    /// mirrors `costs` through the order-preserving integer transform
+    /// ([`crate::decode::select::cost_key`]); every ranking reads keys,
+    /// never floats.
     spines: Vec<u64>,
     costs: Vec<f64>,
+    keys: Vec<u64>,
     parents: Vec<u32>,
     segs: Vec<u16>,
     /// Child buffers the frontier expands into (swapped per level).
     next_spines: Vec<u64>,
     next_costs: Vec<f64>,
+    next_keys: Vec<u64>,
     next_parents: Vec<u32>,
     next_segs: Vec<u16>,
     /// Backtracking arena of committed `(parent, segment)` records.
@@ -167,6 +174,8 @@ pub struct DecoderScratch {
     seg_ids: Vec<u64>,
     /// Index ordering used by the partial selections.
     order: Vec<u32>,
+    /// Radix-select partition buffers.
+    selector: SelectScratch,
     /// Segment buffer for backtracking.
     path: Vec<u16>,
 }
@@ -434,6 +443,7 @@ enum PlanSource<'a> {
 struct Frontier<'a> {
     spines: &'a mut Vec<u64>,
     costs: &'a mut Vec<f64>,
+    keys: &'a mut Vec<u64>,
     parents: &'a mut Vec<u32>,
     segs: &'a mut Vec<u16>,
 }
@@ -444,11 +454,13 @@ struct Frontier<'a> {
 struct ExpandScratch<'a> {
     spines: &'a mut Vec<u64>,
     costs: &'a mut Vec<f64>,
+    keys: &'a mut Vec<u64>,
     parents: &'a mut Vec<u32>,
     segs: &'a mut Vec<u16>,
     blocks: &'a mut Vec<u64>,
     seg_ids: &'a mut Vec<u64>,
     order: &'a mut Vec<u32>,
+    selector: &'a mut SelectScratch,
 }
 
 impl DecoderScratch {
@@ -457,6 +469,7 @@ impl DecoderScratch {
         Frontier {
             spines: &mut self.spines,
             costs: &mut self.costs,
+            keys: &mut self.keys,
             parents: &mut self.parents,
             segs: &mut self.segs,
         }
@@ -467,11 +480,13 @@ impl DecoderScratch {
         ExpandScratch {
             spines: &mut self.next_spines,
             costs: &mut self.next_costs,
+            keys: &mut self.next_keys,
             parents: &mut self.next_parents,
             segs: &mut self.next_segs,
             blocks: &mut self.blocks,
             seg_ids: &mut self.seg_ids,
             order: &mut self.order,
+            selector: &mut self.selector,
         }
     }
 
@@ -483,17 +498,20 @@ impl DecoderScratch {
             Frontier {
                 spines: &mut self.spines,
                 costs: &mut self.costs,
+                keys: &mut self.keys,
                 parents: &mut self.parents,
                 segs: &mut self.segs,
             },
             ExpandScratch {
                 spines: &mut self.next_spines,
                 costs: &mut self.next_costs,
+                keys: &mut self.next_keys,
                 parents: &mut self.next_parents,
                 segs: &mut self.next_segs,
                 blocks: &mut self.blocks,
                 seg_ids: &mut self.seg_ids,
                 order: &mut self.order,
+                selector: &mut self.selector,
             },
             &mut self.path,
         )
@@ -541,6 +559,13 @@ pub struct BeamDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> {
     /// construction (env reads allocate; the decode hot path must not).
     #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
     parallel_workers: usize,
+    /// SIMD tier for the integer kernels, resolved once at construction
+    /// (feature detection is cached but still an atomic load; the hot
+    /// path reads a field instead).
+    kernel_dispatch: KernelDispatch,
+    /// Top-B selection algorithm (radix above the size threshold by
+    /// default; the comparator everywhere as a bench/test baseline).
+    select_mode: SelectMode,
 }
 
 impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
@@ -566,12 +591,38 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             cost: cost.clone(),
             config,
             parallel_workers: default_parallel_workers(),
+            kernel_dispatch: KernelDispatch::detect(),
+            select_mode: SelectMode::Auto,
         })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &BeamConfig {
         &self.config
+    }
+
+    /// The SIMD tier this decoder's integer kernels run on (also
+    /// reported per decode in [`DecodeStats::kernel_dispatch`]).
+    pub fn kernel_dispatch(&self) -> KernelDispatch {
+        self.kernel_dispatch
+    }
+
+    /// Pins the integer kernels to a specific SIMD tier. Every tier is
+    /// **bit-identical** (the point of integer kernels); this is the
+    /// override the benches and the CI scalar-equivalence self-check
+    /// use. Tiers the CPU cannot execute silently fall back to scalar.
+    pub fn with_kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.kernel_dispatch = dispatch;
+        self
+    }
+
+    /// Pins the top-B selection algorithm (default
+    /// [`SelectMode::Auto`]). [`SelectMode::Comparator`] restores the
+    /// pre-cost-engine `select_nth_unstable` path — bit-identical, used
+    /// as the bench baseline.
+    pub fn with_select_mode(mut self, mode: SelectMode) -> Self {
+        self.select_mode = mode;
+        self
     }
 
     /// The code parameters this decoder was built for.
@@ -644,10 +695,12 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let DecoderScratch {
             spines,
             costs,
+            keys,
             parents,
             segs,
             next_spines,
             next_costs,
+            next_keys,
             next_parents,
             next_segs,
             arena_parents,
@@ -658,10 +711,19 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             blocks,
             seg_ids,
             order,
+            selector,
             path,
         } = scratch;
-        init_root(spines, costs, parents, segs, arena_parents, arena_segs);
-        let mut stats = fresh_stats();
+        init_root(
+            spines,
+            costs,
+            keys,
+            parents,
+            segs,
+            arena_parents,
+            arena_segs,
+        );
+        let mut stats = fresh_stats(self.kernel_dispatch);
         let mut plans = PlanSource::Scratch {
             block_ids,
             reads,
@@ -674,17 +736,20 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 Frontier {
                     spines: &mut *spines,
                     costs: &mut *costs,
+                    keys: &mut *keys,
                     parents: &mut *parents,
                     segs: &mut *segs,
                 },
                 ExpandScratch {
                     spines: &mut *next_spines,
                     costs: &mut *next_costs,
+                    keys: &mut *next_keys,
                     parents: &mut *next_parents,
                     segs: &mut *next_segs,
                     blocks: &mut *blocks,
                     seg_ids: &mut *seg_ids,
                     order: &mut *order,
+                    selector: &mut *selector,
                 },
                 arena_parents,
                 arena_segs,
@@ -697,6 +762,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             Frontier {
                 spines,
                 costs,
+                keys,
                 parents,
                 segs,
             },
@@ -704,6 +770,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             arena_segs,
             None,
             order,
+            selector,
             path,
             stats,
             out,
@@ -749,7 +816,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             self.ckpt_level(t, obs, ckpt, fr, ex, &mut stats);
         }
         let (fr, ex, path) = scratch.split_mut();
-        self.ckpt_finish(ckpt, fr, ex.order, path, stats, out);
+        self.ckpt_finish(ckpt, fr, ex.order, ex.selector, path, stats, out);
     }
 
     /// First third of an incremental attempt: validates/refreshes the
@@ -789,18 +856,22 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         }
 
         let init_stats = if start == 0 {
-            fresh_stats()
+            fresh_stats(self.kernel_dispatch)
         } else {
             ckpt.saved.levels[start as usize].stats
         };
         if start > 0 {
             // Restore the frontier entering `start` and roll the arena
-            // back to what was committed before it.
+            // back to what was committed before it. Keys are a pure
+            // function of the costs, so checkpoints do not store them —
+            // rebuild the mirror here.
             let e = &ckpt.saved.levels[start as usize];
             scratch.spines.clear();
             scratch.spines.extend_from_slice(&e.spines);
             scratch.costs.clear();
             scratch.costs.extend_from_slice(&e.costs);
+            scratch.keys.clear();
+            scratch.keys.extend(e.costs.iter().map(|&c| cost_key(c)));
             scratch.parents.clear();
             scratch.parents.extend_from_slice(&e.parents);
             scratch.segs.clear();
@@ -811,6 +882,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             init_root(
                 &mut scratch.spines,
                 &mut scratch.costs,
+                &mut scratch.keys,
                 &mut scratch.parents,
                 &mut scratch.segs,
                 &mut ckpt.arena_parents,
@@ -861,6 +933,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             ckpt,
             session.frontier_mut(),
             &mut shared.order,
+            &mut shared.selector,
             &mut shared.path,
             stats,
             out,
@@ -901,11 +974,13 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
     }
 
     /// [`finish_core`](Self::finish_core) wired to a checkpoint store.
+    #[allow(clippy::too_many_arguments)]
     fn ckpt_finish(
         &self,
         ckpt: &mut BeamCheckpoints,
         fr: Frontier<'_>,
         order: &mut Vec<u32>,
+        selector: &mut SelectScratch,
         path: &mut Vec<u16>,
         stats: DecodeStats,
         out: &mut DecodeResult,
@@ -923,6 +998,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             arena_segs,
             Some((saved, *max_frontier)),
             order,
+            selector,
             path,
             stats,
             out,
@@ -965,17 +1041,20 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let Frontier {
             spines: fr_spines,
             costs: fr_costs,
+            keys: fr_keys,
             parents: fr_parents,
             segs: fr_segs,
         } = fr;
         let ExpandScratch {
             spines: next_spines,
             costs: next_costs,
+            keys: next_keys,
             parents: next_parents,
             segs: next_segs,
             blocks,
             seg_ids,
             order,
+            selector,
         } = ex;
         if seg_ids.len() < branch {
             seg_ids.extend(seg_ids.len() as u64..branch as u64);
@@ -1007,22 +1086,27 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         if fr_spines.len() > cap_parents {
             select_into(
                 order,
+                selector,
+                self.select_mode,
                 cap_parents,
                 (
                     fr_spines.as_slice(),
                     fr_costs.as_slice(),
+                    fr_keys.as_slice(),
                     fr_parents.as_slice(),
                     fr_segs.as_slice(),
                 ),
                 (
                     &mut *next_spines,
                     &mut *next_costs,
+                    &mut *next_keys,
                     &mut *next_parents,
                     &mut *next_segs,
                 ),
             );
             std::mem::swap(fr_spines, next_spines);
             std::mem::swap(fr_costs, next_costs);
+            std::mem::swap(fr_keys, next_keys);
             std::mem::swap(fr_parents, next_parents);
             std::mem::swap(fr_segs, next_segs);
         }
@@ -1084,6 +1168,8 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         next_spines.resize(n_children, 0);
         next_costs.clear();
         next_costs.resize(n_children, 0.0);
+        next_keys.clear();
+        next_keys.resize(n_children, 0);
         next_parents.clear();
         next_parents.resize(n_children, 0);
         next_segs.clear();
@@ -1093,6 +1179,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             &self.mapper,
             &self.cost,
             self.parallel_workers,
+            self.kernel_dispatch,
             fr_spines,
             fr_costs,
             parent_base,
@@ -1105,6 +1192,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             blocks,
             next_spines,
             next_costs,
+            next_keys,
             next_parents,
             next_segs,
         );
@@ -1124,16 +1212,20 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         if n_children > keep {
             select_into(
                 order,
+                selector,
+                self.select_mode,
                 keep,
                 (
                     next_spines.as_slice(),
                     next_costs.as_slice(),
+                    next_keys.as_slice(),
                     next_parents.as_slice(),
                     next_segs.as_slice(),
                 ),
                 (
                     &mut *fr_spines,
                     &mut *fr_costs,
+                    &mut *fr_keys,
                     &mut *fr_parents,
                     &mut *fr_segs,
                 ),
@@ -1141,6 +1233,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         } else {
             std::mem::swap(fr_spines, next_spines);
             std::mem::swap(fr_costs, next_costs);
+            std::mem::swap(fr_keys, next_keys);
             std::mem::swap(fr_parents, next_parents);
             std::mem::swap(fr_segs, next_segs);
         }
@@ -1157,6 +1250,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         arena_segs: &[u16],
         saver: Option<(&mut SavedStates, usize)>,
         order: &mut Vec<u32>,
+        selector: &mut SelectScratch,
         path: &mut Vec<u16>,
         stats: DecodeStats,
         out: &mut DecodeResult,
@@ -1165,6 +1259,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let Frontier {
             spines: fr_spines,
             costs: fr_costs,
+            keys: fr_keys,
             parents: fr_parents,
             segs: fr_segs,
         } = fr;
@@ -1182,18 +1277,17 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         }
 
         // Rank the surviving hypotheses: select the top-B, sort only
-        // those (canonical (cost, index) order — identical to a stable
-        // full sort by cost).
+        // those (canonical (cost, index) order over the integer keys —
+        // identical to a stable full sort by cost).
         let n = fr_spines.len();
         let take = n.min(self.config.beam_width.max(1));
-        order.clear();
-        order.extend(0..n as u32);
-        let cmp = by_cost_then_index(fr_costs);
         if n > take {
-            order.select_nth_unstable_by(take - 1, &cmp);
-            order.truncate(take);
+            select::select_smallest(fr_keys, take, order, selector, self.select_mode);
+        } else {
+            order.clear();
+            order.extend(0..n as u32);
+            order.sort_unstable_by(&by_key_then_index(fr_keys));
         }
-        order.sort_unstable_by(&cmp);
 
         // Materialize the result, reusing the output buffers.
         out.stats = stats;
@@ -1226,9 +1320,11 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
 
 /// Initializes the frontier to the root placeholder (not in the arena;
 /// its children use parent = `u32::MAX`) and clears the arena.
+#[allow(clippy::too_many_arguments)]
 fn init_root(
     fr_spines: &mut Vec<u64>,
     fr_costs: &mut Vec<f64>,
+    fr_keys: &mut Vec<u64>,
     fr_parents: &mut Vec<u32>,
     fr_segs: &mut Vec<u16>,
     arena_parents: &mut Vec<u32>,
@@ -1236,10 +1332,12 @@ fn init_root(
 ) {
     fr_spines.clear();
     fr_costs.clear();
+    fr_keys.clear();
     fr_parents.clear();
     fr_segs.clear();
     fr_spines.push(INITIAL_SPINE);
     fr_costs.push(0.0);
+    fr_keys.push(cost_key(0.0));
     fr_parents.push(u32::MAX);
     fr_segs.push(0);
     arena_parents.clear();
@@ -1247,12 +1345,13 @@ fn init_root(
 }
 
 /// The work counters a from-scratch attempt starts with.
-fn fresh_stats() -> DecodeStats {
+fn fresh_stats(kernel_dispatch: KernelDispatch) -> DecodeStats {
     DecodeStats {
         nodes_expanded: 0,
         frontier_peak: 1,
         hash_calls: 0,
         complete: true,
+        kernel_dispatch,
     }
 }
 
@@ -1295,46 +1394,47 @@ fn build_plan<M: Mapper, C: CostModel<M::Symbol>>(
 /// `(cost, expansion index)` order, writing them into `dst` (cleared
 /// first). The canonical tie-break realizes the paper's "breaking ties
 /// arbitrarily" deterministically, and matches a stable sort by cost.
-type SoaRef<'a> = (&'a [u64], &'a [f64], &'a [u32], &'a [u16]);
+/// Ranking reads the order-preserving integer keys, never the floats
+/// ([`crate::decode::select`] proves the two orders identical).
+type SoaRef<'a> = (&'a [u64], &'a [f64], &'a [u64], &'a [u32], &'a [u16]);
 type SoaMut<'a> = (
     &'a mut Vec<u64>,
     &'a mut Vec<f64>,
+    &'a mut Vec<u64>,
     &'a mut Vec<u32>,
     &'a mut Vec<u16>,
 );
 
 /// The canonical total order every selection in this module uses: cost
-/// ascending, position (expansion index) breaking ties. Both the
-/// optimized engine and [`crate::decode::reference`] rank by exactly
-/// this rule — keep it in one place so they cannot drift apart.
-fn by_cost_then_index(costs: &[f64]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
-    move |a: &u32, b: &u32| {
-        costs[*a as usize]
-            .partial_cmp(&costs[*b as usize])
-            .expect("finite costs")
-            .then(a.cmp(b))
-    }
+/// key ascending, position (expansion index) breaking ties. Identical
+/// to the `(f64 cost, index)` order [`crate::decode::reference`] ranks
+/// by — the key transform is order-preserving.
+fn by_key_then_index(keys: &[u64]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
+    move |a: &u32, b: &u32| keys[*a as usize].cmp(&keys[*b as usize]).then(a.cmp(b))
 }
 
-fn select_into(order: &mut Vec<u32>, keep: usize, src: SoaRef<'_>, dst: SoaMut<'_>) {
-    let (src_spines, src_costs, src_parents, src_segs) = src;
-    let (dst_spines, dst_costs, dst_parents, dst_segs) = dst;
-    let n = src_costs.len();
-    debug_assert!(n > keep);
-    order.clear();
-    order.extend(0..n as u32);
-    let cmp = by_cost_then_index(src_costs);
-    order.select_nth_unstable_by(keep - 1, &cmp);
-    order.truncate(keep);
-    order.sort_unstable_by(&cmp);
+fn select_into(
+    order: &mut Vec<u32>,
+    selector: &mut SelectScratch,
+    mode: SelectMode,
+    keep: usize,
+    src: SoaRef<'_>,
+    dst: SoaMut<'_>,
+) {
+    let (src_spines, src_costs, src_keys, src_parents, src_segs) = src;
+    let (dst_spines, dst_costs, dst_keys, dst_parents, dst_segs) = dst;
+    debug_assert!(src_keys.len() > keep);
+    select::select_smallest(src_keys, keep, order, selector, mode);
     dst_spines.clear();
     dst_costs.clear();
+    dst_keys.clear();
     dst_parents.clear();
     dst_segs.clear();
     for &i in order.iter() {
         let i = i as usize;
         dst_spines.push(src_spines[i]);
         dst_costs.push(src_costs[i]);
+        dst_keys.push(src_keys[i]);
         dst_parents.push(src_parents[i]);
         dst_segs.push(src_segs[i]);
     }
@@ -1349,6 +1449,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     mapper: &M,
     cost: &C,
     parallel_workers: usize,
+    dispatch: KernelDispatch,
     parent_spines: &[u64],
     parent_costs: &[f64],
     parent_base: u32,
@@ -1361,6 +1462,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     blocks: &mut Vec<u64>,
     out_spines: &mut [u64],
     out_costs: &mut [f64],
+    out_keys: &mut [u64],
     out_parents: &mut [u32],
     out_segs: &mut [u16],
 ) {
@@ -1371,6 +1473,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
             mapper,
             cost,
             parallel_workers,
+            dispatch,
             parent_spines,
             parent_costs,
             parent_base,
@@ -1383,6 +1486,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
             blocks,
             out_spines,
             out_costs,
+            out_keys,
             out_parents,
             out_segs,
         ) {
@@ -1395,6 +1499,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         hash,
         mapper,
         cost,
+        dispatch,
         parent_spines,
         parent_costs,
         0,
@@ -1408,6 +1513,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         blocks,
         out_spines,
         out_costs,
+        out_keys,
         out_parents,
         out_segs,
     );
@@ -1426,6 +1532,7 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     hash: &H,
     mapper: &M,
     cost: &C,
+    dispatch: KernelDispatch,
     parent_spines: &[u64],
     parent_costs: &[f64],
     first_parent: usize,
@@ -1439,6 +1546,7 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     blocks: &mut [u64],
     out_spines: &mut [u64],
     out_costs: &mut [f64],
+    out_keys: &mut [u64],
     out_parents: &mut [u32],
     out_segs: &mut [u16],
 ) {
@@ -1450,9 +1558,10 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     let children = out_spines
         .chunks_exact_mut(level_branch)
         .zip(out_costs.chunks_exact_mut(level_branch))
+        .zip(out_keys.chunks_exact_mut(level_branch))
         .zip(out_parents.chunks_exact_mut(level_branch))
         .zip(out_segs.chunks_exact_mut(level_branch));
-    for (p, ((&pspine, &pcost), (((row_s, row_c), row_p), row_g))) in
+    for (p, ((&pspine, &pcost), ((((row_s, row_c), row_k), row_p), row_g))) in
         parents.zip(children).enumerate()
     {
         let parent_idx = if root_level {
@@ -1464,6 +1573,7 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         hash.hash_batch_fixed_state(pspine, seg_ids, row_s);
         if reads.is_empty() {
             row_c.fill(pcost);
+            row_k.fill(cost_key(pcost));
         } else {
             // One batched sweep per distinct expansion block fills the
             // row's block cache (block-major), then the cost loop reads
@@ -1471,25 +1581,29 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
             batch::fill_blocks_for_spines(hash, row_s, block_ids, blocks);
             if !packed.is_empty() {
                 // Bit-channel fast path: the level's whole Hamming cost
-                // is an XOR + popcount per cached block. Exact — packed
-                // costs are small integers, so this f64 sum is
-                // bit-identical to the per-observation loop.
-                for (c, slot_c) in row_c.iter_mut().enumerate() {
-                    let mut errs = 0u32;
-                    for m in packed {
-                        let block = blocks[m.pos as usize * level_branch + c];
-                        errs += ((block ^ m.obs) & m.sel).count_ones();
-                    }
-                    *slot_c = pcost + f64::from(errs);
-                }
+                // is an XOR + popcount per cached block, accumulated in
+                // integer arithmetic end-to-end on the selected SIMD
+                // tier. Exact — packed costs are small integers, so the
+                // materialized f64 (and its key) is bit-identical to
+                // the per-observation loop.
+                kernels::packed_row_costs(
+                    dispatch,
+                    blocks,
+                    level_branch,
+                    packed,
+                    pcost,
+                    row_c,
+                    row_k,
+                );
             } else {
-                for (c, slot_c) in row_c.iter_mut().enumerate() {
+                for (c, (slot_c, slot_k)) in row_c.iter_mut().zip(row_k.iter_mut()).enumerate() {
                     let mut acc = pcost;
                     for (r, &(_, observed)) in reads.iter().zip(level_obs) {
                         let hyp = mapper.map(batch::read_obs_strided(blocks, level_branch, c, r));
                         acc += cost.cost(observed, hyp);
                     }
                     *slot_c = acc;
+                    *slot_k = cost_key(acc);
                 }
             }
         }
@@ -1548,6 +1662,7 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     mapper: &M,
     cost: &C,
     parallel_workers: usize,
+    dispatch: KernelDispatch,
     parent_spines: &[u64],
     parent_costs: &[f64],
     parent_base: u32,
@@ -1560,6 +1675,7 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     blocks: &mut Vec<u64>,
     out_spines: &mut [u64],
     out_costs: &mut [f64],
+    out_keys: &mut [u64],
     out_parents: &mut [u32],
     out_segs: &mut [u16],
 ) -> bool {
@@ -1582,6 +1698,7 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         let mut pc = parent_costs;
         let mut os = out_spines;
         let mut oc = out_costs;
+        let mut ok = out_keys;
         let mut op = out_parents;
         let mut og = out_segs;
         let mut bl = blocks.as_mut_slice();
@@ -1596,6 +1713,8 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
             os = os_r;
             let (oc_c, oc_r) = std::mem::take(&mut oc).split_at_mut(take * level_branch);
             oc = oc_r;
+            let (ok_c, ok_r) = std::mem::take(&mut ok).split_at_mut(take * level_branch);
+            ok = ok_r;
             let (op_c, op_r) = std::mem::take(&mut op).split_at_mut(take * level_branch);
             op = op_r;
             let (og_c, og_r) = std::mem::take(&mut og).split_at_mut(take * level_branch);
@@ -1609,6 +1728,7 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
                     hash,
                     mapper,
                     cost,
+                    dispatch,
                     ps_c,
                     pc_c,
                     fp,
@@ -1622,6 +1742,7 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
                     bl_c,
                     os_c,
                     oc_c,
+                    ok_c,
                     op_c,
                     og_c,
                 );
@@ -2074,6 +2195,89 @@ mod tests {
         assert_eq!(par.cost.to_bits(), reference.cost.to_bits());
         assert_eq!(par.candidates, reference.candidates);
         assert_eq!(par.stats.nodes_expanded, reference.stats.nodes_expanded);
+    }
+
+    /// The wide cost engine's central claim: every supported SIMD tier
+    /// × both selection algorithms produces bit-identical decodes, on
+    /// both the packed-bit (BSC) and soft (AWGN) paths, with the tier
+    /// reported in the stats.
+    #[test]
+    fn all_kernel_tiers_and_select_modes_bit_identical() {
+        // Packed-bit path (integer cost accumulation + popcount
+        // collapse + radix select over integer keys).
+        let p = params(32, 4, 0);
+        let msg = BitVec::from_bytes(&[0x1b, 0xe7, 0x44, 0x92]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), BinaryMapper::new(), &msg).unwrap();
+        let mut obs = Observations::new(p.n_segments());
+        for pass in 0..12u32 {
+            for t in 0..p.n_segments() {
+                let slot = Slot::new(t, pass);
+                let mut bit = enc.symbol(slot);
+                if (pass * 31 + t * 7) % 11 == 2 {
+                    bit ^= 1;
+                }
+                obs.push(slot, bit);
+            }
+        }
+        let make = |tier, mode| {
+            BeamDecoder::new(
+                &p,
+                Lookup3::new(p.seed()).with_dispatch(tier),
+                BinaryMapper::new(),
+                BscCost,
+                BeamConfig::with_beam(8),
+            )
+            .unwrap()
+            .with_kernel_dispatch(tier)
+            .with_select_mode(mode)
+        };
+        let baseline = make(KernelDispatch::Scalar, SelectMode::Comparator).decode(&obs);
+        for tier in KernelDispatch::supported() {
+            for mode in [SelectMode::Auto, SelectMode::Comparator] {
+                let dec = make(tier, mode);
+                let res = dec.decode(&obs);
+                assert_eq!(res.message, baseline.message, "{tier} {mode:?}");
+                assert_eq!(res.cost.to_bits(), baseline.cost.to_bits());
+                assert_eq!(res.candidates, baseline.candidates);
+                assert_eq!(res.stats.nodes_expanded, baseline.stats.nodes_expanded);
+                assert_eq!(res.stats.hash_calls, baseline.stats.hash_calls);
+                assert_eq!(res.stats.kernel_dispatch, tier, "stats report the tier");
+            }
+        }
+
+        // Soft path (f64 costs through the order-preserving key
+        // transform).
+        let pa = params(24, 8, 0);
+        let msga = BitVec::from_bytes(&[0x42, 0x13, 0x37]);
+        let enca =
+            Encoder::new(&pa, Lookup3::new(pa.seed()), LinearMapper::new(10), &msga).unwrap();
+        let obsa = noiseless_obs(&enca, 2);
+        let base = BeamDecoder::new(
+            &pa,
+            Lookup3::new(pa.seed()).with_dispatch(KernelDispatch::Scalar),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        )
+        .unwrap()
+        .with_kernel_dispatch(KernelDispatch::Scalar)
+        .with_select_mode(SelectMode::Comparator)
+        .decode(&obsa);
+        for tier in KernelDispatch::supported() {
+            let res = BeamDecoder::new(
+                &pa,
+                Lookup3::new(pa.seed()).with_dispatch(tier),
+                LinearMapper::new(10),
+                AwgnCost,
+                BeamConfig::paper_default(),
+            )
+            .unwrap()
+            .with_kernel_dispatch(tier)
+            .decode(&obsa);
+            assert_eq!(res.message, base.message, "{tier}");
+            assert_eq!(res.cost.to_bits(), base.cost.to_bits());
+            assert_eq!(res.candidates, base.candidates);
+        }
     }
 
     #[test]

@@ -225,6 +225,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> MlDecoder<H, M, C> {
             frontier_peak: n_levels,
             hash_calls: search.hash_calls,
             complete: !search.budget_hit,
+            kernel_dispatch: crate::kernels::KernelDispatch::Scalar,
         };
         DecodeResult {
             message: message.clone(),

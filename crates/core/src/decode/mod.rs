@@ -14,13 +14,16 @@ pub mod beam;
 pub mod cost;
 pub mod ml;
 pub mod reference;
+pub mod select;
 
 pub use beam::{BeamCheckpoints, BeamConfig, BeamDecoder, DecoderScratch};
 pub use cost::{AwgnCost, BecCost, BscCost, CostModel};
 pub use ml::{MlConfig, MlDecoder, MlScratch};
 pub use reference::reference_decode;
+pub use select::{cost_key, SelectMode};
 
 use crate::bits::BitVec;
+use crate::kernels::KernelDispatch;
 use crate::symbol::Slot;
 
 /// The receiver's slot-labelled observations, grouped by spine position.
@@ -124,6 +127,10 @@ pub struct DecodeStats {
     /// `false` if the search was cut short by a resource cap (the ML
     /// decoder's node budget); the result is then best-effort.
     pub complete: bool,
+    /// The SIMD tier the integer kernels ran on (diagnostic: every tier
+    /// is bit-identical, see [`crate::kernels`]). The reference decoder
+    /// always reports [`KernelDispatch::Scalar`].
+    pub kernel_dispatch: KernelDispatch,
 }
 
 /// The outcome of a decode attempt.

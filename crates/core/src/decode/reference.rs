@@ -84,6 +84,8 @@ pub fn reference_decode<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         frontier_peak: 1,
         hash_calls: 0,
         complete: true,
+        // The reference decoder is the scalar specification.
+        kernel_dispatch: crate::kernels::KernelDispatch::Scalar,
     };
 
     for t in 0..n_levels {

@@ -1,0 +1,431 @@
+//! Order-preserving integer cost keys and branch-free top-B selection.
+//!
+//! The beam decoder's ranking rule is everywhere the same total order:
+//! *cost ascending, expansion index breaking ties* (the paper's
+//! "arbitrarily", made deterministic). This module gives that order an
+//! integer representation and a radix-style selection algorithm over it:
+//!
+//! * [`cost_key`] maps every non-NaN `f64` cost to a `u64`
+//!   **order-preserving key**: `key(a) < key(b) ⇔ a < b` and
+//!   `key(a) == key(b) ⇔ a == b`. Adding `+0.0` first canonicalizes
+//!   `-0.0` (which compares *equal* to `+0.0` but has different bits)
+//!   onto `+0.0`, then the standard IEEE-754 total-order fold (flip all
+//!   bits of negatives, flip the sign bit of non-negatives) makes the
+//!   raw bit pattern monotone across the whole line — so even
+//!   contract-violating negative costs from a custom model rank
+//!   exactly as the old float comparator ranked them. Packed-bit
+//!   channels produce exact small-integer costs, so their keys are
+//!   those integers' sign-folded float bits — the SIMD collapse kernel
+//!   materializes both at once.
+//! * [`select_smallest`] keeps the `keep` smallest `(key, index)` pairs
+//!   in canonical ascending order. Large inputs take a branch-light
+//!   MSB-first **radix/bucket select** (histogram a byte, locate the
+//!   bucket containing the `keep`-th smallest, retain buckets below it,
+//!   recurse into the boundary bucket on the next byte); small inputs
+//!   fall back to the comparator (`select_nth_unstable`) path. Both
+//!   produce **bit-identical** output — the equivalence is
+//!   property-tested here and pinned end-to-end by the decoder
+//!   equivalence suites.
+
+/// Inputs shorter than this use the comparator fallback: below it the
+/// histogram passes cost more than `select_nth_unstable` saves.
+pub const RADIX_SELECT_MIN: usize = 1024;
+
+/// The sign-fold XOR mask for non-negative values: keys of
+/// non-negative costs are `bits | SIGN_FOLD`, so SIMD kernels that
+/// produce only non-negative costs fold with one XOR.
+pub(crate) const SIGN_FOLD: u64 = 1 << 63;
+
+/// The order-preserving `u64` key of a cost (see the module docs).
+/// Keys compare exactly like the costs they encode, with `-0.0`
+/// canonicalized onto `+0.0`. The decoder contract is non-negative
+/// finite costs (debug builds assert it), but the transform stays
+/// order-correct for any non-NaN value; a NaN cost — which the old
+/// float comparator panicked on — ranks beyond every real cost.
+#[inline(always)]
+pub fn cost_key(cost: f64) -> u64 {
+    debug_assert!(!cost.is_nan(), "costs must not be NaN");
+    // +0.0 + -0.0 == +0.0; every other value is unchanged. Then the
+    // IEEE-754 total-order fold: negatives flip entirely (descending
+    // bit patterns become ascending keys), non-negatives flip the sign
+    // bit (placing them above all negatives).
+    let bits = (cost + 0.0).to_bits();
+    bits ^ (((bits as i64 >> 63) as u64) | SIGN_FOLD)
+}
+
+/// Inverse of [`cost_key`] (keys are invertible: the transform is a
+/// bijection on canonical non-NaN doubles).
+#[inline(always)]
+pub fn key_cost(key: u64) -> f64 {
+    let bits = key ^ ((!(key as i64) >> 63) as u64 | SIGN_FOLD);
+    f64::from_bits(bits)
+}
+
+/// Reusable index and histogram buffers for the radix passes. One per
+/// decoder scratch; after warm-up, selection allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct SelectScratch {
+    pending: Vec<u32>,
+    spare: Vec<u32>,
+    /// Wide first-pass histogram (up to four interleaved copies).
+    wide: Vec<u32>,
+}
+
+impl SelectScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// How [`select_smallest`] picks its algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SelectMode {
+    /// Radix select above [`RADIX_SELECT_MIN`], comparator below.
+    #[default]
+    Auto,
+    /// Always the comparator path (the pre-cost-engine behaviour; used
+    /// as the bench baseline and by the CI bit-identity self-check).
+    Comparator,
+}
+
+/// Writes into `order` the indices of the `keep` smallest entries of
+/// `keys` under the canonical `(key, index)` order, sorted ascending.
+///
+/// Requires `0 < keep < keys.len()` (callers skip selection entirely
+/// when everything is kept). Both algorithm paths return bit-identical
+/// output.
+pub fn select_smallest(
+    keys: &[u64],
+    keep: usize,
+    order: &mut Vec<u32>,
+    scratch: &mut SelectScratch,
+    mode: SelectMode,
+) {
+    debug_assert!(keep > 0 && keep < keys.len());
+    if mode == SelectMode::Comparator || keys.len() < RADIX_SELECT_MIN {
+        comparator_select(keys, keep, order);
+    } else {
+        radix_select(keys, keep, order, scratch);
+        order.sort_unstable_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]).then(a.cmp(&b)));
+    }
+}
+
+/// The comparator path: `select_nth_unstable` then sort the survivors.
+pub fn comparator_select(keys: &[u64], keep: usize, order: &mut Vec<u32>) {
+    let cmp = |a: &u32, b: &u32| keys[*a as usize].cmp(&keys[*b as usize]).then(a.cmp(b));
+    order.clear();
+    order.extend(0..keys.len() as u32);
+    order.select_nth_unstable_by(keep - 1, cmp);
+    order.truncate(keep);
+    order.sort_unstable_by(cmp);
+}
+
+/// Finds the first bucket whose cumulative count reaches `quota`;
+/// returns `(bucket, count_below_it)`.
+#[inline]
+fn threshold(counts: &[u32], quota: usize) -> (usize, usize) {
+    let mut cum = 0usize;
+    for (b, &c) in counts.iter().enumerate() {
+        if cum + c as usize >= quota {
+            return (b, cum);
+        }
+        cum += c as usize;
+    }
+    unreachable!("quota exceeds element count");
+}
+
+/// Bits of the first (wide) histogram pass. 11 bits cover the sign and
+/// the whole exponent of an f64 key, so the boundary bucket of the
+/// first pass already separates by magnitude; subsequent passes walk
+/// the mantissa bytes.
+const RADIX_FIRST_BITS: u32 = 11;
+
+/// Collects the `keep`-smallest index *set* into `order` (unsorted):
+/// a wide 2048-bucket first pass over the top 11 bits, then
+/// byte-at-a-time passes into the boundary bucket. Partition passes are
+/// branch-free (unconditional stores into one-slot-slack buffers,
+/// predicated length advances). Ties beyond the last bit resolve to
+/// the smallest indices, because every pass preserves ascending index
+/// order.
+fn radix_select(keys: &[u64], keep: usize, order: &mut Vec<u32>, scratch: &mut SelectScratch) {
+    let SelectScratch {
+        pending,
+        spare,
+        wide,
+    } = scratch;
+    let n = keys.len();
+    let buckets = 1usize << RADIX_FIRST_BITS;
+    let shift = 64 - RADIX_FIRST_BITS;
+    order.clear();
+    let mut quota = keep;
+
+    // First pass histogram over the top 11 bits. Large inputs use four
+    // interleaved copies (independent increment chains — cost keys
+    // concentrate on few buckets, which would serialize one copy);
+    // smaller inputs keep the cleared footprint at one copy.
+    let four_way = n >= 4 * buckets;
+    let used = if four_way { 4 * buckets } else { buckets };
+    if wide.len() < 4 * buckets {
+        wide.resize(4 * buckets, 0);
+    }
+    wide[..used].fill(0);
+    if four_way {
+        let (w0, rest) = wide.split_at_mut(buckets);
+        let (w1, rest) = rest.split_at_mut(buckets);
+        let (w2, w3) = rest.split_at_mut(buckets);
+        let mut chunks = keys.chunks_exact(4);
+        for c in &mut chunks {
+            w0[(c[0] >> shift) as usize] += 1;
+            w1[(c[1] >> shift) as usize] += 1;
+            w2[(c[2] >> shift) as usize] += 1;
+            w3[(c[3] >> shift) as usize] += 1;
+        }
+        for &k in chunks.remainder() {
+            w0[(k >> shift) as usize] += 1;
+        }
+        for b in 0..buckets {
+            w0[b] += w1[b] + w2[b] + w3[b];
+        }
+    } else {
+        for &k in keys {
+            wide[(k >> shift) as usize] += 1;
+        }
+    }
+    let (t, below) = threshold(&wide[..buckets], quota);
+    let t = t as u64;
+
+    // Branch-free partition: store unconditionally (both buffers keep
+    // one slot of slack for the trailing dead stores), advance lengths
+    // by the predicates. `order` gets the buckets below the boundary
+    // (all of them are in the result), `pending` the boundary bucket.
+    order.resize(below + 1, 0);
+    pending.resize(n + 1, 0);
+    let mut ol = 0usize;
+    let mut pl = 0usize;
+    for (i, &k) in keys.iter().enumerate() {
+        let b = k >> shift;
+        order[ol] = i as u32;
+        ol += usize::from(b < t);
+        pending[pl] = i as u32;
+        pl += usize::from(b == t);
+    }
+    debug_assert_eq!(ol, below);
+    order.truncate(below);
+    pending.truncate(pl);
+    quota -= below;
+
+    // Mantissa bytes below the first pass: 53 remaining bits, walked
+    // 8 at a time from the top (shifts 45, 37, …, 5, 0 — the last pass
+    // covers the low 8 bits, re-covering three already-decided bits,
+    // which is harmless: decided bits are constant within `pending`).
+    let mut rem_shift = shift;
+    loop {
+        if pending.len() == quota {
+            order.extend_from_slice(pending);
+            return;
+        }
+        if rem_shift == 0 {
+            // All bits consumed: pending keys are all equal; ties break
+            // by index (pending is in ascending index order).
+            order.extend_from_slice(&pending[..quota]);
+            return;
+        }
+        rem_shift = rem_shift.saturating_sub(8);
+        let mut counts = [0u32; 256];
+        for &i in pending.iter() {
+            counts[((keys[i as usize] >> rem_shift) & 0xff) as usize] += 1;
+        }
+        let (t, below) = threshold(&counts, quota);
+        if below == 0 && counts[t] as usize == pending.len() {
+            continue; // constant byte: nothing to move
+        }
+        let t = t as u64;
+        spare.resize(pending.len() + 1, 0);
+        let base = order.len();
+        order.resize(base + below + 1, 0);
+        let mut ol = base;
+        let mut pl = 0usize;
+        for &i in pending.iter() {
+            let b = (keys[i as usize] >> rem_shift) & 0xff;
+            order[ol] = i;
+            ol += usize::from(b < t);
+            spare[pl] = i;
+            pl += usize::from(b == t);
+        }
+        debug_assert_eq!(ol, base + below);
+        order.truncate(base + below);
+        spare.truncate(pl);
+        std::mem::swap(pending, spare);
+        quota -= below;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The comparator the rest of the decoder used before cost keys
+    /// existed: `(cost, index)` over `f64` costs. The key transform must
+    /// reproduce it exactly.
+    fn legacy_order(costs: &[f64]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..costs.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            costs[a as usize]
+                .partial_cmp(&costs[b as usize])
+                .expect("finite costs")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    #[test]
+    fn key_is_monotone_on_simple_values() {
+        let vals = [0.0, 1e-308, 0.5, 1.0, 1.5, 2.0, 1e9, f64::MAX];
+        for w in vals.windows(2) {
+            assert!(cost_key(w[0]) < cost_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert_eq!(cost_key(-0.0), cost_key(0.0));
+        assert_eq!(cost_key(0.0), SIGN_FOLD);
+        assert_eq!(key_cost(cost_key(42.25)), 42.25);
+    }
+
+    /// Out-of-contract negative costs (a custom model's log-likelihoods,
+    /// say) still rank exactly like the float comparator did — the
+    /// release-mode safety net the sign fold buys.
+    #[test]
+    fn key_stays_ordered_for_negative_costs() {
+        let vals = [
+            f64::MIN,
+            -1e9,
+            -2.0,
+            -1.5,
+            -1.0,
+            -1e-308,
+            0.0,
+            1.0,
+            f64::MAX,
+        ];
+        for w in vals.windows(2) {
+            assert!(cost_key(w[0]) < cost_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert_eq!(key_cost(cost_key(-42.25)), -42.25);
+        assert_eq!(key_cost(cost_key(f64::MIN)), f64::MIN);
+    }
+
+    #[test]
+    fn small_integer_costs_key_like_integers() {
+        // Packed-bit channels produce small integer costs; their keys
+        // must be monotone in the integer (the SIMD kernel materializes
+        // the key as the bits of the converted float).
+        let mut prev = 0u64;
+        for i in 1..=4096u32 {
+            let k = cost_key(f64::from(i));
+            assert!(k > prev);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn radix_matches_comparator_on_heavy_ties() {
+        // All-equal keys: selection must keep the lowest indices.
+        let keys = vec![cost_key(3.0); 5000];
+        let mut scratch = SelectScratch::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        select_smallest(&keys, 37, &mut a, &mut scratch, SelectMode::Auto);
+        select_smallest(&keys, 37, &mut b, &mut scratch, SelectMode::Comparator);
+        assert_eq!(a, b);
+        assert_eq!(a, (0..37u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn radix_handles_boundary_bucket_ties() {
+        // Many duplicates of the boundary key force the index tie-break
+        // deep into the radix recursion.
+        let mut keys: Vec<u64> = (0..3000u64).map(|i| cost_key((i % 7) as f64)).collect();
+        keys.rotate_left(13);
+        let mut scratch = SelectScratch::new();
+        for keep in [1usize, 2, 100, 857, 2999] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            select_smallest(&keys, keep, &mut a, &mut scratch, SelectMode::Auto);
+            select_smallest(&keys, keep, &mut b, &mut scratch, SelectMode::Comparator);
+            assert_eq!(a, b, "keep={keep}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Satellite: total-order equivalence of the key transform with
+        /// the `(cost, index)` comparator over random costs including
+        /// ties, ±0.0, and subnormals.
+        #[test]
+        fn prop_key_order_equals_cost_order(
+            raw in proptest::collection::vec(any::<u64>(), 1..40),
+            dup in any::<u64>(),
+        ) {
+            // Build non-negative finite costs covering the whole range:
+            // zeros of both signs, subnormals, tiny and huge normals,
+            // and forced duplicates.
+            let costs: Vec<f64> = raw.iter().enumerate().map(|(i, &r)| {
+                match r % 8 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f64::from_bits(r % 0x000f_ffff_ffff_ffff), // subnormal / tiny
+                    3 => f64::from_bits((dup & 0x7fef_ffff_ffff_ffff).max(1)), // shared duplicate
+                    4 => -f64::from_bits((r >> 3) % 0x7ff0_0000_0000_0000), // out-of-contract negative
+                    _ => {
+                        let bits = r & 0x7fff_ffff_ffff_ffff;
+                        let f = f64::from_bits(bits);
+                        if f.is_finite() { f } else { (i as f64) * 0.5 }
+                    }
+                }
+            }).collect();
+            // Pairwise: key order ⇔ cost order, including equality.
+            for i in 0..costs.len() {
+                for j in 0..costs.len() {
+                    let (a, b) = (costs[i], costs[j]);
+                    prop_assert_eq!(cost_key(a) < cost_key(b), a < b, "{} {}", a, b);
+                    prop_assert_eq!(cost_key(a) == cost_key(b), a == b, "{} {}", a, b);
+                }
+            }
+            // Full ranking: sorting indices by (key, index) equals the
+            // legacy (cost, index) comparator sort.
+            let mut by_key: Vec<u32> = (0..costs.len() as u32).collect();
+            let keys: Vec<u64> = costs.iter().map(|&c| cost_key(c)).collect();
+            by_key.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]).then(a.cmp(&b)));
+            prop_assert_eq!(by_key, legacy_order(&costs));
+        }
+
+        /// Radix select == comparator select for every (input, keep),
+        /// with heavy-tie inputs.
+        #[test]
+        fn prop_radix_select_matches_comparator(
+            raw in proptest::collection::vec(any::<u64>(), 2..400),
+            modulus in 1u64..50,
+            keep_sel in any::<u64>(),
+            scale in 0u64..3,
+        ) {
+            // Small moduli force ties; scale varies the exponent byte
+            // structure the radix passes see.
+            let keys: Vec<u64> = raw.iter().map(|&r| {
+                let v = (r % modulus) as f64 * match scale { 0 => 0.25, 1 => 1.0, _ => 1e150 };
+                cost_key(v)
+            }).collect();
+            let keep = 1 + (keep_sel as usize) % (keys.len() - 1);
+            let mut scratch = SelectScratch::new();
+            let mut radix = Vec::new();
+            let mut comp = Vec::new();
+            // Force the radix path regardless of input size.
+            radix_select(&keys, keep, &mut radix, &mut scratch);
+            radix.sort_unstable_by(|&a, &b| {
+                keys[a as usize].cmp(&keys[b as usize]).then(a.cmp(&b))
+            });
+            comparator_select(&keys, keep, &mut comp);
+            prop_assert_eq!(radix, comp);
+        }
+    }
+}

@@ -377,12 +377,7 @@ mod tests {
             message: cands[0].message.clone(),
             cost: cands[0].cost,
             candidates: cands,
-            stats: DecodeStats {
-                nodes_expanded: 0,
-                frontier_peak: 0,
-                hash_calls: 0,
-                complete: true,
-            },
+            stats: DecodeStats::default(),
         }
     }
 

@@ -18,6 +18,14 @@
 //! with the same seed (the paper's "random seed … the encoder and decoder
 //! both know h"). The `ablation_hash` bench target shows the achieved rate
 //! is insensitive to the family choice, as the paper's analysis predicts.
+//!
+//! The batched entry points of `lookup3`, `one-at-a-time` and `splitmix`
+//! additionally run on runtime-dispatched SIMD kernels where the CPU
+//! supports them (see [`crate::kernels`] for the dispatch matrix); every
+//! tier is bit-identical to the scalar loop, pinned by the
+//! `hash_batch_matches_scalar` property tests.
+
+use crate::kernels::{self, KernelDispatch};
 
 /// A seeded hash family mapping `(spine state, k-bit segment)` to the next
 /// spine state.
@@ -73,21 +81,7 @@ pub trait SpineHash: Clone + Send + Sync + std::fmt::Debug {
     fn hash_batch(&self, states: &[u64], segments: &[u64], out: &mut [u64]) {
         assert_eq!(states.len(), segments.len(), "hash_batch length mismatch");
         assert_eq!(states.len(), out.len(), "hash_batch length mismatch");
-        let mut chunks_s = states.chunks_exact(4);
-        let mut chunks_g = segments.chunks_exact(4);
-        let mut chunks_o = out.chunks_exact_mut(4);
-        for ((s, g), o) in (&mut chunks_s).zip(&mut chunks_g).zip(&mut chunks_o) {
-            let r = self.hash4([s[0], s[1], s[2], s[3]], [g[0], g[1], g[2], g[3]]);
-            o.copy_from_slice(&r);
-        }
-        for ((&s, &g), o) in chunks_s
-            .remainder()
-            .iter()
-            .zip(chunks_g.remainder())
-            .zip(chunks_o.into_remainder())
-        {
-            *o = self.hash(s, g);
-        }
+        batch_via_hash4(self, states, segments, out);
     }
 
     /// Broadcast-state batch: `out[i] = hash(state, segments[i])` — the
@@ -103,15 +97,7 @@ pub trait SpineHash: Clone + Send + Sync + std::fmt::Debug {
             out.len(),
             "hash_batch_fixed_state length mismatch"
         );
-        let mut chunks_g = segments.chunks_exact(4);
-        let mut chunks_o = out.chunks_exact_mut(4);
-        for (g, o) in (&mut chunks_g).zip(&mut chunks_o) {
-            let r = self.hash4([state; 4], [g[0], g[1], g[2], g[3]]);
-            o.copy_from_slice(&r);
-        }
-        for (&g, o) in chunks_g.remainder().iter().zip(chunks_o.into_remainder()) {
-            *o = self.hash(state, g);
-        }
+        fixed_state_via_hash4(self, state, segments, out);
     }
 
     /// Broadcast-segment batch: `out[i] = hash(states[i], segment)` —
@@ -127,15 +113,57 @@ pub trait SpineHash: Clone + Send + Sync + std::fmt::Debug {
             out.len(),
             "hash_batch_fixed_segment length mismatch"
         );
-        let mut chunks_s = states.chunks_exact(4);
-        let mut chunks_o = out.chunks_exact_mut(4);
-        for (s, o) in (&mut chunks_s).zip(&mut chunks_o) {
-            let r = self.hash4([s[0], s[1], s[2], s[3]], [segment; 4]);
-            o.copy_from_slice(&r);
-        }
-        for (&s, o) in chunks_s.remainder().iter().zip(chunks_o.into_remainder()) {
-            *o = self.hash(s, segment);
-        }
+        fixed_segment_via_hash4(self, states, segment, out);
+    }
+}
+
+/// The scalar batch loop: four-lane [`SpineHash::hash4`] chunks plus a
+/// scalar remainder. The trait defaults and the SIMD families' remainder
+/// handling both run through these three helpers.
+#[inline]
+fn batch_via_hash4<H: SpineHash>(h: &H, states: &[u64], segments: &[u64], out: &mut [u64]) {
+    let mut chunks_s = states.chunks_exact(4);
+    let mut chunks_g = segments.chunks_exact(4);
+    let mut chunks_o = out.chunks_exact_mut(4);
+    for ((s, g), o) in (&mut chunks_s).zip(&mut chunks_g).zip(&mut chunks_o) {
+        let r = h.hash4([s[0], s[1], s[2], s[3]], [g[0], g[1], g[2], g[3]]);
+        o.copy_from_slice(&r);
+    }
+    for ((&s, &g), o) in chunks_s
+        .remainder()
+        .iter()
+        .zip(chunks_g.remainder())
+        .zip(chunks_o.into_remainder())
+    {
+        *o = h.hash(s, g);
+    }
+}
+
+/// See [`batch_via_hash4`].
+#[inline]
+fn fixed_state_via_hash4<H: SpineHash>(h: &H, state: u64, segments: &[u64], out: &mut [u64]) {
+    let mut chunks_g = segments.chunks_exact(4);
+    let mut chunks_o = out.chunks_exact_mut(4);
+    for (g, o) in (&mut chunks_g).zip(&mut chunks_o) {
+        let r = h.hash4([state; 4], [g[0], g[1], g[2], g[3]]);
+        o.copy_from_slice(&r);
+    }
+    for (&g, o) in chunks_g.remainder().iter().zip(chunks_o.into_remainder()) {
+        *o = h.hash(state, g);
+    }
+}
+
+/// See [`batch_via_hash4`].
+#[inline]
+fn fixed_segment_via_hash4<H: SpineHash>(h: &H, states: &[u64], segment: u64, out: &mut [u64]) {
+    let mut chunks_s = states.chunks_exact(4);
+    let mut chunks_o = out.chunks_exact_mut(4);
+    for (s, o) in (&mut chunks_s).zip(&mut chunks_o) {
+        let r = h.hash4([s[0], s[1], s[2], s[3]], [segment; 4]);
+        o.copy_from_slice(&r);
+    }
+    for (&s, o) in chunks_s.remainder().iter().zip(chunks_o.into_remainder()) {
+        *o = h.hash(s, segment);
     }
 }
 
@@ -192,12 +220,23 @@ fn lookup3_final(a: &mut u32, b: &mut u32, c: &mut u32) {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Lookup3 {
     seed: u64,
+    dispatch: KernelDispatch,
 }
 
 impl Lookup3 {
     /// Creates the family member identified by `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { seed }
+        Self {
+            seed,
+            dispatch: KernelDispatch::detect(),
+        }
+    }
+
+    /// Pins the batched entry points to a SIMD tier (bit-identical on
+    /// every tier; the bench/CI override). Digests never change.
+    pub fn with_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
     }
 }
 
@@ -259,6 +298,33 @@ impl SpineHash for Lookup3 {
         }
         out
     }
+
+    fn hash_batch(&self, states: &[u64], segments: &[u64], out: &mut [u64]) {
+        assert_eq!(states.len(), segments.len(), "hash_batch length mismatch");
+        assert_eq!(states.len(), out.len(), "hash_batch length mismatch");
+        let done = kernels::lookup3_batch(self.dispatch, self.seed, states, segments, out);
+        batch_via_hash4(self, &states[done..], &segments[done..], &mut out[done..]);
+    }
+
+    fn hash_batch_fixed_state(&self, state: u64, segments: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            segments.len(),
+            out.len(),
+            "hash_batch_fixed_state length mismatch"
+        );
+        let done = kernels::lookup3_fixed_state(self.dispatch, self.seed, state, segments, out);
+        fixed_state_via_hash4(self, state, &segments[done..], &mut out[done..]);
+    }
+
+    fn hash_batch_fixed_segment(&self, states: &[u64], segment: u64, out: &mut [u64]) {
+        assert_eq!(
+            states.len(),
+            out.len(),
+            "hash_batch_fixed_segment length mismatch"
+        );
+        let done = kernels::lookup3_fixed_segment(self.dispatch, self.seed, states, segment, out);
+        fixed_segment_via_hash4(self, &states[done..], segment, &mut out[done..]);
+    }
 }
 
 /// Four-lane [`lookup3_mix`]: each scalar step applied to all lanes
@@ -308,12 +374,23 @@ fn lookup3_final4(a: &mut [u32; 4], b: &mut [u32; 4], c: &mut [u32; 4]) {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OneAtATime {
     seed: u64,
+    dispatch: KernelDispatch,
 }
 
 impl OneAtATime {
     /// Creates the family member identified by `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { seed }
+        Self {
+            seed,
+            dispatch: KernelDispatch::detect(),
+        }
+    }
+
+    /// Pins the batched entry points to a SIMD tier (bit-identical on
+    /// every tier; the bench/CI override). Digests never change.
+    pub fn with_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
     }
 
     fn oaat(init: u32, state: u64, segment: u64) -> u32 {
@@ -374,6 +451,33 @@ impl SpineHash for OneAtATime {
             out[l] = (u64::from(h[l + 4]) << 32) | u64::from(h[l]);
         }
         out
+    }
+
+    fn hash_batch(&self, states: &[u64], segments: &[u64], out: &mut [u64]) {
+        assert_eq!(states.len(), segments.len(), "hash_batch length mismatch");
+        assert_eq!(states.len(), out.len(), "hash_batch length mismatch");
+        let done = kernels::oaat_batch(self.dispatch, self.seed, states, segments, out);
+        batch_via_hash4(self, &states[done..], &segments[done..], &mut out[done..]);
+    }
+
+    fn hash_batch_fixed_state(&self, state: u64, segments: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            segments.len(),
+            out.len(),
+            "hash_batch_fixed_state length mismatch"
+        );
+        let done = kernels::oaat_fixed_state(self.dispatch, self.seed, state, segments, out);
+        fixed_state_via_hash4(self, state, &segments[done..], &mut out[done..]);
+    }
+
+    fn hash_batch_fixed_segment(&self, states: &[u64], segment: u64, out: &mut [u64]) {
+        assert_eq!(
+            states.len(),
+            out.len(),
+            "hash_batch_fixed_segment length mismatch"
+        );
+        let done = kernels::oaat_fixed_segment(self.dispatch, self.seed, states, segment, out);
+        fixed_segment_via_hash4(self, &states[done..], segment, &mut out[done..]);
     }
 }
 
@@ -515,12 +619,23 @@ impl SpineHash for SipHash24 {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SplitMix {
     seed: u64,
+    dispatch: KernelDispatch,
 }
 
 impl SplitMix {
     /// Creates the family member identified by `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { seed }
+        Self {
+            seed,
+            dispatch: KernelDispatch::detect(),
+        }
+    }
+
+    /// Pins the batched entry points to a SIMD tier (bit-identical on
+    /// every tier; the bench/CI override). Digests never change.
+    pub fn with_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
     }
 
     /// David Stafford's "Mix13" variant of the splitmix64 finalizer.
@@ -581,6 +696,33 @@ impl SpineHash for SplitMix {
         }
         Self::mix64x4(x)
     }
+
+    fn hash_batch(&self, states: &[u64], segments: &[u64], out: &mut [u64]) {
+        assert_eq!(states.len(), segments.len(), "hash_batch length mismatch");
+        assert_eq!(states.len(), out.len(), "hash_batch length mismatch");
+        let done = kernels::splitmix_batch(self.dispatch, self.seed, states, segments, out);
+        batch_via_hash4(self, &states[done..], &segments[done..], &mut out[done..]);
+    }
+
+    fn hash_batch_fixed_state(&self, state: u64, segments: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            segments.len(),
+            out.len(),
+            "hash_batch_fixed_state length mismatch"
+        );
+        let done = kernels::splitmix_fixed_state(self.dispatch, self.seed, state, segments, out);
+        fixed_state_via_hash4(self, state, &segments[done..], &mut out[done..]);
+    }
+
+    fn hash_batch_fixed_segment(&self, states: &[u64], segment: u64, out: &mut [u64]) {
+        assert_eq!(
+            states.len(),
+            out.len(),
+            "hash_batch_fixed_segment length mismatch"
+        );
+        let done = kernels::splitmix_fixed_segment(self.dispatch, self.seed, states, segment, out);
+        fixed_segment_via_hash4(self, &states[done..], segment, &mut out[done..]);
+    }
 }
 
 /// The hash families available by name, for experiment configuration.
@@ -618,6 +760,18 @@ impl AnyHash {
             HashFamily::OneAtATime => AnyHash::OneAtATime(OneAtATime::new(seed)),
             HashFamily::SipHash24 => AnyHash::SipHash24(SipHash24::new(seed)),
             HashFamily::SplitMix => AnyHash::SplitMix(SplitMix::new(seed)),
+        }
+    }
+
+    /// Pins the selected family's batched entry points to a SIMD tier
+    /// (bit-identical on every tier; SipHash-2-4 is scalar-only and
+    /// ignores the override). Digests never change.
+    pub fn with_dispatch(self, dispatch: KernelDispatch) -> Self {
+        match self {
+            AnyHash::Lookup3(h) => AnyHash::Lookup3(h.with_dispatch(dispatch)),
+            AnyHash::OneAtATime(h) => AnyHash::OneAtATime(h.with_dispatch(dispatch)),
+            AnyHash::SipHash24(h) => AnyHash::SipHash24(h),
+            AnyHash::SplitMix(h) => AnyHash::SplitMix(h.with_dispatch(dispatch)),
         }
     }
 }
@@ -674,6 +828,37 @@ mod tests {
             AnyHash::new(HashFamily::SipHash24, seed),
             AnyHash::new(HashFamily::SplitMix, seed),
         ]
+    }
+
+    /// Every SIMD tier the machine supports produces byte-identical
+    /// batches to the scalar tier, for every family, across all three
+    /// call shapes and remainder lengths.
+    #[test]
+    fn batched_kernels_bit_identical_across_tiers() {
+        use crate::kernels::KernelDispatch;
+        let states: Vec<u64> = (0..37u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(9))
+            .collect();
+        let segments: Vec<u64> = states.iter().map(|&s| !s.rotate_right(21)).collect();
+        for h in families(0x5eed) {
+            let scalar = h.with_dispatch(KernelDispatch::Scalar);
+            for n in [0usize, 1, 3, 7, 8, 9, 16, 37] {
+                let mut want = vec![0u64; n];
+                let mut got = vec![0u64; n];
+                for tier in KernelDispatch::supported() {
+                    let tiered = h.with_dispatch(tier);
+                    scalar.hash_batch(&states[..n], &segments[..n], &mut want);
+                    tiered.hash_batch(&states[..n], &segments[..n], &mut got);
+                    assert_eq!(want, got, "{} {tier} batch n={n}", h.name());
+                    scalar.hash_batch_fixed_state(42, &segments[..n], &mut want);
+                    tiered.hash_batch_fixed_state(42, &segments[..n], &mut got);
+                    assert_eq!(want, got, "{} {tier} fixed_state n={n}", h.name());
+                    scalar.hash_batch_fixed_segment(&states[..n], 7, &mut want);
+                    tiered.hash_batch_fixed_segment(&states[..n], 7, &mut got);
+                    assert_eq!(want, got, "{} {tier} fixed_segment n={n}", h.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! AArch64 NEON kernel: the packed-bit mask collapse (`vcnt` popcount
+//! plus widening pairwise adds). Advanced SIMD is part of the aarch64
+//! baseline, so there is no runtime check; the hash families stay on
+//! their scalar 4-lane ILP kernels on this architecture (see the
+//! dispatch matrix in [`super`]).
+
+#![allow(unsafe_code)]
+
+use crate::decode::batch::PackedMask;
+use crate::decode::select::SIGN_FOLD;
+
+use core::arch::aarch64::*;
+
+/// NEON collapse: 2 children per iteration. Returns the number of
+/// leading children processed.
+pub(crate) fn packed_rows_neon(
+    blocks: &[u64],
+    n: usize,
+    masks: &[PackedMask],
+    parent_cost: u64,
+    out_costs: &mut [f64],
+    out_keys: &mut [u64],
+) -> usize {
+    let n2 = n - n % 2;
+    // SAFETY: every load stays inside `blocks[m.pos*n .. m.pos*n + n]`
+    // (the plan guarantees `blocks.len() >= (m.pos + 1) * n`) and every
+    // store inside `out_*[..n2]`.
+    unsafe {
+        for c in (0..n2).step_by(2) {
+            let mut acc = vdupq_n_u64(0);
+            for m in masks {
+                let v = vld1q_u64(blocks.as_ptr().add(m.pos as usize * n + c));
+                let x = vandq_u64(veorq_u64(v, vdupq_n_u64(m.obs)), vdupq_n_u64(m.sel));
+                let cnt = vcntq_u8(vreinterpretq_u8_u64(x));
+                acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+            }
+            let tot = vaddq_u64(acc, vdupq_n_u64(parent_cost));
+            let pd = vcvtq_f64_u64(tot);
+            vst1q_f64(out_costs.as_mut_ptr().add(c), pd);
+            // The order-preserving key of a non-negative f64 is its raw
+            // bits with the sign bit folded (see `decode::select`).
+            vst1q_u64(
+                out_keys.as_mut_ptr().add(c),
+                veorq_u64(vreinterpretq_u64_f64(pd), vdupq_n_u64(SIGN_FOLD)),
+            );
+        }
+    }
+    n2
+}

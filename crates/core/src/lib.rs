@@ -75,7 +75,11 @@
 //! (`spinal-channel`, `spinal-modem`, `spinal-ldpc`, `spinal-info`,
 //! `spinal-sim`).
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one place:
+// the `kernels` module, whose `core::arch` SIMD intrinsics sit behind
+// runtime feature detection and are property-tested bit-identical to
+// the scalar paths.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bits;
@@ -86,6 +90,7 @@ pub mod error;
 pub mod expand;
 pub mod frame;
 pub mod hash;
+pub mod kernels;
 pub mod map;
 pub mod params;
 pub mod puncture;
@@ -108,6 +113,7 @@ pub use frame::{
     GenieOracle, Terminator,
 };
 pub use hash::{AnyHash, HashFamily, Lookup3, OneAtATime, SipHash24, SpineHash, SplitMix};
+pub use kernels::KernelDispatch;
 pub use map::{
     AnyIqMapper, BinaryMapper, LinearMapper, Mapper, OffsetUniformMapper, TruncGaussMapper,
 };

@@ -774,6 +774,78 @@ mod tests {
         }
     }
 
+    /// The wide cost engine through the cohort path: a pool running the
+    /// machine's detected SIMD tier and radix selection must be
+    /// bit-identical to solo sessions forced onto scalar kernels and
+    /// comparator selection (everything except the diagnostic dispatch
+    /// tag in the stats). Mixed tiers inside one pool are equally safe.
+    #[test]
+    fn cross_tier_cohort_matches_forced_scalar_solo() {
+        use crate::decode::{AwgnCost, BeamConfig, BeamDecoder, SelectMode};
+        use crate::kernels::KernelDispatch;
+        let mut pool = Pool::new(MultiConfig::default());
+        let mut txs = Vec::new();
+        let mut ids = Vec::new();
+        let mut solo = Vec::new();
+        let msgs: Vec<BitVec> = (0..4u8).map(msg).collect();
+        for (i, m) in msgs.iter().enumerate() {
+            let seed = 500 + i as u64;
+            let (tx, rx) = session_pair(seed, m, RxConfig::default());
+            let (_, mut rx2) = session_pair(seed, m, RxConfig::default());
+            // Force the solo mirror fully scalar: kernels, selection,
+            // and the hash family's batched lanes.
+            let scalar_dec = BeamDecoder::new(
+                rx2.params(),
+                Lookup3::new(seed).with_dispatch(KernelDispatch::Scalar),
+                LinearMapper::new(10),
+                AwgnCost,
+                BeamConfig::paper_default(),
+            )
+            .unwrap()
+            .with_kernel_dispatch(KernelDispatch::Scalar)
+            .with_select_mode(SelectMode::Comparator);
+            assert_eq!(scalar_dec.kernel_dispatch(), KernelDispatch::Scalar);
+            rx2.rebind(scalar_dec);
+            txs.push(tx);
+            ids.push(pool.insert(rx));
+            solo.push(rx2);
+        }
+        let mut events = Vec::new();
+        for _round in 0..64 {
+            for ((tx, &id), s) in txs.iter_mut().zip(&ids).zip(solo.iter_mut()) {
+                if s.is_finished() {
+                    continue;
+                }
+                let (_slot, sym) = tx.next_symbol();
+                pool.ingest(id, &[sym]).unwrap();
+                s.ingest(&[sym]).unwrap();
+            }
+            pool.drive_into(&mut events);
+            if solo.iter().all(|s| s.is_finished()) {
+                break;
+            }
+        }
+        for (&id, s) in ids.iter().zip(&solo) {
+            assert!(s.is_finished(), "noiseless session must decode");
+            let p = pool.get(id).unwrap();
+            // Sanity: both sides really ran the engines they were
+            // pinned to.
+            assert_eq!(s.kernel_dispatch(), KernelDispatch::Scalar);
+            assert_eq!(p.kernel_dispatch(), KernelDispatch::detect());
+            assert_eq!(p.payload(), s.payload());
+            assert_eq!(p.symbols(), s.symbols());
+            assert_eq!(p.attempts(), s.attempts());
+            let (pr, sr) = (p.last_result(), s.last_result());
+            assert_eq!(pr.message, sr.message);
+            assert_eq!(pr.cost.to_bits(), sr.cost.to_bits());
+            assert_eq!(pr.candidates, sr.candidates);
+            assert_eq!(pr.stats.nodes_expanded, sr.stats.nodes_expanded);
+            assert_eq!(pr.stats.frontier_peak, sr.stats.frontier_peak);
+            assert_eq!(pr.stats.hash_calls, sr.stats.hash_calls);
+            assert_eq!(sr.stats.kernel_dispatch, KernelDispatch::Scalar);
+        }
+    }
+
     /// Under a saturating cohort and a per-drive attempt cap, aging must
     /// keep every session progressing — no starvation.
     #[test]

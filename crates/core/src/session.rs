@@ -771,6 +771,14 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
     pub fn decoder(&self) -> &BeamDecoder<H, M, C> {
         &self.decoder
     }
+
+    /// The SIMD tier this session's attempts run their integer kernels
+    /// on (see [`crate::kernels`]). Every tier is bit-identical; mixed
+    /// tiers across the sessions of a [`crate::sched::MultiDecoder`]
+    /// cohort are therefore safe — only per-attempt wall time differs.
+    pub fn kernel_dispatch(&self) -> crate::kernels::KernelDispatch {
+        self.decoder.kernel_dispatch()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,205 @@
+//! Fuzz-style no-panic harness over the public session and pool APIs
+//! (ROADMAP error-boundary item), on the offline proptest shim.
+//!
+//! Three surfaces, all driven by random byte/word streams:
+//!
+//! * **Constructors** — arbitrary (mostly invalid) parameter, schedule,
+//!   and beam configurations must come back as typed
+//!   [`spinal_codes::SpinalError`]s, never panics.
+//! * **`RxSession::ingest_at`** — arbitrary slot-labelled symbol
+//!   streams (out-of-order, duplicated, out-of-range, after
+//!   termination) must poll or error, never panic, and out-of-range
+//!   slots must consume nothing.
+//! * **`MultiDecoder` id streams** — random interleavings of
+//!   insert / ingest / drive / remove, including stale (generational)
+//!   and double-removed ids, against pools with tiny checkpoint budgets
+//!   and attempt caps.
+//!
+//! The harness asserts *absence of panics* and basic state sanity, not
+//! decoded payloads — the equivalence suites own correctness.
+
+use proptest::prelude::*;
+use spinal_codes::{
+    AnyTerminator, BitVec, IqSymbol, MultiConfig, MultiDecoder, RxConfig, Slot, SpinalCode,
+};
+use spinal_core::decode::{AwgnCost, BeamConfig, BeamDecoder};
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::puncture::{AnySchedule, StridedPuncture};
+use spinal_core::session::{RxSession, TxSession};
+
+type Pool = MultiDecoder<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
+type Rx = RxSession<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
+type Tx = TxSession<Lookup3, LinearMapper, StridedPuncture>;
+
+/// A bounded, finite symbol derived from fuzz words (the receiver
+/// contract: channel outputs are finite reals).
+fn symbol_from(w: u64) -> IqSymbol {
+    let i = ((w & 0xffff) as f64 - 32768.0) / 256.0;
+    let q = (((w >> 16) & 0xffff) as f64 - 32768.0) / 256.0;
+    IqSymbol::new(i, q)
+}
+
+fn fuzz_code(seed: u64) -> (SpinalCode<Lookup3, LinearMapper, StridedPuncture>, BitVec) {
+    let msg = BitVec::from_bytes(&[seed as u8, (seed >> 8) as u8, (seed >> 16) as u8]);
+    (SpinalCode::fig2(24, seed).expect("fig2 is valid"), msg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Constructors: every outcome is `Ok` or a typed error.
+    #[test]
+    fn fuzz_constructors_never_panic(
+        bits in 0u32..80,
+        k in 0u32..20,
+        tail in 0u32..6,
+        stride in 0u32..24,
+        beam in 0usize..80,
+        frontier in 0usize..700,
+        seed in any::<u64>(),
+    ) {
+        let params = CodeParams::builder()
+            .message_bits(bits)
+            .k(k)
+            .tail_segments(tail)
+            .seed(seed)
+            .build();
+        let _ = AnySchedule::strided(stride);
+        if let Ok(p) = params {
+            let cfg = BeamConfig {
+                beam_width: beam,
+                max_frontier: frontier,
+                defer_prune_unobserved: beam % 2 == 0,
+            };
+            let dec = BeamDecoder::new(
+                &p,
+                Lookup3::new(seed),
+                LinearMapper::new(10),
+                AwgnCost,
+                cfg,
+            );
+            if let (Ok(d), Ok(sched)) = (dec, StridedPuncture::new(stride.max(1))) {
+                // A valid decoder must always yield a working session.
+                let rx = Rx::new(
+                    d,
+                    sched,
+                    AnyTerminator::genie(BitVec::zeros(bits as usize)),
+                    RxConfig::default(),
+                );
+                prop_assert!(rx.is_ok());
+            }
+        }
+    }
+
+    /// `ingest_at` under arbitrary slot streams: never panics; an
+    /// out-of-range slot errors without consuming; a finished session
+    /// reports `SessionFinished`.
+    #[test]
+    fn fuzz_ingest_at_never_panics(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let (code, msg) = fuzz_code(seed);
+        let mut rx = code
+            .awgn_rx_session(
+                AnyTerminator::genie(msg),
+                RxConfig { max_symbols: 64, ..RxConfig::default() },
+            )
+            .expect("valid session");
+        let n_levels = 3u32; // fig2(24): 24 / 8 segments
+        for (i, &op) in ops.iter().enumerate() {
+            let t = (op % 5) as u32; // sometimes out of range (>= 3)
+            let pass = ((op >> 3) % 40) as u32;
+            let batch = [
+                (Slot::new(t, pass), symbol_from(op)),
+                (Slot::new((op >> 11) as u32 % n_levels, pass / 2), symbol_from(op >> 7)),
+            ];
+            let before = rx.symbols();
+            match rx.ingest_at(&batch) {
+                Ok(_) => {}
+                Err(spinal_codes::SpinalError::SlotOutOfRange { t: bad, .. }) => {
+                    prop_assert!(bad >= n_levels, "op {i}");
+                    prop_assert_eq!(rx.symbols(), before, "errors consume nothing");
+                }
+                Err(spinal_codes::SpinalError::SessionFinished) => {
+                    prop_assert!(rx.is_finished(), "op {i}");
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+    }
+
+    /// Pool id streams: stale ids, double removes, tiny budgets and
+    /// attempt caps — typed errors only, live sessions stay reachable.
+    #[test]
+    fn fuzz_pool_id_streams_never_panic(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(any::<u64>(), 1..96),
+        budget in 0usize..100_000,
+        cap in 0usize..6,
+    ) {
+        let mut pool = Pool::new(MultiConfig {
+            workers: 1,
+            checkpoint_budget: budget,
+            max_attempts_per_drive: cap.max(1),
+        });
+        let mut lanes: Vec<(spinal_codes::SessionId, Tx)> = Vec::new();
+        let mut dead: Vec<spinal_codes::SessionId> = Vec::new();
+        let mut events = Vec::new();
+        for &op in &ops {
+            match op % 7 {
+                0 | 1 => {
+                    // Insert a fresh session.
+                    let (code, msg) = fuzz_code(seed ^ op);
+                    let rx = code
+                        .awgn_rx_session(
+                            AnyTerminator::genie(msg.clone()),
+                            RxConfig { max_symbols: 48, ..RxConfig::default() },
+                        )
+                        .expect("valid session");
+                    let tx = code.tx_session(&msg).expect("valid tx");
+                    lanes.push((pool.insert(rx), tx));
+                }
+                2 | 3 => {
+                    // Ingest into a random live or dead id.
+                    let pick = (op >> 4) as usize;
+                    if !lanes.is_empty() && !pick.is_multiple_of(3) {
+                        let idx = pick % lanes.len();
+                        let (id, tx) = &mut lanes[idx];
+                        let (_slot, x) = tx.next_symbol();
+                        // Finished sessions yield SessionFinished — fine.
+                        let _ = pool.ingest(*id, &[x]);
+                    } else if let Some(&id) = dead.get(pick % dead.len().max(1)) {
+                        prop_assert!(pool.ingest(id, &[symbol_from(op)]).is_err(),
+                                     "stale id must be rejected");
+                    }
+                }
+                4 => {
+                    pool.drive_into(&mut events);
+                }
+                5 => {
+                    // Remove a random id (possibly already removed).
+                    let pick = (op >> 4) as usize;
+                    if !lanes.is_empty() {
+                        let (id, _) = lanes.remove(pick % lanes.len());
+                        prop_assert!(pool.remove(id).is_ok());
+                        prop_assert!(pool.remove(id).is_err(), "double remove");
+                        dead.push(id);
+                    }
+                }
+                _ => {
+                    // Stale lookups are None, live ones Some.
+                    for &id in &dead {
+                        prop_assert!(pool.get(id).is_none());
+                    }
+                    for (id, _) in &lanes {
+                        prop_assert!(pool.get(*id).is_some());
+                    }
+                }
+            }
+        }
+        pool.drive_into(&mut events);
+    }
+}
