@@ -25,7 +25,12 @@
 //!
 //! All engines must accept every session at exactly the same symbol
 //! count (asserted — the scheduler is an optimization, never a
-//! semantic). A full run writes `BENCH_multi_session.json`; `--quick`
+//! semantic). A full run also sweeps the global checkpoint budget over a
+//! budget × fleet grid, recording how demote-first enforcement degrades:
+//! raw checkpoint tiers collapse to packed blobs (demotions) long before
+//! any session loses its checkpoints outright (evictions), and the
+//! packed footprint fixes how many sessions stay resident per byte of
+//! budget. A full run writes `BENCH_multi_session.json`; `--quick`
 //! (the CI smoke) runs the worker-count and budget bit-identity
 //! self-checks on a reduced fleet and writes only the deterministic
 //! `quick_multi_session.json` summary, which CI diffs against
@@ -207,13 +212,16 @@ fn run_scheduler(
     if let Some(stats) = stats_out {
         let (mut resumed, mut run) = (0u64, 0u64);
         for &id in &ids {
-            let ck = pool.get(id).expect("live session").checkpoints();
+            let rx = pool.get(id).expect("live session");
+            let ck = rx.checkpoints();
             resumed += ck.levels_resumed();
             run += ck.levels_run();
+            stats.packed_bytes += rx.checkpoint_packed_bytes();
         }
         stats.levels_resumed_fraction = resumed as f64 / (resumed + run) as f64;
         stats.checkpoint_bytes = pool.checkpoint_bytes();
         stats.evictions = pool.evictions();
+        stats.demotions = pool.demotions();
     }
     out
 }
@@ -222,7 +230,9 @@ fn run_scheduler(
 struct SchedStats {
     levels_resumed_fraction: f64,
     checkpoint_bytes: usize,
+    packed_bytes: usize,
     evictions: u64,
+    demotions: u64,
 }
 
 /// The pre-scheduler serving loop: every arrival immediately re-decodes
@@ -327,6 +337,90 @@ fn run_checkpointed_sessions(flows: &[Flow]) -> Vec<(u64, u32)> {
     out
 }
 
+/// One cell of the budget × fleet grid: how the pool degraded while
+/// serving the identical trace under a global checkpoint budget.
+struct BudgetPoint {
+    sessions: usize,
+    /// `None` = unlimited (the footprint reference row).
+    budget: Option<usize>,
+    evictions: u64,
+    demotions: u64,
+    checkpoint_bytes: usize,
+    packed_bytes: usize,
+}
+
+/// Replays the identical trace under shrinking global checkpoint
+/// budgets. Demote-first enforcement means tight budgets are served by
+/// collapsing raw checkpoint tiers to their packed blobs (~20× smaller)
+/// before any session loses its checkpoints outright, so the evictions
+/// column stays at zero long after the raw tiers stop fitting. Returns
+/// the grid and the worst-case resident-capacity ratio (raw-tier bytes
+/// per session / packed bytes per session) across fleets.
+fn run_budget_sweep(master_seed: u64) -> (Vec<BudgetPoint>, f64) {
+    const SWEEP_FLEETS: [usize; 2] = [8, 64];
+    const BUDGETS: [Option<usize>; 5] = [
+        None,
+        Some(256 * 1024),
+        Some(64 * 1024),
+        Some(16 * 1024),
+        Some(4 * 1024),
+    ];
+    println!();
+    println!("checkpoint budget sweep (demote-first enforcement)");
+    println!(
+        "{:>9} {:>12} {:>10} {:>10} {:>13} {:>11}",
+        "sessions", "budget KiB", "demotions", "evictions", "resident KiB", "packed KiB"
+    );
+    let mut points = Vec::new();
+    let mut capacity_ratio = f64::INFINITY;
+    for &n in &SWEEP_FLEETS {
+        let flows = build_flows(n, master_seed);
+        let mut reference: Option<Vec<(u64, u32)>> = None;
+        for &budget in &BUDGETS {
+            let cfg = MultiConfig {
+                checkpoint_budget: budget.unwrap_or(usize::MAX),
+                ..MultiConfig::default()
+            };
+            let mut stats = SchedStats::default();
+            let outcomes = run_scheduler(&flows, cfg, Some(&mut stats));
+            match &reference {
+                None => {
+                    // Unlimited row: the raw-vs-packed footprint
+                    // reference. The raw tier is everything above the
+                    // packed blobs.
+                    let raw = stats.checkpoint_bytes.saturating_sub(stats.packed_bytes);
+                    if stats.packed_bytes > 0 {
+                        capacity_ratio = capacity_ratio.min(raw as f64 / stats.packed_bytes as f64);
+                    }
+                    reference = Some(outcomes);
+                }
+                Some(r) => assert_eq!(
+                    r, &outcomes,
+                    "checkpoint budget must not change results (fleet {n})"
+                ),
+            }
+            println!(
+                "{:>9} {:>12} {:>10} {:>10} {:>13.1} {:>11.1}",
+                n,
+                budget.map_or("unlimited".to_string(), |b| format!("{}", b / 1024)),
+                stats.demotions,
+                stats.evictions,
+                stats.checkpoint_bytes as f64 / 1024.0,
+                stats.packed_bytes as f64 / 1024.0,
+            );
+            points.push(BudgetPoint {
+                sessions: n,
+                budget,
+                evictions: stats.evictions,
+                demotions: stats.demotions,
+                checkpoint_bytes: stats.checkpoint_bytes,
+                packed_bytes: stats.packed_bytes,
+            });
+        }
+    }
+    (points, capacity_ratio)
+}
+
 fn time_sweep(rounds: u32, f: &mut impl FnMut() -> Vec<(u64, u32)>) -> f64 {
     black_box(f());
     let mut best = f64::INFINITY;
@@ -404,7 +498,13 @@ fn main() {
         assert_eq!(sched, tight, "checkpoint eviction must not change results");
         let total_symbols: u64 = sched.iter().map(|&(s, _)| s).sum();
         let total_attempts: u64 = sched.iter().map(|&(_, a)| u64::from(a)).sum();
-        quick_rows.push((n, total_symbols, total_attempts, tight_stats.evictions));
+        quick_rows.push((
+            n,
+            total_symbols,
+            total_attempts,
+            tight_stats.evictions,
+            tight_stats.demotions,
+        ));
 
         // Timings.
         let sched_secs = time_sweep(rounds, &mut || {
@@ -446,7 +546,15 @@ fn main() {
         std::fs::write("quick_multi_session.json", &json).expect("write quick_multi_session.json");
         println!("# wrote quick_multi_session.json (deterministic summary for the golden diff)");
     } else {
-        let json = render_json(&args, rounds, &points);
+        let (budget_points, capacity_ratio) = run_budget_sweep(args.seed);
+        assert!(
+            capacity_ratio >= 5.0,
+            "packed tier must fit >=5x more resident sessions than raw (got {capacity_ratio:.1}x)"
+        );
+        println!(
+            "# packed tier fits {capacity_ratio:.1}x more resident sessions per byte of budget than raw"
+        );
+        let json = render_json(&args, rounds, &points, &budget_points, capacity_ratio);
         std::fs::write("BENCH_multi_session.json", &json).expect("write BENCH_multi_session.json");
         println!("# wrote BENCH_multi_session.json");
     }
@@ -454,7 +562,13 @@ fn main() {
 
 /// Hand-rendered JSON (the workspace carries no serialization
 /// dependency).
-fn render_json(args: &RunArgs, rounds: u32, points: &[Point]) -> String {
+fn render_json(
+    args: &RunArgs,
+    rounds: u32,
+    points: &[Point],
+    budget_points: &[BudgetPoint],
+    capacity_ratio: f64,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"multi_session_scheduler\",\n");
@@ -483,19 +597,37 @@ fn render_json(args: &RunArgs, rounds: u32, points: &[Point]) -> String {
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"resident_capacity_ratio_packed_vs_raw\": {capacity_ratio:.1},\n"
+    ));
+    s.push_str("  \"budget_sweep\": [\n");
+    for (i, p) in budget_points.iter().enumerate() {
+        let budget = p.budget.map_or("null".to_string(), |b| b.to_string());
+        s.push_str(&format!(
+            "    {{\"sessions\": {}, \"budget_bytes\": {}, \"demotions\": {}, \"evictions\": {}, \"checkpoint_bytes\": {}, \"packed_bytes\": {}}}{}\n",
+            p.sessions,
+            budget,
+            p.demotions,
+            p.evictions,
+            p.checkpoint_bytes,
+            p.packed_bytes,
+            if i + 1 == budget_points.len() { "" } else { "," },
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
 
 /// The deterministic quick-mode summary (integers only: accepted symbol
-/// totals, attempt totals, and tight-budget eviction counts per fleet
-/// size) — the golden-diff artifact.
-fn render_quick_json(rows: &[(usize, u64, u64, u64)]) -> String {
+/// totals, attempt totals, and tight-budget demotion/eviction counts per
+/// fleet size) — the golden-diff artifact.
+fn render_quick_json(rows: &[(usize, u64, u64, u64, u64)]) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"benchmark\": \"quick_multi_session\",\n  \"points\": [\n");
-    for (i, &(n, symbols, attempts, evictions)) in rows.iter().enumerate() {
+    for (i, &(n, symbols, attempts, evictions, demotions)) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"sessions\": {n}, \"total_symbols_to_decode\": {symbols}, \"total_attempts\": {attempts}, \"tight_budget_evictions\": {evictions}}}{}\n",
+            "    {{\"sessions\": {n}, \"total_symbols_to_decode\": {symbols}, \"total_attempts\": {attempts}, \"tight_budget_evictions\": {evictions}, \"tight_budget_demotions\": {demotions}}}{}\n",
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

@@ -30,10 +30,17 @@
 //! where the receiver re-decodes from scratch after every sub-pass:
 //!
 //! * **Structure-of-arrays frontier.** A hypothesis is four parallel
-//!   entries — `spines: Vec<u64>`, `costs: Vec<f64>`, `parents: Vec<u32>`,
-//!   `segs: Vec<u16>` — instead of a struct per node. The expansion loop
-//!   walks flat slices with no branching beyond the observation loop,
-//!   which the vectorizer and prefetcher both like.
+//!   entries — `spines: Vec<u64>`, `keys: Vec<u64>`, `parents: Vec<u32>`,
+//!   `segs: Vec<u16>` — instead of a struct per node. The hot loop is
+//!   **key-only**: the `f64` path cost lives exclusively as its
+//!   order-preserving integer image ([`crate::decode::select::cost_key`],
+//!   a bijection), so ranking, pruning, and checkpointing never touch a
+//!   float, and the redundant 8-byte cost mirror PRs 1–5 carried per
+//!   child is gone from the store bandwidth. Costs are materialized
+//!   (via the exact inverse [`crate::decode::select::key_cost`]) only at
+//!   the finish boundary. The expansion loop walks flat slices with no
+//!   branching beyond the observation loop, which the vectorizer and
+//!   prefetcher both like.
 //! * **Reusable scratch.** All working memory lives in a
 //!   [`DecoderScratch`] that survives across levels *and* across decode
 //!   attempts. [`BeamDecoder::decode_into`] additionally reuses the
@@ -64,8 +71,9 @@
 
 use crate::bits::BitVec;
 use crate::decode::batch::{self, ObsRead, PackedMask};
+use crate::decode::ckpt_pack::{bits_for, BitReader, BitWriter, PackedCheckpoints};
 use crate::decode::cost::CostModel;
-use crate::decode::select::{self, cost_key, SelectMode, SelectScratch};
+use crate::decode::select::{self, cost_key, key_cost, SelectMode, SelectScratch};
 use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
 use crate::error::SpinalError;
 use crate::hash::SpineHash;
@@ -142,18 +150,17 @@ impl Default for BeamConfig {
 /// symbol type and may be shared between them sequentially.
 #[derive(Clone, Debug, Default)]
 pub struct DecoderScratch {
-    /// Current frontier, one entry per retained hypothesis. `keys`
-    /// mirrors `costs` through the order-preserving integer transform
-    /// ([`crate::decode::select::cost_key`]); every ranking reads keys,
-    /// never floats.
+    /// Current frontier, one entry per retained hypothesis. `keys` holds
+    /// each path cost as its order-preserving integer image
+    /// ([`crate::decode::select::cost_key`], a bijection) — the hot loop
+    /// carries no `f64` cost array at all; floats are recovered with
+    /// [`crate::decode::select::key_cost`] only at the finish boundary.
     spines: Vec<u64>,
-    costs: Vec<f64>,
     keys: Vec<u64>,
     parents: Vec<u32>,
     segs: Vec<u16>,
     /// Child buffers the frontier expands into (swapped per level).
     next_spines: Vec<u64>,
-    next_costs: Vec<f64>,
     next_keys: Vec<u64>,
     next_parents: Vec<u32>,
     next_segs: Vec<u16>,
@@ -202,7 +209,7 @@ pub const MAX_CHECKPOINT_FRONTIER: usize = 1 << 12;
 #[derive(Clone, Debug, Default)]
 struct SavedLevel {
     spines: Vec<u64>,
-    costs: Vec<f64>,
+    keys: Vec<u64>,
     parents: Vec<u32>,
     segs: Vec<u16>,
     arena_len: usize,
@@ -227,7 +234,7 @@ impl SavedStates {
         t: u32,
         limit: usize,
         spines: &[u64],
-        costs: &[f64],
+        keys: &[u64],
         parents: &[u32],
         segs: &[u16],
         arena_len: usize,
@@ -242,8 +249,8 @@ impl SavedStates {
         let e = &mut self.levels[t as usize];
         e.spines.clear();
         e.spines.extend_from_slice(spines);
-        e.costs.clear();
-        e.costs.extend_from_slice(costs);
+        e.keys.clear();
+        e.keys.extend_from_slice(keys);
         e.parents.clear();
         e.parents.extend_from_slice(parents);
         e.segs.clear();
@@ -298,6 +305,21 @@ impl Default for CachedPlan {
 /// checkpoints are also discarded automatically when the observation
 /// count shrinks or the level count changes. After the first attempt
 /// warms the buffers, checkpointing allocates nothing.
+///
+/// # The packed tier
+///
+/// Alongside the raw per-level snapshots, the store keeps (by default)
+/// a **compressed** image of the same prefix, refilled at every attempt
+/// finish: topology only — the parent index into the previous level's
+/// committed frontier plus the `k`-bit segment, bit-packed, with the
+/// per-level work counters varint-coded (see
+/// [`crate::decode::ckpt_pack`]). Spines and cost keys are *not* stored;
+/// they are recomputed on restore by replaying the per-entry spine hash
+/// and cost accumulation — the identical arithmetic the expansion loop
+/// used, so the rebuilt snapshots are bit-for-bit the originals. That
+/// makes [`demote`](Self::demote) possible: drop the raw tier (~20× the
+/// bytes) while keeping full resumption depth, at the cost of one
+/// transparent unpack on the session's next attempt.
 #[derive(Clone, Debug)]
 pub struct BeamCheckpoints {
     saved: SavedStates,
@@ -314,6 +336,18 @@ pub struct BeamCheckpoints {
     /// Largest entering frontier this store will snapshot (see
     /// [`MAX_CHECKPOINT_FRONTIER`], the default).
     max_frontier: usize,
+    /// Compressed image of `saved` (topology + stats bitstream),
+    /// refilled at every attempt finish while `packing` is on.
+    packed: PackedCheckpoints,
+    /// Raw tier dropped; the next attempt must unpack before resuming.
+    demoted: bool,
+    /// Maintain the packed tier (on by default; turning it off also
+    /// discards the blob, since it would go stale at the next attempt).
+    packing: bool,
+    /// Packs performed over the store's lifetime.
+    packs: u64,
+    /// Demote→unpack round trips over the store's lifetime.
+    unpacks: u64,
 }
 
 impl Default for BeamCheckpoints {
@@ -328,6 +362,11 @@ impl Default for BeamCheckpoints {
             levels_resumed: 0,
             levels_run: 0,
             max_frontier: MAX_CHECKPOINT_FRONTIER,
+            packed: PackedCheckpoints::default(),
+            demoted: false,
+            packing: true,
+            packs: 0,
+            unpacks: 0,
         }
     }
 }
@@ -365,6 +404,8 @@ impl BeamCheckpoints {
         }
         self.obs_len = 0;
         self.n_levels = 0;
+        self.packed.clear();
+        self.demoted = false;
     }
 
     /// [`reset`](Self::reset) that also returns every buffer's memory to
@@ -378,6 +419,7 @@ impl BeamCheckpoints {
         self.arena_parents = Vec::new();
         self.arena_segs = Vec::new();
         self.plans = Vec::new();
+        self.packed.bytes = Vec::new();
     }
 
     /// Heap bytes currently held by this store (capacity-based: saved
@@ -389,7 +431,7 @@ impl BeamCheckpoints {
             + self.arena_segs.capacity() * size_of::<u16>();
         for level in &self.saved.levels {
             bytes += level.spines.capacity() * size_of::<u64>()
-                + level.costs.capacity() * size_of::<f64>()
+                + level.keys.capacity() * size_of::<u64>()
                 + level.parents.capacity() * size_of::<u32>()
                 + level.segs.capacity() * size_of::<u16>();
         }
@@ -398,7 +440,78 @@ impl BeamCheckpoints {
                 + plan.reads.capacity() * size_of::<ObsRead>()
                 + plan.packed.capacity() * size_of::<PackedMask>();
         }
-        bytes
+        bytes + self.packed.memory_bytes()
+    }
+
+    /// Heap bytes the compressed checkpoint image currently holds —
+    /// what a demoted session's resumable state costs.
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.memory_bytes()
+    }
+
+    /// Whether the raw snapshot tier has been dropped in favour of the
+    /// packed image ([`demote`](Self::demote)); cleared transparently by
+    /// the next attempt's restore.
+    pub fn is_demoted(&self) -> bool {
+        self.demoted
+    }
+
+    /// Whether a [`demote`](Self::demote) right now would succeed: the
+    /// packed image is in sync and the raw tier is still resident.
+    pub fn can_demote(&self) -> bool {
+        self.packed.active && !self.demoted && self.saved.valid > 0
+    }
+
+    /// Drops the raw snapshot tier — saved frontiers, arena, and cached
+    /// plans — keeping only the packed image (~20× smaller at the
+    /// paper-default shape) and the resume depth. The next attempt
+    /// transparently unpacks, recomputing the raw snapshots bit-for-bit,
+    /// so results are unchanged; only that attempt's restore does extra
+    /// work (one hash + cost evaluation per saved entry — still ~`2^k`×
+    /// cheaper than re-expanding from scratch). Returns `false` (doing
+    /// nothing) when there is nothing packed to fall back on.
+    pub fn demote(&mut self) -> bool {
+        if !self.can_demote() {
+            return false;
+        }
+        self.saved.levels = Vec::new();
+        self.arena_parents = Vec::new();
+        self.arena_segs = Vec::new();
+        self.plans = Vec::new();
+        self.demoted = true;
+        true
+    }
+
+    /// Enables or disables the packed tier (on by default). Disabling
+    /// discards the current blob — it would silently go stale at the
+    /// next attempt otherwise. On a demoted store the blob is the only
+    /// surviving tier, so disabling falls all the way back to a cold
+    /// store (full replay at the next attempt — checkpoints are policy,
+    /// results never change).
+    pub fn set_packing(&mut self, enabled: bool) {
+        self.packing = enabled;
+        if !enabled {
+            if self.demoted {
+                self.reset();
+            }
+            self.packed.clear();
+        }
+    }
+
+    /// Whether the packed tier is maintained.
+    pub fn packing(&self) -> bool {
+        self.packing
+    }
+
+    /// Packs performed over the store's lifetime (one per attempt finish
+    /// while packing is on).
+    pub fn packs(&self) -> u64 {
+        self.packs
+    }
+
+    /// Demote→unpack round trips served over the store's lifetime.
+    pub fn unpacks(&self) -> u64 {
+        self.unpacks
     }
 
     /// Number of tree levels the valid checkpoint prefix covers — the
@@ -442,7 +555,6 @@ enum PlanSource<'a> {
 /// [`ExpandScratch`] hot while interleaving many sessions' sweeps.
 struct Frontier<'a> {
     spines: &'a mut Vec<u64>,
-    costs: &'a mut Vec<f64>,
     keys: &'a mut Vec<u64>,
     parents: &'a mut Vec<u32>,
     segs: &'a mut Vec<u16>,
@@ -453,7 +565,6 @@ struct Frontier<'a> {
 /// session of a cohort (and by every attempt of a session).
 struct ExpandScratch<'a> {
     spines: &'a mut Vec<u64>,
-    costs: &'a mut Vec<f64>,
     keys: &'a mut Vec<u64>,
     parents: &'a mut Vec<u32>,
     segs: &'a mut Vec<u16>,
@@ -468,7 +579,6 @@ impl DecoderScratch {
     fn frontier_mut(&mut self) -> Frontier<'_> {
         Frontier {
             spines: &mut self.spines,
-            costs: &mut self.costs,
             keys: &mut self.keys,
             parents: &mut self.parents,
             segs: &mut self.segs,
@@ -479,7 +589,6 @@ impl DecoderScratch {
     fn expand_mut(&mut self) -> ExpandScratch<'_> {
         ExpandScratch {
             spines: &mut self.next_spines,
-            costs: &mut self.next_costs,
             keys: &mut self.next_keys,
             parents: &mut self.next_parents,
             segs: &mut self.next_segs,
@@ -497,14 +606,12 @@ impl DecoderScratch {
         (
             Frontier {
                 spines: &mut self.spines,
-                costs: &mut self.costs,
                 keys: &mut self.keys,
                 parents: &mut self.parents,
                 segs: &mut self.segs,
             },
             ExpandScratch {
                 spines: &mut self.next_spines,
-                costs: &mut self.next_costs,
                 keys: &mut self.next_keys,
                 parents: &mut self.next_parents,
                 segs: &mut self.next_segs,
@@ -694,12 +801,10 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let n_levels = self.params.n_segments();
         let DecoderScratch {
             spines,
-            costs,
             keys,
             parents,
             segs,
             next_spines,
-            next_costs,
             next_keys,
             next_parents,
             next_segs,
@@ -714,15 +819,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             selector,
             path,
         } = scratch;
-        init_root(
-            spines,
-            costs,
-            keys,
-            parents,
-            segs,
-            arena_parents,
-            arena_segs,
-        );
+        init_root(spines, keys, parents, segs, arena_parents, arena_segs);
         let mut stats = fresh_stats(self.kernel_dispatch);
         let mut plans = PlanSource::Scratch {
             block_ids,
@@ -735,14 +832,12 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 obs,
                 Frontier {
                     spines: &mut *spines,
-                    costs: &mut *costs,
                     keys: &mut *keys,
                     parents: &mut *parents,
                     segs: &mut *segs,
                 },
                 ExpandScratch {
                     spines: &mut *next_spines,
-                    costs: &mut *next_costs,
                     keys: &mut *next_keys,
                     parents: &mut *next_parents,
                     segs: &mut *next_segs,
@@ -761,7 +856,6 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         self.finish_core(
             Frontier {
                 spines,
-                costs,
                 keys,
                 parents,
                 segs,
@@ -854,6 +948,18 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             ckpt.plans
                 .resize_with(n_levels as usize, CachedPlan::default);
         }
+        if ckpt.demoted {
+            // The raw snapshot tier was dropped by `demote`; rebuild the
+            // levels this restore needs from the packed topology. The
+            // recompute replays the expansion arithmetic exactly, so the
+            // rebuilt snapshots are bit-for-bit what was demoted. A
+            // from-scratch start needs nothing back.
+            if start > 0 {
+                self.unpack_checkpoints(start, obs, ckpt, scratch);
+                ckpt.unpacks += 1;
+            }
+            ckpt.demoted = false;
+        }
 
         let init_stats = if start == 0 {
             fresh_stats(self.kernel_dispatch)
@@ -862,16 +968,13 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         };
         if start > 0 {
             // Restore the frontier entering `start` and roll the arena
-            // back to what was committed before it. Keys are a pure
-            // function of the costs, so checkpoints do not store them —
-            // rebuild the mirror here.
+            // back to what was committed before it. The checkpoint holds
+            // cost keys natively, so restore is a straight copy.
             let e = &ckpt.saved.levels[start as usize];
             scratch.spines.clear();
             scratch.spines.extend_from_slice(&e.spines);
-            scratch.costs.clear();
-            scratch.costs.extend_from_slice(&e.costs);
             scratch.keys.clear();
-            scratch.keys.extend(e.costs.iter().map(|&c| cost_key(c)));
+            scratch.keys.extend_from_slice(&e.keys);
             scratch.parents.clear();
             scratch.parents.extend_from_slice(&e.parents);
             scratch.segs.clear();
@@ -881,7 +984,6 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         } else {
             init_root(
                 &mut scratch.spines,
-                &mut scratch.costs,
                 &mut scratch.keys,
                 &mut scratch.parents,
                 &mut scratch.segs,
@@ -990,6 +1092,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             arena_parents,
             arena_segs,
             max_frontier,
+            packed,
+            packing,
+            packs,
             ..
         } = ckpt;
         self.finish_core(
@@ -1003,6 +1108,279 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             stats,
             out,
         );
+        // Keep the compressed tier in sync with the snapshots this
+        // attempt just (re)wrote, so the store is demotable at any
+        // point between attempts.
+        if *packing && saved.valid > 0 {
+            self.pack_checkpoints(saved, packed);
+            *packs += 1;
+        }
+    }
+
+    /// Serializes `saved`'s valid prefix into `packed`: per level, the
+    /// entry count and varint-coded work counters, then — spines and
+    /// cost keys elided — each entry's parent *slot* (index into the
+    /// previous level's committed frontier, `⌈log2 |C|⌉` bits) and
+    /// segment (`k` bits; zero bits at tail levels). Refills the
+    /// retained buffer in place, so steady-state packing allocates
+    /// nothing once the buffer has reached its working size.
+    fn pack_checkpoints(&self, saved: &SavedStates, packed: &mut PackedCheckpoints) {
+        let msg_segs = self.params.message_segments();
+        let k = self.params.k();
+        packed.bytes.clear();
+        let mut w = BitWriter::new(&mut packed.bytes);
+        w.push_varint(u64::from(saved.valid));
+        let mut prev_nodes = 0u64;
+        let mut prev_hash = 0u64;
+        for t in 0..saved.valid as usize {
+            let e = &saved.levels[t];
+            w.push_varint(e.spines.len() as u64);
+            // Work counters are nondecreasing across the sweep: store
+            // per-level deltas (level 0 is absolute).
+            w.push_varint(e.stats.nodes_expanded - prev_nodes);
+            w.push_varint(e.stats.hash_calls - prev_hash);
+            w.push_varint(e.stats.frontier_peak as u64);
+            w.push(u64::from(e.stats.complete), 1);
+            prev_nodes = e.stats.nodes_expanded;
+            prev_hash = e.stats.hash_calls;
+            if t == 0 {
+                debug_assert_eq!(e.spines.len(), 1, "level 0 holds exactly the root");
+                continue;
+            }
+            // The committed frontier the slots index into: its size is
+            // the arena growth between the two snapshots (level 1's
+            // parent is the root, which is not in the arena).
+            let committed_prev = if t == 1 {
+                1
+            } else {
+                e.arena_len - saved.levels[t - 1].arena_len
+            };
+            let slot_bits = bits_for(committed_prev);
+            let seg_bits = if (t as u32 - 1) < msg_segs { k } else { 0 };
+            let base = saved.levels[t - 1].arena_len as u32;
+            for (j, &seg) in e.segs.iter().enumerate() {
+                let slot = if t == 1 {
+                    0
+                } else {
+                    u64::from(e.parents[j] - base)
+                };
+                w.push(slot, slot_bits);
+                w.push(u64::from(seg), seg_bits);
+            }
+        }
+        w.finish();
+        packed.active = true;
+    }
+
+    /// Rebuilds `saved.levels[0..=start]` (and the arena prefix and plan
+    /// caches below `start`) from the packed image, after a
+    /// [`BeamCheckpoints::demote`]. Spines and cost keys are recomputed
+    /// by replaying, per entry, exactly the arithmetic the expansion
+    /// loop used — the single-step spine hash, then either the packed
+    /// XOR/popcount kernel or the sequential per-observation cost fold —
+    /// so the rebuilt snapshots are bit-identical to the demoted ones.
+    /// Pre-prunes between levels are replayed with the same canonical
+    /// selection to reconstruct each level's committed frontier (which
+    /// the next level's slots index into). Cost: one hash + one cost
+    /// evaluation per saved entry — `2^k`× less work than re-expanding
+    /// the sweep from scratch.
+    fn unpack_checkpoints(
+        &self,
+        start: u32,
+        obs: &Observations<M::Symbol>,
+        ckpt: &mut BeamCheckpoints,
+        scratch: &mut DecoderScratch,
+    ) {
+        let msg_segs = self.params.message_segments();
+        let k = self.params.k();
+        let branch = 1usize << k;
+        let bps = self.mapper.bits_per_symbol();
+        let BeamCheckpoints {
+            saved,
+            arena_parents,
+            arena_segs,
+            plans,
+            packed,
+            ..
+        } = ckpt;
+        debug_assert!(packed.active, "unpack without a packed image");
+        let mut r = BitReader::new(&packed.bytes);
+        let packed_valid = r.pull_varint() as u32;
+        debug_assert!(
+            start < packed_valid,
+            "resume level {start} beyond packed prefix {packed_valid}"
+        );
+        if saved.levels.len() <= start as usize {
+            saved
+                .levels
+                .resize_with(start as usize + 1, SavedLevel::default);
+        }
+        arena_parents.clear();
+        arena_segs.clear();
+
+        let dispatch = self.kernel_dispatch;
+        let mut prev_nodes = 0u64;
+        let mut prev_hash = 0u64;
+        let mut pull_stats = |r: &mut BitReader<'_>| {
+            prev_nodes += r.pull_varint();
+            prev_hash += r.pull_varint();
+            let frontier_peak = r.pull_varint() as usize;
+            let complete = r.pull(1) != 0;
+            DecodeStats {
+                nodes_expanded: prev_nodes,
+                frontier_peak,
+                hash_calls: prev_hash,
+                complete,
+                kernel_dispatch: dispatch,
+            }
+        };
+
+        // The previous level's committed (post-pre-prune) frontier —
+        // what this level's slots index into — lives in the expansion
+        // scratch buffers.
+        let prev_spines = &mut scratch.next_spines;
+        let prev_keys = &mut scratch.next_keys;
+        let prev_parents = &mut scratch.next_parents;
+        let prev_segs = &mut scratch.next_segs;
+        let blocks = &mut scratch.blocks;
+        let order = &mut scratch.order;
+        let selector = &mut scratch.selector;
+
+        // Level 0: the root (C_0 — never pruned, never committed).
+        let n0 = r.pull_varint() as usize;
+        debug_assert_eq!(n0, 1, "level 0 holds exactly the root");
+        let stats0 = pull_stats(&mut r);
+        {
+            let e = &mut saved.levels[0];
+            e.spines.clear();
+            e.spines.push(INITIAL_SPINE);
+            e.keys.clear();
+            e.keys.push(cost_key(0.0));
+            e.parents.clear();
+            e.parents.push(u32::MAX);
+            e.segs.clear();
+            e.segs.push(0);
+            e.arena_len = 0;
+            e.stats = stats0;
+        }
+        prev_spines.clear();
+        prev_spines.push(INITIAL_SPINE);
+        prev_keys.clear();
+        prev_keys.push(cost_key(0.0));
+        prev_parents.clear();
+        prev_parents.push(u32::MAX);
+        prev_segs.clear();
+        prev_segs.push(0);
+
+        for u in 1..=start as usize {
+            // Sweep `u-1`'s arena commit: its committed frontier gains
+            // the stable indices this level's parents point at.
+            let base = saved.levels[u - 1].arena_len as u32;
+            if u >= 2 {
+                debug_assert_eq!(arena_parents.len(), base as usize);
+                arena_parents.extend_from_slice(prev_parents);
+                arena_segs.extend_from_slice(prev_segs);
+            }
+            let n = r.pull_varint() as usize;
+            let stats = pull_stats(&mut r);
+            let slot_bits = bits_for(prev_spines.len());
+            let seg_bits = if (u as u32 - 1) < msg_segs { k } else { 0 };
+
+            // Entries of this level were scored against level `u-1`'s
+            // observations; refresh that plan (also re-warming the
+            // cache the demote dropped).
+            let level_obs = obs.at_level(u as u32 - 1);
+            let p = &mut plans[u - 1];
+            if p.obs_len != level_obs.len() {
+                build_plan(
+                    &self.mapper,
+                    &self.cost,
+                    level_obs,
+                    bps,
+                    &mut p.block_ids,
+                    &mut p.reads,
+                    &mut p.packed,
+                );
+                p.obs_len = level_obs.len();
+            }
+            blocks.clear();
+            blocks.resize(p.block_ids.len(), 0);
+
+            let e = &mut saved.levels[u];
+            e.spines.clear();
+            e.keys.clear();
+            e.parents.clear();
+            e.segs.clear();
+            for _ in 0..n {
+                let slot = r.pull(slot_bits) as usize;
+                let seg = r.pull(seg_bits) as u16;
+                let pspine = prev_spines[slot];
+                let pkey = prev_keys[slot];
+                let spine = self.hash.hash(pspine, u64::from(seg));
+                let key = if p.reads.is_empty() {
+                    pkey
+                } else {
+                    // Replay the expansion's scoring for this one child:
+                    // same block cache, same kernel / fold, same
+                    // float-operation order — bit-identical keys.
+                    let pcost = key_cost(pkey);
+                    batch::fill_blocks(&self.hash, spine, &p.block_ids, blocks);
+                    if !p.packed.is_empty() {
+                        let mut one = [0u64; 1];
+                        kernels::packed_row_costs(dispatch, blocks, 1, &p.packed, pcost, &mut one);
+                        one[0]
+                    } else {
+                        let mut acc = pcost;
+                        for (rd, &(_, observed)) in p.reads.iter().zip(level_obs) {
+                            acc += self
+                                .cost
+                                .cost(observed, self.mapper.map(batch::read_obs(blocks, rd)));
+                        }
+                        cost_key(acc)
+                    }
+                };
+                let parent = if u == 1 { u32::MAX } else { base + slot as u32 };
+                e.spines.push(spine);
+                e.keys.push(key);
+                e.parents.push(parent);
+                e.segs.push(seg);
+            }
+            e.arena_len = arena_parents.len();
+            e.stats = stats;
+
+            // Replay sweep `u`'s pre-prune to obtain C_u — the frontier
+            // the *next* level's slots index into. (Not needed past the
+            // resume level: sweep `start` itself will run live.)
+            if (u as u32) < start {
+                let level_branch = if u as u32 >= msg_segs { 1 } else { branch };
+                let cap_parents = (self.config.max_frontier / level_branch).max(1);
+                prev_spines.clear();
+                prev_keys.clear();
+                prev_parents.clear();
+                prev_segs.clear();
+                if n > cap_parents {
+                    select::select_smallest(
+                        &e.keys,
+                        cap_parents,
+                        order,
+                        selector,
+                        self.select_mode,
+                    );
+                    for &i in order.iter() {
+                        let i = i as usize;
+                        prev_spines.push(e.spines[i]);
+                        prev_keys.push(e.keys[i]);
+                        prev_parents.push(e.parents[i]);
+                        prev_segs.push(e.segs[i]);
+                    }
+                } else {
+                    prev_spines.extend_from_slice(&e.spines);
+                    prev_keys.extend_from_slice(&e.keys);
+                    prev_parents.extend_from_slice(&e.parents);
+                    prev_segs.extend_from_slice(&e.segs);
+                }
+            }
+        }
     }
 
     fn check_levels(&self, obs: &Observations<M::Symbol>) {
@@ -1040,14 +1418,12 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let bps = self.mapper.bits_per_symbol();
         let Frontier {
             spines: fr_spines,
-            costs: fr_costs,
             keys: fr_keys,
             parents: fr_parents,
             segs: fr_segs,
         } = fr;
         let ExpandScratch {
             spines: next_spines,
-            costs: next_costs,
             keys: next_keys,
             parents: next_parents,
             segs: next_segs,
@@ -1073,7 +1449,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 t,
                 limit,
                 fr_spines,
-                fr_costs,
+                fr_keys,
                 fr_parents,
                 fr_segs,
                 arena_parents.len(),
@@ -1091,21 +1467,18 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 cap_parents,
                 (
                     fr_spines.as_slice(),
-                    fr_costs.as_slice(),
                     fr_keys.as_slice(),
                     fr_parents.as_slice(),
                     fr_segs.as_slice(),
                 ),
                 (
                     &mut *next_spines,
-                    &mut *next_costs,
                     &mut *next_keys,
                     &mut *next_parents,
                     &mut *next_segs,
                 ),
             );
             std::mem::swap(fr_spines, next_spines);
-            std::mem::swap(fr_costs, next_costs);
             std::mem::swap(fr_keys, next_keys);
             std::mem::swap(fr_parents, next_parents);
             std::mem::swap(fr_segs, next_segs);
@@ -1166,8 +1539,6 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let n_children = n_parents * level_branch;
         next_spines.clear();
         next_spines.resize(n_children, 0);
-        next_costs.clear();
-        next_costs.resize(n_children, 0.0);
         next_keys.clear();
         next_keys.resize(n_children, 0);
         next_parents.clear();
@@ -1181,7 +1552,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             self.parallel_workers,
             self.kernel_dispatch,
             fr_spines,
-            fr_costs,
+            fr_keys,
             parent_base,
             root_level,
             &seg_ids[..level_branch],
@@ -1191,7 +1562,6 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             plan_packed,
             blocks,
             next_spines,
-            next_costs,
             next_keys,
             next_parents,
             next_segs,
@@ -1217,14 +1587,12 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 keep,
                 (
                     next_spines.as_slice(),
-                    next_costs.as_slice(),
                     next_keys.as_slice(),
                     next_parents.as_slice(),
                     next_segs.as_slice(),
                 ),
                 (
                     &mut *fr_spines,
-                    &mut *fr_costs,
                     &mut *fr_keys,
                     &mut *fr_parents,
                     &mut *fr_segs,
@@ -1232,7 +1600,6 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             );
         } else {
             std::mem::swap(fr_spines, next_spines);
-            std::mem::swap(fr_costs, next_costs);
             std::mem::swap(fr_keys, next_keys);
             std::mem::swap(fr_parents, next_parents);
             std::mem::swap(fr_segs, next_segs);
@@ -1258,7 +1625,6 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let n_levels = self.params.n_segments();
         let Frontier {
             spines: fr_spines,
-            costs: fr_costs,
             keys: fr_keys,
             parents: fr_parents,
             segs: fr_segs,
@@ -1268,7 +1634,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 n_levels,
                 limit,
                 fr_spines,
-                fr_costs,
+                fr_keys,
                 fr_parents,
                 fr_segs,
                 arena_parents.len(),
@@ -1300,7 +1666,10 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         }
         for (slot, &idx) in out.candidates.iter_mut().zip(order.iter()) {
             let i = idx as usize;
-            slot.cost = fr_costs[i];
+            // The finish boundary is where f64 costs re-materialize:
+            // `key_cost` is the exact inverse of `cost_key`, so the
+            // reported cost is bit-identical to the accumulated float.
+            slot.cost = key_cost(fr_keys[i]);
             backtrack_into(
                 &self.params,
                 arena_parents,
@@ -1320,10 +1689,8 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
 
 /// Initializes the frontier to the root placeholder (not in the arena;
 /// its children use parent = `u32::MAX`) and clears the arena.
-#[allow(clippy::too_many_arguments)]
 fn init_root(
     fr_spines: &mut Vec<u64>,
-    fr_costs: &mut Vec<f64>,
     fr_keys: &mut Vec<u64>,
     fr_parents: &mut Vec<u32>,
     fr_segs: &mut Vec<u16>,
@@ -1331,12 +1698,10 @@ fn init_root(
     arena_segs: &mut Vec<u16>,
 ) {
     fr_spines.clear();
-    fr_costs.clear();
     fr_keys.clear();
     fr_parents.clear();
     fr_segs.clear();
     fr_spines.push(INITIAL_SPINE);
-    fr_costs.push(0.0);
     fr_keys.push(cost_key(0.0));
     fr_parents.push(u32::MAX);
     fr_segs.push(0);
@@ -1396,10 +1761,9 @@ fn build_plan<M: Mapper, C: CostModel<M::Symbol>>(
 /// arbitrarily" deterministically, and matches a stable sort by cost.
 /// Ranking reads the order-preserving integer keys, never the floats
 /// ([`crate::decode::select`] proves the two orders identical).
-type SoaRef<'a> = (&'a [u64], &'a [f64], &'a [u64], &'a [u32], &'a [u16]);
+type SoaRef<'a> = (&'a [u64], &'a [u64], &'a [u32], &'a [u16]);
 type SoaMut<'a> = (
     &'a mut Vec<u64>,
-    &'a mut Vec<f64>,
     &'a mut Vec<u64>,
     &'a mut Vec<u32>,
     &'a mut Vec<u16>,
@@ -1421,19 +1785,17 @@ fn select_into(
     src: SoaRef<'_>,
     dst: SoaMut<'_>,
 ) {
-    let (src_spines, src_costs, src_keys, src_parents, src_segs) = src;
-    let (dst_spines, dst_costs, dst_keys, dst_parents, dst_segs) = dst;
+    let (src_spines, src_keys, src_parents, src_segs) = src;
+    let (dst_spines, dst_keys, dst_parents, dst_segs) = dst;
     debug_assert!(src_keys.len() > keep);
     select::select_smallest(src_keys, keep, order, selector, mode);
     dst_spines.clear();
-    dst_costs.clear();
     dst_keys.clear();
     dst_parents.clear();
     dst_segs.clear();
     for &i in order.iter() {
         let i = i as usize;
         dst_spines.push(src_spines[i]);
-        dst_costs.push(src_costs[i]);
         dst_keys.push(src_keys[i]);
         dst_parents.push(src_parents[i]);
         dst_segs.push(src_segs[i]);
@@ -1451,7 +1813,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     parallel_workers: usize,
     dispatch: KernelDispatch,
     parent_spines: &[u64],
-    parent_costs: &[f64],
+    parent_keys: &[u64],
     parent_base: u32,
     root_level: bool,
     seg_ids: &[u64],
@@ -1461,7 +1823,6 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     packed: &[PackedMask],
     blocks: &mut Vec<u64>,
     out_spines: &mut [u64],
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
     out_parents: &mut [u32],
     out_segs: &mut [u16],
@@ -1475,7 +1836,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
             parallel_workers,
             dispatch,
             parent_spines,
-            parent_costs,
+            parent_keys,
             parent_base,
             root_level,
             seg_ids,
@@ -1485,7 +1846,6 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
             packed,
             blocks,
             out_spines,
-            out_costs,
             out_keys,
             out_parents,
             out_segs,
@@ -1501,7 +1861,7 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         cost,
         dispatch,
         parent_spines,
-        parent_costs,
+        parent_keys,
         0,
         parent_base,
         root_level,
@@ -1512,7 +1872,6 @@ fn expand_level<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         packed,
         blocks,
         out_spines,
-        out_costs,
         out_keys,
         out_parents,
         out_segs,
@@ -1534,7 +1893,7 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     cost: &C,
     dispatch: KernelDispatch,
     parent_spines: &[u64],
-    parent_costs: &[f64],
+    parent_keys: &[u64],
     first_parent: usize,
     parent_base: u32,
     root_level: bool,
@@ -1545,7 +1904,6 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     packed: &[PackedMask],
     blocks: &mut [u64],
     out_spines: &mut [u64],
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
     out_parents: &mut [u32],
     out_segs: &mut [u16],
@@ -1554,14 +1912,13 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     debug_assert_eq!(out_spines.len(), parent_spines.len() * level_branch);
     // Chunked iterators instead of indexed writes: one child row per
     // `zip` step, no bounds checks in the hot loop.
-    let parents = parent_spines.iter().zip(parent_costs);
+    let parents = parent_spines.iter().zip(parent_keys);
     let children = out_spines
         .chunks_exact_mut(level_branch)
-        .zip(out_costs.chunks_exact_mut(level_branch))
         .zip(out_keys.chunks_exact_mut(level_branch))
         .zip(out_parents.chunks_exact_mut(level_branch))
         .zip(out_segs.chunks_exact_mut(level_branch));
-    for (p, ((&pspine, &pcost), ((((row_s, row_c), row_k), row_p), row_g))) in
+    for (p, ((&pspine, &pkey), (((row_s, row_k), row_p), row_g))) in
         parents.zip(children).enumerate()
     {
         let parent_idx = if root_level {
@@ -1572,9 +1929,13 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
         // One batched hash sweep computes the whole child-spine row.
         hash.hash_batch_fixed_state(pspine, seg_ids, row_s);
         if reads.is_empty() {
-            row_c.fill(pcost);
-            row_k.fill(cost_key(pcost));
+            row_k.fill(pkey);
         } else {
+            // The parent's float cost is rebuilt from its key once per
+            // row (register-only; the frontier stores keys exclusively)
+            // so the accumulation order matches the from-scratch path
+            // bit-for-bit.
+            let pcost = key_cost(pkey);
             // One batched sweep per distinct expansion block fills the
             // row's block cache (block-major), then the cost loop reads
             // cached words only.
@@ -1584,25 +1945,16 @@ fn expand_parents<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
                 // is an XOR + popcount per cached block, accumulated in
                 // integer arithmetic end-to-end on the selected SIMD
                 // tier. Exact — packed costs are small integers, so the
-                // materialized f64 (and its key) is bit-identical to
-                // the per-observation loop.
-                kernels::packed_row_costs(
-                    dispatch,
-                    blocks,
-                    level_branch,
-                    packed,
-                    pcost,
-                    row_c,
-                    row_k,
-                );
+                // key it materializes is bit-identical to the
+                // per-observation loop's.
+                kernels::packed_row_costs(dispatch, blocks, level_branch, packed, pcost, row_k);
             } else {
-                for (c, (slot_c, slot_k)) in row_c.iter_mut().zip(row_k.iter_mut()).enumerate() {
+                for (c, slot_k) in row_k.iter_mut().enumerate() {
                     let mut acc = pcost;
                     for (r, &(_, observed)) in reads.iter().zip(level_obs) {
                         let hyp = mapper.map(batch::read_obs_strided(blocks, level_branch, c, r));
                         acc += cost.cost(observed, hyp);
                     }
-                    *slot_c = acc;
                     *slot_k = cost_key(acc);
                 }
             }
@@ -1664,7 +2016,7 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     parallel_workers: usize,
     dispatch: KernelDispatch,
     parent_spines: &[u64],
-    parent_costs: &[f64],
+    parent_keys: &[u64],
     parent_base: u32,
     root_level: bool,
     seg_ids: &[u64],
@@ -1674,7 +2026,6 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     packed: &[PackedMask],
     blocks: &mut Vec<u64>,
     out_spines: &mut [u64],
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
     out_parents: &mut [u32],
     out_segs: &mut [u16],
@@ -1695,9 +2046,8 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
     let chunk = n_parents.div_ceil(workers);
     std::thread::scope(|scope| {
         let mut ps = parent_spines;
-        let mut pc = parent_costs;
+        let mut pk = parent_keys;
         let mut os = out_spines;
-        let mut oc = out_costs;
         let mut ok = out_keys;
         let mut op = out_parents;
         let mut og = out_segs;
@@ -1707,12 +2057,10 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
             let take = chunk.min(ps.len());
             let (ps_c, ps_r) = ps.split_at(take);
             ps = ps_r;
-            let (pc_c, pc_r) = pc.split_at(take);
-            pc = pc_r;
+            let (pk_c, pk_r) = pk.split_at(take);
+            pk = pk_r;
             let (os_c, os_r) = std::mem::take(&mut os).split_at_mut(take * level_branch);
             os = os_r;
-            let (oc_c, oc_r) = std::mem::take(&mut oc).split_at_mut(take * level_branch);
-            oc = oc_r;
             let (ok_c, ok_r) = std::mem::take(&mut ok).split_at_mut(take * level_branch);
             ok = ok_r;
             let (op_c, op_r) = std::mem::take(&mut op).split_at_mut(take * level_branch);
@@ -1730,7 +2078,7 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
                     cost,
                     dispatch,
                     ps_c,
-                    pc_c,
+                    pk_c,
                     fp,
                     parent_base,
                     root_level,
@@ -1741,7 +2089,6 @@ fn expand_level_parallel<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>>(
                     packed,
                     bl_c,
                     os_c,
-                    oc_c,
                     ok_c,
                     op_c,
                     og_c,
@@ -2479,6 +2826,221 @@ mod tests {
             assert_eq!(inc.cost.to_bits(), batch.cost.to_bits());
             assert_eq!(inc.candidates, batch.candidates);
         }
+    }
+
+    /// Demoting to the packed tier between attempts must be invisible:
+    /// every restore recomputes the snapshots bit-for-bit, so results
+    /// (message, costs, candidates, stats) stay identical to batch at
+    /// every step. Strided puncturing plus a tight frontier cap makes
+    /// the unpack replay pre-prunes and multi-level resumption.
+    #[test]
+    fn demoted_checkpoints_restore_bit_identical() {
+        use crate::puncture::{PunctureSchedule, StridedPuncture};
+        let p = params(32, 4, 0); // 8 levels, branch 16
+        let msg = BitVec::from_bytes(&[0xa5, 0x17, 0x68, 0xf3]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig {
+                beam_width: 8,
+                max_frontier: 64,
+                defer_prune_unobserved: true,
+            },
+        )
+        .unwrap();
+        let sched = StridedPuncture::stride8();
+        let mut obs = Observations::new(p.n_segments());
+        let mut ckpt = BeamCheckpoints::new();
+        let mut scratch = DecoderScratch::new();
+        let mut inc = DecodeResult::default();
+        let mut raw_peak = 0usize;
+        for g in 0..24u32 {
+            let slots = sched.subpass_slots(p.n_segments(), g);
+            if slots.is_empty() {
+                continue;
+            }
+            let dirty = slots.iter().map(|s| s.t).min().unwrap();
+            for &slot in &slots {
+                obs.push(slot, enc.symbol(slot));
+            }
+            dec.decode_incremental(&obs, dirty, &mut ckpt, &mut scratch, &mut inc);
+            let batch = dec.decode(&obs);
+            assert_eq!(inc.message, batch.message, "subpass {g}");
+            assert_eq!(inc.cost.to_bits(), batch.cost.to_bits());
+            assert_eq!(inc.candidates, batch.candidates);
+            assert_eq!(inc.stats, batch.stats, "stats are as-if-from-scratch");
+            raw_peak = raw_peak.max(ckpt.memory_bytes());
+            // Demote after every attempt: the next one must unpack.
+            assert!(ckpt.demote(), "a finished attempt is always demotable");
+            assert!(ckpt.is_demoted());
+            assert!(
+                ckpt.memory_bytes() <= ckpt.packed_bytes(),
+                "demote leaves only the packed image resident"
+            );
+        }
+        assert!(ckpt.levels_resumed() > 0, "resumption must have happened");
+        assert!(ckpt.unpacks() > 0, "demoted restores must have unpacked");
+        assert!(ckpt.packs() > 0);
+        assert!(
+            ckpt.packed_bytes() * 5 <= raw_peak,
+            "packed tier ({}) must be >=5x smaller than raw ({})",
+            ckpt.packed_bytes(),
+            raw_peak
+        );
+    }
+
+    /// Demote/unpack on the bit-channel packed-kernel path, across every
+    /// supported SIMD tier: the unpack recompute routes through the same
+    /// XOR/popcount kernel, so restored keys are bit-identical on all of
+    /// them.
+    #[test]
+    fn demoted_checkpoints_bit_identical_across_kernel_tiers() {
+        let p = params(64, 4, 0);
+        let msg = BitVec::from_bytes(&[0x3c, 0x99, 0x5a, 0xc3, 0x0f, 0xf0, 0x81, 0x7e]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), BinaryMapper::new(), &msg).unwrap();
+        for tier in KernelDispatch::supported() {
+            let dec = BeamDecoder::new(
+                &p,
+                Lookup3::new(p.seed()).with_dispatch(tier),
+                BinaryMapper::new(),
+                BscCost,
+                BeamConfig::with_beam(8),
+            )
+            .unwrap()
+            .with_kernel_dispatch(tier);
+            let mut obs = Observations::new(p.n_segments());
+            let mut ckpt = BeamCheckpoints::new();
+            let mut scratch = DecoderScratch::new();
+            let mut inc = DecodeResult::default();
+            for pass in 0..3u32 {
+                for t in 0..p.n_segments() {
+                    let slot = Slot::new(t, pass);
+                    let mut bit = enc.symbol(slot);
+                    if (pass + t) % 7 == 2 {
+                        bit ^= 1;
+                    }
+                    obs.push(slot, bit);
+                    // Demote before each retry: resumption at `t` must
+                    // unpack every saved level below it.
+                    ckpt.demote();
+                    dec.decode_incremental(&obs, t, &mut ckpt, &mut scratch, &mut inc);
+                    let batch = dec.decode(&obs);
+                    assert_eq!(inc.message, batch.message, "{tier} pass {pass} t {t}");
+                    assert_eq!(inc.cost.to_bits(), batch.cost.to_bits());
+                    assert_eq!(inc.candidates, batch.candidates);
+                    assert_eq!(inc.stats, batch.stats);
+                }
+            }
+            assert!(ckpt.unpacks() > p.n_segments() as u64, "{tier}");
+        }
+    }
+
+    /// Deep resumption out of a demoted store: per-symbol arrivals with
+    /// a demote before every retry, so each restore unpacks a growing
+    /// prefix (the hardest replay path: every saved level rebuilt).
+    #[test]
+    fn demoted_per_symbol_arrivals_match_batch() {
+        let p = params(40, 8, 0);
+        let msg = BitVec::from_bytes(&[9, 8, 7, 6, 5]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        )
+        .unwrap();
+        let mut obs = Observations::new(p.n_segments());
+        let mut ckpt = BeamCheckpoints::new();
+        let mut scratch = DecoderScratch::new();
+        let mut inc = DecodeResult::default();
+        for pass in 0..2u32 {
+            for t in 0..p.n_segments() {
+                let slot = Slot::new(t, pass);
+                obs.push(slot, enc.symbol(slot));
+                ckpt.demote();
+                dec.decode_incremental(&obs, t, &mut ckpt, &mut scratch, &mut inc);
+                let batch = dec.decode(&obs);
+                assert_eq!(inc.message, batch.message, "pass {pass} t {t}");
+                assert_eq!(inc.cost.to_bits(), batch.cost.to_bits());
+                assert_eq!(inc.candidates, batch.candidates);
+                assert_eq!(inc.stats, batch.stats);
+            }
+        }
+        assert!(ckpt.levels_resumed() >= 10);
+        // Every retry whose resume level is > 0 unpacked (the t == 0
+        // retries restart from the root with nothing to rebuild).
+        assert!(ckpt.unpacks() >= 8, "{}", ckpt.unpacks());
+    }
+
+    /// Packing can be turned off (the blob is discarded so it can never
+    /// go stale), and a store with packing off refuses to demote.
+    #[test]
+    fn packing_toggle_discards_blob_and_blocks_demote() {
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[1, 2, 3]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        )
+        .unwrap();
+        let obs = noiseless_obs(&enc, 1);
+        let mut ckpt = BeamCheckpoints::new();
+        let mut scratch = DecoderScratch::new();
+        let mut out = DecodeResult::default();
+        dec.decode_incremental(&obs, 0, &mut ckpt, &mut scratch, &mut out);
+        assert!(ckpt.can_demote());
+        assert!(ckpt.packed_bytes() > 0);
+        ckpt.set_packing(false);
+        assert!(!ckpt.can_demote());
+        assert!(!ckpt.demote());
+        dec.decode_incremental(&obs, 0, &mut ckpt, &mut scratch, &mut out);
+        assert!(!ckpt.can_demote(), "no blob is maintained while off");
+        ckpt.set_packing(true);
+        dec.decode_incremental(&obs, 0, &mut ckpt, &mut scratch, &mut out);
+        assert!(ckpt.can_demote(), "re-enabled packing refills at finish");
+        let batch = dec.decode(&obs);
+        assert_eq!(out.candidates, batch.candidates);
+    }
+
+    /// Disabling packing on a *demoted* store discards the only
+    /// surviving tier — the store must fall back to cold (full replay)
+    /// rather than try to restore from the vanished blob. Regression
+    /// for a crash the API fuzzer found: demote → set_packing(false) →
+    /// next attempt unpacked an empty blob into an empty frontier.
+    #[test]
+    fn disabling_packing_while_demoted_falls_back_to_cold() {
+        let p = params(24, 8, 0);
+        let msg = BitVec::from_bytes(&[9, 8, 7]);
+        let enc = Encoder::new(&p, Lookup3::new(p.seed()), LinearMapper::new(10), &msg).unwrap();
+        let dec = BeamDecoder::new(
+            &p,
+            Lookup3::new(p.seed()),
+            LinearMapper::new(10),
+            AwgnCost,
+            BeamConfig::paper_default(),
+        )
+        .unwrap();
+        let obs = noiseless_obs(&enc, 1);
+        let mut ckpt = BeamCheckpoints::new();
+        let mut scratch = DecoderScratch::new();
+        let mut out = DecodeResult::default();
+        dec.decode_incremental(&obs, 0, &mut ckpt, &mut scratch, &mut out);
+        assert!(ckpt.demote());
+        ckpt.set_packing(false);
+        assert!(!ckpt.is_demoted(), "cold store, not a demoted one");
+        dec.decode_incremental(&obs, 2, &mut ckpt, &mut scratch, &mut out);
+        let batch = dec.decode(&obs);
+        assert_eq!(out.candidates, batch.candidates);
+        assert_eq!(out.stats, batch.stats, "full replay, as-if-from-scratch");
     }
 
     proptest! {

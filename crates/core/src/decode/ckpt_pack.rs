@@ -1,0 +1,254 @@
+//! Bit-level codec for compressed checkpoint snapshots.
+//!
+//! A [`BeamCheckpoints`](crate::decode::BeamCheckpoints) store holds, per
+//! tree level, the frontier *entering* that level: `n` entries of spine
+//! (`u64`), cost key (`u64`), arena parent (`u32`), and segment (`u16`)
+//! — 22 bytes each, ~17.5 KB per session at the paper-default shape.
+//! Almost all of it is recomputable: a child's spine is
+//! `h(parent_spine, seg)` and its cost key is the parent's cost plus the
+//! level's observation cost of that spine, so the only irreducible
+//! information per entry is *which parent* (an index into the previous
+//! level's committed frontier, `⌈log2 B⌉` bits) and *which segment*
+//! (`k` bits; tail segments carry zero). This module provides the
+//! LSB-first bitstream primitives the packer in
+//! [`beam`](crate::decode::beam) serializes that topology with —
+//! `⌈log2 B⌉ + k` bits per entry plus a few varint-coded work counters
+//! per level, ~20× smaller than the raw tier.
+//!
+//! The blob is a pure sequential bitstream (no random access): levels are
+//! decoded in order during restore, which is also the order the
+//! recomputation needs them in.
+
+use core::mem::size_of;
+
+/// The packed (cold-tier) image of a checkpoint store's saved prefix.
+///
+/// `bytes` is refilled in place at every attempt finish (steady-state
+/// packing allocates nothing once the buffer has grown); `active` marks
+/// it in sync with the store's raw tier — any operation that invalidates
+/// the raw snapshots must clear it.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PackedCheckpoints {
+    pub bytes: Vec<u8>,
+    pub active: bool,
+}
+
+impl PackedCheckpoints {
+    /// Forgets the blob (keeping capacity).
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.active = false;
+    }
+
+    /// Heap bytes held by the blob.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes.capacity() * size_of::<u8>()
+    }
+}
+
+/// Widest single `push`/`pull` the writers support. Keeping every field
+/// at or below this lets the 64-bit accumulator absorb a full write at
+/// any bit phase without overflow.
+pub(crate) const MAX_FIELD_BITS: u32 = 56;
+
+/// Bits needed to address `n` distinct values (`0` for `n <= 1`).
+pub(crate) fn bits_for(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// LSB-first bit appender over a byte buffer.
+pub(crate) struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Starts appending to `out` (not cleared — the caller owns layout).
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        Self {
+            out,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Appends the low `width` bits of `val` (`width <= `
+    /// [`MAX_FIELD_BITS`]; `width == 0` writes nothing).
+    pub fn push(&mut self, val: u64, width: u32) {
+        debug_assert!(width <= MAX_FIELD_BITS);
+        debug_assert!(width == 64 || val < (1u64 << width), "value exceeds field");
+        self.acc |= val << self.nbits;
+        self.nbits += width;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Appends a LEB128 varint (1 byte per 7 bits of magnitude).
+    pub fn push_varint(&mut self, mut v: u64) {
+        loop {
+            let group = v & 0x7f;
+            v >>= 7;
+            if v != 0 {
+                self.push(group | 0x80, 8);
+            } else {
+                self.push(group, 8);
+                break;
+            }
+        }
+    }
+
+    /// Flushes the partial tail byte. Must be called exactly once, last.
+    pub fn finish(self) {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+    }
+}
+
+/// LSB-first bit consumer, the exact mirror of [`BitWriter`]. Reading
+/// past the end yields zero bits (the packer and unpacker agree on
+/// layout, so this is unreachable in well-formed use; it keeps malformed
+/// input from panicking).
+pub(crate) struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Reads the next `width` bits (`width <= ` [`MAX_FIELD_BITS`];
+    /// `width == 0` reads nothing and returns 0).
+    pub fn pull(&mut self, width: u32) -> u64 {
+        debug_assert!(width <= MAX_FIELD_BITS);
+        while self.nbits < width {
+            let byte = self.bytes.get(self.pos).copied().unwrap_or(0);
+            self.pos += 1;
+            self.acc |= u64::from(byte) << self.nbits;
+            self.nbits += 8;
+        }
+        let val = self.acc & ((1u64 << width) - 1);
+        self.acc >>= width;
+        self.nbits -= width;
+        val
+    }
+
+    /// Reads a LEB128 varint written by [`BitWriter::push_varint`].
+    pub fn pull_varint(&mut self) -> u64 {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.pull(8);
+            v |= (byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return v;
+            }
+            shift += 7;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_for_addresses_ranges() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(16), 4);
+        assert_eq!(bits_for(17), 5);
+        assert_eq!(bits_for(1 << 12), 12);
+    }
+
+    #[test]
+    fn mixed_width_roundtrip() {
+        let mut buf = Vec::new();
+        let mut w = BitWriter::new(&mut buf);
+        w.push(0b101, 3);
+        w.push(0, 0);
+        w.push_varint(300);
+        w.push(0xdead, 16);
+        w.push(1, 1);
+        w.push_varint(u64::MAX);
+        w.push((1u64 << 56) - 1, 56);
+        w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.pull(3), 0b101);
+        assert_eq!(r.pull(0), 0);
+        assert_eq!(r.pull_varint(), 300);
+        assert_eq!(r.pull(16), 0xdead);
+        assert_eq!(r.pull(1), 1);
+        assert_eq!(r.pull_varint(), u64::MAX);
+        assert_eq!(r.pull(56), (1u64 << 56) - 1);
+    }
+
+    #[test]
+    fn reading_past_end_yields_zeros() {
+        let buf = vec![0xffu8];
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.pull(8), 0xff);
+        assert_eq!(r.pull(8), 0);
+        assert_eq!(r.pull_varint(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bitstream_roundtrip(raw in proptest::collection::vec(any::<u64>(), 0..64)) {
+            // Each sample doubles as (width, value): the low bits pick a
+            // width in 0..=56, the rest the field value.
+            let fields: Vec<(u64, u32)> = raw
+                .iter()
+                .map(|&v| {
+                    let width = (v % 57) as u32;
+                    let val = if width == 0 { 0 } else { (v >> 6) & ((1u64 << width) - 1) };
+                    (val, width)
+                })
+                .collect();
+            let mut buf = Vec::new();
+            let mut w = BitWriter::new(&mut buf);
+            for &(v, width) in &fields {
+                w.push(v, width);
+            }
+            w.finish();
+            let mut r = BitReader::new(&buf);
+            for &(v, width) in &fields {
+                prop_assert_eq!(r.pull(width), v);
+            }
+        }
+
+        #[test]
+        fn prop_varint_roundtrip(vals in proptest::collection::vec(any::<u64>(), 0..32)) {
+            let mut buf = Vec::new();
+            let mut w = BitWriter::new(&mut buf);
+            for &v in &vals {
+                w.push_varint(v);
+            }
+            w.finish();
+            let mut r = BitReader::new(&buf);
+            for &v in &vals {
+                prop_assert_eq!(r.pull_varint(), v);
+            }
+        }
+    }
+}

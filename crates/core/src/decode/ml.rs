@@ -28,6 +28,7 @@
 use crate::bits::BitVec;
 use crate::decode::batch;
 use crate::decode::cost::CostModel;
+use crate::decode::select::{self, cost_key, key_cost, SelectMode, SelectScratch};
 use crate::decode::{Candidate, DecodeResult, DecodeStats, Observations};
 use crate::error::SpinalError;
 use crate::hash::SpineHash;
@@ -60,11 +61,21 @@ struct LevelPlan {
 
 /// Reusable working memory for [`MlDecoder`] decode attempts: per-level
 /// hash-block plans, per-depth child buffers, and the block cache.
-/// Mirrors the beam decoder's [`crate::decode::DecoderScratch`].
+/// Mirrors the beam decoder's [`crate::decode::DecoderScratch`] —
+/// including its key-only cost representation: children carry
+/// `(cost_key, spine, seg)`, ranked with the shared integer selection
+/// engine ([`crate::decode::select`]), never by float comparison.
 #[derive(Clone, Debug, Default)]
 pub struct MlScratch {
     plans: Vec<LevelPlan>,
-    child_bufs: Vec<Vec<(f64, u64, u16)>>,
+    child_bufs: Vec<Vec<(u64, u64, u16)>>,
+    /// Per-depth buffers holding the strictly-improving children in
+    /// visit order (separate from `child_bufs` so the selection scratch
+    /// below is free again before the recursion re-enters it).
+    picked_bufs: Vec<Vec<(u64, u64, u16)>>,
+    keys: Vec<u64>,
+    order: Vec<u32>,
+    selector: SelectScratch,
     blocks: Vec<u64>,
 }
 
@@ -185,6 +196,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> MlDecoder<H, M, C> {
         if scratch.child_bufs.len() < n_levels {
             scratch.child_bufs.resize_with(n_levels, Vec::new);
         }
+        if scratch.picked_bufs.len() < n_levels {
+            scratch.picked_bufs.resize_with(n_levels, Vec::new);
+        }
         let mut max_blocks = 0;
         for t in 0..n_levels {
             let plan = &mut scratch.plans[t];
@@ -253,13 +267,15 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> MlDecoder<H, M, C> {
 impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> Search<'_, H, M, C> {
     /// Scores all children of `(level, spine, cost)` into `children`
     /// using the level's block plan (one hash per distinct block per
-    /// child).
+    /// child). Costs are stored as their order-preserving integer keys
+    /// ([`cost_key`], a bijection — [`key_cost`] recovers the exact
+    /// float).
     fn score_children(
         &mut self,
         level: u32,
         spine: u64,
         cost: f64,
-        children: &mut Vec<(f64, u64, u16)>,
+        children: &mut Vec<(u64, u64, u16)>,
     ) {
         let params = &self.dec.params;
         let tail = level >= params.message_segments();
@@ -279,7 +295,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> Search<'_, H, M, C> {
                     c += self.dec.cost.cost(observed, hyp);
                 }
             }
-            children.push((c, child_spine, seg as u16));
+            children.push((cost_key(c), child_spine, seg as u16));
         }
         self.hash_calls += branch * (1 + plan.block_ids.len() as u64);
     }
@@ -303,21 +319,53 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> Search<'_, H, M, C> {
             return;
         }
 
-        // Evaluate all children, then visit cheapest-first.
+        // Evaluate all children, then visit the strictly-improving ones
+        // cheapest-first: count how many beat the current bound, pull
+        // exactly those with the shared integer selection engine (the
+        // canonical `(key, index)` order — identical to the stable sort
+        // by float cost this replaced), and skip ranking the rest.
         let mut children = std::mem::take(&mut self.scratch.child_bufs[level as usize]);
+        let mut picked = std::mem::take(&mut self.scratch.picked_bufs[level as usize]);
         self.score_children(level, spine, cost, &mut children);
         self.nodes += children.len() as u64;
-        children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        let bound = cost_key(self.best_cost);
+        picked.clear();
+        {
+            let scratch = &mut *self.scratch;
+            scratch.keys.clear();
+            scratch.keys.extend(children.iter().map(|c| c.0));
+            let m = scratch.keys.iter().filter(|&&key| key < bound).count();
+            if m > 0 {
+                if m < scratch.keys.len() {
+                    select::select_smallest(
+                        &scratch.keys,
+                        m,
+                        &mut scratch.order,
+                        &mut scratch.selector,
+                        SelectMode::Auto,
+                    );
+                } else {
+                    scratch.order.clear();
+                    scratch.order.extend(0..scratch.keys.len() as u32);
+                    let keys = &scratch.keys;
+                    scratch.order.sort_unstable_by(|&a, &b| {
+                        keys[a as usize].cmp(&keys[b as usize]).then(a.cmp(&b))
+                    });
+                }
+                picked.extend(scratch.order.iter().map(|&i| children[i as usize]));
+            }
+        }
 
-        for &(c, child_spine, seg) in children.iter() {
-            if c >= self.best_cost {
-                break; // all remaining children are at least as costly
+        for &(key, child_spine, seg) in picked.iter() {
+            if key >= cost_key(self.best_cost) {
+                break; // the bound tightened past the remaining children
             }
             self.path.push(seg);
-            self.dfs(level + 1, child_spine, c);
+            self.dfs(level + 1, child_spine, key_cost(key));
             self.path.pop();
         }
         self.scratch.child_bufs[level as usize] = children;
+        self.scratch.picked_bufs[level as usize] = picked;
     }
 
     /// Completes the current prefix by always taking the locally cheapest
@@ -329,14 +377,16 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> Search<'_, H, M, C> {
         let mut children = Vec::new();
         while level < params.n_segments() {
             self.score_children(level, spine, cost, &mut children);
+            // `min_by_key` keeps the first of equal minima — the same
+            // tie-break the float `min_by` this replaced had.
             let best = children
                 .iter()
                 .copied()
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"))
+                .min_by_key(|c| c.0)
                 .expect("at least one child");
             path.push(best.2);
             spine = best.1;
-            cost = best.0;
+            cost = key_cost(best.0);
             level += 1;
         }
         self.best_cost = cost;

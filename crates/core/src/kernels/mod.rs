@@ -130,21 +130,21 @@ const PACKED_INT_COST_MAX: f64 = (1u64 << 30) as f64;
 
 /// Collapses one expansion row's packed-bit level cost: for every child
 /// `c` of the row, `errs(c) = Σ_m popcount((blocks[m.pos·n + c] ^ m.obs)
-/// & m.sel)`, then writes `cost = parent_cost + errs` and its
-/// order-preserving key. Packed costs are small exact integers, so the
-/// whole accumulation runs in integer arithmetic end-to-end on every
-/// tier and the `f64` it materializes is bit-identical to the scalar
-/// per-observation loop.
+/// & m.sel)`, then writes the order-preserving key of
+/// `cost = parent_cost + errs`. The key-only frontier stores no `f64`
+/// costs — the float exists only in-register during the exact integer →
+/// f64 conversion. Packed costs are small exact integers, so the whole
+/// accumulation runs in integer arithmetic end-to-end on every tier and
+/// the key it materializes is bit-identical to the scalar
+/// per-observation loop's.
 pub(crate) fn packed_row_costs(
     dispatch: KernelDispatch,
     blocks: &[u64],
     n: usize,
     masks: &[PackedMask],
     parent_cost: f64,
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
 ) {
-    debug_assert_eq!(out_costs.len(), n);
     debug_assert_eq!(out_keys.len(), n);
     debug_assert!(blocks.len() >= masks.iter().map(|m| m.pos as usize + 1).max().unwrap_or(0) * n);
     // The SIMD tiers accumulate the parent cost as an integer; bail to
@@ -155,27 +155,19 @@ pub(crate) fn packed_row_costs(
     let done = match (dispatch, integral) {
         #[cfg(target_arch = "x86_64")]
         (KernelDispatch::Avx2, true) => {
-            x86::packed_rows_avx2(blocks, n, masks, parent_cost as u64, out_costs, out_keys)
+            x86::packed_rows_avx2(blocks, n, masks, parent_cost as u64, out_keys)
         }
         #[cfg(target_arch = "x86_64")]
         (KernelDispatch::Sse2, true) => {
-            x86::packed_rows_sse2(blocks, n, masks, parent_cost as u64, out_costs, out_keys)
+            x86::packed_rows_sse2(blocks, n, masks, parent_cost as u64, out_keys)
         }
         #[cfg(target_arch = "aarch64")]
         (KernelDispatch::Neon, true) => {
-            neon::packed_rows_neon(blocks, n, masks, parent_cost as u64, out_costs, out_keys)
+            neon::packed_rows_neon(blocks, n, masks, parent_cost as u64, out_keys)
         }
         _ => 0,
     };
-    packed_rows_scalar(
-        blocks,
-        n,
-        masks,
-        parent_cost,
-        &mut out_costs[done..],
-        &mut out_keys[done..],
-        done,
-    );
+    packed_rows_scalar(blocks, n, masks, parent_cost, &mut out_keys[done..], done);
 }
 
 /// The scalar reference tier of [`packed_row_costs`], starting at child
@@ -185,20 +177,17 @@ fn packed_rows_scalar(
     n: usize,
     masks: &[PackedMask],
     parent_cost: f64,
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
     first: usize,
 ) {
-    for (i, (slot_c, slot_k)) in out_costs.iter_mut().zip(out_keys.iter_mut()).enumerate() {
+    for (i, slot_k) in out_keys.iter_mut().enumerate() {
         let c = first + i;
         let mut errs = 0u32;
         for m in masks {
             let block = blocks[m.pos as usize * n + c];
             errs += ((block ^ m.obs) & m.sel).count_ones();
         }
-        let cost = parent_cost + f64::from(errs);
-        *slot_c = cost;
-        *slot_k = cost_key(cost);
+        *slot_k = cost_key(parent_cost + f64::from(errs));
     }
 }
 
@@ -386,7 +375,6 @@ mod tests {
             let blocks: Vec<u64> = (0..2 * n as u64)
                 .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(13))
                 .collect();
-            let mut ref_costs = vec![0.0; n];
             let mut ref_keys = vec![0u64; n];
             packed_row_costs(
                 KernelDispatch::Scalar,
@@ -394,19 +382,12 @@ mod tests {
                 n,
                 &masks,
                 7.0,
-                &mut ref_costs,
                 &mut ref_keys,
             );
             for tier in KernelDispatch::supported() {
-                let mut costs = vec![0.0; n];
                 let mut keys = vec![0u64; n];
-                packed_row_costs(tier, &blocks, n, &masks, 7.0, &mut costs, &mut keys);
+                packed_row_costs(tier, &blocks, n, &masks, 7.0, &mut keys);
                 for c in 0..n {
-                    assert_eq!(
-                        costs[c].to_bits(),
-                        ref_costs[c].to_bits(),
-                        "{tier} n={n} c={c}"
-                    );
                     assert_eq!(keys[c], ref_keys[c], "{tier} n={n} c={c}");
                 }
             }
@@ -421,13 +402,11 @@ mod tests {
         let masks = masks_from(&[(0, u64::MAX, 0x5555_5555_5555_5555)]);
         let blocks: Vec<u64> = (0..n as u64).map(|i| i * 0x0101_0101).collect();
         for tier in KernelDispatch::supported() {
-            let mut costs = vec![0.0; n];
             let mut keys = vec![0u64; n];
-            packed_row_costs(tier, &blocks, n, &masks, 2.25, &mut costs, &mut keys);
+            packed_row_costs(tier, &blocks, n, &masks, 2.25, &mut keys);
             for c in 0..n {
                 let errs = (blocks[c] ^ 0x5555_5555_5555_5555).count_ones();
-                assert_eq!(costs[c], 2.25 + f64::from(errs), "{tier} c={c}");
-                assert_eq!(keys[c], cost_key(costs[c]), "{tier} c={c}");
+                assert_eq!(keys[c], cost_key(2.25 + f64::from(errs)), "{tier} c={c}");
             }
         }
     }
@@ -457,16 +436,12 @@ mod tests {
                 .map(|i| i.wrapping_mul(salt | 1).rotate_left((i % 63) as u32))
                 .collect();
             let parent = base as f64;
-            let mut ref_costs = vec![0.0; n];
             let mut ref_keys = vec![0u64; n];
-            packed_row_costs(KernelDispatch::Scalar, &blocks, n, &masks, parent,
-                             &mut ref_costs, &mut ref_keys);
+            packed_row_costs(KernelDispatch::Scalar, &blocks, n, &masks, parent, &mut ref_keys);
             for tier in KernelDispatch::supported() {
-                let mut costs = vec![0.0; n];
                 let mut keys = vec![0u64; n];
-                packed_row_costs(tier, &blocks, n, &masks, parent, &mut costs, &mut keys);
+                packed_row_costs(tier, &blocks, n, &masks, parent, &mut keys);
                 for c in 0..n {
-                    prop_assert_eq!(costs[c].to_bits(), ref_costs[c].to_bits());
                     prop_assert_eq!(keys[c], ref_keys[c]);
                 }
             }

@@ -18,13 +18,12 @@ pub(crate) fn packed_rows_neon(
     n: usize,
     masks: &[PackedMask],
     parent_cost: u64,
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
 ) -> usize {
     let n2 = n - n % 2;
     // SAFETY: every load stays inside `blocks[m.pos*n .. m.pos*n + n]`
     // (the plan guarantees `blocks.len() >= (m.pos + 1) * n`) and every
-    // store inside `out_*[..n2]`.
+    // store inside `out_keys[..n2]`.
     unsafe {
         for c in (0..n2).step_by(2) {
             let mut acc = vdupq_n_u64(0);
@@ -35,10 +34,10 @@ pub(crate) fn packed_rows_neon(
                 acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
             }
             let tot = vaddq_u64(acc, vdupq_n_u64(parent_cost));
+            // The f64 conversion stays in-register; only its
+            // order-preserving key (raw bits with the sign bit folded,
+            // see `decode::select`) is stored.
             let pd = vcvtq_f64_u64(tot);
-            vst1q_f64(out_costs.as_mut_ptr().add(c), pd);
-            // The order-preserving key of a non-negative f64 is its raw
-            // bits with the sign bit folded (see `decode::select`).
             vst1q_u64(
                 out_keys.as_mut_ptr().add(c),
                 veorq_u64(vreinterpretq_u64_f64(pd), vdupq_n_u64(SIGN_FOLD)),

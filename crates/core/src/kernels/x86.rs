@@ -31,7 +31,6 @@ pub(crate) fn packed_rows_avx2(
     n: usize,
     masks: &[PackedMask],
     parent_cost: u64,
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
 ) -> usize {
     if !std::arch::is_x86_feature_detected!("avx2") {
@@ -39,8 +38,8 @@ pub(crate) fn packed_rows_avx2(
     }
     let n4 = n - n % 4;
     // SAFETY: AVX2 checked above; all accesses below stay inside
-    // `blocks[m.pos*n .. m.pos*n + n]` and `out_*[..n4]`.
-    unsafe { packed_rows_avx2_inner(blocks, n, masks, parent_cost, out_costs, out_keys, n4) };
+    // `blocks[m.pos*n .. m.pos*n + n]` and `out_keys[..n4]`.
+    unsafe { packed_rows_avx2_inner(blocks, n, masks, parent_cost, out_keys, n4) };
     n4
 }
 
@@ -50,7 +49,6 @@ unsafe fn packed_rows_avx2_inner(
     n: usize,
     masks: &[PackedMask],
     parent_cost: u64,
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
     n4: usize,
 ) {
@@ -76,13 +74,13 @@ unsafe fn packed_rows_avx2_inner(
             acc = _mm256_add_epi64(acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi), zero));
         }
         // tot holds 4 small non-negative integers (< 2^31): route their
-        // low dwords through the exact i32 → f64 conversion.
+        // low dwords through the exact i32 → f64 conversion. The f64
+        // stays in-register — the key-only frontier stores just its
+        // order-preserving key (raw bits with the sign bit folded, see
+        // `decode::select`).
         let tot = _mm256_add_epi64(acc, base);
         let lows = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(tot, take_lows));
         let pd = _mm256_cvtepi32_pd(lows);
-        _mm256_storeu_pd(out_costs.as_mut_ptr().add(c), pd);
-        // The order-preserving key of a non-negative f64 is its raw
-        // bits with the sign bit folded (see `decode::select`).
         _mm256_storeu_si256(
             out_keys.as_mut_ptr().add(c).cast(),
             _mm256_xor_si256(
@@ -101,24 +99,21 @@ pub(crate) fn packed_rows_sse2(
     n: usize,
     masks: &[PackedMask],
     parent_cost: u64,
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
 ) -> usize {
     let n2 = n - n % 2;
     // SAFETY: SSE2 is part of the x86_64 baseline; all accesses below
-    // stay inside `blocks[m.pos*n .. m.pos*n + n]` and `out_*[..n2]`.
-    unsafe { packed_rows_sse2_inner(blocks, n, masks, parent_cost, out_costs, out_keys, n2) };
+    // stay inside `blocks[m.pos*n .. m.pos*n + n]` and `out_keys[..n2]`.
+    unsafe { packed_rows_sse2_inner(blocks, n, masks, parent_cost, out_keys, n2) };
     n2
 }
 
 #[target_feature(enable = "sse2")]
-#[allow(clippy::too_many_arguments)]
 unsafe fn packed_rows_sse2_inner(
     blocks: &[u64],
     n: usize,
     masks: &[PackedMask],
     parent_cost: u64,
-    out_costs: &mut [f64],
     out_keys: &mut [u64],
     n2: usize,
 ) {
@@ -146,11 +141,10 @@ unsafe fn packed_rows_sse2_inner(
             acc = _mm_add_epi64(acc, _mm_sad_epu8(x, zero));
         }
         let tot = _mm_add_epi64(acc, base);
-        // Gather the two low dwords and convert exactly.
+        // Gather the two low dwords and convert exactly; the f64 stays
+        // in-register. Keys are the cost bits with the sign bit folded.
         let lows = _mm_shuffle_epi32::<0b10_00_10_00>(tot);
         let pd = _mm_cvtepi32_pd(lows);
-        _mm_storeu_pd(out_costs.as_mut_ptr().add(c), pd);
-        // Keys are the cost bits with the sign bit folded.
         _mm_storeu_si128(
             out_keys.as_mut_ptr().add(c).cast(),
             _mm_xor_si128(_mm_castpd_si128(pd), _mm_set1_epi64x(SIGN_FOLD as i64)),

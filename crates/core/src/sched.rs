@@ -210,6 +210,7 @@ pub struct MultiDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: Pun
     live: usize,
     round: u64,
     evictions: u64,
+    demotions: u64,
     /// Indices of the sessions selected for attempts this drive.
     due: Vec<u32>,
     /// The shared expansion scratch (worker 0 / serial path).
@@ -239,6 +240,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             live: 0,
             round: 0,
             evictions: 0,
+            demotions: 0,
             due: Vec::new(),
             shared: DecoderScratch::new(),
             extra: Vec::new(),
@@ -265,9 +267,17 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         self.round
     }
 
-    /// Checkpoint stores evicted by the memory budget so far.
+    /// Checkpoint stores fully evicted by the memory budget so far
+    /// (after demotion alone could not fit the budget).
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Checkpoint stores demoted to their packed image by the memory
+    /// budget so far — the budget's first, cheap lever: a demoted
+    /// session keeps its full resume depth at ~1/20 the bytes.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
     }
 
     /// Total checkpoint memory currently held across the pool.
@@ -651,13 +661,35 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         }
     }
 
-    /// Evicts the coldest sessions' checkpoint stores until the pool
-    /// fits its memory budget.
+    /// Shrinks the coldest sessions' checkpoint stores until the pool
+    /// fits its memory budget: first by *demoting* stores to their
+    /// packed image (~20× smaller, full resume depth kept — the next
+    /// retry transparently unpacks bit-identical snapshots), then, only
+    /// if the packed images alone still exceed the budget, by full
+    /// eviction (from-scratch re-decode on the next retry). Either way
+    /// results never change, only the work to reproduce them.
     fn enforce_budget(&mut self) {
         if self.cfg.checkpoint_budget == usize::MAX {
             return;
         }
         let mut total: usize = self.checkpoint_bytes();
+        while total > self.cfg.checkpoint_budget {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.as_ref()
+                        .and_then(|m| m.rx.can_demote_checkpoints().then_some((m.last_active, i)))
+                })
+                .min();
+            let Some((_, i)) = victim else { break };
+            let rx = &mut self.slots[i].as_mut().expect("victim slot is live").rx;
+            let before = rx.checkpoint_bytes();
+            rx.demote_checkpoints();
+            self.demotions += 1;
+            total -= before.saturating_sub(rx.checkpoint_bytes());
+        }
         while total > self.cfg.checkpoint_budget {
             let victim = self
                 .slots
@@ -945,14 +977,24 @@ mod tests {
                     (s.payload().cloned(), s.symbols(), s.attempts())
                 })
                 .collect();
-            (outcomes, pool.evictions())
+            (outcomes, pool.evictions(), pool.demotions())
         };
-        let (unbounded, ev0) = run(usize::MAX);
+        let (unbounded, ev0, dm0) = run(usize::MAX);
         assert_eq!(ev0, 0);
-        // A budget of one kilobyte cannot hold even one warm store.
-        let (tight, ev1) = run(1024);
-        assert!(ev1 > 0, "tight budget must evict");
-        assert_eq!(unbounded, tight, "eviction must never change results");
+        assert_eq!(dm0, 0);
+        // A budget of one kilobyte cannot hold even one warm raw store,
+        // but the packed images fit: demotion alone satisfies it.
+        let (tight, ev1, dm1) = run(1024);
+        assert!(dm1 > 0, "tight budget must demote");
+        assert_eq!(unbounded, tight, "demotion must never change results");
+        // A budget below even the packed images forces full eviction.
+        let (minimal, ev2, _) = run(16);
+        assert!(ev2 > 0, "minimal budget must evict");
+        assert_eq!(unbounded, minimal, "eviction must never change results");
+        assert!(
+            ev1 <= ev2,
+            "demotion absorbs pressure before eviction ({ev1} vs {ev2})"
+        );
         for (payload, _, _) in &unbounded {
             assert!(payload.is_some(), "noiseless sessions must decode");
         }

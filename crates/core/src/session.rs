@@ -761,6 +761,36 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
         self.ckpt.release();
     }
 
+    /// Heap bytes of the session's *packed* checkpoint image — what the
+    /// session costs after [`demote_checkpoints`](Self::demote_checkpoints).
+    pub fn checkpoint_packed_bytes(&self) -> usize {
+        self.ckpt.packed_bytes()
+    }
+
+    /// Whether [`demote_checkpoints`](Self::demote_checkpoints) would
+    /// succeed right now (a packed image is in sync and the raw tier is
+    /// resident).
+    pub fn can_demote_checkpoints(&self) -> bool {
+        self.ckpt.can_demote()
+    }
+
+    /// Drops the checkpoint store's raw snapshot tier, keeping only the
+    /// compressed image (~20× smaller) — the scheduler's preferred
+    /// budget lever. Unlike [`evict_checkpoints`](Self::evict_checkpoints)
+    /// the session keeps its full resume depth: the next retry
+    /// transparently unpacks (bit-identical snapshots, one extra hash +
+    /// cost evaluation per saved entry) instead of re-decoding from
+    /// scratch. Returns `false` when nothing packed is available.
+    pub fn demote_checkpoints(&mut self) -> bool {
+        self.ckpt.demote()
+    }
+
+    /// Enables or disables maintenance of the packed checkpoint tier
+    /// (on by default; disabling discards the current image).
+    pub fn set_checkpoint_packing(&mut self, enabled: bool) {
+        self.ckpt.set_packing(enabled);
+    }
+
     /// The session's resource configuration (with `beam` normalized to
     /// the decoder's).
     pub fn config(&self) -> &RxConfig {

@@ -11,9 +11,9 @@
 //!   termination) must poll or error, never panic, and out-of-range
 //!   slots must consume nothing.
 //! * **`MultiDecoder` id streams** — random interleavings of
-//!   insert / ingest / drive / remove, including stale (generational)
-//!   and double-removed ids, against pools with tiny checkpoint budgets
-//!   and attempt caps.
+//!   insert / ingest / drive / remove / checkpoint demote / packing
+//!   toggles, including stale (generational) and double-removed ids,
+//!   against pools with tiny checkpoint budgets and attempt caps.
 //!
 //! The harness asserts *absence of panics* and basic state sanity, not
 //! decoded payloads — the equivalence suites own correctness.
@@ -149,7 +149,7 @@ proptest! {
         let mut dead: Vec<spinal_codes::SessionId> = Vec::new();
         let mut events = Vec::new();
         for &op in &ops {
-            match op % 7 {
+            match op % 8 {
                 0 | 1 => {
                     // Insert a fresh session.
                     let (code, msg) = fuzz_code(seed ^ op);
@@ -187,6 +187,24 @@ proptest! {
                         prop_assert!(pool.remove(id).is_ok());
                         prop_assert!(pool.remove(id).is_err(), "double remove");
                         dead.push(id);
+                    }
+                }
+                6 => {
+                    // Checkpoint tiering ops on a random live session:
+                    // demotion and packing toggles are transparent
+                    // policy, so any interleaving must stay panic-free.
+                    let pick = (op >> 4) as usize;
+                    if !lanes.is_empty() {
+                        let (id, _) = &lanes[pick % lanes.len()];
+                        let rx = pool.get_mut(*id).expect("live id");
+                        match (op >> 9) % 3 {
+                            0 => {
+                                let could = rx.can_demote_checkpoints();
+                                prop_assert_eq!(rx.demote_checkpoints(), could);
+                            }
+                            1 => rx.set_checkpoint_packing(false),
+                            _ => rx.set_checkpoint_packing(true),
+                        }
                     }
                 }
                 _ => {

@@ -10,6 +10,10 @@
 //! drive. The same must hold with a checkpoint-memory budget tight
 //! enough to force evictions (eviction changes work, never results) and
 //! with multi-worker drives (sessions are disjoint).
+//!
+//! The compressed checkpoint tier gets the same treatment: a session
+//! forced through demote → packed-blob restore before every retry must
+//! be bit-identical to one with packing disabled outright.
 
 use proptest::prelude::*;
 use spinal_codes::channel::{AwgnChannel, Channel};
@@ -166,6 +170,50 @@ proptest! {
         // already matched its own solo mirror event-for-event).
         prop_assert_eq!(base, tight);
         prop_assert_eq!(base, threaded);
+    }
+
+    /// Packed restore is invisible: a session whose raw checkpoint tier
+    /// is dropped (demoted) before every ingest — so each retry must
+    /// rebuild its resume state from the packed blob — produces polls,
+    /// payloads, and per-attempt `DecodeResult`s bit-identical to a
+    /// session that never packs at all.
+    #[test]
+    fn prop_packed_restore_bit_identical_to_never_packed(
+        seed in 1u64..1_000_000,
+        snr_db in 2.0f64..18.0,
+        chunks in proptest::collection::vec(any::<u8>(), 4..24),
+    ) {
+        let msg = BitVec::from_bytes(&[seed as u8, (seed >> 8) as u8, (seed >> 16) as u8 ^ 0x5a]);
+        let (mut lane, mut demoted) = build_lane(seed, &msg, snr_db);
+        let (_, mut plain) = build_lane(seed, &msg, snr_db);
+        plain.set_checkpoint_packing(false);
+        for &c in &chunks {
+            if demoted.is_finished() {
+                break;
+            }
+            let n = usize::from(c % 4) + 1;
+            lane.chunk.clear();
+            for _ in 0..n {
+                let (_slot, x) = lane.tx.next_symbol();
+                lane.chunk.push(lane.channel.transmit(x));
+            }
+            // Force the cold path: drop the raw tier so this ingest's
+            // attempt restores from the packed blob (or replays from
+            // scratch when the dirty level is 0 — also exercised).
+            demoted.demote_checkpoints();
+            let a = demoted.ingest(&lane.chunk).unwrap();
+            let b = plain.ingest(&lane.chunk).unwrap();
+            prop_assert_eq!(a, b);
+            let (dr, pr) = (demoted.last_result(), plain.last_result());
+            prop_assert_eq!(&dr.message, &pr.message);
+            prop_assert_eq!(dr.cost.to_bits(), pr.cost.to_bits());
+            prop_assert_eq!(&dr.candidates, &pr.candidates);
+            prop_assert_eq!(&dr.stats, &pr.stats, "stats are as-if-from-scratch");
+        }
+        // The cold path actually ran: every attempt repacked, and the
+        // never-packed mirror holds no blob.
+        prop_assert!(demoted.checkpoints().packs() >= u64::from(demoted.attempts()));
+        prop_assert_eq!(plain.checkpoint_packed_bytes(), 0);
     }
 }
 
