@@ -22,7 +22,7 @@ use spinal_core::map::LinearMapper;
 use spinal_core::params::CodeParams;
 use spinal_core::puncture::{PunctureSchedule, StridedPuncture};
 use spinal_core::sched::{MultiConfig, MultiDecoder, SessionEvent};
-use spinal_core::session::{Poll, RxConfig, RxSession};
+use spinal_core::session::{RxConfig, RxSession};
 use spinal_core::symbol::Slot;
 use spinal_core::IqSymbol;
 use std::hint::black_box;
@@ -116,6 +116,7 @@ fn bench_multi_session(c: &mut Criterion) {
                         )
                         .unwrap(),
                     )
+                    .unwrap()
                 })
                 .collect();
             let mut chunk = Vec::new();
@@ -127,10 +128,7 @@ fn bench_multi_session(c: &mut Criterion) {
             let mut live = SESSIONS;
             let mut cursors = [pass; SESSIONS];
             pool.drive_into(&mut events);
-            live -= events
-                .iter()
-                .filter(|e| matches!(e.poll, Poll::Decoded { .. }))
-                .count();
+            live -= events.iter().filter(|e| e.is_decoded()).count();
             while live > 0 {
                 for (lane, (f, &id)) in flows.iter().zip(&ids).enumerate() {
                     if pool.get(id).unwrap().is_finished() {
@@ -141,10 +139,7 @@ fn bench_multi_session(c: &mut Criterion) {
                     pool.ingest(id, &[y]).unwrap();
                 }
                 pool.drive_into(&mut events);
-                live -= events
-                    .iter()
-                    .filter(|e| matches!(e.poll, Poll::Decoded { .. }))
-                    .count();
+                live -= events.iter().filter(|e| e.is_decoded()).count();
             }
             black_box(live)
         })

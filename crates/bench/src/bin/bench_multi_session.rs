@@ -166,6 +166,7 @@ fn run_scheduler(
                 )
                 .expect("valid session config"),
             )
+            .expect("pool has no admission ceiling")
         })
         .collect();
     let mut cursors = vec![PASS_SYMBOLS; flows.len()];
@@ -182,10 +183,10 @@ fn run_scheduler(
     }
     let harvest = |events: &[SessionEvent], out: &mut Vec<(u64, u32)>, live: &mut usize| {
         for ev in events {
-            if let Poll::Decoded {
+            if let Some(Poll::Decoded {
                 symbols_used,
                 attempts,
-            } = ev.poll
+            }) = ev.poll()
             {
                 let lane = ids.iter().position(|&i| i == ev.id).expect("known id");
                 out[lane] = (symbols_used, attempts);

@@ -87,6 +87,28 @@ pub enum SpinalError {
     /// A [`crate::sched::SessionId`] that does not name a live session
     /// of the pool (already removed, or from another pool).
     UnknownSession,
+    /// Admission control: the pool already holds
+    /// [`crate::sched::MultiConfig::max_sessions`] live sessions.
+    PoolFull {
+        /// Sessions currently resident.
+        live: usize,
+        /// The configured admission ceiling.
+        max_sessions: usize,
+    },
+    /// The session exhausted its per-session attempt ceiling on input
+    /// that never decodes and was quarantined by the pool; remove it to
+    /// reclaim the slot.
+    SessionQuarantined,
+    /// A retry-backoff multiplier below 1.0.
+    Backoff(f64),
+    /// A count parameter that must be at least one (reorder windows,
+    /// burst lengths, cumulative-ACK periods, …).
+    AtLeastOne {
+        /// Which parameter was zero.
+        name: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
 }
 
 impl std::fmt::Display for SpinalError {
@@ -142,6 +164,20 @@ impl std::fmt::Display for SpinalError {
             }
             SpinalError::UnknownSession => {
                 write!(f, "session id does not name a live session of this pool")
+            }
+            SpinalError::PoolFull { live, max_sessions } => write!(
+                f,
+                "pool admission rejected: {live} live sessions at a ceiling of {max_sessions}"
+            ),
+            SpinalError::SessionQuarantined => write!(
+                f,
+                "session was abandoned at its attempt ceiling and quarantined; remove it to reclaim the slot"
+            ),
+            SpinalError::Backoff(b) => {
+                write!(f, "retry backoff must be >= 1.0, got {b}")
+            }
+            SpinalError::AtLeastOne { name, value } => {
+                write!(f, "{name} must be at least one, got {value}")
             }
         }
     }

@@ -119,7 +119,7 @@ pub use map::{
 };
 pub use params::{CodeParams, CodeParamsBuilder, ParamError};
 pub use puncture::{AnySchedule, NoPuncture, PunctureSchedule, StridedPuncture, SubpassOrder};
-pub use sched::{MultiConfig, MultiDecoder, SessionEvent, SessionId};
+pub use sched::{MultiConfig, MultiDecoder, SessionEvent, SessionId, SessionOutcome};
 pub use session::{Poll, RxConfig, RxSession, TxPosition, TxSession};
 pub use spine::{compute_spine, segment_value, spine_step, SpineError, INITIAL_SPINE};
 pub use symbol::{IqSymbol, Slot};

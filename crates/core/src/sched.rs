@@ -34,17 +34,29 @@
 //! **bit-identical** to driving each session alone (pinned by
 //! `tests/multi_session_equivalence.rs`).
 //!
-//! # Scheduling policy
+//! # Scheduling policy: deadline-driven drives
 //!
 //! [`ingest`](MultiDecoder::ingest) only *absorbs* symbols; attempts run
-//! at the next [`drive_into`](MultiDecoder::drive_into). When more
-//! attempts are due than [`MultiConfig::max_attempts_per_drive`] allows,
-//! the pool serves the **cheapest incremental retries first** (fewest
-//! levels to re-expand, i.e. deepest resume point — the signal is
+//! at the next [`drive_into`](MultiDecoder::drive_into). Each drive has
+//! a **work budget** in tree levels ([`MultiConfig::work_budget`], or a
+//! one-off budget via [`MultiDecoder::drive_until`]) — the deadline
+//! knob, since levels are the unit of decode wall time. The pool serves
+//! the **cheapest incremental retries first** (fewest levels to
+//! re-expand, i.e. deepest resume point — the signal is
 //! [`BeamCheckpoints::valid_levels`](crate::decode::BeamCheckpoints::valid_levels)
-//! against the session's dirty depth), with an aging escape hatch: a
-//! session deferred for more than a few drives is served regardless of
-//! cost, so no session starves under a saturating cohort.
+//! against the session's dirty depth) until the budget is spent, and
+//! defers the rest with a [`SessionOutcome::Deferred`] event and an
+//! aging escape hatch: a session deferred for more than a few drives is
+//! served regardless of cost, so no session starves under a saturating
+//! cohort.
+//!
+//! Two protections bound the damage any one flow can do: **admission
+//! control** ([`MultiConfig::max_sessions`]) rejects inserts beyond a
+//! resident ceiling, and the **per-session attempt ceiling**
+//! ([`MultiConfig::max_session_attempts`]) abandons sessions that keep
+//! exhausting attempts on garbage input — the abandoned session is
+//! quarantined (never scheduled again, ingest rejected with
+//! [`SpinalError::SessionQuarantined`]) until removed.
 //!
 //! # Determinism contract
 //!
@@ -61,7 +73,7 @@
 //! use spinal_core::code::SpinalCode;
 //! use spinal_core::frame::AnyTerminator;
 //! use spinal_core::sched::{MultiConfig, MultiDecoder};
-//! use spinal_core::session::{Poll, RxConfig};
+//! use spinal_core::session::RxConfig;
 //! use spinal_core::BitVec;
 //!
 //! let code = SpinalCode::fig2(24, 7).unwrap();
@@ -74,7 +86,7 @@
 //!     let rx = code
 //!         .awgn_rx_session(AnyTerminator::genie(msg), RxConfig::default())
 //!         .unwrap();
-//!     ids.push(pool.insert(rx));
+//!     ids.push(pool.insert(rx).unwrap());
 //! }
 //! // Noiseless round-robin: one symbol per session per drive.
 //! let mut events = Vec::new();
@@ -88,10 +100,7 @@
 //!         pool.ingest(id, &[sym]).unwrap();
 //!     }
 //!     pool.drive_into(&mut events);
-//!     live -= events
-//!         .iter()
-//!         .filter(|e| matches!(e.poll, Poll::Decoded { .. }))
-//!         .count();
+//!     live -= events.iter().filter(|e| e.is_decoded()).count();
 //! }
 //! ```
 
@@ -124,11 +133,31 @@ pub struct MultiConfig {
     /// decode from scratch on their next retry, with identical results.
     /// `usize::MAX` (the default) disables the budget.
     pub checkpoint_budget: usize,
-    /// Most decode attempts one drive will run; due attempts beyond it
-    /// are deferred to later drives (cheapest retries and aged sessions
-    /// first). `usize::MAX` (the default) runs every due attempt, which
-    /// keeps the pool's polls bit-identical to solo sessions.
-    pub max_attempts_per_drive: usize,
+    /// Work one drive may spend, counted in tree levels expanded (the
+    /// [`RxSession::levels_to_run`] cost of every served attempt summed)
+    /// — the deadline knob: levels are the unit of decode wall time, so
+    /// a latency target translates directly into a level budget. Due
+    /// attempts beyond the budget are deferred with a
+    /// [`SessionOutcome::Deferred`] event (cheapest retries and aged
+    /// sessions first; at least one attempt always runs, so a drive
+    /// always makes progress). `u64::MAX` (the default) runs every due
+    /// attempt, which keeps the pool's polls bit-identical to solo
+    /// sessions. [`MultiDecoder::drive_until`] overrides it per drive.
+    pub work_budget: u64,
+    /// Per-session decode-attempt ceiling — the paper's §3 "too much
+    /// time has been spent" escape hatch promoted into the pool. A
+    /// session whose attempt would exceed it is abandoned
+    /// ([`SessionOutcome::Abandoned`]) and quarantined: it stops being
+    /// scheduled, its checkpoints are freed, and further
+    /// [`ingest`](MultiDecoder::ingest) calls return
+    /// [`SpinalError::SessionQuarantined`] until it is removed.
+    /// `u32::MAX` (the default) disables the ceiling.
+    pub max_session_attempts: u32,
+    /// Admission control: most live sessions the pool will hold;
+    /// [`insert`](MultiDecoder::insert) returns
+    /// [`SpinalError::PoolFull`] beyond it. `usize::MAX` (the default)
+    /// disables admission control.
+    pub max_sessions: usize,
 }
 
 impl Default for MultiConfig {
@@ -136,7 +165,9 @@ impl Default for MultiConfig {
         Self {
             workers: 1,
             checkpoint_budget: usize::MAX,
-            max_attempts_per_drive: usize::MAX,
+            work_budget: u64::MAX,
+            max_session_attempts: u32::MAX,
+            max_sessions: usize::MAX,
         }
     }
 }
@@ -150,15 +181,57 @@ pub struct SessionId {
     gen: u32,
 }
 
-/// One session's outcome from a [`MultiDecoder::drive_into`] call: the
-/// same [`Poll`] a solo [`RxSession::ingest`] of the symbols absorbed
-/// since the previous drive would have returned.
+/// What a drive concluded for one session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// An attempt (or budget check) ran: the same [`Poll`] a solo
+    /// [`RxSession::ingest`] of the symbols absorbed since the previous
+    /// drive would have returned.
+    Poll(Poll),
+    /// The session's due attempt was shed by this drive's work budget;
+    /// it stays due and ages toward priority service. Purely
+    /// informational — latency policy, never a result.
+    Deferred {
+        /// Drives this attempt has been waiting since it became due.
+        waited: u64,
+        /// Tree levels the deferred attempt would have expanded (its
+        /// cost under the budget).
+        levels: u32,
+    },
+    /// The session hit [`MultiConfig::max_session_attempts`] without
+    /// decoding and was quarantined: terminal, no payload. Emitted
+    /// exactly once; [`MultiDecoder::remove`] reclaims the slot.
+    Abandoned {
+        /// Decode attempts the session ran before giving up.
+        attempts: u32,
+        /// Symbols it had consumed.
+        symbols: u64,
+    },
+}
+
+/// One session's outcome from a [`MultiDecoder::drive_into`] call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SessionEvent {
-    /// The session the poll belongs to.
+    /// The session the outcome belongs to.
     pub id: SessionId,
-    /// What its attempt (or budget check) concluded.
-    pub poll: Poll,
+    /// What the drive concluded for it.
+    pub outcome: SessionOutcome,
+}
+
+impl SessionEvent {
+    /// The [`Poll`] this event carries, if its outcome was a poll —
+    /// `None` for `Deferred`/`Abandoned` bookkeeping events.
+    pub fn poll(&self) -> Option<Poll> {
+        match self.outcome {
+            SessionOutcome::Poll(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// `true` when this event reports an accepted decode.
+    pub fn is_decoded(&self) -> bool {
+        matches!(self.outcome, SessionOutcome::Poll(Poll::Decoded { .. }))
+    }
 }
 
 /// The shape that decides which sessions can share a fused level sweep.
@@ -182,6 +255,9 @@ struct Managed<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSche
     due_since: u64,
     /// Symbols absorbed since the last emitted event.
     absorbed: usize,
+    /// Abandoned at the attempt ceiling: never scheduled again, ingest
+    /// rejected, waiting for [`MultiDecoder::remove`].
+    quarantined: bool,
 }
 
 fn cohort_key<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>(
@@ -211,8 +287,11 @@ pub struct MultiDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: Pun
     round: u64,
     evictions: u64,
     demotions: u64,
+    quarantined: u64,
     /// Indices of the sessions selected for attempts this drive.
     due: Vec<u32>,
+    /// Indices of due sessions shed by the work budget this drive.
+    deferred: Vec<u32>,
     /// The shared expansion scratch (worker 0 / serial path).
     shared: DecoderScratch,
     /// Extra per-worker scratches (`workers > 1` drives only).
@@ -241,7 +320,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             round: 0,
             evictions: 0,
             demotions: 0,
+            quarantined: 0,
             due: Vec::new(),
+            deferred: Vec::new(),
             shared: DecoderScratch::new(),
             extra: Vec::new(),
         }
@@ -280,6 +361,21 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         self.demotions
     }
 
+    /// Sessions abandoned at the attempt ceiling and quarantined so far
+    /// (lifetime count, not currently-resident count).
+    pub fn quarantines(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// `true` when `id` names a quarantined session (abandoned at the
+    /// attempt ceiling, waiting for [`remove`](Self::remove)).
+    pub fn is_quarantined(&self, id: SessionId) -> bool {
+        matches!(
+            self.slots.get(id.index as usize),
+            Some(Some(m)) if m.gen == id.gen && m.quarantined
+        )
+    }
+
     /// Total checkpoint memory currently held across the pool.
     pub fn checkpoint_bytes(&self) -> usize {
         self.slots
@@ -290,7 +386,20 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
     }
 
     /// Adopts a session into the pool and returns its id.
-    pub fn insert(&mut self, rx: RxSession<H, M, C, P>) -> SessionId {
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::PoolFull`] when admission control
+    /// ([`MultiConfig::max_sessions`]) rejects the session — the caller
+    /// should shed load (or [`remove`](Self::remove) finished sessions)
+    /// and retry.
+    pub fn insert(&mut self, rx: RxSession<H, M, C, P>) -> Result<SessionId, SpinalError> {
+        if self.live >= self.cfg.max_sessions {
+            return Err(SpinalError::PoolFull {
+                live: self.live,
+                max_sessions: self.cfg.max_sessions,
+            });
+        }
         let key = cohort_key(&rx);
         self.live += 1;
         let index = match self.free.pop() {
@@ -309,8 +418,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             last_active: self.round,
             due_since: u64::MAX,
             absorbed: 0,
+            quarantined: false,
         });
-        SessionId { index, gen }
+        Ok(SessionId { index, gen })
     }
 
     /// Removes a session, returning it (final results included).
@@ -368,6 +478,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         m.key = cohort_key(&m.rx);
         m.due_since = u64::MAX;
         m.absorbed = 0;
+        m.quarantined = false;
         Ok(())
     }
 
@@ -379,12 +490,17 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
     /// # Errors
     ///
     /// [`SpinalError::UnknownSession`] for a stale id,
-    /// [`SpinalError::SessionFinished`] after a terminal poll.
+    /// [`SpinalError::SessionQuarantined`] for an abandoned session
+    /// awaiting removal, [`SpinalError::SessionFinished`] after a
+    /// terminal poll.
     pub fn ingest(&mut self, id: SessionId, symbols: &[M::Symbol]) -> Result<(), SpinalError> {
         self.resolve(id)?;
         let m = self.slots[id.index as usize]
             .as_mut()
             .expect("resolved slot is live");
+        if m.quarantined {
+            return Err(SpinalError::SessionQuarantined);
+        }
         let consumed = m.rx.absorb(symbols)?;
         m.absorbed += consumed;
         Ok(())
@@ -407,40 +523,85 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         let m = self.slots[id.index as usize]
             .as_mut()
             .expect("resolved slot is live");
+        if m.quarantined {
+            return Err(SpinalError::SessionQuarantined);
+        }
         let consumed = m.rx.absorb_at(symbols)?;
         m.absorbed += consumed;
         Ok(())
     }
 
-    /// Runs the pool one scheduling round: selects due attempts (all of
-    /// them by default; cheapest-first with aging under a
-    /// [`MultiConfig::max_attempts_per_drive`] cap), executes them fused
-    /// per cohort through the shared scratch (across
+    /// Runs the pool one scheduling round under the configured
+    /// [`MultiConfig::work_budget`]: selects due attempts (all of them
+    /// by default; cheapest-first with aging under a budget), abandons
+    /// sessions at their attempt ceiling, executes the selected attempts
+    /// fused per cohort through the shared scratch (across
     /// [`MultiConfig::workers`] threads when configured), emits one
-    /// [`SessionEvent`] per session with activity, and enforces the
+    /// [`SessionEvent`] per session with activity — including
+    /// [`SessionOutcome::Deferred`] for shed attempts — and enforces the
     /// checkpoint-memory budget. `events` is cleared first and reused.
     pub fn drive_into(&mut self, events: &mut Vec<SessionEvent>) {
+        self.drive_until_into(self.cfg.work_budget, events);
+    }
+
+    /// [`drive_into`](Self::drive_into) with a one-off work budget, in
+    /// tree levels — the deadline-driven drive: serve due attempts
+    /// cheapest-first until `work_budget` levels have been spent, defer
+    /// the rest with aging. At least one due attempt always runs
+    /// (otherwise a budget below the cheapest attempt would livelock
+    /// the pool), and an aged session (deferred ≥ a few drives) is
+    /// served before any cheap newcomer, so no session starves.
+    pub fn drive_until_into(&mut self, work_budget: u64, events: &mut Vec<SessionEvent>) {
         events.clear();
         self.round += 1;
         let round = self.round;
+        let ceiling = self.cfg.max_session_attempts;
 
-        // Select the attempts to run.
+        // Select the attempts to run; abandon sessions over the
+        // per-session attempt ceiling instead of serving them.
         self.due.clear();
+        self.deferred.clear();
         for (i, slot) in self.slots.iter_mut().enumerate() {
             let Some(m) = slot.as_mut() else { continue };
+            if m.quarantined {
+                continue;
+            }
             if !m.rx.is_listening() {
                 m.due_since = u64::MAX;
                 continue;
             }
             if m.rx.attempt_due() {
+                if m.rx.attempts() >= ceiling {
+                    // The §3 escape hatch: this session has spent its
+                    // attempt budget without decoding — garbage input,
+                    // a hopeless channel, or a misbound code. Stop
+                    // paying for it: terminal state, checkpoints freed,
+                    // slot quarantined until the caller removes it.
+                    m.rx.abandon();
+                    m.rx.evict_checkpoints();
+                    m.quarantined = true;
+                    m.due_since = u64::MAX;
+                    m.absorbed = 0;
+                    self.quarantined += 1;
+                    events.push(SessionEvent {
+                        id: SessionId {
+                            index: i as u32,
+                            gen: m.gen,
+                        },
+                        outcome: SessionOutcome::Abandoned {
+                            attempts: m.rx.attempts(),
+                            symbols: m.rx.symbols(),
+                        },
+                    });
+                    continue;
+                }
                 if m.due_since == u64::MAX {
                     m.due_since = round;
                 }
                 self.due.push(i as u32);
             }
         }
-        let cap = self.cfg.max_attempts_per_drive.max(1);
-        if self.due.len() > cap {
+        if work_budget != u64::MAX && !self.due.is_empty() {
             let slots = &self.slots;
             // Aged sessions first (oldest debt first), then the
             // cheapest incremental retries (fewest levels to run).
@@ -452,7 +613,32 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
                     (1u8, u64::from(m.rx.levels_to_run()), i)
                 }
             });
-            self.due.truncate(cap);
+            // Admit attempts in that order until the level budget is
+            // spent; the first attempt is always admitted.
+            let mut served = 1usize;
+            let mut spent = u64::from(
+                slots[self.due[0] as usize]
+                    .as_ref()
+                    .expect("due slot is live")
+                    .rx
+                    .levels_to_run(),
+            );
+            while served < self.due.len() {
+                let cost = u64::from(
+                    slots[self.due[served] as usize]
+                        .as_ref()
+                        .expect("due slot is live")
+                        .rx
+                        .levels_to_run(),
+                );
+                if spent.saturating_add(cost) > work_budget {
+                    break;
+                }
+                spent += cost;
+                served += 1;
+            }
+            self.deferred.extend_from_slice(&self.due[served..]);
+            self.due.truncate(served);
         }
         // Group same-shape sessions adjacently for the fused sweep
         // (stable within a cohort: ascending slot index).
@@ -470,13 +656,32 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             self.run_attempts_serial(round, events);
         }
 
+        // Report the shed attempts. Their sessions stay due (`due_since`
+        // keeps aging them toward priority service); the event lets the
+        // caller observe deadline pressure without polling every id.
+        for &i in &self.deferred {
+            let m = self.slots[i as usize]
+                .as_ref()
+                .expect("deferred slot is live");
+            events.push(SessionEvent {
+                id: SessionId {
+                    index: i,
+                    gen: m.gen,
+                },
+                outcome: SessionOutcome::Deferred {
+                    waited: round - m.due_since,
+                    levels: m.rx.levels_to_run(),
+                },
+            });
+        }
+
         // Activity that ran no attempt still polls: the symbol-budget
         // check, then NeedMore — exactly the solo ingest tail. Sessions
-        // whose due attempt was deferred by the cap emit nothing (their
-        // poll is pending, not concluded).
+        // whose due attempt was deferred by the budget emit only their
+        // `Deferred` event (their poll is pending, not concluded).
         for (i, slot) in self.slots.iter_mut().enumerate() {
             let Some(m) = slot.as_mut() else { continue };
-            if m.absorbed == 0 || !m.rx.is_listening() || m.rx.attempt_due() {
+            if m.quarantined || m.absorbed == 0 || !m.rx.is_listening() || m.rx.attempt_due() {
                 continue;
             }
             let consumed = m.absorbed;
@@ -487,7 +692,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
                     index: i as u32,
                     gen: m.gen,
                 },
-                poll,
+                outcome: SessionOutcome::Poll(poll),
             });
         }
 
@@ -498,6 +703,14 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
     pub fn drive(&mut self) -> Vec<SessionEvent> {
         let mut events = Vec::new();
         self.drive_into(&mut events);
+        events
+    }
+
+    /// [`drive_until_into`](Self::drive_until_into) returning a fresh
+    /// event vector.
+    pub fn drive_until(&mut self, work_budget: u64) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        self.drive_until_into(work_budget, &mut events);
         events
     }
 
@@ -562,7 +775,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
                         index: i,
                         gen: m.gen,
                     },
-                    poll,
+                    outcome: SessionOutcome::Poll(poll),
                 });
             }
             g0 = g1;
@@ -656,7 +869,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
                     index: *i,
                     gen: m.gen,
                 },
-                poll: poll.expect("every selected attempt concluded"),
+                outcome: SessionOutcome::Poll(poll.expect("every selected attempt concluded")),
             });
         }
     }
@@ -767,7 +980,7 @@ mod tests {
                 let (tx, rx) = session_pair(100 + u64::from(i), &m, RxConfig::default());
                 let (_, rx2) = session_pair(100 + u64::from(i), &m, RxConfig::default());
                 txs.push(tx);
-                ids.push(pool.insert(rx));
+                ids.push(pool.insert(rx).unwrap());
                 solo.push(rx2);
             }
             let mut events = Vec::new();
@@ -788,7 +1001,7 @@ mod tests {
                         .iter()
                         .find(|e| e.id == id)
                         .expect("event per session");
-                    assert_eq!(ev.poll, poll);
+                    assert_eq!(ev.poll(), Some(poll));
                 }
                 if solo.iter().all(|s| s.is_finished()) {
                     break;
@@ -839,7 +1052,7 @@ mod tests {
             assert_eq!(scalar_dec.kernel_dispatch(), KernelDispatch::Scalar);
             rx2.rebind(scalar_dec);
             txs.push(tx);
-            ids.push(pool.insert(rx));
+            ids.push(pool.insert(rx).unwrap());
             solo.push(rx2);
         }
         let mut events = Vec::new();
@@ -878,12 +1091,16 @@ mod tests {
         }
     }
 
-    /// Under a saturating cohort and a per-drive attempt cap, aging must
-    /// keep every session progressing — no starvation.
+    /// Under a saturating cohort and a per-drive level budget, the pool
+    /// must shed work (Deferred events), stay within the budget, and —
+    /// through aging — keep every session progressing: no starvation.
     #[test]
-    fn capped_drives_starve_no_session() {
+    fn budgeted_drives_defer_and_starve_no_session() {
+        // fig2 at 24 bits is a 6-level spine; a budget of 6 levels
+        // admits one fresh attempt (or several cheap incremental ones).
+        const BUDGET: u64 = 6;
         let mut pool = Pool::new(MultiConfig {
-            max_attempts_per_drive: 2,
+            work_budget: BUDGET,
             ..MultiConfig::default()
         });
         let mut txs = Vec::new();
@@ -898,22 +1115,47 @@ mod tests {
             let rx = wrong
                 .awgn_rx_session(AnyTerminator::genie(m), RxConfig::default())
                 .unwrap();
-            ids.push(pool.insert(rx));
+            ids.push(pool.insert(rx).unwrap());
         }
         let mut events = Vec::new();
         let mut served_rounds = vec![Vec::new(); ids.len()];
+        let mut deferrals = 0u64;
         for round in 0..48u64 {
             for (tx, &id) in txs.iter_mut().zip(&ids) {
                 let (_slot, sym) = tx.next_symbol();
                 pool.ingest(id, &[sym]).unwrap();
             }
             pool.drive_into(&mut events);
-            assert!(events.len() <= 2, "cap must bound attempts per drive");
+            let mut served = 0u64;
             for ev in &events {
                 let lane = ids.iter().position(|&i| i == ev.id).unwrap();
-                served_rounds[lane].push(round);
+                match ev.outcome {
+                    SessionOutcome::Poll(_) => {
+                        served += 1;
+                        served_rounds[lane].push(round);
+                    }
+                    SessionOutcome::Deferred { levels, .. } => {
+                        deferrals += 1;
+                        assert!(levels >= 1, "a due attempt has work to do");
+                    }
+                    SessionOutcome::Abandoned { .. } => {
+                        panic!("no attempt ceiling configured")
+                    }
+                }
             }
+            // Each served attempt costs >= 1 level, so the budget also
+            // bounds the attempt count.
+            assert!(
+                served <= BUDGET,
+                "budget must bound attempts per drive, served {served}"
+            );
+            assert_eq!(
+                events.len(),
+                8,
+                "every due session is either served or reported deferred"
+            );
         }
+        assert!(deferrals > 0, "a saturating cohort must shed work");
         for (lane, rounds) in served_rounds.iter().enumerate() {
             assert!(
                 rounds.len() >= 4,
@@ -932,6 +1174,133 @@ mod tests {
         }
     }
 
+    /// A one-off `drive_until` budget must override the configured one,
+    /// and an unbudgeted pool must never defer.
+    #[test]
+    fn drive_until_overrides_config_budget() {
+        let mut pool = Pool::new(MultiConfig::default());
+        let mut txs = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..4u8 {
+            let m = msg(i);
+            let code = SpinalCode::fig2(m.len() as u32, u64::from(i)).unwrap();
+            let wrong = SpinalCode::fig2(m.len() as u32, 2000 + u64::from(i)).unwrap();
+            txs.push(code.tx_session(&m).unwrap());
+            let rx = wrong
+                .awgn_rx_session(AnyTerminator::genie(m), RxConfig::default())
+                .unwrap();
+            ids.push(pool.insert(rx).unwrap());
+        }
+        for (tx, &id) in txs.iter_mut().zip(&ids) {
+            let (_slot, sym) = tx.next_symbol();
+            pool.ingest(id, &[sym]).unwrap();
+        }
+        // Tight one-off budget: one attempt runs, three defer.
+        let events = pool.drive_until(1);
+        let polls = events.iter().filter(|e| e.poll().is_some()).count();
+        let defers = events
+            .iter()
+            .filter(|e| matches!(e.outcome, SessionOutcome::Deferred { .. }))
+            .count();
+        assert_eq!(polls, 1, "a budget below one attempt still serves one");
+        assert_eq!(defers, 3);
+        // The next (unbudgeted) drive drains the backlog with no new
+        // symbols needed — the deferred sessions are still due.
+        let events = pool.drive();
+        assert_eq!(events.iter().filter(|e| e.poll().is_some()).count(), 3);
+        assert!(events.iter().all(|e| e.poll().is_some()));
+    }
+
+    /// The attempt ceiling must abandon hopeless sessions exactly once,
+    /// quarantine them (ingest rejected, never scheduled), and leave the
+    /// slot reclaimable.
+    #[test]
+    fn attempt_ceiling_abandons_and_quarantines() {
+        let mut pool = Pool::new(MultiConfig {
+            max_session_attempts: 3,
+            ..MultiConfig::default()
+        });
+        let m = msg(7);
+        let code = SpinalCode::fig2(m.len() as u32, 7).unwrap();
+        let wrong = SpinalCode::fig2(m.len() as u32, 3007).unwrap();
+        let mut tx = code.tx_session(&m).unwrap();
+        let rx = wrong
+            .awgn_rx_session(AnyTerminator::genie(m.clone()), RxConfig::default())
+            .unwrap();
+        let id = pool.insert(rx).unwrap();
+        // A healthy companion keeps decoding normally alongside.
+        let (mut tx_ok, rx_ok) = session_pair(7, &m, RxConfig::default());
+        let id_ok = pool.insert(rx_ok).unwrap();
+        let mut events = Vec::new();
+        let mut abandoned_at = None;
+        for round in 0..12u64 {
+            if pool.get(id).is_some() && !pool.is_quarantined(id) {
+                let (_slot, sym) = tx.next_symbol();
+                pool.ingest(id, &[sym]).unwrap();
+            }
+            if !pool.get(id_ok).unwrap().is_finished() {
+                let (_slot, sym) = tx_ok.next_symbol();
+                pool.ingest(id_ok, &[sym]).unwrap();
+            }
+            pool.drive_into(&mut events);
+            for ev in &events {
+                if let SessionOutcome::Abandoned { attempts, symbols } = ev.outcome {
+                    assert_eq!(ev.id, id);
+                    assert_eq!(attempts, 3, "ceiling honoured exactly");
+                    assert!(symbols >= 3);
+                    assert!(abandoned_at.is_none(), "abandoned exactly once");
+                    abandoned_at = Some(round);
+                }
+            }
+        }
+        assert!(abandoned_at.is_some(), "hopeless session must be abandoned");
+        assert_eq!(pool.quarantines(), 1);
+        assert!(pool.is_quarantined(id));
+        assert!(!pool.is_quarantined(id_ok));
+        // Quarantined: ingest rejected with the dedicated error; the
+        // session is terminal without a payload; checkpoints were freed.
+        assert_eq!(
+            pool.ingest(id, &[]).unwrap_err(),
+            SpinalError::SessionQuarantined
+        );
+        let s = pool.get(id).unwrap();
+        assert!(s.is_finished() && s.is_abandoned());
+        assert_eq!(s.payload(), None);
+        assert_eq!(s.checkpoint_bytes(), 0, "quarantine frees checkpoints");
+        // The healthy session was unaffected.
+        assert_eq!(pool.get(id_ok).unwrap().payload(), Some(&m));
+        // Removal reclaims the slot; the returned session is abandoned.
+        let rx = pool.remove(id).unwrap();
+        assert!(rx.is_abandoned());
+        assert_eq!(pool.len(), 1);
+    }
+
+    /// Admission control must reject inserts beyond the ceiling and
+    /// admit again after a removal.
+    #[test]
+    fn admission_control_bounds_the_pool() {
+        let mut pool = Pool::new(MultiConfig {
+            max_sessions: 2,
+            ..MultiConfig::default()
+        });
+        let m = msg(3);
+        let mk = || {
+            let code = SpinalCode::fig2(m.len() as u32, 3).unwrap();
+            code.awgn_rx_session(AnyTerminator::genie(m.clone()), RxConfig::default())
+                .unwrap()
+        };
+        let a = pool.insert(mk()).unwrap();
+        let _b = pool.insert(mk()).unwrap();
+        match pool.insert(mk()) {
+            Err(SpinalError::PoolFull { live, max_sessions }) => {
+                assert_eq!((live, max_sessions), (2, 2));
+            }
+            other => panic!("expected PoolFull, got {other:?}"),
+        }
+        pool.remove(a).unwrap();
+        assert!(pool.insert(mk()).is_ok(), "admission reopens after remove");
+    }
+
     /// A tight global budget must evict checkpoints — and change
     /// nothing about the sessions' results.
     #[test]
@@ -947,7 +1316,7 @@ mod tests {
                 let m = msg(i);
                 let (tx, rx) = session_pair(500 + u64::from(i), &m, RxConfig::default());
                 txs.push(tx);
-                ids.push(pool.insert(rx));
+                ids.push(pool.insert(rx).unwrap());
             }
             let mut events = Vec::new();
             for _ in 0..40 {
@@ -1005,14 +1374,14 @@ mod tests {
         let mut pool = Pool::new(MultiConfig::default());
         let m = msg(1);
         let (_, rx) = session_pair(1, &m, RxConfig::default());
-        let id = pool.insert(rx);
+        let id = pool.insert(rx).unwrap();
         assert!(pool.get(id).is_some());
         assert_eq!(pool.len(), 1);
         let rx = pool.remove(id).unwrap();
         assert!(pool.get(id).is_none());
         assert_eq!(pool.remove(id).unwrap_err(), SpinalError::UnknownSession);
         assert!(pool.is_empty());
-        let id2 = pool.insert(rx);
+        let id2 = pool.insert(rx).unwrap();
         assert_eq!(id2.index, id.index, "slot is reused");
         assert_ne!(id2.gen, id.gen, "generation advances");
         assert!(pool.get(id).is_none(), "stale id must not resolve");
@@ -1029,13 +1398,13 @@ mod tests {
         let mut pool = Pool::new(MultiConfig::default());
         let m = msg(9);
         let (mut tx, rx) = session_pair(9, &m, RxConfig::default());
-        let id = pool.insert(rx);
+        let id = pool.insert(rx).unwrap();
         let mut events = Vec::new();
         loop {
             let (_slot, sym) = tx.next_symbol();
             pool.ingest(id, &[sym]).unwrap();
             pool.drive_into(&mut events);
-            if matches!(events.first().map(|e| e.poll), Some(Poll::Decoded { .. })) {
+            if events.first().is_some_and(|e| e.is_decoded()) {
                 break;
             }
         }

@@ -350,6 +350,9 @@ enum RxState {
     Listening,
     Decoded,
     Exhausted,
+    /// Given up by policy (the pool's per-session attempt ceiling — the
+    /// §3 "too much time" escape hatch) rather than by symbol budget.
+    Abandoned,
 }
 
 /// The receiver's half of a streaming codec session.
@@ -463,9 +466,28 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
     }
 
     /// `true` once a terminal [`Poll`] (`Decoded` / `Exhausted`) has been
-    /// returned.
+    /// returned, or the session was [abandoned](Self::abandon).
     pub fn is_finished(&self) -> bool {
         self.state != RxState::Listening
+    }
+
+    /// `true` once the session was given up by policy (see
+    /// [`abandon`](Self::abandon)) — distinct from running out of its
+    /// symbol budget (`Exhausted`) and from decoding.
+    pub fn is_abandoned(&self) -> bool {
+        self.state == RxState::Abandoned
+    }
+
+    /// Terminates the session by policy: the caller (typically a
+    /// [`crate::sched::MultiDecoder`] enforcing its per-session attempt
+    /// ceiling) has decided further decode attempts are not worth their
+    /// work. The session becomes finished without a payload; further
+    /// `ingest` calls return [`SpinalError::SessionFinished`]. No-op on
+    /// an already-finished session.
+    pub fn abandon(&mut self) {
+        if self.state == RxState::Listening {
+            self.state = RxState::Abandoned;
+        }
     }
 
     /// The accepted payload, once [`Poll::Decoded`] has been returned.

@@ -26,8 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod protocol;
 pub mod sim;
 
-pub use protocol::{LinkConfig, LinkReport};
+pub use fault::{Delivery, FaultCounters, FaultPlan, FaultStream, LinkFault};
+pub use protocol::{FeedbackConfig, FeedbackMode, LinkConfig, LinkReport};
 pub use sim::{simulate_link, simulate_link_ensemble};

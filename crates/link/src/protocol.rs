@@ -11,24 +11,117 @@
 //!   round-robin, and keeps transmitting a frame until its ACK arrives —
 //!   it has no channel estimate and never adapts a rate;
 //! * the **receiver** attempts decoding as symbols accumulate and sends
-//!   an ACK the moment a frame decodes; the ACK takes
-//!   [`LinkConfig::feedback_delay`] symbol-times to reach the sender;
+//!   feedback per its [`FeedbackMode`]; feedback takes
+//!   [`LinkConfig::feedback_delay`] symbol-times to reach the sender and
+//!   is itself erased with probability [`FeedbackConfig::loss`] (a BEC
+//!   on the reverse link);
 //! * with a window of 1 the protocol is stop-and-wait and every frame
 //!   wastes ~`feedback_delay` symbols; with a deeper window the sender
 //!   fills the ACK gap with other frames' symbols (pipelining), which is
 //!   the trade-off the `link_protocol` binary quantifies.
+//!
+//! Because feedback can be lost, delivery is a *sender-side* event: a
+//! frame counts as delivered when the sender learns of the decode and
+//! retires it. Receiver-side decodes whose ACK never lands keep costing
+//! symbols until a re-ACK gets through (the receiver re-ACKs on every
+//! post-decode arrival) or the sender's per-frame symbol budget cuts the
+//! frame off — the budget, not the feedback, is what guarantees the
+//! protocol terminates.
 
+use crate::fault::FaultPlan;
 use spinal_core::decode::BeamConfig;
+use spinal_core::frame::Checksum;
 use spinal_core::hash::HashFamily;
 use spinal_core::map::AnyIqMapper;
 use spinal_core::puncture::AnySchedule;
 use spinal_core::SpinalError;
 use spinal_sim::stats::RunningStats;
 
+/// What the receiver sends on the reverse link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedbackMode {
+    /// One ACK per decoded frame, re-ACKed on every later arrival for
+    /// that frame (so a lost ACK is repaired by the sender's own
+    /// continued transmissions).
+    AckOnly,
+    /// ACKs plus negative acknowledgements: when the receiver observes a
+    /// gap in a frame's symbol sequence numbers it NACKs the first
+    /// missing position, and the sender *seeks* its [`spinal_core::session::TxSession`]
+    /// back to that position and replays from there.
+    Nack,
+    /// Periodic cumulative state: every `period` symbol-times the
+    /// receiver reports every frame it has decoded but not yet seen
+    /// retired. Robust to arbitrary feedback loss (the next snapshot
+    /// repeats the news) at the cost of up to one period of extra
+    /// latency.
+    CumulativeAck {
+        /// Symbol-times between snapshots (≥ 1).
+        period: u64,
+    },
+}
+
+/// The reverse (feedback) link and the sender's retry policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeedbackConfig {
+    /// What the receiver transmits.
+    pub mode: FeedbackMode,
+    /// BEC erasure probability on the feedback link: each feedback
+    /// message is lost independently with this probability.
+    pub loss: f64,
+    /// Sender retry timeout in symbol-times: if a frame has been in
+    /// flight this long with no feedback about it, the sender rewinds
+    /// halfway and replays (guarding against *data*-direction loss the
+    /// receiver never saw). `0` disables the timer.
+    pub timeout: u64,
+    /// Multiplier applied to a frame's timeout after each firing
+    /// (≥ 1.0), so a dead link backs off instead of replaying forever.
+    pub backoff: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        Self {
+            mode: FeedbackMode::AckOnly,
+            loss: 0.0,
+            timeout: 0,
+            backoff: 2.0,
+        }
+    }
+}
+
+impl FeedbackConfig {
+    /// Checks the feedback parameters with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::Probability`] for a loss outside `[0, 1]`,
+    /// [`SpinalError::Backoff`] for a backoff below 1.0,
+    /// [`SpinalError::AtLeastOne`] for a zero cumulative-ACK period.
+    pub fn validate(&self) -> Result<(), SpinalError> {
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err(SpinalError::Probability {
+                name: "feedback loss",
+                value: self.loss,
+            });
+        }
+        if self.backoff.is_nan() || self.backoff < 1.0 {
+            return Err(SpinalError::Backoff(self.backoff));
+        }
+        if let FeedbackMode::CumulativeAck { period: 0 } = self.mode {
+            return Err(SpinalError::AtLeastOne {
+                name: "cumulative-ACK period",
+                value: 0,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of a link simulation.
 #[derive(Clone, Debug)]
 pub struct LinkConfig {
-    /// Frame payload in bits (the spinal-code message).
+    /// Frame size in bits (the spinal-code message; includes the CRC
+    /// when [`LinkConfig::crc`] is set).
     pub message_bits: u32,
     /// Segment size `k`.
     pub k: u32,
@@ -42,7 +135,7 @@ pub struct LinkConfig {
     pub beam: BeamConfig,
     /// Channel SNR in dB.
     pub snr_db: f64,
-    /// ACK propagation time, in symbol-times.
+    /// Feedback propagation time, in symbol-times.
     pub feedback_delay: u64,
     /// Sender window: frames simultaneously in flight (1 = stop-and-wait).
     pub frames_in_flight: u32,
@@ -50,13 +143,32 @@ pub struct LinkConfig {
     /// `spinal_sim::rateless::RatelessConfig::attempt_growth`).
     pub attempt_growth: f64,
     /// Sender abandons a frame after this many of its symbols
-    /// (the §3 "too much time has been spent" escape hatch).
+    /// (the §3 "too much time has been spent" escape hatch) — the
+    /// liveness guarantee when feedback never arrives.
     pub max_symbols_per_frame: u64,
+    /// Receiver pool quarantines a frame's session after this many
+    /// decode attempts (its `frames_abandoned` outcome);
+    /// `u32::MAX` = unlimited.
+    pub max_attempts_per_frame: u32,
+    /// The reverse link and retry policy.
+    pub feedback: FeedbackConfig,
+    /// Fault composition applied to the *data* link (the plan's own
+    /// seed is ignored here: the simulation reseeds it per frame from
+    /// the run seed, so ensembles stay bit-identical at any worker
+    /// count).
+    pub faults: FaultPlan,
+    /// Frame termination: `Some` uses CRC framing (the practical
+    /// receiver — the last `crc.width()` bits of each frame are the
+    /// checksum, and a decode that passes the CRC but mismatches the
+    /// true payload is counted in `frames_misdecoded`); `None` uses
+    /// genie termination (no mis-decodes possible).
+    pub crc: Option<Checksum>,
 }
 
 impl LinkConfig {
     /// Checks the configuration with typed errors: at least one frame in
-    /// flight, attempt growth ≥ 1, valid code parameters.
+    /// flight, attempt growth ≥ 1, valid code parameters, valid feedback
+    /// and fault parameters, CRC narrower than the frame.
     ///
     /// # Errors
     ///
@@ -68,7 +180,23 @@ impl LinkConfig {
         if self.attempt_growth.is_nan() || self.attempt_growth < 1.0 {
             return Err(SpinalError::AttemptGrowth(self.attempt_growth));
         }
+        if self.max_attempts_per_frame == 0 {
+            return Err(SpinalError::AtLeastOne {
+                name: "attempt ceiling",
+                value: 0,
+            });
+        }
         self.beam.validate()?;
+        self.feedback.validate()?;
+        self.faults.validate()?;
+        if let Some(ck) = self.crc {
+            if self.message_bits <= ck.width() as u32 {
+                return Err(SpinalError::CrcWidth {
+                    message_bits: self.message_bits,
+                    crc_bits: ck.width() as u32,
+                });
+            }
+        }
         spinal_core::params::CodeParams::builder()
             .message_bits(self.message_bits)
             .k(self.k)
@@ -76,7 +204,8 @@ impl LinkConfig {
         Ok(())
     }
 
-    /// A small demonstration configuration: 16-bit frames, k = 4, c = 6.
+    /// A small demonstration configuration: 16-bit frames, k = 4, c = 6,
+    /// perfect feedback, a clean data link, genie termination.
     pub fn demo(snr_db: f64, feedback_delay: u64, frames_in_flight: u32) -> Self {
         Self {
             message_bits: 16,
@@ -90,27 +219,80 @@ impl LinkConfig {
             frames_in_flight,
             attempt_growth: 1.0,
             max_symbols_per_frame: 4000,
+            max_attempts_per_frame: u32::MAX,
+            feedback: FeedbackConfig::default(),
+            faults: FaultPlan::default(),
+            crc: None,
         }
     }
 }
 
 /// Results of a link simulation.
+///
+/// Frame outcomes are disjoint: every requested frame ends exactly one
+/// of delivered, exhausted (its symbol budget ran out — the honest
+/// "couldn't afford it" outcome), or abandoned (the receiver pool's
+/// attempt ceiling quarantined it). `frames_misdecoded` counts delivered
+/// frames whose accepted payload differs from the truth (CRC false
+/// accepts); it is a subset of `frames_delivered`, and must be zero for
+/// an adequate checksum.
 #[derive(Clone, Debug)]
 pub struct LinkReport {
     /// Frames the application offered.
     pub frames_requested: u32,
-    /// Frames delivered (decoded correctly and ACKed).
+    /// Frames the sender retired after learning of their decode.
     pub frames_delivered: u32,
-    /// Frames abandoned after the per-frame symbol budget.
-    pub frames_aborted: u32,
+    /// Frames cut off by the per-frame symbol budget (sender-side cut
+    /// or receiver `Exhausted`).
+    pub frames_exhausted: u32,
+    /// Frames quarantined by the receiver pool's attempt ceiling.
+    pub frames_abandoned: u32,
+    /// Delivered frames whose accepted payload was wrong (CRC false
+    /// accept) — silent corruption if ever nonzero.
+    pub frames_misdecoded: u32,
     /// Total symbols the sender transmitted (including post-decode,
-    /// pre-ACK waste).
+    /// pre-ACK waste and replays).
     pub symbols_sent: u64,
+    /// Of `symbols_sent`, symbols re-sent from a seek/rewind (NACK
+    /// replay or timeout).
+    pub symbols_replayed: u64,
+    /// Feedback messages the receiver sent.
+    pub feedback_sent: u64,
+    /// Of `feedback_sent`, messages erased by the feedback BEC.
+    pub feedback_lost: u64,
+    /// ACKs that arrived for frames the sender had already retired.
+    pub duplicate_acks: u64,
     /// Per-frame decode latency in symbol-times (first symbol sent →
-    /// decoded), over delivered frames.
+    /// receiver decoded), over delivered frames.
     pub decode_latency: RunningStats,
     /// Per-frame symbols the receiver actually needed to decode.
     pub symbols_to_decode: RunningStats,
+    /// Per-delivered-frame completion latency in symbol-times (first
+    /// symbol sent → sender retired the frame), kept whole for
+    /// percentile reporting.
+    pub completion_latency: Vec<u64>,
+}
+
+impl Default for LinkReport {
+    fn default() -> Self {
+        Self {
+            frames_requested: 0,
+            frames_delivered: 0,
+            frames_exhausted: 0,
+            frames_abandoned: 0,
+            frames_misdecoded: 0,
+            symbols_sent: 0,
+            symbols_replayed: 0,
+            feedback_sent: 0,
+            feedback_lost: 0,
+            duplicate_acks: 0,
+            // `RunningStats::new()`, not the derived default: the empty
+            // accumulator's min/max start at the infinities.
+            decode_latency: RunningStats::new(),
+            symbols_to_decode: RunningStats::new(),
+            completion_latency: Vec::new(),
+        }
+    }
 }
 
 impl LinkReport {
@@ -125,6 +307,18 @@ impl LinkReport {
         }
     }
 
+    /// Goodput in *payload* bits per transmitted symbol: like
+    /// [`LinkReport::throughput`] but excluding checksum overhead bits
+    /// and mis-decoded frames — what the application actually got.
+    pub fn goodput(&self, message_bits: u32, crc: Option<Checksum>) -> f64 {
+        if self.symbols_sent == 0 {
+            return 0.0;
+        }
+        let payload_bits = f64::from(message_bits) - crc.map_or(0.0, |ck| ck.width() as f64);
+        let good = f64::from(self.frames_delivered.saturating_sub(self.frames_misdecoded));
+        good * payload_bits / self.symbols_sent as f64
+    }
+
     /// Fraction of frames delivered.
     pub fn delivery_fraction(&self) -> f64 {
         if self.frames_requested == 0 {
@@ -133,11 +327,42 @@ impl LinkReport {
             f64::from(self.frames_delivered) / f64::from(self.frames_requested)
         }
     }
+
+    /// Nearest-rank percentile of the completion latency (`q` in
+    /// `[0, 1]`, e.g. `0.5` and `0.99`); `None` until a frame completes.
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        if self.completion_latency.is_empty() {
+            return None;
+        }
+        let mut sorted = self.completion_latency.clone();
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Folds another report into this one (ensemble accumulation).
+    pub fn merge(&mut self, o: &LinkReport) {
+        self.frames_requested += o.frames_requested;
+        self.frames_delivered += o.frames_delivered;
+        self.frames_exhausted += o.frames_exhausted;
+        self.frames_abandoned += o.frames_abandoned;
+        self.frames_misdecoded += o.frames_misdecoded;
+        self.symbols_sent += o.symbols_sent;
+        self.symbols_replayed += o.symbols_replayed;
+        self.feedback_sent += o.feedback_sent;
+        self.feedback_lost += o.feedback_lost;
+        self.duplicate_acks += o.duplicate_acks;
+        self.decode_latency.merge(&o.decode_latency);
+        self.symbols_to_decode.merge(&o.symbols_to_decode);
+        self.completion_latency
+            .extend_from_slice(&o.completion_latency);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::LinkFault;
 
     #[test]
     fn demo_config_is_valid() {
@@ -145,6 +370,52 @@ mod tests {
         assert_eq!(cfg.message_bits % cfg.k, 0);
         assert!(cfg.attempt_growth >= 1.0);
         assert_eq!(cfg.frames_in_flight, 4);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_feedback_and_faults() {
+        let mut cfg = LinkConfig::demo(10.0, 16, 4);
+        cfg.feedback.loss = 1.5;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            SpinalError::Probability {
+                name: "feedback loss",
+                ..
+            }
+        ));
+        cfg.feedback.loss = 0.1;
+        cfg.feedback.backoff = 0.5;
+        assert_eq!(cfg.validate().unwrap_err(), SpinalError::Backoff(0.5));
+        cfg.feedback.backoff = 1.5;
+        cfg.feedback.mode = FeedbackMode::CumulativeAck { period: 0 };
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            SpinalError::AtLeastOne {
+                name: "cumulative-ACK period",
+                ..
+            }
+        ));
+        cfg.feedback.mode = FeedbackMode::Nack;
+        cfg.faults = FaultPlan::new(0).with(LinkFault::Drop { p: -0.1 });
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            SpinalError::Probability {
+                name: "link fault",
+                ..
+            }
+        ));
+        cfg.faults = FaultPlan::default();
+        cfg.crc = Some(Checksum::Crc16);
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            SpinalError::CrcWidth {
+                message_bits: 16,
+                crc_bits: 16
+            }
+        );
+        cfg.message_bits = 32;
+        cfg.validate().unwrap();
     }
 
     #[test]
@@ -152,26 +423,70 @@ mod tests {
         let report = LinkReport {
             frames_requested: 10,
             frames_delivered: 8,
-            frames_aborted: 2,
+            frames_exhausted: 2,
             symbols_sent: 64,
-            decode_latency: RunningStats::new(),
-            symbols_to_decode: RunningStats::new(),
+            ..LinkReport::default()
         };
         assert!((report.throughput(16) - 8.0 * 16.0 / 64.0).abs() < 1e-12);
         assert!((report.delivery_fraction() - 0.8).abs() < 1e-12);
+        assert!((report.goodput(16, None) - report.throughput(16)).abs() < 1e-12);
+        // CRC overhead and mis-decodes are excluded from goodput.
+        let mut crc_report = report.clone();
+        crc_report.frames_misdecoded = 1;
+        let g = crc_report.goodput(32, Some(Checksum::Crc16));
+        assert!((g - 7.0 * 16.0 / 64.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_report_is_zero() {
-        let report = LinkReport {
-            frames_requested: 0,
-            frames_delivered: 0,
-            frames_aborted: 0,
-            symbols_sent: 0,
-            decode_latency: RunningStats::new(),
-            symbols_to_decode: RunningStats::new(),
-        };
+        let report = LinkReport::default();
         assert_eq!(report.throughput(16), 0.0);
         assert_eq!(report.delivery_fraction(), 0.0);
+        assert_eq!(report.latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let report = LinkReport {
+            frames_requested: 5,
+            frames_delivered: 5,
+            completion_latency: vec![40, 10, 30, 20, 50],
+            ..LinkReport::default()
+        };
+        assert_eq!(report.latency_percentile(0.0), Some(10));
+        assert_eq!(report.latency_percentile(0.5), Some(30));
+        assert_eq!(report.latency_percentile(0.99), Some(50));
+        assert_eq!(report.latency_percentile(1.0), Some(50));
+    }
+
+    #[test]
+    fn reports_merge_componentwise() {
+        let mut a = LinkReport {
+            frames_requested: 2,
+            frames_delivered: 1,
+            frames_exhausted: 1,
+            symbols_sent: 100,
+            symbols_replayed: 10,
+            feedback_sent: 3,
+            feedback_lost: 1,
+            duplicate_acks: 1,
+            completion_latency: vec![12],
+            ..LinkReport::default()
+        };
+        let b = LinkReport {
+            frames_requested: 3,
+            frames_delivered: 2,
+            frames_abandoned: 1,
+            symbols_sent: 50,
+            completion_latency: vec![7, 9],
+            ..LinkReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.frames_requested, 5);
+        assert_eq!(a.frames_delivered, 3);
+        assert_eq!(a.frames_exhausted, 1);
+        assert_eq!(a.frames_abandoned, 1);
+        assert_eq!(a.symbols_sent, 150);
+        assert_eq!(a.completion_latency, vec![12, 7, 9]);
     }
 }

@@ -417,7 +417,11 @@ where
                     },
                 )
                 .expect("attempt_growth validated by run entry point");
-                lane.id = Some(w.pool.insert(rx));
+                lane.id = Some(
+                    w.pool
+                        .insert(rx)
+                        .expect("worker pool has no admission ceiling"),
+                );
             }
         }
         if let Termination::Genie = self.termination {
@@ -500,13 +504,13 @@ where
                     .iter_mut()
                     .find(|l| l.id == Some(ev.id))
                     .expect("event for a bound lane");
-                match ev.poll {
-                    Poll::NeedMore { .. } => {}
-                    Poll::Decoded { .. } => {
+                match ev.poll() {
+                    Some(Poll::NeedMore { .. }) | None => {}
+                    Some(Poll::Decoded { .. }) => {
                         lane.finished = true;
                         lane.done = true;
                     }
-                    Poll::Exhausted { .. } => lane.done = true,
+                    Some(Poll::Exhausted { .. }) => lane.done = true,
                 }
             }
         }

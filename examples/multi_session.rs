@@ -80,7 +80,7 @@ fn main() {
                 },
             )
             .unwrap();
-        awgn_ids.push(awgn_pool.insert(rx));
+        awgn_ids.push(awgn_pool.insert(rx).unwrap());
     }
 
     // --- BSC pool: 16 flows from p = 0.01 to 0.08, deep-first order.
@@ -107,7 +107,7 @@ fn main() {
             },
         )
         .unwrap();
-        bsc_ids.push(bsc_pool.insert(rx));
+        bsc_ids.push(bsc_pool.insert(rx).unwrap());
     }
 
     // --- Drive both pools round-robin: one symbol per live flow per
@@ -133,10 +133,10 @@ fn main() {
         }
         awgn_pool.drive_into(&mut events);
         for ev in &events {
-            if let Poll::Decoded {
+            if let Some(Poll::Decoded {
                 symbols_used,
                 attempts,
-            } = ev.poll
+            }) = ev.poll()
             {
                 let lane = awgn_ids.iter().position(|&i| i == ev.id).unwrap();
                 println!(
@@ -159,10 +159,10 @@ fn main() {
         }
         bsc_pool.drive_into(&mut bsc_events);
         for ev in &bsc_events {
-            if let Poll::Decoded {
+            if let Some(Poll::Decoded {
                 symbols_used,
                 attempts,
-            } = ev.poll
+            }) = ev.poll()
             {
                 let lane = bsc_ids.iter().position(|&i| i == ev.id).unwrap();
                 println!(

@@ -11,9 +11,15 @@
 //!   termination) must poll or error, never panic, and out-of-range
 //!   slots must consume nothing.
 //! * **`MultiDecoder` id streams** — random interleavings of
-//!   insert / ingest / drive / remove / checkpoint demote / packing
-//!   toggles, including stale (generational) and double-removed ids,
-//!   against pools with tiny checkpoint budgets and attempt caps.
+//!   insert / ingest / drive / budgeted `drive_until` / remove /
+//!   checkpoint demote / packing toggles, including stale
+//!   (generational) and double-removed ids, against pools with tiny
+//!   checkpoint budgets, work budgets, admission ceilings (`PoolFull`),
+//!   and attempt ceilings (abandonment → quarantine).
+//! * **Faulted ingest streams** — symbol streams run through a seeded
+//!   `LinkFault` composition (drops, duplicates, reordering, bursts,
+//!   stale slot labels) before `ingest_at`: in-range faulted slots must
+//!   ingest cleanly whatever the interleaving.
 //!
 //! The harness asserts *absence of panics* and basic state sanity, not
 //! decoded payloads — the equivalence suites own correctness.
@@ -131,27 +137,34 @@ proptest! {
         }
     }
 
-    /// Pool id streams: stale ids, double removes, tiny budgets and
-    /// attempt caps — typed errors only, live sessions stay reachable.
+    /// Pool id streams: stale ids, double removes, tiny checkpoint /
+    /// work budgets, admission and attempt ceilings — typed errors
+    /// only, live sessions stay reachable, quarantined sessions reject
+    /// ingest but remain removable.
     #[test]
     fn fuzz_pool_id_streams_never_panic(
         seed in any::<u64>(),
         ops in proptest::collection::vec(any::<u64>(), 1..96),
         budget in 0usize..100_000,
-        cap in 0usize..6,
+        work in 0u64..40,
+        ceiling in 0u32..24,
+        max_sessions in 1usize..8,
     ) {
         let mut pool = Pool::new(MultiConfig {
             workers: 1,
             checkpoint_budget: budget,
-            max_attempts_per_drive: cap.max(1),
+            work_budget: if work == 0 { u64::MAX } else { work },
+            max_session_attempts: ceiling.max(1),
+            max_sessions,
         });
         let mut lanes: Vec<(spinal_codes::SessionId, Tx)> = Vec::new();
         let mut dead: Vec<spinal_codes::SessionId> = Vec::new();
         let mut events = Vec::new();
         for &op in &ops {
-            match op % 8 {
+            match op % 9 {
                 0 | 1 => {
-                    // Insert a fresh session.
+                    // Insert a fresh session; a full pool must reject
+                    // with the typed admission error.
                     let (code, msg) = fuzz_code(seed ^ op);
                     let rx = code
                         .awgn_rx_session(
@@ -160,7 +173,14 @@ proptest! {
                         )
                         .expect("valid session");
                     let tx = code.tx_session(&msg).expect("valid tx");
-                    lanes.push((pool.insert(rx), tx));
+                    match pool.insert(rx) {
+                        Ok(id) => lanes.push((id, tx)),
+                        Err(spinal_codes::SpinalError::PoolFull { live, max_sessions: m }) => {
+                            prop_assert_eq!(live, pool.len());
+                            prop_assert!(pool.len() >= m, "PoolFull below the ceiling");
+                        }
+                        Err(other) => prop_assert!(false, "unexpected insert error {other:?}"),
+                    }
                 }
                 2 | 3 => {
                     // Ingest into a random live or dead id.
@@ -169,8 +189,15 @@ proptest! {
                         let idx = pick % lanes.len();
                         let (id, tx) = &mut lanes[idx];
                         let (_slot, x) = tx.next_symbol();
+                        let quarantined = pool.is_quarantined(*id);
                         // Finished sessions yield SessionFinished — fine.
-                        let _ = pool.ingest(*id, &[x]);
+                        let res = pool.ingest(*id, &[x]);
+                        if quarantined {
+                            prop_assert!(
+                                matches!(res, Err(spinal_codes::SpinalError::SessionQuarantined)),
+                                "quarantined ingest must report SessionQuarantined, got {res:?}"
+                            );
+                        }
                     } else if let Some(&id) = dead.get(pick % dead.len().max(1)) {
                         prop_assert!(pool.ingest(id, &[symbol_from(op)]).is_err(),
                                      "stale id must be rejected");
@@ -178,6 +205,11 @@ proptest! {
                 }
                 4 => {
                     pool.drive_into(&mut events);
+                }
+                8 => {
+                    // Deadline-driven drive with an arbitrary one-off
+                    // budget (including 0, which still serves one).
+                    pool.drive_until_into((op >> 6) % 64, &mut events);
                 }
                 5 => {
                     // Remove a random id (possibly already removed).
@@ -219,5 +251,55 @@ proptest! {
             }
         }
         pool.drive_into(&mut events);
+    }
+
+    /// Faulted ingest streams: a seeded `LinkFault` composition between
+    /// the encoder and `ingest_at` (drops, duplicates, reordering,
+    /// bursts, stale labels) must never panic the receiver — faulted
+    /// slots stay in range, so every delivery ingests cleanly until the
+    /// session finishes.
+    #[test]
+    fn fuzz_faulted_ingest_streams_never_panic(
+        seed in any::<u64>(),
+        p_drop in 0.0..0.6f64,
+        p_dup in 0.0..0.5f64,
+        p_reorder in 0.0..0.5f64,
+        window in 1u32..6,
+        p_stale in 0.0..0.4f64,
+        n in 8usize..80,
+    ) {
+        use spinal_codes::link::{FaultPlan, LinkFault};
+        let (code, msg) = fuzz_code(seed);
+        let mut tx = code.tx_session(&msg).expect("valid tx");
+        let mut rx = code
+            .awgn_rx_session(
+                AnyTerminator::genie(msg.clone()),
+                RxConfig { max_symbols: 256, ..RxConfig::default() },
+            )
+            .expect("valid session");
+        let plan = FaultPlan::new(seed)
+            .with(LinkFault::Drop { p: p_drop })
+            .with(LinkFault::Duplicate { p: p_dup })
+            .with(LinkFault::Reorder { p: p_reorder, window })
+            .with(LinkFault::Burst { p: 0.05, len: 2 })
+            .with(LinkFault::StaleSlot { p: p_stale });
+        plan.validate().expect("fuzzed plan parameters are in range");
+        let mut stream = plan.stream();
+        let mut out = Vec::new();
+        for s in 0..n as u64 {
+            let (slot, x) = tx.next_symbol();
+            stream.push(s, slot, x, &mut out);
+            let batch: Vec<(Slot, IqSymbol)> =
+                out.iter().map(|d| (d.slot, d.symbol)).collect();
+            if batch.is_empty() {
+                continue;
+            }
+            if rx.is_finished() {
+                prop_assert!(rx.ingest_at(&batch).is_err(), "finished sessions reject");
+            } else {
+                let poll = rx.ingest_at(&batch);
+                prop_assert!(poll.is_ok(), "faulted in-range slots must ingest: {poll:?}");
+            }
+        }
     }
 }

@@ -9,7 +9,11 @@ use spinal_codes::{
     AnyTerminator, BeamConfig, BitVec, Checksum, CodeParams, MlConfig, ParamError, RxConfig,
     SpinalCode, SpinalError, StridedPuncture,
 };
-use spinal_link::{simulate_link, LinkConfig};
+use spinal_codes::{IqSymbol, MultiConfig, MultiDecoder, SessionEvent};
+use spinal_core::decode::AwgnCost;
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_link::{simulate_link, FaultPlan, FeedbackConfig, FeedbackMode, LinkConfig, LinkFault};
 
 #[test]
 fn invalid_inputs_return_typed_errors_and_never_panic() {
@@ -169,6 +173,121 @@ fn invalid_inputs_return_typed_errors_and_never_panic() {
         simulate_link(&link, 2, 1).unwrap_err(),
         SpinalError::Param(ParamError::MessageNotSegmentMultiple { .. })
     ));
+
+    // --- Feedback protocol configuration. ---
+    let fb = FeedbackConfig {
+        loss: 1.1,
+        ..FeedbackConfig::default()
+    };
+    assert_eq!(
+        fb.validate().unwrap_err(),
+        SpinalError::Probability {
+            name: "feedback loss",
+            value: 1.1
+        }
+    );
+    let fb = FeedbackConfig {
+        backoff: 0.5,
+        ..FeedbackConfig::default()
+    };
+    assert_eq!(fb.validate().unwrap_err(), SpinalError::Backoff(0.5));
+    let fb = FeedbackConfig {
+        mode: FeedbackMode::CumulativeAck { period: 0 },
+        ..FeedbackConfig::default()
+    };
+    assert_eq!(
+        fb.validate().unwrap_err(),
+        SpinalError::AtLeastOne {
+            name: "cumulative-ACK period",
+            value: 0
+        }
+    );
+
+    // --- Fault plans: probabilities and degenerate windows. ---
+    let plan = FaultPlan::new(1).with(LinkFault::Drop { p: -0.2 });
+    assert_eq!(
+        plan.validate().unwrap_err(),
+        SpinalError::Probability {
+            name: "link fault",
+            value: -0.2
+        }
+    );
+    let plan = FaultPlan::new(1).with(LinkFault::Reorder { p: 0.1, window: 0 });
+    assert_eq!(
+        plan.validate().unwrap_err(),
+        SpinalError::AtLeastOne {
+            name: "reorder window",
+            value: 0
+        }
+    );
+    let plan = FaultPlan::new(1).with(LinkFault::Burst { p: 0.1, len: 0 });
+    assert_eq!(
+        plan.validate().unwrap_err(),
+        SpinalError::AtLeastOne {
+            name: "burst length",
+            value: 0
+        }
+    );
+    // Invalid fault and feedback parameters surface through the link
+    // entry point, too.
+    let mut link = LinkConfig::demo(10.0, 4, 1);
+    link.max_attempts_per_frame = 0;
+    assert_eq!(
+        simulate_link(&link, 2, 1).unwrap_err(),
+        SpinalError::AtLeastOne {
+            name: "attempt ceiling",
+            value: 0
+        }
+    );
+    let mut link = LinkConfig::demo(10.0, 4, 1);
+    link.crc = Some(Checksum::Crc16);
+    assert_eq!(
+        simulate_link(&link, 2, 1).unwrap_err(),
+        SpinalError::CrcWidth {
+            message_bits: 16,
+            crc_bits: 16
+        }
+    );
+
+    // --- Pool admission control and quarantine. ---
+    let code = SpinalCode::fig2(24, 1).unwrap();
+    let msg = BitVec::from_bytes(&[1, 2, 3]);
+    let rx = || {
+        code.awgn_rx_session(AnyTerminator::genie(msg.clone()), RxConfig::default())
+            .unwrap()
+    };
+    let mut pool: MultiDecoder<Lookup3, LinearMapper, AwgnCost, StridedPuncture> =
+        MultiDecoder::new(MultiConfig {
+            max_sessions: 1,
+            max_session_attempts: 1,
+            ..MultiConfig::default()
+        });
+    let id = pool.insert(rx()).unwrap();
+    assert_eq!(
+        pool.insert(rx()).unwrap_err(),
+        SpinalError::PoolFull {
+            live: 1,
+            max_sessions: 1
+        }
+    );
+    // Garbage input burns the one-attempt ceiling; the pool quarantines
+    // the session and rejects further symbols with a typed error.
+    let mut events: Vec<SessionEvent> = Vec::new();
+    for _ in 0..8 {
+        if pool.is_quarantined(id) {
+            break;
+        }
+        pool.ingest(id, &[IqSymbol::new(0.0, 0.0)]).unwrap();
+        pool.drive_into(&mut events);
+    }
+    assert!(
+        pool.is_quarantined(id),
+        "one attempt on garbage quarantines"
+    );
+    assert_eq!(
+        pool.ingest(id, &[IqSymbol::new(0.0, 0.0)]).unwrap_err(),
+        SpinalError::SessionQuarantined
+    );
 
     // --- Errors are real std errors with useful Display. ---
     let e: Box<dyn std::error::Error> = Box::new(SpinalError::Stride(6));

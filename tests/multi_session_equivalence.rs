@@ -77,7 +77,7 @@ fn check_interleaving(
         let (lane, rx) = build_lane(seed, msg, snr_db);
         let (_, rx2) = build_lane(seed, msg, snr_db);
         lanes.push(lane);
-        ids.push(pool.insert(rx));
+        ids.push(pool.insert(rx).unwrap());
         solo.push(rx2);
     }
 
@@ -115,7 +115,7 @@ fn check_interleaving(
                 .iter()
                 .find(|e| e.id == ids[lane_idx])
                 .expect("event for active session");
-            assert_eq!(ev.poll, poll, "lane {lane_idx}");
+            assert_eq!(ev.poll(), Some(poll), "lane {lane_idx}");
             // Bit-identity of the attempt itself, not just the poll.
             let p = pool.get(ids[lane_idx]).unwrap();
             let s = &solo[lane_idx];
