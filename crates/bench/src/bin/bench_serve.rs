@@ -1,0 +1,440 @@
+//! Codec-service scale sweep: concurrent serve dialogues over the
+//! deterministic loopback.
+//!
+//! Builds a fleet of [`ServeClient`]s — mixed feedback modes (ACK-only,
+//! NACK with a 15% data-link drop plan, cumulative ACK), a share of them
+//! on the counter-seeded chunked loopback — connects every one to a
+//! sharded [`Server`], and ticks the whole system to completion. A full
+//! run sweeps 1k → 100k concurrent flows (serial and 4-shard event
+//! loops), reporting p50/p99 completion latency in ticks, goodput in
+//! payload-bits per received symbol (ppm), and wall-clock flow
+//! throughput, into `BENCH_serve.json`.
+//!
+//! `--quick` freezes the configuration to a 24-flow fleet, keeps every
+//! emitted quantity an exact integer, and runs three self-checks before
+//! writing `quick_serve.json` (CI diffs it against
+//! `crates/bench/golden/quick_serve.json`):
+//!
+//! 1. **bit-identity** — the same fleet under a serial 1-shard tick and
+//!    a 3-shard `tick_sharded` must agree on every flow's outcome,
+//!    decoded payload and symbol count, the sorted completion-latency
+//!    vector, and the served-symbol totals;
+//! 2. **zero-alloc steady state** — a warmed serial server tick (stalled
+//!    flush, empty ingress, idle pool drive, cumulative-ACK snapshots
+//!    against a capped egress queue) must perform zero heap allocations,
+//!    measured by this binary's counting global allocator;
+//! 3. **backpressure** — an egress high-water mark above a narrow pipe
+//!    must engage backpressure, and the flow must still complete once
+//!    the client drains.
+//!
+//! ```text
+//! cargo run -p spinal-bench --release --bin bench_serve [-- --quick]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use spinal_bench::{banner, RunArgs};
+use spinal_core::bits::BitVec;
+use spinal_core::symbol::IqSymbol;
+use spinal_link::{FaultPlan, FeedbackMode, LinkFault};
+use spinal_serve::{
+    loopback_pair, loopback_pair_chunked, ClientConfig, ClientOutcome, LoopbackTransport,
+    ServeClient, ServeConfig, Server,
+};
+use spinal_sim::stats::{derive_seed, percentile_nearest_rank};
+
+/// Counts heap allocations so the `--quick` steady-state self-check can
+/// assert the serial tick's zero-allocation contract from a bench run,
+/// not only from the test suite.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const QUICK_SEED: u64 = 0x5EED_2011;
+/// Payload bits per flow (CRC-16 framing adds 16 more on the wire).
+const PAYLOAD_BITS: u64 = 32;
+const MAX_TICKS: u64 = 200_000;
+
+/// Per-flow client shape: small beam and message keep the per-session
+/// footprint low enough for 100k concurrent decoder sessions.
+fn client_config(seed: u64, flow: u64) -> ClientConfig {
+    let mode = if flow.is_multiple_of(3) {
+        FeedbackMode::Nack
+    } else if flow.is_multiple_of(7) {
+        FeedbackMode::CumulativeAck { period: 3 }
+    } else {
+        FeedbackMode::AckOnly
+    };
+    ClientConfig {
+        beam: 4,
+        burst: 8,
+        seed: derive_seed(seed, 81, flow),
+        mode,
+        ..ClientConfig::default()
+    }
+}
+
+fn payload(seed: u64, flow: u64) -> BitVec {
+    BitVec::from_bytes(&derive_seed(seed, 82, flow).to_le_bytes()[..(PAYLOAD_BITS / 8) as usize])
+}
+
+/// Builds `flows` connected client/server pairs on a fresh server.
+fn build_fleet(
+    flows: u64,
+    shards: usize,
+    seed: u64,
+) -> (
+    Server<LoopbackTransport>,
+    Vec<ServeClient<LoopbackTransport>>,
+) {
+    let cfg = ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(cfg).expect("valid serve config");
+    let mut clients = Vec::with_capacity(flows as usize);
+    for flow in 0..flows {
+        let (local, remote) = if flow.is_multiple_of(5) {
+            loopback_pair_chunked(1 << 10, derive_seed(seed, 83, flow))
+        } else {
+            loopback_pair(1 << 10)
+        };
+        server.add_connection(remote);
+        let ccfg = client_config(seed, flow);
+        let mut client =
+            ServeClient::new(local, &ccfg, &payload(seed, flow)).expect("valid client shape");
+        if ccfg.mode == FeedbackMode::Nack {
+            client = client.with_fault(
+                &FaultPlan::new(derive_seed(seed, 84, flow)).with(LinkFault::Drop { p: 0.15 }),
+            );
+        }
+        clients.push(client);
+    }
+    (server, clients)
+}
+
+/// Ticks the fleet until every client has a verdict; returns tick count.
+fn run_fleet(
+    server: &mut Server<LoopbackTransport>,
+    clients: &mut [ServeClient<LoopbackTransport>],
+    sharded: bool,
+) -> u64 {
+    let mut pending: Vec<usize> = (0..clients.len()).collect();
+    for tick in 1..=MAX_TICKS {
+        if sharded {
+            server.tick_sharded();
+        } else {
+            server.tick();
+        }
+        pending.retain(|&i| {
+            clients[i].tick();
+            !clients[i].is_done()
+        });
+        if pending.is_empty() {
+            return tick;
+        }
+    }
+    panic!(
+        "fleet did not finish within {MAX_TICKS} ticks ({} pending)",
+        pending.len()
+    );
+}
+
+struct Row {
+    flows: u64,
+    shards: usize,
+    ticks: u64,
+    decoded: u64,
+    symbols_in: u64,
+    p50: u64,
+    p99: u64,
+    goodput_ppm: u64,
+    wall_ms: f64,
+}
+
+fn goodput_ppm(decoded: u64, symbols_in: u64) -> u64 {
+    if symbols_in == 0 {
+        0
+    } else {
+        u64::try_from(u128::from(decoded * PAYLOAD_BITS) * 1_000_000 / u128::from(symbols_in))
+            .expect("ppm fits")
+    }
+}
+
+fn run_row(flows: u64, shards: usize, seed: u64) -> Row {
+    let (mut server, mut clients) = build_fleet(flows, shards, seed);
+    let start = Instant::now();
+    let ticks = run_fleet(&mut server, &mut clients, shards > 1);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let decoded = clients
+        .iter()
+        .filter(|c| matches!(c.outcome(), Some(ClientOutcome::Decoded { .. })))
+        .count() as u64;
+    let stats = server.stats();
+    assert_eq!(
+        decoded, stats.decoded,
+        "client and server decode counts agree"
+    );
+    assert_eq!(decoded, flows, "a clean-I/Q fleet decodes every flow");
+    let mut lats = server.latencies();
+    let p50 = percentile_nearest_rank(&mut lats, 0.50).unwrap_or(0);
+    let p99 = percentile_nearest_rank(&mut lats, 0.99).unwrap_or(0);
+    Row {
+        flows,
+        shards,
+        ticks,
+        decoded,
+        symbols_in: stats.symbols_in,
+        p50,
+        p99,
+        goodput_ppm: goodput_ppm(decoded, stats.symbols_in),
+        wall_ms,
+    }
+}
+
+/// Self-check 1: the 3-shard event loop must be bit-identical to the
+/// serial one — per-flow verdicts, decoded payloads, symbol counts, the
+/// sorted latency vector, and served-symbol totals.
+fn check_bit_identity(flows: u64, seed: u64) {
+    let run = |shards: usize, sharded: bool| {
+        let (mut server, mut clients) = build_fleet(flows, shards, seed);
+        let ticks = run_fleet(&mut server, &mut clients, sharded);
+        let per_flow: Vec<_> = clients
+            .iter()
+            .map(|c| (c.outcome(), c.decoded_payload().cloned(), c.symbols_sent()))
+            .collect();
+        let mut lats = server.latencies();
+        lats.sort_unstable();
+        let stats = server.stats();
+        (ticks, per_flow, lats, stats.decoded, stats.symbols_in)
+    };
+    let serial = run(1, false);
+    let sharded = run(3, true);
+    assert_eq!(
+        serial, sharded,
+        "serial and 3-shard runs must be bit-identical"
+    );
+}
+
+/// Self-check 2: the warmed serial tick is allocation-free. Mirrors
+/// `tests/no_alloc_serve.rs`: two live never-decoding sessions, one in
+/// cumulative-ACK mode snapshotting into a capped egress queue every
+/// tick, clients silent so every measured tick repeats the same stalled
+/// fixed point.
+fn check_zero_alloc(seed: u64) -> u64 {
+    let cfg = ServeConfig {
+        egress_high_water: 256,
+        egress_capacity: 1 << 10,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(cfg).expect("valid serve config");
+    let garbage = |_: IqSymbol| IqSymbol::new(0.0, 0.0);
+    let (a_local, a_remote) = loopback_pair(1 << 12);
+    let (b_local, b_remote) = loopback_pair(1 << 12);
+    server.add_connection(a_remote);
+    server.add_connection(b_remote);
+    let a_cfg = ClientConfig {
+        max_symbols: 1 << 20,
+        seed: derive_seed(seed, 85, 0),
+        ..ClientConfig::default()
+    };
+    let b_cfg = ClientConfig {
+        max_symbols: 1 << 20,
+        mode: FeedbackMode::CumulativeAck { period: 1 },
+        seed: derive_seed(seed, 85, 1),
+        ..ClientConfig::default()
+    };
+    let p = BitVec::from_bytes(&[0xca, 0xfe]);
+    let mut a = ServeClient::new(a_local, &a_cfg, &p)
+        .expect("valid client shape")
+        .with_noise(Box::new(garbage));
+    let mut b = ServeClient::new(b_local, &b_cfg, &p)
+        .expect("valid client shape")
+        .with_noise(Box::new(garbage));
+    for _ in 0..60 {
+        a.tick();
+        b.tick();
+        server.tick();
+    }
+    assert_eq!(
+        server.live_sessions(),
+        2,
+        "warm-up must leave two live sessions"
+    );
+    for _ in 0..800 {
+        server.tick();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        server.tick();
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(allocs, 0, "steady-state serial tick must not allocate");
+    allocs
+}
+
+/// Self-check 3: a high-water mark the narrow pipe cannot drain engages
+/// backpressure, and the dialogue still completes once the client reads.
+fn check_backpressure(seed: u64) -> bool {
+    let cfg = ServeConfig {
+        egress_high_water: 8,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(cfg).expect("valid serve config");
+    let (local, remote) = loopback_pair(4);
+    let handle = server.add_connection(remote);
+    let ccfg = ClientConfig {
+        seed: derive_seed(seed, 86, 0),
+        ..ClientConfig::default()
+    };
+    let p = BitVec::from_bytes(&[0xb0, 0x55]);
+    let mut client = ServeClient::new(local, &ccfg, &p).expect("valid client shape");
+    let mut engaged = false;
+    for _ in 0..40 {
+        client.tick();
+        server.tick();
+        if server.is_backpressured(handle) {
+            engaged = true;
+            break;
+        }
+    }
+    assert!(
+        engaged,
+        "egress above high water must backpressure the connection"
+    );
+    let mut clients = [client];
+    run_fleet(&mut server, &mut clients, false);
+    assert!(
+        matches!(clients[0].outcome(), Some(ClientOutcome::Decoded { .. })),
+        "backpressured flow must still complete"
+    );
+    engaged
+}
+
+fn render_json(bench: &str, seed: u64, rows: &[Row], quick: bool) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let wall = if quick {
+                // Wall-clock is machine noise; the quick golden keeps
+                // only exact integers.
+                String::new()
+            } else {
+                format!(
+                    ", \"wall_ms\": {:.1}, \"flows_per_sec\": {:.0}",
+                    r.wall_ms,
+                    r.flows as f64 / (r.wall_ms / 1e3)
+                )
+            };
+            format!(
+                "    {{\"flows\": {}, \"shards\": {}, \"ticks\": {}, \"decoded\": {}, \
+                 \"symbols_in\": {}, \"p50_ticks\": {}, \"p99_ticks\": {}, \"goodput_ppm\": {}{}}}",
+                r.flows,
+                r.shards,
+                r.ticks,
+                r.decoded,
+                r.symbols_in,
+                r.p50,
+                r.p99,
+                r.goodput_ppm,
+                wall
+            )
+        })
+        .collect();
+    let checks = if quick {
+        "  \"self_checks\": {\"serial_sharded_bit_identical\": true, \
+         \"steady_state_allocations\": 0, \"backpressure_engaged\": true},\n"
+    } else {
+        ""
+    };
+    format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"seed\": {seed},\n  \"payload_bits\": {PAYLOAD_BITS},\n\
+         {checks}  \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+fn main() {
+    let args = RunArgs::parse(1);
+    let seed = if args.quick { QUICK_SEED } else { args.seed };
+    banner(
+        "serve: concurrent codec-service flows over loopback",
+        &args,
+        "32-bit CRC-16 payloads, k=4 c=8 B=4, mixed ACK/NACK(15% drop)/cum-ACK, 1/5 chunked pipes",
+    );
+
+    println!(
+        "{:>8} {:>7} {:>7} {:>9} {:>12} {:>6} {:>6} {:>12} {:>10}",
+        "flows", "shards", "ticks", "decoded", "symbols_in", "p50", "p99", "goodput ppm", "wall ms"
+    );
+    let mut rows = Vec::new();
+    let sweep: &[(u64, usize)] = if args.quick {
+        &[(24, 1), (24, 3)]
+    } else {
+        &[
+            (1_000, 1),
+            (1_000, 4),
+            (10_000, 1),
+            (10_000, 4),
+            (100_000, 4),
+        ]
+    };
+    for &(flows, shards) in sweep {
+        let row = run_row(flows, shards, seed);
+        println!(
+            "{:>8} {:>7} {:>7} {:>9} {:>12} {:>6} {:>6} {:>12} {:>10.1}",
+            row.flows,
+            row.shards,
+            row.ticks,
+            row.decoded,
+            row.symbols_in,
+            row.p50,
+            row.p99,
+            row.goodput_ppm,
+            row.wall_ms,
+        );
+        rows.push(row);
+    }
+
+    if args.quick {
+        check_bit_identity(24, seed);
+        println!("# self-check: serial == 3-shard (bit-identical)");
+        check_zero_alloc(seed);
+        println!("# self-check: steady-state serial tick allocates 0 times");
+        check_backpressure(seed);
+        println!("# self-check: backpressure engages and clears");
+        // The two sweep rows are the same fleet at 1 and 3 shards; the
+        // golden additionally pins their equivalence field by field.
+        assert_eq!(rows[0].decoded, rows[1].decoded);
+        assert_eq!(rows[0].symbols_in, rows[1].symbols_in);
+        assert_eq!((rows[0].p50, rows[0].p99), (rows[1].p50, rows[1].p99));
+        let json = render_json("quick_serve", seed, &rows, true);
+        std::fs::write("quick_serve.json", &json).expect("write quick_serve.json");
+        println!("# wrote quick_serve.json (deterministic summary for the golden diff)");
+    } else {
+        let json = render_json("bench_serve", seed, &rows, false);
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("# wrote BENCH_serve.json");
+    }
+}

@@ -19,7 +19,9 @@
 //! asserted). Writes `BENCH_session.json`; options: `--trials N`
 //! (measurement rounds, default 30), `--seed S`, `--quick`.
 
-use spinal_bench::{banner, deep_first_grid, print_deep_first_grid, DeepFirstPoint, RunArgs};
+use spinal_bench::{
+    banner, deep_first_grid, deep_first_grid_shaped, print_deep_first_grid, DeepFirstPoint, RunArgs,
+};
 use spinal_channel::{AwgnChannel, Channel};
 use spinal_core::bits::BitVec;
 use spinal_core::decode::{
@@ -395,13 +397,45 @@ fn main() {
         100.0 * win_fraction
     );
 
-    let json = render_json(&args, rounds, &points, &probe, &grid, grid_trials);
+    // The same sweep at the paper's Figure 2 shape (k = 8, c = 10): the
+    // probe shape above is cheap to sweep but not the shape a server
+    // actually runs, so the promote-or-keep-opt-in verdict for
+    // `SubpassOrder::DeepFirst` (spinal-serve's
+    // `ServeProfile::deep_first()`) is made on BOTH grids.
+    println!("# deep-first coverage grid at the Figure 2 shape (k = 8, c = 10)");
+    let fig2_trials = if args.quick { 6 } else { 30 };
+    let fig2_grid = deep_first_grid_shaped(&args, fig2_trials, 8, 10, 24);
+    let fig2_win = print_deep_first_grid(&fig2_grid);
+    let promote = win_fraction >= 1.0 && fig2_win >= 1.0;
+    println!(
+        "# fig2-shape deep-first coverage: {:.0}% of cells; verdict: {}",
+        100.0 * fig2_win,
+        if promote {
+            "full coverage at both shapes — eligible for default promotion"
+        } else {
+            "coverage gaps remain — DeepFirst stays opt-in (ServeProfile::deep_first())"
+        }
+    );
+
+    let json = render_json(
+        &args,
+        rounds,
+        &points,
+        &probe,
+        &grid,
+        grid_trials,
+        &fig2_grid,
+        fig2_trials,
+        win_fraction,
+        fig2_win,
+    );
     std::fs::write("BENCH_session.json", &json).expect("write BENCH_session.json");
     println!("# wrote BENCH_session.json");
 }
 
 /// Hand-rendered JSON (the workspace carries no serialization
 /// dependency).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     args: &RunArgs,
     rounds: u32,
@@ -409,6 +443,10 @@ fn render_json(
     probe: &[ProbePoint],
     grid: &[DeepFirstPoint],
     grid_trials: u32,
+    fig2_grid: &[DeepFirstPoint],
+    fig2_trials: u32,
+    win_fraction: f64,
+    fig2_win: f64,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -450,19 +488,32 @@ fn render_json(
         ));
     }
     s.push_str("  ],\n");
+    let render_grid = |s: &mut String, g: &[DeepFirstPoint]| {
+        for (i, p) in g.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"snr_db\": {:.1}, \"message_bits\": {}, \"bit_reversed_rate\": {:.4}, \"deep_first_rate\": {:.4}}}{}\n",
+                p.snr_db,
+                p.message_bits,
+                p.bit_reversed_rate,
+                p.deep_first_rate,
+                if i + 1 == g.len() { "" } else { "," },
+            ));
+        }
+    };
     s.push_str(&format!(
         "  \"deep_first_grid\": {{\n    \"config\": {{\"k\": 4, \"c\": 8, \"beam\": 16, \"stride\": 8, \"trials\": {grid_trials}}},\n    \"points\": [\n"
     ));
-    for (i, p) in grid.iter().enumerate() {
-        s.push_str(&format!(
-            "      {{\"snr_db\": {:.1}, \"message_bits\": {}, \"bit_reversed_rate\": {:.4}, \"deep_first_rate\": {:.4}}}{}\n",
-            p.snr_db,
-            p.message_bits,
-            p.bit_reversed_rate,
-            p.deep_first_rate,
-            if i + 1 == grid.len() { "" } else { "," },
-        ));
-    }
-    s.push_str("    ]\n  }\n}\n");
+    render_grid(&mut s, grid);
+    s.push_str("    ]\n  },\n");
+    s.push_str(&format!(
+        "  \"deep_first_grid_fig2_shape\": {{\n    \"config\": {{\"k\": 8, \"c\": 10, \"beam\": 16, \"stride\": 8, \"trials\": {fig2_trials}}},\n    \"points\": [\n"
+    ));
+    render_grid(&mut s, fig2_grid);
+    s.push_str("    ]\n  },\n");
+    let promote = win_fraction >= 1.0 && fig2_win >= 1.0;
+    s.push_str(&format!(
+        "  \"deep_first_verdict\": {{\n    \"win_threshold_ratio\": 0.995,\n    \"probe_shape_win_fraction\": {win_fraction:.3},\n    \"fig2_shape_win_fraction\": {fig2_win:.3},\n    \"promote_to_default\": {promote},\n    \"serving_profile\": \"ServeProfile::deep_first() (opt-in)\"\n  }}\n"
+    ));
+    s.push_str("}\n");
     s
 }

@@ -216,6 +216,23 @@ pub struct DeepFirstPoint {
 /// ablation narrative) and `bench_session` (which records the grid in
 /// `BENCH_session.json`).
 pub fn deep_first_grid(args: &RunArgs, trials: u32) -> Vec<DeepFirstPoint> {
+    deep_first_grid_shaped(args, trials, 4, 8, 23)
+}
+
+/// [`deep_first_grid`] at an arbitrary code shape: the same SNR ×
+/// message-length sweep with segment size `k` and `c` mapper bits per
+/// symbol. `stream` decorrelates the trial seeds from other shapes so
+/// two grids in one report never share noise realisations.
+/// `bench_session` runs this at the paper's Figure 2 shape (k = 8,
+/// c = 10) — the verdict that gates promoting `SubpassOrder::DeepFirst`
+/// beyond the opt-in `ServeProfile::deep_first()` serving profile.
+pub fn deep_first_grid_shaped(
+    args: &RunArgs,
+    trials: u32,
+    k: u32,
+    c: u32,
+    stream: u64,
+) -> Vec<DeepFirstPoint> {
     use spinal_core::map::AnyIqMapper;
     use spinal_core::puncture::{AnySchedule, SubpassOrder};
     use spinal_sim::rateless::{run_awgn, RatelessConfig};
@@ -240,8 +257,8 @@ pub fn deep_first_grid(args: &RunArgs, trials: u32) -> Vec<DeepFirstPoint> {
     let rates = spinal_sim::parallel_map(&jobs, args.threads, |&(snr, m, o)| {
         let mut cfg = RatelessConfig::fig2();
         cfg.message_bits = m;
-        cfg.k = 4;
-        cfg.mapper = AnyIqMapper::linear(8);
+        cfg.k = k;
+        cfg.mapper = AnyIqMapper::linear(c);
         cfg.schedule = AnySchedule::strided_with(8, orderings[o]).expect("valid stride");
         cfg.max_passes = 300;
         run_awgn(
@@ -250,7 +267,7 @@ pub fn deep_first_grid(args: &RunArgs, trials: u32) -> Vec<DeepFirstPoint> {
             trials,
             spinal_sim::derive_seed(
                 args.seed,
-                23,
+                stream,
                 ((m as u64) << 40) ^ (o as u64) << 32 ^ snr.to_bits() >> 16,
             ),
         )

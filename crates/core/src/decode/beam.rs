@@ -185,6 +185,11 @@ pub struct DecoderScratch {
     selector: SelectScratch,
     /// Segment buffer for backtracking.
     path: Vec<u16>,
+    /// Cohort-shared level-plan geometry: in a fused multi-session
+    /// sweep, lockstep same-shape sessions reuse one `block_ids`/`reads`
+    /// build per level instead of each rebuilding it (the packed masks
+    /// embed observed bit *values* and stay per-session).
+    shared_plan: SharedPlanGeo,
 }
 
 impl DecoderScratch {
@@ -193,6 +198,43 @@ impl DecoderScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Cohort plan-sharing counters for this scratch: `(hits, builds)` —
+    /// levels whose geometry was reused from a same-shape cohort
+    /// neighbour vs. levels that built it. Only attempts driven through
+    /// a multi-session pool touch these; empty observation levels count
+    /// toward neither.
+    pub fn shared_plan_stats(&self) -> (u64, u64) {
+        (self.shared_plan.hits, self.shared_plan.builds)
+    }
+}
+
+/// One level's hash-block plan *geometry* (`block_ids` + `reads`),
+/// shared across cohort members inside a fused sweep. The geometry is a
+/// pure function of the level's observation pass list and the mapper's
+/// bits-per-symbol — independent of the hash seed and of observed
+/// values — so lockstep same-shape sessions compute identical bytes;
+/// the first member of a sweep builds it, the rest reuse it. The
+/// fingerprint (0 = empty) names the exact pass list the buffers hold.
+#[derive(Clone, Debug, Default)]
+struct SharedPlanGeo {
+    fingerprint: u64,
+    block_ids: Vec<u64>,
+    reads: Vec<ObsRead>,
+    hits: u64,
+    builds: u64,
+}
+
+/// Fingerprint of one level's plan-geometry inputs: the observation
+/// pass list and bits-per-symbol (splitmix-style mixing, forced
+/// nonzero so 0 can mean "empty slot").
+fn plan_fingerprint(passes: impl Iterator<Item = u32>, bps: u32) -> u64 {
+    let mut acc = 0x243f_6a88_85a3_08d3u64 ^ u64::from(bps);
+    for p in passes {
+        acc = (acc ^ u64::from(p)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        acc ^= acc >> 29;
+    }
+    acc | 1
 }
 
 /// Default for the largest entering frontier [`BeamCheckpoints`] will
@@ -263,10 +305,15 @@ impl SavedStates {
 
 /// One level's cached hash-block plan (see [`crate::decode::batch`]),
 /// invalidated by observation-count changes. `obs_len == usize::MAX`
-/// marks a never-built or reset entry.
+/// marks a never-built or reset entry. The packed masks carry their own
+/// freshness (`packed_obs_len`): a cohort sweep that borrows shared
+/// geometry rebuilds only the per-session masks, leaving the local
+/// geometry stale — the split keeps a later solo attempt from trusting
+/// it.
 #[derive(Clone, Debug)]
 struct CachedPlan {
     obs_len: usize,
+    packed_obs_len: usize,
     block_ids: Vec<u64>,
     reads: Vec<ObsRead>,
     packed: Vec<PackedMask>,
@@ -276,6 +323,7 @@ impl Default for CachedPlan {
     fn default() -> Self {
         Self {
             obs_len: usize::MAX,
+            packed_obs_len: usize::MAX,
             block_ids: Vec::new(),
             reads: Vec::new(),
             packed: Vec::new(),
@@ -401,6 +449,7 @@ impl BeamCheckpoints {
         self.saved.valid = 0;
         for plan in &mut self.plans {
             plan.obs_len = usize::MAX;
+            plan.packed_obs_len = usize::MAX;
         }
         self.obs_len = 0;
         self.n_levels = 0;
@@ -544,8 +593,13 @@ enum PlanSource<'a> {
         packed: &'a mut Vec<PackedMask>,
     },
     /// Reuse cached plans, rebuilding only levels whose observation
+    /// count changed. With `geo`, the geometry half of a rebuild is
+    /// borrowed from (or contributed to) a cohort-shared slot instead.
     /// count changed (the incremental path).
-    Cached(&'a mut Vec<CachedPlan>),
+    Cached {
+        cache: &'a mut Vec<CachedPlan>,
+        geo: Option<&'a mut SharedPlanGeo>,
+    },
 }
 
 /// The per-attempt *session* state one level step advances: the SoA
@@ -585,18 +639,23 @@ impl DecoderScratch {
         }
     }
 
-    /// The expansion buffers (the shareable half of a cohort sweep).
-    fn expand_mut(&mut self) -> ExpandScratch<'_> {
-        ExpandScratch {
-            spines: &mut self.next_spines,
-            keys: &mut self.next_keys,
-            parents: &mut self.next_parents,
-            segs: &mut self.next_segs,
-            blocks: &mut self.blocks,
-            seg_ids: &mut self.seg_ids,
-            order: &mut self.order,
-            selector: &mut self.selector,
-        }
+    /// The expansion buffers plus the cohort plan-geometry slot (the
+    /// fused multi-session sweep borrows both from the shared scratch;
+    /// the shareable half of a cohort sweep).
+    fn expand_and_plan_mut(&mut self) -> (ExpandScratch<'_>, &mut SharedPlanGeo) {
+        (
+            ExpandScratch {
+                spines: &mut self.next_spines,
+                keys: &mut self.next_keys,
+                parents: &mut self.next_parents,
+                segs: &mut self.next_segs,
+                blocks: &mut self.blocks,
+                seg_ids: &mut self.seg_ids,
+                order: &mut self.order,
+                selector: &mut self.selector,
+            },
+            &mut self.shared_plan,
+        )
     }
 
     /// Splits one scratch into both halves plus the backtrack path
@@ -818,6 +877,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             order,
             selector,
             path,
+            shared_plan: _,
         } = scratch;
         init_root(spines, keys, parents, segs, arena_parents, arena_segs);
         let mut stats = fresh_stats(self.kernel_dispatch);
@@ -907,7 +967,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         let n_levels = self.params.n_segments();
         for t in start..n_levels {
             let (fr, ex, _) = scratch.split_mut();
-            self.ckpt_level(t, obs, ckpt, fr, ex, &mut stats);
+            self.ckpt_level(t, obs, ckpt, fr, ex, None, &mut stats);
         }
         let (fr, ex, path) = scratch.split_mut();
         self.ckpt_finish(ckpt, fr, ex.order, ex.selector, path, stats, out);
@@ -1001,7 +1061,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
     /// frontier in `session` and the expansion buffers in `shared` —
     /// two *different* scratches in a multi-session cohort sweep (the
     /// shared one stays cache-hot across every session), the same split
-    /// of one scratch in the solo path.
+    /// of one scratch in the solo path. The shared scratch also carries
+    /// the cohort plan-geometry slot: lockstep same-shape neighbours at
+    /// the same level reuse one `block_ids`/`reads` build.
     pub(crate) fn attempt_level(
         &self,
         t: u32,
@@ -1011,14 +1073,8 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         shared: &mut DecoderScratch,
         stats: &mut DecodeStats,
     ) {
-        self.ckpt_level(
-            t,
-            obs,
-            ckpt,
-            session.frontier_mut(),
-            shared.expand_mut(),
-            stats,
-        );
+        let (ex, geo) = shared.expand_and_plan_mut();
+        self.ckpt_level(t, obs, ckpt, session.frontier_mut(), ex, Some(geo), stats);
     }
 
     /// Final third of an incremental attempt: snapshots the final
@@ -1044,6 +1100,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
 
     /// [`level_core`](Self::level_core) wired to a checkpoint store's
     /// arena, plan cache, and saver.
+    #[allow(clippy::too_many_arguments)]
     fn ckpt_level(
         &self,
         t: u32,
@@ -1051,6 +1108,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
         ckpt: &mut BeamCheckpoints,
         fr: Frontier<'_>,
         ex: ExpandScratch<'_>,
+        geo: Option<&mut SharedPlanGeo>,
         stats: &mut DecodeStats,
     ) {
         let BeamCheckpoints {
@@ -1061,7 +1119,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
             max_frontier,
             ..
         } = ckpt;
-        let mut plans = PlanSource::Cached(plans);
+        let mut plans = PlanSource::Cached { cache: plans, geo };
         self.level_core(
             t,
             obs,
@@ -1302,6 +1360,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                     &mut p.packed,
                 );
                 p.obs_len = level_obs.len();
+                p.packed_obs_len = level_obs.len();
             }
             blocks.clear();
             blocks.resize(p.block_ids.len(), 0);
@@ -1516,21 +1575,59 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                     );
                     (block_ids, reads, packed)
                 }
-                PlanSource::Cached(cache) => {
+                PlanSource::Cached { cache, geo } => {
                     let p = &mut cache[t as usize];
-                    if p.obs_len != level_obs.len() {
-                        build_plan(
-                            &self.mapper,
-                            &self.cost,
-                            level_obs,
-                            bps,
-                            &mut p.block_ids,
-                            &mut p.reads,
-                            &mut p.packed,
-                        );
-                        p.obs_len = level_obs.len();
+                    match geo {
+                        // Cohort sweep with a stale local plan: borrow the
+                        // shared geometry (building it for the cohort if
+                        // this member is first at this shape), and rebuild
+                        // only the per-session packed masks. The geometry
+                        // is a pure function of the fingerprinted inputs,
+                        // so shared and local builds are byte-identical.
+                        Some(geo) if !level_obs.is_empty() && p.obs_len != level_obs.len() => {
+                            let fp = plan_fingerprint(level_obs.iter().map(|&(pass, _)| pass), bps);
+                            if geo.fingerprint == fp {
+                                geo.hits += 1;
+                            } else {
+                                batch::plan_level(
+                                    level_obs.iter().map(|&(pass, _)| pass),
+                                    bps,
+                                    &mut geo.block_ids,
+                                    &mut geo.reads,
+                                );
+                                geo.fingerprint = fp;
+                                geo.builds += 1;
+                            }
+                            if p.packed_obs_len != level_obs.len() {
+                                build_packed(
+                                    &self.mapper,
+                                    &self.cost,
+                                    level_obs,
+                                    bps,
+                                    &geo.block_ids,
+                                    &mut p.packed,
+                                );
+                                p.packed_obs_len = level_obs.len();
+                            }
+                            (&geo.block_ids, &geo.reads, &p.packed)
+                        }
+                        _ => {
+                            if p.obs_len != level_obs.len() {
+                                build_plan(
+                                    &self.mapper,
+                                    &self.cost,
+                                    level_obs,
+                                    bps,
+                                    &mut p.block_ids,
+                                    &mut p.reads,
+                                    &mut p.packed,
+                                );
+                                p.obs_len = level_obs.len();
+                                p.packed_obs_len = level_obs.len();
+                            }
+                            (&p.block_ids, &p.reads, &p.packed)
+                        }
                     }
-                    (&p.block_ids, &p.reads, &p.packed)
                 }
             };
 
@@ -1738,20 +1835,37 @@ fn build_plan<M: Mapper, C: CostModel<M::Symbol>>(
         return;
     }
     batch::plan_level(level_obs.iter().map(|&(p, _)| p), bps, block_ids, reads);
-    if bps == 1 && mapper.bit_identity() {
-        let mut packable = true;
-        let bits = level_obs
-            .iter()
-            .map_while(|&(pass, sym)| match cost.packed_bit(sym) {
-                Some(bit) => Some((pass, bit)),
-                None => {
-                    packable = false;
-                    None
-                }
-            });
-        if !batch::plan_packed_level(bits, block_ids, packed) || !packable {
-            packed.clear();
-        }
+    build_packed(mapper, cost, level_obs, bps, block_ids, packed);
+}
+
+/// Builds just the packed XOR/popcount masks for one level against an
+/// already-built geometry (`block_ids`) — the per-session half of a
+/// shared-geometry plan rebuild (the masks embed observed bit values,
+/// so they cannot be shared across sessions).
+fn build_packed<M: Mapper, C: CostModel<M::Symbol>>(
+    mapper: &M,
+    cost: &C,
+    level_obs: &[(u32, M::Symbol)],
+    bps: u32,
+    block_ids: &[u64],
+    packed: &mut Vec<PackedMask>,
+) {
+    packed.clear();
+    if level_obs.is_empty() || bps != 1 || !mapper.bit_identity() {
+        return;
+    }
+    let mut packable = true;
+    let bits = level_obs
+        .iter()
+        .map_while(|&(pass, sym)| match cost.packed_bit(sym) {
+            Some(bit) => Some((pass, bit)),
+            None => {
+                packable = false;
+                None
+            }
+        });
+    if !batch::plan_packed_level(bits, block_ids, packed) || !packable {
+        packed.clear();
     }
 }
 

@@ -16,6 +16,48 @@
 use crate::params::ParamError;
 use crate::spine::SpineError;
 
+/// What a wire-frame decoder found malformed (see
+/// [`SpinalError::Wire`]). The service crate's framed byte format
+/// reports every decode failure through one of these, so a server can
+/// log, count, and close on malformed input without ever panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireErrorKind {
+    /// The frame header did not start with the protocol magic.
+    BadMagic,
+    /// The header's version byte names a protocol revision this build
+    /// does not speak.
+    BadVersion,
+    /// The header's frame-type byte is not a known frame.
+    UnknownFrame,
+    /// The header's payload length exceeds the negotiated frame cap
+    /// (a length-prefix bomb, refused before any buffering).
+    Oversized,
+    /// The payload ended before the fields its header promised.
+    Truncated,
+    /// The payload's fields are structurally invalid (counts that do
+    /// not match the length, out-of-range enum tags, non-finite
+    /// symbol coordinates).
+    Corrupt,
+    /// The underlying byte transport failed or was closed by the peer.
+    Transport,
+}
+
+impl std::fmt::Display for WireErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireErrorKind::BadMagic => "bad magic",
+            WireErrorKind::BadVersion => "unsupported version",
+            WireErrorKind::UnknownFrame => "unknown frame type",
+            WireErrorKind::Oversized => "payload length over frame cap",
+            WireErrorKind::Truncated => "truncated frame",
+            WireErrorKind::Corrupt => "corrupt payload",
+            WireErrorKind::Transport => "transport failed or closed",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Everything that can go wrong constructing or driving a spinal codec.
 #[derive(Clone, Copy, Debug, PartialEq)]
 #[non_exhaustive]
@@ -109,6 +151,12 @@ pub enum SpinalError {
         /// The rejected value.
         value: u64,
     },
+    /// A wire frame failed to decode (truncated, corrupt, oversized,
+    /// wrong magic/version, or a dead transport); see [`WireErrorKind`].
+    Wire {
+        /// What was malformed.
+        kind: WireErrorKind,
+    },
 }
 
 impl std::fmt::Display for SpinalError {
@@ -178,6 +226,9 @@ impl std::fmt::Display for SpinalError {
             }
             SpinalError::AtLeastOne { name, value } => {
                 write!(f, "{name} must be at least one, got {value}")
+            }
+            SpinalError::Wire { kind } => {
+                write!(f, "wire frame rejected: {kind}")
             }
         }
     }
@@ -257,5 +308,28 @@ mod tests {
         assert!(SpinalError::SessionFinished
             .to_string()
             .contains("terminal"));
+    }
+
+    #[test]
+    fn wire_errors_display_their_kind() {
+        let kinds = [
+            (WireErrorKind::BadMagic, "magic"),
+            (WireErrorKind::BadVersion, "version"),
+            (WireErrorKind::UnknownFrame, "unknown"),
+            (WireErrorKind::Oversized, "cap"),
+            (WireErrorKind::Truncated, "truncated"),
+            (WireErrorKind::Corrupt, "corrupt"),
+            (WireErrorKind::Transport, "transport"),
+        ];
+        for (kind, needle) in kinds {
+            let e = SpinalError::Wire { kind };
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should mention {needle}"
+            );
+            // The enum stays `Copy` — pass by value twice.
+            let copied = e;
+            assert_eq!(copied, e);
+        }
     }
 }

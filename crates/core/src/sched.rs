@@ -181,6 +181,16 @@ pub struct SessionId {
     gen: u32,
 }
 
+impl SessionId {
+    /// The pool slot this id occupies, in `0..`[`MultiConfig::max_sessions`].
+    /// Slots are reused after [`MultiDecoder::remove`] (the generation half
+    /// of the id is what never resurrects), so this is a dense key for
+    /// caller-side lookup tables sized to the pool, not a stable identity.
+    pub fn slot(&self) -> usize {
+        self.index as usize
+    }
+}
+
 /// What a drive concluded for one session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SessionOutcome {
@@ -374,6 +384,17 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             self.slots.get(id.index as usize),
             Some(Some(m)) if m.gen == id.gen && m.quarantined
         )
+    }
+
+    /// Cross-cohort plan-sharing counters of the pool's shared scratch:
+    /// `(hits, builds)` — levels whose hash-block plan geometry was
+    /// reused from a same-shape cohort neighbour in a fused sweep vs.
+    /// levels that had to build it. Lockstep same-shape ensembles
+    /// converge to one build per level per drive with `members − 1`
+    /// hits; the counters cover the serial path and parallel worker 0
+    /// (workers 1.. keep their own scratches).
+    pub fn plan_sharing(&self) -> (u64, u64) {
+        self.shared.shared_plan_stats()
     }
 
     /// Total checkpoint memory currently held across the pool.
@@ -1016,6 +1037,70 @@ mod tests {
                 assert_eq!(p.last_result().candidates, s.last_result().candidates);
                 assert_eq!(p.last_result().stats, s.last_result().stats);
             }
+        }
+    }
+
+    /// Cross-cohort plan sharing: a lockstep same-shape ensemble must
+    /// reuse one plan-geometry build per level per drive (`members − 1`
+    /// hits), and its polls must stay bit-identical to solo sessions
+    /// that never share anything.
+    #[test]
+    fn lockstep_cohort_shares_plan_geometry() {
+        const MEMBERS: usize = 4;
+        // Ingest into every member first, then drive once — the cohort
+        // sweep serves all due attempts in one fused pass, so each
+        // observed level builds its plan geometry once and hits
+        // `members − 1` times. Different hash seeds on purpose: the
+        // geometry depends only on the pass list and bits-per-symbol,
+        // never the seed.
+        let mut events = Vec::new();
+        let mut pool = Pool::new(MultiConfig::default());
+        let mut txs = Vec::new();
+        let mut ids = Vec::new();
+        let mut solo = Vec::new();
+        for i in 0..MEMBERS as u8 {
+            let m = msg(i);
+            let (tx, rx) = session_pair(900 + u64::from(i), &m, RxConfig::default());
+            let (_, rx2) = session_pair(900 + u64::from(i), &m, RxConfig::default());
+            txs.push(tx);
+            ids.push(pool.insert(rx).unwrap());
+            solo.push(rx2);
+        }
+        let mut hits_before = 0u64;
+        for round in 0..40 {
+            if solo.iter().all(|s| s.is_finished()) {
+                break;
+            }
+            let mut expect = Vec::new();
+            for ((tx, &id), s) in txs.iter_mut().zip(&ids).zip(solo.iter_mut()) {
+                if s.is_finished() {
+                    continue;
+                }
+                let (_slot, sym) = tx.next_symbol();
+                pool.ingest(id, &[sym]).unwrap();
+                expect.push((id, s.ingest(&[sym]).unwrap()));
+            }
+            let live = expect.len() as u64;
+            pool.drive_into(&mut events);
+            for (id, poll) in expect {
+                let ev = events.iter().find(|e| e.id == id).expect("event");
+                assert_eq!(ev.poll(), Some(poll), "round {round}");
+            }
+            let (hits, _) = pool.plan_sharing();
+            if live == MEMBERS as u64 {
+                assert!(
+                    hits >= hits_before + live - 1,
+                    "round {round}: fused drive of {live} lockstep members must share \
+                     geometry at least at the newest level (hits {hits_before} -> {hits})"
+                );
+            }
+            hits_before = hits;
+        }
+        for (&id, s) in ids.iter().zip(&solo) {
+            assert!(s.is_finished(), "noiseless session must decode");
+            let p = pool.get(id).unwrap();
+            assert_eq!(p.payload(), s.payload());
+            assert_eq!(p.last_result().stats, s.last_result().stats);
         }
     }
 

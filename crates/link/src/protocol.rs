@@ -330,14 +330,12 @@ impl LinkReport {
 
     /// Nearest-rank percentile of the completion latency (`q` in
     /// `[0, 1]`, e.g. `0.5` and `0.99`); `None` until a frame completes.
+    /// Delegates to [`spinal_sim::stats::percentile_nearest_rank`] — the
+    /// one percentile definition the workspace shares, so this report
+    /// and the serving benchmarks agree on small samples.
     pub fn latency_percentile(&self, q: f64) -> Option<u64> {
-        if self.completion_latency.is_empty() {
-            return None;
-        }
         let mut sorted = self.completion_latency.clone();
-        sorted.sort_unstable();
-        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
-        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+        spinal_sim::stats::percentile_nearest_rank(&mut sorted, q)
     }
 
     /// Folds another report into this one (ensemble accumulation).

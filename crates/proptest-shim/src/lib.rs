@@ -12,7 +12,9 @@
 //! * [`arbitrary::any`] for the primitive types used in tests,
 //! * integer / float range strategies (`0u64..4096`, `1u32..=64`,
 //!   `-0.4..0.4f64`, …),
-//! * [`collection::vec`] with exact or ranged lengths.
+//! * [`collection::vec`] with exact or ranged lengths,
+//! * combinators: [`Strategy::prop_map`], tuple strategies (up to
+//!   arity 8), and the unweighted [`prop_oneof!`] macro.
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
@@ -112,6 +114,89 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (no shrinking to invert,
+        /// so any closure works).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives — the engine behind
+    /// [`crate::prop_oneof!`]. Unweighted (real proptest's `n => strat`
+    /// weights are not supported).
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// An empty choice; sampling panics until an `or` arm is added.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Self {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds one equally likely alternative.
+        pub fn or(mut self, strat: impl Strategy<Value = T> + 'static) -> Self {
+            self.options.push(Box::new(strat));
+            self
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(
+                !self.options.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
     }
 
     /// A strategy that always yields a clone of one value.
@@ -299,7 +384,19 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice between strategy expressions of one value type.
+/// Unweighted: real proptest's `weight => strategy` arms are not
+/// supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.or($strat))+
+    };
 }
 
 /// Defines deterministic property tests. Supports the subset of real
@@ -472,6 +569,22 @@ mod tests {
             assert_eq!(v.len(), 3);
             let w = crate::collection::vec(any::<bool>(), 1..4).sample(&mut rng);
             assert!((1..4).contains(&w.len()));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::from_name("combinators_compose");
+        let doubled = (0u32..50).prop_map(|v| v * 2);
+        let pair = (0u8..4, any::<bool>());
+        let choice = prop_oneof![Just(0u64), (1u64..10).prop_map(|v| v * 100),];
+        for _ in 0..200 {
+            let d = doubled.sample(&mut rng);
+            assert!(d < 100 && d % 2 == 0);
+            let (a, _b) = pair.sample(&mut rng);
+            assert!(a < 4);
+            let c = choice.sample(&mut rng);
+            assert!(c == 0 || (100..1000).contains(&c));
         }
     }
 

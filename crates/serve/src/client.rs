@@ -1,0 +1,398 @@
+//! A client-side driver for the serve dialogue.
+//!
+//! [`ServeClient`] owns one connection end-to-end: it CRC-frames a
+//! payload, negotiates the session with HELLO, streams symbol bursts as
+//! DATA frames and reacts to feedback — seeking its
+//! [`TxSession`] on NACK, finishing on ACK / cumulative snapshot /
+//! Close. Impairments compose in front of the wire: an optional
+//! [`FaultPlan`] rewrites each pushed symbol into zero or more
+//! deliveries (drop, duplicate, reorder, corrupt, stale slot) and an
+//! optional noise hook perturbs I/Q values (e.g. an AWGN channel), both
+//! deterministic under their seeds.
+
+use std::collections::VecDeque;
+
+use spinal_core::bits::BitVec;
+use spinal_core::error::SpinalError;
+use spinal_core::frame::{frame_encode, Checksum};
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::puncture::StridedPuncture;
+use spinal_core::session::{TxPosition, TxSession};
+use spinal_core::symbol::{IqSymbol, Slot};
+use spinal_core::SpinalCode;
+use spinal_link::{Delivery, FaultPlan, FaultStream, FeedbackMode};
+
+use crate::server::ServeProfile;
+use crate::transport::Transport;
+use crate::wire::{encode_frame, CloseReason, Frame, Hello, WireDecoder};
+
+/// Pluggable I/Q impairment applied to every delivered symbol.
+pub type NoiseHook = Box<dyn FnMut(IqSymbol) -> IqSymbol + Send>;
+
+/// Client-side session shape (the HELLO fields the client negotiates,
+/// plus local pacing).
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Serving schedule — must match the server's configured profile,
+    /// or slot labels will disagree.
+    pub profile: ServeProfile,
+    /// Segment width `k`.
+    pub k: u32,
+    /// Mapper bit depth `c`.
+    pub c: u32,
+    /// Requested decoder beam width.
+    pub beam: u32,
+    /// Receiver symbol budget.
+    pub max_symbols: u64,
+    /// Code seed.
+    pub seed: u64,
+    /// Feedback mode to negotiate.
+    pub mode: FeedbackMode,
+    /// Symbols pushed per tick while streaming.
+    pub burst: usize,
+    /// Replay marks retained for NACK seeks (one per burst).
+    pub marks: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            profile: ServeProfile::paper_default(),
+            k: 4,
+            c: 8,
+            beam: 16,
+            max_symbols: 1 << 14,
+            seed: 1,
+            mode: FeedbackMode::AckOnly,
+            burst: 4,
+            marks: 64,
+        }
+    }
+}
+
+/// How a client session ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// The server decoded the message.
+    Decoded {
+        /// Symbols the decoder consumed.
+        symbols_used: u64,
+        /// Decode attempts it ran.
+        attempts: u32,
+    },
+    /// Admission was rejected (pool full).
+    Busy,
+    /// The receiver exhausted its symbol budget.
+    Exhausted,
+    /// The server abandoned the session.
+    Abandoned,
+    /// The server closed the dialogue on a protocol violation.
+    ProtocolClosed,
+    /// The transport died before a verdict.
+    TransportClosed,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ClientState {
+    Greeting,
+    Streaming,
+    Done,
+}
+
+/// One client connection driving the serve dialogue to completion.
+pub struct ServeClient<T: Transport> {
+    transport: T,
+    wire: WireDecoder,
+    egress: Vec<u8>,
+    tx: TxSession<Lookup3, LinearMapper, StridedPuncture>,
+    next_seq: u64,
+    marks: VecDeque<(u64, TxPosition)>,
+    marks_cap: usize,
+    burst: usize,
+    fault: Option<FaultStream>,
+    push_scratch: Vec<Delivery>,
+    deliveries: Vec<Delivery>,
+    run_scratch: Vec<(Slot, IqSymbol)>,
+    noise: Option<NoiseHook>,
+    state: ClientState,
+    outcome: Option<ClientOutcome>,
+    decoded: Option<BitVec>,
+    symbols_sent: u64,
+    rxbuf: Vec<u8>,
+}
+
+impl<T: Transport> ServeClient<T> {
+    /// Opens a session: CRC-16-frames `payload`, builds the matching
+    /// [`TxSession`] and queues the HELLO. `tick` from there on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid shape (bad `k`/`c`/stride, payload not a
+    /// whole number of segments after framing).
+    pub fn new(transport: T, cfg: &ClientConfig, payload: &BitVec) -> Result<Self, SpinalError> {
+        let framed = frame_encode(payload, Checksum::Crc16);
+        let params = CodeParams::builder()
+            .message_bits(framed.len() as u32)
+            .k(cfg.k)
+            .seed(cfg.seed)
+            .build()?;
+        let code = SpinalCode::new(
+            params,
+            Lookup3::new(cfg.seed),
+            LinearMapper::new(cfg.c),
+            StridedPuncture::with_order(cfg.profile.stride, cfg.profile.order)?,
+        );
+        let tx = code.tx_session(&framed)?;
+        let hello = Hello {
+            message_bits: framed.len() as u32,
+            k: cfg.k,
+            c: cfg.c,
+            beam: cfg.beam,
+            max_symbols: cfg.max_symbols,
+            seed: cfg.seed,
+            mode: cfg.mode,
+        };
+        let mut egress = Vec::new();
+        encode_frame(&Frame::Hello(hello), &mut egress)?;
+        Ok(Self {
+            transport,
+            wire: WireDecoder::new(),
+            egress,
+            tx,
+            next_seq: 0,
+            marks: VecDeque::with_capacity(cfg.marks),
+            marks_cap: cfg.marks.max(1),
+            burst: cfg.burst.max(1),
+            fault: None,
+            push_scratch: Vec::new(),
+            deliveries: Vec::new(),
+            run_scratch: Vec::new(),
+            noise: None,
+            state: ClientState::Greeting,
+            outcome: None,
+            decoded: None,
+            symbols_sent: 0,
+            rxbuf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Installs a deterministic link-fault plan in front of the wire.
+    pub fn with_fault(mut self, plan: &FaultPlan) -> Self {
+        self.fault = Some(plan.stream());
+        self
+    }
+
+    /// Installs an I/Q impairment (e.g. AWGN) applied per delivery.
+    pub fn with_noise(mut self, noise: NoiseHook) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Whether the dialogue has reached a verdict.
+    pub fn is_done(&self) -> bool {
+        self.state == ClientState::Done
+    }
+
+    /// The session's verdict, once done.
+    pub fn outcome(&self) -> Option<ClientOutcome> {
+        self.outcome
+    }
+
+    /// The decoded payload (CRC framing already verified and stripped
+    /// by the server), when the server sent it.
+    pub fn decoded_payload(&self) -> Option<&BitVec> {
+        self.decoded.as_ref()
+    }
+
+    /// Symbols pushed toward the wire so far (pre-fault count).
+    pub fn symbols_sent(&self) -> u64 {
+        self.symbols_sent
+    }
+
+    /// Runs one client cycle: flush egress, absorb feedback, then (if
+    /// streaming) push one burst of symbols as DATA frames.
+    pub fn tick(&mut self) {
+        if self.state == ClientState::Done {
+            // Keep flushing a final Close if queued.
+            let _ = self.flush();
+            return;
+        }
+        if self.flush().is_err() {
+            self.finish(ClientOutcome::TransportClosed);
+            return;
+        }
+        if self.pump_feedback().is_err() {
+            self.finish(ClientOutcome::TransportClosed);
+            return;
+        }
+        if self.state == ClientState::Streaming {
+            self.push_burst();
+            if self.flush().is_err() {
+                self.finish(ClientOutcome::TransportClosed);
+            }
+        }
+    }
+
+    fn finish(&mut self, outcome: ClientOutcome) {
+        if self.outcome.is_none() {
+            self.outcome = Some(outcome);
+        }
+        self.state = ClientState::Done;
+    }
+
+    fn flush(&mut self) -> Result<(), SpinalError> {
+        while !self.egress.is_empty() {
+            let n = self.transport.send(&self.egress)?;
+            if n == 0 {
+                break;
+            }
+            self.egress.drain(..n);
+        }
+        Ok(())
+    }
+
+    fn pump_feedback(&mut self) -> Result<(), SpinalError> {
+        self.rxbuf.clear();
+        match self.transport.recv(&mut self.rxbuf) {
+            Ok(0) => {}
+            Ok(_) => self.wire.push_bytes(&self.rxbuf),
+            Err(e) => return Err(e),
+        }
+        loop {
+            // A decoded frame borrows the reassembly buffer; convert it
+            // to the small owned action below before mutating state.
+            enum Fb {
+                None,
+                Streamed,
+                Busy,
+                Ack(u64, u32),
+                Nack(u64),
+                CumDecoded(u64),
+                Decoded(BitVec),
+                Closed(CloseReason),
+                Violation,
+            }
+            let fb = match self.wire.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame::HelloAck { .. })) => Fb::Streamed,
+                Ok(Some(Frame::Busy { .. })) => Fb::Busy,
+                Ok(Some(Frame::Ack {
+                    symbols_used,
+                    attempts,
+                })) => Fb::Ack(symbols_used, attempts),
+                Ok(Some(Frame::Nack { expected_seq })) => Fb::Nack(expected_seq),
+                Ok(Some(Frame::CumAck {
+                    decoded: true,
+                    symbols_used,
+                })) => Fb::CumDecoded(symbols_used),
+                Ok(Some(Frame::CumAck { decoded: false, .. })) => Fb::None,
+                Ok(Some(Frame::Decoded(bits))) => Fb::Decoded(bits.to_bitvec()),
+                Ok(Some(Frame::Close { reason })) => Fb::Closed(reason),
+                Ok(Some(_)) => Fb::Violation,
+                Err(_) => Fb::Violation,
+            };
+            match fb {
+                Fb::None => {}
+                Fb::Streamed => {
+                    if self.state == ClientState::Greeting {
+                        self.state = ClientState::Streaming;
+                    }
+                }
+                Fb::Busy => self.finish(ClientOutcome::Busy),
+                Fb::Ack(symbols_used, attempts) => self.finish(ClientOutcome::Decoded {
+                    symbols_used,
+                    attempts,
+                }),
+                Fb::CumDecoded(symbols_used) => self.finish(ClientOutcome::Decoded {
+                    symbols_used,
+                    attempts: 0,
+                }),
+                Fb::Decoded(bits) => self.decoded = Some(bits),
+                Fb::Nack(expected) => self.seek_to(expected),
+                Fb::Closed(reason) => self.finish(match reason {
+                    CloseReason::Done => ClientOutcome::Decoded {
+                        symbols_used: 0,
+                        attempts: 0,
+                    },
+                    CloseReason::Exhausted => ClientOutcome::Exhausted,
+                    CloseReason::Abandoned => ClientOutcome::Abandoned,
+                    CloseReason::Protocol => ClientOutcome::ProtocolClosed,
+                }),
+                Fb::Violation => self.finish(ClientOutcome::ProtocolClosed),
+            }
+            if self.state == ClientState::Done {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewinds the transmitter to the latest replay mark at or before
+    /// `expected` and resumes the stream from there (resent symbols
+    /// keep their original sequence numbers and slots).
+    fn seek_to(&mut self, expected: u64) {
+        while self.marks.back().is_some_and(|&(seq, _)| seq > expected) {
+            self.marks.pop_back();
+        }
+        if let Some(&(seq, pos)) = self.marks.back() {
+            self.tx.seek(pos);
+            self.next_seq = seq;
+        }
+    }
+
+    fn push_burst(&mut self) {
+        if self.marks.len() == self.marks_cap {
+            self.marks.pop_front();
+        }
+        self.marks.push_back((self.next_seq, self.tx.position()));
+
+        self.deliveries.clear();
+        for _ in 0..self.burst {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.symbols_sent += 1;
+            let (slot, sym) = self.tx.next_symbol();
+            match &mut self.fault {
+                None => self.deliveries.push(Delivery {
+                    seq,
+                    slot,
+                    symbol: sym,
+                }),
+                Some(stream) => {
+                    stream.push(seq, slot, sym, &mut self.push_scratch);
+                    self.deliveries.append(&mut self.push_scratch);
+                }
+            }
+        }
+        if let Some(noise) = &mut self.noise {
+            for d in &mut self.deliveries {
+                d.symbol = noise(d.symbol);
+            }
+        }
+
+        // Frame contiguous sequence runs together so the server's gap
+        // detector sees exactly the impairments the fault plan created.
+        let mut i = 0;
+        while i < self.deliveries.len() {
+            let start_seq = self.deliveries[i].seq;
+            self.run_scratch.clear();
+            let mut j = i;
+            while j < self.deliveries.len() && self.deliveries[j].seq == start_seq + (j - i) as u64
+            {
+                let d = self.deliveries[j];
+                self.run_scratch.push((d.slot, d.symbol));
+                j += 1;
+            }
+            let _ = encode_frame(
+                &Frame::Data {
+                    seq: start_seq,
+                    run: crate::wire::SymbolRun::Slots(&self.run_scratch),
+                },
+                &mut self.egress,
+            );
+            i = j;
+        }
+    }
+}

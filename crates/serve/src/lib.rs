@@ -1,0 +1,53 @@
+//! # spinal-serve — the network-facing codec service
+//!
+//! Everything between a byte transport and the decoder pool:
+//!
+//! * [`wire`] — the versioned, length-prefixed binary frame format of
+//!   the session dialogue (HELLO negotiation, slot-labelled DATA runs,
+//!   ACK/NACK/cumulative-ACK feedback, typed decode errors, zero-copy
+//!   reassembly).
+//! * [`transport`] — the non-blocking byte-transport contract, with a
+//!   deterministic bounded in-process loopback (optionally chunk-seeded)
+//!   and a dependency-free non-blocking `std::net` TCP implementation.
+//! * [`server`] — the sharded serving event loop: each shard owns one
+//!   [`spinal_core::sched::MultiDecoder`] pool and its hash-assigned
+//!   connections, every tick flushes feedback, drains ingress under
+//!   per-connection backpressure, and drives the pool under a level
+//!   budget. Serial and sharded ticks are bit-identical.
+//! * [`client`] — a session driver for the other end of the wire, with
+//!   NACK-seeking replay and composable link faults / noise.
+//!
+//! ```
+//! use spinal_core::bits::BitVec;
+//! use spinal_serve::{loopback_pair, ClientConfig, ClientOutcome, ServeConfig, ServeClient, Server};
+//!
+//! let mut server = Server::new(ServeConfig::default()).unwrap();
+//! let (local, remote) = loopback_pair(1 << 16);
+//! server.add_connection(remote);
+//!
+//! let payload = BitVec::from_bytes(&[0xa5]);
+//! let mut client = ServeClient::new(local, &ClientConfig::default(), &payload).unwrap();
+//! while !client.is_done() {
+//!     server.tick();
+//!     client.tick();
+//! }
+//! assert!(matches!(client.outcome(), Some(ClientOutcome::Decoded { .. })));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientOutcome, NoiseHook, ServeClient};
+pub use server::{ConnHandle, ServeConfig, ServeProfile, ServeStats, Server};
+pub use transport::{
+    loopback_pair, loopback_pair_chunked, LoopbackTransport, TcpAcceptor, TcpTransport, Transport,
+};
+pub use wire::{
+    encode_frame, CloseReason, DecodedBits, Frame, Hello, SymbolRun, WireDecoder, HEADER_LEN,
+    MAX_FRAME_PAYLOAD, SYMBOL_WIRE_LEN, WIRE_MAGIC, WIRE_VERSION,
+};

@@ -1,0 +1,846 @@
+//! The sharded codec-serving event loop.
+//!
+//! A [`Server`] owns `N` shards; each shard owns one
+//! [`MultiDecoder`] pool plus the connections a stable hash assigned to
+//! it. One [`tick`](Server::tick) runs every shard through the same
+//! cycle:
+//!
+//! 1. **flush** — drain each connection's bounded egress queue into its
+//!    transport (partial sends are backpressure, not errors);
+//! 2. **ingress** — unless the egress queue sits above its high-water
+//!    mark (backpressure: a slow reader stops being read from), pull
+//!    transport bytes through the [`WireDecoder`] and handle each frame
+//!    (HELLO admission, DATA ingest with gap-triggered NACKs);
+//! 3. **drive** — one [`MultiDecoder::drive_until_into`] round under
+//!    the per-tick level budget, turning pool events into feedback
+//!    frames (ACK + decoded bits, Close on exhaustion/abandonment) and
+//!    completion-latency samples;
+//! 4. **snapshot** — periodic cumulative-ACK frames for sessions that
+//!    negotiated [`FeedbackMode::CumulativeAck`].
+//!
+//! Shards never share mutable state, so
+//! [`tick_sharded`](Server::tick_sharded) runs them on scoped threads
+//! with bit-identical results to the serial [`tick`](Server::tick) —
+//! the same contract the pool's own `workers` knob upholds. The serial
+//! path is the allocation-free steady state (the sharded path allocates
+//! only its thread stacks).
+
+use std::thread;
+
+use spinal_core::bits::BitVec;
+use spinal_core::decode::{AwgnCost, BeamConfig};
+use spinal_core::error::{SpinalError, WireErrorKind};
+use spinal_core::frame::{AnyTerminator, Checksum};
+use spinal_core::hash::Lookup3;
+use spinal_core::map::LinearMapper;
+use spinal_core::params::CodeParams;
+use spinal_core::puncture::{StridedPuncture, SubpassOrder};
+use spinal_core::sched::{MultiConfig, MultiDecoder, SessionEvent, SessionId, SessionOutcome};
+use spinal_core::session::{Poll, RxConfig};
+use spinal_core::symbol::{IqSymbol, Slot};
+use spinal_core::SpinalCode;
+use spinal_link::FeedbackMode;
+use spinal_sim::stats::derive_seed;
+
+use crate::transport::Transport;
+use crate::wire::{encode_frame, CloseReason, Frame, Hello, WireDecoder};
+
+type Pool = MultiDecoder<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
+
+/// The decoder-shape profile a server imposes on admitted sessions.
+///
+/// Clients negotiate code shape (`k`, `c`, beam, seed) per session; the
+/// puncturing schedule is serving policy. The default is the paper's
+/// stride-8 bit-reversed order; [`deep_first`](ServeProfile::deep_first)
+/// opts into the deep-first sub-pass order (validated at the Figure 2
+/// shape by `bench_session`'s `deep_first_grid`, where finishing
+/// sub-passes deepest-first reaches decodable prefixes sooner).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeProfile {
+    /// Sub-pass emission order within each stride group.
+    pub order: SubpassOrder,
+    /// Puncture stride (power of two in `2..=64`).
+    pub stride: u32,
+}
+
+impl ServeProfile {
+    /// The paper's schedule: stride 8, bit-reversed sub-pass order.
+    pub fn paper_default() -> Self {
+        Self {
+            order: SubpassOrder::BitReversed,
+            stride: 8,
+        }
+    }
+
+    /// Opt-in deep-first serving schedule (stride 8).
+    pub fn deep_first() -> Self {
+        Self {
+            order: SubpassOrder::DeepFirst,
+            stride: 8,
+        }
+    }
+}
+
+impl Default for ServeProfile {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Shard (event-loop) count; connections are spread by stable hash.
+    pub shards: usize,
+    /// Per-shard decoder-pool configuration. `workers` is forced to 1 —
+    /// shards are the parallelism axis here.
+    pub pool: MultiConfig,
+    /// Tree-level budget one shard tick may spend driving its pool
+    /// (the deadline knob of [`MultiDecoder::drive_until_into`]).
+    pub drive_budget: u64,
+    /// Egress bytes queued per connection above which its ingress stops
+    /// being drained (backpressure).
+    pub egress_high_water: usize,
+    /// Hard cap on queued egress bytes per connection; feedback frames
+    /// that would exceed it are dropped (and counted — the protocol
+    /// heals via re-ACKs and snapshots).
+    pub egress_capacity: usize,
+    /// Admission cap on `HELLO.message_bits`.
+    pub max_message_bits: u32,
+    /// Admission cap on `HELLO.beam`.
+    pub max_beam: u32,
+    /// Serving schedule profile.
+    pub profile: ServeProfile,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            pool: MultiConfig::default(),
+            drive_budget: u64::MAX,
+            egress_high_water: 16 * 1024,
+            egress_capacity: 64 * 1024,
+            max_message_bits: 4096,
+            max_beam: 1024,
+            profile: ServeProfile::paper_default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks the configuration's invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::Wire`] with [`WireErrorKind::Corrupt`] on any
+    /// violation (zero shards, inverted egress watermarks, zero caps).
+    pub fn validate(&self) -> Result<(), SpinalError> {
+        let ok = self.shards >= 1
+            && self.egress_high_water >= 1
+            && self.egress_capacity >= self.egress_high_water
+            && self.max_message_bits >= 1
+            && self.max_beam >= 1
+            && self.pool.max_sessions >= 1;
+        if ok {
+            Ok(())
+        } else {
+            Err(SpinalError::Wire {
+                kind: WireErrorKind::Corrupt,
+            })
+        }
+    }
+}
+
+/// Aggregate serving counters (summed over shards by
+/// [`Server::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Ticks the server has run.
+    pub ticks: u64,
+    /// Sessions admitted (HELLO → HELLO-ACK).
+    pub admitted: u64,
+    /// Sessions rejected with BUSY (shard pool full).
+    pub busy_rejected: u64,
+    /// Sessions that decoded.
+    pub decoded: u64,
+    /// Sessions that exhausted their symbol budget.
+    pub exhausted: u64,
+    /// Sessions abandoned by the pool's attempt ceiling.
+    pub abandoned: u64,
+    /// Connections closed for protocol violations (malformed frames,
+    /// bad dialogue order, inadmissible HELLO).
+    pub protocol_errors: u64,
+    /// Connections whose transport failed or closed.
+    pub transport_closed: u64,
+    /// Connection-ticks spent in backpressure (ingress not drained).
+    pub backpressure_ticks: u64,
+    /// Feedback frames dropped at the egress capacity cap.
+    pub egress_overflow: u64,
+    /// Frames handled.
+    pub frames_in: u64,
+    /// Symbols ingested.
+    pub symbols_in: u64,
+}
+
+impl ServeStats {
+    fn absorb(&mut self, other: &ServeStats) {
+        self.admitted += other.admitted;
+        self.busy_rejected += other.busy_rejected;
+        self.decoded += other.decoded;
+        self.exhausted += other.exhausted;
+        self.abandoned += other.abandoned;
+        self.protocol_errors += other.protocol_errors;
+        self.transport_closed += other.transport_closed;
+        self.backpressure_ticks += other.backpressure_ticks;
+        self.egress_overflow += other.egress_overflow;
+        self.frames_in += other.frames_in;
+        self.symbols_in += other.symbols_in;
+    }
+}
+
+/// Names a connection accepted by [`Server::add_connection`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConnHandle {
+    shard: u32,
+    idx: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// Awaiting HELLO.
+    Greeting,
+    /// Session live in the pool.
+    Streaming,
+    /// Decoded; later arrivals are re-ACKed.
+    Done,
+    /// Terminal; egress still flushes, ingress is ignored.
+    Closed,
+}
+
+struct Conn<T> {
+    transport: T,
+    wire: WireDecoder,
+    egress: Vec<u8>,
+    state: ConnState,
+    session: Option<SessionId>,
+    mode: FeedbackMode,
+    expected_seq: u64,
+    nacked: bool,
+    first_data_tick: u64,
+    done_ack: Option<(u64, u32)>,
+    decoded_bits: Option<BitVec>,
+    last_snapshot: u64,
+    backpressured: bool,
+    dead: bool,
+}
+
+impl<T> Conn<T> {
+    fn new(transport: T) -> Self {
+        Self {
+            transport,
+            wire: WireDecoder::new(),
+            egress: Vec::new(),
+            state: ConnState::Greeting,
+            session: None,
+            mode: FeedbackMode::AckOnly,
+            expected_seq: 0,
+            nacked: false,
+            first_data_tick: u64::MAX,
+            done_ack: None,
+            decoded_bits: None,
+            last_snapshot: 0,
+            backpressured: false,
+            dead: false,
+        }
+    }
+}
+
+struct Shard<T> {
+    pool: Pool,
+    conns: Vec<Option<Conn<T>>>,
+    free: Vec<usize>,
+    /// Pool slot → connection index (`usize::MAX` = unmapped).
+    session_conn: Vec<usize>,
+    events: Vec<SessionEvent>,
+    rxbuf: Vec<u8>,
+    symbols: Vec<(Slot, IqSymbol)>,
+    latencies: Vec<u64>,
+    stats: ServeStats,
+}
+
+impl<T: Transport> Shard<T> {
+    fn new(pool_cfg: MultiConfig) -> Self {
+        Self {
+            pool: Pool::new(pool_cfg),
+            conns: Vec::new(),
+            free: Vec::new(),
+            session_conn: Vec::new(),
+            events: Vec::new(),
+            rxbuf: Vec::with_capacity(16 * 1024),
+            symbols: Vec::new(),
+            latencies: Vec::new(),
+            stats: ServeStats::default(),
+        }
+    }
+}
+
+/// The sharded codec service. Generic over the byte [`Transport`]
+/// (in-process loopback for deterministic benches and tests, TCP for a
+/// real deployment).
+pub struct Server<T: Transport> {
+    cfg: ServeConfig,
+    shards: Vec<Shard<T>>,
+    tick: u64,
+    next_conn_id: u64,
+}
+
+impl<T: Transport> Server<T> {
+    /// Builds a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeConfig::validate`] failures.
+    pub fn new(cfg: ServeConfig) -> Result<Self, SpinalError> {
+        cfg.validate()?;
+        // The serving profile's stride must itself be constructible.
+        StridedPuncture::with_order(cfg.profile.stride, cfg.profile.order)?;
+        let mut pool_cfg = cfg.pool;
+        pool_cfg.workers = 1;
+        let shards = (0..cfg.shards).map(|_| Shard::new(pool_cfg)).collect();
+        Ok(Self {
+            cfg,
+            shards,
+            tick: 0,
+            next_conn_id: 0,
+        })
+    }
+
+    /// Accepts a connection, assigning it to a shard by stable hash of
+    /// its admission order (so a given arrival sequence always lands on
+    /// the same shards, regardless of shard-thread scheduling).
+    pub fn add_connection(&mut self, transport: T) -> ConnHandle {
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        let shard_i = (derive_seed(0x5EED_C0DE, 41, id) % self.shards.len() as u64) as usize;
+        let shard = &mut self.shards[shard_i];
+        let conn = Conn::new(transport);
+        let idx = match shard.free.pop() {
+            Some(i) => {
+                shard.conns[i] = Some(conn);
+                i
+            }
+            None => {
+                shard.conns.push(Some(conn));
+                shard.conns.len() - 1
+            }
+        };
+        ConnHandle {
+            shard: shard_i as u32,
+            idx: idx as u32,
+        }
+    }
+
+    /// Runs one serving cycle over every shard, serially. This is the
+    /// allocation-free steady-state path.
+    pub fn tick(&mut self) {
+        self.tick += 1;
+        let t = self.tick;
+        for shard in &mut self.shards {
+            shard_tick(shard, &self.cfg, t);
+        }
+    }
+
+    /// Reaps connections that are finished: dead transports, and closed
+    /// dialogues whose egress has fully flushed. Returns how many were
+    /// removed. Call between ticks (it is not part of the zero-alloc
+    /// cycle).
+    pub fn reap_closed(&mut self) -> usize {
+        let mut reaped = 0;
+        for shard in &mut self.shards {
+            for idx in 0..shard.conns.len() {
+                let done = match &shard.conns[idx] {
+                    Some(c) => c.dead || (c.state == ConnState::Closed && c.egress.is_empty()),
+                    None => false,
+                };
+                if done {
+                    let mut conn = shard.conns[idx].take().expect("checked live");
+                    release_session(&mut conn.session, &mut shard.pool, &mut shard.session_conn);
+                    shard.free.push(idx);
+                    reaped += 1;
+                }
+            }
+        }
+        reaped
+    }
+
+    /// Aggregate counters, summed over shards.
+    pub fn stats(&self) -> ServeStats {
+        let mut out = ServeStats {
+            ticks: self.tick,
+            ..ServeStats::default()
+        };
+        for shard in &self.shards {
+            out.absorb(&shard.stats);
+        }
+        out
+    }
+
+    /// Completion latencies (in ticks, DATA-first-seen → decoded) of
+    /// every session that decoded, appended shard by shard.
+    pub fn latencies(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.latencies);
+        }
+        out
+    }
+
+    /// Sessions currently live across all shard pools.
+    pub fn live_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.pool.len()).sum()
+    }
+
+    /// Whether a connection is currently backpressured (its egress sat
+    /// above the high-water mark at its last tick, so its ingress was
+    /// not drained).
+    pub fn is_backpressured(&self, h: ConnHandle) -> bool {
+        self.conn(h).is_some_and(|c| c.backpressured)
+    }
+
+    /// Whether a connection has reached a terminal state (closed
+    /// dialogue or dead transport).
+    pub fn is_closed(&self, h: ConnHandle) -> bool {
+        self.conn(h)
+            .is_none_or(|c| c.dead || c.state == ConnState::Closed)
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn conn(&self, h: ConnHandle) -> Option<&Conn<T>> {
+        self.shards
+            .get(h.shard as usize)?
+            .conns
+            .get(h.idx as usize)?
+            .as_ref()
+    }
+}
+
+impl<T: Transport + Send> Server<T> {
+    /// Runs one serving cycle with one scoped thread per shard.
+    ///
+    /// Shards share no mutable state — each owns its pool, connections
+    /// and counters — so the result is bit-identical to the serial
+    /// [`tick`](Server::tick): same frames, same latencies, same stats,
+    /// for any shard count.
+    pub fn tick_sharded(&mut self) {
+        self.tick += 1;
+        let t = self.tick;
+        let cfg = &self.cfg;
+        thread::scope(|scope| {
+            for shard in &mut self.shards {
+                scope.spawn(move || shard_tick(shard, cfg, t));
+            }
+        });
+    }
+}
+
+/// What one parsed frame asks the connection to do, decoupled from the
+/// frame's borrow of the reassembly buffer (symbols land in the shard
+/// scratch before the borrow ends).
+enum Action {
+    Hello(Hello),
+    Data { seq: u64, count: usize },
+    ClientClose,
+    Violation,
+}
+
+fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) {
+    let Shard {
+        pool,
+        conns,
+        free: _,
+        session_conn,
+        events,
+        rxbuf,
+        symbols,
+        latencies,
+        stats,
+    } = shard;
+
+    // Phases 1 + 2: per-connection flush, then ingress unless
+    // backpressured.
+    for (idx, conn_slot) in conns.iter_mut().enumerate() {
+        let Some(conn) = conn_slot.as_mut() else {
+            continue;
+        };
+        if conn.dead {
+            continue;
+        }
+
+        if !conn.egress.is_empty() {
+            match conn.transport.send(&conn.egress) {
+                Ok(0) => {}
+                Ok(n) => {
+                    conn.egress.drain(..n);
+                }
+                Err(_) => {
+                    kill(conn, pool, session_conn, stats);
+                    continue;
+                }
+            }
+        }
+        conn.backpressured = conn.egress.len() >= cfg.egress_high_water;
+        if conn.backpressured {
+            stats.backpressure_ticks += 1;
+            continue;
+        }
+
+        rxbuf.clear();
+        match conn.transport.recv(rxbuf) {
+            Ok(0) => {}
+            Ok(_) => conn.wire.push_bytes(rxbuf),
+            Err(_) => {
+                // Let buffered frames finish the dialogue before the
+                // close is surfaced; a dead transport with a clean
+                // buffer is an orderly close.
+                conn.dead = true;
+                stats.transport_closed += 1;
+            }
+        }
+
+        loop {
+            if conn.state == ConnState::Closed {
+                break;
+            }
+            let action = match conn.wire.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame::Hello(h))) => Action::Hello(h),
+                Ok(Some(Frame::Data { seq, run })) => {
+                    symbols.clear();
+                    run.copy_into(symbols);
+                    Action::Data {
+                        seq,
+                        count: symbols.len(),
+                    }
+                }
+                Ok(Some(Frame::Close { .. })) => Action::ClientClose,
+                // Server-to-client frames arriving at the server are a
+                // dialogue violation, as is anything malformed.
+                Ok(Some(_)) => Action::Violation,
+                Err(_) => Action::Violation,
+            };
+            stats.frames_in += 1;
+            match action {
+                Action::Hello(h) => {
+                    if conn.state != ConnState::Greeting {
+                        protocol_close(conn, pool, session_conn, stats, cfg);
+                        break;
+                    }
+                    match admit(&h, cfg, pool) {
+                        Ok(id) => {
+                            let slot = id.slot();
+                            if session_conn.len() <= slot {
+                                session_conn.resize(slot + 1, usize::MAX);
+                            }
+                            session_conn[slot] = idx;
+                            conn.session = Some(id);
+                            conn.mode = h.mode;
+                            conn.state = ConnState::Streaming;
+                            conn.last_snapshot = tick;
+                            stats.admitted += 1;
+                            enqueue(
+                                &mut conn.egress,
+                                cfg,
+                                &Frame::HelloAck { token: slot as u64 },
+                                stats,
+                            );
+                        }
+                        Err(SpinalError::PoolFull {
+                            live,
+                            max_sessions: max,
+                        }) => {
+                            stats.busy_rejected += 1;
+                            enqueue(
+                                &mut conn.egress,
+                                cfg,
+                                &Frame::Busy {
+                                    live: live.min(u32::MAX as usize) as u32,
+                                    max_sessions: max.min(u32::MAX as usize) as u32,
+                                },
+                                stats,
+                            );
+                            conn.state = ConnState::Closed;
+                        }
+                        Err(_) => {
+                            protocol_close(conn, pool, session_conn, stats, cfg);
+                            break;
+                        }
+                    }
+                }
+                Action::Data { seq, count } => match conn.state {
+                    ConnState::Greeting => {
+                        protocol_close(conn, pool, session_conn, stats, cfg);
+                        break;
+                    }
+                    ConnState::Done => {
+                        // Re-ACK so a lost ACK heals off the sender's
+                        // own continued transmissions.
+                        if let Some((symbols_used, attempts)) = conn.done_ack {
+                            enqueue(
+                                &mut conn.egress,
+                                cfg,
+                                &Frame::Ack {
+                                    symbols_used,
+                                    attempts,
+                                },
+                                stats,
+                            );
+                        }
+                    }
+                    ConnState::Closed => {}
+                    ConnState::Streaming => {
+                        stats.symbols_in += count as u64;
+                        if conn.first_data_tick == u64::MAX {
+                            conn.first_data_tick = tick;
+                        }
+                        if seq > conn.expected_seq {
+                            if conn.mode == FeedbackMode::Nack && !conn.nacked {
+                                enqueue(
+                                    &mut conn.egress,
+                                    cfg,
+                                    &Frame::Nack {
+                                        expected_seq: conn.expected_seq,
+                                    },
+                                    stats,
+                                );
+                                conn.nacked = true;
+                            }
+                        } else {
+                            // In-order or replayed-from-the-gap data:
+                            // the NACK did its job (or none was owed).
+                            conn.nacked = false;
+                        }
+                        conn.expected_seq = conn.expected_seq.max(seq + count as u64);
+                        let id = conn.session.expect("streaming implies session");
+                        match pool.ingest_at(id, symbols) {
+                            Ok(()) => {}
+                            Err(_) => {
+                                protocol_close(conn, pool, session_conn, stats, cfg);
+                                break;
+                            }
+                        }
+                    }
+                },
+                Action::ClientClose => {
+                    release_session(&mut conn.session, pool, session_conn);
+                    conn.state = ConnState::Closed;
+                }
+                Action::Violation => {
+                    protocol_close(conn, pool, session_conn, stats, cfg);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Phase 3: drive the pool and turn events into feedback.
+    pool.drive_until_into(cfg.drive_budget, events);
+    for ev in events.iter().copied() {
+        let Some(&cidx) = session_conn.get(ev.id.slot()) else {
+            continue;
+        };
+        let Some(conn) = conns.get_mut(cidx).and_then(|c| c.as_mut()) else {
+            continue;
+        };
+        match ev.outcome {
+            SessionOutcome::Poll(Poll::NeedMore { .. }) | SessionOutcome::Deferred { .. } => {}
+            SessionOutcome::Poll(Poll::Decoded {
+                symbols_used,
+                attempts,
+            }) => {
+                if conn.first_data_tick != u64::MAX {
+                    latencies.push(tick - conn.first_data_tick);
+                }
+                let rx = pool.remove(ev.id).expect("decoded session is live");
+                session_conn[ev.id.slot()] = usize::MAX;
+                conn.session = None;
+                conn.decoded_bits = rx.payload().cloned();
+                conn.done_ack = Some((symbols_used, attempts));
+                conn.state = ConnState::Done;
+                stats.decoded += 1;
+                if let Some(bits) = &conn.decoded_bits {
+                    enqueue(
+                        &mut conn.egress,
+                        cfg,
+                        &Frame::Decoded(crate::wire::DecodedBits::from_bits(bits)),
+                        stats,
+                    );
+                }
+                if !matches!(conn.mode, FeedbackMode::CumulativeAck { .. }) {
+                    enqueue(
+                        &mut conn.egress,
+                        cfg,
+                        &Frame::Ack {
+                            symbols_used,
+                            attempts,
+                        },
+                        stats,
+                    );
+                }
+            }
+            SessionOutcome::Poll(Poll::Exhausted { .. }) => {
+                release_session(&mut conn.session, pool, session_conn);
+                conn.state = ConnState::Closed;
+                stats.exhausted += 1;
+                enqueue(
+                    &mut conn.egress,
+                    cfg,
+                    &Frame::Close {
+                        reason: CloseReason::Exhausted,
+                    },
+                    stats,
+                );
+            }
+            SessionOutcome::Abandoned { .. } => {
+                release_session(&mut conn.session, pool, session_conn);
+                conn.state = ConnState::Closed;
+                stats.abandoned += 1;
+                enqueue(
+                    &mut conn.egress,
+                    cfg,
+                    &Frame::Close {
+                        reason: CloseReason::Abandoned,
+                    },
+                    stats,
+                );
+            }
+        }
+    }
+
+    // Phase 4: cumulative-ACK snapshots.
+    for conn in conns.iter_mut().flatten() {
+        let FeedbackMode::CumulativeAck { period } = conn.mode else {
+            continue;
+        };
+        let live = matches!(conn.state, ConnState::Streaming | ConnState::Done);
+        if !live || tick.saturating_sub(conn.last_snapshot) < period {
+            continue;
+        }
+        conn.last_snapshot = tick;
+        let (decoded, symbols_used) = match (conn.state, conn.done_ack) {
+            (ConnState::Done, Some((s, _))) => (true, s),
+            _ => {
+                let s = conn
+                    .session
+                    .and_then(|id| pool.get(id))
+                    .map_or(0, |rx| rx.symbols());
+                (false, s)
+            }
+        };
+        enqueue(
+            &mut conn.egress,
+            cfg,
+            &Frame::CumAck {
+                decoded,
+                symbols_used,
+            },
+            stats,
+        );
+    }
+}
+
+/// Validates a HELLO and inserts the session into the shard pool.
+fn admit(h: &Hello, cfg: &ServeConfig, pool: &mut Pool) -> Result<SessionId, SpinalError> {
+    let shape_ok = h.message_bits >= 1
+        && h.message_bits <= cfg.max_message_bits
+        && (1..=16).contains(&h.k)
+        && (2..=16).contains(&h.c)
+        && h.beam >= 1
+        && h.beam <= cfg.max_beam
+        && h.max_symbols >= 1;
+    if !shape_ok {
+        return Err(SpinalError::Wire {
+            kind: WireErrorKind::Corrupt,
+        });
+    }
+    let params = CodeParams::builder()
+        .message_bits(h.message_bits)
+        .k(h.k)
+        .seed(h.seed)
+        .build()
+        .map_err(|_| SpinalError::Wire {
+            kind: WireErrorKind::Corrupt,
+        })?;
+    let code = SpinalCode::new(
+        params,
+        Lookup3::new(h.seed),
+        LinearMapper::new(h.c),
+        StridedPuncture::with_order(cfg.profile.stride, cfg.profile.order)?,
+    );
+    let rx = code.rx_session(
+        AwgnCost,
+        AnyTerminator::crc(Checksum::Crc16),
+        RxConfig {
+            beam: BeamConfig::with_beam(h.beam as usize),
+            max_symbols: h.max_symbols,
+            attempt_growth: 1.0,
+        },
+    )?;
+    pool.insert(rx)
+}
+
+fn release_session(session: &mut Option<SessionId>, pool: &mut Pool, session_conn: &mut [usize]) {
+    if let Some(id) = session.take() {
+        let _ = pool.remove(id);
+        if let Some(slot) = session_conn.get_mut(id.slot()) {
+            *slot = usize::MAX;
+        }
+    }
+}
+
+fn kill<T>(
+    conn: &mut Conn<T>,
+    pool: &mut Pool,
+    session_conn: &mut [usize],
+    stats: &mut ServeStats,
+) {
+    release_session(&mut conn.session, pool, session_conn);
+    conn.dead = true;
+    stats.transport_closed += 1;
+}
+
+fn protocol_close<T>(
+    conn: &mut Conn<T>,
+    pool: &mut Pool,
+    session_conn: &mut [usize],
+    stats: &mut ServeStats,
+    cfg: &ServeConfig,
+) {
+    release_session(&mut conn.session, pool, session_conn);
+    conn.state = ConnState::Closed;
+    stats.protocol_errors += 1;
+    enqueue(
+        &mut conn.egress,
+        cfg,
+        &Frame::Close {
+            reason: CloseReason::Protocol,
+        },
+        stats,
+    );
+}
+
+/// Appends a frame to a connection's bounded egress queue, dropping it
+/// (counted) at the capacity cap.
+fn enqueue(egress: &mut Vec<u8>, cfg: &ServeConfig, frame: &Frame<'_>, stats: &mut ServeStats) {
+    if egress.len() >= cfg.egress_capacity {
+        stats.egress_overflow += 1;
+        return;
+    }
+    // Oversized cannot trigger: every server frame is bounded by
+    // max_message_bits, far under the frame cap.
+    let _ = encode_frame(frame, egress);
+}

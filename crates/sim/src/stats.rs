@@ -125,6 +125,24 @@ pub fn wilson_halfwidth(successes: u64, trials: u64, z: f64) -> f64 {
     wilson_interval(successes, trials, z).1
 }
 
+/// Nearest-rank percentile over an *unsorted* sample, `q` in `[0, 1]`
+/// (`0.5` = median, `0.99` = p99): sorts `values` in place, then
+/// returns the element at rank `⌈q·n⌉` (1-indexed, clamped to the
+/// sample). `None` when the sample is empty.
+///
+/// This is the one percentile definition the workspace uses —
+/// `spinal-link`'s `LinkReport::latency_percentile` and the serving
+/// benchmarks both call it, so p99 on small samples cannot disagree
+/// between reports.
+pub fn percentile_nearest_rank(values: &mut [u64], q: f64) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * values.len() as f64).ceil() as usize;
+    Some(values[rank.saturating_sub(1).min(values.len() - 1)])
+}
+
 /// Derives an independent sub-seed from an experiment seed and stream
 /// labels, so that trial `i` of experiment `e` always sees the same
 /// randomness regardless of threading or iteration order.
@@ -236,6 +254,18 @@ mod tests {
         assert!(c1 - h1 >= -1e-12 && c1 + h1 <= 1.0 + 1e-12);
         // Empty: total uncertainty.
         assert_eq!(wilson_interval(0, 0, 1.96), (0.5, 0.5));
+    }
+
+    #[test]
+    fn percentile_nearest_rank_matches_definition() {
+        assert_eq!(percentile_nearest_rank(&mut [], 0.5), None);
+        let mut v = [50, 30, 10, 40, 20];
+        assert_eq!(percentile_nearest_rank(&mut v, 0.0), Some(10));
+        assert_eq!(percentile_nearest_rank(&mut v, 0.5), Some(30));
+        assert_eq!(percentile_nearest_rank(&mut v, 0.99), Some(50));
+        assert_eq!(percentile_nearest_rank(&mut v, 1.0), Some(50));
+        // A one-element sample answers every quantile with itself.
+        assert_eq!(percentile_nearest_rank(&mut [7], 0.99), Some(7));
     }
 
     #[test]

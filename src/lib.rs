@@ -20,6 +20,7 @@
 //! | [`info`] | `spinal-info` | Shannon capacities, PPV finite-blocklength bound, theorem thresholds |
 //! | [`sim`] | `spinal-sim` | the §5 experiment harness (genie/CRC rateless runs, LDPC goodput, sweeps) |
 //! | [`link`] | `spinal-link` | feedback link-layer protocol simulator (§6 future work) |
+//! | [`serve`] | `spinal-serve` | network-facing codec service: wire format, sharded event loops, backpressure |
 //!
 //! ## Quickstart
 //!
@@ -98,4 +99,10 @@ pub mod sim {
 /// The feedback link-layer protocol simulator (§6 future work).
 pub mod link {
     pub use spinal_link::*;
+}
+
+/// The network-facing codec service: wire format, transports, sharded
+/// serving event loop with backpressure, and the client driver.
+pub mod serve {
+    pub use spinal_serve::*;
 }

@@ -20,6 +20,11 @@
 //!   `LinkFault` composition (drops, duplicates, reordering, bursts,
 //!   stale slot labels) before `ingest_at`: in-range faulted slots must
 //!   ingest cleanly whatever the interleaving.
+//! * **Server dialogue streams** — arbitrary bytes pushed at a serving
+//!   event loop (optionally after a valid HELLO, so the post-admission
+//!   DATA path is also reached): the server must absorb them without
+//!   panicking, surface violations as protocol closes, and keep its
+//!   outcome counters consistent.
 //!
 //! The harness asserts *absence of panics* and basic state sanity, not
 //! decoded payloads — the equivalence suites own correctness.
@@ -301,5 +306,80 @@ proptest! {
                 prop_assert!(poll.is_ok(), "faulted in-range slots must ingest: {poll:?}");
             }
         }
+    }
+
+    /// Server dialogue byte streams: a serving event loop fed arbitrary
+    /// client bytes — raw soup against the greeting state, or soup
+    /// after a valid HELLO so the admitted DATA path is exercised —
+    /// must never panic, and every flow must end in a counted outcome
+    /// (decode, protocol close, busy, exhaust, abandon) or still be
+    /// mid-dialogue; nothing silently vanishes.
+    #[test]
+    fn fuzz_server_session_streams_never_panic(
+        soup in proptest::collection::vec(any::<u8>(), 0..768),
+        chunk in 1usize..128,
+        hello_first in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use spinal_codes::serve::{
+            encode_frame, loopback_pair, Frame, Hello, ServeConfig, Server, Transport,
+        };
+        use spinal_codes::link::FeedbackMode;
+
+        let mut server = Server::new(ServeConfig::default()).expect("default config is valid");
+        let (mut local, remote) = loopback_pair(1 << 16);
+        let handle = server.add_connection(remote);
+
+        let mut stream = Vec::new();
+        if hello_first {
+            encode_frame(
+                &Frame::Hello(Hello {
+                    message_bits: 48,
+                    k: 4,
+                    c: 8,
+                    beam: 4,
+                    max_symbols: 1 << 12,
+                    seed,
+                    mode: FeedbackMode::AckOnly,
+                }),
+                &mut stream,
+            )
+            .expect("HELLO encodes");
+        }
+        stream.extend_from_slice(&soup);
+
+        let mut sent = 0usize;
+        while sent < stream.len() {
+            let end = (sent + chunk).min(stream.len());
+            match local.send(&stream[sent..end]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => sent += n,
+            }
+            server.tick();
+        }
+        // Drain whatever feedback the server produced and keep ticking:
+        // the dialogue must settle without panicking.
+        let mut rx = Vec::new();
+        for _ in 0..8 {
+            server.tick();
+            let _ = local.recv(&mut rx);
+        }
+        let stats = server.stats();
+        let admitted = u64::from(hello_first);
+        prop_assert_eq!(stats.admitted, admitted, "exactly the valid HELLOs admit");
+        prop_assert!(
+            stats.decoded + stats.exhausted + stats.abandoned <= stats.admitted,
+            "terminal decode outcomes require an admitted session"
+        );
+        if !hello_first && !soup.is_empty() && server.is_closed(handle) {
+            // Soup at the greeting can only close via protocol error or
+            // a (vanishingly unlikely) forged Close frame.
+            prop_assert!(stats.protocol_errors >= 1);
+        }
+        // The connection slot stays reapable whatever happened.
+        drop(local);
+        server.tick();
+        server.reap_closed();
+        prop_assert_eq!(server.stats().admitted, admitted);
     }
 }

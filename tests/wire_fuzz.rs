@@ -1,0 +1,278 @@
+//! Fuzz-style harness for the spinal-serve wire format (on the offline
+//! proptest shim).
+//!
+//! Three properties:
+//!
+//! * **Canonical roundtrip** — any stream of valid frames, encoded back
+//!   to back and re-fed through a [`WireDecoder`] in arbitrary chunk
+//!   sizes, decodes to frames whose re-encoding is byte-identical to
+//!   the original stream (the format has exactly one encoding per
+//!   frame), with `finish()` reporting a clean stream end.
+//! * **Single-byte corruption** — flipping any one byte of a valid
+//!   stream must never panic the decoder: it yields some prefix of
+//!   intact frames and then either a clean end or a typed
+//!   [`SpinalError::Wire`] error.
+//! * **Byte soup** — arbitrary bytes must never panic and only ever
+//!   fail with typed wire errors.
+//!
+//! The serve crate's unit tests pin each error taxonomy case
+//! (BadMagic → BadVersion → UnknownFrame → Oversized → Truncated →
+//! Corrupt) on hand-built inputs; this harness owns the "never panics,
+//! always typed" guarantee under adversarial inputs.
+
+use proptest::prelude::*;
+use spinal_codes::link::FeedbackMode;
+use spinal_codes::serve::{
+    encode_frame, CloseReason, DecodedBits, Frame, Hello, SymbolRun, WireDecoder,
+};
+use spinal_codes::{BitVec, IqSymbol, Slot, SpinalError};
+
+/// Owned generator-side frame description; converted to a borrowed
+/// [`Frame`] (with its backing storage) at encode time.
+#[derive(Debug, Clone)]
+enum Spec {
+    Hello {
+        message_bits: u32,
+        k: u32,
+        c: u32,
+        beam: u32,
+        max_symbols: u64,
+        seed: u64,
+        mode: FeedbackMode,
+    },
+    HelloAck(u64),
+    Busy(u32, u32),
+    Data(u64, Vec<(u32, u32, f64, f64)>),
+    Ack(u64, u32),
+    Nack(u64),
+    CumAck(bool, u64),
+    Decoded(Vec<bool>),
+    Close(CloseReason),
+}
+
+impl Spec {
+    /// Appends this frame's canonical encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Spec::Hello {
+                message_bits,
+                k,
+                c,
+                beam,
+                max_symbols,
+                seed,
+                mode,
+            } => encode_frame(
+                &Frame::Hello(Hello {
+                    message_bits: *message_bits,
+                    k: *k,
+                    c: *c,
+                    beam: *beam,
+                    max_symbols: *max_symbols,
+                    seed: *seed,
+                    mode: *mode,
+                }),
+                out,
+            ),
+            Spec::HelloAck(token) => encode_frame(&Frame::HelloAck { token: *token }, out),
+            Spec::Busy(live, max) => encode_frame(
+                &Frame::Busy {
+                    live: *live,
+                    max_sessions: *max,
+                },
+                out,
+            ),
+            Spec::Data(seq, syms) => {
+                let slots: Vec<(Slot, IqSymbol)> = syms
+                    .iter()
+                    .map(|&(t, pass, i, q)| (Slot::new(t, pass), IqSymbol::new(i, q)))
+                    .collect();
+                encode_frame(
+                    &Frame::Data {
+                        seq: *seq,
+                        run: SymbolRun::Slots(&slots),
+                    },
+                    out,
+                )
+            }
+            Spec::Ack(symbols_used, attempts) => encode_frame(
+                &Frame::Ack {
+                    symbols_used: *symbols_used,
+                    attempts: *attempts,
+                },
+                out,
+            ),
+            Spec::Nack(expected_seq) => encode_frame(
+                &Frame::Nack {
+                    expected_seq: *expected_seq,
+                },
+                out,
+            ),
+            Spec::CumAck(decoded, symbols_used) => encode_frame(
+                &Frame::CumAck {
+                    decoded: *decoded,
+                    symbols_used: *symbols_used,
+                },
+                out,
+            ),
+            Spec::Decoded(bits) => {
+                let mut bv = BitVec::new();
+                for &b in bits {
+                    bv.push(b);
+                }
+                encode_frame(&Frame::Decoded(DecodedBits::from_bits(&bv)), out)
+            }
+            Spec::Close(reason) => encode_frame(&Frame::Close { reason: *reason }, out),
+        }
+        .expect("generated frames are under the payload cap");
+    }
+}
+
+fn mode_strategy() -> impl Strategy<Value = FeedbackMode> {
+    prop_oneof![
+        Just(FeedbackMode::AckOnly),
+        Just(FeedbackMode::Nack),
+        (1u64..1_000_000).prop_map(|period| FeedbackMode::CumulativeAck { period }),
+    ]
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // The wire rejects non-finite I/Q; the generator stays in range.
+    -1e12f64..1e12f64
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            mode_strategy(),
+        )
+            .prop_map(
+                |(message_bits, k, c, beam, max_symbols, seed, mode)| Spec::Hello {
+                    message_bits,
+                    k,
+                    c,
+                    beam,
+                    max_symbols,
+                    seed,
+                    mode,
+                }
+            ),
+        any::<u64>().prop_map(Spec::HelloAck),
+        (any::<u32>(), any::<u32>()).prop_map(|(l, m)| Spec::Busy(l, m)),
+        (
+            any::<u64>(),
+            proptest::collection::vec(
+                (any::<u32>(), any::<u32>(), finite_f64(), finite_f64()),
+                0..12,
+            ),
+        )
+            .prop_map(|(seq, syms)| Spec::Data(seq, syms)),
+        (any::<u64>(), any::<u32>()).prop_map(|(s, a)| Spec::Ack(s, a)),
+        any::<u64>().prop_map(Spec::Nack),
+        (any::<bool>(), any::<u64>()).prop_map(|(d, s)| Spec::CumAck(d, s)),
+        proptest::collection::vec(any::<bool>(), 0..80).prop_map(Spec::Decoded),
+        prop_oneof![
+            Just(CloseReason::Done),
+            Just(CloseReason::Exhausted),
+            Just(CloseReason::Abandoned),
+            Just(CloseReason::Protocol),
+        ]
+        .prop_map(Spec::Close),
+    ]
+}
+
+/// Feeds `stream` through a decoder in the given repeating chunk-size
+/// pattern, re-encoding every decoded frame into one output buffer.
+/// Returns the re-encoding and the decoder's `finish()` verdict.
+fn redecode(stream: &[u8], chunks: &[usize]) -> (Vec<u8>, Result<(), SpinalError>, usize) {
+    let mut dec = WireDecoder::new();
+    let mut reencoded = Vec::new();
+    let mut frames = 0usize;
+    let mut offset = 0usize;
+    let mut chunk_i = 0usize;
+    while offset < stream.len() {
+        let step = chunks[chunk_i % chunks.len()].clamp(1, stream.len() - offset);
+        chunk_i += 1;
+        dec.push_bytes(&stream[offset..offset + step]);
+        offset += step;
+        loop {
+            match dec.next_frame() {
+                Ok(None) => break,
+                Ok(Some(frame)) => {
+                    frames += 1;
+                    encode_frame(&frame, &mut reencoded).expect("decoded frames re-encode");
+                }
+                Err(e) => return (reencoded, Err(e), frames),
+            }
+        }
+    }
+    let fin = dec.finish();
+    (reencoded, fin, frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Encode → chunked decode → re-encode is the identity on bytes.
+    #[test]
+    fn wire_roundtrip_is_canonical(
+        specs in proptest::collection::vec(spec_strategy(), 1..12),
+        chunks in proptest::collection::vec(1usize..64, 1..8),
+    ) {
+        let mut stream = Vec::new();
+        for spec in &specs {
+            spec.encode(&mut stream);
+        }
+        let (reencoded, fin, frames) = redecode(&stream, &chunks);
+        prop_assert!(fin.is_ok(), "clean stream must finish cleanly: {fin:?}");
+        prop_assert_eq!(frames, specs.len(), "every frame decodes exactly once");
+        prop_assert_eq!(reencoded, stream, "re-encoding must be byte-identical");
+    }
+
+    /// One flipped byte: some valid prefix, then a typed error or (if
+    /// the flip lands in a yet-unconsumed suffix region the truncated
+    /// header check covers) a clean or truncated end — never a panic.
+    #[test]
+    fn wire_single_byte_corruption_never_panics(
+        specs in proptest::collection::vec(spec_strategy(), 1..6),
+        chunks in proptest::collection::vec(1usize..32, 1..6),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut stream = Vec::new();
+        for spec in &specs {
+            spec.encode(&mut stream);
+        }
+        let pos = (pos_seed % stream.len() as u64) as usize;
+        stream[pos] ^= flip;
+        let (_, outcome, frames) = redecode(&stream, &chunks);
+        prop_assert!(frames <= specs.len(), "corruption cannot mint extra frames");
+        if let Err(e) = outcome {
+            prop_assert!(
+                matches!(e, SpinalError::Wire { .. }),
+                "wire failures must be typed wire errors, got {e:?}"
+            );
+        }
+    }
+
+    /// Arbitrary bytes: bounded decode loop, typed errors only.
+    #[test]
+    fn wire_byte_soup_never_panics(
+        soup in proptest::collection::vec(any::<u8>(), 0..512),
+        chunks in proptest::collection::vec(1usize..48, 1..6),
+    ) {
+        let (_, outcome, _) = redecode(&soup, &chunks);
+        if let Err(e) = outcome {
+            prop_assert!(
+                matches!(e, SpinalError::Wire { .. }),
+                "wire failures must be typed wire errors, got {e:?}"
+            );
+        }
+    }
+}
