@@ -1,0 +1,526 @@
+//! Connection-lifecycle chaos sweep: serve dialogues under injected
+//! transport failures, driven to conservation-exact conclusions.
+//!
+//! Every flow's client side runs behind a [`ChaosTransport`] whose
+//! [`ChaosPlan`] injects exactly one failure class at one of three
+//! deterministic drop points (early / mid / late, counted in transport
+//! operations or cumulative feedback bytes — never wall clock):
+//!
+//! | class      | event                         | expected path            |
+//! |------------|-------------------------------|--------------------------|
+//! | `control`  | none                          | decodes untouched        |
+//! | `stall`    | both directions frozen 6 ops  | decodes late, no resume  |
+//! | `halfrx`   | receive side closed           | reconnect + RESUME       |
+//! | `halftx`   | send side closed              | reconnect + RESUME       |
+//! | `drop`     | both sides closed             | reconnect + RESUME       |
+//! | `corrupt`  | one feedback bit flipped      | typed wire error, then   |
+//! |            |                               | RESUME replays verdict   |
+//!
+//! A flow that loses its transport waits a deterministic
+//! `2 + flow mod 4` ticks, reconnects on a fresh pair routed by
+//! [`Server::add_resume_connection`], and replays RESUME with the token
+//! from its HELLO-ACK. The sweep reports, per class: delivered flows,
+//! resume recoveries, rejected/dropped counts (must be 0), and the p99
+//! recovery latency (disconnect tick → verdict tick).
+//!
+//! **Conservation** is asserted exactly, not sampled: after the fleet
+//! settles and the detached-session TTL has swept the server, every
+//! admitted session must be accounted decoded + exhausted + abandoned +
+//! shed + expired — `lost` (the difference) must be zero. A flow that
+//! concludes `Decoded` with a payload that does not match the
+//! transmitted one is counted `misdecoded`: a CRC-16 false accept at a
+//! marginal attempt, inherent to the framed codec (~2⁻¹⁶ per candidate
+//! check, so expected ≈ once per full sweep) and counted exactly like
+//! the link layer's `frames_misdecoded` — reported, never folded into
+//! delivery. What the harness *hard-asserts* about a misdecode is that
+//! the wrong payload is not some **other** flow's payload, which would
+//! convict the resume machinery of re-attaching a session across flows.
+//!
+//! A full run sweeps 1.2k flows at 1 and 4 shards into
+//! `BENCH_chaos.json`. `--quick` freezes a 24-flow fleet, asserts the
+//! serial run and the 3-shard run agree per flow (outcome, payload,
+//! symbols sent, recovery latency), and writes integer-only
+//! `quick_chaos.json` for the CI golden diff against
+//! `crates/bench/golden/quick_chaos.json`.
+//!
+//! ```text
+//! cargo run -p spinal-bench --release --bin bench_chaos [-- --quick]
+//! ```
+
+use std::time::Instant;
+
+use spinal_bench::{banner, RunArgs};
+use spinal_core::bits::BitVec;
+use spinal_serve::{
+    chaos_pair, ChaosEvent, ChaosPlan, ChaosTransport, ClientConfig, ClientOutcome,
+    LoopbackTransport, ServeClient, ServeConfig, Server,
+};
+use spinal_sim::stats::{derive_seed, percentile_nearest_rank};
+
+const QUICK_SEED: u64 = 0x5EED_2011;
+/// Payload bits per flow: long enough (96 bits = 12 symbols minimum at
+/// one per tick) that every drop point lands mid-stream.
+const PAYLOAD_BYTES: usize = 12;
+const MAX_TICKS: u64 = 400_000;
+/// Ticks a detached session survives un-resumed before the server
+/// expires it — far above the deterministic reconnect delays, far
+/// below the run horizon, so orphans (if a bug ever made one) are
+/// swept and surface as `expired`, never as a hang.
+const DETACH_TTL_TICKS: u64 = 512;
+
+const CLASSES: [&str; 6] = ["control", "stall", "halfrx", "halftx", "drop", "corrupt"];
+/// Transport-op drop points (early / mid / late): past the HELLO-ACK
+/// handshake (~op 6), before the earliest possible verdict (~op 28).
+const OP_POINTS: [u64; 3] = [8, 16, 24];
+/// Cumulative feedback-byte drop points for `corrupt`: past the
+/// HELLO-ACK (32 bytes), inside the ACK stream, well before the
+/// DECODED frame (160+ bytes into feedback).
+const BYTE_POINTS: [u64; 3] = [40, 80, 120];
+
+fn plan_for(class: usize, point: usize, seed: u64, flow: u64) -> ChaosPlan {
+    let plan = ChaosPlan::new(derive_seed(seed, 91, flow));
+    match class {
+        0 => plan,
+        1 => plan.with(ChaosEvent::Stall {
+            from_op: OP_POINTS[point],
+            ops: 6,
+        }),
+        2 => plan.with(ChaosEvent::HalfCloseRx {
+            at_op: OP_POINTS[point],
+        }),
+        3 => plan.with(ChaosEvent::HalfCloseTx {
+            at_op: OP_POINTS[point],
+        }),
+        4 => plan.with(ChaosEvent::Disconnect {
+            at_op: OP_POINTS[point],
+        }),
+        _ => plan.with(ChaosEvent::CorruptByte {
+            at_byte: BYTE_POINTS[point],
+        }),
+    }
+}
+
+fn payload(seed: u64, flow: u64) -> BitVec {
+    let mut bytes = Vec::with_capacity(PAYLOAD_BYTES);
+    for i in 0..PAYLOAD_BYTES {
+        bytes.push((derive_seed(seed, 92, flow ^ ((i as u64) << 32)) & 0xff) as u8);
+    }
+    BitVec::from_bytes(&bytes)
+}
+
+struct Flow {
+    client: ServeClient<ChaosTransport<LoopbackTransport>>,
+    expected: BitVec,
+    class: usize,
+    /// Tick at which to replay RESUME on a fresh connection.
+    reconnect_at: Option<u64>,
+    /// Tick the transport loss was observed.
+    disconnect_tick: Option<u64>,
+    resumed: bool,
+    /// Final verdict: (outcome, payload ok, recovery ticks).
+    settled: Option<(ClientOutcome, bool, Option<u64>)>,
+}
+
+struct FleetResult {
+    per_flow: Vec<(ClientOutcome, bool, Option<u64>, u64)>,
+    delivered: u64,
+    recovered: u64,
+    rejected: u64,
+    dropped: u64,
+    misdecoded: u64,
+    lost: u64,
+    recovery_p99: u64,
+    ticks: u64,
+    admitted: u64,
+    expired: u64,
+    wall_ms: f64,
+    per_class: Vec<ClassRow>,
+}
+
+#[derive(Clone)]
+struct ClassRow {
+    class: &'static str,
+    flows: u64,
+    delivered: u64,
+    recovered: u64,
+    rejected: u64,
+    dropped: u64,
+    misdecoded: u64,
+    lost: u64,
+    recovery_p99: u64,
+}
+
+fn run_fleet(flows: u64, shards: usize, sharded: bool, seed: u64) -> FleetResult {
+    let mut cfg = ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    };
+    cfg.pool.detach_ttl = DETACH_TTL_TICKS;
+    let mut server: Server<LoopbackTransport> = Server::new(cfg).expect("valid serve config");
+
+    let mut fleet = Vec::with_capacity(flows as usize);
+    for flow in 0..flows {
+        let class = (flow as usize) % CLASSES.len();
+        let point = (flow as usize / CLASSES.len()) % OP_POINTS.len();
+        let plan = plan_for(class, point, seed, flow);
+        let (chaos_local, remote) = chaos_pair(1 << 12, &plan);
+        server.add_connection(remote);
+        let ccfg = ClientConfig {
+            beam: 4,
+            burst: 1,
+            seed: derive_seed(seed, 93, flow),
+            ..ClientConfig::default()
+        };
+        let expected = payload(seed, flow);
+        let client = ServeClient::new(chaos_local, &ccfg, &expected).expect("valid client shape");
+        fleet.push(Flow {
+            client,
+            expected,
+            class,
+            reconnect_at: None,
+            disconnect_tick: None,
+            resumed: false,
+            settled: None,
+        });
+    }
+
+    let start = Instant::now();
+    let mut end_tick = 0;
+    for tick in 1..=MAX_TICKS {
+        if sharded {
+            server.tick_sharded();
+        } else {
+            server.tick();
+        }
+        let mut all_settled = true;
+        for (i, f) in fleet.iter_mut().enumerate() {
+            if f.settled.is_some() {
+                continue;
+            }
+            all_settled = false;
+            if let Some(at) = f.reconnect_at {
+                if tick >= at {
+                    f.reconnect_at = None;
+                    let token = f.client.resume_token().expect("reconnect implies a token");
+                    let calm = ChaosPlan::new(derive_seed(seed, 94, i as u64));
+                    let (chaos_local, remote) = chaos_pair(1 << 12, &calm);
+                    server.add_resume_connection(remote, token);
+                    drop(f.client.reconnect(chaos_local));
+                    f.resumed = true;
+                }
+            }
+            f.client.tick();
+            if !f.client.is_done() || f.reconnect_at.is_some() {
+                continue;
+            }
+            match f.client.outcome().expect("done client has an outcome") {
+                // Transport loss and mid-stream wire corruption both
+                // leave a resumable session behind (the server detaches
+                // rather than destroys on either), so both trigger the
+                // one deterministic reconnect the flow is allowed.
+                ClientOutcome::TransportClosed | ClientOutcome::ProtocolClosed
+                    if !f.resumed && f.client.resume_token().is_some() =>
+                {
+                    f.disconnect_tick = Some(tick);
+                    f.reconnect_at = Some(tick + 2 + (i as u64 % 4));
+                }
+                out => {
+                    let ok = match out {
+                        ClientOutcome::Decoded { .. } => {
+                            f.client.decoded_payload() == Some(&f.expected)
+                        }
+                        _ => false,
+                    };
+                    let recovery = f.disconnect_tick.map(|d| tick - d);
+                    f.settled = Some((out, ok, recovery));
+                }
+            }
+        }
+        if all_settled {
+            end_tick = tick;
+            break;
+        }
+    }
+    assert!(
+        end_tick > 0,
+        "fleet did not settle within {MAX_TICKS} ticks"
+    );
+
+    // Let the TTL sweep anything a bug might have orphaned, then close
+    // the books: every admitted session must be accounted for.
+    for _ in 0..(DETACH_TTL_TICKS + 8) {
+        server.tick();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        server.live_sessions(),
+        0,
+        "no session may outlive the fleet"
+    );
+    assert_eq!(
+        server.detached_sessions(),
+        0,
+        "no orphan may survive the TTL"
+    );
+    let stats = server.stats();
+    let accounted = stats.decoded + stats.exhausted + stats.abandoned + stats.shed + stats.expired;
+    let lost_srv = stats.admitted - accounted.min(stats.admitted);
+    assert_eq!(
+        lost_srv, 0,
+        "conservation: admitted {} != decoded {} + exhausted {} + abandoned {} + shed {} + expired {}",
+        stats.admitted, stats.decoded, stats.exhausted, stats.abandoned, stats.shed, stats.expired
+    );
+
+    let mut per_flow = Vec::with_capacity(fleet.len());
+    let mut delivered = 0u64;
+    let mut recovered = 0u64;
+    let mut rejected = 0u64;
+    let mut dropped = 0u64;
+    let mut misdecoded = 0u64;
+    let lost = lost_srv;
+    let mut recoveries = Vec::new();
+    let mut per_class: Vec<ClassRow> = CLASSES
+        .iter()
+        .map(|&class| ClassRow {
+            class,
+            flows: 0,
+            delivered: 0,
+            recovered: 0,
+            rejected: 0,
+            dropped: 0,
+            misdecoded: 0,
+            lost: 0,
+            recovery_p99: 0,
+        })
+        .collect();
+    let mut class_recoveries: Vec<Vec<u64>> = vec![Vec::new(); CLASSES.len()];
+    for (i, f) in fleet.iter().enumerate() {
+        let (out, ok, recovery) = f.settled.expect("fleet settled");
+        let row = &mut per_class[f.class];
+        row.flows += 1;
+        match out {
+            ClientOutcome::Decoded { .. } if ok => {
+                delivered += 1;
+                row.delivered += 1;
+                if let Some(r) = recovery {
+                    recovered += 1;
+                    row.recovered += 1;
+                    recoveries.push(r);
+                    class_recoveries[f.class].push(r);
+                }
+            }
+            ClientOutcome::Decoded { .. } => {
+                // Decoded but the payload mismatched: a CRC-16 false
+                // accept at a marginal attempt — inherent to the codec
+                // (~2^-16 per candidate check), counted like the link
+                // layer's `frames_misdecoded`, never silently folded
+                // into delivery. What it must NEVER be is another
+                // flow's payload: that would mean the lifecycle
+                // machinery re-attached a session to the wrong flow.
+                let got = f
+                    .client
+                    .decoded_payload()
+                    .expect("decoded flow has a payload");
+                assert!(
+                    fleet.iter().all(|g| *got != g.expected),
+                    "flow {i} was delivered another flow's payload (session mix-up)"
+                );
+                eprintln!(
+                    "# misdecode: flow {i} class {} (CRC false accept, {} symbols)",
+                    CLASSES[f.class],
+                    f.client.symbols_sent()
+                );
+                misdecoded += 1;
+                row.misdecoded += 1;
+            }
+            ClientOutcome::ResumeRejected => {
+                rejected += 1;
+                row.rejected += 1;
+            }
+            _ => {
+                dropped += 1;
+                row.dropped += 1;
+            }
+        }
+        per_flow.push((out, ok, recovery, f.client.symbols_sent()));
+    }
+    for (c, rec) in class_recoveries.iter_mut().enumerate() {
+        per_class[c].recovery_p99 = percentile_nearest_rank(rec, 0.99).unwrap_or(0);
+    }
+    let recovery_p99 = percentile_nearest_rank(&mut recoveries, 0.99).unwrap_or(0);
+    FleetResult {
+        per_flow,
+        delivered,
+        recovered,
+        rejected,
+        dropped,
+        misdecoded,
+        lost,
+        recovery_p99,
+        ticks: end_tick,
+        admitted: stats.admitted,
+        expired: stats.expired,
+        wall_ms,
+        per_class,
+    }
+}
+
+fn render_json(
+    bench: &str,
+    seed: u64,
+    flows: u64,
+    results: &[(usize, &FleetResult)],
+    quick: bool,
+) -> String {
+    let mut rows = Vec::new();
+    for (shards, r) in results {
+        for c in &r.per_class {
+            rows.push(format!(
+                "    {{\"shards\": {shards}, \"class\": \"{}\", \"flows\": {}, \"delivered\": {}, \
+                 \"recovered\": {}, \"rejected\": {}, \"dropped\": {}, \"misdecoded\": {}, \
+                 \"lost\": {}, \"recovery_p99_ticks\": {}}}",
+                c.class,
+                c.flows,
+                c.delivered,
+                c.recovered,
+                c.rejected,
+                c.dropped,
+                c.misdecoded,
+                c.lost,
+                c.recovery_p99
+            ));
+        }
+    }
+    let totals: Vec<String> = results
+        .iter()
+        .map(|(shards, r)| {
+            let wall = if quick {
+                String::new()
+            } else {
+                format!(", \"wall_ms\": {:.1}", r.wall_ms)
+            };
+            format!(
+                "    {{\"shards\": {shards}, \"flows\": {flows}, \"ticks\": {}, \"admitted\": {}, \
+                 \"delivered\": {}, \"recovered\": {}, \"rejected\": {}, \"dropped\": {}, \
+                 \"misdecoded\": {}, \"expired\": {}, \"lost\": {}, \"recovery_p99_ticks\": {}{}}}",
+                r.ticks,
+                r.admitted,
+                r.delivered,
+                r.recovered,
+                r.rejected,
+                r.dropped,
+                r.misdecoded,
+                r.expired,
+                r.lost,
+                r.recovery_p99,
+                wall
+            )
+        })
+        .collect();
+    let checks = if quick {
+        "  \"self_checks\": {\"serial_sharded_bit_identical\": true, \"lost_flows\": 0},\n"
+    } else {
+        ""
+    };
+    format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"seed\": {seed},\n  \"payload_bits\": {},\n\
+         {checks}  \"totals\": [\n{}\n  ],\n  \"rows\": [\n{}\n  ]\n}}\n",
+        PAYLOAD_BYTES * 8,
+        totals.join(",\n"),
+        rows.join(",\n")
+    )
+}
+
+fn print_result(shards: usize, r: &FleetResult) {
+    for c in &r.per_class {
+        println!(
+            "{:>7} {:>8} {:>6} {:>10} {:>10} {:>9} {:>8} {:>9} {:>5} {:>9}",
+            shards,
+            c.class,
+            c.flows,
+            c.delivered,
+            c.recovered,
+            c.rejected,
+            c.dropped,
+            c.misdecoded,
+            c.lost,
+            c.recovery_p99
+        );
+    }
+    println!(
+        "{:>7} {:>8} {:>6} {:>10} {:>10} {:>9} {:>8} {:>9} {:>5} {:>9}  ({} ticks, {:.1} ms)",
+        shards,
+        "total",
+        r.per_flow.len(),
+        r.delivered,
+        r.recovered,
+        r.rejected,
+        r.dropped,
+        r.misdecoded,
+        r.lost,
+        r.recovery_p99,
+        r.ticks,
+        r.wall_ms
+    );
+}
+
+fn main() {
+    let args = RunArgs::parse(1);
+    let seed = if args.quick { QUICK_SEED } else { args.seed };
+    banner(
+        "chaos: connection-lifecycle failures over serve dialogues",
+        &args,
+        "96-bit payloads, 6 chaos classes x 3 drop points, deterministic reconnect + RESUME",
+    );
+    println!(
+        "{:>7} {:>8} {:>6} {:>10} {:>10} {:>9} {:>8} {:>9} {:>5} {:>9}",
+        "shards",
+        "class",
+        "flows",
+        "delivered",
+        "recovered",
+        "rejected",
+        "dropped",
+        "misdecode",
+        "lost",
+        "rec p99"
+    );
+
+    if args.quick {
+        let flows = 24;
+        let serial = run_fleet(flows, 1, false, seed);
+        print_result(1, &serial);
+        let sharded = run_fleet(flows, 3, true, seed);
+        print_result(3, &sharded);
+        assert_eq!(
+            serial.per_flow, sharded.per_flow,
+            "serial and 3-shard chaos runs must agree per flow"
+        );
+        assert_eq!(serial.lost, 0, "no flow may be lost");
+        assert_eq!(sharded.lost, 0, "no flow may be lost");
+        assert_eq!(serial.rejected + serial.dropped, 0, "every flow recovers");
+        assert_eq!(serial.misdecoded, 0, "quick seed must decode cleanly");
+        let json = render_json(
+            "quick_chaos",
+            seed,
+            flows,
+            &[(1, &serial), (3, &sharded)],
+            true,
+        );
+        std::fs::write("quick_chaos.json", &json).expect("write quick_chaos.json");
+        println!("# self-check: serial == 3-shard per-flow, zero lost");
+        println!("# wrote quick_chaos.json (deterministic summary for the golden diff)");
+    } else {
+        let mut results = Vec::new();
+        for &(flows, shards, sharded) in &[(1_200u64, 1usize, false), (1_200, 4, true)] {
+            let r = run_fleet(flows, shards, sharded, seed);
+            print_result(shards, &r);
+            assert_eq!(r.lost, 0, "no flow may be lost");
+            results.push((shards, r));
+        }
+        let refs: Vec<(usize, &FleetResult)> = results.iter().map(|(s, r)| (*s, r)).collect();
+        let json = render_json("bench_chaos", seed, 1_200, &refs, false);
+        std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+        println!("# wrote BENCH_chaos.json");
+    }
+}

@@ -158,6 +158,20 @@ pub struct MultiConfig {
     /// [`SpinalError::PoolFull`] beyond it. `usize::MAX` (the default)
     /// disables admission control.
     pub max_sessions: usize,
+    /// Rounds a [detached](MultiDecoder::detach) session survives
+    /// without being [resumed](MultiDecoder::resume_detached). Past the
+    /// TTL a resume is refused and
+    /// [`reap_expired_detached`](MultiDecoder::reap_expired_detached)
+    /// removes the session. `u64::MAX` (the default) disables expiry.
+    pub detach_ttl: u64,
+    /// Byte budget for the checkpoint memory of *detached* sessions
+    /// combined, enforced each drive ahead of the global
+    /// [`checkpoint_budget`](MultiConfig::checkpoint_budget): orphaned
+    /// stores are demoted to their packed image first and fully evicted
+    /// only if the packed images alone still exceed the budget. Results
+    /// never change, only the work to reproduce them. `usize::MAX` (the
+    /// default) disables the budget.
+    pub detached_budget: usize,
 }
 
 impl Default for MultiConfig {
@@ -168,6 +182,8 @@ impl Default for MultiConfig {
             work_budget: u64::MAX,
             max_session_attempts: u32::MAX,
             max_sessions: usize::MAX,
+            detach_ttl: u64::MAX,
+            detached_budget: usize::MAX,
         }
     }
 }
@@ -268,6 +284,16 @@ struct Managed<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSche
     /// Abandoned at the attempt ceiling: never scheduled again, ingest
     /// rejected, waiting for [`MultiDecoder::remove`].
     quarantined: bool,
+    /// Orphaned by its driver ([`MultiDecoder::detach`]): still driven
+    /// normally — pending attempts conclude exactly as if the driver
+    /// were present, which is what keeps a later resume bit-identical —
+    /// but resumable by token, TTL-bounded, and first in line for the
+    /// detached-checkpoint budget and overload shedding.
+    detached: bool,
+    /// Caller-chosen resume credential (valid while `detached`).
+    detach_token: u64,
+    /// Round the session was detached (TTL anchor).
+    detach_round: u64,
 }
 
 fn cohort_key<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>(
@@ -298,6 +324,9 @@ pub struct MultiDecoder<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: Pun
     evictions: u64,
     demotions: u64,
     quarantined: u64,
+    detached: usize,
+    detach_sheds: u64,
+    detach_expirations: u64,
     /// Indices of the sessions selected for attempts this drive.
     due: Vec<u32>,
     /// Indices of due sessions shed by the work budget this drive.
@@ -331,6 +360,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             evictions: 0,
             demotions: 0,
             quarantined: 0,
+            detached: 0,
+            detach_sheds: 0,
+            detach_expirations: 0,
             due: Vec::new(),
             deferred: Vec::new(),
             shared: DecoderScratch::new(),
@@ -384,6 +416,153 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             self.slots.get(id.index as usize),
             Some(Some(m)) if m.gen == id.gen && m.quarantined
         )
+    }
+
+    /// Detaches a live session from its driver, keyed by a caller-chosen
+    /// resume `token` (the caller guarantees uniqueness among detached
+    /// sessions; the serve layer derives tokens from connection ids).
+    ///
+    /// A detached session is **still driven normally** — a pending due
+    /// attempt concludes in exactly the drive it would have concluded in
+    /// with the driver present, which is what keeps a later
+    /// [`resume_detached`](Self::resume_detached) bit-identical to an
+    /// uninterrupted run. What changes is bookkeeping: the session
+    /// becomes resumable by token, its checkpoints fall under
+    /// [`MultiConfig::detached_budget`] (demote-first), it expires after
+    /// [`MultiConfig::detach_ttl`] rounds, and it is first in line for
+    /// [`shed_costliest_detached`](Self::shed_costliest_detached).
+    /// Detaching an already-detached session re-stamps its token and TTL.
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::UnknownSession`] for a stale or foreign id.
+    pub fn detach(&mut self, id: SessionId, token: u64) -> Result<(), SpinalError> {
+        self.resolve(id)?;
+        let round = self.round;
+        let m = self.slots[id.index as usize]
+            .as_mut()
+            .expect("resolved slot is live");
+        if !m.detached {
+            self.detached += 1;
+        }
+        m.detached = true;
+        m.detach_token = token;
+        m.detach_round = round;
+        Ok(())
+    }
+
+    /// Re-attaches the detached session carrying `token`, returning its
+    /// id. Expired sessions (past [`MultiConfig::detach_ttl`]) never
+    /// resume — they wait for
+    /// [`reap_expired_detached`](Self::reap_expired_detached) — and a
+    /// token matches exactly one detached session or none, so a stale or
+    /// corrupted credential can never attach to another session.
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::UnknownSession`] when no live, unexpired detached
+    /// session carries `token`.
+    pub fn resume_detached(&mut self, token: u64) -> Result<SessionId, SpinalError> {
+        let ttl = self.cfg.detach_ttl;
+        let round = self.round;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(m) = slot.as_mut() else { continue };
+            if !m.detached || m.detach_token != token {
+                continue;
+            }
+            if ttl != u64::MAX && round.saturating_sub(m.detach_round) > ttl {
+                return Err(SpinalError::UnknownSession);
+            }
+            m.detached = false;
+            self.detached -= 1;
+            return Ok(SessionId {
+                index: i as u32,
+                gen: m.gen,
+            });
+        }
+        Err(SpinalError::UnknownSession)
+    }
+
+    /// Detached sessions currently resident.
+    pub fn detached_len(&self) -> usize {
+        self.detached
+    }
+
+    /// Detached sessions removed by
+    /// [`shed_costliest_detached`](Self::shed_costliest_detached) so far.
+    pub fn detach_sheds(&self) -> u64 {
+        self.detach_sheds
+    }
+
+    /// Detached sessions removed at TTL expiry so far.
+    pub fn detach_expirations(&self) -> u64 {
+        self.detach_expirations
+    }
+
+    /// Removes every detached session past [`MultiConfig::detach_ttl`],
+    /// appending their resume tokens to `expired` (which is not
+    /// cleared). Call once per drive cadence; a no-op scan when nothing
+    /// expired, so the steady state allocates nothing.
+    pub fn reap_expired_detached(&mut self, expired: &mut Vec<u64>) {
+        let ttl = self.cfg.detach_ttl;
+        if ttl == u64::MAX {
+            return;
+        }
+        let round = self.round;
+        for i in 0..self.slots.len() {
+            let Some(m) = self.slots[i].as_ref() else {
+                continue;
+            };
+            if !m.detached || round.saturating_sub(m.detach_round) <= ttl {
+                continue;
+            }
+            let m = self.slots[i].take().expect("slot checked live");
+            self.free.push(i as u32);
+            self.next_gen[i] = m.gen + 1;
+            self.live -= 1;
+            self.detached -= 1;
+            self.detach_expirations += 1;
+            expired.push(m.detach_token);
+        }
+    }
+
+    /// Removes the detached session with the highest predicted remaining
+    /// cost — most tree levels its next attempt would expand, then most
+    /// checkpoint bytes, then lowest slot index (deterministic) — and
+    /// returns its resume token and id. This is the overload-shedding
+    /// lever: under pool pressure an orphan nobody may ever reclaim is
+    /// abandoned before any connected `Hello` is refused.
+    pub fn shed_costliest_detached(&mut self) -> Option<(u64, SessionId)> {
+        let mut best: Option<(u32, u64, usize)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(m) = slot.as_ref() else { continue };
+            if !m.detached {
+                continue;
+            }
+            let cost = (m.rx.levels_to_run(), m.rx.checkpoint_bytes() as u64, i);
+            // Ascending scan: strict `>` keeps the lowest slot on ties.
+            let better = match best {
+                None => true,
+                Some((l, b, _)) => (cost.0, cost.1) > (l, b),
+            };
+            if better {
+                best = Some(cost);
+            }
+        }
+        let (_, _, i) = best?;
+        let m = self.slots[i].take().expect("victim slot is live");
+        self.free.push(i as u32);
+        self.next_gen[i] = m.gen + 1;
+        self.live -= 1;
+        self.detached -= 1;
+        self.detach_sheds += 1;
+        Some((
+            m.detach_token,
+            SessionId {
+                index: i as u32,
+                gen: m.gen,
+            },
+        ))
     }
 
     /// Cross-cohort plan-sharing counters of the pool's shared scratch:
@@ -440,6 +619,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             due_since: u64::MAX,
             absorbed: 0,
             quarantined: false,
+            detached: false,
+            detach_token: 0,
+            detach_round: 0,
         });
         Ok(SessionId { index, gen })
     }
@@ -457,6 +639,9 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         self.free.push(id.index);
         self.next_gen[id.index as usize] = m.gen + 1;
         self.live -= 1;
+        if m.detached {
+            self.detached -= 1;
+        }
         Ok(m.rx)
     }
 
@@ -500,6 +685,10 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         m.due_since = u64::MAX;
         m.absorbed = 0;
         m.quarantined = false;
+        if m.detached {
+            m.detached = false;
+            self.detached -= 1;
+        }
         Ok(())
     }
 
@@ -717,6 +906,7 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
             });
         }
 
+        self.enforce_detached_budget();
         self.enforce_budget();
     }
 
@@ -902,6 +1092,62 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
     /// if the packed images alone still exceed the budget, by full
     /// eviction (from-scratch re-decode on the next retry). Either way
     /// results never change, only the work to reproduce them.
+    /// [`enforce_budget`](Self::enforce_budget) restricted to detached
+    /// sessions under [`MultiConfig::detached_budget`]: orphans pay for
+    /// their memory before any connected session does. Demote-first,
+    /// then evict; results never change.
+    fn enforce_detached_budget(&mut self) {
+        if self.cfg.detached_budget == usize::MAX || self.detached == 0 {
+            return;
+        }
+        let mut total: usize = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|m| m.detached)
+            .map(|m| m.rx.checkpoint_bytes())
+            .sum();
+        while total > self.cfg.detached_budget {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.as_ref().and_then(|m| {
+                        (m.detached && m.rx.can_demote_checkpoints()).then_some((m.last_active, i))
+                    })
+                })
+                .min();
+            let Some((_, i)) = victim else { break };
+            let rx = &mut self.slots[i].as_mut().expect("victim slot is live").rx;
+            let before = rx.checkpoint_bytes();
+            rx.demote_checkpoints();
+            self.demotions += 1;
+            total -= before.saturating_sub(rx.checkpoint_bytes());
+        }
+        while total > self.cfg.detached_budget {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.as_ref().and_then(|m| {
+                        let bytes = m.rx.checkpoint_bytes();
+                        (m.detached && bytes > 0).then_some((m.last_active, i, bytes))
+                    })
+                })
+                .min();
+            let Some((_, i, bytes)) = victim else { break };
+            self.slots[i]
+                .as_mut()
+                .expect("victim slot is live")
+                .rx
+                .evict_checkpoints();
+            self.evictions += 1;
+            total -= bytes;
+        }
+    }
+
     fn enforce_budget(&mut self) {
         if self.cfg.checkpoint_budget == usize::MAX {
             return;
@@ -1499,5 +1745,188 @@ mod tests {
         );
         let rx = pool.remove(id).unwrap();
         assert_eq!(rx.payload(), Some(&m));
+    }
+
+    /// Detach is pure bookkeeping: a session detached mid-decode keeps
+    /// being driven and, once resumed by token, finishes with payload
+    /// and stats bit-identical to a never-detached twin.
+    #[test]
+    fn detached_session_resumes_bit_identical() {
+        let m = msg(21);
+        let (mut tx, rx) = session_pair(777, &m, RxConfig::default());
+        let (_, rx2) = session_pair(777, &m, RxConfig::default());
+        let mut pool = Pool::new(MultiConfig::default());
+        let mut solo = rx2;
+        let mut id = pool.insert(rx).unwrap();
+        let mut events = Vec::new();
+        let mut detached = false;
+        for round in 0..200 {
+            if solo.is_finished() {
+                break;
+            }
+            let (_slot, sym) = tx.next_symbol();
+            pool.ingest(id, &[sym]).unwrap();
+            let expect = solo.ingest(&[sym]).unwrap();
+            pool.drive_into(&mut events);
+            let ev = events.iter().find(|e| e.id == id).expect("event");
+            assert_eq!(ev.poll(), Some(expect), "round {round}");
+            match round {
+                2 => {
+                    pool.detach(id, 0xfeed).unwrap();
+                    assert_eq!(pool.detached_len(), 1);
+                    detached = true;
+                    // A stale token must not resolve.
+                    assert_eq!(
+                        pool.resume_detached(0xbeef).unwrap_err(),
+                        SpinalError::UnknownSession
+                    );
+                }
+                5 => {
+                    let back = pool.resume_detached(0xfeed).unwrap();
+                    assert_eq!(back, id, "token resolves to the same session");
+                    assert_eq!(pool.detached_len(), 0);
+                    id = back;
+                    detached = false;
+                }
+                _ => {}
+            }
+        }
+        assert!(solo.is_finished() && !detached);
+        let p = pool.get(id).unwrap();
+        assert_eq!(p.payload(), solo.payload());
+        assert_eq!(p.symbols(), solo.symbols());
+        assert_eq!(p.attempts(), solo.attempts());
+        assert_eq!(p.last_result().stats, solo.last_result().stats);
+    }
+
+    /// TTL expiry: past `detach_ttl` rounds a resume is refused, the
+    /// reaper frees the slot and reports the token, and the freed slot
+    /// is reusable with a fresh generation.
+    #[test]
+    fn detach_ttl_expires_and_reaps() {
+        let mut pool = Pool::new(MultiConfig {
+            detach_ttl: 2,
+            ..MultiConfig::default()
+        });
+        let m = msg(3);
+        let (mut tx, rx) = session_pair(31, &m, RxConfig::default());
+        let id = pool.insert(rx).unwrap();
+        let (_slot, sym) = tx.next_symbol();
+        pool.ingest(id, &[sym]).unwrap();
+        pool.detach(id, 0xD0_0D).unwrap();
+        let mut events = Vec::new();
+        // Rounds advance on drives; within the TTL the token resolves.
+        pool.drive_into(&mut events);
+        pool.drive_into(&mut events);
+        let mut reaped = Vec::new();
+        pool.reap_expired_detached(&mut reaped);
+        assert!(reaped.is_empty(), "within TTL nothing reaps");
+        // One more round pushes the age past the TTL.
+        pool.drive_into(&mut events);
+        assert_eq!(
+            pool.resume_detached(0xD0_0D).unwrap_err(),
+            SpinalError::UnknownSession,
+            "expired tokens never resume"
+        );
+        pool.reap_expired_detached(&mut reaped);
+        assert_eq!(reaped, vec![0xD0_0D]);
+        assert_eq!(pool.detach_expirations(), 1);
+        assert_eq!(pool.detached_len(), 0);
+        assert!(pool.is_empty());
+        assert!(pool.get(id).is_none(), "reaped id must not resolve");
+    }
+
+    /// Overload shedding: the detached session with the most remaining
+    /// predicted work goes first; attached sessions are never candidates.
+    #[test]
+    fn shed_costliest_detached_prefers_expensive_orphans() {
+        let mut pool = Pool::new(MultiConfig::default());
+        let mut events = Vec::new();
+        // Session A: barely started (one symbol ingested, attempt served
+        // → little remaining work at its next retry).
+        let ma = msg(11);
+        let (mut txa, rxa) = session_pair(61, &ma, RxConfig::default());
+        let ida = pool.insert(rxa).unwrap();
+        let (_s, sym) = txa.next_symbol();
+        pool.ingest(ida, &[sym]).unwrap();
+        pool.drive_into(&mut events);
+        // Session B: many symbols pending → its next attempt expands
+        // every level again, the costlier victim.
+        let mb = msg(12);
+        let (mut txb, rxb) = session_pair(62, &mb, RxConfig::default());
+        let idb = pool.insert(rxb).unwrap();
+        for _ in 0..6 {
+            let (_s, sym) = txb.next_symbol();
+            pool.ingest(idb, &[sym]).unwrap();
+        }
+        // An attached third session must never be shed.
+        let mc = msg(13);
+        let (_txc, rxc) = session_pair(63, &mc, RxConfig::default());
+        let idc = pool.insert(rxc).unwrap();
+        pool.detach(ida, 0xa).unwrap();
+        pool.detach(idb, 0xb).unwrap();
+        let (tok, shed_id) = pool.shed_costliest_detached().expect("two candidates");
+        assert_eq!(tok, 0xb, "pending-work session B is the costlier victim");
+        assert_eq!(shed_id, idb);
+        assert!(pool.get(idb).is_none());
+        assert_eq!(pool.detach_sheds(), 1);
+        assert_eq!(pool.detached_len(), 1);
+        let (tok2, _) = pool.shed_costliest_detached().expect("one candidate left");
+        assert_eq!(tok2, 0xa);
+        assert!(
+            pool.shed_costliest_detached().is_none(),
+            "attached sessions are never shed"
+        );
+        assert!(pool.get(idc).is_some());
+    }
+
+    /// The detached byte budget demotes orphaned checkpoint stores to
+    /// their packed images before the global budget runs — and the
+    /// demoted session still finishes bit-identical once resumed.
+    #[test]
+    fn detached_budget_demotes_first() {
+        // Long enough (64 bits) that three 8-bit-capacity symbols cannot
+        // finish the decode before the detach happens.
+        let m = BitVec::from_bytes(&[0xa5, 0x3c, 0x5a, 0xc3, 0x96, 0x69, 0x0f, 0xf0]);
+        let (mut tx, rx) = session_pair(71, &m, RxConfig::default());
+        let (_, rx2) = session_pair(71, &m, RxConfig::default());
+        let mut solo = rx2;
+        let mut pool = Pool::new(MultiConfig {
+            detached_budget: 1, // any orphaned checkpoint store is over it
+            ..MultiConfig::default()
+        });
+        let mut id = pool.insert(rx).unwrap();
+        let mut events = Vec::new();
+        // Build up checkpoint state, then detach under a tiny budget.
+        for _ in 0..3 {
+            let (_s, sym) = tx.next_symbol();
+            pool.ingest(id, &[sym]).unwrap();
+            solo.ingest(&[sym]).unwrap();
+            pool.drive_into(&mut events);
+        }
+        pool.detach(id, 0x77).unwrap();
+        let demotions_before = pool.demotions();
+        let (_s, sym) = tx.next_symbol();
+        pool.ingest(id, &[sym]).unwrap();
+        solo.ingest(&[sym]).unwrap();
+        pool.drive_into(&mut events);
+        assert!(
+            pool.demotions() > demotions_before,
+            "an over-budget orphaned store must be demoted to its packed image"
+        );
+        id = pool.resume_detached(0x77).unwrap();
+        for _ in 0..200 {
+            if solo.is_finished() {
+                break;
+            }
+            let (_s, sym) = tx.next_symbol();
+            pool.ingest(id, &[sym]).unwrap();
+            solo.ingest(&[sym]).unwrap();
+            pool.drive_into(&mut events);
+        }
+        assert!(solo.is_finished());
+        let p = pool.get(id).unwrap();
+        assert_eq!(p.payload(), solo.payload());
+        assert_eq!(p.last_result().stats, solo.last_result().stats);
     }
 }

@@ -26,7 +26,7 @@ use spinal_link::{Delivery, FaultPlan, FaultStream, FeedbackMode};
 
 use crate::server::ServeProfile;
 use crate::transport::Transport;
-use crate::wire::{encode_frame, CloseReason, Frame, Hello, WireDecoder};
+use crate::wire::{encode_frame, CloseReason, Frame, Hello, ResumeToken, WireDecoder};
 
 /// Pluggable I/Q impairment applied to every delivered symbol.
 pub type NoiseHook = Box<dyn FnMut(IqSymbol) -> IqSymbol + Send>;
@@ -54,6 +54,10 @@ pub struct ClientConfig {
     pub burst: usize,
     /// Replay marks retained for NACK seeks (one per burst).
     pub marks: usize,
+    /// Ticks without inbound bytes after which the client probes the
+    /// server with PING (one outstanding probe until activity resumes).
+    /// `u64::MAX` disables probing.
+    pub keepalive_idle: u64,
 }
 
 impl Default for ClientConfig {
@@ -68,6 +72,7 @@ impl Default for ClientConfig {
             mode: FeedbackMode::AckOnly,
             burst: 4,
             marks: 64,
+            keepalive_idle: u64::MAX,
         }
     }
 }
@@ -92,11 +97,19 @@ pub enum ClientOutcome {
     ProtocolClosed,
     /// The transport died before a verdict.
     TransportClosed,
+    /// The server shed the session under load or at a drain deadline
+    /// (the resume token may still be honoured after a reconnect).
+    Shed,
+    /// The server refused the resume token (unknown, corrupted or
+    /// expired).
+    ResumeRejected,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ClientState {
     Greeting,
+    /// Reconnected; RESUME sent, awaiting RESUME-ACK.
+    Resuming,
     Streaming,
     Done,
 }
@@ -121,6 +134,15 @@ pub struct ServeClient<T: Transport> {
     decoded: Option<BitVec>,
     symbols_sent: u64,
     rxbuf: Vec<u8>,
+    /// The HELLO as negotiated — replayed on a reconnect that has no
+    /// resume token yet.
+    hello: Hello,
+    tick_count: u64,
+    last_rx_tick: u64,
+    pinged: bool,
+    keepalive_idle: u64,
+    resume_token: Option<ResumeToken>,
+    goaway: Option<u64>,
 }
 
 impl<T: Transport> ServeClient<T> {
@@ -175,6 +197,13 @@ impl<T: Transport> ServeClient<T> {
             decoded: None,
             symbols_sent: 0,
             rxbuf: Vec::with_capacity(4096),
+            hello,
+            tick_count: 0,
+            last_rx_tick: 0,
+            pinged: false,
+            keepalive_idle: cfg.keepalive_idle,
+            resume_token: None,
+            goaway: None,
         })
     }
 
@@ -211,9 +240,48 @@ impl<T: Transport> ServeClient<T> {
         self.symbols_sent
     }
 
+    /// The resume token from the session's HELLO-ACK, once received.
+    pub fn resume_token(&self) -> Option<ResumeToken> {
+        self.resume_token
+    }
+
+    /// The drain budget from a server GO-AWAY, once received.
+    pub fn go_away(&self) -> Option<u64> {
+        self.goaway
+    }
+
+    /// Swaps in a fresh transport after a connection loss and restarts
+    /// the dialogue: with a resume token a RESUME is queued (seeking
+    /// the transmitter on RESUME-ACK), otherwise the original HELLO is
+    /// replayed. Returns the old transport — dropping it is what closes
+    /// the stale connection toward the server.
+    pub fn reconnect(&mut self, transport: T) -> T {
+        let old = std::mem::replace(&mut self.transport, transport);
+        self.wire = WireDecoder::new();
+        self.egress.clear();
+        self.rxbuf.clear();
+        self.outcome = None;
+        self.goaway = None;
+        self.pinged = false;
+        self.last_rx_tick = self.tick_count;
+        match self.resume_token {
+            Some(token) => {
+                self.state = ClientState::Resuming;
+                let _ = encode_frame(&Frame::Resume { token }, &mut self.egress);
+            }
+            None => {
+                self.state = ClientState::Greeting;
+                let _ = encode_frame(&Frame::Hello(self.hello), &mut self.egress);
+            }
+        }
+        old
+    }
+
     /// Runs one client cycle: flush egress, absorb feedback, then (if
-    /// streaming) push one burst of symbols as DATA frames.
+    /// streaming) push one burst of symbols as DATA frames, probing an
+    /// idle server with PING past the keepalive threshold.
     pub fn tick(&mut self) {
+        self.tick_count += 1;
         if self.state == ClientState::Done {
             // Keep flushing a final Close if queued.
             let _ = self.flush();
@@ -227,11 +295,24 @@ impl<T: Transport> ServeClient<T> {
             self.finish(ClientOutcome::TransportClosed);
             return;
         }
+        if self.state == ClientState::Done {
+            return;
+        }
+        let idle = self.tick_count.saturating_sub(self.last_rx_tick);
+        if idle >= self.keepalive_idle && !self.pinged {
+            let _ = encode_frame(
+                &Frame::Ping {
+                    nonce: self.tick_count,
+                },
+                &mut self.egress,
+            );
+            self.pinged = true;
+        }
         if self.state == ClientState::Streaming {
             self.push_burst();
-            if self.flush().is_err() {
-                self.finish(ClientOutcome::TransportClosed);
-            }
+        }
+        if self.flush().is_err() {
+            self.finish(ClientOutcome::TransportClosed);
         }
     }
 
@@ -257,7 +338,11 @@ impl<T: Transport> ServeClient<T> {
         self.rxbuf.clear();
         match self.transport.recv(&mut self.rxbuf) {
             Ok(0) => {}
-            Ok(_) => self.wire.push_bytes(&self.rxbuf),
+            Ok(_) => {
+                self.last_rx_tick = self.tick_count;
+                self.pinged = false;
+                self.wire.push_bytes(&self.rxbuf);
+            }
             Err(e) => return Err(e),
         }
         loop {
@@ -265,7 +350,10 @@ impl<T: Transport> ServeClient<T> {
             // to the small owned action below before mutating state.
             enum Fb {
                 None,
-                Streamed,
+                Streamed(ResumeToken),
+                Resumed(u64),
+                Ping(u64),
+                GoAway(u64),
                 Busy,
                 Ack(u64, u32),
                 Nack(u64),
@@ -276,7 +364,11 @@ impl<T: Transport> ServeClient<T> {
             }
             let fb = match self.wire.next_frame() {
                 Ok(None) => break,
-                Ok(Some(Frame::HelloAck { .. })) => Fb::Streamed,
+                Ok(Some(Frame::HelloAck { resume, .. })) => Fb::Streamed(resume),
+                Ok(Some(Frame::ResumeAck { expected_seq })) => Fb::Resumed(expected_seq),
+                Ok(Some(Frame::Ping { nonce })) => Fb::Ping(nonce),
+                Ok(Some(Frame::Pong { .. })) => Fb::None,
+                Ok(Some(Frame::GoAway { drain_ticks })) => Fb::GoAway(drain_ticks),
                 Ok(Some(Frame::Busy { .. })) => Fb::Busy,
                 Ok(Some(Frame::Ack {
                     symbols_used,
@@ -295,11 +387,22 @@ impl<T: Transport> ServeClient<T> {
             };
             match fb {
                 Fb::None => {}
-                Fb::Streamed => {
+                Fb::Streamed(token) => {
+                    self.resume_token = Some(token);
                     if self.state == ClientState::Greeting {
                         self.state = ClientState::Streaming;
                     }
                 }
+                Fb::Resumed(expected_seq) => {
+                    self.seek_to(expected_seq);
+                    if self.state == ClientState::Resuming {
+                        self.state = ClientState::Streaming;
+                    }
+                }
+                Fb::Ping(nonce) => {
+                    let _ = encode_frame(&Frame::Pong { nonce }, &mut self.egress);
+                }
+                Fb::GoAway(drain_ticks) => self.goaway = Some(drain_ticks),
                 Fb::Busy => self.finish(ClientOutcome::Busy),
                 Fb::Ack(symbols_used, attempts) => self.finish(ClientOutcome::Decoded {
                     symbols_used,
@@ -319,6 +422,8 @@ impl<T: Transport> ServeClient<T> {
                     CloseReason::Exhausted => ClientOutcome::Exhausted,
                     CloseReason::Abandoned => ClientOutcome::Abandoned,
                     CloseReason::Protocol => ClientOutcome::ProtocolClosed,
+                    CloseReason::ResumeInvalid => ClientOutcome::ResumeRejected,
+                    CloseReason::Shed => ClientOutcome::Shed,
                 }),
                 Fb::Violation => self.finish(ClientOutcome::ProtocolClosed),
             }

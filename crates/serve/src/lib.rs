@@ -45,9 +45,10 @@ pub mod wire;
 pub use client::{ClientConfig, ClientOutcome, NoiseHook, ServeClient};
 pub use server::{ConnHandle, ServeConfig, ServeProfile, ServeStats, Server};
 pub use transport::{
-    loopback_pair, loopback_pair_chunked, LoopbackTransport, TcpAcceptor, TcpTransport, Transport,
+    chaos_pair, loopback_pair, loopback_pair_chunked, ChaosEvent, ChaosPlan, ChaosTransport,
+    LoopbackTransport, TcpAcceptor, TcpTransport, Transport,
 };
 pub use wire::{
-    encode_frame, CloseReason, DecodedBits, Frame, Hello, SymbolRun, WireDecoder, HEADER_LEN,
-    MAX_FRAME_PAYLOAD, SYMBOL_WIRE_LEN, WIRE_MAGIC, WIRE_VERSION,
+    encode_frame, CloseReason, DecodedBits, Frame, Hello, ResumeToken, SymbolRun, WireDecoder,
+    HEADER_LEN, MAX_FRAME_PAYLOAD, SYMBOL_WIRE_LEN, WIRE_MAGIC, WIRE_VERSION,
 };

@@ -5,20 +5,42 @@
 //! it. One [`tick`](Server::tick) runs every shard through the same
 //! cycle:
 //!
-//! 1. **flush** — drain each connection's bounded egress queue into its
-//!    transport (partial sends are backpressure, not errors);
-//! 2. **ingress** — unless the egress queue sits above its high-water
+//! 1. **expire** — detached sessions past their tick TTL are reaped;
+//! 2. **flush** — drain each connection's bounded egress queue into its
+//!    transport (partial sends are backpressure, not errors), then
+//!    re-enqueue any result frame (`Decoded`/`Close`) deferred at the
+//!    capacity cap — results are undroppable, they retry every tick;
+//! 3. **ingress** — unless the egress queue sits above its high-water
 //!    mark (backpressure: a slow reader stops being read from), pull
 //!    transport bytes through the [`WireDecoder`] and handle each frame
-//!    (HELLO admission, DATA ingest with gap-triggered NACKs);
-//! 3. **drive** — one [`MultiDecoder::drive_until_into`] round under
+//!    (HELLO admission, DATA ingest with gap-triggered NACKs, PING/PONG
+//!    keepalive, RESUME re-attachment); then enforce the tick-counted
+//!    idle deadlines (keepalive probe past `keepalive_idle`, detach and
+//!    close past `idle_deadline`);
+//! 4. **resume** — deferred RESUME requests re-attach detached sessions
+//!    (or replay a verdict reached while detached);
+//! 5. **drive** — one [`MultiDecoder::drive_until_into`] round under
 //!    the per-tick level budget, turning pool events into feedback
 //!    frames (ACK + decoded bits, Close on exhaustion/abandonment) and
-//!    completion-latency samples;
-//! 4. **snapshot** — periodic cumulative-ACK frames for sessions that
+//!    completion-latency samples — detached sessions are driven exactly
+//!    like attached ones, which is what keeps a later resume
+//!    bit-identical to an uninterrupted run;
+//! 6. **snapshot** — periodic cumulative-ACK frames for sessions that
 //!    negotiated [`FeedbackMode::CumulativeAck`].
 //!
-//! Shards never share mutable state, so
+//! Connection failure is a first-class event: a dead transport, an idle
+//! deadline, a drain deadline or a mid-stream protocol violation
+//! *detaches* the session (keyed by the [`ResumeToken`] issued in
+//! HELLO-ACK) instead of dropping it, so a reconnecting client resumes
+//! mid-decode. Under pool pressure the server sheds the
+//! highest-predicted-cost detached session first instead of answering
+//! every HELLO with a flat BUSY. [`Server::begin_drain`] starts a
+//! graceful drain: GO-AWAY to every peer, no new admissions (resume is
+//! still honoured), and sessions still streaming at the deadline are
+//! detached with their token and closed.
+//!
+//! All timers count ticks, never wall-clock time, so every lifecycle
+//! path is deterministic. Shards never share mutable state, so
 //! [`tick_sharded`](Server::tick_sharded) runs them on scoped threads
 //! with bit-identical results to the serial [`tick`](Server::tick) —
 //! the same contract the pool's own `workers` knob upholds. The serial
@@ -43,9 +65,19 @@ use spinal_link::FeedbackMode;
 use spinal_sim::stats::derive_seed;
 
 use crate::transport::Transport;
-use crate::wire::{encode_frame, CloseReason, Frame, Hello, WireDecoder};
+use crate::wire::{encode_frame, CloseReason, Frame, Hello, ResumeToken, WireDecoder};
 
 type Pool = MultiDecoder<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
+
+/// `session_conn` values at or above this base point into the shard's
+/// detached-entry list instead of its connection list.
+const DETACHED_BASE: usize = usize::MAX / 2;
+
+/// The authenticator half of a [`ResumeToken`] for a given token id —
+/// deterministic, so serial and sharded runs issue identical tokens.
+fn resume_auth(id: u64) -> u64 {
+    derive_seed(0x5EED_C0DE, 43, id)
+}
 
 /// The decoder-shape profile a server imposes on admitted sessions.
 ///
@@ -93,7 +125,11 @@ pub struct ServeConfig {
     /// Shard (event-loop) count; connections are spread by stable hash.
     pub shards: usize,
     /// Per-shard decoder-pool configuration. `workers` is forced to 1 —
-    /// shards are the parallelism axis here.
+    /// shards are the parallelism axis here. `detach_ttl` is read as a
+    /// *tick* TTL for detached sessions and enforced by the server
+    /// itself (the pool's round-based TTL is disabled to avoid
+    /// round/tick skew); `detached_budget` bounds orphaned checkpoint
+    /// bytes demote-first inside each shard pool.
     pub pool: MultiConfig,
     /// Tree-level budget one shard tick may spend driving its pool
     /// (the deadline knob of [`MultiDecoder::drive_until_into`]).
@@ -101,14 +137,24 @@ pub struct ServeConfig {
     /// Egress bytes queued per connection above which its ingress stops
     /// being drained (backpressure).
     pub egress_high_water: usize,
-    /// Hard cap on queued egress bytes per connection; feedback frames
-    /// that would exceed it are dropped (and counted — the protocol
-    /// heals via re-ACKs and snapshots).
+    /// Hard cap on queued egress bytes per connection; droppable
+    /// feedback frames that would exceed it are dropped (and counted —
+    /// the protocol heals via re-ACKs and snapshots). Result-bearing
+    /// frames (`Decoded`, `Close`) are never dropped: they defer and
+    /// retry every tick until the queue has room.
     pub egress_capacity: usize,
     /// Admission cap on `HELLO.message_bits`.
     pub max_message_bits: u32,
     /// Admission cap on `HELLO.beam`.
     pub max_beam: u32,
+    /// Ticks without inbound bytes after which a connection is probed
+    /// with PING (one outstanding probe until activity resumes).
+    /// `u64::MAX` disables probing.
+    pub keepalive_idle: u64,
+    /// Ticks without inbound bytes after which a connection is declared
+    /// dead: its session is detached (resumable by token) and the
+    /// transport abandoned. `u64::MAX` disables the deadline.
+    pub idle_deadline: u64,
     /// Serving schedule profile.
     pub profile: ServeProfile,
 }
@@ -123,6 +169,8 @@ impl Default for ServeConfig {
             egress_capacity: 64 * 1024,
             max_message_bits: 4096,
             max_beam: 1024,
+            keepalive_idle: u64::MAX,
+            idle_deadline: u64::MAX,
             profile: ServeProfile::paper_default(),
         }
     }
@@ -134,13 +182,16 @@ impl ServeConfig {
     /// # Errors
     ///
     /// [`SpinalError::Wire`] with [`WireErrorKind::Corrupt`] on any
-    /// violation (zero shards, inverted egress watermarks, zero caps).
+    /// violation (zero shards, inverted egress watermarks, zero caps or
+    /// deadlines).
     pub fn validate(&self) -> Result<(), SpinalError> {
         let ok = self.shards >= 1
             && self.egress_high_water >= 1
             && self.egress_capacity >= self.egress_high_water
             && self.max_message_bits >= 1
             && self.max_beam >= 1
+            && self.keepalive_idle >= 1
+            && self.idle_deadline >= 1
             && self.pool.max_sessions >= 1;
         if ok {
             Ok(())
@@ -160,7 +211,7 @@ pub struct ServeStats {
     pub ticks: u64,
     /// Sessions admitted (HELLO → HELLO-ACK).
     pub admitted: u64,
-    /// Sessions rejected with BUSY (shard pool full).
+    /// Sessions rejected with BUSY (shard pool full, or draining).
     pub busy_rejected: u64,
     /// Sessions that decoded.
     pub decoded: u64,
@@ -175,12 +226,33 @@ pub struct ServeStats {
     pub transport_closed: u64,
     /// Connection-ticks spent in backpressure (ingress not drained).
     pub backpressure_ticks: u64,
-    /// Feedback frames dropped at the egress capacity cap.
+    /// Droppable feedback frames dropped at the egress capacity cap.
     pub egress_overflow: u64,
     /// Frames handled.
     pub frames_in: u64,
     /// Symbols ingested.
     pub symbols_in: u64,
+    /// Sessions detached with resumable state on connection loss (dead
+    /// transport, idle deadline, drain deadline, mid-stream protocol
+    /// failure).
+    pub detached: u64,
+    /// Valid RESUME handshakes served (re-attachment or verdict
+    /// replay).
+    pub resumed: u64,
+    /// RESUME requests refused (unknown, corrupted or expired token).
+    pub resume_rejected: u64,
+    /// Detached sessions abandoned to make room for a new admission
+    /// (highest predicted cost first).
+    pub shed: u64,
+    /// Detached sessions that expired un-resumed at the tick TTL.
+    pub expired: u64,
+    /// Connections closed by the idle deadline.
+    pub idle_closed: u64,
+    /// Keepalive PING probes sent.
+    pub keepalive_pings: u64,
+    /// Result-bearing frames (`Decoded`/`Close`) deferred at the egress
+    /// capacity cap (retried, never dropped).
+    pub result_deferred: u64,
 }
 
 impl ServeStats {
@@ -196,6 +268,14 @@ impl ServeStats {
         self.egress_overflow += other.egress_overflow;
         self.frames_in += other.frames_in;
         self.symbols_in += other.symbols_in;
+        self.detached += other.detached;
+        self.resumed += other.resumed;
+        self.resume_rejected += other.resume_rejected;
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.idle_closed += other.idle_closed;
+        self.keepalive_pings += other.keepalive_pings;
+        self.result_deferred += other.result_deferred;
     }
 }
 
@@ -208,7 +288,7 @@ pub struct ConnHandle {
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ConnState {
-    /// Awaiting HELLO.
+    /// Awaiting HELLO or RESUME.
     Greeting,
     /// Session live in the pool.
     Streaming,
@@ -233,10 +313,25 @@ struct Conn<T> {
     last_snapshot: u64,
     backpressured: bool,
     dead: bool,
+    /// Admission-order id (global across shards, deterministic).
+    conn_id: u64,
+    /// Token id this connection's session detaches under — the
+    /// original connection's id, carried across resumes so one token
+    /// stays valid for the whole session lifetime.
+    resume_id: u64,
+    last_rx_tick: u64,
+    pinged: bool,
+    goaway_sent: bool,
+    resume_pending: bool,
+    /// Decoded result frames deferred at the egress cap; retried from
+    /// the cached `decoded_bits`/`done_ack` every tick.
+    result_pending: bool,
+    /// Close frame deferred at the egress cap.
+    close_pending: Option<CloseReason>,
 }
 
 impl<T> Conn<T> {
-    fn new(transport: T) -> Self {
+    fn new(transport: T, conn_id: u64, tick: u64) -> Self {
         Self {
             transport,
             wire: WireDecoder::new(),
@@ -252,16 +347,57 @@ impl<T> Conn<T> {
             last_snapshot: 0,
             backpressured: false,
             dead: false,
+            conn_id,
+            resume_id: conn_id,
+            last_rx_tick: tick,
+            pinged: false,
+            goaway_sent: false,
+            resume_pending: false,
+            result_pending: false,
+            close_pending: None,
         }
     }
+}
+
+/// What a detached session has concluded so far.
+enum DetachedOutcome {
+    /// Still decoding (and still driven every tick).
+    Pending,
+    /// Decoded while detached; held for replay on resume.
+    Done {
+        bits: Option<BitVec>,
+        ack: (u64, u32),
+    },
+    /// Exhausted its symbol budget while detached.
+    Exhausted,
+    /// Abandoned by the pool while detached.
+    Abandoned,
+}
+
+/// A session orphaned by connection loss, resumable by token until its
+/// TTL.
+struct DetachedEntry {
+    token: ResumeToken,
+    /// Live pool session for `Pending`; `None` once a verdict landed.
+    session: Option<SessionId>,
+    outcome: DetachedOutcome,
+    mode: FeedbackMode,
+    expected_seq: u64,
+    first_data_tick: u64,
+    expires_tick: u64,
 }
 
 struct Shard<T> {
     pool: Pool,
     conns: Vec<Option<Conn<T>>>,
     free: Vec<usize>,
-    /// Pool slot → connection index (`usize::MAX` = unmapped).
+    /// Pool slot → connection index, `DETACHED_BASE + i` for detached
+    /// entry `i`, or `usize::MAX` when unmapped.
     session_conn: Vec<usize>,
+    detached: Vec<DetachedEntry>,
+    /// RESUME requests deferred to after ingress, so re-attachment
+    /// never races the death of the connection it supersedes.
+    resumes: Vec<(usize, ResumeToken)>,
     events: Vec<SessionEvent>,
     rxbuf: Vec<u8>,
     symbols: Vec<(Slot, IqSymbol)>,
@@ -276,6 +412,8 @@ impl<T: Transport> Shard<T> {
             conns: Vec::new(),
             free: Vec::new(),
             session_conn: Vec::new(),
+            detached: Vec::new(),
+            resumes: Vec::new(),
             events: Vec::new(),
             rxbuf: Vec::with_capacity(16 * 1024),
             symbols: Vec::new(),
@@ -293,6 +431,7 @@ pub struct Server<T: Transport> {
     shards: Vec<Shard<T>>,
     tick: u64,
     next_conn_id: u64,
+    drain_deadline: Option<u64>,
 }
 
 impl<T: Transport> Server<T> {
@@ -307,12 +446,17 @@ impl<T: Transport> Server<T> {
         StridedPuncture::with_order(cfg.profile.stride, cfg.profile.order)?;
         let mut pool_cfg = cfg.pool;
         pool_cfg.workers = 1;
+        // Detach TTL is enforced in ticks by the server; the pool's
+        // round TTL would skew against it (rounds pause with the
+        // drive budget), so it stays disabled.
+        pool_cfg.detach_ttl = u64::MAX;
         let shards = (0..cfg.shards).map(|_| Shard::new(pool_cfg)).collect();
         Ok(Self {
             cfg,
             shards,
             tick: 0,
             next_conn_id: 0,
+            drain_deadline: None,
         })
     }
 
@@ -323,8 +467,24 @@ impl<T: Transport> Server<T> {
         let id = self.next_conn_id;
         self.next_conn_id += 1;
         let shard_i = (derive_seed(0x5EED_C0DE, 41, id) % self.shards.len() as u64) as usize;
+        self.install(transport, id, shard_i)
+    }
+
+    /// Accepts a connection that intends to RESUME `token`, routing it
+    /// to the shard that owns the token's detached session (the shard
+    /// the original connection hashed to). A resume sent to any other
+    /// shard is refused with `Close { ResumeInvalid }` — shards share
+    /// no state.
+    pub fn add_resume_connection(&mut self, transport: T, token: ResumeToken) -> ConnHandle {
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        let shard_i = (derive_seed(0x5EED_C0DE, 41, token.id) % self.shards.len() as u64) as usize;
+        self.install(transport, id, shard_i)
+    }
+
+    fn install(&mut self, transport: T, id: u64, shard_i: usize) -> ConnHandle {
         let shard = &mut self.shards[shard_i];
-        let conn = Conn::new(transport);
+        let conn = Conn::new(transport, id, self.tick);
         let idx = match shard.free.pop() {
             Some(i) => {
                 shard.conns[i] = Some(conn);
@@ -341,20 +501,42 @@ impl<T: Transport> Server<T> {
         }
     }
 
+    /// Starts a graceful drain: from the next tick every peer receives
+    /// `GoAway` with the remaining tick budget, new HELLOs are refused
+    /// with BUSY (RESUME is still honoured), and sessions still
+    /// streaming when the deadline passes are detached under their
+    /// resume token and closed with `Close { Shed }`.
+    ///
+    /// Idempotent; a second call can only shorten the deadline.
+    pub fn begin_drain(&mut self, drain_ticks: u64) {
+        let deadline = self.tick.saturating_add(drain_ticks).saturating_add(1);
+        self.drain_deadline = Some(match self.drain_deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        });
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.drain_deadline.is_some()
+    }
+
     /// Runs one serving cycle over every shard, serially. This is the
     /// allocation-free steady-state path.
     pub fn tick(&mut self) {
         self.tick += 1;
         let t = self.tick;
+        let drain = self.drain_deadline;
         for shard in &mut self.shards {
-            shard_tick(shard, &self.cfg, t);
+            shard_tick(shard, &self.cfg, t, drain);
         }
     }
 
     /// Reaps connections that are finished: dead transports, and closed
     /// dialogues whose egress has fully flushed. Returns how many were
     /// removed. Call between ticks (it is not part of the zero-alloc
-    /// cycle).
+    /// cycle). Sessions detached on connection loss are *not* touched —
+    /// they stay resumable until their TTL.
     pub fn reap_closed(&mut self) -> usize {
         let mut reaped = 0;
         for shard in &mut self.shards {
@@ -365,6 +547,9 @@ impl<T: Transport> Server<T> {
                 };
                 if done {
                     let mut conn = shard.conns[idx].take().expect("checked live");
+                    // Lifecycle paths detach before marking a conn dead;
+                    // anything still attached here chose not to resume
+                    // (orderly close) and is released for real.
                     release_session(&mut conn.session, &mut shard.pool, &mut shard.session_conn);
                     shard.free.push(idx);
                     reaped += 1;
@@ -396,9 +581,16 @@ impl<T: Transport> Server<T> {
         out
     }
 
-    /// Sessions currently live across all shard pools.
+    /// Sessions currently live across all shard pools (attached and
+    /// detached).
     pub fn live_sessions(&self) -> usize {
         self.shards.iter().map(|s| s.pool.len()).sum()
+    }
+
+    /// Detached sessions currently held for resumption (pending,
+    /// decoded-awaiting-replay, or terminal-awaiting-replay).
+    pub fn detached_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.detached.len()).sum()
     }
 
     /// Whether a connection is currently backpressured (its egress sat
@@ -440,9 +632,10 @@ impl<T: Transport + Send> Server<T> {
         self.tick += 1;
         let t = self.tick;
         let cfg = &self.cfg;
+        let drain = self.drain_deadline;
         thread::scope(|scope| {
             for shard in &mut self.shards {
-                scope.spawn(move || shard_tick(shard, cfg, t));
+                scope.spawn(move || shard_tick(shard, cfg, t, drain));
             }
         });
     }
@@ -455,30 +648,78 @@ enum Action {
     Hello(Hello),
     Data { seq: u64, count: usize },
     ClientClose,
+    Ping(u64),
+    Ignore,
+    Resume(ResumeToken),
     Violation,
 }
 
-fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) {
+fn shard_tick<T: Transport>(
+    shard: &mut Shard<T>,
+    cfg: &ServeConfig,
+    tick: u64,
+    drain: Option<u64>,
+) {
     let Shard {
         pool,
         conns,
         free: _,
         session_conn,
+        detached,
+        resumes,
         events,
         rxbuf,
         symbols,
         latencies,
         stats,
     } = shard;
+    let ttl = cfg.pool.detach_ttl;
 
-    // Phases 1 + 2: per-connection flush, then ingress unless
-    // backpressured.
+    // Phase 0: expire detached sessions past the tick TTL. Entries
+    // whose verdict already landed (session == None) vanish silently —
+    // their outcome was counted when it happened.
+    if ttl != u64::MAX {
+        let mut i = 0;
+        while i < detached.len() {
+            if tick < detached[i].expires_tick {
+                i += 1;
+                continue;
+            }
+            if let Some(sid) = detached[i].session {
+                let _ = pool.remove(sid);
+                if let Some(s) = session_conn.get_mut(sid.slot()) {
+                    if *s == DETACHED_BASE + i {
+                        *s = usize::MAX;
+                    }
+                }
+                stats.expired += 1;
+            }
+            remove_detached_entry(detached, session_conn, i);
+        }
+    }
+
+    // Phases 1 + 2: per-connection flush (with deferred-result retry),
+    // then ingress unless backpressured, then the tick-counted
+    // lifecycle deadlines.
     for (idx, conn_slot) in conns.iter_mut().enumerate() {
         let Some(conn) = conn_slot.as_mut() else {
             continue;
         };
         if conn.dead {
             continue;
+        }
+
+        if let Some(deadline) = drain {
+            if !conn.goaway_sent && conn.state != ConnState::Closed {
+                conn.goaway_sent = enqueue(
+                    &mut conn.egress,
+                    cfg,
+                    &Frame::GoAway {
+                        drain_ticks: deadline.saturating_sub(tick),
+                    },
+                    stats,
+                );
+            }
         }
 
         if !conn.egress.is_empty() {
@@ -488,11 +729,26 @@ fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) 
                     conn.egress.drain(..n);
                 }
                 Err(_) => {
-                    kill(conn, pool, session_conn, stats);
+                    detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+                    conn.dead = true;
+                    stats.transport_closed += 1;
                     continue;
                 }
             }
         }
+
+        // Undroppable result frames deferred at the capacity cap retry
+        // as soon as the queue has room again.
+        if conn.egress.len() < cfg.egress_capacity {
+            if conn.result_pending {
+                conn.result_pending = false;
+                emit_result(conn);
+            }
+            if let Some(reason) = conn.close_pending.take() {
+                let _ = encode_frame(&Frame::Close { reason }, &mut conn.egress);
+            }
+        }
+
         conn.backpressured = conn.egress.len() >= cfg.egress_high_water;
         if conn.backpressured {
             stats.backpressure_ticks += 1;
@@ -502,7 +758,11 @@ fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) 
         rxbuf.clear();
         match conn.transport.recv(rxbuf) {
             Ok(0) => {}
-            Ok(_) => conn.wire.push_bytes(rxbuf),
+            Ok(_) => {
+                conn.last_rx_tick = tick;
+                conn.pinged = false;
+                conn.wire.push_bytes(rxbuf);
+            }
             Err(_) => {
                 // Let buffered frames finish the dialogue before the
                 // close is surfaced; a dead transport with a clean
@@ -528,6 +788,9 @@ fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) 
                     }
                 }
                 Ok(Some(Frame::Close { .. })) => Action::ClientClose,
+                Ok(Some(Frame::Ping { nonce })) => Action::Ping(nonce),
+                Ok(Some(Frame::Pong { .. })) => Action::Ignore,
+                Ok(Some(Frame::Resume { token })) => Action::Resume(token),
                 // Server-to-client frames arriving at the server are a
                 // dialogue violation, as is anything malformed.
                 Ok(Some(_)) => Action::Violation,
@@ -536,11 +799,26 @@ fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) 
             stats.frames_in += 1;
             match action {
                 Action::Hello(h) => {
-                    if conn.state != ConnState::Greeting {
-                        protocol_close(conn, pool, session_conn, stats, cfg);
+                    if conn.state != ConnState::Greeting || conn.resume_pending {
+                        protocol_close(conn, pool, session_conn, detached, tick, ttl, stats, cfg);
                         break;
                     }
-                    match admit(&h, cfg, pool) {
+                    if drain.is_some() {
+                        // Draining: no new admissions.
+                        stats.busy_rejected += 1;
+                        enqueue(
+                            &mut conn.egress,
+                            cfg,
+                            &Frame::Busy {
+                                live: pool.len().min(u32::MAX as usize) as u32,
+                                max_sessions: cfg.pool.max_sessions.min(u32::MAX as usize) as u32,
+                            },
+                            stats,
+                        );
+                        conn.state = ConnState::Closed;
+                        continue;
+                    }
+                    match admit_or_shed(&h, cfg, pool, detached, session_conn, stats) {
                         Ok(id) => {
                             let slot = id.slot();
                             if session_conn.len() <= slot {
@@ -555,7 +833,13 @@ fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) 
                             enqueue(
                                 &mut conn.egress,
                                 cfg,
-                                &Frame::HelloAck { token: slot as u64 },
+                                &Frame::HelloAck {
+                                    token: slot as u64,
+                                    resume: ResumeToken {
+                                        id: conn.conn_id,
+                                        auth: resume_auth(conn.conn_id),
+                                    },
+                                },
                                 stats,
                             );
                         }
@@ -576,29 +860,42 @@ fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) 
                             conn.state = ConnState::Closed;
                         }
                         Err(_) => {
-                            protocol_close(conn, pool, session_conn, stats, cfg);
+                            protocol_close(
+                                conn,
+                                pool,
+                                session_conn,
+                                detached,
+                                tick,
+                                ttl,
+                                stats,
+                                cfg,
+                            );
                             break;
                         }
                     }
                 }
                 Action::Data { seq, count } => match conn.state {
                     ConnState::Greeting => {
-                        protocol_close(conn, pool, session_conn, stats, cfg);
+                        protocol_close(conn, pool, session_conn, detached, tick, ttl, stats, cfg);
                         break;
                     }
                     ConnState::Done => {
                         // Re-ACK so a lost ACK heals off the sender's
-                        // own continued transmissions.
-                        if let Some((symbols_used, attempts)) = conn.done_ack {
-                            enqueue(
-                                &mut conn.egress,
-                                cfg,
-                                &Frame::Ack {
-                                    symbols_used,
-                                    attempts,
-                                },
-                                stats,
-                            );
+                        // own continued transmissions (unless the full
+                        // result is still deferred — it already carries
+                        // the ACK).
+                        if !conn.result_pending {
+                            if let Some((symbols_used, attempts)) = conn.done_ack {
+                                enqueue(
+                                    &mut conn.egress,
+                                    cfg,
+                                    &Frame::Ack {
+                                        symbols_used,
+                                        attempts,
+                                    },
+                                    stats,
+                                );
+                            }
                         }
                     }
                     ConnState::Closed => {}
@@ -629,30 +926,236 @@ fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) 
                         match pool.ingest_at(id, symbols) {
                             Ok(()) => {}
                             Err(_) => {
-                                protocol_close(conn, pool, session_conn, stats, cfg);
+                                protocol_close(
+                                    conn,
+                                    pool,
+                                    session_conn,
+                                    detached,
+                                    tick,
+                                    ttl,
+                                    stats,
+                                    cfg,
+                                );
                                 break;
                             }
                         }
                     }
                 },
                 Action::ClientClose => {
+                    // An orderly close renounces the session — nothing
+                    // is kept for resumption.
                     release_session(&mut conn.session, pool, session_conn);
                     conn.state = ConnState::Closed;
                 }
+                Action::Ping(nonce) => {
+                    enqueue(&mut conn.egress, cfg, &Frame::Pong { nonce }, stats);
+                }
+                Action::Ignore => {}
+                Action::Resume(token) => {
+                    if conn.state != ConnState::Greeting || conn.resume_pending {
+                        protocol_close(conn, pool, session_conn, detached, tick, ttl, stats, cfg);
+                        break;
+                    }
+                    conn.resume_pending = true;
+                    resumes.push((idx, token));
+                }
                 Action::Violation => {
-                    protocol_close(conn, pool, session_conn, stats, cfg);
+                    protocol_close(conn, pool, session_conn, detached, tick, ttl, stats, cfg);
                     break;
                 }
             }
         }
+
+        if conn.dead {
+            detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+            continue;
+        }
+
+        // Tick-counted idle lifecycle: probe past keepalive_idle, give
+        // up (detaching the session for resumption) past idle_deadline.
+        if conn.state != ConnState::Closed {
+            let idle = tick.saturating_sub(conn.last_rx_tick);
+            if idle >= cfg.idle_deadline {
+                detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+                conn.dead = true;
+                stats.idle_closed += 1;
+                continue;
+            }
+            if idle >= cfg.keepalive_idle && !conn.pinged {
+                enqueue(&mut conn.egress, cfg, &Frame::Ping { nonce: tick }, stats);
+                conn.pinged = true;
+                stats.keepalive_pings += 1;
+            }
+        }
+
+        // Drain deadline: whatever still streams is detached under its
+        // token and the dialogue closed.
+        if let Some(deadline) = drain {
+            if tick >= deadline && conn.state != ConnState::Closed {
+                detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+                send_close(conn, cfg, stats, CloseReason::Shed);
+                conn.state = ConnState::Closed;
+            }
+        }
     }
 
-    // Phase 3: drive the pool and turn events into feedback.
+    // Phase 2.5: deferred RESUME requests. Deferral means every
+    // connection has already processed this tick's ingress — including
+    // the death of a connection this resume supersedes — so
+    // re-attachment order is index-deterministic and never racy.
+    for &(cidx, token) in resumes.iter() {
+        let eidx = match detached.iter().position(|e| e.token == token) {
+            Some(e) => Some(e),
+            None if token.auth == resume_auth(token.id) => {
+                // Takeover: the token's session may still be attached
+                // to an older connection the client abandoned (its
+                // death not yet observed). Newest connection wins; the
+                // stale one is detached here and closed.
+                let owner = conns.iter().position(|c| {
+                    c.as_ref().is_some_and(|c| {
+                        !c.dead
+                            && c.resume_id == token.id
+                            && matches!(c.state, ConnState::Streaming | ConnState::Done)
+                    })
+                });
+                match owner {
+                    Some(o) if o != cidx => {
+                        let oc = conns[o].as_mut().expect("owner checked live");
+                        detach_conn(oc, pool, session_conn, detached, tick, ttl, stats);
+                        oc.dead = true;
+                        detached.iter().position(|e| e.token == token)
+                    }
+                    _ => None,
+                }
+            }
+            None => None,
+        };
+        let Some(conn) = conns.get_mut(cidx).and_then(|c| c.as_mut()) else {
+            continue;
+        };
+        if conn.dead || conn.state != ConnState::Greeting {
+            continue;
+        }
+        conn.resume_pending = false;
+        let Some(eidx) = eidx else {
+            stats.resume_rejected += 1;
+            send_close(conn, cfg, stats, CloseReason::ResumeInvalid);
+            conn.state = ConnState::Closed;
+            continue;
+        };
+        let entry = remove_detached_entry(detached, session_conn, eidx);
+        conn.resume_id = entry.token.id;
+        conn.mode = entry.mode;
+        conn.expected_seq = entry.expected_seq;
+        match entry.outcome {
+            DetachedOutcome::Pending => match pool.resume_detached(entry.token.id) {
+                Ok(sid) => {
+                    let slot = sid.slot();
+                    if session_conn.len() <= slot {
+                        session_conn.resize(slot + 1, usize::MAX);
+                    }
+                    session_conn[slot] = cidx;
+                    conn.session = Some(sid);
+                    conn.first_data_tick = entry.first_data_tick;
+                    conn.state = ConnState::Streaming;
+                    conn.last_snapshot = tick;
+                    conn.nacked = false;
+                    stats.resumed += 1;
+                    enqueue(
+                        &mut conn.egress,
+                        cfg,
+                        &Frame::ResumeAck {
+                            expected_seq: entry.expected_seq,
+                        },
+                        stats,
+                    );
+                }
+                Err(_) => {
+                    // The pool let the session go (budget eviction):
+                    // the token no longer resolves.
+                    stats.resume_rejected += 1;
+                    send_close(conn, cfg, stats, CloseReason::ResumeInvalid);
+                    conn.state = ConnState::Closed;
+                }
+            },
+            DetachedOutcome::Done { bits, ack } => {
+                conn.decoded_bits = bits;
+                conn.done_ack = Some(ack);
+                conn.state = ConnState::Done;
+                conn.last_snapshot = tick;
+                stats.resumed += 1;
+                enqueue(
+                    &mut conn.egress,
+                    cfg,
+                    &Frame::ResumeAck {
+                        expected_seq: entry.expected_seq,
+                    },
+                    stats,
+                );
+                enqueue_result(conn, cfg, stats);
+            }
+            DetachedOutcome::Exhausted => {
+                stats.resumed += 1;
+                send_close(conn, cfg, stats, CloseReason::Exhausted);
+                conn.state = ConnState::Closed;
+            }
+            DetachedOutcome::Abandoned => {
+                stats.resumed += 1;
+                send_close(conn, cfg, stats, CloseReason::Abandoned);
+                conn.state = ConnState::Closed;
+            }
+        }
+    }
+    resumes.clear();
+
+    // Phase 3: drive the pool and turn events into feedback. Detached
+    // sessions are driven exactly like attached ones — a pending
+    // attempt concludes in the same drive it would have with the
+    // driver present, which is what keeps resume bit-identical.
     pool.drive_until_into(cfg.drive_budget, events);
     for ev in events.iter().copied() {
         let Some(&cidx) = session_conn.get(ev.id.slot()) else {
             continue;
         };
+        if cidx >= DETACHED_BASE {
+            let Some(entry) = detached.get_mut(cidx - DETACHED_BASE) else {
+                continue;
+            };
+            match ev.outcome {
+                SessionOutcome::Poll(Poll::NeedMore { .. }) | SessionOutcome::Deferred { .. } => {}
+                SessionOutcome::Poll(Poll::Decoded {
+                    symbols_used,
+                    attempts,
+                }) => {
+                    if entry.first_data_tick != u64::MAX {
+                        latencies.push(tick - entry.first_data_tick);
+                    }
+                    let rx = pool.remove(ev.id).expect("decoded session is live");
+                    session_conn[ev.id.slot()] = usize::MAX;
+                    entry.session = None;
+                    entry.outcome = DetachedOutcome::Done {
+                        bits: rx.payload().cloned(),
+                        ack: (symbols_used, attempts),
+                    };
+                    stats.decoded += 1;
+                }
+                SessionOutcome::Poll(Poll::Exhausted { .. }) => {
+                    let _ = pool.remove(ev.id);
+                    session_conn[ev.id.slot()] = usize::MAX;
+                    entry.session = None;
+                    entry.outcome = DetachedOutcome::Exhausted;
+                    stats.exhausted += 1;
+                }
+                SessionOutcome::Abandoned { .. } => {
+                    let _ = pool.remove(ev.id);
+                    session_conn[ev.id.slot()] = usize::MAX;
+                    entry.session = None;
+                    entry.outcome = DetachedOutcome::Abandoned;
+                    stats.abandoned += 1;
+                }
+            }
+            continue;
+        }
         let Some(conn) = conns.get_mut(cidx).and_then(|c| c.as_mut()) else {
             continue;
         };
@@ -672,51 +1175,19 @@ fn shard_tick<T: Transport>(shard: &mut Shard<T>, cfg: &ServeConfig, tick: u64) 
                 conn.done_ack = Some((symbols_used, attempts));
                 conn.state = ConnState::Done;
                 stats.decoded += 1;
-                if let Some(bits) = &conn.decoded_bits {
-                    enqueue(
-                        &mut conn.egress,
-                        cfg,
-                        &Frame::Decoded(crate::wire::DecodedBits::from_bits(bits)),
-                        stats,
-                    );
-                }
-                if !matches!(conn.mode, FeedbackMode::CumulativeAck { .. }) {
-                    enqueue(
-                        &mut conn.egress,
-                        cfg,
-                        &Frame::Ack {
-                            symbols_used,
-                            attempts,
-                        },
-                        stats,
-                    );
-                }
+                enqueue_result(conn, cfg, stats);
             }
             SessionOutcome::Poll(Poll::Exhausted { .. }) => {
                 release_session(&mut conn.session, pool, session_conn);
                 conn.state = ConnState::Closed;
                 stats.exhausted += 1;
-                enqueue(
-                    &mut conn.egress,
-                    cfg,
-                    &Frame::Close {
-                        reason: CloseReason::Exhausted,
-                    },
-                    stats,
-                );
+                send_close(conn, cfg, stats, CloseReason::Exhausted);
             }
             SessionOutcome::Abandoned { .. } => {
                 release_session(&mut conn.session, pool, session_conn);
                 conn.state = ConnState::Closed;
                 stats.abandoned += 1;
-                enqueue(
-                    &mut conn.egress,
-                    cfg,
-                    &Frame::Close {
-                        reason: CloseReason::Abandoned,
-                    },
-                    stats,
-                );
+                send_close(conn, cfg, stats, CloseReason::Abandoned);
             }
         }
     }
@@ -793,6 +1264,119 @@ fn admit(h: &Hello, cfg: &ServeConfig, pool: &mut Pool) -> Result<SessionId, Spi
     pool.insert(rx)
 }
 
+/// [`admit`], shedding the highest-predicted-cost detached session (and
+/// retrying) each time the pool reports full — new work preempts
+/// orphaned work, never the other way around.
+fn admit_or_shed(
+    h: &Hello,
+    cfg: &ServeConfig,
+    pool: &mut Pool,
+    detached: &mut Vec<DetachedEntry>,
+    session_conn: &mut [usize],
+    stats: &mut ServeStats,
+) -> Result<SessionId, SpinalError> {
+    loop {
+        match admit(h, cfg, pool) {
+            Err(SpinalError::PoolFull { live, max_sessions }) => {
+                let Some((token_id, sid)) = pool.shed_costliest_detached() else {
+                    return Err(SpinalError::PoolFull { live, max_sessions });
+                };
+                if let Some(s) = session_conn.get_mut(sid.slot()) {
+                    *s = usize::MAX;
+                }
+                if let Some(eidx) = detached
+                    .iter()
+                    .position(|e| e.token.id == token_id && e.session.is_some())
+                {
+                    remove_detached_entry(detached, session_conn, eidx);
+                }
+                stats.shed += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Moves a connection's session (or its cached verdict) into the
+/// shard's detached list under the connection's resume token, so a
+/// later RESUME can pick it up. Greeting/Closed connections have
+/// nothing to keep.
+fn detach_conn<T>(
+    conn: &mut Conn<T>,
+    pool: &mut Pool,
+    session_conn: &mut [usize],
+    detached: &mut Vec<DetachedEntry>,
+    tick: u64,
+    ttl: u64,
+    stats: &mut ServeStats,
+) {
+    let token = ResumeToken {
+        id: conn.resume_id,
+        auth: resume_auth(conn.resume_id),
+    };
+    let expires_tick = tick.saturating_add(ttl);
+    match conn.state {
+        ConnState::Streaming => {
+            let Some(id) = conn.session.take() else {
+                return;
+            };
+            pool.detach(id, conn.resume_id)
+                .expect("streaming session is live in the pool");
+            session_conn[id.slot()] = DETACHED_BASE + detached.len();
+            detached.push(DetachedEntry {
+                token,
+                session: Some(id),
+                outcome: DetachedOutcome::Pending,
+                mode: conn.mode,
+                expected_seq: conn.expected_seq,
+                first_data_tick: conn.first_data_tick,
+                expires_tick,
+            });
+            stats.detached += 1;
+        }
+        ConnState::Done => {
+            // The result may not have flushed; keep it replayable.
+            let Some(ack) = conn.done_ack else {
+                return;
+            };
+            detached.push(DetachedEntry {
+                token,
+                session: None,
+                outcome: DetachedOutcome::Done {
+                    bits: conn.decoded_bits.take(),
+                    ack,
+                },
+                mode: conn.mode,
+                expected_seq: conn.expected_seq,
+                first_data_tick: u64::MAX,
+                expires_tick,
+            });
+            conn.done_ack = None;
+            conn.result_pending = false;
+            stats.detached += 1;
+        }
+        ConnState::Greeting | ConnState::Closed => {}
+    }
+}
+
+/// Removes detached entry `i` (swap-remove), re-pointing the moved
+/// entry's `session_conn` mapping.
+fn remove_detached_entry(
+    detached: &mut Vec<DetachedEntry>,
+    session_conn: &mut [usize],
+    i: usize,
+) -> DetachedEntry {
+    let e = detached.swap_remove(i);
+    if let Some(moved) = detached.get(i) {
+        if let Some(sid) = moved.session {
+            if let Some(s) = session_conn.get_mut(sid.slot()) {
+                *s = DETACHED_BASE + i;
+            }
+        }
+    }
+    e
+}
+
 fn release_session(session: &mut Option<SessionId>, pool: &mut Pool, session_conn: &mut [usize]) {
     if let Some(id) = session.take() {
         let _ = pool.remove(id);
@@ -802,45 +1386,96 @@ fn release_session(session: &mut Option<SessionId>, pool: &mut Pool, session_con
     }
 }
 
-fn kill<T>(
-    conn: &mut Conn<T>,
-    pool: &mut Pool,
-    session_conn: &mut [usize],
-    stats: &mut ServeStats,
-) {
-    release_session(&mut conn.session, pool, session_conn);
-    conn.dead = true;
-    stats.transport_closed += 1;
-}
-
+#[allow(clippy::too_many_arguments)]
 fn protocol_close<T>(
     conn: &mut Conn<T>,
     pool: &mut Pool,
     session_conn: &mut [usize],
+    detached: &mut Vec<DetachedEntry>,
+    tick: u64,
+    ttl: u64,
     stats: &mut ServeStats,
     cfg: &ServeConfig,
 ) {
-    release_session(&mut conn.session, pool, session_conn);
+    // A mid-stream violation is treated as connection loss (a corrupted
+    // byte at the transport boundary, say): the session detaches and
+    // stays resumable instead of being dropped.
+    if conn.state == ConnState::Streaming && conn.session.is_some() {
+        detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+    } else {
+        release_session(&mut conn.session, pool, session_conn);
+    }
     conn.state = ConnState::Closed;
     stats.protocol_errors += 1;
-    enqueue(
-        &mut conn.egress,
-        cfg,
-        &Frame::Close {
-            reason: CloseReason::Protocol,
-        },
-        stats,
-    );
+    send_close(conn, cfg, stats, CloseReason::Protocol);
 }
 
-/// Appends a frame to a connection's bounded egress queue, dropping it
-/// (counted) at the capacity cap.
-fn enqueue(egress: &mut Vec<u8>, cfg: &ServeConfig, frame: &Frame<'_>, stats: &mut ServeStats) {
+/// Queues the cached decode result (`Decoded` + `Ack`) — undroppable:
+/// at the capacity cap it defers and retries every tick instead.
+fn enqueue_result<T>(conn: &mut Conn<T>, cfg: &ServeConfig, stats: &mut ServeStats) {
+    if conn.egress.len() >= cfg.egress_capacity {
+        conn.result_pending = true;
+        stats.result_deferred += 1;
+        return;
+    }
+    emit_result(conn);
+}
+
+/// Encodes the cached result frames unconditionally (capacity was
+/// checked by the caller or the retry loop).
+fn emit_result<T>(conn: &mut Conn<T>) {
+    if let Some(bits) = &conn.decoded_bits {
+        let _ = encode_frame(
+            &Frame::Decoded(crate::wire::DecodedBits::from_bits(bits)),
+            &mut conn.egress,
+        );
+    }
+    if let Some((symbols_used, attempts)) = conn.done_ack {
+        if !matches!(conn.mode, FeedbackMode::CumulativeAck { .. }) {
+            let _ = encode_frame(
+                &Frame::Ack {
+                    symbols_used,
+                    attempts,
+                },
+                &mut conn.egress,
+            );
+        }
+    }
+}
+
+/// Queues a Close frame — undroppable: at the capacity cap it defers
+/// (first reason wins) and retries every tick instead.
+fn send_close<T>(
+    conn: &mut Conn<T>,
+    cfg: &ServeConfig,
+    stats: &mut ServeStats,
+    reason: CloseReason,
+) {
+    if conn.egress.len() >= cfg.egress_capacity {
+        if conn.close_pending.is_none() {
+            conn.close_pending = Some(reason);
+            stats.result_deferred += 1;
+        }
+        return;
+    }
+    let _ = encode_frame(&Frame::Close { reason }, &mut conn.egress);
+}
+
+/// Appends a droppable frame to a connection's bounded egress queue,
+/// dropping it (counted) at the capacity cap. Returns whether it was
+/// queued.
+fn enqueue(
+    egress: &mut Vec<u8>,
+    cfg: &ServeConfig,
+    frame: &Frame<'_>,
+    stats: &mut ServeStats,
+) -> bool {
     if egress.len() >= cfg.egress_capacity {
         stats.egress_overflow += 1;
-        return;
+        return false;
     }
     // Oversized cannot trigger: every server frame is bounded by
     // max_message_bits, far under the frame cap.
     let _ = encode_frame(frame, egress);
+    true
 }

@@ -186,6 +186,224 @@ impl Drop for LoopbackTransport {
     }
 }
 
+/// A connection-level chaos event, triggered at a deterministic
+/// transport-operation or byte offset (never wall-clock time).
+///
+/// Operation counters count every `send`/`recv` call made through the
+/// wrapping [`ChaosTransport`], so a fixed call schedule replays the
+/// exact same failure, bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Both directions return `Ok(0)` (no progress, no error) for
+    /// `ops` consecutive operations starting at `from_op`.
+    Stall {
+        /// First stalled operation index.
+        from_op: u64,
+        /// Number of consecutive stalled operations.
+        ops: u64,
+    },
+    /// From operation `at_op` onward, `recv` reports the connection
+    /// closed while `send` keeps working (peer shut down its write
+    /// half).
+    HalfCloseRx {
+        /// First failing receive-side operation index.
+        at_op: u64,
+    },
+    /// From operation `at_op` onward, `send` reports the connection
+    /// closed while `recv` keeps working (our write half is gone).
+    HalfCloseTx {
+        /// First failing send-side operation index.
+        at_op: u64,
+    },
+    /// From operation `at_op` onward, both directions report the
+    /// connection closed — a mid-stream disconnect.
+    Disconnect {
+        /// First failing operation index.
+        at_op: u64,
+    },
+    /// Flips one bit of the `at_byte`-th cumulative received byte (bit
+    /// index derived from the plan seed), corrupting the stream at the
+    /// transport boundary without breaking the connection.
+    CorruptByte {
+        /// Cumulative received-byte offset to corrupt.
+        at_byte: u64,
+    },
+}
+
+/// A seeded, ordered composition of connection-level chaos events —
+/// the full description of a misbehaving connection, reproducible from
+/// `(events, seed)` alone. The connection-layer sibling of the link
+/// layer's `FaultPlan`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+    seed: u64,
+}
+
+impl ChaosPlan {
+    /// An empty (pass-through) plan with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            events: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Appends an event to the composition.
+    #[must_use]
+    pub fn with(mut self, event: ChaosEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The decision seed (selects which bit a [`ChaosEvent::CorruptByte`]
+    /// flips).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The ordered event list.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The same composition under a different decision seed — the
+    /// per-flow derivation hook (counter-based, like the simulation
+    /// engine's trial seeds).
+    #[must_use]
+    pub fn reseeded(&self, seed: u64) -> Self {
+        Self {
+            events: self.events.clone(),
+            seed,
+        }
+    }
+
+    /// Wraps a transport so this plan is applied to its operations.
+    pub fn wrap<T: Transport>(&self, inner: T) -> ChaosTransport<T> {
+        ChaosTransport {
+            inner,
+            events: self.events.clone(),
+            seed: self.seed,
+            op: 0,
+            rx_bytes: 0,
+            stalled_ops: 0,
+            corrupted_bytes: 0,
+        }
+    }
+}
+
+/// A [`Transport`] wrapper that injects a [`ChaosPlan`]'s events at
+/// deterministic operation/byte offsets. Transparent (and free) when
+/// the plan is empty.
+#[derive(Debug)]
+pub struct ChaosTransport<T> {
+    inner: T,
+    events: Vec<ChaosEvent>,
+    seed: u64,
+    op: u64,
+    rx_bytes: u64,
+    stalled_ops: u64,
+    corrupted_bytes: u64,
+}
+
+impl<T> ChaosTransport<T> {
+    /// Operations (`send` + `recv` calls) observed so far.
+    pub fn ops(&self) -> u64 {
+        self.op
+    }
+
+    /// Operations answered with `Ok(0)` by a [`ChaosEvent::Stall`].
+    pub fn stalled_ops(&self) -> u64 {
+        self.stalled_ops
+    }
+
+    /// Received bytes garbled by [`ChaosEvent::CorruptByte`].
+    pub fn corrupted_bytes(&self) -> u64 {
+        self.corrupted_bytes
+    }
+
+    /// Unwraps the inner transport, discarding the chaos state.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn stalled(&self, op: u64) -> bool {
+        self.events.iter().any(|e| match *e {
+            ChaosEvent::Stall { from_op, ops } => op >= from_op && op - from_op < ops,
+            _ => false,
+        })
+    }
+
+    fn tx_closed(&self, op: u64) -> bool {
+        self.events.iter().any(|e| match *e {
+            ChaosEvent::HalfCloseTx { at_op } | ChaosEvent::Disconnect { at_op } => op >= at_op,
+            _ => false,
+        })
+    }
+
+    fn rx_closed(&self, op: u64) -> bool {
+        self.events.iter().any(|e| match *e {
+            ChaosEvent::HalfCloseRx { at_op } | ChaosEvent::Disconnect { at_op } => op >= at_op,
+            _ => false,
+        })
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn send(&mut self, bytes: &[u8]) -> Result<usize, SpinalError> {
+        let op = self.op;
+        self.op += 1;
+        if self.tx_closed(op) {
+            return Err(transport_err());
+        }
+        if self.stalled(op) {
+            self.stalled_ops += 1;
+            return Ok(0);
+        }
+        self.inner.send(bytes)
+    }
+
+    fn recv(&mut self, out: &mut Vec<u8>) -> Result<usize, SpinalError> {
+        let op = self.op;
+        self.op += 1;
+        if self.rx_closed(op) {
+            return Err(transport_err());
+        }
+        if self.stalled(op) {
+            self.stalled_ops += 1;
+            return Ok(0);
+        }
+        let start = out.len();
+        let n = self.inner.recv(out)?;
+        for e in &self.events {
+            if let ChaosEvent::CorruptByte { at_byte } = *e {
+                if at_byte >= self.rx_bytes && at_byte - self.rx_bytes < n as u64 {
+                    let idx = start + (at_byte - self.rx_bytes) as usize;
+                    out[idx] ^= 1 << (derive_seed(self.seed, 0xC4A0, at_byte) % 8);
+                    self.corrupted_bytes += 1;
+                }
+            }
+        }
+        self.rx_bytes += n as u64;
+        Ok(n)
+    }
+}
+
+/// [`loopback_pair`] with the first half wrapped in `plan` — the usual
+/// client-side injection point for connection chaos.
+pub fn chaos_pair(
+    capacity: usize,
+    plan: &ChaosPlan,
+) -> (ChaosTransport<LoopbackTransport>, LoopbackTransport) {
+    let (a, b) = loopback_pair(capacity);
+    (plan.wrap(a), b)
+}
+
 /// A non-blocking TCP connection speaking the serve wire format.
 #[derive(Debug)]
 pub struct TcpTransport {
@@ -374,6 +592,55 @@ mod tests {
                 kind: WireErrorKind::Transport
             })
         ));
+    }
+
+    #[test]
+    fn chaos_stall_then_disconnect_fires_at_exact_ops() {
+        let plan = ChaosPlan::new(7)
+            .with(ChaosEvent::Stall { from_op: 1, ops: 2 })
+            .with(ChaosEvent::Disconnect { at_op: 4 });
+        let (mut a, mut b) = chaos_pair(64, &plan);
+        assert_eq!(a.send(&[1, 2]).unwrap(), 2); // op 0: passes
+        assert_eq!(a.send(&[3]).unwrap(), 0); // op 1: stalled
+        assert_eq!(a.recv(&mut Vec::new()).unwrap(), 0); // op 2: stalled
+        assert_eq!(a.send(&[4]).unwrap(), 1); // op 3: passes
+        assert!(a.send(&[5]).is_err()); // op 4: disconnected
+        assert!(a.recv(&mut Vec::new()).is_err()); // op 5: stays dead
+        assert_eq!(a.stalled_ops(), 2);
+        let mut got = Vec::new();
+        b.recv(&mut got).unwrap();
+        assert_eq!(got, [1, 2, 4]);
+    }
+
+    #[test]
+    fn chaos_half_close_keeps_other_direction_alive() {
+        let plan = ChaosPlan::new(7).with(ChaosEvent::HalfCloseRx { at_op: 0 });
+        let (mut a, mut b) = chaos_pair(64, &plan);
+        assert!(a.recv(&mut Vec::new()).is_err());
+        assert_eq!(a.send(&[9]).unwrap(), 1);
+        let mut got = Vec::new();
+        b.recv(&mut got).unwrap();
+        assert_eq!(got, [9]);
+    }
+
+    #[test]
+    fn chaos_corrupt_byte_flips_exactly_one_bit_deterministically() {
+        let run = |seed: u64| {
+            let plan = ChaosPlan::new(seed).with(ChaosEvent::CorruptByte { at_byte: 3 });
+            let (mut a, mut b) = chaos_pair(64, &plan);
+            b.send(&[0u8; 8]).unwrap();
+            let mut got = Vec::new();
+            while got.len() < 8 {
+                a.recv(&mut got).unwrap();
+            }
+            assert_eq!(a.corrupted_bytes(), 1);
+            got
+        };
+        let g1 = run(11);
+        let flipped: Vec<usize> = (0..8).filter(|&i| g1[i] != 0).collect();
+        assert_eq!(flipped, [3], "exactly the requested byte is touched");
+        assert_eq!(g1[3].count_ones(), 1, "exactly one bit flipped");
+        assert_eq!(g1, run(11), "same seed, same flip");
     }
 
     #[test]

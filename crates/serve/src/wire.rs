@@ -16,6 +16,11 @@
 //! | 7 | [`Frame::CumAck`] | server → client | periodic cumulative state snapshot |
 //! | 8 | [`Frame::Decoded`] | server → client | the decoded message bits |
 //! | 9 | [`Frame::Close`] | either | terminal close with reason |
+//! | 10 | [`Frame::Ping`] | either | keepalive probe with echo nonce |
+//! | 11 | [`Frame::Pong`] | either | keepalive probe reply |
+//! | 12 | [`Frame::GoAway`] | server → client | graceful-drain notice with tick budget |
+//! | 13 | [`Frame::Resume`] | client → server | re-attach a detached session by token |
+//! | 14 | [`Frame::ResumeAck`] | server → client | re-attach granted + replay cursor |
 //!
 //! Decoding is zero-copy: [`WireDecoder`] reassembles frames out of
 //! arbitrarily chunked byte arrivals into one reusable buffer, and the
@@ -58,6 +63,11 @@ const FT_NACK: u8 = 6;
 const FT_CUM_ACK: u8 = 7;
 const FT_DECODED: u8 = 8;
 const FT_CLOSE: u8 = 9;
+const FT_PING: u8 = 10;
+const FT_PONG: u8 = 11;
+const FT_GO_AWAY: u8 = 12;
+const FT_RESUME: u8 = 13;
+const FT_RESUME_ACK: u8 = 14;
 
 fn wire_err(kind: WireErrorKind) -> SpinalError {
     SpinalError::Wire { kind }
@@ -96,6 +106,12 @@ pub enum CloseReason {
     Abandoned,
     /// A protocol violation (malformed frame, bad dialogue order).
     Protocol,
+    /// A [`Frame::Resume`] token was unknown, expired, already shed, or
+    /// failed its integrity check. The client must start over with a
+    /// fresh [`Frame::Hello`]; the server never guesses a session.
+    ResumeInvalid,
+    /// The server shed this detached session under overload pressure.
+    Shed,
 }
 
 impl CloseReason {
@@ -105,6 +121,8 @@ impl CloseReason {
             CloseReason::Exhausted => 1,
             CloseReason::Abandoned => 2,
             CloseReason::Protocol => 3,
+            CloseReason::ResumeInvalid => 4,
+            CloseReason::Shed => 5,
         }
     }
 
@@ -114,9 +132,27 @@ impl CloseReason {
             1 => Ok(CloseReason::Exhausted),
             2 => Ok(CloseReason::Abandoned),
             3 => Ok(CloseReason::Protocol),
+            4 => Ok(CloseReason::ResumeInvalid),
+            5 => Ok(CloseReason::Shed),
             _ => Err(wire_err(WireErrorKind::Corrupt)),
         }
     }
+}
+
+/// An opaque resumption credential handed out in [`Frame::HelloAck`] and
+/// presented back in [`Frame::Resume`] after a reconnect.
+///
+/// `id` names the detached session; `auth` is a server-derived check
+/// value bound to the session's admission, so a corrupted or guessed
+/// token cannot attach to another session: both halves must match the
+/// server's record exactly or the resume is refused with a typed
+/// [`CloseReason::ResumeInvalid`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResumeToken {
+    /// Server-assigned detached-session identity.
+    pub id: u64,
+    /// Integrity check value bound to the admission.
+    pub auth: u64,
 }
 
 /// A run of slot-labelled symbols inside a [`Frame::Data`] payload.
@@ -261,6 +297,8 @@ pub enum Frame<'a> {
     HelloAck {
         /// Opaque server-assigned session token.
         token: u64,
+        /// Credential for resuming this session after a disconnect.
+        resume: ResumeToken,
     },
     /// Admission rejected: the shard's decoder pool is full.
     Busy {
@@ -309,6 +347,36 @@ pub enum Frame<'a> {
         /// Why the sender is closing.
         reason: CloseReason,
     },
+    /// Keepalive probe (either direction); the peer echoes `nonce` back
+    /// in a [`Frame::Pong`]. Nonces are tick-derived, never wall-clock.
+    Ping {
+        /// Echo value identifying this probe.
+        nonce: u64,
+    },
+    /// Keepalive probe reply (either direction).
+    Pong {
+        /// The nonce of the [`Frame::Ping`] being answered.
+        nonce: u64,
+    },
+    /// Graceful-drain notice (server → client): no new work will be
+    /// admitted; in-flight sessions get `drain_ticks` server ticks to
+    /// finish before the server detaches them and closes.
+    GoAway {
+        /// Server ticks remaining before forced close.
+        drain_ticks: u64,
+    },
+    /// Re-attach a detached session after a reconnect (client → server,
+    /// in place of [`Frame::Hello`]).
+    Resume {
+        /// The credential from the original [`Frame::HelloAck`].
+        token: ResumeToken,
+    },
+    /// Re-attach granted (server → client). The client must seek its
+    /// transmitter back to `expected_seq` and replay from there.
+    ResumeAck {
+        /// First stream sequence number the server has not absorbed.
+        expected_seq: u64,
+    },
 }
 
 impl Frame<'_> {
@@ -323,6 +391,11 @@ impl Frame<'_> {
             Frame::CumAck { .. } => FT_CUM_ACK,
             Frame::Decoded(_) => FT_DECODED,
             Frame::Close { .. } => FT_CLOSE,
+            Frame::Ping { .. } => FT_PING,
+            Frame::Pong { .. } => FT_PONG,
+            Frame::GoAway { .. } => FT_GO_AWAY,
+            Frame::Resume { .. } => FT_RESUME,
+            Frame::ResumeAck { .. } => FT_RESUME_ACK,
         }
     }
 }
@@ -357,7 +430,11 @@ pub fn encode_frame(frame: &Frame<'_>, out: &mut Vec<u8>) -> Result<(), SpinalEr
             out.push(mode);
             out.extend_from_slice(&period.to_le_bytes());
         }
-        Frame::HelloAck { token } => out.extend_from_slice(&token.to_le_bytes()),
+        Frame::HelloAck { token, resume } => {
+            out.extend_from_slice(&token.to_le_bytes());
+            out.extend_from_slice(&resume.id.to_le_bytes());
+            out.extend_from_slice(&resume.auth.to_le_bytes());
+        }
         Frame::Busy { live, max_sessions } => {
             out.extend_from_slice(&live.to_le_bytes());
             out.extend_from_slice(&max_sessions.to_le_bytes());
@@ -407,6 +484,15 @@ pub fn encode_frame(frame: &Frame<'_>, out: &mut Vec<u8>) -> Result<(), SpinalEr
             }
         }
         Frame::Close { reason } => out.push(reason.to_wire()),
+        Frame::Ping { nonce } | Frame::Pong { nonce } => {
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Frame::GoAway { drain_ticks } => out.extend_from_slice(&drain_ticks.to_le_bytes()),
+        Frame::Resume { token } => {
+            out.extend_from_slice(&token.id.to_le_bytes());
+            out.extend_from_slice(&token.auth.to_le_bytes());
+        }
+        Frame::ResumeAck { expected_seq } => out.extend_from_slice(&expected_seq.to_le_bytes()),
     }
     let len = out.len() - body;
     debug_assert!(len <= MAX_FRAME_PAYLOAD);
@@ -486,7 +572,13 @@ fn parse_payload(ty: u8, p: &[u8]) -> Result<Frame<'_>, SpinalError> {
                 mode,
             })
         }
-        FT_HELLO_ACK => Frame::HelloAck { token: r.u64()? },
+        FT_HELLO_ACK => Frame::HelloAck {
+            token: r.u64()?,
+            resume: ResumeToken {
+                id: r.u64()?,
+                auth: r.u64()?,
+            },
+        },
         FT_BUSY => Frame::Busy {
             live: r.u32()?,
             max_sessions: r.u32()?,
@@ -543,6 +635,20 @@ fn parse_payload(ty: u8, p: &[u8]) -> Result<Frame<'_>, SpinalError> {
         }
         FT_CLOSE => Frame::Close {
             reason: CloseReason::from_wire(r.u8()?)?,
+        },
+        FT_PING => Frame::Ping { nonce: r.u64()? },
+        FT_PONG => Frame::Pong { nonce: r.u64()? },
+        FT_GO_AWAY => Frame::GoAway {
+            drain_ticks: r.u64()?,
+        },
+        FT_RESUME => Frame::Resume {
+            token: ResumeToken {
+                id: r.u64()?,
+                auth: r.u64()?,
+            },
+        },
+        FT_RESUME_ACK => Frame::ResumeAck {
+            expected_seq: r.u64()?,
         },
         _ => unreachable!("frame type gated by header check"),
     };
@@ -610,7 +716,7 @@ impl WireDecoder {
             return Err(wire_err(WireErrorKind::BadVersion));
         }
         let ty = avail[3];
-        if !(FT_HELLO..=FT_CLOSE).contains(&ty) {
+        if !(FT_HELLO..=FT_RESUME_ACK).contains(&ty) {
             return Err(wire_err(WireErrorKind::UnknownFrame));
         }
         let len = u32::from_le_bytes(avail[4..8].try_into().unwrap()) as usize;
@@ -663,7 +769,13 @@ mod tests {
             seed: 0x5eed,
             mode: FeedbackMode::CumulativeAck { period: 12 },
         }));
-        roundtrip(Frame::HelloAck { token: u64::MAX });
+        roundtrip(Frame::HelloAck {
+            token: u64::MAX,
+            resume: ResumeToken {
+                id: 0x1234_5678_9abc_def0,
+                auth: 0x0fed_cba9_8765_4321,
+            },
+        });
         roundtrip(Frame::Busy {
             live: 7,
             max_sessions: 7,
@@ -690,6 +802,22 @@ mod tests {
         roundtrip(Frame::Close {
             reason: CloseReason::Exhausted,
         });
+        roundtrip(Frame::Close {
+            reason: CloseReason::ResumeInvalid,
+        });
+        roundtrip(Frame::Close {
+            reason: CloseReason::Shed,
+        });
+        roundtrip(Frame::Ping { nonce: 0xabcd });
+        roundtrip(Frame::Pong { nonce: u64::MAX });
+        roundtrip(Frame::GoAway { drain_ticks: 640 });
+        roundtrip(Frame::Resume {
+            token: ResumeToken {
+                id: 7,
+                auth: 0x5eed_c0de,
+            },
+        });
+        roundtrip(Frame::ResumeAck { expected_seq: 321 });
     }
 
     #[test]

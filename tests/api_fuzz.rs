@@ -12,10 +12,12 @@
 //!   slots must consume nothing.
 //! * **`MultiDecoder` id streams** — random interleavings of
 //!   insert / ingest / drive / budgeted `drive_until` / remove /
-//!   checkpoint demote / packing toggles, including stale
-//!   (generational) and double-removed ids, against pools with tiny
-//!   checkpoint budgets, work budgets, admission ceilings (`PoolFull`),
-//!   and attempt ceilings (abandonment → quarantine).
+//!   checkpoint demote / packing toggles / detach / resume-by-token /
+//!   TTL reap / cost-ranked shed, including stale (generational) and
+//!   double-removed ids and forged resume tokens, against pools with
+//!   tiny checkpoint budgets, detached-session TTLs and byte budgets,
+//!   work budgets, admission ceilings (`PoolFull`), and attempt
+//!   ceilings (abandonment → quarantine).
 //! * **Faulted ingest streams** — symbol streams run through a seeded
 //!   `LinkFault` composition (drops, duplicates, reordering, bursts,
 //!   stale slot labels) before `ingest_at`: in-range faulted slots must
@@ -154,6 +156,8 @@ proptest! {
         work in 0u64..40,
         ceiling in 0u32..24,
         max_sessions in 1usize..8,
+        ttl in 0u64..8,
+        dbudget in 0usize..4,
     ) {
         let mut pool = Pool::new(MultiConfig {
             workers: 1,
@@ -161,12 +165,31 @@ proptest! {
             work_budget: if work == 0 { u64::MAX } else { work },
             max_session_attempts: ceiling.max(1),
             max_sessions,
+            detach_ttl: if ttl == 0 { u64::MAX } else { ttl },
+            detached_budget: if dbudget == 0 { usize::MAX } else { dbudget * 20_000 },
         });
         let mut lanes: Vec<(spinal_codes::SessionId, Tx)> = Vec::new();
         let mut dead: Vec<spinal_codes::SessionId> = Vec::new();
+        let mut detached_toks: Vec<(u64, spinal_codes::SessionId)> = Vec::new();
         let mut events = Vec::new();
+        // Policy removals (TTL reap, cost-ranked shed, detached-budget
+        // eviction during a drive) take sessions without a caller-side
+        // remove; reconcile the live set after every op that can do so.
+        macro_rules! reconcile {
+            () => {
+                lanes.retain(|(id, _)| {
+                    if pool.get(*id).is_some() {
+                        true
+                    } else {
+                        dead.push(*id);
+                        false
+                    }
+                });
+                detached_toks.retain(|&(_, id)| pool.get(id).is_some());
+            };
+        }
         for &op in &ops {
-            match op % 9 {
+            match op % 12 {
                 0 | 1 => {
                     // Insert a fresh session; a full pool must reject
                     // with the typed admission error.
@@ -210,11 +233,13 @@ proptest! {
                 }
                 4 => {
                     pool.drive_into(&mut events);
+                    reconcile!();
                 }
                 8 => {
                     // Deadline-driven drive with an arbitrary one-off
                     // budget (including 0, which still serves one).
                     pool.drive_until_into((op >> 6) % 64, &mut events);
+                    reconcile!();
                 }
                 5 => {
                     // Remove a random id (possibly already removed).
@@ -243,6 +268,61 @@ proptest! {
                             _ => rx.set_checkpoint_packing(true),
                         }
                     }
+                }
+                9 => {
+                    // Detach a random live session under a fuzz token
+                    // (re-detaching re-stamps); stale ids must be
+                    // rejected with a typed error.
+                    let pick = (op >> 4) as usize;
+                    if !lanes.is_empty() {
+                        let (id, _) = &lanes[pick % lanes.len()];
+                        let tok = op | 1;
+                        prop_assert!(pool.detach(*id, tok).is_ok(), "live sessions detach");
+                        detached_toks.retain(|&(_, i)| i != *id);
+                        detached_toks.push((tok, *id));
+                    } else if let Some(&id) = dead.first() {
+                        prop_assert!(pool.detach(id, op).is_err(), "stale ids must not detach");
+                    }
+                }
+                10 => {
+                    // Resume by token: a tracked token either re-attaches
+                    // (the id resolves) or reports the typed miss
+                    // (expired / re-stamped); a forged token never
+                    // attaches a session it does not own.
+                    if !detached_toks.is_empty() && (op >> 3) % 2 == 0 {
+                        let pick = (op >> 4) as usize % detached_toks.len();
+                        let (tok, id) = detached_toks.swap_remove(pick);
+                        match pool.resume_detached(tok) {
+                            Ok(rid) => {
+                                prop_assert_eq!(rid, id, "a token resumes its own session");
+                                prop_assert!(pool.get(rid).is_some(), "resumed id resolves");
+                            }
+                            Err(spinal_codes::SpinalError::UnknownSession) => {}
+                            Err(other) => {
+                                prop_assert!(false, "unexpected resume error {other:?}")
+                            }
+                        }
+                    } else if let Ok(rid) = pool.resume_detached(op ^ 0x5a5a) {
+                        // An accidental token collision may resume, but
+                        // only ever to a live session.
+                        prop_assert!(pool.get(rid).is_some());
+                    }
+                }
+                11 => {
+                    // TTL reap and cost-ranked shed: reaped/shed sessions
+                    // vanish from the pool and their ids go stale.
+                    let mut expired = Vec::new();
+                    pool.reap_expired_detached(&mut expired);
+                    for tok in expired {
+                        detached_toks.retain(|&(t, _)| t != tok);
+                    }
+                    if (op >> 5) & 1 == 1 {
+                        if let Some((tok, sid)) = pool.shed_costliest_detached() {
+                            prop_assert!(pool.get(sid).is_none(), "shed sessions are gone");
+                            detached_toks.retain(|&(t, _)| t != tok);
+                        }
+                    }
+                    reconcile!();
                 }
                 _ => {
                     // Stale lookups are None, live ones Some.

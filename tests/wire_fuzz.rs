@@ -19,11 +19,18 @@
 //! (BadMagic → BadVersion → UnknownFrame → Oversized → Truncated →
 //! Corrupt) on hand-built inputs; this harness owns the "never panics,
 //! always typed" guarantee under adversarial inputs.
+//!
+//! Two lifecycle-abuse checks ride along: forged/corrupted resume
+//! tokens and expired resume tokens must both end in a typed
+//! `Close { ResumeInvalid }` — never a panic, never an attach to a
+//! session the token does not own. (Replay of a *completed* session's
+//! token — idempotent result re-delivery — is pinned by the serve
+//! crate's end-to-end lifecycle tests.)
 
 use proptest::prelude::*;
 use spinal_codes::link::FeedbackMode;
 use spinal_codes::serve::{
-    encode_frame, CloseReason, DecodedBits, Frame, Hello, SymbolRun, WireDecoder,
+    encode_frame, CloseReason, DecodedBits, Frame, Hello, ResumeToken, SymbolRun, WireDecoder,
 };
 use spinal_codes::{BitVec, IqSymbol, Slot, SpinalError};
 
@@ -40,7 +47,7 @@ enum Spec {
         seed: u64,
         mode: FeedbackMode,
     },
-    HelloAck(u64),
+    HelloAck(u64, u64, u64),
     Busy(u32, u32),
     Data(u64, Vec<(u32, u32, f64, f64)>),
     Ack(u64, u32),
@@ -48,6 +55,11 @@ enum Spec {
     CumAck(bool, u64),
     Decoded(Vec<bool>),
     Close(CloseReason),
+    Ping(u64),
+    Pong(u64),
+    GoAway(u64),
+    Resume(u64, u64),
+    ResumeAck(u64),
 }
 
 impl Spec {
@@ -74,7 +86,16 @@ impl Spec {
                 }),
                 out,
             ),
-            Spec::HelloAck(token) => encode_frame(&Frame::HelloAck { token: *token }, out),
+            Spec::HelloAck(token, rid, auth) => encode_frame(
+                &Frame::HelloAck {
+                    token: *token,
+                    resume: ResumeToken {
+                        id: *rid,
+                        auth: *auth,
+                    },
+                },
+                out,
+            ),
             Spec::Busy(live, max) => encode_frame(
                 &Frame::Busy {
                     live: *live,
@@ -123,6 +144,29 @@ impl Spec {
                 encode_frame(&Frame::Decoded(DecodedBits::from_bits(&bv)), out)
             }
             Spec::Close(reason) => encode_frame(&Frame::Close { reason: *reason }, out),
+            Spec::Ping(nonce) => encode_frame(&Frame::Ping { nonce: *nonce }, out),
+            Spec::Pong(nonce) => encode_frame(&Frame::Pong { nonce: *nonce }, out),
+            Spec::GoAway(drain_ticks) => encode_frame(
+                &Frame::GoAway {
+                    drain_ticks: *drain_ticks,
+                },
+                out,
+            ),
+            Spec::Resume(rid, auth) => encode_frame(
+                &Frame::Resume {
+                    token: ResumeToken {
+                        id: *rid,
+                        auth: *auth,
+                    },
+                },
+                out,
+            ),
+            Spec::ResumeAck(expected_seq) => encode_frame(
+                &Frame::ResumeAck {
+                    expected_seq: *expected_seq,
+                },
+                out,
+            ),
         }
         .expect("generated frames are under the payload cap");
     }
@@ -163,7 +207,8 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
                     mode,
                 }
             ),
-        any::<u64>().prop_map(Spec::HelloAck),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(t, rid, auth)| Spec::HelloAck(t, rid, auth)),
         (any::<u32>(), any::<u32>()).prop_map(|(l, m)| Spec::Busy(l, m)),
         (
             any::<u64>(),
@@ -182,8 +227,15 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
             Just(CloseReason::Exhausted),
             Just(CloseReason::Abandoned),
             Just(CloseReason::Protocol),
+            Just(CloseReason::ResumeInvalid),
+            Just(CloseReason::Shed),
         ]
         .prop_map(Spec::Close),
+        any::<u64>().prop_map(Spec::Ping),
+        any::<u64>().prop_map(Spec::Pong),
+        any::<u64>().prop_map(Spec::GoAway),
+        (any::<u64>(), any::<u64>()).prop_map(|(rid, auth)| Spec::Resume(rid, auth)),
+        any::<u64>().prop_map(Spec::ResumeAck),
     ]
 }
 
@@ -275,4 +327,129 @@ proptest! {
             );
         }
     }
+
+    /// A forged or corrupted resume token presented on a fresh
+    /// connection yields a typed `Close { ResumeInvalid }` — never a
+    /// panic, never a session attach.
+    #[test]
+    fn forged_resume_token_yields_typed_close(
+        rid in any::<u64>(),
+        auth in any::<u64>(),
+        chunk_seed in any::<u64>(),
+    ) {
+        use spinal_codes::serve::{loopback_pair_chunked, ServeConfig, Server, Transport};
+
+        let mut server = Server::new(ServeConfig::default()).expect("default config is valid");
+        let (srv_t, mut cli_t) = loopback_pair_chunked(1 << 16, chunk_seed);
+        server.add_connection(srv_t);
+
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Resume {
+                token: ResumeToken { id: rid, auth },
+            },
+            &mut buf,
+        )
+        .expect("RESUME is tiny");
+        let sent = cli_t.send(&buf).expect("loopback send");
+        prop_assert_eq!(sent, buf.len());
+
+        let mut rx = Vec::new();
+        for _ in 0..16 {
+            server.tick();
+            cli_t.recv(&mut rx).expect("loopback recv");
+        }
+
+        let mut dec = WireDecoder::new();
+        dec.push_bytes(&rx);
+        let mut saw_invalid = false;
+        while let Some(frame) = dec.next_frame().expect("server output is well-formed") {
+            match frame {
+                Frame::Close {
+                    reason: CloseReason::ResumeInvalid,
+                } => saw_invalid = true,
+                Frame::ResumeAck { .. } => {
+                    prop_assert!(false, "a forged token must never attach a session");
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(saw_invalid, "forged RESUME must be answered with ResumeInvalid");
+        prop_assert_eq!(server.live_sessions(), 0);
+        prop_assert_eq!(server.detached_sessions(), 0);
+    }
+}
+
+/// A genuine token presented after its detached-session TTL has
+/// expired is refused with a typed close (surfaced to the client as
+/// [`ClientOutcome::ResumeRejected`]) — never a panic and never an
+/// attach to someone else's session.
+#[test]
+fn expired_resume_token_is_refused() {
+    use spinal_codes::serve::{
+        loopback_pair, ClientConfig, ClientOutcome, ServeClient, ServeConfig, Server,
+    };
+
+    let mut cfg = ServeConfig {
+        idle_deadline: 3,
+        keepalive_idle: u64::MAX,
+        ..ServeConfig::default()
+    };
+    cfg.pool.detach_ttl = 4;
+    let mut server = Server::new(cfg).expect("config is valid");
+
+    let mut payload = BitVec::new();
+    for i in 0..96 {
+        payload.push((i * 7) % 3 == 0);
+    }
+    let ccfg = ClientConfig {
+        max_symbols: 1 << 12,
+        ..ClientConfig::default()
+    };
+
+    let (srv_t, cli_t) = loopback_pair(1 << 16);
+    server.add_connection(srv_t);
+    let mut client = ServeClient::new(cli_t, &ccfg, &payload).expect("client config is valid");
+
+    // Stream just long enough to be admitted and hold a resume token.
+    let mut token = None;
+    for _ in 0..8 {
+        client.tick();
+        server.tick();
+        token = client.resume_token();
+        if token.is_some() {
+            break;
+        }
+    }
+    let token = token.expect("client was admitted and received a token");
+
+    // Go silent: the server's idle deadline detaches the session, then
+    // the detached-session TTL expires it for good.
+    for _ in 0..16 {
+        server.tick();
+    }
+    assert_eq!(server.live_sessions(), 0, "idle deadline must have fired");
+    assert_eq!(
+        server.detached_sessions(),
+        0,
+        "TTL must have expired the session"
+    );
+
+    // Reconnect with the (now expired) token.
+    let (srv2, cli2) = loopback_pair(1 << 16);
+    server.add_resume_connection(srv2, token);
+    let _stale = client.reconnect(cli2);
+    for _ in 0..32 {
+        client.tick();
+        server.tick();
+        if client.is_done() {
+            break;
+        }
+    }
+    assert_eq!(
+        client.outcome(),
+        Some(ClientOutcome::ResumeRejected),
+        "an expired token must be refused with a typed close"
+    );
+    assert_eq!(server.live_sessions(), 0);
 }
