@@ -1085,13 +1085,6 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         }
     }
 
-    /// Shrinks the coldest sessions' checkpoint stores until the pool
-    /// fits its memory budget: first by *demoting* stores to their
-    /// packed image (~20× smaller, full resume depth kept — the next
-    /// retry transparently unpacks bit-identical snapshots), then, only
-    /// if the packed images alone still exceed the budget, by full
-    /// eviction (from-scratch re-decode on the next retry). Either way
-    /// results never change, only the work to reproduce them.
     /// [`enforce_budget`](Self::enforce_budget) restricted to detached
     /// sessions under [`MultiConfig::detached_budget`]: orphans pay for
     /// their memory before any connected session does. Demote-first,
@@ -1148,6 +1141,13 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         }
     }
 
+    /// Shrinks the coldest sessions' checkpoint stores until the pool
+    /// fits its memory budget: first by *demoting* stores to their
+    /// packed image (~20× smaller, full resume depth kept — the next
+    /// retry transparently unpacks bit-identical snapshots), then, only
+    /// if the packed images alone still exceed the budget, by full
+    /// eviction (from-scratch re-decode on the next retry). Either way
+    /// results never change, only the work to reproduce them.
     fn enforce_budget(&mut self) {
         if self.cfg.checkpoint_budget == usize::MAX {
             return;

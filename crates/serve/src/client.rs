@@ -100,8 +100,10 @@ pub enum ClientOutcome {
     /// The server shed the session under load or at a drain deadline
     /// (the resume token may still be honoured after a reconnect).
     Shed,
-    /// The server refused the resume token (unknown, corrupted or
-    /// expired).
+    /// The resume failed: the server refused the token (unknown,
+    /// corrupted or expired), or the client's bounded replay window no
+    /// longer covered the server's `ResumeAck` cursor, so the stream
+    /// could never be made whole. Start over with a fresh HELLO.
     ResumeRejected,
 }
 
@@ -394,7 +396,16 @@ impl<T: Transport> ServeClient<T> {
                     }
                 }
                 Fb::Resumed(expected_seq) => {
-                    self.seek_to(expected_seq);
+                    if !self.seek_to(expected_seq) {
+                        // The replay window no longer covers the
+                        // server's cursor: streaming on would leave a
+                        // permanent sequence gap the NACK path (same
+                        // bounded window) could never heal. Fail the
+                        // resume explicitly; the caller may start over
+                        // with a fresh HELLO.
+                        self.finish(ClientOutcome::ResumeRejected);
+                        continue;
+                    }
                     if self.state == ClientState::Resuming {
                         self.state = ClientState::Streaming;
                     }
@@ -413,7 +424,12 @@ impl<T: Transport> ServeClient<T> {
                     attempts: 0,
                 }),
                 Fb::Decoded(bits) => self.decoded = Some(bits),
-                Fb::Nack(expected) => self.seek_to(expected),
+                Fb::Nack(expected) => {
+                    // An uncoverable NACK (window slid past the gap)
+                    // degrades to symbol-budget exhaustion; the server
+                    // NACKs again only after further out-of-order data.
+                    let _ = self.seek_to(expected);
+                }
                 Fb::Closed(reason) => self.finish(match reason {
                     CloseReason::Done => ClientOutcome::Decoded {
                         symbols_used: 0,
@@ -437,14 +453,23 @@ impl<T: Transport> ServeClient<T> {
     /// Rewinds the transmitter to the latest replay mark at or before
     /// `expected` and resumes the stream from there (resent symbols
     /// keep their original sequence numbers and slots).
-    fn seek_to(&mut self, expected: u64) {
+    ///
+    /// Returns whether the stream now covers `expected`: `false` means
+    /// every retained mark is newer than `expected` (the bounded mark
+    /// window slid past the server's cursor), so the gap can never be
+    /// replayed and the caller must not keep streaming as if it could.
+    fn seek_to(&mut self, expected: u64) -> bool {
         while self.marks.back().is_some_and(|&(seq, _)| seq > expected) {
             self.marks.pop_back();
         }
         if let Some(&(seq, pos)) = self.marks.back() {
             self.tx.seek(pos);
             self.next_seq = seq;
+            return true;
         }
+        // No mark at or before `expected`: fine only when the stream
+        // has not reached it yet (nothing sent needs replaying).
+        self.next_seq <= expected
     }
 
     fn push_burst(&mut self) {

@@ -73,10 +73,24 @@ type Pool = MultiDecoder<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
 /// detached-entry list instead of its connection list.
 const DETACHED_BASE: usize = usize::MAX / 2;
 
-/// The authenticator half of a [`ResumeToken`] for a given token id —
-/// deterministic, so serial and sharded runs issue identical tokens.
-fn resume_auth(id: u64) -> u64 {
-    derive_seed(0x5EED_C0DE, 43, id)
+/// The authenticator half of a [`ResumeToken`] for a given token id,
+/// keyed by the server's per-instance resume secret: without the
+/// secret a token cannot be minted, so sequential token ids leak no
+/// resumption capability. For one server instance the function is
+/// pure, so serial and sharded ticks issue identical tokens.
+fn resume_auth(secret: u64, id: u64) -> u64 {
+    derive_seed(secret, 43, id)
+}
+
+/// A process-random 64-bit value for the default resume secret, drawn
+/// from the standard library's per-process SipHash keys (no extra
+/// dependency, not in any per-tick path).
+fn random_secret() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(0x5EED_C0DE);
+    h.finish()
 }
 
 /// The decoder-shape profile a server imposes on admitted sessions.
@@ -157,6 +171,13 @@ pub struct ServeConfig {
     pub idle_deadline: u64,
     /// Serving schedule profile.
     pub profile: ServeProfile,
+    /// Secret keying the `auth` half of every [`ResumeToken`] this
+    /// server issues. `None` (the default) draws a fresh process-random
+    /// secret at [`Server::new`], so tokens are unforgeable by network
+    /// peers; pin it to `Some(seed)` only where token bytes must
+    /// reproduce across separate server instances (e.g. cross-process
+    /// determinism harnesses).
+    pub resume_secret: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +193,7 @@ impl Default for ServeConfig {
             keepalive_idle: u64::MAX,
             idle_deadline: u64::MAX,
             profile: ServeProfile::paper_default(),
+            resume_secret: None,
         }
     }
 }
@@ -432,6 +454,9 @@ pub struct Server<T: Transport> {
     tick: u64,
     next_conn_id: u64,
     drain_deadline: Option<u64>,
+    /// Resolved resume-token secret ([`ServeConfig::resume_secret`] or
+    /// process-random).
+    resume_secret: u64,
 }
 
 impl<T: Transport> Server<T> {
@@ -451,12 +476,14 @@ impl<T: Transport> Server<T> {
         // drive budget), so it stays disabled.
         pool_cfg.detach_ttl = u64::MAX;
         let shards = (0..cfg.shards).map(|_| Shard::new(pool_cfg)).collect();
+        let resume_secret = cfg.resume_secret.unwrap_or_else(random_secret);
         Ok(Self {
             cfg,
             shards,
             tick: 0,
             next_conn_id: 0,
             drain_deadline: None,
+            resume_secret,
         })
     }
 
@@ -527,8 +554,9 @@ impl<T: Transport> Server<T> {
         self.tick += 1;
         let t = self.tick;
         let drain = self.drain_deadline;
+        let secret = self.resume_secret;
         for shard in &mut self.shards {
-            shard_tick(shard, &self.cfg, t, drain);
+            shard_tick(shard, &self.cfg, t, drain, secret);
         }
     }
 
@@ -633,9 +661,10 @@ impl<T: Transport + Send> Server<T> {
         let t = self.tick;
         let cfg = &self.cfg;
         let drain = self.drain_deadline;
+        let secret = self.resume_secret;
         thread::scope(|scope| {
             for shard in &mut self.shards {
-                scope.spawn(move || shard_tick(shard, cfg, t, drain));
+                scope.spawn(move || shard_tick(shard, cfg, t, drain, secret));
             }
         });
     }
@@ -659,6 +688,7 @@ fn shard_tick<T: Transport>(
     cfg: &ServeConfig,
     tick: u64,
     drain: Option<u64>,
+    secret: u64,
 ) {
     let Shard {
         pool,
@@ -729,7 +759,7 @@ fn shard_tick<T: Transport>(
                     conn.egress.drain(..n);
                 }
                 Err(_) => {
-                    detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+                    detach_conn(conn, pool, session_conn, detached, tick, ttl, stats, secret);
                     conn.dead = true;
                     stats.transport_closed += 1;
                     continue;
@@ -800,7 +830,17 @@ fn shard_tick<T: Transport>(
             match action {
                 Action::Hello(h) => {
                     if conn.state != ConnState::Greeting || conn.resume_pending {
-                        protocol_close(conn, pool, session_conn, detached, tick, ttl, stats, cfg);
+                        protocol_close(
+                            conn,
+                            pool,
+                            session_conn,
+                            detached,
+                            tick,
+                            ttl,
+                            stats,
+                            cfg,
+                            secret,
+                        );
                         break;
                     }
                     if drain.is_some() {
@@ -837,7 +877,7 @@ fn shard_tick<T: Transport>(
                                     token: slot as u64,
                                     resume: ResumeToken {
                                         id: conn.conn_id,
-                                        auth: resume_auth(conn.conn_id),
+                                        auth: resume_auth(secret, conn.conn_id),
                                     },
                                 },
                                 stats,
@@ -869,6 +909,7 @@ fn shard_tick<T: Transport>(
                                 ttl,
                                 stats,
                                 cfg,
+                                secret,
                             );
                             break;
                         }
@@ -876,7 +917,17 @@ fn shard_tick<T: Transport>(
                 }
                 Action::Data { seq, count } => match conn.state {
                     ConnState::Greeting => {
-                        protocol_close(conn, pool, session_conn, detached, tick, ttl, stats, cfg);
+                        protocol_close(
+                            conn,
+                            pool,
+                            session_conn,
+                            detached,
+                            tick,
+                            ttl,
+                            stats,
+                            cfg,
+                            secret,
+                        );
                         break;
                     }
                     ConnState::Done => {
@@ -935,6 +986,7 @@ fn shard_tick<T: Transport>(
                                     ttl,
                                     stats,
                                     cfg,
+                                    secret,
                                 );
                                 break;
                             }
@@ -953,21 +1005,41 @@ fn shard_tick<T: Transport>(
                 Action::Ignore => {}
                 Action::Resume(token) => {
                     if conn.state != ConnState::Greeting || conn.resume_pending {
-                        protocol_close(conn, pool, session_conn, detached, tick, ttl, stats, cfg);
+                        protocol_close(
+                            conn,
+                            pool,
+                            session_conn,
+                            detached,
+                            tick,
+                            ttl,
+                            stats,
+                            cfg,
+                            secret,
+                        );
                         break;
                     }
                     conn.resume_pending = true;
                     resumes.push((idx, token));
                 }
                 Action::Violation => {
-                    protocol_close(conn, pool, session_conn, detached, tick, ttl, stats, cfg);
+                    protocol_close(
+                        conn,
+                        pool,
+                        session_conn,
+                        detached,
+                        tick,
+                        ttl,
+                        stats,
+                        cfg,
+                        secret,
+                    );
                     break;
                 }
             }
         }
 
         if conn.dead {
-            detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+            detach_conn(conn, pool, session_conn, detached, tick, ttl, stats, secret);
             continue;
         }
 
@@ -976,7 +1048,7 @@ fn shard_tick<T: Transport>(
         if conn.state != ConnState::Closed {
             let idle = tick.saturating_sub(conn.last_rx_tick);
             if idle >= cfg.idle_deadline {
-                detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+                detach_conn(conn, pool, session_conn, detached, tick, ttl, stats, secret);
                 conn.dead = true;
                 stats.idle_closed += 1;
                 continue;
@@ -992,7 +1064,7 @@ fn shard_tick<T: Transport>(
         // token and the dialogue closed.
         if let Some(deadline) = drain {
             if tick >= deadline && conn.state != ConnState::Closed {
-                detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+                detach_conn(conn, pool, session_conn, detached, tick, ttl, stats, secret);
                 send_close(conn, cfg, stats, CloseReason::Shed);
                 conn.state = ConnState::Closed;
             }
@@ -1006,7 +1078,7 @@ fn shard_tick<T: Transport>(
     for &(cidx, token) in resumes.iter() {
         let eidx = match detached.iter().position(|e| e.token == token) {
             Some(e) => Some(e),
-            None if token.auth == resume_auth(token.id) => {
+            None if token.auth == resume_auth(secret, token.id) => {
                 // Takeover: the token's session may still be attached
                 // to an older connection the client abandoned (its
                 // death not yet observed). Newest connection wins; the
@@ -1021,7 +1093,7 @@ fn shard_tick<T: Transport>(
                 match owner {
                     Some(o) if o != cidx => {
                         let oc = conns[o].as_mut().expect("owner checked live");
-                        detach_conn(oc, pool, session_conn, detached, tick, ttl, stats);
+                        detach_conn(oc, pool, session_conn, detached, tick, ttl, stats, secret);
                         oc.dead = true;
                         detached.iter().position(|e| e.token == token)
                     }
@@ -1301,6 +1373,7 @@ fn admit_or_shed(
 /// shard's detached list under the connection's resume token, so a
 /// later RESUME can pick it up. Greeting/Closed connections have
 /// nothing to keep.
+#[allow(clippy::too_many_arguments)]
 fn detach_conn<T>(
     conn: &mut Conn<T>,
     pool: &mut Pool,
@@ -1309,10 +1382,11 @@ fn detach_conn<T>(
     tick: u64,
     ttl: u64,
     stats: &mut ServeStats,
+    secret: u64,
 ) {
     let token = ResumeToken {
         id: conn.resume_id,
-        auth: resume_auth(conn.resume_id),
+        auth: resume_auth(secret, conn.resume_id),
     };
     let expires_tick = tick.saturating_add(ttl);
     match conn.state {
@@ -1396,12 +1470,13 @@ fn protocol_close<T>(
     ttl: u64,
     stats: &mut ServeStats,
     cfg: &ServeConfig,
+    secret: u64,
 ) {
     // A mid-stream violation is treated as connection loss (a corrupted
     // byte at the transport boundary, say): the session detaches and
     // stays resumable instead of being dropped.
     if conn.state == ConnState::Streaming && conn.session.is_some() {
-        detach_conn(conn, pool, session_conn, detached, tick, ttl, stats);
+        detach_conn(conn, pool, session_conn, detached, tick, ttl, stats, secret);
     } else {
         release_session(&mut conn.session, pool, session_conn);
     }

@@ -38,8 +38,12 @@ use spinal_link::FeedbackMode;
 /// The two magic bytes opening every frame header.
 pub const WIRE_MAGIC: [u8; 2] = [0xC0, 0xDE];
 
-/// The wire-format version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+/// The wire-format version this build speaks. Version 2 grew
+/// [`Frame::HelloAck`] by a [`ResumeToken`] and added the five
+/// lifecycle frames (`Ping`/`Pong`, `GoAway`, `Resume`/`ResumeAck`);
+/// a version-1 peer fails the handshake with a clean
+/// [`WireErrorKind::BadVersion`] instead of a payload parse error.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Frame header length in bytes: magic (2) + version (1) + type (1) +
 /// payload length (4, little-endian).
@@ -142,10 +146,12 @@ impl CloseReason {
 /// An opaque resumption credential handed out in [`Frame::HelloAck`] and
 /// presented back in [`Frame::Resume`] after a reconnect.
 ///
-/// `id` names the detached session; `auth` is a server-derived check
-/// value bound to the session's admission, so a corrupted or guessed
-/// token cannot attach to another session: both halves must match the
-/// server's record exactly or the resume is refused with a typed
+/// `id` names the detached session; `auth` is derived from the
+/// session's admission identity under a per-server secret (see
+/// `ServeConfig::resume_secret`), so a corrupted or guessed token
+/// cannot be minted without that secret and cannot attach to another
+/// session: both halves must match the server's own derivation exactly
+/// or the resume is refused with a typed
 /// [`CloseReason::ResumeInvalid`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ResumeToken {
