@@ -43,6 +43,16 @@
 //! `quick_chaos.json` for the CI golden diff against
 //! `crates/bench/golden/quick_chaos.json`.
 //!
+//! `--quick` additionally runs the **`KillRestart`** class: the whole
+//! *server* is killed three times mid-fleet (ticks 8/16/24) — each kill
+//! snapshots via [`Server::snapshot_into`], drops the process image,
+//! rebuilds with [`Server::restore`], and reconnects every unfinished
+//! client through the ordinary RESUME path. Self-checks assert the
+//! killed fleet's per-flow verdicts and payloads are identical to an
+//! uninterrupted twin (serially and at 3 shards), that zero sessions
+//! were dropped in restore, and that conservation closes exactly with
+//! the `restore_dropped` term included.
+//!
 //! ```text
 //! cargo run -p spinal-bench --release --bin bench_chaos [-- --quick]
 //! ```
@@ -52,7 +62,7 @@ use std::time::Instant;
 use spinal_bench::{banner, RunArgs};
 use spinal_core::bits::BitVec;
 use spinal_serve::{
-    chaos_pair, ChaosEvent, ChaosPlan, ChaosTransport, ClientConfig, ClientOutcome,
+    chaos_pair, loopback_pair, ChaosEvent, ChaosPlan, ChaosTransport, ClientConfig, ClientOutcome,
     LoopbackTransport, ServeClient, ServeConfig, Server,
 };
 use spinal_sim::stats::{derive_seed, percentile_nearest_rank};
@@ -365,12 +375,159 @@ fn run_fleet(flows: u64, shards: usize, sharded: bool, seed: u64) -> FleetResult
     }
 }
 
+/// Server-wide kill ticks for the `KillRestart` class: past admission
+/// (tokens are held by ~tick 3), spaced so each restore streams real
+/// symbols before the next kill.
+const KILL_TICKS: [u64; 3] = [8, 16, 24];
+
+struct KillResult {
+    /// Per-flow (verdict, payload ok) — symbol counts are *excluded*:
+    /// replayed DATA after each reconnect legitimately inflates them.
+    per_flow: Vec<(ClientOutcome, bool)>,
+    delivered: u64,
+    snapshots: u64,
+    restored: u64,
+    restore_dropped: u64,
+    lost: u64,
+    ticks: u64,
+}
+
+/// Runs `flows` plain-loopback dialogues, killing the whole server at
+/// each tick in `kill_ticks`: snapshot → drop → restore → reconnect
+/// every unfinished client (RESUME with its held token; a fresh HELLO
+/// if it never got one). With an empty `kill_ticks` this is the
+/// uninterrupted twin the killed runs are compared against.
+fn run_kill_fleet(
+    flows: u64,
+    shards: usize,
+    sharded: bool,
+    seed: u64,
+    kill_ticks: &[u64],
+) -> KillResult {
+    let mut cfg = ServeConfig {
+        shards,
+        // Snapshots demand a pinned secret: a process-random one would
+        // leave every client token unverifiable after the restart.
+        resume_secret: Some(derive_seed(seed, 95, 0)),
+        ..ServeConfig::default()
+    };
+    cfg.pool.detach_ttl = DETACH_TTL_TICKS;
+    let mut server: Server<LoopbackTransport> = Server::new(cfg).expect("valid serve config");
+
+    let mut clients = Vec::with_capacity(flows as usize);
+    let mut expected = Vec::with_capacity(flows as usize);
+    for flow in 0..flows {
+        let (local, remote) = loopback_pair(1 << 12);
+        server.add_connection(remote);
+        let ccfg = ClientConfig {
+            beam: 4,
+            burst: 1,
+            seed: derive_seed(seed, 93, flow),
+            ..ClientConfig::default()
+        };
+        let bits = payload(seed, flow);
+        clients.push(ServeClient::new(local, &ccfg, &bits).expect("valid client shape"));
+        expected.push(bits);
+    }
+
+    let mut image = Vec::new();
+    let mut end_tick = 0;
+    for tick in 1..=MAX_TICKS {
+        if sharded {
+            server.tick_sharded();
+        } else {
+            server.tick();
+        }
+        if kill_ticks.contains(&tick) {
+            server.snapshot_into(&mut image).expect("secret is pinned");
+            // Dropping the old server severs every transport — exactly
+            // what a process death does to its sockets.
+            server = Server::restore(cfg, &image).expect("own snapshot restores");
+            for c in clients.iter_mut().filter(|c| !c.is_done()) {
+                let (local, remote) = loopback_pair(1 << 12);
+                match c.resume_token() {
+                    Some(token) => server.add_resume_connection(remote, token),
+                    None => server.add_connection(remote),
+                };
+                drop(c.reconnect(local));
+            }
+        }
+        let mut all_done = true;
+        for c in clients.iter_mut() {
+            c.tick();
+            all_done &= c.is_done();
+        }
+        if all_done {
+            end_tick = tick;
+            break;
+        }
+    }
+    assert!(
+        end_tick > 0,
+        "kill fleet did not settle within {MAX_TICKS} ticks"
+    );
+
+    // Sweep the TTL, then close the books with the restore term: every
+    // admitted session must be decoded, exhausted, abandoned, shed,
+    // expired, or dropped-in-restore — never silently lost.
+    for _ in 0..(DETACH_TTL_TICKS + 8) {
+        server.tick();
+    }
+    assert_eq!(
+        server.live_sessions(),
+        0,
+        "no session may outlive the fleet"
+    );
+    let stats = server.stats();
+    let accounted = stats.decoded
+        + stats.exhausted
+        + stats.abandoned
+        + stats.shed
+        + stats.expired
+        + stats.restore_dropped;
+    let lost = stats.admitted - accounted.min(stats.admitted);
+    assert_eq!(
+        lost,
+        0,
+        "kill/restart conservation: admitted {} != decoded {} + exhausted {} + abandoned {} \
+         + shed {} + expired {} + restore_dropped {}",
+        stats.admitted,
+        stats.decoded,
+        stats.exhausted,
+        stats.abandoned,
+        stats.shed,
+        stats.expired,
+        stats.restore_dropped
+    );
+
+    let mut per_flow = Vec::with_capacity(clients.len());
+    let mut delivered = 0u64;
+    for (c, bits) in clients.iter().zip(&expected) {
+        let out = c.outcome().expect("settled client has an outcome");
+        let ok = matches!(out, ClientOutcome::Decoded { .. }) && c.decoded_payload() == Some(bits);
+        if ok {
+            delivered += 1;
+        }
+        per_flow.push((out, ok));
+    }
+    KillResult {
+        per_flow,
+        delivered,
+        snapshots: stats.snapshots,
+        restored: stats.restored,
+        restore_dropped: stats.restore_dropped,
+        lost,
+        ticks: end_tick,
+    }
+}
+
 fn render_json(
     bench: &str,
     seed: u64,
     flows: u64,
     results: &[(usize, &FleetResult)],
     quick: bool,
+    kill: Option<&KillResult>,
 ) -> String {
     let mut rows = Vec::new();
     for (shards, r) in results {
@@ -418,13 +575,31 @@ fn render_json(
         })
         .collect();
     let checks = if quick {
-        "  \"self_checks\": {\"serial_sharded_bit_identical\": true, \"lost_flows\": 0},\n"
+        "  \"self_checks\": {\"serial_sharded_bit_identical\": true, \"lost_flows\": 0, \
+         \"kill_restart_identical\": true},\n"
     } else {
         ""
     };
+    let kill_row = kill.map_or(String::new(), |k| {
+        format!(
+            "  \"kill_restart\": {{\"flows\": {}, \"kill_ticks\": [{}, {}, {}], \"ticks\": {}, \
+             \"delivered\": {}, \"snapshots\": {}, \"restored\": {}, \"restore_dropped\": {}, \
+             \"lost\": {}}},\n",
+            k.per_flow.len(),
+            KILL_TICKS[0],
+            KILL_TICKS[1],
+            KILL_TICKS[2],
+            k.ticks,
+            k.delivered,
+            k.snapshots,
+            k.restored,
+            k.restore_dropped,
+            k.lost
+        )
+    });
     format!(
         "{{\n  \"bench\": \"{bench}\",\n  \"seed\": {seed},\n  \"payload_bits\": {},\n\
-         {checks}  \"totals\": [\n{}\n  ],\n  \"rows\": [\n{}\n  ]\n}}\n",
+         {checks}{kill_row}  \"totals\": [\n{}\n  ],\n  \"rows\": [\n{}\n  ]\n}}\n",
         PAYLOAD_BYTES * 8,
         totals.join(",\n"),
         rows.join(",\n")
@@ -500,15 +675,58 @@ fn main() {
         assert_eq!(sharded.lost, 0, "no flow may be lost");
         assert_eq!(serial.rejected + serial.dropped, 0, "every flow recovers");
         assert_eq!(serial.misdecoded, 0, "quick seed must decode cleanly");
+
+        // KillRestart: the server itself dies three times mid-fleet.
+        // Warm restart must be invisible — killed per-flow verdicts and
+        // payloads identical to the uninterrupted twin, serially and
+        // sharded, with zero restore drops.
+        let baseline = run_kill_fleet(flows, 1, false, seed, &[]);
+        let killed = run_kill_fleet(flows, 1, false, seed, &KILL_TICKS);
+        let killed_sharded = run_kill_fleet(flows, 3, true, seed, &KILL_TICKS);
+        assert_eq!(
+            killed.per_flow, baseline.per_flow,
+            "kill/restart must be invisible to per-flow verdicts"
+        );
+        assert_eq!(
+            killed_sharded.per_flow, baseline.per_flow,
+            "sharded kill/restart must be invisible to per-flow verdicts"
+        );
+        assert_eq!(killed.snapshots, KILL_TICKS.len() as u64);
+        assert_eq!(
+            killed.restore_dropped, 0,
+            "no session may be dropped in restore"
+        );
+        assert_eq!(killed_sharded.restore_dropped, 0);
+        assert_eq!(
+            killed.delivered, flows,
+            "every killed flow must still deliver"
+        );
+        println!(
+            "{:>7} {:>8} {:>6} {:>10} {:>10} {:>9} {:>8} {:>9} {:>5} {:>9}  ({} ticks)",
+            1,
+            "killfleet",
+            killed.per_flow.len(),
+            killed.delivered,
+            killed.restored,
+            0,
+            killed.restore_dropped,
+            0,
+            killed.lost,
+            0,
+            killed.ticks
+        );
+
         let json = render_json(
             "quick_chaos",
             seed,
             flows,
             &[(1, &serial), (3, &sharded)],
             true,
+            Some(&killed),
         );
         std::fs::write("quick_chaos.json", &json).expect("write quick_chaos.json");
         println!("# self-check: serial == 3-shard per-flow, zero lost");
+        println!("# self-check: kill/restart (3 server deaths) == uninterrupted per flow");
         println!("# wrote quick_chaos.json (deterministic summary for the golden diff)");
     } else {
         let mut results = Vec::new();
@@ -519,7 +737,7 @@ fn main() {
             results.push((shards, r));
         }
         let refs: Vec<(usize, &FleetResult)> = results.iter().map(|(s, r)| (*s, r)).collect();
-        let json = render_json("bench_chaos", seed, 1_200, &refs, false);
+        let json = render_json("bench_chaos", seed, 1_200, &refs, false, None);
         std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
         println!("# wrote BENCH_chaos.json");
     }

@@ -498,6 +498,17 @@ impl BeamCheckpoints {
         self.packed.memory_bytes()
     }
 
+    /// The packed checkpoint image, when one is in sync with the saved
+    /// prefix — the bytes a pool snapshot carries across a process
+    /// restart. `None` when packing is off or nothing has been packed.
+    pub fn packed_image(&self) -> Option<&[u8]> {
+        if self.packed.active {
+            Some(&self.packed.bytes)
+        } else {
+            None
+        }
+    }
+
     /// Whether the raw snapshot tier has been dropped in favour of the
     /// packed image ([`demote`](Self::demote)); cleared transparently by
     /// the next attempt's restore.
@@ -794,6 +805,11 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
     /// The code parameters this decoder was built for.
     pub fn params(&self) -> &CodeParams {
         &self.params
+    }
+
+    /// The constellation mapper this decoder scores against.
+    pub fn mapper(&self) -> &M {
+        &self.mapper
     }
 
     /// Overrides the worker-thread count the `parallel` feature may use
@@ -1440,6 +1456,142 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>> BeamDecoder<H, M, C> {
                 }
             }
         }
+    }
+
+    /// Installs a packed checkpoint image carried across a process
+    /// restart into `ckpt`, leaving the store exactly as if it had just
+    /// been [`demoted`](BeamCheckpoints::demote): the blob is the only
+    /// resident tier and the next attempt transparently unpacks it,
+    /// replaying the expansion arithmetic bit-for-bit. `obs_len` must be
+    /// the restored observation count the blob was packed against.
+    ///
+    /// The blob is **untrusted** (it crossed a process boundary): before
+    /// installing, its structure is re-derived against this decoder's
+    /// shape — level counts, per-level entry counts against the
+    /// committed-frontier evolution the pre-prune replay will
+    /// reconstruct, every parent slot in range, and the bitstream length
+    /// consistent — so a forged or damaged image can never make the
+    /// later unpack index out of bounds or over-allocate.
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::Snapshot`] with
+    /// [`SnapshotErrorKind::Corrupt`](crate::error::SnapshotErrorKind::Corrupt)
+    /// when the blob fails structural validation; `ckpt` is left reset
+    /// (cold — the session decodes from scratch, results unchanged).
+    pub fn adopt_packed_checkpoints(
+        &self,
+        ckpt: &mut BeamCheckpoints,
+        obs_len: usize,
+        blob: &[u8],
+    ) -> Result<(), SpinalError> {
+        ckpt.reset();
+        ckpt.n_levels = self.params.n_segments();
+        ckpt.obs_len = obs_len;
+        let limit = ckpt.max_frontier.min(self.config.max_frontier);
+        let valid = self.validate_packed_blob(blob, limit)?;
+        ckpt.packed.bytes.clear();
+        ckpt.packed.bytes.extend_from_slice(blob);
+        ckpt.packed.active = true;
+        ckpt.saved.valid = valid;
+        ckpt.demoted = true;
+        Ok(())
+    }
+
+    /// Walks an untrusted packed image, mirroring the exact arithmetic
+    /// [`unpack_checkpoints`](Self::unpack_checkpoints) will replay —
+    /// including the committed-frontier evolution of the pre-prune —
+    /// without computing any hashes. Returns the valid-prefix depth.
+    fn validate_packed_blob(&self, blob: &[u8], limit: usize) -> Result<u32, SpinalError> {
+        const CORRUPT: SpinalError = SpinalError::Snapshot {
+            kind: crate::error::SnapshotErrorKind::Corrupt,
+        };
+        // A bounded varint pull: rejects encodings whose magnitude
+        // overflows u64 instead of shifting past the accumulator (the
+        // unchecked reader is only ever run on validated bytes).
+        fn pull_varint_checked(r: &mut BitReader<'_>) -> Result<u64, SpinalError> {
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let byte = r.pull(8);
+                let group = byte & 0x7f;
+                if shift >= 64 || (group << shift) >> shift != group {
+                    return Err(CORRUPT);
+                }
+                v |= group << shift;
+                if byte & 0x80 == 0 {
+                    return Ok(v);
+                }
+                shift += 7;
+            }
+        }
+
+        let n_levels = self.params.n_segments();
+        let msg_segs = self.params.message_segments();
+        let k = self.params.k();
+        let branch = 1usize << k;
+        let total_bits = (blob.len() as u64) * 8;
+        let mut r = BitReader::new(blob);
+
+        let valid = pull_varint_checked(&mut r)?;
+        if valid < 1 || valid > u64::from(n_levels) + 1 {
+            return Err(CORRUPT);
+        }
+        let valid = valid as u32;
+        // Work counters are per-level deltas; their running sums must
+        // stay within u64 or the unpack's accumulation would overflow.
+        let mut nodes = 0u64;
+        let mut hash = 0u64;
+        let pull_level_stats = |r: &mut BitReader<'_>, nodes: &mut u64, hash: &mut u64| {
+            *nodes = nodes.checked_add(pull_varint_checked(r)?).ok_or(CORRUPT)?;
+            *hash = hash.checked_add(pull_varint_checked(r)?).ok_or(CORRUPT)?;
+            pull_varint_checked(r)?; // frontier_peak
+            r.pull(1); // complete
+            Ok::<(), SpinalError>(())
+        };
+
+        // Level 0 holds exactly the root.
+        if pull_varint_checked(&mut r)? != 1 {
+            return Err(CORRUPT);
+        }
+        pull_level_stats(&mut r, &mut nodes, &mut hash)?;
+
+        let mut prev_committed = 1usize; // |C_0|: the root
+        for u in 1..valid {
+            let n = pull_varint_checked(&mut r)? as usize;
+            // The frontier entering level `u` is the children of the
+            // previous committed frontier, post-prune: bounded by both
+            // the store/snapshot limit and the expansion fan-out.
+            let parent_branch = if (u - 1) >= msg_segs { 1 } else { branch };
+            if n < 1 || n > limit || n > prev_committed.saturating_mul(parent_branch) {
+                return Err(CORRUPT);
+            }
+            pull_level_stats(&mut r, &mut nodes, &mut hash)?;
+            let slot_bits = bits_for(prev_committed);
+            let seg_bits = if (u - 1) < msg_segs { k } else { 0 };
+            for _ in 0..n {
+                let slot = r.pull(slot_bits) as usize;
+                r.pull(seg_bits);
+                if slot >= prev_committed {
+                    return Err(CORRUPT);
+                }
+            }
+            if r.overran() {
+                return Err(CORRUPT);
+            }
+            // Replay the pre-prune's committed-frontier size for the
+            // next level's slot addressing (same formula as the unpack).
+            let level_branch = if u >= msg_segs { 1usize } else { branch };
+            let cap_parents = (self.config.max_frontier / level_branch).max(1);
+            prev_committed = n.min(cap_parents);
+        }
+        // The bitstream must end exactly where the walk did (up to the
+        // writer's sub-byte padding): overrun means truncation, slack of
+        // a byte or more means trailing garbage.
+        if r.overran() || total_bits - r.bit_pos() >= 8 {
+            return Err(CORRUPT);
+        }
+        Ok(valid)
     }
 
     fn check_levels(&self, obs: &Observations<M::Symbol>) {

@@ -150,6 +150,20 @@ impl<'a> BitReader<'a> {
         val
     }
 
+    /// Bits consumed so far (monotone; keeps counting past the end).
+    /// A validator walking an untrusted blob compares this against the
+    /// blob's bit length: overrun means the stream was truncated, and a
+    /// final shortfall of 8 bits or more means trailing garbage.
+    pub fn bit_pos(&self) -> u64 {
+        (self.pos as u64) * 8 - u64::from(self.nbits)
+    }
+
+    /// Whether any read has crossed the end of the underlying bytes
+    /// (those bits came back as zeros, not data).
+    pub fn overran(&self) -> bool {
+        self.pos > self.bytes.len()
+    }
+
     /// Reads a LEB128 varint written by [`BitWriter::push_varint`].
     pub fn pull_varint(&mut self) -> u64 {
         let mut v = 0u64;
@@ -210,6 +224,22 @@ mod tests {
         assert_eq!(r.pull(8), 0xff);
         assert_eq!(r.pull(8), 0);
         assert_eq!(r.pull_varint(), 0);
+    }
+
+    #[test]
+    fn bit_pos_tracks_consumption_and_overrun() {
+        let buf = vec![0xffu8, 0x01];
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.bit_pos(), 0);
+        r.pull(3);
+        assert_eq!(r.bit_pos(), 3);
+        assert!(!r.overran());
+        r.pull(13);
+        assert_eq!(r.bit_pos(), 16);
+        assert!(!r.overran());
+        r.pull(1);
+        assert_eq!(r.bit_pos(), 17);
+        assert!(r.overran());
     }
 
     proptest! {

@@ -58,6 +58,52 @@ impl std::fmt::Display for WireErrorKind {
     }
 }
 
+/// What a pool-snapshot decoder found unusable (see
+/// [`SpinalError::Snapshot`]). A warm-restart restore reports every
+/// whole-snapshot rejection through one of these; per-section damage is
+/// not an error at all — it degrades to dropped sessions counted by the
+/// restoring server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotErrorKind {
+    /// The snapshot did not start with the snapshot magic.
+    BadMagic,
+    /// The header's version byte names a snapshot revision this build
+    /// does not read.
+    BadVersion,
+    /// The bytes ended before the header (or a section header) its
+    /// framing promised.
+    Truncated,
+    /// The header failed its CRC or carries structurally impossible
+    /// fields; nothing under it can be trusted.
+    Corrupt,
+    /// Snapshotting requires a pinned resume secret
+    /// (`ServeConfig::resume_secret`): tokens minted under a
+    /// process-random secret could never be honoured by the restored
+    /// process, so the snapshot would be dead on arrival.
+    SecretNotPinned,
+    /// The restoring server's pinned resume secret does not match the
+    /// secret the snapshot was taken under, so none of its resume
+    /// tokens would verify.
+    SecretMismatch,
+}
+
+impl std::fmt::Display for SnapshotErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SnapshotErrorKind::BadMagic => "bad magic",
+            SnapshotErrorKind::BadVersion => "unsupported version",
+            SnapshotErrorKind::Truncated => "truncated snapshot",
+            SnapshotErrorKind::Corrupt => "corrupt header",
+            SnapshotErrorKind::SecretNotPinned => {
+                "resume secret not pinned (process-random tokens cannot survive a restart)"
+            }
+            SnapshotErrorKind::SecretMismatch => "resume secret does not match the snapshot's",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Everything that can go wrong constructing or driving a spinal codec.
 #[derive(Clone, Copy, Debug, PartialEq)]
 #[non_exhaustive]
@@ -157,6 +203,13 @@ pub enum SpinalError {
         /// What was malformed.
         kind: WireErrorKind,
     },
+    /// A pool snapshot could not be taken or restored as a whole
+    /// (section-level damage degrades instead of erroring); see
+    /// [`SnapshotErrorKind`].
+    Snapshot {
+        /// What made the snapshot unusable.
+        kind: SnapshotErrorKind,
+    },
 }
 
 impl std::fmt::Display for SpinalError {
@@ -229,6 +282,9 @@ impl std::fmt::Display for SpinalError {
             }
             SpinalError::Wire { kind } => {
                 write!(f, "wire frame rejected: {kind}")
+            }
+            SpinalError::Snapshot { kind } => {
+                write!(f, "pool snapshot rejected: {kind}")
             }
         }
     }
@@ -328,6 +384,27 @@ mod tests {
                 "{e} should mention {needle}"
             );
             // The enum stays `Copy` — pass by value twice.
+            let copied = e;
+            assert_eq!(copied, e);
+        }
+    }
+
+    #[test]
+    fn snapshot_errors_display_their_kind() {
+        let kinds = [
+            (SnapshotErrorKind::BadMagic, "magic"),
+            (SnapshotErrorKind::BadVersion, "version"),
+            (SnapshotErrorKind::Truncated, "truncated"),
+            (SnapshotErrorKind::Corrupt, "corrupt"),
+            (SnapshotErrorKind::SecretNotPinned, "pinned"),
+            (SnapshotErrorKind::SecretMismatch, "match"),
+        ];
+        for (kind, needle) in kinds {
+            let e = SpinalError::Snapshot { kind };
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should mention {needle}"
+            );
             let copied = e;
             assert_eq!(copied, e);
         }

@@ -390,6 +390,19 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule>
         self.round
     }
 
+    /// Carries the round counter of a pre-restart pool into this one
+    /// (monotone: the counter never moves backward). Round-relative
+    /// state — detach TTLs, activity stamps — is meaningful only against
+    /// a counter that survives a warm restart; a restored pool that
+    /// restarted at round 0 would hand every re-inserted detached
+    /// session a fresh TTL (immortalizing serial restarts) or, worse,
+    /// underflow comparisons against stamps from the old life. Call
+    /// before re-inserting restored sessions so their stamps are taken
+    /// against the carried counter.
+    pub fn restore_round(&mut self, round: u64) {
+        self.round = self.round.max(round);
+    }
+
     /// Checkpoint stores fully evicted by the memory budget so far
     /// (after demotion alone could not fit the budget).
     pub fn evictions(&self) -> u64 {

@@ -813,6 +813,99 @@ impl<H: SpineHash, M: Mapper, C: CostModel<M::Symbol>, P: PunctureSchedule> RxSe
         self.ckpt.set_packing(enabled);
     }
 
+    /// The symbol count the thinning schedule will run the next decode
+    /// attempt at (see [`RxConfig::attempt_growth`]). Part of the
+    /// session's restartable receive state: restoring it exactly is what
+    /// keeps a warm-restarted session's attempt schedule — and therefore
+    /// its reported `attempts` — bit-identical to an uninterrupted one.
+    pub fn next_attempt(&self) -> u64 {
+        self.next_attempt
+    }
+
+    /// Lowest spine position that received a new observation since the
+    /// last decode attempt (`u32::MAX` when nothing is pending). Like
+    /// [`next_attempt`](Self::next_attempt), restartable receive state:
+    /// re-ingesting the observations instead of restoring this mark
+    /// would reset it to the minimum level and schedule a spurious
+    /// attempt.
+    pub fn dirty_from(&self) -> u32 {
+        self.dirty_from
+    }
+
+    /// The packed checkpoint image currently in sync with the store, if
+    /// any — the bytes a pool snapshot carries across a process restart
+    /// (see [`adopt_packed_checkpoints`](Self::adopt_packed_checkpoints)).
+    pub fn packed_checkpoint_image(&self) -> Option<&[u8]> {
+        self.ckpt.packed_image()
+    }
+
+    /// Restores the receive-side state of a freshly constructed session
+    /// from a pool snapshot: the slot-labelled observations in their
+    /// original arrival order (per-level cost folds replay in float
+    /// order, so order matters for bit-identity) and the attempt
+    /// counters exactly as they were. The implicit schedule cursor is
+    /// untouched — snapshot producers only ever ingest slot-labelled
+    /// symbols ([`ingest_at`](Self::ingest_at)), which never advances it.
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::SessionFinished`] when the session already holds
+    /// state (restore targets a fresh session only);
+    /// [`SpinalError::SlotOutOfRange`] when an observation addresses a
+    /// level outside the code; [`SpinalError::Snapshot`] when the
+    /// counters are inconsistent with the observations (a forged or
+    /// damaged snapshot section). Nothing is consumed on error.
+    pub fn restore_receive_state(
+        &mut self,
+        observations: &[(Slot, M::Symbol)],
+        attempts: u32,
+        next_attempt: u64,
+        dirty_from: u32,
+    ) -> Result<(), SpinalError> {
+        if self.state != RxState::Listening || self.symbols != 0 || self.attempts != 0 {
+            return Err(SpinalError::SessionFinished);
+        }
+        let n_levels = self.obs.n_levels();
+        if let Some(&(slot, _)) = observations.iter().find(|&&(slot, _)| slot.t >= n_levels) {
+            return Err(SpinalError::SlotOutOfRange {
+                t: slot.t,
+                n_levels,
+            });
+        }
+        if (dirty_from != u32::MAX && dirty_from >= n_levels) || next_attempt == 0 {
+            return Err(SpinalError::Snapshot {
+                kind: crate::error::SnapshotErrorKind::Corrupt,
+            });
+        }
+        for &(slot, sym) in observations {
+            self.obs.push(slot, sym);
+        }
+        self.symbols = observations.len() as u64;
+        self.attempts = attempts;
+        self.next_attempt = next_attempt;
+        self.dirty_from = dirty_from;
+        Ok(())
+    }
+
+    /// Installs a packed checkpoint image (from
+    /// [`packed_checkpoint_image`](Self::packed_checkpoint_image) of the
+    /// pre-restart session) into this session's store, validated against
+    /// the decoder's shape — see
+    /// [`BeamDecoder::adopt_packed_checkpoints`]. Call after
+    /// [`restore_receive_state`](Self::restore_receive_state): the image
+    /// is bound to the restored observation count. On error the store is
+    /// left cold; the session still works, its next attempt just decodes
+    /// from scratch (bit-identical results, more work).
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::Snapshot`] when the blob fails structural
+    /// validation.
+    pub fn adopt_packed_checkpoints(&mut self, blob: &[u8]) -> Result<(), SpinalError> {
+        self.decoder
+            .adopt_packed_checkpoints(&mut self.ckpt, self.obs.len(), blob)
+    }
+
     /// The session's resource configuration (with `beam` normalized to
     /// the decoder's).
     pub fn config(&self) -> &RxConfig {

@@ -279,6 +279,22 @@ impl<T: Transport> ServeClient<T> {
         old
     }
 
+    /// Swaps in a fresh transport and restarts the dialogue *from
+    /// scratch*: the resume token is renounced, the transmitter rewinds
+    /// to the start of the stream and the original HELLO is replayed —
+    /// the recovery path after [`ClientOutcome::ResumeRejected`], where
+    /// the server no longer holds (or no longer honours) the session
+    /// the token named, so retrying RESUME could never succeed. Returns
+    /// the old transport, like [`reconnect`](Self::reconnect).
+    pub fn restart(&mut self, transport: T) -> T {
+        self.resume_token = None;
+        self.tx.rewind();
+        self.next_seq = 0;
+        self.marks.clear();
+        self.decoded = None;
+        self.reconnect(transport)
+    }
+
     /// Runs one client cycle: flush egress, absorb feedback, then (if
     /// streaming) push one burst of symbols as DATA frames, probing an
     /// idle server with PING past the keepalive threshold.
@@ -459,6 +475,14 @@ impl<T: Transport> ServeClient<T> {
     /// window slid past the server's cursor), so the gap can never be
     /// replayed and the caller must not keep streaming as if it could.
     fn seek_to(&mut self, expected: u64) -> bool {
+        if expected >= self.next_seq {
+            // The server's cursor is at (or past) everything sent:
+            // nothing needs replaying, and rewinding to the previous
+            // mark would resend a burst the server already ingested —
+            // inflating its symbol count and breaking the resumed
+            // flow's bit-identity with an uninterrupted one.
+            return true;
+        }
         while self.marks.back().is_some_and(|&(seq, _)| seq > expected) {
             self.marks.pop_back();
         }

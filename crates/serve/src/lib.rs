@@ -13,7 +13,11 @@
 //!   [`spinal_core::sched::MultiDecoder`] pool and its hash-assigned
 //!   connections, every tick flushes feedback, drains ingress under
 //!   per-connection backpressure, and drives the pool under a level
-//!   budget. Serial and sharded ticks are bit-identical.
+//!   budget. Serial and sharded ticks are bit-identical. Crash safety
+//!   rides on the same machinery: [`server::Server::snapshot_into`]
+//!   images every session into a versioned, per-section-CRC'd blob and
+//!   [`server::Server::restore`] rebuilds a server whose resumed flows
+//!   are bit-identical to never-killed ones.
 //! * [`client`] — a session driver for the other end of the wire, with
 //!   NACK-seeking replay and composable link faults / noise.
 //!
@@ -39,6 +43,7 @@
 
 pub mod client;
 pub mod server;
+mod snapshot;
 pub mod transport;
 pub mod wire;
 

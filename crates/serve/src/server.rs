@@ -51,19 +51,23 @@ use std::thread;
 
 use spinal_core::bits::BitVec;
 use spinal_core::decode::{AwgnCost, BeamConfig};
-use spinal_core::error::{SpinalError, WireErrorKind};
+use spinal_core::error::{SnapshotErrorKind, SpinalError, WireErrorKind};
 use spinal_core::frame::{AnyTerminator, Checksum};
 use spinal_core::hash::Lookup3;
 use spinal_core::map::LinearMapper;
 use spinal_core::params::CodeParams;
 use spinal_core::puncture::{StridedPuncture, SubpassOrder};
 use spinal_core::sched::{MultiConfig, MultiDecoder, SessionEvent, SessionId, SessionOutcome};
-use spinal_core::session::{Poll, RxConfig};
+use spinal_core::session::{Poll, RxConfig, RxSession};
 use spinal_core::symbol::{IqSymbol, Slot};
 use spinal_core::SpinalCode;
 use spinal_link::FeedbackMode;
 use spinal_sim::stats::derive_seed;
 
+use crate::snapshot::{
+    parse_entry, parse_header, write_entry, write_header, write_preamble, EntryBodyRef, EntryRef,
+    ParsedBody, PendingShape, SnapshotHeader, SnapshotReader,
+};
 use crate::transport::Transport;
 use crate::wire::{encode_frame, CloseReason, Frame, Hello, ResumeToken, WireDecoder};
 
@@ -72,6 +76,14 @@ type Pool = MultiDecoder<Lookup3, LinearMapper, AwgnCost, StridedPuncture>;
 /// `session_conn` values at or above this base point into the shard's
 /// detached-entry list instead of its connection list.
 const DETACHED_BASE: usize = usize::MAX / 2;
+
+/// Reserved token id whose authenticator a snapshot header carries as
+/// its secret probe: a restorer whose pinned secret derives a different
+/// authenticator for this id holds a different secret, and every token
+/// in the snapshot would be unverifiable — better one typed error than
+/// a silent full drop. Connection ids grow from zero and could reach
+/// this value only after 2^63 admissions.
+const SECRET_PROBE_ID: u64 = u64::MAX;
 
 /// The authenticator half of a [`ResumeToken`] for a given token id,
 /// keyed by the server's per-instance resume secret: without the
@@ -275,9 +287,84 @@ pub struct ServeStats {
     /// Result-bearing frames (`Decoded`/`Close`) deferred at the egress
     /// capacity cap (retried, never dropped).
     pub result_deferred: u64,
+    /// Warm-restart snapshots serialized by
+    /// [`Server::snapshot_into`].
+    pub snapshots: u64,
+    /// Sessions re-established from a warm-restart snapshot by
+    /// [`Server::restore`] — in-flight sessions waiting detached for a
+    /// RESUME, plus terminal verdicts held for replay.
+    pub restored: u64,
+    /// In-flight sessions lost at [`Server::restore`] because their
+    /// snapshot section failed validation (CRC damage, structural
+    /// corruption, a forged token, or restore-time admission limits).
+    /// Counted so the lifecycle conservation law still closes across a
+    /// degraded restore: every admitted session ends in exactly one of
+    /// decoded / exhausted / abandoned / shed / expired /
+    /// restore-dropped.
+    pub restore_dropped: u64,
 }
 
+/// Number of `u64` counters a [`ServeStats`] serializes to (field
+/// order; bumping this bumps the snapshot version).
+const STAT_WORDS: usize = 23;
+
 impl ServeStats {
+    fn to_words(self) -> [u64; STAT_WORDS] {
+        [
+            self.ticks,
+            self.admitted,
+            self.busy_rejected,
+            self.decoded,
+            self.exhausted,
+            self.abandoned,
+            self.protocol_errors,
+            self.transport_closed,
+            self.backpressure_ticks,
+            self.egress_overflow,
+            self.frames_in,
+            self.symbols_in,
+            self.detached,
+            self.resumed,
+            self.resume_rejected,
+            self.shed,
+            self.expired,
+            self.idle_closed,
+            self.keepalive_pings,
+            self.result_deferred,
+            self.snapshots,
+            self.restored,
+            self.restore_dropped,
+        ]
+    }
+
+    fn from_words(w: &[u64; STAT_WORDS]) -> Self {
+        Self {
+            ticks: w[0],
+            admitted: w[1],
+            busy_rejected: w[2],
+            decoded: w[3],
+            exhausted: w[4],
+            abandoned: w[5],
+            protocol_errors: w[6],
+            transport_closed: w[7],
+            backpressure_ticks: w[8],
+            egress_overflow: w[9],
+            frames_in: w[10],
+            symbols_in: w[11],
+            detached: w[12],
+            resumed: w[13],
+            resume_rejected: w[14],
+            shed: w[15],
+            expired: w[16],
+            idle_closed: w[17],
+            keepalive_pings: w[18],
+            result_deferred: w[19],
+            snapshots: w[20],
+            restored: w[21],
+            restore_dropped: w[22],
+        }
+    }
+
     fn absorb(&mut self, other: &ServeStats) {
         self.admitted += other.admitted;
         self.busy_rejected += other.busy_rejected;
@@ -298,6 +385,9 @@ impl ServeStats {
         self.idle_closed += other.idle_closed;
         self.keepalive_pings += other.keepalive_pings;
         self.result_deferred += other.result_deferred;
+        self.snapshots += other.snapshots;
+        self.restored += other.restored;
+        self.restore_dropped += other.restore_dropped;
     }
 }
 
@@ -646,6 +736,357 @@ impl<T: Transport> Server<T> {
             .conns
             .get(h.idx as usize)?
             .as_ref()
+    }
+
+    /// Serializes the server's session state into `out` as a versioned,
+    /// CRC-framed warm-restart snapshot — the image [`Server::restore`]
+    /// rebuilds a bit-identical server from.
+    ///
+    /// Every in-flight session is first demoted to its packed
+    /// checkpoint tier (~20× smaller; demotion changes decode *work*,
+    /// never results), then written with its code shape, receive
+    /// dynamics and full observation set. Sessions attached to live
+    /// connections are imaged as *detached* under their resume token:
+    /// transports do not survive a process, so after a restore every
+    /// client re-attaches through the ordinary RESUME path with the
+    /// token it already holds. Verdicts held for replay (decoded bits,
+    /// exhaustion, abandonment) are imaged verbatim.
+    ///
+    /// `out` is cleared and refilled, so one buffer amortizes across
+    /// periodic snapshots. Counted in [`ServeStats::snapshots`]
+    /// (including in the image itself).
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::Snapshot`] with
+    /// [`SnapshotErrorKind::SecretNotPinned`] when
+    /// [`ServeConfig::resume_secret`] is `None`: with a process-random
+    /// secret, no token a client holds would verify after a restart, so
+    /// the snapshot would be unresumable by construction.
+    pub fn snapshot_into(&mut self, out: &mut Vec<u8>) -> Result<(), SpinalError> {
+        if self.cfg.resume_secret.is_none() {
+            return Err(SpinalError::Snapshot {
+                kind: SnapshotErrorKind::SecretNotPinned,
+            });
+        }
+        let secret = self.resume_secret;
+        let ttl = self.cfg.pool.detach_ttl;
+        let tick = self.tick;
+
+        // Demote every pending session's checkpoints to the packed tier
+        // (best effort: a session with nothing packable restores cold —
+        // same results, more first-attempt work).
+        for shard in &mut self.shards {
+            let Shard {
+                pool,
+                conns,
+                detached,
+                ..
+            } = shard;
+            for entry in detached.iter() {
+                if let Some(sid) = entry.session {
+                    if let Some(rx) = pool.get_mut(sid) {
+                        let _ = rx.demote_checkpoints();
+                    }
+                }
+            }
+            for conn in conns.iter().flatten() {
+                if conn.dead || conn.state != ConnState::Streaming {
+                    continue;
+                }
+                if let Some(sid) = conn.session {
+                    if let Some(rx) = pool.get_mut(sid) {
+                        let _ = rx.demote_checkpoints();
+                    }
+                }
+            }
+        }
+
+        self.shards[0].stats.snapshots += 1;
+        let mut entry_count = 0u32;
+        let mut pending = 0u64;
+        for shard in &self.shards {
+            for e in &shard.detached {
+                entry_count += 1;
+                if matches!(e.outcome, DetachedOutcome::Pending) {
+                    pending += 1;
+                }
+            }
+            for conn in shard.conns.iter().flatten() {
+                if conn.dead {
+                    continue;
+                }
+                match conn.state {
+                    ConnState::Streaming if conn.session.is_some() => {
+                        entry_count += 1;
+                        pending += 1;
+                    }
+                    ConnState::Done if conn.done_ack.is_some() => entry_count += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        out.clear();
+        write_preamble(out);
+        write_header(
+            out,
+            &SnapshotHeader {
+                tick,
+                next_conn_id: self.next_conn_id,
+                secret_probe: resume_auth(secret, SECRET_PROBE_ID),
+                pool_round: self
+                    .shards
+                    .iter()
+                    .map(|s| s.pool.rounds())
+                    .max()
+                    .unwrap_or(0),
+                pending,
+                entry_count,
+                stats: self.stats().to_words().to_vec(),
+                latencies: self.latencies(),
+            },
+        );
+
+        for shard in &self.shards {
+            for e in &shard.detached {
+                let body = match &e.outcome {
+                    DetachedOutcome::Pending => {
+                        let sid = e.session.expect("pending detached entry holds a session");
+                        let rx = shard.pool.get(sid).expect("pending session is live");
+                        pending_body(rx)
+                    }
+                    DetachedOutcome::Done { bits, ack } => EntryBodyRef::Done {
+                        bits: bits.as_ref(),
+                        ack: *ack,
+                    },
+                    DetachedOutcome::Exhausted => EntryBodyRef::Exhausted,
+                    DetachedOutcome::Abandoned => EntryBodyRef::Abandoned,
+                };
+                write_entry(
+                    out,
+                    &EntryRef {
+                        token: e.token,
+                        mode: e.mode,
+                        expected_seq: e.expected_seq,
+                        first_data_tick: e.first_data_tick,
+                        expires_tick: e.expires_tick,
+                        body,
+                    },
+                );
+            }
+            for conn in shard.conns.iter().flatten() {
+                if conn.dead {
+                    continue;
+                }
+                let token = ResumeToken {
+                    id: conn.resume_id,
+                    auth: resume_auth(secret, conn.resume_id),
+                };
+                // An attached session was not on the detach clock; its
+                // restored TTL starts at the snapshot tick.
+                let expires_tick = tick.saturating_add(ttl);
+                match conn.state {
+                    ConnState::Streaming => {
+                        let Some(sid) = conn.session else { continue };
+                        let rx = shard.pool.get(sid).expect("streaming session is live");
+                        write_entry(
+                            out,
+                            &EntryRef {
+                                token,
+                                mode: conn.mode,
+                                expected_seq: conn.expected_seq,
+                                first_data_tick: conn.first_data_tick,
+                                expires_tick,
+                                body: pending_body(rx),
+                            },
+                        );
+                    }
+                    ConnState::Done => {
+                        let Some(ack) = conn.done_ack else { continue };
+                        write_entry(
+                            out,
+                            &EntryRef {
+                                token,
+                                mode: conn.mode,
+                                expected_seq: conn.expected_seq,
+                                first_data_tick: u64::MAX,
+                                expires_tick,
+                                body: EntryBodyRef::Done {
+                                    bits: conn.decoded_bits.as_ref(),
+                                    ack,
+                                },
+                            },
+                        );
+                    }
+                    ConnState::Greeting | ConnState::Closed => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a server from a warm-restart snapshot written by
+    /// [`Server::snapshot_into`].
+    ///
+    /// The restored server resumes the snapshot's tick clock,
+    /// connection-id sequence and pool round counter, so every
+    /// persisted absolute deadline (detach TTLs) and round-relative
+    /// stamp keeps meaning — no restored session expires instantly and
+    /// none becomes immortal. Every in-flight session comes back
+    /// *detached* under its original resume token: clients reconnect
+    /// and re-attach through the ordinary RESUME path, and a resumed
+    /// flow is bit-identical (same `symbols_used`, same `attempts`) to
+    /// one the restart never interrupted. Drain state is deliberately
+    /// *not* carried: a restore is a fresh process accepting work, so a
+    /// pre-crash [`Server::begin_drain`] must be re-issued if still
+    /// wanted.
+    ///
+    /// Degradation is per-section: an entry whose CRC or structure
+    /// fails validation (or whose token does not verify against the
+    /// pinned secret, or that no longer fits this configuration's
+    /// admission limits) is dropped alone; in-flight sessions lost this
+    /// way are counted in [`ServeStats::restore_dropped`] so the
+    /// lifecycle conservation law closes exactly. Restored entries are
+    /// counted in [`ServeStats::restored`]; the snapshot's aggregate
+    /// stats and latency samples carry over.
+    ///
+    /// # Errors
+    ///
+    /// [`SpinalError::Snapshot`] — `SecretNotPinned` when `cfg` has no
+    /// pinned [`ServeConfig::resume_secret`]; `SecretMismatch` when the
+    /// pinned secret differs from the snapshotting server's; `BadMagic`
+    /// / `BadVersion` on a foreign image; `Truncated` / `Corrupt` on a
+    /// damaged preamble or header (the header is load-bearing — entries
+    /// degrade, the header does not). Also propagates
+    /// [`ServeConfig::validate`] failures. Never panics, for any input.
+    pub fn restore(cfg: ServeConfig, bytes: &[u8]) -> Result<Self, SpinalError> {
+        let Some(secret) = cfg.resume_secret else {
+            return Err(SpinalError::Snapshot {
+                kind: SnapshotErrorKind::SecretNotPinned,
+            });
+        };
+        let mut reader = SnapshotReader::new(bytes)?;
+        let header_payload = reader.take_section()?.ok_or(SpinalError::Snapshot {
+            kind: SnapshotErrorKind::Corrupt,
+        })?;
+        let mut header = parse_header(header_payload)?;
+        if header.stats.len() != STAT_WORDS {
+            return Err(SpinalError::Snapshot {
+                kind: SnapshotErrorKind::Corrupt,
+            });
+        }
+        if header.secret_probe != resume_auth(secret, SECRET_PROBE_ID) {
+            return Err(SpinalError::Snapshot {
+                kind: SnapshotErrorKind::SecretMismatch,
+            });
+        }
+        let mut server = Server::new(cfg)?;
+        let cfg = server.cfg;
+        server.tick = header.tick;
+        server.next_conn_id = header.next_conn_id;
+        let mut words = [0u64; STAT_WORDS];
+        words.copy_from_slice(&header.stats);
+        server.shards[0].stats = ServeStats::from_words(&words);
+        server.shards[0].latencies = std::mem::take(&mut header.latencies);
+        for shard in &mut server.shards {
+            shard.pool.restore_round(header.pool_round);
+        }
+
+        let n_shards = server.shards.len() as u64;
+        let mut pending_restored = 0u64;
+        let mut restored = 0u64;
+        while !reader.done() {
+            // A CRC-damaged section or an unparseable/forged entry
+            // drops that session alone.
+            let Some(payload) = reader.take_section()? else {
+                continue;
+            };
+            let Some(entry) = parse_entry(payload) else {
+                continue;
+            };
+            if entry.token.auth != resume_auth(secret, entry.token.id) {
+                continue;
+            }
+            let shard_i = (derive_seed(0x5EED_C0DE, 41, entry.token.id) % n_shards) as usize;
+            let shard = &mut server.shards[shard_i];
+            if shard.detached.iter().any(|e| e.token.id == entry.token.id) {
+                continue;
+            }
+            let (session, outcome) = match entry.body {
+                ParsedBody::Pending {
+                    shape,
+                    attempts,
+                    next_attempt,
+                    dirty_from,
+                    obs,
+                    packed,
+                } => {
+                    let h = Hello {
+                        message_bits: shape.message_bits,
+                        k: shape.k,
+                        c: shape.c,
+                        beam: shape.beam,
+                        max_symbols: shape.max_symbols,
+                        seed: shape.seed,
+                        mode: entry.mode,
+                    };
+                    // Same admission path as the network, same caps.
+                    let Ok(sid) = admit(&h, &cfg, &mut shard.pool) else {
+                        continue;
+                    };
+                    let ok = shard
+                        .pool
+                        .get_mut(sid)
+                        .expect("freshly admitted session is live")
+                        .restore_receive_state(&obs, attempts, next_attempt, dirty_from)
+                        .is_ok();
+                    if !ok {
+                        let _ = shard.pool.remove(sid);
+                        continue;
+                    }
+                    if let Some(blob) = &packed {
+                        // Best effort: a blob that fails validation
+                        // leaves the checkpoint store cold — identical
+                        // results, more first-attempt work.
+                        let _ = shard
+                            .pool
+                            .get_mut(sid)
+                            .expect("restored session is live")
+                            .adopt_packed_checkpoints(blob);
+                    }
+                    shard
+                        .pool
+                        .detach(sid, entry.token.id)
+                        .expect("freshly admitted session detaches");
+                    pending_restored += 1;
+                    (Some(sid), DetachedOutcome::Pending)
+                }
+                ParsedBody::Done { bits, ack } => (None, DetachedOutcome::Done { bits, ack }),
+                ParsedBody::Exhausted => (None, DetachedOutcome::Exhausted),
+                ParsedBody::Abandoned => (None, DetachedOutcome::Abandoned),
+            };
+            if let Some(sid) = session {
+                let slot = sid.slot();
+                if shard.session_conn.len() <= slot {
+                    shard.session_conn.resize(slot + 1, usize::MAX);
+                }
+                shard.session_conn[slot] = DETACHED_BASE + shard.detached.len();
+            }
+            shard.detached.push(DetachedEntry {
+                token: entry.token,
+                session,
+                outcome,
+                mode: entry.mode,
+                expected_seq: entry.expected_seq,
+                first_data_tick: entry.first_data_tick,
+                expires_tick: entry.expires_tick,
+            });
+            restored += 1;
+        }
+        server.shards[0].stats.restored += restored;
+        server.shards[0].stats.restore_dropped += header.pending.saturating_sub(pending_restored);
+        Ok(server)
     }
 }
 
@@ -1293,6 +1734,30 @@ fn shard_tick<T: Transport>(
             },
             stats,
         );
+    }
+}
+
+/// The snapshot image of one in-flight session: the HELLO-equivalent
+/// shape (so restore re-admits through [`admit`]), the receive
+/// dynamics that schedule the next attempt, the full observation set,
+/// and the packed checkpoint blob when one is held.
+fn pending_body(
+    rx: &RxSession<Lookup3, LinearMapper, AwgnCost, StridedPuncture>,
+) -> EntryBodyRef<'_> {
+    EntryBodyRef::Pending {
+        shape: PendingShape {
+            message_bits: rx.params().message_bits(),
+            k: rx.params().k(),
+            c: rx.decoder().mapper().c(),
+            beam: rx.config().beam.beam_width as u32,
+            max_symbols: rx.config().max_symbols,
+            seed: rx.params().seed(),
+        },
+        attempts: rx.attempts(),
+        next_attempt: rx.next_attempt(),
+        dirty_from: rx.dirty_from(),
+        obs: rx.observations(),
+        packed: rx.packed_checkpoint_image(),
     }
 }
 

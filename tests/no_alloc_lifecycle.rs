@@ -59,8 +59,12 @@ fn lifecycle_steady_state_performs_zero_heap_allocation() {
     // so the connection is probed, never detached. The detached
     // session's tick TTL is infinite so its entry is scanned every
     // measured tick without expiring.
+    // The resume secret is pinned so the server is snapshottable: the
+    // warm-restart phase below images this server and re-measures the
+    // restored one.
     let mut cfg = ServeConfig {
         keepalive_idle: 900,
+        resume_secret: Some(0x5EED_FACE),
         ..ServeConfig::default()
     };
     cfg.pool.detach_ttl = u64::MAX;
@@ -182,4 +186,67 @@ fn lifecycle_steady_state_performs_zero_heap_allocation() {
         server.tick();
     }
     assert_eq!(server.live_sessions(), 2);
+
+    // ---- Warm restart: the restored server reaches the same
+    // allocation-free steady state. ----
+
+    // The snapshot itself may allocate (header vectors, checkpoint
+    // demotion), but it must reuse the caller's buffer across calls:
+    // once sized by the first image, a second image does not regrow it.
+    let mut image = Vec::new();
+    server.snapshot_into(&mut image).unwrap();
+    let sized = image.capacity();
+    server.snapshot_into(&mut image).unwrap();
+    assert_eq!(
+        image.capacity(),
+        sized,
+        "a second snapshot must reuse the caller's buffer, not regrow it"
+    );
+
+    // Restore: both sessions come back detached; A re-attaches through
+    // the ordinary RESUME path with the token it already holds, and B's
+    // orphan stays resumable.
+    let a_token = a.resume_token().expect("admitted client holds a token");
+    let mut server = Server::restore(cfg, &image).unwrap();
+    assert_eq!(server.live_sessions(), 2);
+    assert_eq!(server.detached_sessions(), 2);
+    let (srv3, cli3) = loopback_pair(1 << 12);
+    server.add_resume_connection(srv3, a_token);
+    drop(a.reconnect(cli3));
+
+    // Warm-up: re-admission and the fresh connection's buffers are
+    // allocation-time costs; streaming runs the restored decoder hot
+    // (packed-checkpoint promotion included), then silence reaches the
+    // per-tick fixed point.
+    for _ in 0..60 {
+        a.tick();
+        server.tick();
+    }
+    assert_eq!(server.stats().resumed, 2, "A must re-attach after restore");
+    assert_eq!(server.detached_sessions(), 1, "B's orphan survives restart");
+    for _ in 0..800 {
+        server.tick();
+    }
+    let warm = server.stats();
+
+    // Measured window: the restored server's steady state — A's live
+    // lane, B's restored orphan on its TTL scan, idle bookkeeping —
+    // allocates nothing, exactly like the pre-crash server.
+    let before = allocations();
+    for _ in 0..200 {
+        server.tick();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "restored-server steady-state tick must not allocate (saw {} allocations)",
+        after - before
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.ticks, warm.ticks + 200);
+    assert_eq!(stats.snapshots, 2, "counters survive the restart");
+    assert_eq!(server.live_sessions(), 2);
+    assert_eq!(server.detached_sessions(), 1);
 }
